@@ -1,0 +1,21 @@
+//! # poe-baselines
+//!
+//! Every comparison method from the PoE paper's evaluation:
+//!
+//! * [`methods::train_scratch`] — the **Scratch** baseline (specialized
+//!   architecture, cross-entropy, task data only),
+//! * [`methods::train_transfer`] — the **Transfer** baseline (frozen
+//!   library, head trained on task data),
+//! * [`methods::train_generic_kd`] — the **KD** baseline (entire oracle
+//!   knowledge distilled into the tiny architecture),
+//! * [`merge`] — the **SD** and **UHC** model-unification baselines that
+//!   merge independently built primitive teachers into one student.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod merge;
+pub mod methods;
+
+pub use merge::{block_conditional_accuracy, merge_teachers, MergeMethod, MergeTeacher};
+pub use methods::{library_head_logits, train_generic_kd, train_scratch, train_transfer};

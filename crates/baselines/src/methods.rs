@@ -1,0 +1,172 @@
+//! The paper's non-merging baselines: **KD**, **Scratch**, **Transfer**
+//! (Section 5.2), applicable to both primitive and composite tasks.
+
+use poe_core::training::{train_cross_entropy, train_distill};
+use poe_data::Dataset;
+use poe_models::{build_mlp_head, build_wrn_mlp, SplitModel, WrnConfig};
+use poe_nn::layers::Sequential;
+use poe_nn::train::{predict, TrainConfig, TrainReport};
+use poe_nn::Module;
+use poe_tensor::{Prng, Tensor};
+
+/// **Scratch**: trains the specialized architecture from scratch with
+/// cross-entropy on the task-specific dataset only (no oracle involved).
+///
+/// `task_data` must be a `task_view` (labels in `0..arch.num_classes`).
+pub fn train_scratch(
+    arch: &WrnConfig,
+    input_dim: usize,
+    task_data: &Dataset,
+    cfg: &TrainConfig,
+    seed: u64,
+) -> (SplitModel, TrainReport) {
+    assert_eq!(arch.num_classes, task_data.num_classes, "arch/task class mismatch");
+    let mut rng = Prng::seed_from_u64(seed);
+    let mut model = build_wrn_mlp(arch, input_dim, &mut rng);
+    let report = train_cross_entropy(&mut model, task_data, cfg);
+    (model, report)
+}
+
+/// **Transfer**: freezes the PoE library component and trains only the
+/// expert-shaped head with cross-entropy on the task-specific dataset.
+///
+/// Returns the trained head; compose it with the library for inference.
+pub fn train_transfer(
+    library: &Sequential,
+    head_arch: &WrnConfig,
+    task_data: &Dataset,
+    cfg: &TrainConfig,
+    seed: u64,
+) -> (Sequential, TrainReport) {
+    assert_eq!(head_arch.num_classes, task_data.num_classes);
+    let mut rng = Prng::seed_from_u64(seed);
+    let mut lib = library.clone();
+    lib.set_trainable(false);
+    let features = predict(&mut lib, &task_data.inputs, 256);
+    let mut head = build_mlp_head("transfer", head_arch, head_arch.num_classes, &mut rng);
+    let labels = task_data.labels.clone();
+    let report = poe_nn::train::train_batches(&mut head, &features, cfg, &mut |logits, idx| {
+        let batch: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+        poe_nn::loss::cross_entropy(logits, &batch)
+    });
+    (head, report)
+}
+
+/// **KD (generic)**: distills the oracle's *entire* knowledge into the
+/// tiny specialized architecture (output width = all classes). Evaluated
+/// with task-specific accuracy, this is the paper's weakest method at
+/// expert scale — the small model cannot hold the full knowledge.
+pub fn train_generic_kd(
+    arch: &WrnConfig,
+    input_dim: usize,
+    train_inputs: &Tensor,
+    oracle_logits: &Tensor,
+    temperature: f32,
+    cfg: &TrainConfig,
+    seed: u64,
+) -> (SplitModel, TrainReport) {
+    assert_eq!(arch.num_classes, oracle_logits.cols(), "arch must cover all classes");
+    let mut rng = Prng::seed_from_u64(seed);
+    let mut model = build_wrn_mlp(arch, input_dim, &mut rng);
+    let report = train_distill(&mut model, train_inputs, oracle_logits, temperature, cfg);
+    (model, report)
+}
+
+/// Runs `library → head` inference over a dataset and returns logits.
+pub fn library_head_logits(
+    library: &Sequential,
+    head: &Sequential,
+    inputs: &Tensor,
+) -> Tensor {
+    let mut lib = library.clone();
+    let mut h = head.clone();
+    let f = predict(&mut lib, inputs, 256);
+    predict(&mut h, &f, 256)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poe_core::training::{eval_accuracy, logits_of, train_cross_entropy as tce};
+    use poe_data::synth::{generate, GaussianHierarchyConfig};
+    use poe_tensor::ops::accuracy;
+
+    fn tiny() -> (poe_data::SplitDataset, poe_data::ClassHierarchy) {
+        generate(
+            &GaussianHierarchyConfig { dim: 8, ..GaussianHierarchyConfig::balanced(3, 2) }
+                .with_samples(25, 10)
+                .with_seed(41),
+        )
+    }
+
+    #[test]
+    fn scratch_learns_its_task() {
+        let (split, h) = tiny();
+        let classes = h.primitive(1).classes.clone();
+        let train_view = split.train.task_view(&classes);
+        let arch = WrnConfig::new(10, 1.0, 0.25, classes.len()).with_unit(8);
+        let (mut m, report) = train_scratch(
+            &arch,
+            8,
+            &train_view,
+            &TrainConfig::new(40, 16, 0.05).with_milestones(vec![25], 0.1),
+            1,
+        );
+        assert!(report.final_loss().unwrap() < report.records[0].mean_loss);
+        let test_view = split.test.task_view(&classes);
+        let acc = eval_accuracy(&mut m, &test_view);
+        assert!(acc > 0.6, "scratch acc {acc}");
+    }
+
+    #[test]
+    fn transfer_trains_head_only() {
+        let (split, h) = tiny();
+        // Library: trunk of a scratch-trained generic student.
+        let mut rng = Prng::seed_from_u64(2);
+        let mut student = build_wrn_mlp(&WrnConfig::new(10, 1.0, 1.0, 6).with_unit(8), 8, &mut rng);
+        tce(&mut student, &split.train, &TrainConfig::new(20, 32, 0.08));
+        let library = student.trunk().clone();
+        let lib_snapshot = poe_nn::snapshot_params(&library);
+
+        let classes = h.primitive(0).classes.clone();
+        let train_view = split.train.task_view(&classes);
+        let head_arch = WrnConfig::new(10, 1.0, 0.25, classes.len()).with_unit(8);
+        let (head, _) = train_transfer(&library, &head_arch, &train_view, &TrainConfig::new(25, 16, 0.08), 3);
+
+        // Library untouched.
+        assert_eq!(poe_nn::snapshot_params(&library), lib_snapshot);
+        // Composite inference works.
+        let test_view = split.test.task_view(&classes);
+        let logits = library_head_logits(&library, &head, &test_view.inputs);
+        let acc = accuracy(&logits, &test_view.labels);
+        assert!(acc > 0.7, "transfer acc {acc}");
+    }
+
+    #[test]
+    fn generic_kd_is_weakest_at_expert_scale() {
+        let (split, h) = tiny();
+        let mut rng = Prng::seed_from_u64(4);
+        let mut oracle = build_wrn_mlp(&WrnConfig::new(10, 2.0, 2.0, 6).with_unit(8), 8, &mut rng);
+        tce(&mut oracle, &split.train, &TrainConfig::new(30, 32, 0.08));
+        let ol = logits_of(&mut oracle, &split.train.inputs);
+
+        let arch = WrnConfig::new(10, 1.0, 0.25, 6).with_unit(4);
+        let (mut kd_model, _) =
+            train_generic_kd(&arch, 8, &split.train.inputs, &ol, 4.0, &TrainConfig::new(25, 32, 0.02), 5);
+        // It still learns *something* about each task.
+        let classes = h.primitive(0).classes.clone();
+        let acc =
+            poe_core::training::eval_task_specific_accuracy(&mut kd_model, &split.test, &classes);
+        assert!(acc > 0.5, "generic KD task-specific acc {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "class mismatch")]
+    fn scratch_rejects_wrong_width() {
+        let (split, h) = tiny();
+        let classes = h.primitive(0).classes.clone();
+        let view = split.train.task_view(&classes);
+        let arch = WrnConfig::new(10, 1.0, 0.25, 5).with_unit(4); // 5 ≠ 2
+        train_scratch(&arch, 8, &view, &TrainConfig::new(1, 8, 0.1), 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Inference throughput of the model family: oracle vs library student vs
+//! a PoE-consolidated branched model — the resource-efficiency side of the
+//! paper's size tables (a specialist should be much cheaper per image).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use poe_core::pool::{Expert, ExpertPool};
+use poe_data::ClassHierarchy;
+use poe_models::{build_mlp_head, build_wrn_mlp, WrnConfig};
+use poe_nn::Module;
+use poe_tensor::{Prng, Tensor};
+use std::hint::black_box;
+
+const BATCH: usize = 64;
+const DIM: usize = 32;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut rng = Prng::seed_from_u64(11);
+    let x = Tensor::randn([BATCH, DIM], 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("inference_batch64");
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    // Oracle analog (WRN-40-(4,4)).
+    let mut oracle = build_wrn_mlp(&WrnConfig::new(40, 4.0, 4.0, 100), DIM, &mut rng);
+    group.bench_function("oracle_wrn40_4_4", |b| {
+        b.iter(|| oracle.forward(black_box(&x), false))
+    });
+
+    // Library student analog (WRN-16-(1,1)).
+    let mut student = build_wrn_mlp(&WrnConfig::new(16, 1.0, 1.0, 100), DIM, &mut rng);
+    group.bench_function("student_wrn16_1_1", |b| {
+        b.iter(|| student.forward(black_box(&x), false))
+    });
+
+    // PoE branched model with n(Q) = 3 experts.
+    let hierarchy = ClassHierarchy::contiguous(100, 20);
+    let library = build_wrn_mlp(&WrnConfig::new(16, 1.0, 1.0, 100), DIM, &mut rng)
+        .into_parts()
+        .0;
+    let mut pool = ExpertPool::new(hierarchy, library);
+    for t in 0..3 {
+        let classes = pool.hierarchy().primitive(t).classes.clone();
+        let arch = WrnConfig { ks: 0.25, num_classes: classes.len(), ..WrnConfig::new(16, 1.0, 1.0, 100) };
+        let head = build_mlp_head(&format!("e{t}"), &arch, classes.len(), &mut rng);
+        pool.insert_expert(Expert { task_index: t, classes, head });
+    }
+    let (mut branched, _) = pool.consolidate(&[0, 1, 2]).unwrap();
+    group.bench_function("poe_branched_n3", |b| {
+        b.iter(|| branched.infer(black_box(&x)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! The headline claim: PoE answers a model query in (sub-)milliseconds
+//! because consolidation is pure assembly. This bench measures
+//! `ExpertPool::consolidate` and `QueryService::query` latency as `n(Q)`
+//! grows — the train-free counterpart of the paper's Figures 6/7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use poe_core::pool::{Expert, ExpertPool};
+use poe_core::service::QueryService;
+use poe_data::ClassHierarchy;
+use poe_models::{build_mlp_head, build_wrn_mlp, WrnConfig};
+use poe_tensor::Prng;
+use std::hint::black_box;
+
+/// A pool shaped like the CIFAR-100 deployment (20 tasks × 5 classes).
+fn build_pool() -> ExpertPool {
+    let mut rng = Prng::seed_from_u64(7);
+    let hierarchy = ClassHierarchy::contiguous(100, 20);
+    let student = WrnConfig::new(16, 1.0, 1.0, 100);
+    let library = build_wrn_mlp(&student, 32, &mut rng).into_parts().0;
+    let mut pool = ExpertPool::new(hierarchy, library);
+    for t in 0..20 {
+        let classes = pool.hierarchy().primitive(t).classes.clone();
+        let arch = WrnConfig { ks: 0.25, num_classes: classes.len(), ..student };
+        // Heads are named `expert<t>` to match the convention the
+        // standalone store uses when rebuilding a pool from its manifest.
+        let head = build_mlp_head(&format!("expert{t}"), &arch, classes.len(), &mut rng);
+        pool.insert_expert(Expert { task_index: t, classes, head });
+    }
+    pool
+}
+
+fn bench_consolidate(c: &mut Criterion) {
+    let pool = build_pool();
+    let mut group = c.benchmark_group("consolidate");
+    for n in [1usize, 2, 5, 10, 20] {
+        let query: Vec<usize> = (0..n).collect();
+        group.bench_with_input(BenchmarkId::new("n_tasks", n), &n, |b, _| {
+            b.iter(|| pool.consolidate(black_box(&query)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_service_query(c: &mut Criterion) {
+    let svc = QueryService::new(build_pool());
+    c.bench_function("service_query_n5", |b| {
+        b.iter(|| svc.query(black_box(&[1, 3, 7, 11, 19])).unwrap())
+    });
+    c.bench_function("service_query_by_classes", |b| {
+        b.iter(|| svc.query_classes(black_box(&[3, 17, 55, 91])).unwrap())
+    });
+}
+
+fn bench_store_io(c: &mut Criterion) {
+    use poe_core::store::{load_standalone, save_standalone, PoolSpec};
+    let pool = build_pool();
+    let spec = PoolSpec {
+        student_arch: WrnConfig::new(16, 1.0, 1.0, 100),
+        expert_ks: 0.25,
+        library_groups: 3,
+        input_dim: 32,
+    };
+    let dir = std::env::temp_dir().join("poe_bench_store");
+    save_standalone(&pool, &spec, &dir).unwrap();
+    c.bench_function("store_save_20_experts", |b| {
+        b.iter(|| save_standalone(black_box(&pool), black_box(&spec), &dir).unwrap())
+    });
+    c.bench_function("store_load_20_experts", |b| {
+        b.iter(|| load_standalone(black_box(&dir)).unwrap())
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_consolidate, bench_service_query, bench_store_io);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Micro-benchmarks of the numeric substrate: matmul variants, softmax,
+//! and im2col — the kernels every training second in the reproduction is
+//! spent in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use poe_tensor::conv::{im2col, Conv2dSpec};
+use poe_tensor::ops::{softmax, softmax_with_temperature};
+use poe_tensor::{matmul, matmul_a_bt, matmul_at_b, Prng, Tensor};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = Prng::seed_from_u64(1);
+    for &n in &[32usize, 128, 256] {
+        let a = Tensor::randn([n, n], 1.0, &mut rng);
+        let b = Tensor::randn([n, n], 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("square", n), &n, |bch, _| {
+            bch.iter(|| matmul(black_box(&a), black_box(&b)).unwrap())
+        });
+    }
+    // The backprop-shaped products at a typical training size.
+    let x = Tensor::randn([64, 128], 1.0, &mut rng);
+    let w = Tensor::randn([32, 128], 1.0, &mut rng);
+    let dy = Tensor::randn([64, 32], 1.0, &mut rng);
+    group.bench_function("forward_a_bt_64x128x32", |bch| {
+        bch.iter(|| matmul_a_bt(black_box(&x), black_box(&w)).unwrap())
+    });
+    group.bench_function("weightgrad_at_b_64x32x128", |bch| {
+        bch.iter(|| matmul_at_b(black_box(&dy), black_box(&x)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("softmax");
+    let mut rng = Prng::seed_from_u64(2);
+    for &classes in &[10usize, 100, 200] {
+        let logits = Tensor::randn([256, classes], 2.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("rows256", classes), &classes, |bch, _| {
+            bch.iter(|| softmax(black_box(&logits)))
+        });
+    }
+    let logits = Tensor::randn([256, 100], 2.0, &mut rng);
+    group.bench_function("softened_T4_rows256x100", |bch| {
+        bch.iter(|| softmax_with_temperature(black_box(&logits), 4.0))
+    });
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let mut rng = Prng::seed_from_u64(3);
+    let spec = Conv2dSpec { in_channels: 16, out_channels: 16, kernel: 3, stride: 1, padding: 1 };
+    let input = Tensor::randn([8, 16, 8, 8], 1.0, &mut rng);
+    c.bench_function("im2col_8x16x8x8_k3", |bch| {
+        bch.iter(|| im2col(black_box(&input), black_box(&spec)))
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_softmax, bench_im2col);
+criterion_main!(benches);

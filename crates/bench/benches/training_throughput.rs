@@ -1,0 +1,72 @@
+//! Training-step throughput: one SGD step (forward + loss + backward +
+//! update) for the architectures and losses the reproduction trains — the
+//! denominator of every "minutes per query" number in Figures 6/7.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use poe_models::{build_mlp_head, build_wrn_mlp, WrnConfig};
+use poe_nn::loss::{cross_entropy, CkdLoss};
+use poe_nn::optim::Sgd;
+use poe_nn::Module;
+use poe_tensor::{Prng, Tensor};
+use std::hint::black_box;
+
+const BATCH: usize = 64;
+const DIM: usize = 32;
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut rng = Prng::seed_from_u64(13);
+    let x = Tensor::randn([BATCH, DIM], 1.0, &mut rng);
+    let labels: Vec<usize> = (0..BATCH).map(|i| i % 5).collect();
+
+    let mut group = c.benchmark_group("sgd_step_batch64");
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    // Scratch specialist (WRN-16-(1, 0.25), 5 classes) with cross-entropy.
+    let mut model = build_wrn_mlp(&WrnConfig::new(16, 1.0, 0.25, 5), DIM, &mut rng);
+    let mut sgd = Sgd::new(0.05);
+    group.bench_function("scratch_specialist_ce", |b| {
+        b.iter(|| {
+            let logits = model.forward(black_box(&x), true);
+            let (_, grad) = cross_entropy(&logits, &labels);
+            model.zero_grad();
+            model.backward(&grad);
+            sgd.step(&mut model);
+        })
+    });
+
+    // CKD expert head on precomputed library features.
+    let features = Tensor::randn([BATCH, 32], 1.0, &mut rng);
+    let teacher = Tensor::randn([BATCH, 5], 3.0, &mut rng);
+    let arch = WrnConfig::new(16, 1.0, 0.25, 5);
+    let mut head = build_mlp_head("bench", &arch, 5, &mut rng);
+    let mut sgd_head = Sgd::new(0.01);
+    let loss = CkdLoss::paper(4.0);
+    group.bench_function("ckd_expert_head", |b| {
+        b.iter(|| {
+            let logits = head.forward(black_box(&features), true);
+            let (_, grad) = loss.eval(&logits, &teacher);
+            head.zero_grad();
+            head.backward(&grad);
+            sgd_head.step(&mut head);
+        })
+    });
+
+    // Oracle-sized step (the preprocessing cost driver).
+    let mut oracle = build_wrn_mlp(&WrnConfig::new(16, 10.0, 10.0, 200), DIM, &mut rng);
+    let labels200: Vec<usize> = (0..BATCH).map(|i| i % 200).collect();
+    let mut sgd_oracle = Sgd::new(0.08);
+    group.bench_function("oracle_wrn16_10_10_ce", |b| {
+        b.iter(|| {
+            let logits = oracle.forward(black_box(&x), true);
+            let (_, grad) = cross_entropy(&logits, &labels200);
+            oracle.zero_grad();
+            oracle.backward(&grad);
+            sgd_oracle.step(&mut oracle);
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_step);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Ablation: CKD temperature sweep (CIFAR-100 analog).
+
+use poe_bench::scale::Scale;
+use poe_bench::setup::{prepare, DatasetSpec};
+
+fn main() {
+    let scale = Scale::from_env();
+    let prep = prepare(DatasetSpec::Cifar100Sim, &scale);
+    println!("{}", poe_bench::exp::ablations::temperature(&prep));
+}

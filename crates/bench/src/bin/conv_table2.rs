@@ -1,0 +1,6 @@
+//! Regenerates Table 2 on the convolutional WRN path (synthetic images).
+//! Slower than the MLP-analog sweeps; see `exp::conv_path`.
+
+fn main() {
+    println!("{}", poe_bench::exp::conv_path::run());
+}

@@ -1,0 +1,29 @@
+//! Pool health check: per-expert calibration and logit-scale diagnostics
+//! for experts extracted with the full CKD loss vs `L_soft` only — direct
+//! evidence of what the `L_scale` term buys (smaller cross-expert scale
+//! dispersion, hence safe logit concatenation).
+
+use poe_bench::exp::table5::pool_with_loss;
+use poe_bench::scale::Scale;
+use poe_bench::setup::{prepare, DatasetSpec};
+use poe_core::diagnostics::diagnose_pool;
+use poe_nn::loss::CkdLoss;
+
+fn main() {
+    let scale = Scale::from_env();
+    let prep = prepare(DatasetSpec::Cifar100Sim, &scale);
+    let t = prep.cfg.temperature;
+
+    for (label, loss) in [
+        ("L_CKD = L_soft + α·L_scale (paper)", CkdLoss::paper(t)),
+        ("L_soft only (ablation)", CkdLoss::soft_only(t)),
+    ] {
+        let pool = pool_with_loss(&prep, loss, 0xD1A6);
+        let d = diagnose_pool(&pool, &prep.split.test, 4);
+        println!("### {label}\n{d}");
+    }
+    println!(
+        "Lower `scale dispersion` means the experts' logits are mutually comparable —\n\
+         the property train-free logit concatenation needs (Section 4.2)."
+    );
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table 1 (oracle vs library student) for both benchmarks.
+
+use poe_bench::scale::Scale;
+use poe_bench::setup::{prepare, DatasetSpec};
+
+fn main() {
+    let scale = Scale::from_env();
+    for spec in DatasetSpec::ALL {
+        eprintln!("preparing {} …", spec.name());
+        let prep = prepare(spec, &scale);
+        println!("{}", poe_bench::exp::table1::run(&prep));
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates table2 of the paper for both benchmarks.
+
+use poe_bench::scale::Scale;
+use poe_bench::setup::{prepare, DatasetSpec};
+
+fn main() {
+    let scale = Scale::from_env();
+    for spec in DatasetSpec::ALL {
+        eprintln!("preparing {} …", spec.name());
+        let prep = prepare(spec, &scale);
+        println!("{}", poe_bench::exp::table2::run(&prep));
+    }
+}

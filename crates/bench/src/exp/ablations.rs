@@ -1,0 +1,147 @@
+//! Design-choice ablations beyond the paper's Table 5 (DESIGN.md §5):
+//! the `L_scale` norm (L1 vs L2), the temperature `T`, and the loss
+//! weight `α`, all measured by PoE accuracy at `n(Q) = 3`.
+
+use crate::exp::table5::{poe_accuracy_by_n, pool_with_loss};
+use crate::fmt::{fmt_params, MeanStd, TextTable};
+use crate::setup::Prepared;
+use poe_core::ckd::{extract_expert, CkdConfig};
+use poe_core::library::{extract_library, LibraryConfig};
+use poe_core::pool::{Expert, ExpertPool};
+use poe_core::training::EVAL_BATCH;
+use poe_models::{build_mlp_head_with_depth, build_wrn_mlp_with_depth, WrnConfig};
+use poe_nn::loss::{CkdLoss, ScaleNorm};
+use poe_nn::train::predict;
+use poe_nn::Module;
+
+fn poe_acc_at_3(prep: &Prepared, loss: CkdLoss, seed: u64) -> MeanStd {
+    let pool = pool_with_loss(prep, loss, seed);
+    poe_accuracy_by_n(prep, &pool).remove(&3).expect("n=3 entry")
+}
+
+/// L1 vs L2 for the scale regularizer (the paper argues L1 is more robust).
+pub fn scale_norm(prep: &Prepared) -> String {
+    let mut t = TextTable::new(&["L_scale norm", "PoE acc (n=3)"]);
+    for (label, norm) in [("L1 (paper)", ScaleNorm::L1), ("L2", ScaleNorm::L2)] {
+        let loss = CkdLoss { scale_norm: norm, ..CkdLoss::paper(prep.cfg.temperature) };
+        t.row(&[label.into(), poe_acc_at_3(prep, loss, 0xA1).fmt_percent()]);
+    }
+    format!(
+        "### Ablation — scale-regularizer norm — {} [{} scale]\n\n```\n{}```\n",
+        prep.spec.name(),
+        prep.scale.name,
+        t.render()
+    )
+}
+
+/// Distillation temperature sweep.
+pub fn temperature(prep: &Prepared) -> String {
+    let mut t = TextTable::new(&["Temperature T", "PoE acc (n=3)"]);
+    for temp in [1.0f32, 2.0, 4.0, 8.0] {
+        let loss = CkdLoss::paper(temp);
+        t.row(&[format!("{temp}"), poe_acc_at_3(prep, loss, 0xA2).fmt_percent()]);
+    }
+    format!(
+        "### Ablation — CKD temperature — {} [{} scale] (paper uses T within the KD-standard 2–8 band)\n\n```\n{}```\n",
+        prep.spec.name(),
+        prep.scale.name,
+        t.render()
+    )
+}
+
+/// `α` (weight of `L_scale`) sweep around the paper's 0.3.
+pub fn alpha(prep: &Prepared) -> String {
+    let mut t = TextTable::new(&["alpha", "PoE acc (n=3)"]);
+    for a in [0.0f32, 0.1, 0.3, 1.0, 3.0] {
+        let loss = CkdLoss { alpha: a, ..CkdLoss::paper(prep.cfg.temperature) };
+        t.row(&[format!("{a}"), poe_acc_at_3(prep, loss, 0xA3).fmt_percent()]);
+    }
+    format!(
+        "### Ablation — α of L_scale — {} [{} scale] (paper fixes α = 0.3; α = 0 is \"L_soft only\")\n\n```\n{}```\n",
+        prep.spec.name(),
+        prep.scale.name,
+        t.render()
+    )
+}
+
+/// Library depth `ℓ` (how many groups the shared library keeps — the
+/// paper's size/accuracy knob in Section 4.1): re-runs library extraction
+/// and CKD at `ℓ ∈ {2, 3, 4}` and reports PoE accuracy at `n(Q) = 3`
+/// together with the shared-vs-per-expert parameter split.
+pub fn library_depth(prep: &Prepared) -> String {
+    let mut t = TextTable::new(&[
+        "ℓ (shared groups)",
+        "PoE acc (n=3)",
+        "Library params",
+        "Expert params (each)",
+        "M(Q) params (n=3)",
+    ]);
+    for ell in [2usize, 3, 4] {
+        let mut rng = poe_tensor::Prng::seed_from_u64(0xE11 + ell as u64);
+        // Re-distill a student split at ℓ, reusing the cached oracle logits.
+        let student0 =
+            build_wrn_mlp_with_depth(&prep.cfg.student_arch, prep.input_dim, ell, &mut rng);
+        let lib_cfg = LibraryConfig {
+            temperature: prep.cfg.temperature,
+            train: prep.cfg.library_train.clone(),
+        };
+        let ext = extract_library(
+            student0,
+            &prep.split.train.inputs,
+            &prep.pre.oracle_logits,
+            &lib_cfg,
+        );
+        let mut library = ext.library();
+        library.set_trainable(false);
+        let features = predict(&mut library, &prep.split.train.inputs, EVAL_BATCH);
+
+        let mut pool = ExpertPool::new(prep.hierarchy.clone(), library);
+        let ckd_cfg = CkdConfig {
+            loss: CkdLoss::paper(prep.cfg.temperature),
+            train: prep.cfg.expert_train.clone(),
+        };
+        let mut expert_params = 0usize;
+        for &task in &prep.six {
+            let classes = prep.hierarchy.primitive(task).classes.clone();
+            let sub = prep.pre.oracle_logits.select_cols(&classes);
+            // At ℓ = 4 conv4 lives inside the shared library, so the head
+            // (a bare classifier) must match the library's k_s; below that
+            // the expert shrinks conv4 as usual.
+            let ks = if ell == 4 { prep.cfg.student_arch.ks } else { prep.cfg.expert_ks };
+            let arch = WrnConfig {
+                ks,
+                num_classes: classes.len(),
+                ..prep.cfg.student_arch
+            };
+            let head = build_mlp_head_with_depth(
+                &format!("l{ell}e{task}"),
+                &arch,
+                ell,
+                classes.len(),
+                &mut rng,
+            );
+            let e = extract_expert(&features, &sub, head, &ckd_cfg);
+            expert_params = e.head.param_count();
+            pool.insert_expert(Expert { task_index: task, classes, head: e.head });
+        }
+
+        let acc = poe_accuracy_by_n(prep, &pool).remove(&3).expect("n=3");
+        let (model, stats) = pool
+            .consolidate(&prep.combos(3)[0])
+            .expect("depth-ablation consolidate");
+        let _ = model;
+        t.row(&[
+            format!("{ell}"),
+            acc.fmt_percent(),
+            fmt_params(pool.library().param_count()),
+            fmt_params(expert_params),
+            fmt_params(stats.params),
+        ]);
+    }
+    format!(
+        "### Ablation — library depth ℓ — {} [{} scale] (paper uses ℓ = 3: conv1–conv3 shared)\n\n```\n{}```\n         Expected shape: larger ℓ shifts parameters from the per-expert heads into the\n         shared library, shrinking every consolidated model; too large an ℓ (4 = share\n         everything but the classifier) leaves experts too little capacity to specialize.\n",
+        prep.spec.name(),
+        prep.scale.name,
+        t.render()
+    )
+}

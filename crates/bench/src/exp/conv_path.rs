@@ -1,0 +1,122 @@
+//! Table 2 on the **convolutional** path: the specialization comparison
+//! (Oracle / Scratch / Transfer / CKD) run with real `WRN-l-(k_c, k_s)`
+//! conv nets on the miniature synthetic image benchmark — evidence that
+//! the MLP analog used by the fast sweeps does not drive the results.
+
+use crate::fmt::{fmt_params, MeanStd, TextTable};
+use poe_core::training::{
+    eval_accuracy, eval_task_specific_accuracy, logits_of, train_cross_entropy,
+};
+use poe_data::images::{generate_images, ImageHierarchyConfig};
+use poe_models::{build_conv_head, build_wrn_conv, WrnConfig};
+use poe_nn::loss::{cross_entropy, CkdLoss};
+use poe_nn::train::{predict, train_batches, TrainConfig};
+use poe_nn::Module;
+use poe_tensor::ops::accuracy;
+use poe_tensor::Prng;
+
+/// Runs the convolutional-path specialization comparison and renders it.
+pub fn run() -> String {
+    let mut cfg = ImageHierarchyConfig::miniature(5, 3).with_seed(77);
+    cfg.sigma_noise = 1.4; // hard enough that specialization matters
+    cfg.train_per_class = 20;
+    let (split, hierarchy) = generate_images(&cfg);
+    let classes_total = hierarchy.num_classes();
+    eprintln!(
+        "conv benchmark: {} classes / {} tasks, {:?} images",
+        classes_total,
+        hierarchy.num_primitives(),
+        split.train.sample_shape()
+    );
+    let mut rng = Prng::seed_from_u64(7);
+
+    // Oracle.
+    eprintln!("training conv oracle …");
+    let oracle_arch = WrnConfig::new(10, 2.0, 2.0, classes_total).with_unit(8);
+    let mut oracle = build_wrn_conv(&oracle_arch, cfg.channels, &mut rng);
+    train_cross_entropy(&mut oracle, &split.train, &TrainConfig::new(15, 32, 0.05));
+    let oracle_acc = eval_accuracy(&mut oracle, &split.test);
+    let oracle_logits = logits_of(&mut oracle, &split.train.inputs);
+
+    // Library via KD.
+    eprintln!("distilling conv library …");
+    let student_arch = WrnConfig::new(10, 1.0, 1.0, classes_total).with_unit(8);
+    let student0 = build_wrn_conv(&student_arch, cfg.channels, &mut rng);
+    let ext = poe_core::extract_library(
+        student0,
+        &split.train.inputs,
+        &oracle_logits,
+        &poe_core::LibraryConfig::new(TrainConfig::new(15, 32, 0.01)),
+    );
+    let mut library = ext.library();
+    library.set_trainable(false);
+    let features = predict(&mut library, &split.train.inputs, 128);
+
+    let mut rows: Vec<(&str, MeanStd, usize)> = vec![
+        ("Oracle", MeanStd::new(), oracle.param_count()),
+        ("Scratch", MeanStd::new(), 0),
+        ("Transfer", MeanStd::new(), 0),
+        ("CKD (ours)", MeanStd::new(), 0),
+    ];
+
+    for task in 0..hierarchy.num_primitives() {
+        eprintln!("task {task} …");
+        let classes = hierarchy.primitive(task).classes.clone();
+        let train_view = split.train.task_view(&classes);
+        let test_view = split.test.task_view(&classes);
+        let expert_arch = WrnConfig { ks: 0.5, num_classes: classes.len(), ..student_arch };
+
+        rows[0]
+            .1
+            .push(eval_task_specific_accuracy(&mut oracle, &split.test, &classes));
+
+        // Scratch: the full small conv net on task data.
+        let mut scratch = build_wrn_conv(&expert_arch, cfg.channels, &mut rng);
+        train_cross_entropy(&mut scratch, &train_view, &TrainConfig::new(15, 32, 0.05));
+        rows[1].1.push(eval_accuracy(&mut scratch, &test_view));
+        rows[1].2 = scratch.param_count();
+
+        // Transfer: frozen conv library + conv4 head on task data.
+        let mut head = build_conv_head(&format!("tr{task}"), &expert_arch, classes.len(), &mut rng);
+        let f_task = predict(&mut library, &train_view.inputs, 128);
+        let labels = train_view.labels.clone();
+        train_batches(&mut head, &f_task, &TrainConfig::new(15, 32, 0.05), &mut |lg, idx| {
+            let batch: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+            cross_entropy(lg, &batch)
+        });
+        let f_test = predict(&mut library, &test_view.inputs, 128);
+        let acc = accuracy(&predict(&mut head, &f_test, 128), &test_view.labels);
+        rows[2].1.push(acc);
+        rows[2].2 = library.param_count() + head.param_count();
+
+        // CKD: conv4 head distilled from the oracle's sub-logits over the
+        // full training set.
+        let sub = oracle_logits.select_cols(&classes);
+        let loss = CkdLoss::paper(4.0);
+        let mut ckd_head =
+            build_conv_head(&format!("ck{task}"), &expert_arch, classes.len(), &mut rng);
+        train_batches(
+            &mut ckd_head,
+            &features,
+            &TrainConfig::new(15, 32, 0.01),
+            &mut |lg, idx| loss.eval(lg, &sub.select_rows(idx)),
+        );
+        let acc = accuracy(&predict(&mut ckd_head, &f_test, 128), &test_view.labels);
+        rows[3].1.push(acc);
+        rows[3].2 = library.param_count() + ckd_head.param_count();
+    }
+
+    let mut t = TextTable::new(&["Method", "Acc.", "Params"]);
+    for (name, acc, params) in &rows {
+        t.row(&[(*name).into(), acc.fmt_percent(), fmt_params(*params)]);
+    }
+    format!(
+        "### Table 2 (convolutional path) — synthetic images, {} tasks\n\n```\n{}```\n\
+         Oracle overall accuracy: {:.1}%. Expected shape (paper): CKD > Transfer > \
+         Scratch, CKD at or above the oracle's task-specific accuracy — the exact \
+         ordering of the paper's Table 2, here on real conv WRNs.\n",
+        hierarchy.num_primitives(),
+        t.render(),
+        oracle_acc * 100.0,
+    )
+}

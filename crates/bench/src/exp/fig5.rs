@@ -1,0 +1,116 @@
+//! **Figure 5**: histograms of maximum confidence on out-of-distribution
+//! samples for models specialized by Scratch, Transfer, CKD (`L_soft`
+//! only), and CKD (full loss).
+
+use crate::setup::Prepared;
+use poe_baselines::{train_scratch, train_transfer};
+use poe_core::ckd::{extract_expert, CkdConfig};
+use poe_core::confidence::{max_confidence_histogram, ConfidenceHistogram};
+use poe_models::WrnConfig;
+use poe_nn::layers::Sequential;
+use poe_nn::loss::CkdLoss;
+use poe_nn::train::predict;
+use poe_nn::Module;
+
+/// Confidence histograms per method for one primitive task.
+pub struct ConfidenceStudy {
+    /// Primitive task analysed.
+    pub task: usize,
+    /// `(method, histogram)` in presentation order.
+    pub histograms: Vec<(&'static str, ConfidenceHistogram)>,
+}
+
+/// A two-layer model view (library+head) boxed for uniform histogramming.
+fn library_head_model(library: &Sequential, head: &Sequential) -> impl Module {
+    poe_models::SplitModel::new("lib+head", library.clone(), head.clone())
+}
+
+/// Computes the Figure 5 histograms on the first of the six tasks.
+pub fn compute(prep: &Prepared, bins: usize) -> ConfidenceStudy {
+    let task = prep.six[0];
+    let classes = prep.hierarchy.primitive(task).classes.clone();
+    let train_view = prep.split.train.task_view(&classes);
+    let ood = prep.split.test.out_of_task_view(&classes);
+    let dim = prep.input_dim;
+    let arch = WrnConfig { ks: 0.25, num_classes: classes.len(), ..prep.cfg.student_arch };
+    let library = prep.pre.pool.library().clone();
+
+    let mut histograms = Vec::new();
+
+    // Scratch.
+    let (mut scratch, _) =
+        train_scratch(&arch, dim, &train_view, &prep.method_train(), 0xF5 ^ task as u64);
+    histograms.push((
+        "Scratch",
+        max_confidence_histogram(&mut scratch, &ood.inputs, bins),
+    ));
+
+    // Transfer.
+    let (head, _) = train_transfer(
+        &library,
+        &arch,
+        &train_view,
+        &prep.method_train(),
+        0xF6 ^ task as u64,
+    );
+    let mut transfer = library_head_model(&library, &head);
+    histograms.push((
+        "Transfer",
+        max_confidence_histogram(&mut transfer, &ood.inputs, bins),
+    ));
+
+    // CKD, L_soft only.
+    let sub = prep.pre.oracle_logits.select_cols(&classes);
+    let mut soft_cfg = CkdConfig {
+        loss: CkdLoss::soft_only(prep.cfg.temperature),
+        train: prep.cfg.expert_train.clone(),
+    };
+    soft_cfg.loss.alpha = prep.cfg.alpha;
+    let mut rng = poe_tensor::Prng::seed_from_u64(0xF7 ^ task as u64);
+    let head0 = poe_models::build_mlp_head("soft", &arch, classes.len(), &mut rng);
+    let ext = extract_expert(&prep.pre.library_features, &sub, head0, &soft_cfg);
+    let mut lib = library.clone();
+    let f_ood = predict(&mut lib, &ood.inputs, 256);
+    let mut soft_head = ext.head;
+    histograms.push((
+        "CKD (L_soft only)",
+        max_confidence_histogram(&mut soft_head, &f_ood, bins),
+    ));
+
+    // CKD, full loss — the pool's expert.
+    let mut full_head = prep.pre.pool.expert(task).expect("pool expert").head.clone();
+    histograms.push((
+        "CKD (L_CKD)",
+        max_confidence_histogram(&mut full_head, &f_ood, bins),
+    ));
+
+    ConfidenceStudy { task, histograms }
+}
+
+/// Renders Figure 5 for one prepared benchmark.
+pub fn run(prep: &Prepared) -> String {
+    let study = compute(prep, 10);
+    let mut out = format!(
+        "### Figure 5 — {} [{} scale] — OOD max-confidence histograms, task {} (`{}`)\n\n",
+        prep.spec.name(),
+        prep.scale.name,
+        study.task,
+        prep.hierarchy.primitive(study.task).name,
+    );
+    for (method, hist) in &study.histograms {
+        out.push_str(&format!(
+            "**{method}** — mode bin [{:.1}, {:.1}), {:.1}% of OOD samples ≥ 0.9\n\n```\n{}```\n",
+            hist.mode_range().0,
+            hist.mode_range().1,
+            hist.fraction_at_least(0.9) * 100.0,
+            hist.render_ascii(40),
+        ));
+    }
+    out.push_str(
+        "Paper reported (Figure 5, vehicles1): Scratch and Transfer mode > 0.9; CKD \
+         variants mode in [0.3, 0.4). Expected shape: Scratch and Transfer peak in the \
+         top bin (overconfident on classes they never saw); both CKD variants peak at \
+         much lower confidence.\n",
+    );
+    out
+}

@@ -1,0 +1,13 @@
+//! One module per reproduced table/figure (see DESIGN.md §4 for the full
+//! experiment index).
+
+pub mod ablations;
+pub mod conv_path;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;

@@ -1,0 +1,94 @@
+//! **Table 4**: storage volumes of the entire PoE framework vs the oracle
+//! and vs pre-training all `2^n` specialized models.
+
+use crate::fmt::{fmt_bytes, TextTable};
+use crate::setup::Prepared;
+use poe_models::serialize::module_byte_size;
+use poe_models::{build_mlp_head, build_wrn_mlp, WrnConfig};
+
+/// Computed volumes for one benchmark.
+pub struct Volumes {
+    /// Serialized oracle size.
+    pub oracle_bytes: u64,
+    /// Serialized library size.
+    pub library_bytes: u64,
+    /// Mean serialized expert size.
+    pub expert_bytes: u64,
+    /// Library + every expert (the whole PoE framework).
+    pub all_bytes: u64,
+    /// Estimated bytes to pre-store one specialized model per non-empty
+    /// subset of primitive tasks (`2^n − 1` models at the mean composite
+    /// model size).
+    pub exhaustive_estimate: f64,
+}
+
+/// Computes the volume report.
+pub fn compute(prep: &Prepared) -> Volumes {
+    let v = prep.pre.pool.volumes();
+    let oracle_bytes = module_byte_size(&prep.pre.oracle);
+
+    // Size of one pre-trained specialized model for an average composite
+    // task (WRN-16-(k_c, 0.25·n̄) with n̄ = n/2 primitives, the mean subset
+    // size), as the 2^n strawman would store.
+    let n = prep.hierarchy.num_primitives();
+    let mean_tasks = (n as f32 / 2.0).max(1.0);
+    let mean_classes =
+        (prep.hierarchy.num_classes() as f32 / 2.0).round().max(1.0) as usize;
+    let arch = WrnConfig {
+        ks: 0.25 * mean_tasks,
+        num_classes: mean_classes,
+        ..prep.cfg.student_arch
+    };
+    let mut rng = poe_tensor::Prng::seed_from_u64(0x40);
+    let trunk = build_wrn_mlp(&arch, prep.input_dim, &mut rng);
+    let _ = build_mlp_head("sizing", &arch, mean_classes, &mut rng);
+    let per_model = module_byte_size(&trunk) as f64;
+    let exhaustive_estimate = (2f64.powi(n as i32) - 1.0) * per_model;
+
+    Volumes {
+        oracle_bytes,
+        library_bytes: v.library_bytes,
+        expert_bytes: v.mean_expert_bytes(),
+        all_bytes: v.total_bytes,
+        exhaustive_estimate,
+    }
+}
+
+fn fmt_big(bytes: f64) -> String {
+    const UNITS: [&str; 6] = ["B", "KB", "MB", "GB", "TB", "PB"];
+    let mut v = bytes;
+    let mut u = 0;
+    while v >= 1024.0 && u + 1 < UNITS.len() {
+        v /= 1024.0;
+        u += 1;
+    }
+    format!("≥ {v:.2} {}", UNITS[u])
+}
+
+/// Renders Table 4 for one prepared benchmark.
+pub fn run(prep: &Prepared) -> String {
+    let v = compute(prep);
+    let mut t = TextTable::new(&[
+        "Dataset", "Oracle", "Library", "Expert (mean)", "All PoE", "2^n store (est.)",
+    ]);
+    t.row(&[
+        prep.spec.name().into(),
+        fmt_bytes(v.oracle_bytes),
+        fmt_bytes(v.library_bytes),
+        fmt_bytes(v.expert_bytes),
+        fmt_bytes(v.all_bytes),
+        fmt_big(v.exhaustive_estimate),
+    ]);
+    format!(
+        "### Table 4 — {} [{} scale, {} experts pooled]\n\n```\n{}```\n\
+         Paper reported (Table 4): CIFAR-100 oracle 34.3MB vs PoE-all 1.23MB \
+         (2^20 store ≥ 54.30GB); Tiny-ImageNet oracle 65.8MB vs PoE-all 3.20MB \
+         (2^34 store ≥ 1198.40TB). Expected shape: the whole PoE framework is \
+         ~20–30× smaller than the oracle itself, while the exhaustive 2^n store \
+         is astronomically larger.\n",
+        prep.spec.name(),
+        prep.scale.name,
+        prep.pre.pool.num_experts(),
+        t.render(),
+    )
+}

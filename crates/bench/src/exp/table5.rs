@@ -1,0 +1,85 @@
+//! **Table 5**: ablation of the CKD loss — experts extracted with `L_soft`
+//! only, `L_scale` only, or the full `L_soft + α·L_scale`, compared by the
+//! accuracy of the PoE-consolidated models across `n(Q) = 2..5`.
+
+use crate::fmt::{MeanStd, TextTable};
+use crate::setup::Prepared;
+use poe_core::ckd::{extract_expert, CkdConfig};
+use poe_core::pool::{Expert, ExpertPool};
+use poe_models::{build_mlp_head, WrnConfig};
+use poe_nn::loss::CkdLoss;
+use poe_tensor::ops::accuracy;
+use std::collections::BTreeMap;
+
+/// Builds a pool whose six evaluation-task experts were extracted with the
+/// given CKD loss variant (reusing the prepared library and oracle logits).
+pub fn pool_with_loss(prep: &Prepared, loss: CkdLoss, seed: u64) -> ExpertPool {
+    let mut pool = ExpertPool::new(prep.hierarchy.clone(), prep.pre.pool.library().clone());
+    pool.library_arch = prep.cfg.student_arch.arch_string();
+    pool.expert_arch = prep.cfg.expert_arch(0).arch_string();
+    let cfg = CkdConfig { loss, train: prep.cfg.expert_train.clone() };
+    let mut rng = poe_tensor::Prng::seed_from_u64(seed);
+    for &t in &prep.six {
+        let classes = prep.hierarchy.primitive(t).classes.clone();
+        let sub = prep.pre.oracle_logits.select_cols(&classes);
+        let arch = WrnConfig {
+            ks: prep.cfg.expert_ks,
+            num_classes: classes.len(),
+            ..prep.cfg.student_arch
+        };
+        let head = build_mlp_head(&format!("abl{t}"), &arch, classes.len(), &mut rng);
+        let ext = extract_expert(&prep.pre.library_features, &sub, head, &cfg);
+        pool.insert_expert(Expert { task_index: t, classes, head: ext.head });
+    }
+    pool
+}
+
+/// PoE accuracy of a pool across the scale's combinations for each `n(Q)`.
+pub fn poe_accuracy_by_n(prep: &Prepared, pool: &ExpertPool) -> BTreeMap<usize, MeanStd> {
+    let mut out = BTreeMap::new();
+    for n in 2..=5usize {
+        let mut agg = MeanStd::new();
+        for combo in prep.combos(n) {
+            let classes = prep.block_classes(&combo);
+            let view = prep.split.test.task_view(&classes);
+            let (mut model, _) = pool.consolidate(&combo).expect("ablation pool consolidate");
+            let logits = model.infer(&view.inputs);
+            agg.push(accuracy(&logits, &view.labels));
+        }
+        out.insert(n, agg);
+    }
+    out
+}
+
+/// Renders Table 5 for one prepared benchmark.
+pub fn run(prep: &Prepared) -> String {
+    let t_param = prep.cfg.temperature;
+    let variants: [(&str, CkdLoss); 3] = [
+        ("L_soft only", CkdLoss::soft_only(t_param)),
+        ("L_scale only", CkdLoss::scale_only(t_param)),
+        ("L_soft + L_scale", CkdLoss::paper(t_param)),
+    ];
+    let mut t = TextTable::new(&["Method", "n=2", "n=3", "n=4", "n=5"]);
+    for (i, (label, loss)) in variants.iter().enumerate() {
+        let pool = pool_with_loss(prep, *loss, 0x7AB5 + i as u64);
+        let by_n = poe_accuracy_by_n(prep, &pool);
+        t.row(&[
+            (*label).into(),
+            by_n[&2].fmt_percent(),
+            by_n[&3].fmt_percent(),
+            by_n[&4].fmt_percent(),
+            by_n[&5].fmt_percent(),
+        ]);
+    }
+    format!(
+        "### Table 5 — {} [{} scale]\n\n```\n{}```\n\
+         Paper reported (Table 5, CIFAR-100, n(Q)=2/5): L_soft only 78.17/71.76, \
+         L_scale only 71.46/63.59, full loss 79.03/72.22. Expected shape: the full \
+         loss wins at every n(Q); L_soft alone is close behind; L_scale alone is \
+         clearly worst (see the Deviations section for how our data shifts the \
+         middle rows).\n",
+        prep.spec.name(),
+        prep.scale.name,
+        t.render(),
+    )
+}

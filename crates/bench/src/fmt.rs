@@ -1,0 +1,199 @@
+//! Plain-text table rendering and mean ± std aggregation for the
+//! reproduction reports.
+
+/// Online mean / standard-deviation accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct MeanStd {
+    values: Vec<f64>,
+}
+
+impl MeanStd {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Population standard deviation (0 when fewer than 2 observations).
+    pub fn std(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.values.len() as f64)
+            .sqrt()
+    }
+
+    /// `"82.40 ±11.8"`-style rendering of percentages.
+    pub fn fmt_percent(&self) -> String {
+        format!("{:.2} ±{:.1}", self.mean() * 100.0, self.std() * 100.0)
+    }
+}
+
+/// A simple aligned text table.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders with column alignment and a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                for _ in cell.chars().count()..widths[c] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Human-readable byte size (`1.23 MB` style, powers of 1024).
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut v = bytes as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u + 1 < UNITS.len() {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.2} {}", UNITS[u])
+    }
+}
+
+/// Human-readable FLOP count (`1.30B`-style, powers of 1000, matching the
+/// paper's notation).
+pub fn fmt_flops(flops: u64) -> String {
+    const UNITS: [&str; 4] = ["", "K", "M", "B"];
+    let mut v = flops as f64;
+    let mut u = 0;
+    while v >= 1000.0 && u + 1 < UNITS.len() {
+        v /= 1000.0;
+        u += 1;
+    }
+    format!("{v:.2}{}", UNITS[u])
+}
+
+/// Human-readable parameter count (`8.97M`-style).
+pub fn fmt_params(params: usize) -> String {
+    fmt_flops(params as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_matches_hand_calculation() {
+        let mut m = MeanStd::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            m.push(v);
+        }
+        assert_eq!(m.count(), 4);
+        assert!((m.mean() - 2.5).abs() < 1e-12);
+        assert!((m.std() - 1.118033988749895).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_singleton_stats() {
+        let m = MeanStd::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.std(), 0.0);
+        let mut m = MeanStd::new();
+        m.push(0.7);
+        assert_eq!(m.std(), 0.0);
+    }
+
+    #[test]
+    fn percent_formatting() {
+        let mut m = MeanStd::new();
+        m.push(0.824);
+        m.push(0.824);
+        assert_eq!(m.fmt_percent(), "82.40 ±0.0");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["Method", "Acc."]);
+        t.row(&["CKD (ours)".into(), "82.40".into()]);
+        t.row(&["KD".into(), "62.50".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Method"));
+        assert!(lines[2].starts_with("CKD (ours)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn byte_and_flop_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(34_340_000), "32.75 MB");
+        assert_eq!(fmt_flops(1_300_000_000), "1.30B");
+        assert_eq!(fmt_params(8_970_000), "8.97M");
+    }
+}

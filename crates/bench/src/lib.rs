@@ -1,0 +1,19 @@
+//! # poe-bench
+//!
+//! The reproduction harness: one module per table/figure of the paper's
+//! evaluation (Section 5), shared preprocessing ([`setup`]), the
+//! ten-method composite-task runner ([`methods`]), experiment scaling
+//! ([`scale`]) and report formatting ([`fmt`]).
+//!
+//! Each `src/bin/table*.rs` / `src/bin/fig*.rs` binary regenerates one
+//! artifact; `src/bin/repro_all.rs` runs everything and writes
+//! `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exp;
+pub mod fmt;
+pub mod methods;
+pub mod scale;
+pub mod setup;

@@ -1,0 +1,469 @@
+//! The composite-task method runner: one entry point that builds a
+//! task-specific model `M(Q)` with any of the paper's ten methods and
+//! measures accuracy, build time, parameters, and FLOPs.
+//!
+//! Expensive sub-artifacts that the paper also reuses across queries are
+//! cached: the per-task Scratch teachers (for SD/UHC + Scratch) and the
+//! per-`n(Q)` generic-KD model.
+
+use crate::setup::Prepared;
+use poe_baselines::merge::merge_teachers_with_eval;
+use poe_baselines::{train_generic_kd, train_scratch, train_transfer, MergeMethod, MergeTeacher};
+use poe_core::ckd::{extract_expert, CkdConfig};
+use poe_core::training::logits_of;
+use poe_data::Dataset;
+use poe_models::{SplitModel, WrnConfig};
+use poe_nn::layers::Sequential;
+use poe_nn::train::{predict, TrainReport};
+use poe_nn::Module;
+use poe_tensor::ops::accuracy;
+use std::collections::BTreeMap;
+
+/// Every method of Table 3, in the paper's row order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// The pretrained oracle, evaluated with task-specific accuracy.
+    Oracle,
+    /// Generic KD into the small architecture (task-specific accuracy).
+    GenericKd,
+    /// Specialized model trained from scratch on the composite task data.
+    Scratch,
+    /// Frozen library + head trained on the composite task data.
+    Transfer,
+    /// SD merge of per-task Scratch teachers.
+    SdScratch,
+    /// UHC merge of per-task Scratch teachers.
+    UhcScratch,
+    /// SD merge of the pool's CKD experts.
+    SdCkd,
+    /// UHC merge of the pool's CKD experts.
+    UhcCkd,
+    /// CKD trained directly for the composite task (the paper's strongest
+    /// training method).
+    CkdComposite,
+    /// Train-free consolidation from the pool (ours).
+    Poe,
+}
+
+impl Method {
+    /// Paper row order.
+    pub const ALL: [Method; 10] = [
+        Method::Oracle,
+        Method::GenericKd,
+        Method::Scratch,
+        Method::Transfer,
+        Method::SdScratch,
+        Method::UhcScratch,
+        Method::SdCkd,
+        Method::UhcCkd,
+        Method::CkdComposite,
+        Method::Poe,
+    ];
+
+    /// Display label matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::Oracle => "Oracle",
+            Method::GenericKd => "KD",
+            Method::Scratch => "Scratch",
+            Method::Transfer => "Transfer",
+            Method::SdScratch => "SD+Scratch",
+            Method::UhcScratch => "UHC+Scratch",
+            Method::SdCkd => "SD+CKD",
+            Method::UhcCkd => "UHC+CKD",
+            Method::CkdComposite => "CKD (ours)",
+            Method::Poe => "PoE (ours)",
+        }
+    }
+
+    /// `generic` or `special`, the paper's Type column.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Method::Oracle | Method::GenericKd => "generic",
+            _ => "special",
+        }
+    }
+}
+
+/// Result of building and evaluating one task-specific model.
+#[derive(Debug, Clone)]
+pub struct MethodOutcome {
+    /// Test accuracy on the composite task (task-specific accuracy for the
+    /// generic methods).
+    pub acc: f64,
+    /// Seconds spent building the model for this query (training time, or
+    /// assembly time for PoE; 0 for the pretrained oracle).
+    pub build_secs: f64,
+    /// Parameter count of the produced model.
+    pub params: usize,
+    /// Per-sample inference FLOPs of the produced model.
+    pub flops: u64,
+    /// `(cumulative_secs, accuracy)` evaluation points recorded during the
+    /// build when `eval_every > 0` (the Figure 6 learning curve).
+    pub curve: Vec<(f64, f64)>,
+}
+
+fn curve_of(report: &TrainReport) -> Vec<(f64, f64)> {
+    report
+        .records
+        .iter()
+        .filter_map(|r| r.eval_metric.map(|m| (r.cumulative_secs, m)))
+        .collect()
+}
+
+/// Cached generic-KD artifact: the model, its build time, and its curve.
+type KdCacheEntry = (SplitModel, f64, Vec<(f64, f64)>);
+
+/// Stateful runner over one prepared benchmark.
+pub struct MethodRunner<'a> {
+    prep: &'a Prepared,
+    oracle: SplitModel,
+    library: Sequential,
+    scratch_teachers: BTreeMap<usize, SplitModel>,
+    generic_kd: BTreeMap<usize, KdCacheEntry>,
+    /// Deterministic seed salt so repeated runs are reproducible.
+    seed: u64,
+}
+
+impl<'a> MethodRunner<'a> {
+    /// Creates a runner (clones the oracle and library once).
+    pub fn new(prep: &'a Prepared) -> Self {
+        MethodRunner {
+            prep,
+            oracle: prep.pre.oracle.clone(),
+            library: prep.pre.pool.library().clone(),
+            scratch_teachers: BTreeMap::new(),
+            generic_kd: BTreeMap::new(),
+            seed: 0xB0B5,
+        }
+    }
+
+    fn expert_arch(&self, ks: f32, num_classes: usize) -> WrnConfig {
+        WrnConfig {
+            ks,
+            num_classes,
+            ..self.prep.cfg.student_arch
+        }
+    }
+
+    /// Accuracy of `model` on the block-ordered composite test view.
+    fn eval_special(&self, model: &mut dyn Module, test_view: &Dataset) -> f64 {
+        let logits = predict(model, &test_view.inputs, 256);
+        accuracy(&logits, &test_view.labels)
+    }
+
+    fn eval_library_head(&self, head: &mut Sequential, test_view: &Dataset) -> f64 {
+        let mut lib = self.library.clone();
+        let f = predict(&mut lib, &test_view.inputs, 256);
+        let logits = predict(head, &f, 256);
+        accuracy(&logits, &test_view.labels)
+    }
+
+    /// The per-task Scratch teacher, trained on first use.
+    fn scratch_teacher(&mut self, task: usize) -> &mut SplitModel {
+        if !self.scratch_teachers.contains_key(&task) {
+            let classes = self.prep.hierarchy.primitive(task).classes.clone();
+            let view = self.prep.split.train.task_view(&classes);
+            let arch = self.expert_arch(0.25, classes.len());
+            let (model, _) = train_scratch(
+                &arch,
+                self.prep.input_dim,
+                &view,
+                &self.prep.method_train(),
+                self.seed ^ (task as u64),
+            );
+            self.scratch_teachers.insert(task, model);
+        }
+        self.scratch_teachers.get_mut(&task).unwrap()
+    }
+
+    /// Builds `M(Q)` with `method` and evaluates it. `eval_every > 0`
+    /// additionally records a learning curve (epochs between eval points).
+    pub fn run(&mut self, method: Method, combo: &[usize], eval_every: usize) -> MethodOutcome {
+        let n = combo.len();
+        let block_classes = self.prep.block_classes(combo);
+        let train_view = self.prep.split.train.task_view(&block_classes);
+        let test_view = self.prep.split.test.task_view(&block_classes);
+        let input_dim = self.prep.input_dim;
+
+        match method {
+            Method::Oracle => {
+                let logits = logits_of(&mut self.oracle, &test_view.inputs);
+                let sub = logits.select_cols(&block_classes);
+                MethodOutcome {
+                    acc: accuracy(&sub, &test_view.labels),
+                    build_secs: 0.0,
+                    params: self.oracle.param_count(),
+                    flops: self.oracle.flops(&[input_dim]),
+                    curve: Vec::new(),
+                }
+            }
+            Method::GenericKd => {
+                if !self.generic_kd.contains_key(&n) {
+                    let arch = self.expert_arch(
+                        0.25 * n as f32,
+                        self.prep.hierarchy.num_classes(),
+                    );
+                    let (model, report) = train_generic_kd(
+                        &arch,
+                        input_dim,
+                        &self.prep.split.train.inputs,
+                        &self.prep.pre.oracle_logits,
+                        self.prep.cfg.temperature,
+                        &self.prep.method_distill_train(),
+                        self.seed ^ 0x6D ^ (n as u64) << 8,
+                    );
+                    self.generic_kd
+                        .insert(n, (model, report.total_secs, Vec::new()));
+                }
+                let (model, secs, _) = self.generic_kd.get_mut(&n).unwrap();
+                let logits = logits_of(model, &test_view.inputs);
+                let sub = logits.select_cols(&block_classes);
+                MethodOutcome {
+                    acc: accuracy(&sub, &test_view.labels),
+                    build_secs: *secs,
+                    params: model.param_count(),
+                    flops: model.flops(&[input_dim]),
+                    curve: Vec::new(),
+                }
+            }
+            Method::Scratch => {
+                let arch = self.expert_arch(0.25 * n as f32, block_classes.len());
+                let mut cfg = self.prep.method_train();
+                cfg.shuffle_seed = self.seed ^ 1;
+                let mut rng = poe_tensor::Prng::seed_from_u64(self.seed ^ 0x5C ^ combo_salt(combo));
+                let mut model = poe_models::build_wrn_mlp(&arch, input_dim, &mut rng);
+                let tv = test_view.clone();
+                let report = poe_core::training::train_cross_entropy_with_eval(
+                    &mut model,
+                    &train_view,
+                    &cfg,
+                    eval_every,
+                    &mut |m| {
+                        let logits = predict(m, &tv.inputs, 256);
+                        accuracy(&logits, &tv.labels)
+                    },
+                );
+                let acc = self.eval_special(&mut model, &test_view);
+                MethodOutcome {
+                    acc,
+                    build_secs: report.total_secs,
+                    params: model.param_count(),
+                    flops: model.flops(&[input_dim]),
+                    curve: curve_of(&report),
+                }
+            }
+            Method::Transfer => {
+                let arch = self.expert_arch(0.25 * n as f32, block_classes.len());
+                let (mut head, report) = train_transfer(
+                    &self.library,
+                    &arch,
+                    &train_view,
+                    &self.prep.method_train(),
+                    self.seed ^ 0x7F ^ combo_salt(combo),
+                );
+                let acc = self.eval_library_head(&mut head, &test_view);
+                let mid = self.library.out_shape(&[input_dim]);
+                MethodOutcome {
+                    acc,
+                    build_secs: report.total_secs,
+                    params: self.library.param_count() + head.param_count(),
+                    flops: self.library.flops(&[input_dim]) + head.flops(&mid),
+                    curve: Vec::new(), // transfer curves need feature-space eval; supplied via run_transfer_curve
+                }
+            }
+            Method::SdScratch | Method::UhcScratch | Method::SdCkd | Method::UhcCkd => {
+                let merge_method = match method {
+                    Method::SdScratch | Method::SdCkd => MergeMethod::Sd,
+                    _ => MergeMethod::Uhc,
+                };
+                let from_ckd = matches!(method, Method::SdCkd | Method::UhcCkd);
+                let teachers: Vec<MergeTeacher> = if from_ckd {
+                    let mut lib = self.library.clone();
+                    let f = predict(&mut lib, &train_view.inputs, 256);
+                    combo
+                        .iter()
+                        .map(|&t| {
+                            let mut head = self
+                                .prep
+                                .pre
+                                .pool
+                                .expert(t)
+                                .expect("pool expert missing")
+                                .head
+                                .clone();
+                            MergeTeacher { logits: predict(&mut head, &f, 256) }
+                        })
+                        .collect()
+                } else {
+                    let combo_owned = combo.to_vec();
+                    combo_owned
+                        .iter()
+                        .map(|&t| {
+                            let inputs = train_view.inputs.clone();
+                            let teacher = self.scratch_teacher(t);
+                            MergeTeacher { logits: logits_of(teacher, &inputs) }
+                        })
+                        .collect()
+                };
+                let arch = self.expert_arch(0.25 * n as f32, block_classes.len());
+                let tv = test_view.clone();
+                let me_eval = move |m: &mut dyn Module| -> f64 {
+                    let logits = predict(m, &tv.inputs, 256);
+                    accuracy(&logits, &tv.labels)
+                };
+                let mut me_eval = me_eval;
+                let (mut model, report) = merge_teachers_with_eval(
+                    merge_method,
+                    &arch,
+                    input_dim,
+                    &train_view,
+                    &teachers,
+                    self.prep.cfg.temperature,
+                    &self.prep.method_distill_train(),
+                    self.seed ^ 0x3E ^ combo_salt(combo),
+                    eval_every,
+                    &mut me_eval,
+                );
+                let acc = self.eval_special(&mut model, &test_view);
+                MethodOutcome {
+                    acc,
+                    build_secs: report.total_secs,
+                    params: model.param_count(),
+                    flops: model.flops(&[input_dim]),
+                    curve: curve_of(&report),
+                }
+            }
+            Method::CkdComposite => {
+                let sub = self.prep.pre.oracle_logits.select_cols(&block_classes);
+                let arch = self.expert_arch(0.25 * n as f32, block_classes.len());
+                let mut rng =
+                    poe_tensor::Prng::seed_from_u64(self.seed ^ 0xCD ^ combo_salt(combo));
+                let head =
+                    poe_models::build_mlp_head("ckdq", &arch, block_classes.len(), &mut rng);
+                let mut ckd_cfg = CkdConfig {
+                    loss: self.prep.cfg.ckd_config().loss,
+                    train: self.prep.method_train(),
+                };
+                ckd_cfg.train.schedule.base_lr = 0.01;
+                let ext = extract_expert(
+                    &self.prep.pre.library_features,
+                    &sub,
+                    head,
+                    &ckd_cfg,
+                );
+                let mut head = ext.head;
+                let acc = self.eval_library_head(&mut head, &test_view);
+                let mid = self.library.out_shape(&[input_dim]);
+                MethodOutcome {
+                    acc,
+                    build_secs: ext.report.total_secs,
+                    params: self.library.param_count() + head.param_count(),
+                    flops: self.library.flops(&[input_dim]) + head.flops(&mid),
+                    curve: Vec::new(),
+                }
+            }
+            Method::Poe => {
+                let (mut model, stats) = self
+                    .prep
+                    .pre
+                    .pool
+                    .consolidate(combo)
+                    .expect("pool covers the queried tasks");
+                debug_assert_eq!(model.class_layout(), block_classes);
+                let logits = model.infer(&test_view.inputs);
+                let acc = accuracy(&logits, &test_view.labels);
+                MethodOutcome {
+                    acc,
+                    build_secs: stats.assembly_secs,
+                    params: stats.params,
+                    flops: model.flops(&[input_dim]),
+                    curve: vec![(stats.assembly_secs, acc)],
+                }
+            }
+        }
+    }
+
+    /// Learning curve for Transfer / CKD-composite, whose evaluation runs
+    /// in library-feature space (the training loop sees features, so the
+    /// eval callback must prepend the library).
+    pub fn run_with_feature_curve(
+        &mut self,
+        method: Method,
+        combo: &[usize],
+        eval_every: usize,
+    ) -> MethodOutcome {
+        assert!(
+            matches!(method, Method::Transfer | Method::CkdComposite),
+            "feature-curve runner is for Transfer / CKD only"
+        );
+        let n = combo.len();
+        let block_classes = self.prep.block_classes(combo);
+        let train_view = self.prep.split.train.task_view(&block_classes);
+        let test_view = self.prep.split.test.task_view(&block_classes);
+        let input_dim = self.prep.input_dim;
+
+        // Precompute library features for train and test once.
+        let mut lib = self.library.clone();
+        let f_test = predict(&mut lib, &test_view.inputs, 256);
+        let arch = self.expert_arch(0.25 * n as f32, block_classes.len());
+        let mut rng = poe_tensor::Prng::seed_from_u64(self.seed ^ 0xFC ^ combo_salt(combo));
+        let mut head = poe_models::build_mlp_head("curve", &arch, block_classes.len(), &mut rng);
+        let labels = test_view.labels.clone();
+        let mut eval = |m: &mut dyn Module| -> f64 {
+            let logits = predict(m, &f_test, 256);
+            accuracy(&logits, &labels)
+        };
+
+        let report = match method {
+            Method::Transfer => {
+                let f_train = predict(&mut lib, &train_view.inputs, 256);
+                let tl = train_view.labels.clone();
+                poe_nn::train::train_batches_with_eval(
+                    &mut head,
+                    &f_train,
+                    &self.prep.method_train(),
+                    &mut |logits, idx| {
+                        let batch: Vec<usize> = idx.iter().map(|&i| tl[i]).collect();
+                        poe_nn::loss::cross_entropy(logits, &batch)
+                    },
+                    eval_every,
+                    &mut eval,
+                )
+            }
+            Method::CkdComposite => {
+                let sub = self.prep.pre.oracle_logits.select_cols(&block_classes);
+                let loss = self.prep.cfg.ckd_config().loss;
+                let mut cfg = self.prep.method_train();
+                cfg.schedule.base_lr = 0.01;
+                poe_nn::train::train_batches_with_eval(
+                    &mut head,
+                    &self.prep.pre.library_features,
+                    &cfg,
+                    &mut |logits, idx| {
+                        let t = sub.select_rows(idx);
+                        loss.eval(logits, &t)
+                    },
+                    eval_every,
+                    &mut eval,
+                )
+            }
+            _ => unreachable!(),
+        };
+        let acc = self.eval_library_head(&mut head, &test_view);
+        let mid = self.library.out_shape(&[input_dim]);
+        MethodOutcome {
+            acc,
+            build_secs: report.total_secs,
+            params: self.library.param_count() + head.param_count(),
+            flops: self.library.flops(&[input_dim]) + head.flops(&mid),
+            curve: curve_of(&report),
+        }
+    }
+}
+
+fn combo_salt(combo: &[usize]) -> u64 {
+    combo
+        .iter()
+        .fold(0u64, |acc, &t| acc.wrapping_mul(31).wrapping_add(t as u64 + 1))
+}

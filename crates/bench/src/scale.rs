@@ -1,0 +1,78 @@
+//! Experiment scaling.
+//!
+//! Two scales are provided: `quick` (the default; minutes on a laptop CPU)
+//! and `full` (the sizes recorded in `EXPERIMENTS.md`). Select with the
+//! `POE_SCALE` environment variable (`quick` | `full`).
+
+/// Sample counts, epoch budgets, and sweep sizes of one experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Label printed in the reports.
+    pub name: &'static str,
+    /// Training samples per class.
+    pub train_per_class: usize,
+    /// Test samples per class.
+    pub test_per_class: usize,
+    /// Epochs for oracle training.
+    pub oracle_epochs: usize,
+    /// Epochs for library distillation.
+    pub library_epochs: usize,
+    /// Epochs for expert (CKD) extraction.
+    pub expert_epochs: usize,
+    /// Epochs for each per-query training method (Scratch/Transfer/…).
+    pub method_epochs: usize,
+    /// Maximum composite-task combinations evaluated per `n(Q)`
+    /// (`usize::MAX` = all `C(6, n)` combinations, as in the paper).
+    pub combos_cap: usize,
+}
+
+impl Scale {
+    /// Fast default: a complete sweep in minutes.
+    pub const QUICK: Scale = Scale {
+        name: "quick",
+        train_per_class: 40,
+        test_per_class: 10,
+        oracle_epochs: 20,
+        library_epochs: 60,
+        expert_epochs: 60,
+        method_epochs: 30,
+        combos_cap: 3,
+    };
+
+    /// The scale used for the recorded `EXPERIMENTS.md` numbers.
+    pub const FULL: Scale = Scale {
+        name: "full",
+        train_per_class: 100,
+        test_per_class: 20,
+        oracle_epochs: 40,
+        library_epochs: 120,
+        expert_epochs: 100,
+        method_epochs: 60,
+        combos_cap: usize::MAX,
+    };
+
+    /// Reads `POE_SCALE` (default `quick`).
+    ///
+    /// # Panics
+    /// Panics on an unknown value, listing the accepted ones.
+    pub fn from_env() -> Scale {
+        match std::env::var("POE_SCALE").as_deref() {
+            Ok("full") => Scale::FULL,
+            Ok("quick") | Err(_) => Scale::QUICK,
+            Ok(other) => panic!("POE_SCALE must be `quick` or `full`, got `{other}`"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn quick_is_smaller_than_full() {
+        assert!(Scale::QUICK.train_per_class < Scale::FULL.train_per_class);
+        assert!(Scale::QUICK.method_epochs < Scale::FULL.method_epochs);
+        assert!(Scale::QUICK.combos_cap < Scale::FULL.combos_cap);
+    }
+}

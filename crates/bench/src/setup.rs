@@ -1,0 +1,212 @@
+//! Experiment setup: dataset presets, architecture analogs, and the shared
+//! preprocessing run every table/figure builds on.
+//!
+//! Architecture mapping (MLP analogs at width unit 8; ratios preserved —
+//! see DESIGN.md §2):
+//!
+//! | Paper                        | Here                                 |
+//! |------------------------------|--------------------------------------|
+//! | CIFAR-100 oracle WRN-40-(4,4)| `WrnConfig::new(40, 4, 4)` unit 8    |
+//! | CIFAR-100 student WRN-16-(1,1)| `WrnConfig::new(16, 1, 1)` unit 8   |
+//! | Tiny-IN oracle WRN-16-(10,10)| `WrnConfig::new(16, 10, 10)` unit 8  |
+//! | Tiny-IN student WRN-16-(2,2) | `WrnConfig::new(16, 2, 2)` unit 8    |
+//! | experts k_s = 0.25           | `expert_ks = 0.25`                   |
+
+use crate::scale::Scale;
+use poe_core::pipeline::{preprocess, PipelineConfig, Preprocessed};
+use poe_data::presets::{cifar100_sim, sample_six_tasks, tiny_imagenet_sim, DatasetScale};
+use poe_data::{ClassHierarchy, SplitDataset};
+use poe_models::WrnConfig;
+use poe_nn::train::TrainConfig;
+
+/// Base width unit of every experiment architecture, matching the paper's
+/// WRN base width of 16.
+pub const UNIT: usize = 16;
+
+/// Which simulated benchmark to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetSpec {
+    /// 100 classes / 20 primitive tasks (CIFAR-100 analog).
+    Cifar100Sim,
+    /// 200 classes / 34 primitive tasks (Tiny-ImageNet analog).
+    TinyImagenetSim,
+}
+
+impl DatasetSpec {
+    /// Both benchmarks, in the paper's order.
+    pub const ALL: [DatasetSpec; 2] = [DatasetSpec::Cifar100Sim, DatasetSpec::TinyImagenetSim];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetSpec::Cifar100Sim => "CIFAR-100 (sim)",
+            DatasetSpec::TinyImagenetSim => "Tiny-ImageNet (sim)",
+        }
+    }
+
+    /// Oracle architecture analog.
+    pub fn oracle_arch(&self, num_classes: usize) -> WrnConfig {
+        match self {
+            DatasetSpec::Cifar100Sim => WrnConfig::new(40, 4.0, 4.0, num_classes).with_unit(UNIT),
+            DatasetSpec::TinyImagenetSim => {
+                WrnConfig::new(16, 10.0, 10.0, num_classes).with_unit(UNIT)
+            }
+        }
+    }
+
+    /// Oracle cross-entropy learning rate. The deep WRN-40 analog needs a
+    /// lower rate than the shallow-but-wide WRN-16 analog to stay stable.
+    pub fn oracle_lr(&self) -> f32 {
+        match self {
+            DatasetSpec::Cifar100Sim => 0.02,
+            DatasetSpec::TinyImagenetSim => 0.08,
+        }
+    }
+
+    /// Library-student architecture analog.
+    pub fn student_arch(&self, num_classes: usize) -> WrnConfig {
+        match self {
+            DatasetSpec::Cifar100Sim => WrnConfig::new(16, 1.0, 1.0, num_classes).with_unit(UNIT),
+            DatasetSpec::TinyImagenetSim => {
+                WrnConfig::new(16, 2.0, 2.0, num_classes).with_unit(UNIT)
+            }
+        }
+    }
+
+    /// Generates the dataset and hierarchy at the given scale.
+    pub fn dataset(&self, scale: &Scale) -> (SplitDataset, ClassHierarchy) {
+        let ds = DatasetScale {
+            train_per_class: scale.train_per_class,
+            test_per_class: scale.test_per_class,
+        };
+        match self {
+            DatasetSpec::Cifar100Sim => cifar100_sim(ds, 0xC1FA_2100),
+            DatasetSpec::TinyImagenetSim => tiny_imagenet_sim(ds, 0x7111_ACE7),
+        }
+    }
+}
+
+/// One fully preprocessed benchmark, shared by every experiment.
+pub struct Prepared {
+    /// Which benchmark this is.
+    pub spec: DatasetSpec,
+    /// Train/test split.
+    pub split: SplitDataset,
+    /// Class hierarchy (primitive tasks).
+    pub hierarchy: ClassHierarchy,
+    /// The six primitive tasks sampled for the evaluation (Section 5.1).
+    pub six: Vec<usize>,
+    /// Preprocessing products: oracle, student, pool, cached logits.
+    pub pre: Preprocessed,
+    /// Pipeline configuration used.
+    pub cfg: PipelineConfig,
+    /// Scale the run used.
+    pub scale: Scale,
+    /// Input feature dimensionality.
+    pub input_dim: usize,
+}
+
+impl Prepared {
+    /// Training config for the per-query methods (Scratch/Transfer/…).
+    pub fn method_train(&self) -> TrainConfig {
+        TrainConfig::new(self.scale.method_epochs, 64, 0.05)
+            .with_milestones(vec![self.scale.method_epochs * 2 / 3], 0.2)
+    }
+
+    /// Training config for distillation-style per-query methods (lower lr;
+    /// the T²-scaled KD gradient diverges at the cross-entropy rate).
+    pub fn method_distill_train(&self) -> TrainConfig {
+        TrainConfig::new(self.scale.method_epochs, 64, 0.02)
+            .with_milestones(vec![self.scale.method_epochs * 2 / 3], 0.2)
+    }
+
+    /// Block-ordered class list of a composite task (expert order —
+    /// matches the consolidated model's logit layout).
+    pub fn block_classes(&self, combo: &[usize]) -> Vec<usize> {
+        let mut out = Vec::new();
+        for &t in combo {
+            out.extend_from_slice(&self.hierarchy.primitive(t).classes);
+        }
+        out
+    }
+
+    /// The composite combinations of size `n` over the six sampled tasks,
+    /// capped by the scale.
+    pub fn combos(&self, n: usize) -> Vec<Vec<usize>> {
+        let mut all = self.hierarchy.composites_of_size(n, &self.six);
+        all.truncate(self.scale.combos_cap);
+        all
+    }
+}
+
+/// Runs the full preprocessing phase for a benchmark (oracle training,
+/// library distillation, one CKD expert per primitive task) and samples
+/// the six evaluation tasks.
+pub fn prepare(spec: DatasetSpec, scale: &Scale) -> Prepared {
+    let (split, hierarchy) = spec.dataset(scale);
+    let num_classes = hierarchy.num_classes();
+    let input_dim = split.train.sample_shape()[0];
+
+    let mut cfg = PipelineConfig::defaults(
+        spec.oracle_arch(num_classes),
+        spec.student_arch(num_classes),
+        scale.oracle_epochs,
+    );
+    cfg.oracle_train = TrainConfig::new(scale.oracle_epochs, 64, spec.oracle_lr())
+        .with_milestones(vec![scale.oracle_epochs * 2 / 3], 0.2);
+    cfg.library_train = TrainConfig::new(scale.library_epochs, 64, 0.02)
+        .with_milestones(vec![scale.library_epochs / 2, scale.library_epochs * 5 / 6], 0.3);
+    cfg.expert_train = TrainConfig::new(scale.expert_epochs, 64, 0.01)
+        .with_milestones(vec![scale.expert_epochs * 2 / 3], 0.2);
+
+    let pre = preprocess(&split.train, &hierarchy, &cfg, None);
+    let six = sample_six_tasks(&hierarchy, 0x51AD0);
+
+    Prepared {
+        spec,
+        split,
+        hierarchy,
+        six,
+        pre,
+        cfg,
+        scale: *scale,
+        input_dim,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_analogs_match_paper_ratios() {
+        // Parameter ratio oracle : expert-sized model should be two orders
+        // of magnitude, like the paper's ×1/150 (CIFAR) and ×1/96 (Tiny).
+        use poe_models::{build_mlp_head, build_wrn_mlp};
+        use poe_nn::Module;
+        let mut rng = poe_tensor::Prng::seed_from_u64(1);
+        let spec = DatasetSpec::Cifar100Sim;
+        let oracle = build_wrn_mlp(&spec.oracle_arch(100), 32, &mut rng);
+        let student = build_wrn_mlp(&spec.student_arch(100), 32, &mut rng);
+        let expert_arch = WrnConfig { ks: 0.25, num_classes: 5, ..spec.student_arch(100) };
+        let head = build_mlp_head("e", &expert_arch, 5, &mut rng);
+        let specialist = student.trunk_param_count() + head.param_count();
+        let ratio = oracle.param_count() as f64 / specialist as f64;
+        assert!(
+            (40.0..400.0).contains(&ratio),
+            "oracle/specialist param ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn dataset_specs_have_paper_shapes() {
+        let scale = Scale { train_per_class: 2, test_per_class: 1, ..Scale::QUICK };
+        let (s1, h1) = DatasetSpec::Cifar100Sim.dataset(&scale);
+        assert_eq!(h1.num_classes(), 100);
+        assert_eq!(h1.num_primitives(), 20);
+        assert_eq!(s1.train.len(), 200);
+        let (_, h2) = DatasetSpec::TinyImagenetSim.dataset(&scale);
+        assert_eq!(h2.num_classes(), 200);
+        assert_eq!(h2.num_primitives(), 34);
+    }
+}

@@ -1,0 +1,126 @@
+//! Harness self-tests: run every table/figure generator and all ten
+//! methods at a micro scale, asserting structural invariants (not
+//! accuracy targets, which need the real budgets).
+
+use poe_bench::exp;
+use poe_bench::methods::{Method, MethodRunner};
+use poe_bench::scale::Scale;
+use poe_bench::setup::{prepare, DatasetSpec, Prepared};
+use std::sync::OnceLock;
+
+/// A deliberately tiny scale so the whole harness runs in seconds.
+const MICRO: Scale = Scale {
+    name: "micro",
+    train_per_class: 6,
+    test_per_class: 3,
+    oracle_epochs: 2,
+    library_epochs: 2,
+    expert_epochs: 2,
+    method_epochs: 2,
+    combos_cap: 1,
+};
+
+fn prep() -> &'static Prepared {
+    static PREP: OnceLock<Prepared> = OnceLock::new();
+    PREP.get_or_init(|| prepare(DatasetSpec::Cifar100Sim, &MICRO))
+}
+
+#[test]
+fn preparation_builds_every_expert() {
+    let p = prep();
+    assert_eq!(p.hierarchy.num_primitives(), 20);
+    assert_eq!(p.pre.pool.num_experts(), 20);
+    assert_eq!(p.six.len(), 6);
+    assert!(p.six.iter().all(|&t| t < 20));
+    assert_eq!(p.combos(2).len(), 1);
+}
+
+#[test]
+fn all_ten_methods_produce_valid_outcomes() {
+    let p = prep();
+    let mut runner = MethodRunner::new(p);
+    let combo = p.combos(3)[0].clone();
+    for method in Method::ALL {
+        let out = runner.run(method, &combo, 0);
+        assert!(
+            (0.0..=1.0).contains(&out.acc),
+            "{}: accuracy {} out of range",
+            method.label(),
+            out.acc
+        );
+        assert!(out.params > 0, "{}: zero params", method.label());
+        assert!(out.flops > 0, "{}: zero flops", method.label());
+        assert!(out.build_secs >= 0.0);
+    }
+}
+
+#[test]
+fn poe_is_fastest_and_smallest_specialist() {
+    let p = prep();
+    let mut runner = MethodRunner::new(p);
+    let combo = p.combos(4)[0].clone();
+    let poe = runner.run(Method::Poe, &combo, 0);
+    let scratch = runner.run(Method::Scratch, &combo, 0);
+    assert!(poe.build_secs * 10.0 < scratch.build_secs);
+    assert!(poe.params < scratch.params);
+}
+
+#[test]
+fn curves_are_monotone_in_time() {
+    let p = prep();
+    let mut runner = MethodRunner::new(p);
+    let combo = p.combos(2)[0].clone();
+    let out = runner.run(Method::Scratch, &combo, 1);
+    assert!(!out.curve.is_empty());
+    assert!(out.curve.windows(2).all(|w| w[0].0 <= w[1].0));
+    let out = runner.run_with_feature_curve(Method::Transfer, &combo, 1);
+    assert!(!out.curve.is_empty());
+}
+
+#[test]
+fn every_report_generator_renders() {
+    let p = prep();
+    for (name, text) in [
+        ("table1", exp::table1::run(p)),
+        ("table2", exp::table2::run(p)),
+        ("fig5", exp::fig5::run(p)),
+        ("table4", exp::table4::run(p)),
+        ("table5", exp::table5::run(p)),
+        ("fig7", exp::fig7::run(p)),
+        ("abl-scale-norm", exp::ablations::scale_norm(p)),
+        ("abl-depth", exp::ablations::library_depth(p)),
+    ] {
+        assert!(text.contains("```"), "{name} produced no table block");
+        assert!(text.contains(p.spec.name()), "{name} lacks dataset name");
+    }
+}
+
+#[test]
+fn table3_grid_is_complete_and_sane() {
+    let p = prep();
+    let grid = exp::table3::compute(p);
+    // 10 methods × n(Q) = 2..=5, every cell populated.
+    assert_eq!(grid.len(), 10);
+    for per_n in grid.values() {
+        assert_eq!(per_n.keys().copied().collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+        for cell in per_n.values() {
+            assert!(cell.acc.count() >= 1);
+            assert!(cell.params > 0);
+        }
+    }
+    // PoE (last row) params grow sub-linearly vs the monolithic Scratch row.
+    let poe = &grid[&9];
+    let scratch = &grid[&2];
+    assert!(poe[&5].params < scratch[&5].params);
+}
+
+#[test]
+fn fig6_includes_poe_as_single_point() {
+    let p = prep();
+    let curves = exp::fig6::compute(p);
+    let poe = curves.iter().find(|c| c.method == "PoE (ours)").unwrap();
+    assert_eq!(poe.points.len(), 1);
+    // Training methods have ≥ 1 eval point each (micro scale: every 5
+    // epochs of 2 epochs → final-epoch eval only).
+    assert!(curves.iter().all(|c| !c.points.is_empty()));
+}

@@ -1,0 +1,180 @@
+//! Minimal dependency-free argument parsing for the `poe` binary.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// First positional token (the subcommand).
+    pub command: String,
+    /// `--key value` pairs, last occurrence wins.
+    options: BTreeMap<String, String>,
+}
+
+/// Errors from argument parsing or option lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--flag` without a following value.
+    MissingValue(String),
+    /// A token that is neither the subcommand nor a `--flag value` pair.
+    Unexpected(String),
+    /// A required option is absent.
+    MissingOption(String),
+    /// An option failed to parse to the requested type.
+    BadValue {
+        /// The option name.
+        option: String,
+        /// The raw value supplied.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no subcommand given (try `poe help`)"),
+            ArgError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ArgError::Unexpected(t) => write!(f, "unexpected argument `{t}`"),
+            ArgError::MissingOption(k) => write!(f, "required option --{k} is missing"),
+            ArgError::BadValue { option, value, expected } => {
+                write!(f, "--{option} `{value}` is not a valid {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses `tokens` (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ArgError> {
+        let mut it = tokens.into_iter();
+        let command = it.next().ok_or(ArgError::MissingCommand)?;
+        if command.starts_with("--") {
+            return Err(ArgError::Unexpected(command));
+        }
+        let mut options = BTreeMap::new();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let value = it.next().ok_or_else(|| ArgError::MissingValue(key.into()))?;
+                options.insert(key.to_string(), value);
+            } else {
+                return Err(ArgError::Unexpected(tok));
+            }
+        }
+        Ok(Args { command, options })
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.options
+            .get(key)
+            .map(|s| s.as_str())
+            .ok_or_else(|| ArgError::MissingOption(key.into()))
+    }
+
+    /// Optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// Optional option parsed to `T`, with a default.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                option: key.into(),
+                value: v.clone(),
+                expected,
+            }),
+        }
+    }
+
+    /// Comma-separated list of `usize` (e.g. `--tasks 1,3,5`).
+    pub fn get_usize_list(&self, key: &str) -> Result<Vec<usize>, ArgError> {
+        let raw = self.require(key)?;
+        raw.split(',')
+            .map(|p| {
+                p.trim().parse().map_err(|_| ArgError::BadValue {
+                    option: key.into(),
+                    value: raw.into(),
+                    expected: "comma-separated list of task indices",
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = parse(&["query", "--pool", "/tmp/p", "--tasks", "1,2"]).unwrap();
+        assert_eq!(a.command, "query");
+        assert_eq!(a.require("pool").unwrap(), "/tmp/p");
+        assert_eq!(a.get_usize_list("tasks").unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert_eq!(parse(&[]).unwrap_err(), ArgError::MissingCommand);
+        assert_eq!(
+            parse(&["q", "--pool"]).unwrap_err(),
+            ArgError::MissingValue("pool".into())
+        );
+        assert_eq!(
+            parse(&["q", "stray"]).unwrap_err(),
+            ArgError::Unexpected("stray".into())
+        );
+        let a = parse(&["q"]).unwrap();
+        assert_eq!(a.require("pool").unwrap_err(), ArgError::MissingOption("pool".into()));
+    }
+
+    #[test]
+    fn parsed_options_with_defaults() {
+        let a = parse(&["p", "--seed", "42"]).unwrap();
+        assert_eq!(a.get_parsed("seed", 0u64, "u64").unwrap(), 42);
+        assert_eq!(a.get_parsed("epochs", 25usize, "usize").unwrap(), 25);
+        let bad = parse(&["p", "--seed", "xx"]).unwrap();
+        assert!(matches!(
+            bad.get_parsed("seed", 0u64, "u64"),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn last_occurrence_wins() {
+        let a = parse(&["p", "--seed", "1", "--seed", "2"]).unwrap();
+        assert_eq!(a.get("seed"), Some("2"));
+    }
+
+    #[test]
+    fn bad_task_list_is_rejected() {
+        let a = parse(&["q", "--tasks", "1,x,3"]).unwrap();
+        assert!(a.get_usize_list("tasks").is_err());
+    }
+
+    #[test]
+    fn leading_flag_is_not_a_command() {
+        assert!(matches!(
+            parse(&["--pool", "x"]).unwrap_err(),
+            ArgError::Unexpected(_)
+        ));
+    }
+}

@@ -1,0 +1,313 @@
+//! `poe` — command-line front end for the Pool of Experts model database.
+//!
+//! ```text
+//! poe preprocess --dataset balanced:8x3 --out /tmp/pool [--seed 42] [--epochs 25]
+//! poe info       --pool /tmp/pool
+//! poe query      --pool /tmp/pool --tasks 1,4,6 [--eval-dataset balanced:8x3 --seed 42]
+//! poe diagnose   --pool /tmp/pool --dataset balanced:8x3 [--seed 42]
+//! poe help
+//! ```
+//!
+//! Dataset specs: `balanced:<tasks>x<classes>` (hierarchical Gaussian with
+//! the standard renderer), `cifar100`, or `tiny-imagenet` (the two paper
+//! analogs).
+
+mod args;
+mod serve;
+
+use args::{ArgError, Args};
+use poe_core::diagnostics::diagnose_pool;
+use poe_core::pipeline::{preprocess, PipelineConfig};
+use poe_core::service::QueryService;
+use poe_core::store::{load_standalone, save_standalone, PoolSpec};
+use poe_data::presets::{cifar100_sim, tiny_imagenet_sim, DatasetScale};
+use poe_data::synth::{generate, GaussianHierarchyConfig};
+use poe_data::{ClassHierarchy, SplitDataset};
+use poe_models::WrnConfig;
+use poe_tensor::ops::accuracy;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+poe — Pool of Experts model database (SIGMOD 2021 reproduction)
+
+USAGE
+  poe preprocess --dataset SPEC --out DIR [--seed N] [--epochs N]
+      Train an oracle, extract the library and every expert, and persist a
+      self-describing pool store to DIR.
+  poe info --pool DIR
+      Print the store's hierarchy, architectures, experts, and volumes.
+  poe query --pool DIR --tasks I,J,K [--eval-dataset SPEC --seed N]
+      Consolidate a task-specific model (train-free) and report its size
+      and assembly latency; optionally evaluate it on a regenerated test set.
+  poe diagnose --pool DIR --dataset SPEC [--seed N]
+      Per-expert calibration and logit-scale diagnostics.
+  poe serve --pool DIR [--port P] [--max-requests N]
+      TCP model-query server (line protocol: INFO / QUERY t,… /
+      PREDICT t,… : f1 f2 … / QUIT). Port 0 picks an ephemeral port.
+  poe help
+      This text.
+
+DATASET SPECS
+  balanced:<tasks>x<classes>   e.g. balanced:8x3
+  cifar100                     100 classes / 20 tasks (paper analog)
+  tiny-imagenet                200 classes / 34 tasks (paper analog)
+";
+
+fn dataset_from_spec(spec: &str, seed: u64) -> Result<(SplitDataset, ClassHierarchy), String> {
+    let scale = DatasetScale { train_per_class: 60, test_per_class: 15 };
+    if spec == "cifar100" {
+        return Ok(cifar100_sim(scale, seed));
+    }
+    if spec == "tiny-imagenet" {
+        return Ok(tiny_imagenet_sim(scale, seed));
+    }
+    if let Some(rest) = spec.strip_prefix("balanced:") {
+        let (t, c) = rest
+            .split_once('x')
+            .ok_or_else(|| format!("bad balanced spec `{spec}` (want balanced:<tasks>x<classes>)"))?;
+        let tasks: usize = t.parse().map_err(|_| format!("bad task count in `{spec}`"))?;
+        let classes: usize = c.parse().map_err(|_| format!("bad class count in `{spec}`"))?;
+        if tasks == 0 || classes == 0 {
+            return Err(format!("`{spec}` must have ≥1 task and class"));
+        }
+        let cfg = GaussianHierarchyConfig::balanced(tasks, classes)
+            .with_renderer(32, 2)
+            .with_samples(scale.train_per_class, scale.test_per_class)
+            .with_seed(seed);
+        return Ok(generate(&cfg));
+    }
+    Err(format!("unknown dataset spec `{spec}`"))
+}
+
+fn cmd_preprocess(a: &Args) -> Result<(), String> {
+    let spec = a.require("dataset").map_err(|e| e.to_string())?;
+    let out = a.require("out").map_err(|e| e.to_string())?;
+    let seed = a.get_parsed("seed", 42u64, "u64").map_err(|e| e.to_string())?;
+    let epochs = a.get_parsed("epochs", 25usize, "usize").map_err(|e| e.to_string())?;
+
+    eprintln!("generating dataset `{spec}` (seed {seed}) …");
+    let (split, hierarchy) = dataset_from_spec(spec, seed)?;
+    let input_dim = split.train.sample_shape()[0];
+    let mut pipe = PipelineConfig::defaults(
+        WrnConfig::new(16, 4.0, 4.0, hierarchy.num_classes()),
+        WrnConfig::new(16, 1.0, 1.0, hierarchy.num_classes()),
+        epochs,
+    );
+    pipe.seed = seed ^ 0xC0DE;
+    eprintln!(
+        "preprocessing: oracle {} → library {} → {} experts …",
+        pipe.oracle_arch.arch_string(),
+        pipe.student_arch.arch_string(),
+        hierarchy.num_primitives()
+    );
+    let pre = preprocess(&split.train, &hierarchy, &pipe, None);
+    let poolspec = PoolSpec {
+        student_arch: pipe.student_arch,
+        expert_ks: pipe.expert_ks,
+        library_groups: pipe.library_groups,
+        input_dim,
+    };
+    let bytes = save_standalone(&pre.pool, &poolspec, out).map_err(|e| e.to_string())?;
+    println!(
+        "pool written to {out}: {} experts, {bytes} bytes on disk",
+        pre.pool.num_experts()
+    );
+    Ok(())
+}
+
+fn cmd_info(a: &Args) -> Result<(), String> {
+    let dir = a.require("pool").map_err(|e| e.to_string())?;
+    let (pool, spec) = load_standalone(dir).map_err(|e| e.to_string())?;
+    let h = pool.hierarchy();
+    println!("pool at {dir}");
+    println!("  library:  {} ({} params)", pool.library_arch, {
+        use poe_nn::Module;
+        pool.library().param_count()
+    });
+    println!(
+        "  experts:  {} of {} tasks pooled ({})",
+        pool.num_experts(),
+        h.num_primitives(),
+        pool.expert_arch
+    );
+    println!(
+        "  classes:  {} in {} primitive tasks (ℓ = {}, input dim {})",
+        h.num_classes(),
+        h.num_primitives(),
+        spec.library_groups,
+        spec.input_dim
+    );
+    let v = pool.volumes();
+    println!(
+        "  volumes:  library {} B, mean expert {} B, total {} B",
+        v.library_bytes,
+        v.mean_expert_bytes(),
+        v.total_bytes
+    );
+    for p in h.primitives() {
+        let mark = if pool.has_expert(h.primitive_of_class(p.classes[0])) { "✔" } else { "✘" };
+        println!("    [{mark}] {:<14} classes {:?}", p.name, p.classes);
+    }
+    Ok(())
+}
+
+fn cmd_query(a: &Args) -> Result<(), String> {
+    let dir = a.require("pool").map_err(|e| e.to_string())?;
+    let tasks = a.get_usize_list("tasks").map_err(|e| e.to_string())?;
+    let (pool, _) = load_standalone(dir).map_err(|e| e.to_string())?;
+    let (mut model, stats) = pool.consolidate(&tasks).map_err(|e| e.to_string())?;
+    println!(
+        "M(Q) for tasks {tasks:?}: {} outputs, {} params, assembled in {:.3} ms",
+        model.num_outputs(),
+        stats.params,
+        stats.assembly_secs * 1e3
+    );
+    if let Some(spec) = a.get("eval-dataset") {
+        let seed = a.get_parsed("seed", 42u64, "u64").map_err(|e| e.to_string())?;
+        let (split, _) = dataset_from_spec(spec, seed)?;
+        let view = split.test.task_view(&model.class_layout());
+        let logits = model.infer(&view.inputs);
+        let acc = accuracy(&logits, &view.labels);
+        let cm = poe_nn::metrics::ConfusionMatrix::from_logits(&logits, &view.labels);
+        println!(
+            "accuracy on `{spec}` test split (seed {seed}): {:.1}% over {} samples \
+             (macro-F1 {:.3})",
+            acc * 100.0,
+            view.len(),
+            cm.macro_f1()
+        );
+        if let Some((a, p, c)) = cm.worst_confusion() {
+            println!("worst confusion: true class {a} → predicted {p} ({c} samples)");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_diagnose(a: &Args) -> Result<(), String> {
+    let dir = a.require("pool").map_err(|e| e.to_string())?;
+    let spec = a.require("dataset").map_err(|e| e.to_string())?;
+    let seed = a.get_parsed("seed", 42u64, "u64").map_err(|e| e.to_string())?;
+    let (pool, _) = load_standalone(dir).map_err(|e| e.to_string())?;
+    let (split, _) = dataset_from_spec(spec, seed)?;
+    let d = diagnose_pool(&pool, &split.test, 4);
+    println!("{d}");
+    Ok(())
+}
+
+fn cmd_serve(a: &Args) -> Result<(), String> {
+    let dir = a.require("pool").map_err(|e| e.to_string())?;
+    let port = a.get_parsed("port", 7878u16, "port number").map_err(|e| e.to_string())?;
+    let max_requests = a
+        .get_parsed("max-requests", u64::MAX, "u64")
+        .map_err(|e| e.to_string())?;
+    let (pool, spec) = load_standalone(dir).map_err(|e| e.to_string())?;
+    let service = std::sync::Arc::new(QueryService::new(pool));
+    let listener =
+        std::net::TcpListener::bind(("127.0.0.1", port)).map_err(|e| e.to_string())?;
+    println!(
+        "serving pool {dir} on {} (input dim {}) — protocol: INFO | QUERY t,… | \
+         PREDICT t,… : f1 f2 … | QUIT",
+        listener.local_addr().map_err(|e| e.to_string())?,
+        spec.input_dim
+    );
+    let handled = serve::serve(listener, service, spec.input_dim, max_requests)
+        .map_err(|e| e.to_string())?;
+    println!("served {handled} requests, shutting down");
+    Ok(())
+}
+
+fn run(tokens: Vec<String>) -> Result<(), String> {
+    let args = match Args::parse(tokens) {
+        Ok(a) => a,
+        Err(ArgError::MissingCommand) => {
+            println!("{HELP}");
+            return Ok(());
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    match args.command.as_str() {
+        "preprocess" => cmd_preprocess(&args),
+        "info" => cmd_info(&args),
+        "query" => cmd_query(&args),
+        "diagnose" => cmd_diagnose(&args),
+        "serve" => cmd_serve(&args),
+        "help" | "--help" | "-h" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}` (try `poe help`)")),
+    }
+}
+
+fn main() -> ExitCode {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    match run(tokens) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_specs_parse() {
+        assert!(dataset_from_spec("balanced:2x2", 1).is_ok());
+        assert!(dataset_from_spec("balanced:2", 1).is_err());
+        assert!(dataset_from_spec("balanced:0x2", 1).is_err());
+        assert!(dataset_from_spec("nope", 1).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_is_an_error() {
+        let r = run(vec!["frobnicate".into()]);
+        assert!(r.unwrap_err().contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn help_succeeds() {
+        assert!(run(vec!["help".into()]).is_ok());
+        assert!(run(vec![]).is_ok());
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Full CLI lifecycle on a micro dataset: preprocess → info → query
+    /// (+eval) → diagnose, all through the real command handlers.
+    #[test]
+    fn cli_lifecycle_round_trip() {
+        let dir = std::env::temp_dir().join("poe_cli_lifecycle");
+        std::fs::remove_dir_all(&dir).ok();
+        let pool = dir.to_str().unwrap();
+
+        run(argv(&[
+            "preprocess", "--dataset", "balanced:3x2", "--out", pool, "--seed", "5", "--epochs",
+            "4",
+        ]))
+        .expect("preprocess");
+
+        run(argv(&["info", "--pool", pool])).expect("info");
+
+        run(argv(&[
+            "query", "--pool", pool, "--tasks", "0,2", "--eval-dataset", "balanced:3x2",
+            "--seed", "5",
+        ]))
+        .expect("query");
+
+        run(argv(&[
+            "diagnose", "--pool", pool, "--dataset", "balanced:3x2", "--seed", "5",
+        ]))
+        .expect("diagnose");
+
+        // Errors surface cleanly, not as panics.
+        let err = run(argv(&["query", "--pool", pool, "--tasks", "9"])).unwrap_err();
+        assert!(err.contains("unknown primitive task"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

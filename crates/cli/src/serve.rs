@@ -1,0 +1,235 @@
+//! `poe serve` — a minimal TCP model-query server over a pool store.
+//!
+//! Line protocol (UTF-8, one request per line):
+//!
+//! ```text
+//! INFO                          → OK tasks=<n> experts=<n> classes=<n>
+//! QUERY 1,3,5                   → OK outputs=<k> params=<p> assembly_ms=<t> classes=<c,…>
+//! PREDICT 1,3,5 : v1 v2 … vd    → OK class=<global id> confidence=<p>
+//! QUIT                          → OK bye (closes the connection)
+//! anything else                 → ERR <reason>
+//! ```
+//!
+//! `PREDICT` consolidates the requested composite model (train-free — this
+//! is the paper's realtime query) and classifies one feature vector.
+
+use poe_core::service::QueryService;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Serves requests until `max_requests` lines have been processed
+/// (`u64::MAX` = run forever). Returns the number of requests handled.
+pub fn serve(
+    listener: TcpListener,
+    service: Arc<QueryService>,
+    input_dim: usize,
+    max_requests: u64,
+) -> std::io::Result<u64> {
+    let handled = Arc::new(AtomicU64::new(0));
+    loop {
+        if handled.load(Ordering::SeqCst) >= max_requests {
+            return Ok(handled.load(Ordering::SeqCst));
+        }
+        let (stream, _) = listener.accept()?;
+        let service = Arc::clone(&service);
+        let handled_for_conn = Arc::clone(&handled);
+        // One thread per connection; connections are expected to be few
+        // (this is a demonstration server, not a production frontend).
+        let join = std::thread::spawn(move || {
+            handle_connection(stream, &service, input_dim, &handled_for_conn, max_requests)
+        });
+        // Serve connections sequentially so max_requests is respected
+        // deterministically (sufficient for the demo/test use cases).
+        let _ = join.join();
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &QueryService,
+    input_dim: usize,
+    handled: &AtomicU64,
+    max_requests: u64,
+) {
+    let peer = stream.peer_addr().ok();
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let response = respond(&line, service, input_dim);
+        let done = line.trim().eq_ignore_ascii_case("QUIT");
+        if writeln!(writer, "{response}").is_err() {
+            break;
+        }
+        let n = handled.fetch_add(1, Ordering::SeqCst) + 1;
+        if done || n >= max_requests {
+            break;
+        }
+    }
+    let _ = peer;
+}
+
+/// Computes the response line for one request line (protocol core, kept
+/// free of I/O so it is directly testable).
+pub fn respond(line: &str, service: &QueryService, input_dim: usize) -> String {
+    let line = line.trim();
+    let mut parts = line.splitn(2, ' ');
+    let verb = parts.next().unwrap_or("").to_ascii_uppercase();
+    let rest = parts.next().unwrap_or("").trim();
+
+    match verb.as_str() {
+        "INFO" => service.with_pool(|p| {
+            format!(
+                "OK tasks={} experts={} classes={}",
+                p.hierarchy().num_primitives(),
+                p.num_experts(),
+                p.hierarchy().num_classes()
+            )
+        }),
+        "QUIT" => "OK bye".into(),
+        "QUERY" => match parse_tasks(rest) {
+            Err(e) => format!("ERR {e}"),
+            Ok(tasks) => match service.query(&tasks) {
+                Err(e) => format!("ERR {e}"),
+                Ok(r) => format!(
+                    "OK outputs={} params={} assembly_ms={:.3} classes={}",
+                    r.class_layout.len(),
+                    r.stats.params,
+                    r.stats.assembly_secs * 1e3,
+                    join_usize(&r.class_layout),
+                ),
+            },
+        },
+        "PREDICT" => {
+            let Some((task_part, feat_part)) = rest.split_once(':') else {
+                return "ERR PREDICT needs `tasks : features`".into();
+            };
+            let tasks = match parse_tasks(task_part.trim()) {
+                Ok(t) => t,
+                Err(e) => return format!("ERR {e}"),
+            };
+            let mut features = Vec::new();
+            for tok in feat_part.split_whitespace() {
+                match tok.parse::<f32>() {
+                    Ok(v) if v.is_finite() => features.push(v),
+                    _ => return format!("ERR bad feature value `{tok}`"),
+                }
+            }
+            if features.len() != input_dim {
+                return format!(
+                    "ERR expected {input_dim} features, got {}",
+                    features.len()
+                );
+            }
+            match service.query(&tasks) {
+                Err(e) => format!("ERR {e}"),
+                Ok(mut r) => {
+                    let x = poe_tensor::Tensor::from_vec(features, [1, input_dim]);
+                    let p = r.model.predict_with_provenance(&x)[0];
+                    format!(
+                        "OK class={} task={} confidence={:.4}",
+                        p.class, p.task_index, p.confidence
+                    )
+                }
+            }
+        }
+        "" => "ERR empty request".into(),
+        other => format!("ERR unknown verb `{other}`"),
+    }
+}
+
+fn parse_tasks(s: &str) -> Result<Vec<usize>, String> {
+    if s.is_empty() {
+        return Err("no tasks given".into());
+    }
+    s.split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad task id `{p}`"))
+        })
+        .collect()
+}
+
+fn join_usize(v: &[usize]) -> String {
+    v.iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poe_core::pool::{Expert, ExpertPool};
+    use poe_data::ClassHierarchy;
+    use poe_nn::layers::{Linear, Sequential};
+    use poe_tensor::Prng;
+
+    fn toy_service() -> Arc<QueryService> {
+        let mut rng = Prng::seed_from_u64(1);
+        let hierarchy = ClassHierarchy::contiguous(6, 3);
+        let library = Sequential::new().push(Linear::new("lib", 4, 5, &mut rng));
+        let mut pool = ExpertPool::new(hierarchy, library);
+        for t in 0..3 {
+            let classes = pool.hierarchy().primitive(t).classes.clone();
+            let head =
+                Sequential::new().push(Linear::new(&format!("e{t}"), 5, classes.len(), &mut rng));
+            pool.insert_expert(Expert { task_index: t, classes, head });
+        }
+        Arc::new(QueryService::new(pool))
+    }
+
+    #[test]
+    fn protocol_responses() {
+        let svc = toy_service();
+        assert_eq!(respond("INFO", &svc, 4), "OK tasks=3 experts=3 classes=6");
+        let q = respond("QUERY 0,2", &svc, 4);
+        assert!(q.starts_with("OK outputs=4"), "{q}");
+        assert!(q.contains("classes=0,1,4,5"), "{q}");
+        let p = respond("PREDICT 0,2 : 0.5 -0.5 1.0 0.0", &svc, 4);
+        assert!(p.starts_with("OK class="), "{p}");
+        assert_eq!(respond("QUIT", &svc, 4), "OK bye");
+    }
+
+    #[test]
+    fn protocol_errors_are_informative() {
+        let svc = toy_service();
+        assert!(respond("FROB", &svc, 4).starts_with("ERR unknown verb"));
+        assert!(respond("QUERY", &svc, 4).starts_with("ERR no tasks"));
+        assert!(respond("QUERY 0,x", &svc, 4).starts_with("ERR bad task id"));
+        assert!(respond("QUERY 9", &svc, 4).starts_with("ERR unknown primitive task"));
+        assert!(respond("PREDICT 0 : 1.0", &svc, 4).starts_with("ERR expected 4 features"));
+        assert!(respond("PREDICT 0 1.0 2.0", &svc, 4).starts_with("ERR PREDICT needs"));
+        assert!(respond("PREDICT 0 : 1.0 nan 0.0 0.0", &svc, 4).starts_with("ERR bad feature"));
+        assert!(respond("", &svc, 4).starts_with("ERR empty"));
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        use std::io::{BufRead, BufReader, Write};
+        let svc = toy_service();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || serve(listener, svc, 4, 3).unwrap());
+
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut ask = |req: &str| -> String {
+            writeln!(writer, "{req}").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            line.trim_end().to_string()
+        };
+        assert_eq!(ask("INFO"), "OK tasks=3 experts=3 classes=6");
+        assert!(ask("QUERY 1").starts_with("OK outputs=2"));
+        assert!(ask("PREDICT 1 : 1 2 3 4").starts_with("OK class="));
+        assert_eq!(server.join().unwrap(), 3);
+    }
+}

@@ -1,0 +1,180 @@
+//! Confidence analysis for specialized models (Section 5.2, Figure 5).
+//!
+//! For out-of-distribution inputs — images of classes a specialist has
+//! never seen — a *properly confident* expert should produce low maximum
+//! softmax probabilities, while overconfident models (Scratch / Transfer in
+//! the paper) peak above 0.9. This module computes the histogram of maximum
+//! confidence values that Figure 5 plots.
+
+use poe_nn::train::predict;
+use poe_nn::Module;
+use poe_tensor::ops::softmax;
+use poe_tensor::Tensor;
+
+/// Histogram of per-sample maximum softmax probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfidenceHistogram {
+    /// Bin counts over `[0, 1]`, uniform width `1 / bins.len()`.
+    pub bins: Vec<usize>,
+    /// Total samples histogrammed.
+    pub total: usize,
+}
+
+impl ConfidenceHistogram {
+    /// Builds a histogram from raw maximum-confidence values.
+    pub fn from_values(values: &[f32], num_bins: usize) -> Self {
+        assert!(num_bins > 0, "need at least one bin");
+        let mut bins = vec![0usize; num_bins];
+        for &v in values {
+            let clamped = v.clamp(0.0, 1.0);
+            let mut b = (clamped * num_bins as f32) as usize;
+            if b == num_bins {
+                b -= 1; // v == 1.0 lands in the last bin
+            }
+            bins[b] += 1;
+        }
+        ConfidenceHistogram { bins, total: values.len() }
+    }
+
+    /// Index of the most frequent bin (ties → lowest index).
+    pub fn mode_bin(&self) -> usize {
+        let mut best = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            if c > self.bins[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// `[lo, hi)` confidence range of the most frequent bin.
+    pub fn mode_range(&self) -> (f32, f32) {
+        let w = 1.0 / self.bins.len() as f32;
+        let b = self.mode_bin();
+        (b as f32 * w, (b + 1) as f32 * w)
+    }
+
+    /// Fraction of samples with confidence ≥ `threshold`.
+    pub fn fraction_at_least(&self, threshold: f32) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let w = 1.0 / self.bins.len() as f32;
+        let count: usize = self
+            .bins
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (*i as f32) * w >= threshold - 1e-6)
+            .map(|(_, &c)| c)
+            .sum();
+        count as f64 / self.total as f64
+    }
+
+    /// Mean confidence approximated from bin centres.
+    pub fn approx_mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let w = 1.0 / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as f64 + 0.5) * w * c as f64)
+            .sum::<f64>()
+            / self.total as f64
+    }
+
+    /// A compact ASCII rendering (one row per bin), used by the Figure 5
+    /// reproduction binary.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(1).max(1);
+        let w = 1.0 / self.bins.len() as f32;
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let bar = "#".repeat((c * width).div_ceil(max));
+            out.push_str(&format!(
+                "[{:.1},{:.1}) {:>6} {}\n",
+                i as f32 * w,
+                (i + 1) as f32 * w,
+                c,
+                bar
+            ));
+        }
+        out
+    }
+}
+
+/// Per-sample maximum softmax probabilities of a model over `inputs`.
+pub fn max_confidences(model: &mut dyn Module, inputs: &Tensor) -> Vec<f32> {
+    let logits = predict(model, inputs, crate::training::EVAL_BATCH);
+    softmax(&logits).max_rows()
+}
+
+/// Histogram of a model's maximum confidences over `inputs` — pass the
+/// out-of-distribution view of the test set to reproduce Figure 5.
+pub fn max_confidence_histogram(
+    model: &mut dyn Module,
+    inputs: &Tensor,
+    num_bins: usize,
+) -> ConfidenceHistogram {
+    ConfidenceHistogram::from_values(&max_confidences(model, inputs), num_bins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poe_nn::layers::{Linear, Sequential};
+    use poe_tensor::Prng;
+
+    #[test]
+    fn from_values_bins_correctly() {
+        let h = ConfidenceHistogram::from_values(&[0.05, 0.15, 0.95, 1.0, 0.951], 10);
+        assert_eq!(h.total, 5);
+        assert_eq!(h.bins[0], 1);
+        assert_eq!(h.bins[1], 1);
+        assert_eq!(h.bins[9], 3);
+    }
+
+    #[test]
+    fn mode_and_fraction() {
+        let h = ConfidenceHistogram::from_values(&[0.91, 0.93, 0.97, 0.31], 10);
+        assert_eq!(h.mode_bin(), 9);
+        let (lo, hi) = h.mode_range();
+        assert!((lo - 0.9).abs() < 1e-6 && (hi - 1.0).abs() < 1e-6);
+        assert!((h.fraction_at_least(0.9) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approx_mean_is_sane() {
+        let h = ConfidenceHistogram::from_values(&[0.25; 100], 20);
+        assert!((h.approx_mean() - 0.275).abs() < 1e-6); // centre of [0.25,0.30)
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = ConfidenceHistogram::from_values(&[], 10);
+        assert_eq!(h.fraction_at_least(0.5), 0.0);
+        assert_eq!(h.approx_mean(), 0.0);
+    }
+
+    #[test]
+    fn model_confidences_are_probabilities() {
+        let mut rng = Prng::seed_from_u64(1);
+        let mut m = Sequential::new().push(Linear::new("l", 4, 3, &mut rng));
+        let x = Tensor::randn([20, 4], 1.0, &mut rng);
+        let conf = max_confidences(&mut m, &x);
+        assert_eq!(conf.len(), 20);
+        // Max softmax of 3 classes is in [1/3, 1].
+        assert!(conf.iter().all(|&c| (1.0 / 3.0 - 1e-5..=1.0).contains(&c)));
+        let h = max_confidence_histogram(&mut m, &x, 10);
+        assert_eq!(h.total, 20);
+        assert_eq!(h.bins.iter().sum::<usize>(), 20);
+    }
+
+    #[test]
+    fn ascii_render_has_one_line_per_bin() {
+        let h = ConfidenceHistogram::from_values(&[0.1, 0.5, 0.9], 5);
+        let s = h.render_ascii(10);
+        assert_eq!(s.lines().count(), 5);
+    }
+}

@@ -1,0 +1,222 @@
+//! Pool diagnostics: quantifying expert calibration and the logit-scale
+//! problem.
+//!
+//! The paper's Section 4.2 identifies two failure modes when composing
+//! specialists: *overconfidence* on unknown classes and *mismatched logit
+//! scales* across experts. This module measures both on a reference
+//! dataset, giving operators of a PoE deployment a health check before
+//! they serve a pool (and giving this reproduction a direct view of what
+//! `L_scale` changes).
+
+use crate::pool::ExpertPool;
+use poe_data::Dataset;
+use poe_nn::train::predict;
+use poe_tensor::ops::{accuracy, softmax};
+use std::fmt;
+
+/// Measurements for one pooled expert on the reference data.
+#[derive(Debug, Clone)]
+pub struct ExpertDiagnostics {
+    /// The expert's primitive-task index.
+    pub task_index: usize,
+    /// Mean of the per-sample max logit on in-task samples — the expert's
+    /// characteristic *scale* (what `L_scale` aligns across experts).
+    pub in_task_mean_max_logit: f32,
+    /// Mean of the per-sample max logit on out-of-task samples.
+    pub ood_mean_max_logit: f32,
+    /// Mean max softmax probability on in-task samples.
+    pub in_task_mean_confidence: f64,
+    /// Mean max softmax probability on out-of-task samples (should be low
+    /// for a properly calibrated expert — Figure 5).
+    pub ood_mean_confidence: f64,
+    /// In-task classification accuracy through the library.
+    pub in_task_accuracy: f64,
+}
+
+/// Pool-wide diagnostics.
+#[derive(Debug, Clone)]
+pub struct PoolDiagnostics {
+    /// Per-expert rows, ordered by task index.
+    pub experts: Vec<ExpertDiagnostics>,
+}
+
+impl PoolDiagnostics {
+    /// Ratio of the largest to the smallest in-task logit scale across
+    /// experts (≥ 1). Values near 1 mean the experts are scale-aligned and
+    /// safe to concatenate; large values are the *logit scale problem*.
+    pub fn scale_dispersion(&self) -> f32 {
+        let scales: Vec<f32> = self
+            .experts
+            .iter()
+            .map(|e| e.in_task_mean_max_logit.max(1e-6))
+            .collect();
+        if scales.is_empty() {
+            return 1.0;
+        }
+        let max = scales.iter().copied().fold(f32::MIN, f32::max);
+        let min = scales.iter().copied().fold(f32::MAX, f32::min);
+        max / min
+    }
+
+    /// Mean out-of-task confidence across experts (low = calibrated).
+    pub fn mean_ood_confidence(&self) -> f64 {
+        if self.experts.is_empty() {
+            return 0.0;
+        }
+        self.experts.iter().map(|e| e.ood_mean_confidence).sum::<f64>()
+            / self.experts.len() as f64
+    }
+}
+
+impl fmt::Display for PoolDiagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:>5}  {:>9}  {:>10}  {:>9}  {:>9}  {:>8}",
+            "task", "scale(in)", "scale(ood)", "conf(in)", "conf(ood)", "acc(in)"
+        )?;
+        for e in &self.experts {
+            writeln!(
+                f,
+                "{:>5}  {:>9.2}  {:>10.2}  {:>9.3}  {:>9.3}  {:>8.3}",
+                e.task_index,
+                e.in_task_mean_max_logit,
+                e.ood_mean_max_logit,
+                e.in_task_mean_confidence,
+                e.ood_mean_confidence,
+                e.in_task_accuracy,
+            )?;
+        }
+        writeln!(
+            f,
+            "scale dispersion (max/min): {:.2}   mean OOD confidence: {:.3}",
+            self.scale_dispersion(),
+            self.mean_ood_confidence()
+        )
+    }
+}
+
+/// Runs every pooled expert over the reference dataset (global labels) and
+/// collects calibration/scale measurements. Out-of-task inputs are thinned
+/// by `ood_stride` to bound cost on large reference sets.
+pub fn diagnose_pool(pool: &ExpertPool, reference: &Dataset, ood_stride: usize) -> PoolDiagnostics {
+    assert!(ood_stride > 0);
+    let mut library = pool.library().clone();
+    let mut experts = Vec::new();
+    for t in pool.pooled_tasks() {
+        let expert = pool.expert(t).expect("pooled task");
+        let classes = &expert.classes;
+
+        let in_view = reference.task_view(classes);
+        let ood_view = reference.out_of_task_view(classes).thin(ood_stride);
+
+        let mut head = expert.head.clone();
+        let f_in = predict(&mut library, &in_view.inputs, 256);
+        let logits_in = predict(&mut head, &f_in, 256);
+        let f_ood = predict(&mut library, &ood_view.inputs, 256);
+        let logits_ood = predict(&mut head, &f_ood, 256);
+
+        let mean = |v: &[f32]| -> f32 {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f32>() / v.len() as f32
+            }
+        };
+        let mean64 = |v: &[f32]| -> f64 {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64
+            }
+        };
+
+        experts.push(ExpertDiagnostics {
+            task_index: t,
+            in_task_mean_max_logit: mean(&logits_in.max_rows()),
+            ood_mean_max_logit: mean(&logits_ood.max_rows()),
+            in_task_mean_confidence: mean64(&softmax(&logits_in).max_rows()),
+            ood_mean_confidence: mean64(&softmax(&logits_ood).max_rows()),
+            in_task_accuracy: accuracy(&logits_in, &in_view.labels),
+        });
+    }
+    PoolDiagnostics { experts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::Expert;
+    use poe_data::ClassHierarchy;
+    use poe_nn::layers::{Linear, Sequential};
+    use poe_nn::Module;
+    use poe_tensor::{Prng, Tensor};
+
+    fn toy() -> (ExpertPool, Dataset) {
+        let mut rng = Prng::seed_from_u64(1);
+        let hierarchy = ClassHierarchy::contiguous(4, 2);
+        let library = Sequential::new().push(Linear::new("lib", 3, 4, &mut rng));
+        let mut pool = ExpertPool::new(hierarchy, library);
+        for t in 0..2 {
+            let classes = pool.hierarchy().primitive(t).classes.clone();
+            let mut head =
+                Sequential::new().push(Linear::new(&format!("e{t}"), 4, 2, &mut rng));
+            if t == 1 {
+                // Give expert 1 a deliberately inflated scale.
+                head.visit_params(&mut |p| p.value.scale(10.0));
+            }
+            pool.insert_expert(Expert { task_index: t, classes, head });
+        }
+        let data = Dataset::new(
+            Tensor::randn([40, 3], 1.0, &mut Prng::seed_from_u64(2)),
+            (0..40).map(|i| i % 4).collect(),
+            4,
+        );
+        (pool, data)
+    }
+
+    #[test]
+    fn diagnostics_cover_every_expert() {
+        let (pool, data) = toy();
+        let d = diagnose_pool(&pool, &data, 1);
+        assert_eq!(d.experts.len(), 2);
+        assert_eq!(d.experts[0].task_index, 0);
+        for e in &d.experts {
+            assert!((0.0..=1.0).contains(&e.in_task_accuracy));
+            assert!(e.in_task_mean_confidence >= 0.5 - 1e-6); // 2-class max prob ≥ 0.5
+        }
+    }
+
+    #[test]
+    fn inflated_expert_shows_up_as_dispersion() {
+        let (pool, data) = toy();
+        let d = diagnose_pool(&pool, &data, 1);
+        assert!(
+            d.scale_dispersion() > 3.0,
+            "10× weight inflation should dominate dispersion: {}",
+            d.scale_dispersion()
+        );
+    }
+
+    #[test]
+    fn display_renders_one_row_per_expert() {
+        let (pool, data) = toy();
+        let d = diagnose_pool(&pool, &data, 2);
+        let text = d.to_string();
+        assert_eq!(text.lines().count(), 1 + 2 + 1); // header + rows + summary
+        assert!(text.contains("scale dispersion"));
+    }
+
+    #[test]
+    fn empty_pool_is_safe() {
+        let mut rng = Prng::seed_from_u64(3);
+        let hierarchy = ClassHierarchy::contiguous(4, 2);
+        let library = Sequential::new().push(Linear::new("lib", 3, 4, &mut rng));
+        let pool = ExpertPool::new(hierarchy, library);
+        let data = Dataset::new(Tensor::zeros([4, 3]), vec![0, 1, 2, 3], 4);
+        let d = diagnose_pool(&pool, &data, 1);
+        assert!(d.experts.is_empty());
+        assert_eq!(d.scale_dispersion(), 1.0);
+        assert_eq!(d.mean_ood_confidence(), 0.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! # poe-core
+//!
+//! The Pool of Experts framework (Kim & Choi, SIGMOD 2021): realtime
+//! querying of specialized knowledge in massive neural networks.
+//!
+//! **Preprocessing phase** (Figure 1a): [`library`] extracts a shared
+//! *library* component from the oracle by standard KD; [`ckd`] extracts one
+//! tiny *expert* per primitive task by conditional knowledge distillation
+//! (`L_CKD = L_soft + α·L_scale`). [`pipeline`] orchestrates the whole
+//! phase.
+//!
+//! **Service phase** (Figure 1b): [`pool::ExpertPool::consolidate`]
+//! assembles a task-specific model for any composite task by train-free
+//! logit concatenation; [`service::QueryService`] wraps the pool as a
+//! concurrent realtime querying front end.
+//!
+//! [`confidence`] provides the out-of-distribution confidence analysis of
+//! Figure 5; [`training`] holds the shared training/eval helpers that the
+//! baseline methods reuse; [`store`] persists pools as self-describing
+//! model databases; [`diagnostics`] measures expert calibration and the
+//! logit-scale health of a pool.
+//!
+//! End to end, at toy scale:
+//!
+//! ```
+//! use poe_core::pipeline::{preprocess, PipelineConfig};
+//! use poe_data::synth::{generate, GaussianHierarchyConfig};
+//! use poe_models::WrnConfig;
+//!
+//! // 4 primitive tasks × 2 classes of hierarchical Gaussian data.
+//! let cfg = GaussianHierarchyConfig { dim: 6, ..GaussianHierarchyConfig::balanced(4, 2) }
+//!     .with_samples(8, 4)
+//!     .with_seed(7);
+//! let (split, hierarchy) = generate(&cfg);
+//!
+//! // Preprocess once: oracle → library → one expert per task.
+//! let pipe = PipelineConfig::defaults(
+//!     WrnConfig::new(10, 1.0, 1.0, 8).with_unit(4),
+//!     WrnConfig::new(10, 1.0, 1.0, 8).with_unit(4),
+//!     2, // epochs — just a smoke run for the doctest
+//! );
+//! let pre = preprocess(&split.train, &hierarchy, &pipe, None);
+//!
+//! // Service phase: any composite task, train-free.
+//! let (mut model, stats) = pre.pool.consolidate(&[0, 3]).unwrap();
+//! assert_eq!(model.class_layout(), vec![0, 1, 6, 7]);
+//! assert_eq!(stats.num_experts, 2);
+//! let logits = model.infer(&split.test.inputs);
+//! assert_eq!(logits.dims(), &[split.test.len(), 4]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ckd;
+pub mod confidence;
+pub mod diagnostics;
+pub mod library;
+pub mod pipeline;
+pub mod pool;
+pub mod service;
+pub mod store;
+pub mod training;
+
+pub use ckd::{extract_expert, CkdConfig, ExpertExtraction};
+pub use confidence::{max_confidence_histogram, max_confidences, ConfidenceHistogram};
+pub use diagnostics::{diagnose_pool, ExpertDiagnostics, PoolDiagnostics};
+pub use library::{extract_library, extract_library_from_oracle, LibraryConfig, LibraryExtraction};
+pub use pipeline::{preprocess, PipelineConfig, Preprocessed};
+pub use pool::{ConsolidationStats, Expert, ExpertPool, QueryError, VolumeReport};
+pub use service::{QueryResult, QueryService, ServiceStats};
+pub use store::{load_standalone, save_standalone, PoolSpec};

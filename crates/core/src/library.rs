@@ -1,0 +1,119 @@
+//! Preprocessing phase, step 1: **library extraction** (Section 4.1).
+//!
+//! Standard KD (Eq. (1)) distills the oracle into a small generic student
+//! that still covers all classes; the student's first groups (its
+//! [`SplitModel`] trunk) become the *library* component shared by every
+//! expert.
+
+use crate::training::{logits_of, train_distill};
+use poe_models::SplitModel;
+use poe_nn::layers::Sequential;
+use poe_nn::train::{TrainConfig, TrainReport};
+use poe_nn::Module;
+use poe_tensor::Tensor;
+
+/// Configuration of library extraction.
+#[derive(Debug, Clone)]
+pub struct LibraryConfig {
+    /// Distillation temperature `T`.
+    pub temperature: f32,
+    /// Optimization settings for the student.
+    pub train: TrainConfig,
+}
+
+impl LibraryConfig {
+    /// Defaults used across the reproduction (T = 4).
+    pub fn new(train: TrainConfig) -> Self {
+        LibraryConfig { temperature: 4.0, train }
+    }
+}
+
+/// Output of [`extract_library`].
+pub struct LibraryExtraction {
+    /// The distilled generic student (trunk = library, head = its own
+    /// generic conv4 + classifier, kept for Table 1 evaluation).
+    pub student: SplitModel,
+    /// Training history of the distillation.
+    pub report: TrainReport,
+}
+
+impl LibraryExtraction {
+    /// Detaches a copy of the library component (the student's trunk).
+    pub fn library(&self) -> Sequential {
+        self.student.trunk().clone()
+    }
+}
+
+/// Distills `oracle` (via its precomputed full-training-set logits) into
+/// `student`, then designates the student's trunk as the library.
+///
+/// `oracle_logits` must be the oracle's logits over exactly the rows of
+/// `train_inputs`.
+pub fn extract_library(
+    mut student: SplitModel,
+    train_inputs: &Tensor,
+    oracle_logits: &Tensor,
+    cfg: &LibraryConfig,
+) -> LibraryExtraction {
+    let report = train_distill(
+        &mut student,
+        train_inputs,
+        oracle_logits,
+        cfg.temperature,
+        &cfg.train,
+    );
+    LibraryExtraction { student, report }
+}
+
+/// Convenience wrapper: computes the oracle logits, then extracts.
+pub fn extract_library_from_oracle(
+    oracle: &mut dyn Module,
+    student: SplitModel,
+    train_inputs: &Tensor,
+    cfg: &LibraryConfig,
+) -> LibraryExtraction {
+    let oracle_logits = logits_of(oracle, train_inputs);
+    extract_library(student, train_inputs, &oracle_logits, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::{eval_accuracy, train_cross_entropy};
+    use poe_data::synth::{generate, GaussianHierarchyConfig};
+    use poe_models::{build_wrn_mlp, WrnConfig};
+    use poe_tensor::Prng;
+
+    #[test]
+    fn library_student_learns_from_oracle() {
+        let (split, _) = generate(
+            &GaussianHierarchyConfig { dim: 8, ..GaussianHierarchyConfig::balanced(3, 2) }
+                .with_samples(25, 10)
+                .with_seed(11),
+        );
+        let mut rng = Prng::seed_from_u64(1);
+        // Oracle: wider analog trained from scratch.
+        let mut oracle = build_wrn_mlp(&WrnConfig::new(10, 2.0, 2.0, 6).with_unit(8), 8, &mut rng);
+        train_cross_entropy(&mut oracle, &split.train, &TrainConfig::new(25, 32, 0.08));
+        let oracle_acc = eval_accuracy(&mut oracle, &split.test);
+        assert!(oracle_acc > 0.6, "oracle too weak: {oracle_acc}");
+
+        // Student: small analog distilled from the oracle.
+        let student = build_wrn_mlp(&WrnConfig::new(10, 1.0, 1.0, 6).with_unit(4), 8, &mut rng);
+        let cfg = LibraryConfig::new(TrainConfig::new(60, 32, 0.04));
+        let ext = extract_library_from_oracle(&mut oracle, student, &split.train.inputs, &cfg);
+        let lib = ext.library();
+        let mut student = ext.student;
+        let student_acc = eval_accuracy(&mut student, &split.test);
+        assert!(
+            student_acc > 0.5,
+            "distilled student too weak: {student_acc} (oracle {oracle_acc})"
+        );
+
+        // The detached library produces the trunk's feature width.
+        let w3 = lib.out_shape(&[8]);
+        assert_eq!(w3, student.trunk().out_shape(&[8]));
+        // Library is smaller than the full student.
+        assert!(lib.param_count() < student.param_count());
+    }
+}

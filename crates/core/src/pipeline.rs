@@ -1,0 +1,290 @@
+//! End-to-end preprocessing pipeline: oracle → library → pool of experts.
+//!
+//! This orchestrates the whole preprocessing phase of Figure 1(a):
+//!
+//! 1. train (or accept) an **oracle** `M(C)`,
+//! 2. distill it into a small generic student and take the student's trunk
+//!    as the **library**,
+//! 3. for each requested primitive task, extract an **expert** head by CKD
+//!    on the frozen library,
+//! 4. assemble everything into an [`ExpertPool`] ready for realtime
+//!    querying.
+//!
+//! The pipeline caches the oracle's training-set logits and the library's
+//! training-set features, which the experiment harness also reuses for the
+//! baseline methods.
+
+use crate::ckd::{extract_expert, CkdConfig};
+use crate::library::{extract_library, LibraryConfig};
+use crate::pool::{Expert, ExpertPool};
+use crate::training::{logits_of, train_cross_entropy};
+use poe_data::{ClassHierarchy, Dataset};
+use poe_models::{build_mlp_head_with_depth, build_wrn_mlp_with_depth, SplitModel, WrnConfig};
+use poe_nn::train::{predict, TrainConfig, TrainReport};
+use poe_nn::Module;
+use poe_tensor::{Prng, Tensor};
+use std::collections::BTreeMap;
+
+/// Architecture and optimization settings of a full preprocessing run
+/// (MLP-analog realization; see DESIGN.md §2).
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Oracle architecture (e.g. the analog of WRN-40-(4, 4)).
+    pub oracle_arch: WrnConfig,
+    /// Library-student architecture (e.g. the analog of WRN-16-(1, 1)).
+    pub student_arch: WrnConfig,
+    /// Expert `k_s` (0.25 in the paper); `k_c`/depth/unit follow the
+    /// student so heads fit the library features.
+    pub expert_ks: f32,
+    /// Oracle training settings (cross-entropy from scratch).
+    pub oracle_train: TrainConfig,
+    /// Library distillation settings.
+    pub library_train: TrainConfig,
+    /// Expert CKD settings.
+    pub expert_train: TrainConfig,
+    /// Distillation temperature `T` (shared by library KD and CKD).
+    pub temperature: f32,
+    /// CKD `α` (0.3 in the paper).
+    pub alpha: f32,
+    /// Weight-initialization seed.
+    pub seed: u64,
+    /// Library depth `ℓ` — how many of the four groups the shared library
+    /// keeps (paper: 3, i.e. conv1–conv3). Controls the tradeoff between
+    /// shared-component size and per-expert size (Section 4.1).
+    pub library_groups: usize,
+}
+
+impl PipelineConfig {
+    /// Calibrated defaults: oracle trained with cross-entropy at lr 0.08;
+    /// the distillation phases use a lower rate (0.02 / 0.04) because the
+    /// T²-scaled KD gradient is ≈T× larger than a cross-entropy gradient
+    /// and diverges at the oracle's rate.
+    pub fn defaults(oracle_arch: WrnConfig, student_arch: WrnConfig, epochs: usize) -> Self {
+        PipelineConfig {
+            oracle_arch,
+            student_arch,
+            expert_ks: 0.25,
+            oracle_train: TrainConfig::new(epochs, 64, 0.08),
+            library_train: TrainConfig::new(epochs, 64, 0.02),
+            expert_train: TrainConfig::new(epochs, 64, 0.04),
+            temperature: 4.0,
+            alpha: 0.3,
+            seed: 0xC0DE,
+            library_groups: poe_models::DEFAULT_LIBRARY_GROUPS,
+        }
+    }
+
+    /// The expert architecture implied by the student and `expert_ks`.
+    pub fn expert_arch(&self, num_outputs: usize) -> WrnConfig {
+        WrnConfig {
+            ks: self.expert_ks,
+            num_classes: num_outputs,
+            ..self.student_arch
+        }
+    }
+
+    /// CKD loss/training configuration for expert extraction.
+    pub fn ckd_config(&self) -> CkdConfig {
+        let mut loss = poe_nn::loss::CkdLoss::paper(self.temperature);
+        loss.alpha = self.alpha;
+        CkdConfig { loss, train: self.expert_train.clone() }
+    }
+}
+
+/// Everything the preprocessing phase produces (plus cached intermediates
+/// the experiment harness reuses).
+pub struct Preprocessed {
+    /// The trained oracle `M(C)`.
+    pub oracle: SplitModel,
+    /// The distilled generic student (trunk = library).
+    pub student: SplitModel,
+    /// The pool: library + experts, ready for the service phase.
+    pub pool: ExpertPool,
+    /// Oracle logits over the training inputs (row-aligned).
+    pub oracle_logits: Tensor,
+    /// Frozen-library features over the training inputs (row-aligned).
+    pub library_features: Tensor,
+    /// Oracle training history.
+    pub oracle_report: TrainReport,
+    /// Library distillation history.
+    pub library_report: TrainReport,
+    /// Per-task expert extraction histories.
+    pub expert_reports: BTreeMap<usize, TrainReport>,
+}
+
+/// Runs the full preprocessing phase on feature data.
+///
+/// `expert_tasks` selects which primitive tasks get experts (`None` = all
+/// of them, as a production deployment would).
+pub fn preprocess(
+    train: &Dataset,
+    hierarchy: &ClassHierarchy,
+    cfg: &PipelineConfig,
+    expert_tasks: Option<&[usize]>,
+) -> Preprocessed {
+    let input_dim = match train.sample_shape().as_slice() {
+        [d] => *d,
+        other => panic!("feature pipeline expects flat samples, got {other:?}"),
+    };
+    assert_eq!(train.num_classes, hierarchy.num_classes());
+    assert_eq!(cfg.oracle_arch.num_classes, hierarchy.num_classes());
+    assert_eq!(cfg.student_arch.num_classes, hierarchy.num_classes());
+
+    let mut rng = Prng::seed_from_u64(cfg.seed);
+
+    // 1. Oracle.
+    let mut oracle =
+        build_wrn_mlp_with_depth(&cfg.oracle_arch, input_dim, cfg.library_groups, &mut rng);
+    let oracle_report = train_cross_entropy(&mut oracle, train, &cfg.oracle_train);
+    let oracle_logits = logits_of(&mut oracle, &train.inputs);
+
+    // 2. Library via standard KD.
+    let student0 =
+        build_wrn_mlp_with_depth(&cfg.student_arch, input_dim, cfg.library_groups, &mut rng);
+    let lib_cfg = LibraryConfig {
+        temperature: cfg.temperature,
+        train: cfg.library_train.clone(),
+    };
+    let extraction = extract_library(student0, &train.inputs, &oracle_logits, &lib_cfg);
+    let library_report = extraction.report.clone();
+    let mut library = extraction.library();
+    let student = extraction.student;
+    library.set_trainable(false);
+    let library_features = predict(&mut library, &train.inputs, crate::training::EVAL_BATCH);
+
+    // 3. Experts via CKD.
+    let all_tasks: Vec<usize> = (0..hierarchy.num_primitives()).collect();
+    let tasks = expert_tasks.unwrap_or(&all_tasks);
+    let ckd_cfg = cfg.ckd_config();
+    let mut pool = ExpertPool::new(hierarchy.clone(), library);
+    pool.library_arch = cfg.student_arch.arch_string();
+    pool.expert_arch = cfg.expert_arch(0).arch_string();
+    let mut expert_reports = BTreeMap::new();
+    for &t in tasks {
+        let classes = hierarchy.primitive(t).classes.clone();
+        let sub = oracle_logits.select_cols(&classes);
+        let head_arch = cfg.expert_arch(classes.len());
+        let head = build_mlp_head_with_depth(
+            &format!("expert{t}"),
+            &head_arch,
+            cfg.library_groups,
+            classes.len(),
+            &mut rng,
+        );
+        let ext = extract_expert(&library_features, &sub, head, &ckd_cfg);
+        expert_reports.insert(t, ext.report);
+        pool.insert_expert(Expert { task_index: t, classes, head: ext.head });
+    }
+
+    Preprocessed {
+        oracle,
+        student,
+        pool,
+        oracle_logits,
+        library_features,
+        oracle_report,
+        library_report,
+        expert_reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::{eval_accuracy, eval_task_specific_accuracy};
+    use poe_data::synth::{generate, GaussianHierarchyConfig};
+    use poe_tensor::ops::accuracy;
+
+    fn tiny_pipeline() -> (poe_data::SplitDataset, ClassHierarchy, Preprocessed) {
+        let (split, h) = generate(
+            &GaussianHierarchyConfig { dim: 8, ..GaussianHierarchyConfig::balanced(4, 2) }
+                .with_samples(25, 10)
+                .with_seed(31),
+        );
+        let cfg = PipelineConfig {
+            oracle_arch: WrnConfig::new(10, 2.0, 2.0, 8).with_unit(8),
+            student_arch: WrnConfig::new(10, 1.0, 1.0, 8).with_unit(8),
+            expert_ks: 0.25,
+            oracle_train: TrainConfig::new(25, 32, 0.08),
+            library_train: TrainConfig::new(20, 32, 0.02),
+            expert_train: TrainConfig::new(25, 32, 0.05),
+            temperature: 4.0,
+            alpha: 0.3,
+            seed: 5,
+            library_groups: 3,
+        };
+        let pre = preprocess(&split.train, &h, &cfg, None);
+        (split, h, pre)
+    }
+
+    #[test]
+    fn full_preprocessing_yields_working_pool() {
+        let (split, h, mut pre) = tiny_pipeline();
+        // Oracle is competent.
+        let oracle_acc = eval_accuracy(&mut pre.oracle, &split.test);
+        assert!(oracle_acc > 0.55, "oracle acc {oracle_acc}");
+        // Pool covers every primitive task.
+        assert_eq!(pre.pool.num_experts(), h.num_primitives());
+
+        // Consolidate a 2-task composite and evaluate it end-to-end.
+        let (mut model, stats) = pre.pool.consolidate(&[0, 2]).unwrap();
+        assert_eq!(stats.num_experts, 2);
+        let classes = h.composite_classes(&[0, 2]);
+        let view = split.test.task_view(&classes);
+        // BranchedModel outputs follow query order (task 0 then task 2),
+        // which here equals sorted class order.
+        assert_eq!(model.class_layout(), classes);
+        let logits = model.infer(&view.inputs);
+        let acc = accuracy(&logits, &view.labels);
+
+        // PoE should be competitive with the oracle's task-specific accuracy.
+        let oracle_ts = eval_task_specific_accuracy(&mut pre.oracle, &split.test, &classes);
+        assert!(
+            acc > oracle_ts - 0.25,
+            "PoE composite acc {acc} too far below oracle {oracle_ts}"
+        );
+        assert!(acc > 0.5, "PoE composite acc {acc}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_class_count_rejected() {
+        let (split, h) = generate(
+            &GaussianHierarchyConfig { dim: 6, ..GaussianHierarchyConfig::balanced(2, 2) }
+                .with_samples(4, 2)
+                .with_seed(1),
+        );
+        // Oracle declared for 7 classes but the hierarchy has 4.
+        let cfg = PipelineConfig::defaults(
+            WrnConfig::new(10, 1.0, 1.0, 7).with_unit(4),
+            WrnConfig::new(10, 1.0, 1.0, 4).with_unit(4),
+            1,
+        );
+        preprocess(&split.train, &h, &cfg, None);
+    }
+
+    #[test]
+    fn expert_subset_extraction() {
+        let (split, h) = generate(
+            &GaussianHierarchyConfig { dim: 8, ..GaussianHierarchyConfig::balanced(4, 2) }
+                .with_samples(15, 5)
+                .with_seed(32),
+        );
+        let cfg = PipelineConfig {
+            oracle_arch: WrnConfig::new(10, 1.0, 1.0, 8).with_unit(4),
+            student_arch: WrnConfig::new(10, 1.0, 1.0, 8).with_unit(4),
+            expert_ks: 0.25,
+            oracle_train: TrainConfig::new(5, 32, 0.08),
+            library_train: TrainConfig::new(5, 32, 0.08),
+            expert_train: TrainConfig::new(5, 32, 0.08),
+            temperature: 4.0,
+            alpha: 0.3,
+            seed: 6,
+            library_groups: 3,
+        };
+        let pre = preprocess(&split.train, &h, &cfg, Some(&[1, 3]));
+        assert_eq!(pre.pool.pooled_tasks(), vec![1, 3]);
+        assert!(pre.pool.consolidate(&[1, 3]).is_ok());
+        assert!(pre.pool.consolidate(&[0]).is_err());
+    }
+}

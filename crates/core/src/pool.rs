@@ -1,0 +1,359 @@
+//! The expert pool and train-free knowledge consolidation (Section 4.2).
+//!
+//! [`ExpertPool`] is the persistent artifact of the preprocessing phase —
+//! the paper's view of a neural network as a *database*: one shared
+//! *library* component plus one tiny *expert* per primitive task. The
+//! service phase answers a composite-task query by cloning the library and
+//! the required experts into a [`BranchedModel`] whose logits are
+//! concatenated — no training, just assembly.
+
+use poe_data::ClassHierarchy;
+use poe_models::serialize::{load_module, module_byte_size, save_module, SerializeError};
+use poe_models::{Branch, BranchedModel};
+use poe_nn::layers::Sequential;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+use std::time::Instant;
+
+/// One pooled expert: the trained head for a primitive task.
+pub struct Expert {
+    /// Primitive-task index within the pool's hierarchy.
+    pub task_index: usize,
+    /// Global class ids covered, in the head's output order.
+    pub classes: Vec<usize>,
+    /// The trained head (library features → `|H_i|` logits).
+    pub head: Sequential,
+}
+
+/// Errors from pool queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The composite task was empty.
+    EmptyQuery,
+    /// A task index exceeds the hierarchy.
+    UnknownTask(usize),
+    /// A task index was named twice.
+    DuplicateTask(usize),
+    /// No expert has been extracted for this task yet.
+    MissingExpert(usize),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EmptyQuery => write!(f, "composite task is empty"),
+            QueryError::UnknownTask(t) => write!(f, "unknown primitive task {t}"),
+            QueryError::DuplicateTask(t) => write!(f, "primitive task {t} listed twice"),
+            QueryError::MissingExpert(t) => write!(f, "no expert pooled for task {t}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Timing and size statistics of one consolidation.
+#[derive(Debug, Clone, Copy)]
+pub struct ConsolidationStats {
+    /// Wall-clock seconds spent assembling the model (the paper's
+    /// "knowledge consolidation time"; training-based methods need
+    /// tens-to-hundreds of seconds here).
+    pub assembly_secs: f64,
+    /// Number of expert branches, `n(Q)`.
+    pub num_experts: usize,
+    /// Parameter count of the assembled task-specific model.
+    pub params: usize,
+}
+
+/// Byte-level storage report of a pool (Table 4).
+#[derive(Debug, Clone)]
+pub struct VolumeReport {
+    /// Serialized size of the library component.
+    pub library_bytes: u64,
+    /// Serialized size of each expert, keyed by task index.
+    pub expert_bytes: BTreeMap<usize, u64>,
+    /// Library plus all experts.
+    pub total_bytes: u64,
+}
+
+impl VolumeReport {
+    /// Mean expert size in bytes (0 when no experts are pooled).
+    pub fn mean_expert_bytes(&self) -> u64 {
+        if self.expert_bytes.is_empty() {
+            0
+        } else {
+            self.expert_bytes.values().sum::<u64>() / self.expert_bytes.len() as u64
+        }
+    }
+}
+
+/// The pool: hierarchy + library + experts.
+pub struct ExpertPool {
+    hierarchy: ClassHierarchy,
+    library: Sequential,
+    experts: BTreeMap<usize, Expert>,
+    /// Architecture tag of the library (for display).
+    pub library_arch: String,
+    /// Architecture tag of the experts (for display).
+    pub expert_arch: String,
+}
+
+impl ExpertPool {
+    /// Creates a pool around an extracted library.
+    pub fn new(hierarchy: ClassHierarchy, library: Sequential) -> Self {
+        ExpertPool {
+            hierarchy,
+            library,
+            experts: BTreeMap::new(),
+            library_arch: String::new(),
+            expert_arch: String::new(),
+        }
+    }
+
+    /// The class hierarchy this pool serves.
+    pub fn hierarchy(&self) -> &ClassHierarchy {
+        &self.hierarchy
+    }
+
+    /// The shared library component.
+    pub fn library(&self) -> &Sequential {
+        &self.library
+    }
+
+    /// Inserts (or replaces) an expert.
+    ///
+    /// # Panics
+    /// Panics if the expert's task/classes disagree with the hierarchy.
+    pub fn insert_expert(&mut self, expert: Expert) {
+        assert!(
+            expert.task_index < self.hierarchy.num_primitives(),
+            "task {} out of range",
+            expert.task_index
+        );
+        assert_eq!(
+            expert.classes,
+            self.hierarchy.primitive(expert.task_index).classes,
+            "expert class list disagrees with hierarchy for task {}",
+            expert.task_index
+        );
+        self.experts.insert(expert.task_index, expert);
+    }
+
+    /// Number of pooled experts.
+    pub fn num_experts(&self) -> usize {
+        self.experts.len()
+    }
+
+    /// True when an expert exists for the task.
+    pub fn has_expert(&self, task_index: usize) -> bool {
+        self.experts.contains_key(&task_index)
+    }
+
+    /// Borrows an expert, if pooled.
+    pub fn expert(&self, task_index: usize) -> Option<&Expert> {
+        self.experts.get(&task_index)
+    }
+
+    /// Task indices with pooled experts, ascending.
+    pub fn pooled_tasks(&self) -> Vec<usize> {
+        self.experts.keys().copied().collect()
+    }
+
+    /// **Train-free knowledge consolidation**: assembles the task-specific
+    /// model for the composite task `query` (a set of primitive-task
+    /// indices) by logit concatenation.
+    pub fn consolidate(
+        &self,
+        query: &[usize],
+    ) -> Result<(BranchedModel, ConsolidationStats), QueryError> {
+        if query.is_empty() {
+            return Err(QueryError::EmptyQuery);
+        }
+        let mut seen = vec![false; self.hierarchy.num_primitives()];
+        for &t in query {
+            if t >= self.hierarchy.num_primitives() {
+                return Err(QueryError::UnknownTask(t));
+            }
+            if seen[t] {
+                return Err(QueryError::DuplicateTask(t));
+            }
+            seen[t] = true;
+            if !self.experts.contains_key(&t) {
+                return Err(QueryError::MissingExpert(t));
+            }
+        }
+
+        let start = Instant::now();
+        let branches: Vec<Branch> = query
+            .iter()
+            .map(|t| {
+                let e = &self.experts[t];
+                Branch {
+                    task_index: e.task_index,
+                    head: e.head.clone(),
+                    classes: e.classes.clone(),
+                }
+            })
+            .collect();
+        let arch = format!(
+            "{} + [{}]ᵀ×{}",
+            self.library_arch,
+            self.expert_arch,
+            query.len()
+        );
+        let model = BranchedModel::new(arch, self.library.clone(), branches);
+        let stats = ConsolidationStats {
+            assembly_secs: start.elapsed().as_secs_f64(),
+            num_experts: query.len(),
+            params: poe_nn::Module::param_count(&model),
+        };
+        Ok((model, stats))
+    }
+
+    /// Byte-level storage accounting (Table 4).
+    pub fn volumes(&self) -> VolumeReport {
+        let library_bytes = module_byte_size(&self.library);
+        let expert_bytes: BTreeMap<usize, u64> = self
+            .experts
+            .iter()
+            .map(|(&t, e)| (t, module_byte_size(&e.head)))
+            .collect();
+        let total_bytes = library_bytes + expert_bytes.values().sum::<u64>();
+        VolumeReport {
+            library_bytes,
+            expert_bytes,
+            total_bytes,
+        }
+    }
+
+    /// Persists the pool to a directory: `library.poem` plus
+    /// `expert_<task>.poem` per expert. Returns total bytes written.
+    pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> Result<u64, SerializeError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(SerializeError::Io)?;
+        let mut total = save_module(dir.join("library.poem"), &self.library)?;
+        for (t, e) in &self.experts {
+            total += save_module(dir.join(format!("expert_{t}.poem")), &e.head)?;
+        }
+        Ok(total)
+    }
+
+    /// Reloads parameter values from a directory written by
+    /// [`ExpertPool::save_to_dir`] into this pool's identically-structured
+    /// components.
+    pub fn load_from_dir(&mut self, dir: impl AsRef<Path>) -> Result<(), SerializeError> {
+        let dir = dir.as_ref();
+        load_module(dir.join("library.poem"), &mut self.library)?;
+        for (t, e) in &mut self.experts {
+            load_module(dir.join(format!("expert_{t}.poem")), &mut e.head)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poe_nn::layers::{Linear, Relu};
+    use poe_nn::Module;
+    use poe_tensor::{Prng, Tensor};
+
+    fn toy_pool(num_tasks: usize, with_experts: &[usize]) -> ExpertPool {
+        let mut rng = Prng::seed_from_u64(7);
+        let hierarchy = ClassHierarchy::contiguous(2 * num_tasks, num_tasks);
+        let library = Sequential::new()
+            .push(Linear::new("lib", 4, 6, &mut rng))
+            .push(Relu::new());
+        let mut pool = ExpertPool::new(hierarchy, library);
+        for &t in with_experts {
+            let classes = pool.hierarchy().primitive(t).classes.clone();
+            let head =
+                Sequential::new().push(Linear::new(&format!("e{t}"), 6, classes.len(), &mut rng));
+            pool.insert_expert(Expert { task_index: t, classes, head });
+        }
+        pool
+    }
+
+    #[test]
+    fn consolidation_assembles_query_order() {
+        let pool = toy_pool(4, &[0, 1, 2, 3]);
+        let (mut model, stats) = pool.consolidate(&[2, 0]).unwrap();
+        assert_eq!(stats.num_experts, 2);
+        assert_eq!(model.class_layout(), vec![4, 5, 0, 1]);
+        let y = model.infer(&Tensor::zeros([1, 4]));
+        assert_eq!(y.dims(), &[1, 4]);
+        assert!(stats.assembly_secs < 1.0);
+        assert_eq!(stats.params, model.param_count());
+    }
+
+    #[test]
+    fn query_errors_are_specific() {
+        let pool = toy_pool(4, &[0, 1]);
+        assert_eq!(pool.consolidate(&[]).unwrap_err(), QueryError::EmptyQuery);
+        assert_eq!(pool.consolidate(&[9]).unwrap_err(), QueryError::UnknownTask(9));
+        assert_eq!(
+            pool.consolidate(&[0, 0]).unwrap_err(),
+            QueryError::DuplicateTask(0)
+        );
+        assert_eq!(
+            pool.consolidate(&[0, 3]).unwrap_err(),
+            QueryError::MissingExpert(3)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees")]
+    fn insert_expert_validates_classes() {
+        let mut pool = toy_pool(3, &[]);
+        let mut rng = Prng::seed_from_u64(8);
+        pool.insert_expert(Expert {
+            task_index: 0,
+            classes: vec![4, 5], // wrong: task 0 owns {0, 1}
+            head: Sequential::new().push(Linear::new("e", 6, 2, &mut rng)),
+        });
+    }
+
+    #[test]
+    fn volumes_account_every_component() {
+        let pool = toy_pool(3, &[0, 2]);
+        let v = pool.volumes();
+        assert!(v.library_bytes > 0);
+        assert_eq!(v.expert_bytes.len(), 2);
+        assert_eq!(
+            v.total_bytes,
+            v.library_bytes + v.expert_bytes.values().sum::<u64>()
+        );
+        assert!(v.mean_expert_bytes() > 0);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join("poe_pool_test");
+        let pool = toy_pool(3, &[0, 1, 2]);
+        let written = pool.save_to_dir(&dir).unwrap();
+        assert_eq!(written, pool.volumes().total_bytes);
+
+        // A pool with the same structure but different weights converges to
+        // the saved weights after load.
+        let mut other = toy_pool(3, &[0, 1, 2]);
+        other
+            .library
+            .visit_params(&mut |p| p.value.map_in_place(|_| 0.123));
+        other.load_from_dir(&dir).unwrap();
+
+        let (mut a, _) = pool.consolidate(&[0, 1, 2]).unwrap();
+        let (mut b, _) = other.consolidate(&[0, 1, 2]).unwrap();
+        let x = Tensor::randn([3, 4], 1.0, &mut Prng::seed_from_u64(9));
+        assert!(a.infer(&x).max_abs_diff(&b.infer(&x)) < 1e-6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn consolidation_is_fast_and_repeatable() {
+        let pool = toy_pool(6, &[0, 1, 2, 3, 4, 5]);
+        let x = Tensor::randn([2, 4], 1.0, &mut Prng::seed_from_u64(10));
+        let (mut m1, _) = pool.consolidate(&[1, 3, 5]).unwrap();
+        let (mut m2, _) = pool.consolidate(&[1, 3, 5]).unwrap();
+        assert!(m1.infer(&x).max_abs_diff(&m2.infer(&x)) == 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! The realtime model-querying service (the paper's AIaaS scenario).
+//!
+//! [`QueryService`] wraps an [`ExpertPool`] behind a read-write lock so
+//! many clients can query concurrently while experts can still be installed
+//! or refreshed online. Every query returns an assembled task-specific
+//! model plus latency statistics — the measurable version of the paper's
+//! "instantly deliver resource-efficient models for any on-demand tasks".
+
+use crate::pool::{ConsolidationStats, Expert, ExpertPool, QueryError};
+use parking_lot::{Mutex, RwLock};
+use poe_models::BranchedModel;
+
+/// Aggregate service counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Queries answered successfully.
+    pub queries_served: u64,
+    /// Queries rejected with an error.
+    pub queries_rejected: u64,
+    /// Sum of assembly latencies (seconds) over served queries.
+    pub total_assembly_secs: f64,
+}
+
+impl ServiceStats {
+    /// Mean assembly latency per served query.
+    pub fn mean_assembly_secs(&self) -> f64 {
+        if self.queries_served == 0 {
+            0.0
+        } else {
+            self.total_assembly_secs / self.queries_served as f64
+        }
+    }
+}
+
+/// Result of a successful model query.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// The assembled task-specific model `M(Q)` — ready for inference.
+    pub model: BranchedModel,
+    /// Global class ids of the unified logit, column by column.
+    pub class_layout: Vec<usize>,
+    /// Assembly statistics.
+    pub stats: ConsolidationStats,
+}
+
+/// A concurrent, realtime model-querying front end over an expert pool.
+pub struct QueryService {
+    pool: RwLock<ExpertPool>,
+    stats: Mutex<ServiceStats>,
+}
+
+impl QueryService {
+    /// Wraps a preprocessed pool.
+    pub fn new(pool: ExpertPool) -> Self {
+        QueryService {
+            pool: RwLock::new(pool),
+            stats: Mutex::new(ServiceStats::default()),
+        }
+    }
+
+    /// Answers a composite-task query `Q` given as primitive-task indices.
+    pub fn query(&self, tasks: &[usize]) -> Result<QueryResult, QueryError> {
+        let result = {
+            let pool = self.pool.read();
+            pool.consolidate(tasks)
+        };
+        let mut stats = self.stats.lock();
+        match result {
+            Ok((model, cstats)) => {
+                stats.queries_served += 1;
+                stats.total_assembly_secs += cstats.assembly_secs;
+                Ok(QueryResult {
+                    class_layout: model.class_layout(),
+                    model,
+                    stats: cstats,
+                })
+            }
+            Err(e) => {
+                stats.queries_rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Answers a query phrased as *global class ids* (e.g. "cat, fox,
+    /// wolf"): the smallest set of primitive tasks covering all the classes
+    /// is consolidated.
+    pub fn query_classes(&self, classes: &[usize]) -> Result<QueryResult, QueryError> {
+        let tasks: Vec<usize> = {
+            let pool = self.pool.read();
+            let h = pool.hierarchy();
+            let mut seen = vec![false; h.num_primitives()];
+            let mut tasks = Vec::new();
+            for &c in classes {
+                if c >= h.num_classes() {
+                    return Err(QueryError::UnknownTask(c));
+                }
+                let t = h.primitive_of_class(c);
+                if !seen[t] {
+                    seen[t] = true;
+                    tasks.push(t);
+                }
+            }
+            tasks
+        };
+        self.query(&tasks)
+    }
+
+    /// Installs (or replaces) an expert while the service is live.
+    pub fn install_expert(&self, expert: Expert) {
+        self.pool.write().insert_expert(expert);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServiceStats {
+        *self.stats.lock()
+    }
+
+    /// Read access to the underlying pool.
+    pub fn with_pool<R>(&self, f: impl FnOnce(&ExpertPool) -> R) -> R {
+        f(&self.pool.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poe_data::ClassHierarchy;
+    use poe_nn::layers::{Linear, Relu, Sequential};
+    use poe_tensor::Prng;
+
+    fn service(num_tasks: usize, with_experts: &[usize]) -> QueryService {
+        let mut rng = Prng::seed_from_u64(3);
+        let hierarchy = ClassHierarchy::contiguous(3 * num_tasks, num_tasks);
+        let library = Sequential::new()
+            .push(Linear::new("lib", 4, 5, &mut rng))
+            .push(Relu::new());
+        let mut pool = ExpertPool::new(hierarchy, library);
+        for &t in with_experts {
+            let classes = pool.hierarchy().primitive(t).classes.clone();
+            let head =
+                Sequential::new().push(Linear::new(&format!("e{t}"), 5, classes.len(), &mut rng));
+            pool.insert_expert(Expert { task_index: t, classes, head });
+        }
+        QueryService::new(pool)
+    }
+
+    #[test]
+    fn query_returns_model_and_updates_stats() {
+        let svc = service(4, &[0, 1, 2, 3]);
+        let r = svc.query(&[1, 3]).unwrap();
+        assert_eq!(r.class_layout, vec![3, 4, 5, 9, 10, 11]);
+        assert_eq!(r.stats.num_experts, 2);
+        let s = svc.stats();
+        assert_eq!(s.queries_served, 1);
+        assert_eq!(s.queries_rejected, 0);
+    }
+
+    #[test]
+    fn failed_queries_count_as_rejected() {
+        let svc = service(4, &[0]);
+        assert!(svc.query(&[2]).is_err());
+        assert_eq!(svc.stats().queries_rejected, 1);
+    }
+
+    #[test]
+    fn class_query_finds_covering_tasks() {
+        let svc = service(4, &[0, 1, 2, 3]);
+        // Classes 0 and 7 live in tasks 0 and 2.
+        let r = svc.query_classes(&[0, 7]).unwrap();
+        assert_eq!(r.stats.num_experts, 2);
+        assert!(r.class_layout.contains(&7));
+    }
+
+    #[test]
+    fn install_expert_enables_new_queries() {
+        let svc = service(3, &[0]);
+        assert!(svc.query(&[1]).is_err());
+        let mut rng = Prng::seed_from_u64(4);
+        let classes = svc.with_pool(|p| p.hierarchy().primitive(1).classes.clone());
+        svc.install_expert(Expert {
+            task_index: 1,
+            classes,
+            head: Sequential::new().push(Linear::new("late", 5, 3, &mut rng)),
+        });
+        assert!(svc.query(&[1]).is_ok());
+    }
+
+    #[test]
+    fn concurrent_queries_succeed() {
+        let svc = std::sync::Arc::new(service(6, &[0, 1, 2, 3, 4, 5]));
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let svc = svc.clone();
+            handles.push(std::thread::spawn(move || {
+                let tasks = [i % 6, (i + 1) % 6];
+                svc.query(&tasks).map(|r| r.stats.num_experts)
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap().unwrap(), 2);
+        }
+        assert_eq!(svc.stats().queries_served, 8);
+    }
+}

@@ -1,0 +1,318 @@
+//! Standalone pool persistence: a self-describing on-disk **model store**.
+//!
+//! [`crate::pool::ExpertPool::save_to_dir`] persists weights but needs an
+//! identically-structured pool to load into. The store adds a versioned
+//! *manifest* capturing everything required to rebuild the pool from
+//! nothing — the class hierarchy, the architecture hyperparameters, and
+//! the set of pooled experts — completing the paper's framing of PoE as a
+//! database that can be closed and reopened:
+//!
+//! ```text
+//! pool_dir/
+//!   manifest.poep      hierarchy + architecture + expert index
+//!   library.poem       library weights
+//!   expert_<t>.poem    one weight file per pooled expert
+//! ```
+
+use crate::pool::{Expert, ExpertPool};
+use bytes::{Buf, BufMut, BytesMut};
+use poe_data::{ClassHierarchy, PrimitiveTask};
+use poe_models::serialize::{load_module, SerializeError};
+use poe_models::{build_mlp_head_with_depth, build_wrn_mlp_with_depth, WrnConfig};
+use poe_tensor::Prng;
+use std::path::Path;
+
+const MANIFEST_MAGIC: &[u8; 4] = b"POEP";
+const MANIFEST_VERSION: u32 = 1;
+const MANIFEST_FILE: &str = "manifest.poep";
+
+/// Everything needed to rebuild a pool's module structure from scratch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolSpec {
+    /// The library student's architecture (its trunk is the library).
+    pub student_arch: WrnConfig,
+    /// `k_s` of the expert heads.
+    pub expert_ks: f32,
+    /// Library depth `ℓ` (shared groups).
+    pub library_groups: usize,
+    /// Input feature dimensionality.
+    pub input_dim: usize,
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut &[u8]) -> Result<String, SerializeError> {
+    if buf.remaining() < 4 {
+        return Err(SerializeError::Format("truncated string length".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(SerializeError::Format("truncated string".into()));
+    }
+    let mut v = vec![0u8; len];
+    buf.copy_to_slice(&mut v);
+    String::from_utf8(v).map_err(|_| SerializeError::Format("non-utf8 string".into()))
+}
+
+fn put_arch(buf: &mut BytesMut, a: &WrnConfig) {
+    buf.put_u32_le(a.depth as u32);
+    buf.put_f32_le(a.kc);
+    buf.put_f32_le(a.ks);
+    buf.put_u32_le(a.unit as u32);
+    buf.put_u32_le(a.num_classes as u32);
+}
+
+fn get_arch(buf: &mut &[u8]) -> Result<WrnConfig, SerializeError> {
+    if buf.remaining() < 20 {
+        return Err(SerializeError::Format("truncated architecture".into()));
+    }
+    Ok(WrnConfig {
+        depth: buf.get_u32_le() as usize,
+        kc: buf.get_f32_le(),
+        ks: buf.get_f32_le(),
+        unit: buf.get_u32_le() as usize,
+        num_classes: buf.get_u32_le() as usize,
+    })
+}
+
+/// Serializes the manifest for a pool with the given rebuild spec.
+fn encode_manifest(pool: &ExpertPool, spec: &PoolSpec) -> BytesMut {
+    let h = pool.hierarchy();
+    let mut buf = BytesMut::new();
+    buf.put_slice(MANIFEST_MAGIC);
+    buf.put_u32_le(MANIFEST_VERSION);
+    put_arch(&mut buf, &spec.student_arch);
+    buf.put_f32_le(spec.expert_ks);
+    buf.put_u32_le(spec.library_groups as u32);
+    buf.put_u32_le(spec.input_dim as u32);
+    put_string(&mut buf, &pool.library_arch);
+    put_string(&mut buf, &pool.expert_arch);
+    // Hierarchy.
+    buf.put_u32_le(h.num_classes() as u32);
+    buf.put_u32_le(h.num_primitives() as u32);
+    for p in h.primitives() {
+        put_string(&mut buf, &p.name);
+        buf.put_u32_le(p.classes.len() as u32);
+        for &c in &p.classes {
+            buf.put_u32_le(c as u32);
+        }
+    }
+    // Pooled experts.
+    let pooled = pool.pooled_tasks();
+    buf.put_u32_le(pooled.len() as u32);
+    for t in pooled {
+        buf.put_u32_le(t as u32);
+    }
+    buf
+}
+
+struct Manifest {
+    spec: PoolSpec,
+    library_arch: String,
+    expert_arch: String,
+    hierarchy: ClassHierarchy,
+    pooled: Vec<usize>,
+}
+
+fn decode_manifest(mut buf: &[u8]) -> Result<Manifest, SerializeError> {
+    if buf.remaining() < 8 {
+        return Err(SerializeError::Format("truncated manifest header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MANIFEST_MAGIC {
+        return Err(SerializeError::Format("bad manifest magic".into()));
+    }
+    let version = buf.get_u32_le();
+    if version != MANIFEST_VERSION {
+        return Err(SerializeError::Format(format!(
+            "unsupported manifest version {version}"
+        )));
+    }
+    let student_arch = get_arch(&mut buf)?;
+    if buf.remaining() < 12 {
+        return Err(SerializeError::Format("truncated spec".into()));
+    }
+    let expert_ks = buf.get_f32_le();
+    let library_groups = buf.get_u32_le() as usize;
+    let input_dim = buf.get_u32_le() as usize;
+    let library_arch = get_string(&mut buf)?;
+    let expert_arch = get_string(&mut buf)?;
+
+    if buf.remaining() < 8 {
+        return Err(SerializeError::Format("truncated hierarchy header".into()));
+    }
+    let num_classes = buf.get_u32_le() as usize;
+    let num_primitives = buf.get_u32_le() as usize;
+    let mut groups = Vec::with_capacity(num_primitives);
+    for _ in 0..num_primitives {
+        let name = get_string(&mut buf)?;
+        if buf.remaining() < 4 {
+            return Err(SerializeError::Format("truncated task".into()));
+        }
+        let n = buf.get_u32_le() as usize;
+        if buf.remaining() < 4 * n {
+            return Err(SerializeError::Format("truncated task classes".into()));
+        }
+        let classes = (0..n).map(|_| buf.get_u32_le() as usize).collect();
+        groups.push(PrimitiveTask { name, classes });
+    }
+    let hierarchy = ClassHierarchy::new(num_classes, groups);
+
+    if buf.remaining() < 4 {
+        return Err(SerializeError::Format("truncated expert index".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < 4 * n {
+        return Err(SerializeError::Format("truncated expert list".into()));
+    }
+    let pooled = (0..n).map(|_| buf.get_u32_le() as usize).collect();
+
+    Ok(Manifest {
+        spec: PoolSpec { student_arch, expert_ks, library_groups, input_dim },
+        library_arch,
+        expert_arch,
+        hierarchy,
+        pooled,
+    })
+}
+
+/// Persists a pool **with its manifest**, so [`load_standalone`] can
+/// reopen it without any pre-built structure. Returns total bytes written.
+pub fn save_standalone(
+    pool: &ExpertPool,
+    spec: &PoolSpec,
+    dir: impl AsRef<Path>,
+) -> Result<u64, SerializeError> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir).map_err(SerializeError::Io)?;
+    let manifest = encode_manifest(pool, spec);
+    std::fs::write(dir.join(MANIFEST_FILE), &manifest).map_err(SerializeError::Io)?;
+    let weights = pool.save_to_dir(dir)?;
+    Ok(manifest.len() as u64 + weights)
+}
+
+/// Reopens a pool saved by [`save_standalone`]: rebuilds the hierarchy and
+/// module structure from the manifest, then loads every weight file.
+pub fn load_standalone(dir: impl AsRef<Path>) -> Result<(ExpertPool, PoolSpec), SerializeError> {
+    let dir = dir.as_ref();
+    let bytes = std::fs::read(dir.join(MANIFEST_FILE)).map_err(SerializeError::Io)?;
+    let m = decode_manifest(&bytes)?;
+
+    // Rebuild the library as the trunk of a freshly-built student (the
+    // parameter names match the pipeline's construction), then overwrite
+    // its weights from disk.
+    let mut rng = Prng::seed_from_u64(0); // weights are overwritten below
+    let student = build_wrn_mlp_with_depth(
+        &m.spec.student_arch,
+        m.spec.input_dim,
+        m.spec.library_groups,
+        &mut rng,
+    );
+    let (mut library, _) = student.into_parts();
+    load_module(dir.join("library.poem"), &mut library)?;
+
+    let mut pool = ExpertPool::new(m.hierarchy.clone(), library);
+    pool.library_arch = m.library_arch;
+    pool.expert_arch = m.expert_arch;
+    for &t in &m.pooled {
+        let classes = m.hierarchy.primitive(t).classes.clone();
+        let arch = WrnConfig {
+            ks: m.spec.expert_ks,
+            num_classes: classes.len(),
+            ..m.spec.student_arch
+        };
+        let mut head = build_mlp_head_with_depth(
+            &format!("expert{t}"),
+            &arch,
+            m.spec.library_groups,
+            classes.len(),
+            &mut rng,
+        );
+        load_module(dir.join(format!("expert_{t}.poem")), &mut head)?;
+        pool.insert_expert(Expert { task_index: t, classes, head });
+    }
+    Ok((pool, m.spec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{preprocess, PipelineConfig};
+    use poe_data::synth::{generate, GaussianHierarchyConfig};
+    use poe_tensor::Tensor;
+
+    fn built_pool() -> (ExpertPool, PoolSpec, poe_data::SplitDataset) {
+        let cfg = GaussianHierarchyConfig { dim: 6, ..GaussianHierarchyConfig::balanced(3, 2) }
+            .with_samples(10, 4)
+            .with_seed(61);
+        let (split, h) = generate(&cfg);
+        let pipe = PipelineConfig {
+            seed: 8,
+            ..PipelineConfig::defaults(
+                WrnConfig::new(10, 1.0, 1.0, 6).with_unit(4),
+                WrnConfig::new(10, 1.0, 1.0, 6).with_unit(4),
+                3,
+            )
+        };
+        let pre = preprocess(&split.train, &h, &pipe, None);
+        let spec = PoolSpec {
+            student_arch: pipe.student_arch,
+            expert_ks: pipe.expert_ks,
+            library_groups: pipe.library_groups,
+            input_dim: 6,
+        };
+        (pre.pool, spec, split)
+    }
+
+    #[test]
+    fn standalone_round_trip_rebuilds_identical_pool() {
+        let (pool, spec, _split) = built_pool();
+        let dir = std::env::temp_dir().join("poe_standalone_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let written = save_standalone(&pool, &spec, &dir).unwrap();
+        assert!(written > pool.volumes().total_bytes);
+
+        let (reopened, spec2) = load_standalone(&dir).unwrap();
+        assert_eq!(spec, spec2);
+        assert_eq!(reopened.num_experts(), pool.num_experts());
+        assert_eq!(reopened.hierarchy(), pool.hierarchy());
+
+        let x = Tensor::randn([4, 6], 1.0, &mut Prng::seed_from_u64(3));
+        let (mut a, _) = pool.consolidate(&[0, 2]).unwrap();
+        let (mut b, _) = reopened.consolidate(&[0, 2]).unwrap();
+        assert!(a.infer(&x).max_abs_diff(&b.infer(&x)) < 1e-6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_manifest_is_an_error() {
+        let (pool, spec, _) = built_pool();
+        let dir = std::env::temp_dir().join("poe_standalone_corrupt");
+        std::fs::remove_dir_all(&dir).ok();
+        save_standalone(&pool, &spec, &dir).unwrap();
+        // Truncate the manifest.
+        let path = dir.join(MANIFEST_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(load_standalone(&dir).is_err());
+        // Bad magic.
+        std::fs::write(&path, b"NOPE").unwrap();
+        assert!(load_standalone(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_weight_file_is_an_error() {
+        let (pool, spec, _) = built_pool();
+        let dir = std::env::temp_dir().join("poe_standalone_missing");
+        std::fs::remove_dir_all(&dir).ok();
+        save_standalone(&pool, &spec, &dir).unwrap();
+        std::fs::remove_file(dir.join("expert_1.poem")).unwrap();
+        assert!(matches!(load_standalone(&dir), Err(SerializeError::Io(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

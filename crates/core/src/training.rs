@@ -1,0 +1,186 @@
+//! Shared training / evaluation helpers used by the PoE phases and by the
+//! baseline methods.
+
+use poe_data::Dataset;
+use poe_nn::loss::{cross_entropy, kd_loss};
+use poe_nn::train::{predict, train_batches, TrainConfig, TrainReport};
+use poe_nn::Module;
+use poe_tensor::ops::accuracy;
+use poe_tensor::Tensor;
+
+/// Inference batch size used by evaluation helpers.
+pub const EVAL_BATCH: usize = 256;
+
+/// Full-dataset logits of a model (inference mode, batched).
+pub fn logits_of(model: &mut dyn Module, inputs: &Tensor) -> Tensor {
+    predict(model, inputs, EVAL_BATCH)
+}
+
+/// Plain classification accuracy of a model on a dataset whose labels are
+/// already in the model's output space.
+pub fn eval_accuracy(model: &mut dyn Module, data: &Dataset) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let logits = logits_of(model, &data.inputs);
+    accuracy(&logits, &data.labels)
+}
+
+/// *Task-specific accuracy* of a **generic** model (Section 5.2): restrict
+/// the test set to `classes`, take the model's sub-logits for those classes,
+/// and argmax within the task only.
+pub fn eval_task_specific_accuracy(
+    model: &mut dyn Module,
+    test: &Dataset,
+    classes: &[usize],
+) -> f64 {
+    let view = test.task_view(classes);
+    if view.is_empty() {
+        return 0.0;
+    }
+    let full = logits_of(model, &view.inputs);
+    let sub = full.select_cols(classes);
+    accuracy(&sub, &view.labels)
+}
+
+/// Trains a model from scratch with the cross-entropy loss on a dataset
+/// whose labels match the model's output space (the paper's **Scratch**
+/// setting when the dataset is a task view).
+pub fn train_cross_entropy(
+    model: &mut dyn Module,
+    data: &Dataset,
+    cfg: &TrainConfig,
+) -> TrainReport {
+    let labels = data.labels.clone();
+    train_batches(model, &data.inputs, cfg, &mut |logits, idx| {
+        let batch: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+        cross_entropy(logits, &batch)
+    })
+}
+
+/// Like [`train_cross_entropy`] but reporting an evaluation metric every
+/// `eval_every` epochs (used for learning curves — Figures 6/7).
+pub fn train_cross_entropy_with_eval(
+    model: &mut dyn Module,
+    data: &Dataset,
+    cfg: &TrainConfig,
+    eval_every: usize,
+    eval_fn: &mut dyn FnMut(&mut dyn Module) -> f64,
+) -> TrainReport {
+    let labels = data.labels.clone();
+    poe_nn::train::train_batches_with_eval(
+        model,
+        &data.inputs,
+        cfg,
+        &mut |logits, idx| {
+            let batch: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+            cross_entropy(logits, &batch)
+        },
+        eval_every,
+        eval_fn,
+    )
+}
+
+/// Distills a teacher into a student with the standard KD loss of Eq. (1),
+/// using **precomputed** teacher logits aligned row-by-row with
+/// `train_inputs` (the teacher runs once, not once per epoch).
+pub fn train_distill(
+    student: &mut dyn Module,
+    train_inputs: &Tensor,
+    teacher_logits: &Tensor,
+    temperature: f32,
+    cfg: &TrainConfig,
+) -> TrainReport {
+    assert_eq!(
+        train_inputs.dims()[0],
+        teacher_logits.rows(),
+        "teacher logits must align with training inputs"
+    );
+    train_batches(student, train_inputs, cfg, &mut |logits, idx| {
+        let t = teacher_logits.select_rows(idx);
+        kd_loss(logits, &t, temperature, true)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poe_data::synth::{generate, GaussianHierarchyConfig};
+    use poe_nn::layers::{Linear, Relu, Sequential};
+    use poe_tensor::Prng;
+
+    fn tiny_data() -> (poe_data::SplitDataset, poe_data::ClassHierarchy) {
+        generate(&GaussianHierarchyConfig {
+            dim: 8,
+            ..GaussianHierarchyConfig::balanced(3, 2)
+        }
+        .with_samples(20, 10)
+        .with_seed(3))
+    }
+
+    fn small_net(in_dim: usize, out: usize, seed: u64) -> Sequential {
+        let mut rng = Prng::seed_from_u64(seed);
+        Sequential::new()
+            .push(Linear::new("l1", in_dim, 24, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new("l2", 24, out, &mut rng))
+    }
+
+    #[test]
+    fn scratch_training_learns_the_global_task() {
+        let (split, _) = tiny_data();
+        let mut model = small_net(8, 6, 1);
+        let cfg = TrainConfig::new(25, 32, 0.1);
+        train_cross_entropy(&mut model, &split.train, &cfg);
+        let acc = eval_accuracy(&mut model, &split.test);
+        assert!(acc > 0.6, "accuracy {acc}");
+    }
+
+    #[test]
+    fn task_specific_accuracy_beats_chance_for_trained_generic() {
+        let (split, h) = tiny_data();
+        let mut model = small_net(8, 6, 2);
+        let cfg = TrainConfig::new(25, 32, 0.1);
+        train_cross_entropy(&mut model, &split.train, &cfg);
+        let classes = &h.primitive(0).classes;
+        let acc = eval_task_specific_accuracy(&mut model, &split.test, classes);
+        assert!(acc > 0.6, "task-specific accuracy {acc}");
+    }
+
+    #[test]
+    fn distillation_transfers_teacher_knowledge() {
+        let (split, _) = tiny_data();
+        // Teacher: train a capable model first.
+        let mut teacher = small_net(8, 6, 3);
+        train_cross_entropy(&mut teacher, &split.train, &TrainConfig::new(30, 32, 0.1));
+        let teacher_acc = eval_accuracy(&mut teacher, &split.test);
+        // Student distilled from the teacher without ever seeing labels.
+        let t_logits = logits_of(&mut teacher, &split.train.inputs);
+        let mut student = small_net(8, 6, 4);
+        train_distill(&mut student, &split.train.inputs, &t_logits, 4.0, &TrainConfig::new(30, 32, 0.1));
+        let student_acc = eval_accuracy(&mut student, &split.test);
+        assert!(
+            student_acc > teacher_acc - 0.15,
+            "student {student_acc} vs teacher {teacher_acc}"
+        );
+    }
+
+    #[test]
+    fn teacher_logit_row_mismatch_panics() {
+        let (split, _) = tiny_data();
+        let mut student = small_net(8, 6, 5);
+        let bad = Tensor::zeros([3, 6]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            train_distill(&mut student, &split.train.inputs, &bad, 4.0, &TrainConfig::new(1, 8, 0.1));
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn eval_on_empty_dataset_is_zero() {
+        let (split, _) = tiny_data();
+        let mut model = small_net(8, 6, 6);
+        let empty = split.test.task_view(&[]);
+        assert_eq!(eval_accuracy(&mut model, &empty), 0.0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Labelled datasets and task-restricted views.
+
+use poe_tensor::Tensor;
+
+/// A labelled dataset: `inputs[i]` (any per-sample rank) with global class
+/// label `labels[i] < num_classes`.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Sample tensor, `[n, …]`.
+    pub inputs: Tensor,
+    /// Global class labels, one per sample.
+    pub labels: Vec<usize>,
+    /// Number of classes in the *global* label space.
+    pub num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating label ranges.
+    ///
+    /// # Panics
+    /// Panics if counts disagree or a label is out of range.
+    pub fn new(inputs: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(
+            inputs.dims()[0],
+            labels.len(),
+            "sample/label count mismatch"
+        );
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        Dataset {
+            inputs,
+            labels,
+            num_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Per-sample shape (without the leading batch dimension).
+    pub fn sample_shape(&self) -> Vec<usize> {
+        self.inputs.dims()[1..].to_vec()
+    }
+
+    /// Restricts the dataset to samples whose label is in `classes`,
+    /// remapping labels to *positions within `classes`* (the label space a
+    /// specialized model is trained on).
+    ///
+    /// # Panics
+    /// Panics if `classes` contains duplicates or out-of-range ids.
+    pub fn task_view(&self, classes: &[usize]) -> Dataset {
+        let mut remap = vec![usize::MAX; self.num_classes];
+        for (pos, &c) in classes.iter().enumerate() {
+            assert!(c < self.num_classes, "class {c} out of range");
+            assert_eq!(remap[c], usize::MAX, "class {c} duplicated in task");
+            remap[c] = pos;
+        }
+        let keep: Vec<usize> = self
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| remap[l] != usize::MAX)
+            .map(|(i, _)| i)
+            .collect();
+        let labels = keep.iter().map(|&i| remap[self.labels[i]]).collect();
+        Dataset {
+            inputs: self.inputs.select_samples(&keep),
+            labels,
+            num_classes: classes.len(),
+        }
+    }
+
+    /// The complement view: samples whose label is *not* in `classes`,
+    /// keeping their original global labels. These are the
+    /// *out-of-distribution* inputs used in the paper's confidence analysis
+    /// (Figure 5).
+    pub fn out_of_task_view(&self, classes: &[usize]) -> Dataset {
+        let mut in_task = vec![false; self.num_classes];
+        for &c in classes {
+            assert!(c < self.num_classes, "class {c} out of range");
+            in_task[c] = true;
+        }
+        let keep: Vec<usize> = self
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| !in_task[l])
+            .map(|(i, _)| i)
+            .collect();
+        Dataset {
+            inputs: self.inputs.select_samples(&keep),
+            labels: keep.iter().map(|&i| self.labels[i]).collect(),
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Per-class sample counts, indexed by global class id.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Ratio of the largest to the smallest per-class count among classes
+    /// that occur (1.0 for perfectly balanced data; `f64::INFINITY` when
+    /// some class is absent while others occur).
+    pub fn imbalance_ratio(&self) -> f64 {
+        let counts = self.class_counts();
+        let max = counts.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return 1.0;
+        }
+        let min = counts.iter().copied().min().unwrap_or(0);
+        if min == 0 {
+            f64::INFINITY
+        } else {
+            max as f64 / min as f64
+        }
+    }
+
+    /// Splits the dataset into `(train, held_out)` with per-class
+    /// stratification: for every class, `held_out_fraction` of its samples
+    /// (at least one when the class has ≥ 2) goes to the held-out side.
+    /// Used to carve a validation split out of user-supplied data.
+    ///
+    /// # Panics
+    /// Panics unless `0 < held_out_fraction < 1`.
+    pub fn stratified_split(
+        &self,
+        held_out_fraction: f64,
+        rng: &mut poe_tensor::Prng,
+    ) -> (Dataset, Dataset) {
+        assert!(
+            held_out_fraction > 0.0 && held_out_fraction < 1.0,
+            "held_out_fraction must be in (0, 1)"
+        );
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.num_classes];
+        for (i, &l) in self.labels.iter().enumerate() {
+            by_class[l].push(i);
+        }
+        let mut train_idx = Vec::new();
+        let mut held_idx = Vec::new();
+        for mut members in by_class {
+            if members.is_empty() {
+                continue;
+            }
+            rng.shuffle(&mut members);
+            let k = if members.len() == 1 {
+                0
+            } else {
+                ((members.len() as f64 * held_out_fraction).round() as usize)
+                    .clamp(1, members.len() - 1)
+            };
+            held_idx.extend_from_slice(&members[..k]);
+            train_idx.extend_from_slice(&members[k..]);
+        }
+        train_idx.sort_unstable();
+        held_idx.sort_unstable();
+        let take = |idx: &[usize]| -> Dataset {
+            Dataset {
+                inputs: self.inputs.select_samples(idx),
+                labels: idx.iter().map(|&i| self.labels[i]).collect(),
+                num_classes: self.num_classes,
+            }
+        };
+        (take(&train_idx), take(&held_idx))
+    }
+
+    /// Takes every `stride`-th sample — a cheap deterministic subsample for
+    /// fast evaluation passes.
+    pub fn thin(&self, stride: usize) -> Dataset {
+        assert!(stride > 0);
+        let keep: Vec<usize> = (0..self.len()).step_by(stride).collect();
+        Dataset {
+            inputs: self.inputs.select_samples(&keep),
+            labels: keep.iter().map(|&i| self.labels[i]).collect(),
+            num_classes: self.num_classes,
+        }
+    }
+}
+
+/// A train/test split sharing one label space.
+#[derive(Debug, Clone)]
+pub struct SplitDataset {
+    /// Training partition.
+    pub train: Dataset,
+    /// Held-out test partition.
+    pub test: Dataset,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        // 6 samples over 3 classes, feature = label as f32.
+        let labels = vec![0, 1, 2, 0, 1, 2];
+        let inputs = Tensor::from_vec(labels.iter().map(|&l| l as f32).collect(), [6, 1]);
+        Dataset::new(inputs, labels, 3)
+    }
+
+    #[test]
+    fn construction_validates() {
+        let d = toy();
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.sample_shape(), vec![1]);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_label_rejected() {
+        Dataset::new(Tensor::zeros([1, 1]), vec![5], 3);
+    }
+
+    #[test]
+    fn task_view_remaps_labels() {
+        let d = toy();
+        let v = d.task_view(&[2, 0]);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.num_classes, 2);
+        // Original class 2 → 0, class 0 → 1.
+        assert_eq!(v.labels, vec![1, 0, 1, 0]);
+        // Features follow their samples.
+        assert_eq!(v.inputs.data(), &[0.0, 2.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn out_of_task_view_keeps_global_labels() {
+        let d = toy();
+        let v = d.out_of_task_view(&[0]);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.labels, vec![1, 2, 1, 2]);
+        assert_eq!(v.num_classes, 3);
+    }
+
+    #[test]
+    fn task_and_complement_partition() {
+        let d = toy();
+        let a = d.task_view(&[1]);
+        let b = d.out_of_task_view(&[1]);
+        assert_eq!(a.len() + b.len(), d.len());
+    }
+
+    #[test]
+    fn thin_subsamples() {
+        let d = toy();
+        let t = d.thin(2);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.labels, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn stratified_split_preserves_class_coverage() {
+        use poe_tensor::Prng;
+        // 4 classes × 10 samples.
+        let labels: Vec<usize> = (0..40).map(|i| i % 4).collect();
+        let inputs = Tensor::from_vec((0..40).map(|v| v as f32).collect(), [40, 1]);
+        let d = Dataset::new(inputs, labels, 4);
+        let (train, held) = d.stratified_split(0.2, &mut Prng::seed_from_u64(9));
+        assert_eq!(train.len() + held.len(), 40);
+        // Every class appears on both sides.
+        for counts in [train.class_counts(), held.class_counts()] {
+            assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+        }
+        // Held-out fraction is ~20% per class.
+        assert_eq!(held.class_counts(), vec![2, 2, 2, 2]);
+        // No sample duplicated: features partition exactly.
+        let mut all: Vec<i64> = train
+            .inputs
+            .data()
+            .iter()
+            .chain(held.inputs.data())
+            .map(|&v| v as i64)
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..40).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn stratified_split_keeps_singletons_in_train() {
+        use poe_tensor::Prng;
+        let d = Dataset::new(Tensor::zeros([3, 1]), vec![0, 0, 1], 2);
+        let (train, held) = d.stratified_split(0.5, &mut Prng::seed_from_u64(1));
+        // Class 1 has one sample → stays in train.
+        assert!(train.labels.contains(&1));
+        assert!(!held.labels.contains(&1));
+    }
+
+    #[test]
+    fn class_counts_and_balance() {
+        let d = toy();
+        assert_eq!(d.class_counts(), vec![2, 2, 2]);
+        assert_eq!(d.imbalance_ratio(), 1.0);
+        // Remove one class → infinite imbalance over the global space.
+        let v = d.task_view(&[0, 1]);
+        assert_eq!(v.class_counts(), vec![2, 2]);
+        let skew = Dataset::new(Tensor::zeros([3, 1]), vec![0, 0, 1], 3);
+        assert!(skew.imbalance_ratio().is_infinite());
+        let empty = d.task_view(&[]);
+        assert_eq!(empty.imbalance_ratio(), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_task_class_rejected() {
+        toy().task_view(&[1, 1]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Class hierarchies and primitive tasks.
+//!
+//! The paper decomposes the oracle's class set `C` into `n` *primitive
+//! tasks* `H_1 … H_n` (Section 3): disjoint groups of semantically-similar
+//! classes, e.g. the 20 CIFAR-100 superclasses or groups of 3–10 leaves of
+//! the ImageNet semantic tree. A *composite task* `Q` is a union of
+//! primitive tasks.
+
+/// One primitive task: a named, sorted, non-empty group of class ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrimitiveTask {
+    /// Human-readable name (e.g. `"vehicles1"`).
+    pub name: String,
+    /// Sorted global class ids belonging to the task.
+    pub classes: Vec<usize>,
+}
+
+/// A disjoint partition of `0..num_classes` into primitive tasks.
+///
+/// ```
+/// use poe_data::ClassHierarchy;
+///
+/// let h = ClassHierarchy::contiguous(10, 5); // 5 tasks × 2 classes
+/// assert_eq!(h.primitive_of_class(3), 1);
+/// assert_eq!(h.composite_classes(&[0, 2]), vec![0, 1, 4, 5]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassHierarchy {
+    num_classes: usize,
+    primitives: Vec<PrimitiveTask>,
+    /// `class → primitive index` lookup.
+    primitive_of: Vec<usize>,
+}
+
+impl ClassHierarchy {
+    /// Builds a hierarchy from task groups.
+    ///
+    /// # Panics
+    /// Panics unless the groups are non-empty, disjoint, and exactly cover
+    /// `0..num_classes`.
+    pub fn new(num_classes: usize, groups: Vec<PrimitiveTask>) -> Self {
+        let mut primitive_of = vec![usize::MAX; num_classes];
+        for (ti, task) in groups.iter().enumerate() {
+            assert!(!task.classes.is_empty(), "primitive task `{}` is empty", task.name);
+            for &c in &task.classes {
+                assert!(c < num_classes, "class {c} out of range in `{}`", task.name);
+                assert_eq!(
+                    primitive_of[c],
+                    usize::MAX,
+                    "class {c} assigned to two primitive tasks"
+                );
+                primitive_of[c] = ti;
+            }
+        }
+        assert!(
+            primitive_of.iter().all(|&t| t != usize::MAX),
+            "some classes belong to no primitive task"
+        );
+        let mut primitives = groups;
+        for p in &mut primitives {
+            p.classes.sort_unstable();
+        }
+        ClassHierarchy {
+            num_classes,
+            primitives,
+            primitive_of,
+        }
+    }
+
+    /// Builds a hierarchy of `num_primitives` contiguous, near-equal groups
+    /// named `task0, task1, …` (larger groups first when sizes differ).
+    pub fn contiguous(num_classes: usize, num_primitives: usize) -> Self {
+        assert!(num_primitives > 0 && num_primitives <= num_classes);
+        let base = num_classes / num_primitives;
+        let extra = num_classes % num_primitives;
+        let mut groups = Vec::with_capacity(num_primitives);
+        let mut next = 0usize;
+        for i in 0..num_primitives {
+            let size = base + usize::from(i < extra);
+            groups.push(PrimitiveTask {
+                name: format!("task{i}"),
+                classes: (next..next + size).collect(),
+            });
+            next += size;
+        }
+        Self::new(num_classes, groups)
+    }
+
+    /// Total class count `|C|`.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of primitive tasks `n`.
+    pub fn num_primitives(&self) -> usize {
+        self.primitives.len()
+    }
+
+    /// The primitive tasks in index order.
+    pub fn primitives(&self) -> &[PrimitiveTask] {
+        &self.primitives
+    }
+
+    /// The `i`-th primitive task.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn primitive(&self, i: usize) -> &PrimitiveTask {
+        &self.primitives[i]
+    }
+
+    /// The primitive task index containing a class.
+    ///
+    /// # Panics
+    /// Panics if `class` is out of range.
+    pub fn primitive_of_class(&self, class: usize) -> usize {
+        self.primitive_of[class]
+    }
+
+    /// The sorted class list of a composite task `Q = ∪ H_i`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range or duplicated task index.
+    pub fn composite_classes(&self, task_indices: &[usize]) -> Vec<usize> {
+        let mut seen = vec![false; self.primitives.len()];
+        let mut out = Vec::new();
+        for &t in task_indices {
+            assert!(t < self.primitives.len(), "primitive task {t} out of range");
+            assert!(!seen[t], "primitive task {t} listed twice in composite");
+            seen[t] = true;
+            out.extend_from_slice(&self.primitives[t].classes);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// All distinct `k`-subsets of primitive-task indices, in lexicographic
+    /// order — the composite-task enumeration behind Table 3's averages.
+    pub fn composites_of_size(&self, k: usize, from_tasks: &[usize]) -> Vec<Vec<usize>> {
+        assert!(k >= 1 && k <= from_tasks.len());
+        let mut out = Vec::new();
+        let mut current = Vec::with_capacity(k);
+        fn rec(
+            pool: &[usize],
+            k: usize,
+            start: usize,
+            current: &mut Vec<usize>,
+            out: &mut Vec<Vec<usize>>,
+        ) {
+            if current.len() == k {
+                out.push(current.clone());
+                return;
+            }
+            for i in start..pool.len() {
+                current.push(pool[i]);
+                rec(pool, k, i + 1, current, out);
+                current.pop();
+            }
+        }
+        rec(from_tasks, k, 0, &mut current, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ClassHierarchy {
+        ClassHierarchy::new(
+            6,
+            vec![
+                PrimitiveTask { name: "a".into(), classes: vec![0, 3] },
+                PrimitiveTask { name: "b".into(), classes: vec![1, 4] },
+                PrimitiveTask { name: "c".into(), classes: vec![2, 5] },
+            ],
+        )
+    }
+
+    #[test]
+    fn lookup_round_trips() {
+        let h = small();
+        assert_eq!(h.num_classes(), 6);
+        assert_eq!(h.num_primitives(), 3);
+        assert_eq!(h.primitive_of_class(4), 1);
+        assert_eq!(h.primitive(1).classes, vec![1, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlapping_groups_rejected() {
+        ClassHierarchy::new(
+            3,
+            vec![
+                PrimitiveTask { name: "a".into(), classes: vec![0, 1] },
+                PrimitiveTask { name: "b".into(), classes: vec![1, 2] },
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn uncovered_class_rejected() {
+        ClassHierarchy::new(
+            3,
+            vec![PrimitiveTask { name: "a".into(), classes: vec![0, 1] }],
+        );
+    }
+
+    #[test]
+    fn contiguous_partition_covers_all() {
+        let h = ClassHierarchy::contiguous(10, 3);
+        assert_eq!(h.num_primitives(), 3);
+        let sizes: Vec<usize> = h.primitives().iter().map(|p| p.classes.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert_eq!(sizes, vec![4, 3, 3]);
+        for c in 0..10 {
+            let t = h.primitive_of_class(c);
+            assert!(h.primitive(t).classes.contains(&c));
+        }
+    }
+
+    #[test]
+    fn composite_classes_sorted_union() {
+        let h = small();
+        assert_eq!(h.composite_classes(&[2, 0]), vec![0, 2, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_composite_rejected() {
+        small().composite_classes(&[1, 1]);
+    }
+
+    #[test]
+    fn composites_of_size_enumerates_choose() {
+        let h = ClassHierarchy::contiguous(12, 6);
+        let pool: Vec<usize> = (0..6).collect();
+        assert_eq!(h.composites_of_size(2, &pool).len(), 15);
+        assert_eq!(h.composites_of_size(5, &pool).len(), 6);
+        let c3 = h.composites_of_size(3, &pool);
+        assert_eq!(c3.len(), 20);
+        assert_eq!(c3[0], vec![0, 1, 2]);
+        assert_eq!(c3[19], vec![3, 4, 5]);
+    }
+}

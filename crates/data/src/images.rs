@@ -1,0 +1,228 @@
+//! Synthetic image datasets for the convolutional WRN path.
+//!
+//! **Substitution note (see DESIGN.md §2).** These stand in for the paper's
+//! CIFAR-100 / Tiny-ImageNet *images*. Each superclass draws a smooth base
+//! texture (a sum of random low-frequency sinusoidal gratings per channel);
+//! each class perturbs that texture with its own higher-frequency grating;
+//! samples add pixel noise and a random global phase jitter. The result is
+//! an image classification problem with the same hierarchical structure as
+//! the feature datasets of [`crate::synth`], at a miniature spatial size
+//! that a pure-CPU conv net can train on.
+
+use crate::{ClassHierarchy, Dataset, PrimitiveTask, SplitDataset};
+use poe_tensor::{Prng, Tensor};
+
+/// Configuration of the synthetic image generator.
+#[derive(Debug, Clone)]
+pub struct ImageHierarchyConfig {
+    /// Channels (e.g. 3 for RGB-like).
+    pub channels: usize,
+    /// Image height.
+    pub height: usize,
+    /// Image width.
+    pub width: usize,
+    /// Classes per primitive task.
+    pub task_sizes: Vec<usize>,
+    /// Training samples per class.
+    pub train_per_class: usize,
+    /// Test samples per class.
+    pub test_per_class: usize,
+    /// Pixel noise level.
+    pub sigma_noise: f32,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl ImageHierarchyConfig {
+    /// A miniature configuration suitable for CPU conv training.
+    pub fn miniature(num_tasks: usize, classes_per_task: usize) -> Self {
+        ImageHierarchyConfig {
+            channels: 3,
+            height: 8,
+            width: 8,
+            task_sizes: vec![classes_per_task; num_tasks],
+            train_per_class: 30,
+            test_per_class: 10,
+            sigma_noise: 0.35,
+            seed: 0x5eed,
+        }
+    }
+
+    /// Total class count.
+    pub fn num_classes(&self) -> usize {
+        self.task_sizes.iter().sum()
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A per-channel sinusoidal grating with random orientation and phase.
+struct Grating {
+    fx: f32,
+    fy: f32,
+    phase: f32,
+    amp: f32,
+}
+
+impl Grating {
+    fn random(rng: &mut Prng, max_freq: f32, amp: f32) -> Self {
+        Grating {
+            fx: rng.uniform_in(-max_freq, max_freq),
+            fy: rng.uniform_in(-max_freq, max_freq),
+            phase: rng.uniform_in(0.0, std::f32::consts::TAU),
+            amp,
+        }
+    }
+
+    fn at(&self, y: usize, x: usize, jitter: f32) -> f32 {
+        self.amp * (self.fx * x as f32 + self.fy * y as f32 + self.phase + jitter).sin()
+    }
+}
+
+/// Generates the hierarchy and an image train/test split.
+pub fn generate_images(cfg: &ImageHierarchyConfig) -> (SplitDataset, ClassHierarchy) {
+    assert!(!cfg.task_sizes.is_empty());
+    let num_classes = cfg.num_classes();
+    let mut rng = Prng::seed_from_u64(cfg.seed);
+
+    let mut groups = Vec::new();
+    let mut next = 0usize;
+    for (i, &size) in cfg.task_sizes.iter().enumerate() {
+        groups.push(PrimitiveTask {
+            name: format!("imgtask{i}"),
+            classes: (next..next + size).collect(),
+        });
+        next += size;
+    }
+    let hierarchy = ClassHierarchy::new(num_classes, groups);
+
+    // Per-class texture: superclass base gratings + class-specific grating.
+    struct ClassTexture {
+        base: Vec<Grating>,  // one per channel, low frequency
+        detail: Vec<Grating>, // one per channel, higher frequency
+    }
+    let mut textures: Vec<ClassTexture> = Vec::with_capacity(num_classes);
+    for &size in &cfg.task_sizes {
+        let base: Vec<Grating> = (0..cfg.channels)
+            .map(|_| Grating::random(&mut rng, 0.6, 1.0))
+            .collect();
+        for _ in 0..size {
+            let detail: Vec<Grating> = (0..cfg.channels)
+                .map(|_| Grating::random(&mut rng, 1.8, 0.6))
+                .collect();
+            textures.push(ClassTexture {
+                base: base
+                    .iter()
+                    .map(|g| Grating { fx: g.fx, fy: g.fy, phase: g.phase, amp: g.amp })
+                    .collect(),
+                detail,
+            });
+        }
+    }
+
+    let (c, h, w) = (cfg.channels, cfg.height, cfg.width);
+    let sample_split = |per_class: usize, rng: &mut Prng| -> Dataset {
+        let n = num_classes * per_class;
+        let mut data = Vec::with_capacity(n * c * h * w);
+        let mut labels = Vec::with_capacity(n);
+        for (class, tex) in textures.iter().enumerate() {
+            for _ in 0..per_class {
+                let jitter = rng.uniform_in(-0.3, 0.3);
+                for ch in 0..c {
+                    for y in 0..h {
+                        for x in 0..w {
+                            let v = tex.base[ch].at(y, x, jitter)
+                                + tex.detail[ch].at(y, x, jitter)
+                                + rng.normal() * cfg.sigma_noise;
+                            data.push(v);
+                        }
+                    }
+                }
+                labels.push(class);
+            }
+        }
+        Dataset::new(Tensor::from_vec(data, [n, c, h, w]), labels, num_classes)
+    };
+
+    let train = sample_split(cfg.train_per_class, &mut rng);
+    let test = sample_split(cfg.test_per_class, &mut rng);
+    (SplitDataset { train, test }, hierarchy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_counts() {
+        let cfg = ImageHierarchyConfig::miniature(2, 3);
+        let (split, h) = generate_images(&cfg);
+        assert_eq!(h.num_classes(), 6);
+        assert_eq!(split.train.len(), 6 * 30);
+        assert_eq!(split.test.len(), 6 * 10);
+        assert_eq!(split.train.sample_shape(), vec![3, 8, 8]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ImageHierarchyConfig::miniature(2, 2).with_seed(9);
+        let (a, _) = generate_images(&cfg);
+        let (b, _) = generate_images(&cfg);
+        assert_eq!(a.train.inputs, b.train.inputs);
+    }
+
+    #[test]
+    fn images_are_bounded_and_finite() {
+        let cfg = ImageHierarchyConfig::miniature(2, 2);
+        let (split, _) = generate_images(&cfg);
+        assert!(!split.train.inputs.has_non_finite());
+        // amp 1.0 + amp 0.6 + noise: values should stay in a small range.
+        assert!(split.train.inputs.max() < 4.0);
+        assert!(split.train.inputs.min() > -4.0);
+    }
+
+    #[test]
+    fn classes_are_visually_distinct() {
+        // Mean image of a class should be closer to samples of that class
+        // than to samples of another class, on average.
+        let mut cfg = ImageHierarchyConfig::miniature(2, 2);
+        cfg.sigma_noise = 0.1;
+        let (split, _) = generate_images(&cfg);
+        let d: usize = split.train.sample_shape().iter().product();
+        let n = split.train.len();
+        let flat = split.train.inputs.reshape([n, d]).unwrap();
+        let mut means = vec![vec![0.0f32; d]; 4];
+        let mut counts = vec![0usize; 4];
+        for i in 0..n {
+            let l = split.train.labels[i];
+            counts[l] += 1;
+            for (j, &v) in flat.row(i).iter().enumerate() {
+                means[l][j] += v;
+            }
+        }
+        for (m, &cnt) in means.iter_mut().zip(&counts) {
+            m.iter_mut().for_each(|v| *v /= cnt as f32);
+        }
+        // Nearest-mean classification on train data should beat chance.
+        let mut correct = 0;
+        for i in 0..n {
+            let row = flat.row(i);
+            let mut best = 0;
+            let mut best_d = f32::INFINITY;
+            for (cl, m) in means.iter().enumerate() {
+                let dd: f32 = row.iter().zip(m).map(|(a, b)| (a - b) * (a - b)).sum();
+                if dd < best_d {
+                    best_d = dd;
+                    best = cl;
+                }
+            }
+            correct += usize::from(best == split.train.labels[i]);
+        }
+        let acc = correct as f64 / n as f64;
+        assert!(acc > 0.8, "nearest-mean accuracy {acc}");
+    }
+}

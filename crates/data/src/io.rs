@@ -1,0 +1,236 @@
+//! Plain-text dataset interchange.
+//!
+//! Lets users bring their own feature data to the PoE pipeline (and export
+//! the synthetic benchmarks for inspection) without any external format
+//! dependencies. The format is minimal CSV: one sample per line, feature
+//! values followed by an integer label in the last column. Lines starting
+//! with `#` are comments; the first comment line written by
+//! [`write_csv`] records the class count so files round-trip exactly.
+
+use crate::Dataset;
+use poe_tensor::Tensor;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+/// Errors from dataset (de)serialization.
+#[derive(Debug)]
+pub enum DataIoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Structural problem with the file, with a 1-based line number.
+    Parse {
+        /// Line where the problem was found (0 = file level).
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for DataIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataIoError::Io(e) => write!(f, "i/o error: {e}"),
+            DataIoError::Parse { line, message } => {
+                write!(f, "bad dataset file (line {line}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataIoError {}
+
+impl From<std::io::Error> for DataIoError {
+    fn from(e: std::io::Error) -> Self {
+        DataIoError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> DataIoError {
+    DataIoError::Parse { line, message: message.into() }
+}
+
+/// Writes a dataset as CSV: a `# classes=N` header comment, then one
+/// `f1,f2,…,fd,label` line per sample. Only flat (rank-1 sample) datasets
+/// are supported.
+///
+/// # Panics
+/// Panics if the dataset's samples are not flat feature vectors.
+pub fn write_csv(dataset: &Dataset, path: impl AsRef<Path>) -> Result<(), DataIoError> {
+    assert_eq!(
+        dataset.sample_shape().len(),
+        1,
+        "CSV export supports flat feature datasets only"
+    );
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(out, "# classes={}", dataset.num_classes)?;
+    let dim = dataset.sample_shape()[0];
+    let flat = dataset
+        .inputs
+        .reshape([dataset.len(), dim])
+        .expect("flat reshape");
+    for (i, &label) in dataset.labels.iter().enumerate() {
+        let row = flat.row(i);
+        let mut line = String::with_capacity(dim * 10);
+        for v in row {
+            line.push_str(&format!("{v}"));
+            line.push(',');
+        }
+        line.push_str(&label.to_string());
+        writeln!(out, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Reads a dataset written by [`write_csv`], or any CSV of
+/// `features…,label` rows. The class count is taken from the
+/// `# classes=N` header when present, otherwise `max(label)+1`.
+pub fn read_csv(path: impl AsRef<Path>) -> Result<Dataset, DataIoError> {
+    let file = std::fs::File::open(path)?;
+    let reader = BufReader::new(file);
+
+    let mut declared_classes: Option<usize> = None;
+    let mut dim: Option<usize> = None;
+    let mut data: Vec<f32> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(comment) = trimmed.strip_prefix('#') {
+            if let Some(v) = comment.trim().strip_prefix("classes=") {
+                declared_classes = Some(
+                    v.trim()
+                        .parse()
+                        .map_err(|_| parse_err(line_no, format!("bad class count `{v}`")))?,
+                );
+            }
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() < 2 {
+            return Err(parse_err(line_no, "need at least one feature and a label"));
+        }
+        let this_dim = fields.len() - 1;
+        match dim {
+            None => dim = Some(this_dim),
+            Some(d) if d != this_dim => {
+                return Err(parse_err(
+                    line_no,
+                    format!("row has {this_dim} features, expected {d}"),
+                ));
+            }
+            _ => {}
+        }
+        for f in &fields[..this_dim] {
+            let v: f32 = f
+                .trim()
+                .parse()
+                .map_err(|_| parse_err(line_no, format!("bad feature value `{f}`")))?;
+            if !v.is_finite() {
+                return Err(parse_err(line_no, format!("non-finite feature `{f}`")));
+            }
+            data.push(v);
+        }
+        let label: usize = fields[this_dim]
+            .trim()
+            .parse()
+            .map_err(|_| parse_err(line_no, format!("bad label `{}`", fields[this_dim])))?;
+        labels.push(label);
+    }
+
+    let dim = dim.ok_or_else(|| parse_err(0, "file contains no samples"))?;
+    let max_label = labels.iter().copied().max().unwrap_or(0);
+    let num_classes = match declared_classes {
+        Some(n) => {
+            if max_label >= n {
+                return Err(parse_err(
+                    0,
+                    format!("label {max_label} exceeds declared classes={n}"),
+                ));
+            }
+            n
+        }
+        None => max_label + 1,
+    };
+    let n = labels.len();
+    Ok(Dataset::new(Tensor::from_vec(data, [n, dim]), labels, num_classes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, GaussianHierarchyConfig};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("poe_dataio_{name}.csv"))
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let (split, _) = generate(
+            &GaussianHierarchyConfig { dim: 5, ..GaussianHierarchyConfig::balanced(2, 3) }
+                .with_samples(8, 2)
+                .with_seed(3),
+        );
+        let path = tmp("round_trip");
+        write_csv(&split.train, &path).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back.num_classes, split.train.num_classes);
+        assert_eq!(back.labels, split.train.labels);
+        assert_eq!(back.sample_shape(), split.train.sample_shape());
+        assert!(back.inputs.max_abs_diff(&split.train.inputs) < 1e-5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reads_headerless_csv_and_infers_classes() {
+        let path = tmp("headerless");
+        std::fs::write(&path, "1.0,2.0,0\n3.5,-1.0,2\n\n0.0,0.0,1\n").unwrap();
+        let d = read_csv(&path).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.num_classes, 3);
+        assert_eq!(d.labels, vec![0, 2, 1]);
+        assert_eq!(d.sample_shape(), vec![2]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let path = tmp("ragged");
+        std::fs::write(&path, "1.0,2.0,0\n1.0,2.0,3.0,1\n").unwrap();
+        let err = read_csv(&path).unwrap_err();
+        match err {
+            DataIoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+        std::fs::remove_file(&path).ok();
+
+        let path = tmp("badlabel");
+        std::fs::write(&path, "1.0,x\n").unwrap();
+        assert!(matches!(read_csv(&path), Err(DataIoError::Parse { line: 1, .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn declared_class_count_is_enforced() {
+        let path = tmp("declared");
+        std::fs::write(&path, "# classes=2\n1.0,0\n2.0,5\n").unwrap();
+        assert!(read_csv(&path).is_err());
+        std::fs::write(&path, "# classes=4\n1.0,0\n2.0,1\n").unwrap();
+        assert_eq!(read_csv(&path).unwrap().num_classes, 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_an_error() {
+        let path = tmp("empty");
+        std::fs::write(&path, "# classes=3\n").unwrap();
+        assert!(matches!(read_csv(&path), Err(DataIoError::Parse { line: 0, .. })));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,30 @@
+//! # poe-data
+//!
+//! Synthetic datasets with class hierarchies, standing in for the paper's
+//! CIFAR-100 and Tiny-ImageNet benchmarks (the substitution is documented
+//! in `DESIGN.md` §2). Provides:
+//!
+//! * [`ClassHierarchy`] / [`PrimitiveTask`] — the primitive/composite task
+//!   structure of Section 3 of the paper,
+//! * [`Dataset`] / [`SplitDataset`] — labelled data with task-restricted
+//!   views (`task_view`) and out-of-distribution complements
+//!   (`out_of_task_view`, used by the Figure 5 confidence analysis),
+//! * [`synth`] — hierarchical Gaussian feature datasets,
+//! * [`images`] — miniature synthetic image datasets for the conv WRN path,
+//! * [`presets`] — `cifar100_sim` (100 classes / 20 tasks) and
+//!   `tiny_imagenet_sim` (200 classes / 34 tasks),
+//! * [`io`] — CSV import/export so users can bring their own feature data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod hierarchy;
+
+pub mod images;
+pub mod io;
+pub mod presets;
+pub mod synth;
+
+pub use dataset::{Dataset, SplitDataset};
+pub use hierarchy::{ClassHierarchy, PrimitiveTask};

@@ -1,0 +1,118 @@
+//! Named dataset presets mirroring the paper's two benchmarks.
+//!
+//! * [`cifar100_sim`] — 100 classes in 20 superclasses of 5, like
+//!   CIFAR-100's coarse labels (the paper's primitive tasks).
+//! * [`tiny_imagenet_sim`] — 200 classes in 34 primitive tasks, like the
+//!   paper's grouping of Tiny-ImageNet leaves by the ImageNet semantic tree
+//!   ("a few (from 3 to 10) classes" per task; our deterministic partition
+//!   uses sizes 5–6, within that range).
+//!
+//! Both presets expose a [`DatasetScale`] so tests can shrink the sample
+//! counts while benchmarks use the full synthetic size.
+
+use crate::synth::{generate, GaussianHierarchyConfig};
+use crate::{ClassHierarchy, SplitDataset};
+
+/// Sample-count scaling for a preset.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetScale {
+    /// Training samples per class.
+    pub train_per_class: usize,
+    /// Test samples per class.
+    pub test_per_class: usize,
+}
+
+impl DatasetScale {
+    /// The default experiment scale (fast enough for CPU sweeps while
+    /// keeping accuracy estimates stable).
+    pub const FULL: DatasetScale = DatasetScale { train_per_class: 100, test_per_class: 20 };
+    /// A tiny scale for unit/integration tests.
+    pub const TINY: DatasetScale = DatasetScale { train_per_class: 12, test_per_class: 6 };
+}
+
+/// The six primitive tasks the paper samples for its specialization and
+/// consolidation experiments ("we randomly choose six of all the primitive
+/// tasks"). We fix them deterministically from a seed.
+pub fn sample_six_tasks(hierarchy: &ClassHierarchy, seed: u64) -> Vec<usize> {
+    let mut rng = poe_tensor::Prng::seed_from_u64(seed);
+    let mut picked = rng.sample_without_replacement(hierarchy.num_primitives(), 6);
+    picked.sort_unstable();
+    picked
+}
+
+/// CIFAR-100 analog: 100 classes, 20 primitive tasks of 5 classes.
+pub fn cifar100_sim(scale: DatasetScale, seed: u64) -> (SplitDataset, ClassHierarchy) {
+    let cfg = GaussianHierarchyConfig {
+        dim: 16,
+        task_sizes: vec![5; 20],
+        ..GaussianHierarchyConfig::balanced(20, 5)
+    }
+    .with_renderer(32, 3)
+    .with_label_noise(0.08)
+    .with_samples(scale.train_per_class, scale.test_per_class)
+    .with_seed(seed);
+    generate(&cfg)
+}
+
+/// Tiny-ImageNet analog: 200 classes, 34 primitive tasks (30 of size 6 and
+/// 4 of size 5), slightly harder than [`cifar100_sim`] (more classes per
+/// unit volume), mirroring the lower oracle accuracy the paper reports.
+pub fn tiny_imagenet_sim(scale: DatasetScale, seed: u64) -> (SplitDataset, ClassHierarchy) {
+    let mut task_sizes = vec![6; 30];
+    task_sizes.extend_from_slice(&[5; 4]);
+    debug_assert_eq!(task_sizes.iter().sum::<usize>(), 200);
+    let cfg = GaussianHierarchyConfig {
+        dim: 16,
+        task_sizes,
+        train_per_class: scale.train_per_class,
+        test_per_class: scale.test_per_class,
+        sigma_super: 1.0,
+        sigma_class: 0.42,
+        sigma_noise: 0.46,
+        seed,
+        obs_dim: 32,
+        render_depth: 3,
+        label_noise: 0.08,
+    };
+    generate(&cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cifar_preset_shape() {
+        let (split, h) = cifar100_sim(DatasetScale::TINY, 1);
+        assert_eq!(h.num_classes(), 100);
+        assert_eq!(h.num_primitives(), 20);
+        assert!(h.primitives().iter().all(|p| p.classes.len() == 5));
+        assert_eq!(split.train.len(), 100 * 12);
+        assert_eq!(split.test.len(), 100 * 6);
+    }
+
+    #[test]
+    fn tiny_imagenet_preset_shape() {
+        let (split, h) = tiny_imagenet_sim(DatasetScale::TINY, 1);
+        assert_eq!(h.num_classes(), 200);
+        assert_eq!(h.num_primitives(), 34);
+        let sizes: Vec<usize> = h.primitives().iter().map(|p| p.classes.len()).collect();
+        assert!(sizes.iter().all(|&s| (3..=10).contains(&s)));
+        assert_eq!(split.train.len(), 200 * 12);
+    }
+
+    #[test]
+    fn six_tasks_are_distinct_and_deterministic() {
+        let (_, h) = cifar100_sim(DatasetScale::TINY, 1);
+        let a = sample_six_tasks(&h, 7);
+        let b = sample_six_tasks(&h, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        let mut dedup = a.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 6);
+        assert!(a.iter().all(|&t| t < 20));
+        let c = sample_six_tasks(&h, 8);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the dataset invariants every experiment relies
+//! on: hierarchy partitions, task views, and generator determinism.
+
+use poe_data::synth::{generate, GaussianHierarchyConfig};
+use poe_data::ClassHierarchy;
+use proptest::prelude::*;
+
+fn small_cfg(tasks: usize, classes_per: usize, seed: u64) -> GaussianHierarchyConfig {
+    GaussianHierarchyConfig { dim: 4, ..GaussianHierarchyConfig::balanced(tasks, classes_per) }
+        .with_samples(4, 3)
+        .with_seed(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn hierarchy_partitions_every_class(tasks in 1usize..8, per in 1usize..6) {
+        let h = ClassHierarchy::contiguous(tasks * per, tasks);
+        let mut seen = vec![false; tasks * per];
+        for p in h.primitives() {
+            for &c in &p.classes {
+                prop_assert!(!seen[c], "class {c} in two tasks");
+                seen[c] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // primitive_of_class inverts the grouping.
+        for c in 0..tasks * per {
+            let t = h.primitive_of_class(c);
+            prop_assert!(h.primitive(t).classes.contains(&c));
+        }
+    }
+
+    #[test]
+    fn composite_classes_is_sorted_disjoint_union(tasks in 2usize..7) {
+        let h = ClassHierarchy::contiguous(tasks * 3, tasks);
+        let pool: Vec<usize> = (0..tasks).collect();
+        for combo in h.composites_of_size(2, &pool) {
+            let classes = h.composite_classes(&combo);
+            prop_assert_eq!(classes.len(), 6);
+            prop_assert!(classes.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn task_view_and_complement_partition_dataset(seed in 0u64..500, task in 0usize..3) {
+        let (split, h) = generate(&small_cfg(3, 2, seed));
+        let classes = h.primitive(task).classes.clone();
+        let inside = split.test.task_view(&classes);
+        let outside = split.test.out_of_task_view(&classes);
+        prop_assert_eq!(inside.len() + outside.len(), split.test.len());
+        // Inside labels are remapped into 0..|H|; outside keep global ids
+        // not in the task.
+        prop_assert!(inside.labels.iter().all(|&l| l < classes.len()));
+        prop_assert!(outside.labels.iter().all(|&l| !classes.contains(&l)));
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive(seed in 0u64..500) {
+        let (a, _) = generate(&small_cfg(2, 2, seed));
+        let (b, _) = generate(&small_cfg(2, 2, seed));
+        prop_assert_eq!(&a.train.inputs, &b.train.inputs);
+        prop_assert_eq!(&a.train.labels, &b.train.labels);
+        let (c, _) = generate(&small_cfg(2, 2, seed + 1));
+        prop_assert_ne!(&a.train.inputs, &c.train.inputs);
+    }
+
+    #[test]
+    fn renderer_changes_observation_space_not_labels(seed in 0u64..200) {
+        let base = small_cfg(2, 2, seed);
+        let rendered = base.clone().with_renderer(8, 2);
+        let (a, _) = generate(&base);
+        let (b, _) = generate(&rendered);
+        prop_assert_eq!(a.train.sample_shape(), vec![4]);
+        prop_assert_eq!(b.train.sample_shape(), vec![8]);
+        prop_assert_eq!(a.train.labels.len(), b.train.labels.len());
+        // Rendered values are tanh outputs.
+        prop_assert!(b.train.inputs.max() <= 1.0 && b.train.inputs.min() >= -1.0);
+    }
+
+    #[test]
+    fn label_noise_respects_fraction(seed in 0u64..200) {
+        let clean = small_cfg(3, 3, seed).with_samples(30, 5);
+        let noisy = clean.clone().with_label_noise(0.3);
+        let (a, _) = generate(&clean);
+        let (b, _) = generate(&noisy);
+        let changed = a
+            .train
+            .labels
+            .iter()
+            .zip(&b.train.labels)
+            .filter(|(x, y)| x != y)
+            .count();
+        let frac = changed as f64 / a.train.labels.len() as f64;
+        // 30% noise re-draws uniformly (can hit the same label), so the
+        // observed change rate is ≈ 0.3 · (1 − 1/9); allow slack.
+        prop_assert!(frac > 0.1 && frac < 0.45, "changed fraction {frac}");
+        // Test labels are never corrupted.
+        prop_assert_eq!(&a.test.labels, &b.test.labels);
+    }
+
+    #[test]
+    fn thin_preserves_label_alignment(seed in 0u64..200, stride in 1usize..5) {
+        let (split, _) = generate(&small_cfg(2, 3, seed));
+        let thinned = split.test.thin(stride);
+        prop_assert_eq!(thinned.len(), split.test.len().div_ceil(stride));
+        for (i, &l) in thinned.labels.iter().enumerate() {
+            prop_assert_eq!(l, split.test.labels[i * stride]);
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! The branched task-specific model produced by PoE's train-free
+//! knowledge consolidation (Section 4.2, Figure 3 of the paper).
+//!
+//! A [`BranchedModel`] puts the shared *library* trunk at the front, runs
+//! every required *expert* head on the library features, and concatenates
+//! the expert logits into a single unified logit vector — the paper's
+//! *logit concatenation* scheme. No training is involved; assembly is a
+//! pure data-structure operation.
+
+use poe_nn::layers::Sequential;
+use poe_nn::{Module, Parameter};
+use poe_tensor::Tensor;
+
+/// One classified sample with its provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Predicted global class id.
+    pub class: usize,
+    /// Primitive task of the expert branch that won the argmax.
+    pub task_index: usize,
+    /// Softmax confidence of the prediction over the unified logit.
+    pub confidence: f32,
+}
+
+/// One expert branch of a branched model.
+#[derive(Clone)]
+pub struct Branch {
+    /// Primitive-task index this expert serves.
+    pub task_index: usize,
+    /// The expert head (conv4 + classifier analog).
+    pub head: Sequential,
+    /// Global class ids of this expert's logits, in output order.
+    pub classes: Vec<usize>,
+}
+
+/// Library trunk + `n(Q)` expert branches + logit concatenation.
+#[derive(Clone)]
+pub struct BranchedModel {
+    /// Architecture tag, e.g. `"WRN-16-(1, [0.25]ᵀ×3)"`.
+    pub arch: String,
+    library: Sequential,
+    branches: Vec<Branch>,
+}
+
+impl BranchedModel {
+    /// Assembles a branched model. The branches' output order defines the
+    /// unified logit layout.
+    ///
+    /// # Panics
+    /// Panics if no branches are supplied.
+    pub fn new(arch: impl Into<String>, library: Sequential, branches: Vec<Branch>) -> Self {
+        assert!(!branches.is_empty(), "branched model needs ≥ 1 expert");
+        BranchedModel {
+            arch: arch.into(),
+            library,
+            branches,
+        }
+    }
+
+    /// Number of expert branches `n(Q)`.
+    pub fn num_branches(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Global class ids of the unified logit, column by column.
+    pub fn class_layout(&self) -> Vec<usize> {
+        self.branches
+            .iter()
+            .flat_map(|b| b.classes.iter().copied())
+            .collect()
+    }
+
+    /// Width of the unified logit `s_Q`.
+    pub fn num_outputs(&self) -> usize {
+        self.branches.iter().map(|b| b.classes.len()).sum()
+    }
+
+    /// Runs inference: library features once, every expert on those
+    /// features, logits concatenated. Always inference-mode (the whole
+    /// point of PoE is that this model is never trained).
+    pub fn infer(&mut self, input: &Tensor) -> Tensor {
+        let features = self.library.forward(input, false);
+        let outs: Vec<Tensor> = self
+            .branches
+            .iter_mut()
+            .map(|b| b.head.forward(&features, false))
+            .collect();
+        let refs: Vec<&Tensor> = outs.iter().collect();
+        Tensor::concat_cols(&refs).expect("logit concatenation")
+    }
+
+    /// Classifies a batch and reports *provenance*: for each sample, the
+    /// predicted global class, the expert branch that produced it, and the
+    /// softmax confidence over the unified logit. The service layer uses
+    /// this to tell a client **which expert answered** — useful both for
+    /// interpretability and for routing follow-up queries.
+    pub fn predict_with_provenance(&mut self, input: &Tensor) -> Vec<Prediction> {
+        let logits = self.infer(input);
+        let probs = poe_tensor::ops::softmax(&logits);
+        let layout = self.class_layout();
+        // Column → branch lookup.
+        let mut branch_of_col = Vec::with_capacity(layout.len());
+        for (bi, b) in self.branches.iter().enumerate() {
+            branch_of_col.extend(std::iter::repeat_n(bi, b.classes.len()));
+        }
+        probs
+            .argmax_rows()
+            .into_iter()
+            .enumerate()
+            .map(|(row, col)| Prediction {
+                class: layout[col],
+                task_index: self.branches[branch_of_col[col]].task_index,
+                confidence: probs.row(row)[col],
+            })
+            .collect()
+    }
+
+    /// Borrows the library trunk.
+    pub fn library(&self) -> &Sequential {
+        &self.library
+    }
+
+    /// Borrows the branches.
+    pub fn branches(&self) -> &[Branch] {
+        &self.branches
+    }
+}
+
+impl std::fmt::Debug for BranchedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BranchedModel")
+            .field("arch", &self.arch)
+            .field("branches", &self.branches.len())
+            .field("outputs", &self.num_outputs())
+            .finish()
+    }
+}
+
+impl Module for BranchedModel {
+    fn clone_box(&self) -> Box<dyn Module> {
+        Box::new(self.clone())
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.infer(input)
+    }
+
+    /// Branched models are inference-only by construction.
+    ///
+    /// # Panics
+    /// Always panics: PoE never trains the consolidated model.
+    fn backward(&mut self, _grad_out: &Tensor) -> Tensor {
+        panic!("BranchedModel is inference-only: PoE consolidation is train-free")
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.library.visit_params(f);
+        for b in &mut self.branches {
+            b.head.visit_params(f);
+        }
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Parameter)) {
+        self.library.visit_params_ref(f);
+        for b in &self.branches {
+            b.head.visit_params_ref(f);
+        }
+    }
+
+    fn out_shape(&self, _in_shape: &[usize]) -> Vec<usize> {
+        vec![self.num_outputs()]
+    }
+
+    fn flops(&self, in_shape: &[usize]) -> u64 {
+        let mid = self.library.out_shape(in_shape);
+        let lib = self.library.flops(in_shape);
+        let heads: u64 = self.branches.iter().map(|b| b.head.flops(&mid)).sum();
+        lib + heads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poe_nn::layers::{Linear, Relu};
+    use poe_tensor::Prng;
+
+    fn toy_branched(rng: &mut Prng) -> BranchedModel {
+        let library = Sequential::new()
+            .push(Linear::new("lib", 4, 6, rng))
+            .push(Relu::new());
+        let b0 = Branch {
+            task_index: 0,
+            head: Sequential::new().push(Linear::new("e0", 6, 2, rng)),
+            classes: vec![0, 1],
+        };
+        let b1 = Branch {
+            task_index: 2,
+            head: Sequential::new().push(Linear::new("e1", 6, 3, rng)),
+            classes: vec![4, 5, 6],
+        };
+        BranchedModel::new("toy", library, vec![b0, b1])
+    }
+
+    #[test]
+    fn infer_concatenates_expert_logits() {
+        let mut rng = Prng::seed_from_u64(1);
+        let mut m = toy_branched(&mut rng);
+        let x = Tensor::randn([3, 4], 1.0, &mut rng);
+        let y = m.infer(&x);
+        assert_eq!(y.dims(), &[3, 5]);
+        assert_eq!(m.num_outputs(), 5);
+        assert_eq!(m.class_layout(), vec![0, 1, 4, 5, 6]);
+    }
+
+    #[test]
+    fn infer_matches_running_parts_manually() {
+        let mut rng = Prng::seed_from_u64(2);
+        let mut m = toy_branched(&mut rng);
+        let x = Tensor::randn([2, 4], 1.0, &mut rng);
+        let y = m.infer(&x);
+        // Re-run by hand through the same (stateless in eval mode) layers.
+        let f = m.library.forward(&x, false);
+        let y0 = m.branches[0].head.forward(&f, false);
+        let y1 = m.branches[1].head.forward(&f, false);
+        let manual = Tensor::concat_cols(&[&y0, &y1]).unwrap();
+        assert!(y.max_abs_diff(&manual) < 1e-6);
+    }
+
+    #[test]
+    fn provenance_names_the_winning_expert() {
+        let mut rng = Prng::seed_from_u64(5);
+        let mut m = toy_branched(&mut rng);
+        let x = Tensor::randn([6, 4], 1.0, &mut rng);
+        let preds = m.predict_with_provenance(&x);
+        assert_eq!(preds.len(), 6);
+        let logits = m.infer(&x);
+        for (row, p) in preds.iter().enumerate() {
+            // Class comes from the layout at the argmax column.
+            let col = logits.row(row)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(p.class, m.class_layout()[col]);
+            // Branch 0 owns columns 0..2 (task 0), branch 1 owns 2..5 (task 2).
+            let expected_task = if col < 2 { 0 } else { 2 };
+            assert_eq!(p.task_index, expected_task);
+            assert!(p.confidence > 0.0 && p.confidence <= 1.0);
+        }
+    }
+
+    #[test]
+    fn library_runs_once_worth_of_flops() {
+        let mut rng = Prng::seed_from_u64(3);
+        let m = toy_branched(&mut rng);
+        // FLOPs = library + both heads (library counted once).
+        let lib = m.library.flops(&[4]);
+        let heads: u64 = m.branches.iter().map(|b| b.head.flops(&[6])).sum();
+        assert_eq!(m.flops(&[4]), lib + heads);
+    }
+
+    #[test]
+    #[should_panic(expected = "train-free")]
+    fn backward_is_refused() {
+        let mut rng = Prng::seed_from_u64(4);
+        let mut m = toy_branched(&mut rng);
+        let x = Tensor::randn([1, 4], 1.0, &mut rng);
+        let y = m.forward(&x, true);
+        m.backward(&y);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_branches_rejected() {
+        let lib = Sequential::new();
+        BranchedModel::new("bad", lib, vec![]);
+    }
+}

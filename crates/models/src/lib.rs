@@ -1,0 +1,28 @@
+//! # poe-models
+//!
+//! Model architectures for the PoE reproduction:
+//!
+//! * [`WrnConfig`] and the fine-grained `WRN-l-(k_c, k_s)` builders — a
+//!   convolutional realization ([`build_wrn_conv`]) and a structurally
+//!   identical MLP analog ([`build_wrn_mlp`]) used where CPU training speed
+//!   matters (DESIGN.md §2),
+//! * [`SplitModel`] — the explicit trunk (library) / head (expert) split,
+//! * [`BranchedModel`] — the consolidated task-specific model with logit
+//!   concatenation (Figure 3 of the paper),
+//! * [`serialize`] — the on-disk model format and byte accounting used by
+//!   the storage-volume experiment (Table 4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branched;
+pub mod serialize;
+mod split;
+mod wrn;
+
+pub use branched::{Branch, BranchedModel, Prediction};
+pub use split::SplitModel;
+pub use wrn::{
+    build_conv_head, build_mlp_head, build_mlp_head_with_depth, build_wrn_conv, build_wrn_mlp,
+    build_wrn_mlp_with_depth, WrnConfig, DEFAULT_LIBRARY_GROUPS,
+};

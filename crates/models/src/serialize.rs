@@ -1,0 +1,275 @@
+//! Binary model serialization.
+//!
+//! The PoE framework is, in the paper's own framing, a *database* of
+//! knowledge components: a library plus a pool of experts persisted on
+//! disk and loaded at query time. This module defines the storage format
+//! (versioned, self-describing, little-endian) and the byte accounting
+//! used for the storage-volume experiment (Table 4).
+//!
+//! Layout:
+//!
+//! ```text
+//! magic   b"POEM"
+//! version u32 = 1
+//! count   u32                          number of named tensors
+//! repeat count times:
+//!   name_len u32, name utf-8 bytes
+//!   rank u32, dims u32 × rank
+//!   data f32-LE × numel
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use poe_nn::Module;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"POEM";
+const VERSION: u32 = 1;
+
+/// Errors from (de)serializing model files.
+#[derive(Debug)]
+pub enum SerializeError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Malformed or truncated byte stream.
+    Format(String),
+    /// The stream disagrees with the target module (name/shape/count).
+    Mismatch(String),
+}
+
+impl fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerializeError::Io(e) => write!(f, "i/o error: {e}"),
+            SerializeError::Format(m) => write!(f, "bad model file: {m}"),
+            SerializeError::Mismatch(m) => write!(f, "model mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+impl From<std::io::Error> for SerializeError {
+    fn from(e: std::io::Error) -> Self {
+        SerializeError::Io(e)
+    }
+}
+
+/// Serializes every parameter of a module, in visit order.
+pub fn serialize_module(module: &dyn Module) -> Bytes {
+    let mut buf = BytesMut::with_capacity(module_byte_size(module) as usize);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    let mut count = 0u32;
+    module.visit_params_ref(&mut |_| count += 1);
+    buf.put_u32_le(count);
+    module.visit_params_ref(&mut |p| {
+        buf.put_u32_le(p.name.len() as u32);
+        buf.put_slice(p.name.as_bytes());
+        let dims = p.value.dims();
+        buf.put_u32_le(dims.len() as u32);
+        for &d in dims {
+            buf.put_u32_le(d as u32);
+        }
+        for &v in p.value.data() {
+            buf.put_f32_le(v);
+        }
+    });
+    buf.freeze()
+}
+
+/// Exact on-disk size, in bytes, of [`serialize_module`]'s output.
+pub fn module_byte_size(module: &dyn Module) -> u64 {
+    let mut size = 4 + 4 + 4u64; // magic + version + count
+    module.visit_params_ref(&mut |p| {
+        size += 4 + p.name.len() as u64; // name
+        size += 4 + 4 * p.value.dims().len() as u64; // rank + dims
+        size += 4 * p.value.numel() as u64; // data
+    });
+    size
+}
+
+/// Restores parameter values from `data` into an identically-structured
+/// module (same parameter names, shapes, and visit order).
+pub fn deserialize_into(module: &mut dyn Module, data: &[u8]) -> Result<(), SerializeError> {
+    let mut buf = data;
+    if buf.remaining() < 12 {
+        return Err(SerializeError::Format("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(SerializeError::Format("bad magic".into()));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(SerializeError::Format(format!("unsupported version {version}")));
+    }
+    let count = buf.get_u32_le();
+
+    let mut expected = 0u32;
+    module.visit_params_ref(&mut |_| expected += 1);
+    if count != expected {
+        return Err(SerializeError::Mismatch(format!(
+            "file has {count} tensors, module has {expected}"
+        )));
+    }
+
+    let mut error: Option<SerializeError> = None;
+    module.visit_params(&mut |p| {
+        if error.is_some() {
+            return;
+        }
+        let r = (|| -> Result<(), SerializeError> {
+            if buf.remaining() < 4 {
+                return Err(SerializeError::Format("truncated name length".into()));
+            }
+            let name_len = buf.get_u32_le() as usize;
+            if buf.remaining() < name_len {
+                return Err(SerializeError::Format("truncated name".into()));
+            }
+            let mut name = vec![0u8; name_len];
+            buf.copy_to_slice(&mut name);
+            let name = String::from_utf8(name)
+                .map_err(|_| SerializeError::Format("non-utf8 name".into()))?;
+            if name != p.name {
+                return Err(SerializeError::Mismatch(format!(
+                    "expected parameter `{}`, file has `{name}`",
+                    p.name
+                )));
+            }
+            if buf.remaining() < 4 {
+                return Err(SerializeError::Format("truncated rank".into()));
+            }
+            let rank = buf.get_u32_le() as usize;
+            if buf.remaining() < 4 * rank {
+                return Err(SerializeError::Format("truncated dims".into()));
+            }
+            let dims: Vec<usize> = (0..rank).map(|_| buf.get_u32_le() as usize).collect();
+            if dims != p.value.dims() {
+                return Err(SerializeError::Mismatch(format!(
+                    "parameter `{name}` has shape {:?} in file, {:?} in module",
+                    dims,
+                    p.value.dims()
+                )));
+            }
+            let numel: usize = dims.iter().product();
+            if buf.remaining() < 4 * numel {
+                return Err(SerializeError::Format("truncated tensor data".into()));
+            }
+            for v in p.value.data_mut() {
+                *v = buf.get_f32_le();
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            error = Some(e);
+        }
+    });
+    match error {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Writes a module to disk, returning the byte count.
+pub fn save_module(path: impl AsRef<Path>, module: &dyn Module) -> Result<u64, SerializeError> {
+    let bytes = serialize_module(module);
+    fs::write(path, &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Loads a module file from disk into an identically-structured module.
+pub fn load_module(path: impl AsRef<Path>, module: &mut dyn Module) -> Result<(), SerializeError> {
+    let data = fs::read(path)?;
+    deserialize_into(module, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poe_nn::layers::{Linear, Relu, Sequential};
+    use poe_nn::snapshot_params;
+    use poe_tensor::Prng;
+
+    fn net(seed: u64) -> Sequential {
+        let mut rng = Prng::seed_from_u64(seed);
+        Sequential::new()
+            .push(Linear::new("a", 3, 5, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new("b", 5, 2, &mut rng))
+    }
+
+    #[test]
+    fn round_trip_preserves_weights() {
+        let src = net(1);
+        let bytes = serialize_module(&src);
+        let mut dst = net(2);
+        assert_ne!(snapshot_params(&src), snapshot_params(&dst));
+        deserialize_into(&mut dst, &bytes).unwrap();
+        assert_eq!(snapshot_params(&src), snapshot_params(&dst));
+    }
+
+    #[test]
+    fn byte_size_is_exact() {
+        let m = net(3);
+        assert_eq!(module_byte_size(&m) as usize, serialize_module(&m).len());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("poe_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.poem");
+        let src = net(4);
+        let written = save_module(&path, &src).unwrap();
+        assert_eq!(written, module_byte_size(&src));
+        let mut dst = net(5);
+        load_module(&path, &mut dst).unwrap();
+        assert_eq!(snapshot_params(&src), snapshot_params(&dst));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut dst = net(6);
+        let err = deserialize_into(&mut dst, b"NOPE____").unwrap_err();
+        assert!(matches!(err, SerializeError::Format(_)));
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let src = net(7);
+        let bytes = serialize_module(&src);
+        let mut dst = net(8);
+        let err = deserialize_into(&mut dst, &bytes[..bytes.len() - 10]).unwrap_err();
+        assert!(matches!(err, SerializeError::Format(_)));
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let src = net(9);
+        let bytes = serialize_module(&src);
+        let mut rng = Prng::seed_from_u64(10);
+        let mut wrong = Sequential::new()
+            .push(Linear::new("a", 3, 5, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new("b", 5, 3, &mut rng)); // 3 ≠ 2 outputs
+        let err = deserialize_into(&mut wrong, &bytes).unwrap_err();
+        assert!(matches!(err, SerializeError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_name_mismatch() {
+        let src = net(11);
+        let bytes = serialize_module(&src);
+        let mut rng = Prng::seed_from_u64(12);
+        let mut wrong = Sequential::new()
+            .push(Linear::new("x", 3, 5, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new("b", 5, 2, &mut rng));
+        let err = deserialize_into(&mut wrong, &bytes).unwrap_err();
+        assert!(matches!(err, SerializeError::Mismatch(_)));
+    }
+}

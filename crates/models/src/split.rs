@@ -1,0 +1,170 @@
+//! Trunk/head split models.
+//!
+//! Every specialized-model architecture in the paper factors as
+//! `logits = head(trunk(x))` where the *trunk* is the candidate library
+//! component (conv1–conv3 of a WRN) and the *head* is the candidate expert
+//! component (conv4 + classifier). [`SplitModel`] makes this factorization
+//! explicit so the PoE preprocessing phase can freeze the trunk, swap heads,
+//! and later detach both parts for consolidation.
+
+use poe_nn::layers::Sequential;
+use poe_nn::{Module, Parameter};
+use poe_tensor::Tensor;
+
+/// A model factored into a feature trunk and a logit head.
+#[derive(Clone)]
+pub struct SplitModel {
+    /// Human-readable architecture tag, e.g. `"WRN-16-(1, 0.25)"`.
+    pub arch: String,
+    trunk: Sequential,
+    head: Sequential,
+}
+
+impl SplitModel {
+    /// Assembles a split model from parts.
+    pub fn new(arch: impl Into<String>, trunk: Sequential, head: Sequential) -> Self {
+        SplitModel {
+            arch: arch.into(),
+            trunk,
+            head,
+        }
+    }
+
+    /// Borrows the trunk (library candidate).
+    pub fn trunk(&self) -> &Sequential {
+        &self.trunk
+    }
+
+    /// Mutably borrows the trunk.
+    pub fn trunk_mut(&mut self) -> &mut Sequential {
+        &mut self.trunk
+    }
+
+    /// Borrows the head (expert candidate).
+    pub fn head(&self) -> &Sequential {
+        &self.head
+    }
+
+    /// Mutably borrows the head.
+    pub fn head_mut(&mut self) -> &mut Sequential {
+        &mut self.head
+    }
+
+    /// Splits into `(trunk, head)`, consuming the model.
+    pub fn into_parts(self) -> (Sequential, Sequential) {
+        (self.trunk, self.head)
+    }
+
+    /// Freezes the trunk parameters (the paper freezes the library during
+    /// CKD expert extraction) while leaving the head trainable.
+    pub fn freeze_trunk(&mut self) {
+        self.trunk.set_trainable(false);
+    }
+
+    /// Runs only the trunk, producing shared features.
+    pub fn features(&mut self, input: &Tensor, train: bool) -> Tensor {
+        self.trunk.forward(input, train)
+    }
+
+    /// Parameter count of the trunk alone.
+    pub fn trunk_param_count(&self) -> usize {
+        self.trunk.param_count()
+    }
+
+    /// Parameter count of the head alone.
+    pub fn head_param_count(&self) -> usize {
+        self.head.param_count()
+    }
+}
+
+impl Module for SplitModel {
+    fn clone_box(&self) -> Box<dyn Module> {
+        Box::new(self.clone())
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let f = self.trunk.forward(input, train);
+        self.head.forward(&f, train)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.head.backward(grad_out);
+        self.trunk.backward(&g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.trunk.visit_params(f);
+        self.head.visit_params(f);
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Parameter)) {
+        self.trunk.visit_params_ref(f);
+        self.head.visit_params_ref(f);
+    }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        self.head.out_shape(&self.trunk.out_shape(in_shape))
+    }
+
+    fn flops(&self, in_shape: &[usize]) -> u64 {
+        let mid = self.trunk.out_shape(in_shape);
+        self.trunk.flops(in_shape) + self.head.flops(&mid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poe_nn::layers::{Linear, Relu};
+    use poe_nn::testing::check_input_gradient;
+    use poe_tensor::Prng;
+
+    fn toy(rng: &mut Prng) -> SplitModel {
+        let trunk = Sequential::new()
+            .push(Linear::new("t", 4, 8, rng))
+            .push(Relu::new());
+        let head = Sequential::new().push(Linear::new("h", 8, 3, rng));
+        SplitModel::new("toy", trunk, head)
+    }
+
+    #[test]
+    fn forward_composes_trunk_and_head() {
+        let mut rng = Prng::seed_from_u64(1);
+        let mut m = toy(&mut rng);
+        let x = Tensor::randn([2, 4], 1.0, &mut rng);
+        let f = m.features(&x, false);
+        assert_eq!(f.dims(), &[2, 8]);
+        let y = m.forward(&x, false);
+        assert_eq!(y.dims(), &[2, 3]);
+        assert_eq!(m.out_shape(&[4]), vec![3]);
+    }
+
+    #[test]
+    fn gradient_check_through_split() {
+        let mut rng = Prng::seed_from_u64(2);
+        let mut m = toy(&mut rng);
+        check_input_gradient(&mut m, &[4], 3, 2e-2, &mut rng);
+    }
+
+    #[test]
+    fn freeze_trunk_leaves_head_trainable() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut m = toy(&mut rng);
+        m.freeze_trunk();
+        let mut trunk_frozen = true;
+        m.trunk().visit_params_ref(&mut |p| trunk_frozen &= !p.trainable);
+        let mut head_trainable = true;
+        m.head().visit_params_ref(&mut |p| head_trainable &= p.trainable);
+        assert!(trunk_frozen && head_trainable);
+    }
+
+    #[test]
+    fn param_counts_partition() {
+        let mut rng = Prng::seed_from_u64(4);
+        let m = toy(&mut rng);
+        assert_eq!(
+            m.param_count(),
+            m.trunk_param_count() + m.head_param_count()
+        );
+    }
+}

@@ -1,0 +1,438 @@
+//! Fine-grained wide residual networks, `WRN-l-(k_c, k_s)`.
+//!
+//! The paper extends the basic WRN so the widening factor is split in two:
+//! `k_c` controls the common groups conv2 (width `16·k_c`) and conv3
+//! (width `32·k_c`), while `k_s` independently controls conv4 (width
+//! `64·k_s`). This lets the *expert* component (conv4 + classifier) be
+//! shrunk (e.g. `k_s = 0.25`) while the shared *library* component
+//! (conv1–conv3) keeps its capacity.
+//!
+//! Two realizations are provided (see DESIGN.md §2):
+//!
+//! * [`build_wrn_conv`] — a faithful convolutional WRN (stem + three
+//!   residual conv groups + global average pooling), exercised at miniature
+//!   input sizes.
+//! * [`build_wrn_mlp`] — a structurally identical MLP analog (residual
+//!   fully-connected groups with the same four-group widths), used for the
+//!   experiment sweeps where CPU-feasible training speed matters. All PoE
+//!   algorithms act on logits, so the analog preserves every behaviour
+//!   under study.
+
+use crate::SplitModel;
+use poe_nn::layers::{BatchNorm, Conv2d, GlobalAvgPool2d, Linear, Relu, Residual, Sequential};
+use poe_tensor::conv::Conv2dSpec;
+use poe_tensor::Prng;
+
+/// Architecture hyperparameters of a fine-grained WRN.
+///
+/// ```
+/// use poe_models::WrnConfig;
+///
+/// let cfg = WrnConfig::new(16, 1.0, 0.25, 5);
+/// assert_eq!(cfg.arch_string(), "WRN-16-(1, 0.25)");
+/// assert_eq!(cfg.widths(), (16, 16, 32, 16)); // conv1..conv4
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WrnConfig {
+    /// Depth parameter `l`; residual blocks per group = `max(1, (l−4)/6)`.
+    pub depth: usize,
+    /// Widening factor of the common groups (conv2, conv3).
+    pub kc: f32,
+    /// Widening factor of the specialist group (conv4).
+    pub ks: f32,
+    /// Base width unit. The paper uses 16; smaller units shrink every group
+    /// proportionally (ratios — the quantity under study — are preserved).
+    pub unit: usize,
+    /// Output classes of the classifier head.
+    pub num_classes: usize,
+}
+
+impl WrnConfig {
+    /// A config with the paper's base unit of 16.
+    pub fn new(depth: usize, kc: f32, ks: f32, num_classes: usize) -> Self {
+        WrnConfig { depth, kc, ks, unit: 16, num_classes }
+    }
+
+    /// Overrides the width unit.
+    pub fn with_unit(mut self, unit: usize) -> Self {
+        self.unit = unit;
+        self
+    }
+
+    /// Residual blocks per group.
+    pub fn blocks_per_group(&self) -> usize {
+        ((self.depth.saturating_sub(4)) / 6).max(1)
+    }
+
+    /// Widths of (conv1, conv2, conv3, conv4).
+    pub fn widths(&self) -> (usize, usize, usize, usize) {
+        let scale = |base: usize, k: f32| -> usize {
+            ((base as f32 * k).round() as usize).max(1)
+        };
+        (
+            self.unit,
+            scale(self.unit, self.kc),
+            scale(2 * self.unit, self.kc),
+            scale(4 * self.unit, self.ks),
+        )
+    }
+
+    /// The paper's architecture notation, e.g. `"WRN-16-(1, 0.25)"`.
+    pub fn arch_string(&self) -> String {
+        fn fmt(k: f32) -> String {
+            if (k.fract()).abs() < 1e-6 {
+                format!("{}", k as i64)
+            } else {
+                format!("{k}")
+            }
+        }
+        format!("WRN-{}-({}, {})", self.depth, fmt(self.kc), fmt(self.ks))
+    }
+}
+
+// ---------------------------------------------------------------------
+// MLP analog
+// ---------------------------------------------------------------------
+
+/// One residual MLP block (`Linear-BN-ReLU-Linear-BN` + skip, post-ReLU),
+/// projecting when the width changes.
+fn mlp_block(name: &str, w_in: usize, w_out: usize, rng: &mut Prng) -> Sequential {
+    let body = Sequential::new()
+        .push(Linear::new(&format!("{name}.l1"), w_in, w_out, rng))
+        .push(BatchNorm::new_1d(&format!("{name}.bn1"), w_out))
+        .push(Relu::new())
+        .push(Linear::new(&format!("{name}.l2"), w_out, w_out, rng))
+        .push(BatchNorm::new_1d(&format!("{name}.bn2"), w_out));
+    let block = if w_in == w_out {
+        Residual::identity(body)
+    } else {
+        Residual::projected(body, Linear::new(&format!("{name}.proj"), w_in, w_out, rng))
+    };
+    Sequential::new().push(block).push(Relu::new())
+}
+
+/// A group of `n` residual MLP blocks, the first changing the width.
+fn mlp_group(name: &str, w_in: usize, w_out: usize, n: usize, rng: &mut Prng) -> Sequential {
+    let mut g = Sequential::new();
+    for b in 0..n {
+        let from = if b == 0 { w_in } else { w_out };
+        g.push_boxed(Box::new(mlp_block(&format!("{name}.b{b}"), from, w_out, rng)));
+    }
+    g
+}
+
+/// The paper's library depth `ℓ`: how many of the four convolution groups
+/// (conv1 = stem, conv2, conv3, conv4) belong to the shared library. The
+/// paper uses `ℓ = 3` (conv1–conv3 shared, conv4 per expert); smaller `ℓ`
+/// shrinks the shared part and fattens every expert — the size/accuracy
+/// tradeoff Section 4.1 describes.
+pub const DEFAULT_LIBRARY_GROUPS: usize = 3;
+
+fn check_library_groups(library_groups: usize) {
+    assert!(
+        (1..=4).contains(&library_groups),
+        "library depth ℓ must be in 1..=4, got {library_groups}"
+    );
+}
+
+/// Builds the expert head complementary to a library of depth
+/// `library_groups`: the remaining residual groups plus the classifier.
+///
+/// The head's *incoming* width is the library's output at the split point,
+/// so `cfg` must agree with the library's config on every factor that
+/// shapes groups at or before the split (`k_c` always; also `k_s` when
+/// `library_groups == 4`, since conv4 is then shared).
+pub fn build_mlp_head_with_depth(
+    name: &str,
+    cfg: &WrnConfig,
+    library_groups: usize,
+    out_classes: usize,
+    rng: &mut Prng,
+) -> Sequential {
+    check_library_groups(library_groups);
+    let (w1, w2, w3, w4) = cfg.widths();
+    let n = cfg.blocks_per_group();
+    let group_io = [(w1, w2), (w2, w3), (w3, w4)];
+    let mut s = Sequential::new();
+    for (g, &(from, to)) in group_io.iter().enumerate() {
+        // Group g+2 belongs to the head iff its index ≥ library_groups.
+        if g + 2 > library_groups {
+            s.push_boxed(Box::new(mlp_group(
+                &format!("{name}.g{}", g + 2),
+                from,
+                to,
+                n,
+                rng,
+            )));
+        }
+    }
+    s.push_boxed(Box::new(Linear::new(&format!("{name}.fc"), w4, out_classes, rng)));
+    s
+}
+
+/// Builds the "conv4 + classifier" head of the MLP analog (the default
+/// `ℓ = 3` split), with an arbitrary output width — this is exactly the
+/// shape of a PoE *expert*.
+pub fn build_mlp_head(
+    name: &str,
+    cfg: &WrnConfig,
+    out_classes: usize,
+    rng: &mut Prng,
+) -> Sequential {
+    build_mlp_head_with_depth(name, cfg, DEFAULT_LIBRARY_GROUPS, out_classes, rng)
+}
+
+/// Builds the full MLP-analog WRN as a [`SplitModel`] with a configurable
+/// library depth: the trunk holds the stem plus the first
+/// `library_groups − 1` residual groups, the head holds the rest plus the
+/// classifier.
+pub fn build_wrn_mlp_with_depth(
+    cfg: &WrnConfig,
+    input_dim: usize,
+    library_groups: usize,
+    rng: &mut Prng,
+) -> SplitModel {
+    check_library_groups(library_groups);
+    let (w1, w2, w3, w4) = cfg.widths();
+    let n = cfg.blocks_per_group();
+    let mut trunk = Sequential::new()
+        .push(Linear::new("stem.l", input_dim, w1, rng))
+        .push(BatchNorm::new_1d("stem.bn", w1))
+        .push(Relu::new());
+    let group_io = [(w1, w2), (w2, w3), (w3, w4)];
+    for (g, &(from, to)) in group_io.iter().enumerate() {
+        if g + 2 <= library_groups {
+            trunk.push_boxed(Box::new(mlp_group(&format!("g{}", g + 2), from, to, n, rng)));
+        }
+    }
+    let head = build_mlp_head_with_depth("head", cfg, library_groups, cfg.num_classes, rng);
+    SplitModel::new(cfg.arch_string(), trunk, head)
+}
+
+/// Builds the full MLP-analog WRN at the paper's default split (`ℓ = 3`:
+/// trunk = conv1–conv3, head = conv4 + classifier).
+pub fn build_wrn_mlp(cfg: &WrnConfig, input_dim: usize, rng: &mut Prng) -> SplitModel {
+    build_wrn_mlp_with_depth(cfg, input_dim, DEFAULT_LIBRARY_GROUPS, rng)
+}
+
+// ---------------------------------------------------------------------
+// Convolutional WRN
+// ---------------------------------------------------------------------
+
+fn conv3x3(name: &str, c_in: usize, c_out: usize, stride: usize, rng: &mut Prng) -> Conv2d {
+    Conv2d::new(
+        name,
+        Conv2dSpec { in_channels: c_in, out_channels: c_out, kernel: 3, stride, padding: 1 },
+        rng,
+    )
+}
+
+fn conv1x1(name: &str, c_in: usize, c_out: usize, stride: usize, rng: &mut Prng) -> Conv2d {
+    Conv2d::new(
+        name,
+        Conv2dSpec { in_channels: c_in, out_channels: c_out, kernel: 1, stride, padding: 0 },
+        rng,
+    )
+}
+
+/// One residual conv block (`Conv-BN-ReLU-Conv-BN` + skip, post-ReLU).
+fn conv_block(
+    name: &str,
+    c_in: usize,
+    c_out: usize,
+    stride: usize,
+    rng: &mut Prng,
+) -> Sequential {
+    let body = Sequential::new()
+        .push(conv3x3(&format!("{name}.c1"), c_in, c_out, stride, rng))
+        .push(BatchNorm::new_2d(&format!("{name}.bn1"), c_out))
+        .push(Relu::new())
+        .push(conv3x3(&format!("{name}.c2"), c_out, c_out, 1, rng))
+        .push(BatchNorm::new_2d(&format!("{name}.bn2"), c_out));
+    let block = if c_in == c_out && stride == 1 {
+        Residual::identity(body)
+    } else {
+        Residual::projected(
+            body,
+            conv1x1(&format!("{name}.proj"), c_in, c_out, stride, rng),
+        )
+    };
+    Sequential::new().push(block).push(Relu::new())
+}
+
+fn conv_group(
+    name: &str,
+    c_in: usize,
+    c_out: usize,
+    n: usize,
+    first_stride: usize,
+    rng: &mut Prng,
+) -> Sequential {
+    let mut g = Sequential::new();
+    for b in 0..n {
+        let (from, stride) = if b == 0 { (c_in, first_stride) } else { (c_out, 1) };
+        g.push_boxed(Box::new(conv_block(&format!("{name}.b{b}"), from, c_out, stride, rng)));
+    }
+    g
+}
+
+/// Builds the "conv4 + pool + classifier" head of the convolutional WRN.
+pub fn build_conv_head(
+    name: &str,
+    cfg: &WrnConfig,
+    out_classes: usize,
+    rng: &mut Prng,
+) -> Sequential {
+    let (_, _, w3, w4) = cfg.widths();
+    let n = cfg.blocks_per_group();
+    let mut s = Sequential::new();
+    s.push_boxed(Box::new(conv_group(&format!("{name}.g4"), w3, w4, n, 2, rng)));
+    s.push_boxed(Box::new(GlobalAvgPool2d::new()));
+    s.push_boxed(Box::new(Linear::new(&format!("{name}.fc"), w4, out_classes, rng)));
+    s
+}
+
+/// Builds the full convolutional WRN as a [`SplitModel`] over
+/// `[n, in_channels, h, w]` inputs: trunk = conv1–conv3 (stride-2 at the
+/// start of conv3), head = conv4 (stride 2) + global pool + classifier.
+pub fn build_wrn_conv(cfg: &WrnConfig, in_channels: usize, rng: &mut Prng) -> SplitModel {
+    let (w1, w2, w3, _) = cfg.widths();
+    let n = cfg.blocks_per_group();
+    let mut trunk = Sequential::new()
+        .push(conv3x3("stem.c", in_channels, w1, 1, rng))
+        .push(BatchNorm::new_2d("stem.bn", w1))
+        .push(Relu::new());
+    trunk.push_boxed(Box::new(conv_group("g2", w1, w2, n, 1, rng)));
+    trunk.push_boxed(Box::new(conv_group("g3", w2, w3, n, 2, rng)));
+    let head = build_conv_head("head", cfg, cfg.num_classes, rng);
+    SplitModel::new(cfg.arch_string(), trunk, head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poe_nn::testing::check_input_gradient;
+    use poe_nn::Module;
+    use poe_tensor::Tensor;
+
+    #[test]
+    fn widths_follow_paper_formula() {
+        let cfg = WrnConfig::new(16, 1.0, 0.25, 10);
+        assert_eq!(cfg.widths(), (16, 16, 32, 16));
+        let cfg = WrnConfig::new(40, 4.0, 4.0, 100);
+        assert_eq!(cfg.widths(), (16, 64, 128, 256));
+        assert_eq!(cfg.blocks_per_group(), 6);
+        let cfg = WrnConfig::new(16, 10.0, 10.0, 200);
+        assert_eq!(cfg.widths(), (16, 160, 320, 640));
+        assert_eq!(cfg.blocks_per_group(), 2);
+    }
+
+    #[test]
+    fn arch_string_matches_paper_notation() {
+        assert_eq!(WrnConfig::new(16, 1.0, 0.25, 10).arch_string(), "WRN-16-(1, 0.25)");
+        assert_eq!(WrnConfig::new(40, 4.0, 4.0, 100).arch_string(), "WRN-40-(4, 4)");
+    }
+
+    #[test]
+    fn mlp_analog_forward_shapes() {
+        let mut rng = Prng::seed_from_u64(1);
+        let cfg = WrnConfig::new(16, 1.0, 0.5, 7).with_unit(8);
+        let mut m = build_wrn_mlp(&cfg, 12, &mut rng);
+        let x = Tensor::randn([3, 12], 1.0, &mut rng);
+        let y = m.forward(&x, false);
+        assert_eq!(y.dims(), &[3, 7]);
+        assert_eq!(m.out_shape(&[12]), vec![7]);
+        // Trunk output width = w3 = 2·unit·kc = 16.
+        assert_eq!(m.trunk().out_shape(&[12]), vec![16]);
+    }
+
+    #[test]
+    fn mlp_analog_gradient_check() {
+        let mut rng = Prng::seed_from_u64(2);
+        let cfg = WrnConfig::new(10, 1.0, 0.5, 3).with_unit(4);
+        let mut m = build_wrn_mlp(&cfg, 6, &mut rng);
+        // Deep stacks of BN+ReLU in f32 limit finite-difference precision;
+        // per-layer checks in poe-nn are strict, this guards composition only.
+        check_input_gradient(&mut m, &[6], 4, 8e-2, &mut rng);
+    }
+
+    #[test]
+    fn ks_shrinks_only_the_head() {
+        let mut rng = Prng::seed_from_u64(3);
+        let cfg_big = WrnConfig::new(16, 1.0, 1.0, 10).with_unit(8);
+        let cfg_small = WrnConfig::new(16, 1.0, 0.25, 10).with_unit(8);
+        let big = build_wrn_mlp(&cfg_big, 12, &mut rng);
+        let small = build_wrn_mlp(&cfg_small, 12, &mut rng);
+        assert_eq!(big.trunk_param_count(), small.trunk_param_count());
+        assert!(small.head_param_count() < big.head_param_count() / 2);
+    }
+
+    #[test]
+    fn conv_wrn_forward_shapes() {
+        let mut rng = Prng::seed_from_u64(4);
+        let cfg = WrnConfig::new(10, 1.0, 0.5, 5).with_unit(4);
+        let mut m = build_wrn_conv(&cfg, 3, &mut rng);
+        let x = Tensor::randn([2, 3, 8, 8], 0.5, &mut rng);
+        let y = m.forward(&x, false);
+        assert_eq!(y.dims(), &[2, 5]);
+        // conv3 halves 8→4, conv4 halves 4→2.
+        assert_eq!(m.trunk().out_shape(&[3, 8, 8]), vec![8, 4, 4]);
+    }
+
+    #[test]
+    fn conv_wrn_gradient_check() {
+        let mut rng = Prng::seed_from_u64(5);
+        let cfg = WrnConfig::new(10, 1.0, 0.5, 3).with_unit(2);
+        let mut m = build_wrn_conv(&cfg, 1, &mut rng);
+        check_input_gradient(&mut m, &[1, 6, 6], 2, 8e-2, &mut rng);
+    }
+
+    #[test]
+    fn flops_scale_with_width() {
+        let mut rng = Prng::seed_from_u64(6);
+        let small = build_wrn_mlp(&WrnConfig::new(16, 1.0, 1.0, 10).with_unit(4), 12, &mut rng);
+        let big = build_wrn_mlp(&WrnConfig::new(16, 2.0, 2.0, 10).with_unit(4), 12, &mut rng);
+        assert!(big.flops(&[12]) > 2 * small.flops(&[12]));
+    }
+
+    #[test]
+    fn library_depth_moves_groups_between_trunk_and_head() {
+        let mut rng = Prng::seed_from_u64(8);
+        let cfg = WrnConfig::new(16, 1.0, 0.5, 10).with_unit(8);
+        let l2 = build_wrn_mlp_with_depth(&cfg, 12, 2, &mut rng);
+        let l3 = build_wrn_mlp_with_depth(&cfg, 12, 3, &mut rng);
+        let l4 = build_wrn_mlp_with_depth(&cfg, 12, 4, &mut rng);
+        // Whole-model size is the same; the split point moves.
+        assert_eq!(l2.param_count(), l3.param_count());
+        assert_eq!(l3.param_count(), l4.param_count());
+        assert!(l2.trunk_param_count() < l3.trunk_param_count());
+        assert!(l3.trunk_param_count() < l4.trunk_param_count());
+        // Trunk output widths follow the group boundaries: w2, w3, w4.
+        assert_eq!(l2.trunk().out_shape(&[12]), vec![8]);
+        assert_eq!(l3.trunk().out_shape(&[12]), vec![16]);
+        assert_eq!(l4.trunk().out_shape(&[12]), vec![16]);
+        // Every variant still runs end to end.
+        for mut m in [l2, l3, l4] {
+            let y = m.forward(&Tensor::zeros([2, 12]), false);
+            assert_eq!(y.dims(), &[2, 10]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "library depth")]
+    fn invalid_library_depth_rejected() {
+        let mut rng = Prng::seed_from_u64(9);
+        build_wrn_mlp_with_depth(&WrnConfig::new(10, 1.0, 1.0, 4).with_unit(4), 6, 5, &mut rng);
+    }
+
+    #[test]
+    fn head_builder_output_width_is_free() {
+        let mut rng = Prng::seed_from_u64(7);
+        let cfg = WrnConfig::new(16, 1.0, 0.25, 10).with_unit(8);
+        let mut head = build_mlp_head("e0", &cfg, 4, &mut rng);
+        let w3 = 16; // 2·unit·kc
+        let f = Tensor::randn([2, w3], 1.0, &mut rng);
+        let y = head.forward(&f, false);
+        assert_eq!(y.dims(), &[2, 4]);
+    }
+}

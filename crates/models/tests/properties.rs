@@ -1,0 +1,74 @@
+//! Property-based tests for model construction and serialization.
+
+use poe_models::serialize::{deserialize_into, module_byte_size, serialize_module};
+use poe_models::{build_mlp_head, build_wrn_mlp, build_wrn_mlp_with_depth, WrnConfig};
+use poe_nn::{snapshot_params, Module};
+use poe_tensor::{Prng, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn serialization_round_trips_any_architecture(
+        seed in 0u64..500,
+        depth in prop::sample::select(vec![10usize, 16, 22]),
+        kc in prop::sample::select(vec![1.0f32, 2.0]),
+        ks in prop::sample::select(vec![0.25f32, 0.5, 1.0]),
+        classes in 2usize..8,
+    ) {
+        let cfg = WrnConfig::new(depth, kc, ks, classes).with_unit(4);
+        let mut rng = Prng::seed_from_u64(seed);
+        let src = build_wrn_mlp(&cfg, 6, &mut rng);
+        let bytes = serialize_module(&src);
+        prop_assert_eq!(bytes.len() as u64, module_byte_size(&src));
+
+        let mut rng2 = Prng::seed_from_u64(seed ^ 0xFFFF);
+        let mut dst = build_wrn_mlp(&cfg, 6, &mut rng2);
+        deserialize_into(&mut dst, &bytes).unwrap();
+        prop_assert_eq!(snapshot_params(&src), snapshot_params(&dst));
+    }
+
+    #[test]
+    fn widths_scale_monotonically_with_factors(
+        kc in prop::sample::select(vec![0.5f32, 1.0, 2.0, 4.0]),
+        ks in prop::sample::select(vec![0.25f32, 0.5, 1.0, 2.0]),
+    ) {
+        let small = WrnConfig::new(16, kc, ks, 10);
+        let big = WrnConfig::new(16, kc * 2.0, ks * 2.0, 10);
+        let (s1, s2, s3, s4) = small.widths();
+        let (b1, b2, b3, b4) = big.widths();
+        prop_assert_eq!(s1, b1); // stem is fixed
+        prop_assert!(b2 >= s2 && b3 >= s3 && b4 >= s4);
+    }
+
+    #[test]
+    fn head_and_trunk_compose_to_full_model_params(
+        seed in 0u64..200,
+        ell in prop::sample::select(vec![1usize, 2, 3, 4]),
+    ) {
+        let cfg = WrnConfig::new(10, 1.0, 0.5, 6).with_unit(4);
+        let mut rng = Prng::seed_from_u64(seed);
+        let model = build_wrn_mlp_with_depth(&cfg, 5, ell, &mut rng);
+        prop_assert_eq!(
+            model.param_count(),
+            model.trunk_param_count() + model.head_param_count()
+        );
+        // Forward works at every split point.
+        let mut m = model;
+        let y = m.forward(&Tensor::zeros([2, 5]), false);
+        prop_assert_eq!(y.dims(), &[2, 6]);
+    }
+
+    #[test]
+    fn truncated_bytes_never_panic(seed in 0u64..200, cut in 1usize..200) {
+        let cfg = WrnConfig::new(10, 1.0, 0.5, 3).with_unit(4);
+        let mut rng = Prng::seed_from_u64(seed);
+        let src = build_mlp_head("h", &cfg, 3, &mut rng);
+        let bytes = serialize_module(&src);
+        let cut = cut.min(bytes.len());
+        let mut dst = build_mlp_head("h", &cfg, 3, &mut Prng::seed_from_u64(seed + 1));
+        // Must return an error, not panic.
+        prop_assert!(deserialize_into(&mut dst, &bytes[..bytes.len() - cut]).is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! Early stopping with best-weights restoration.
+//!
+//! The paper's learning curves (Figure 6) show every training method
+//! plateauing well before its last epoch; production training stops there
+//! instead of burning the rest of the schedule. [`EarlyStopping`] tracks an
+//! evaluation metric, keeps a snapshot of the best weights, and signals
+//! when patience is exhausted.
+
+use crate::{restore_params, snapshot_params, Module};
+use poe_tensor::Tensor;
+
+/// Early-stopping state machine over a to-be-maximized metric.
+pub struct EarlyStopping {
+    patience: usize,
+    min_delta: f64,
+    best_metric: f64,
+    best_weights: Option<Vec<Tensor>>,
+    evals_since_best: usize,
+}
+
+impl EarlyStopping {
+    /// Stops after `patience` consecutive evaluations without an
+    /// improvement of at least `min_delta`.
+    ///
+    /// # Panics
+    /// Panics if `patience == 0` or `min_delta < 0`.
+    pub fn new(patience: usize, min_delta: f64) -> Self {
+        assert!(patience > 0, "patience must be positive");
+        assert!(min_delta >= 0.0, "min_delta must be non-negative");
+        EarlyStopping {
+            patience,
+            min_delta,
+            best_metric: f64::NEG_INFINITY,
+            best_weights: None,
+            evals_since_best: 0,
+        }
+    }
+
+    /// Records an evaluation of `model` scoring `metric`. Returns `true`
+    /// when training should stop.
+    pub fn observe(&mut self, model: &dyn Module, metric: f64) -> bool {
+        // `min_delta` only gates the patience counter; the best metric and
+        // weights always track the true maximum.
+        let meaningful =
+            metric > self.best_metric + self.min_delta || self.best_weights.is_none();
+        if metric > self.best_metric || self.best_weights.is_none() {
+            self.best_metric = self.best_metric.max(metric);
+            self.best_weights = Some(snapshot_params(model));
+        }
+        if meaningful {
+            self.evals_since_best = 0;
+        } else {
+            self.evals_since_best += 1;
+        }
+        self.evals_since_best >= self.patience
+    }
+
+    /// Best metric seen so far (−∞ before any observation).
+    pub fn best_metric(&self) -> f64 {
+        self.best_metric
+    }
+
+    /// Restores the best-seen weights into `model`. Returns `false` when no
+    /// evaluation has happened yet (model untouched).
+    pub fn restore_best(&self, model: &mut dyn Module) -> bool {
+        match &self.best_weights {
+            None => false,
+            Some(w) => {
+                restore_params(model, w);
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use poe_tensor::Prng;
+
+    fn model() -> Linear {
+        let mut rng = Prng::seed_from_u64(1);
+        Linear::new("l", 2, 2, &mut rng)
+    }
+
+    #[test]
+    fn stops_after_patience_without_improvement() {
+        let m = model();
+        let mut es = EarlyStopping::new(2, 0.0);
+        assert!(!es.observe(&m, 0.5));
+        assert!(!es.observe(&m, 0.6)); // improves
+        assert!(!es.observe(&m, 0.6)); // no improvement (1)
+        assert!(es.observe(&m, 0.55)); // no improvement (2) → stop
+        assert_eq!(es.best_metric(), 0.6);
+    }
+
+    #[test]
+    fn min_delta_requires_meaningful_improvement() {
+        let m = model();
+        let mut es = EarlyStopping::new(1, 0.05);
+        assert!(!es.observe(&m, 0.50));
+        // +0.01 is below min_delta → counts as stagnation.
+        assert!(es.observe(&m, 0.51));
+        // best_metric still tracks the true maximum.
+        assert_eq!(es.best_metric(), 0.51);
+    }
+
+    #[test]
+    fn restore_best_round_trips_weights() {
+        let mut m = model();
+        let mut es = EarlyStopping::new(3, 0.0);
+        es.observe(&m, 0.9);
+        let best = snapshot_params(&m);
+        // Degrade the weights, observe a worse metric, then restore.
+        m.visit_params(&mut |p| p.value.map_in_place(|v| v * 3.0));
+        es.observe(&m, 0.1);
+        assert!(es.restore_best(&mut m));
+        assert_eq!(snapshot_params(&m), best);
+    }
+
+    #[test]
+    fn restore_before_any_observation_is_a_noop() {
+        let mut m = model();
+        let before = snapshot_params(&m);
+        let es = EarlyStopping::new(1, 0.0);
+        assert!(!es.restore_best(&mut m));
+        assert_eq!(snapshot_params(&m), before);
+    }
+
+    #[test]
+    fn integrates_with_the_training_loop() {
+        // Drive a tiny training run via the eval callback and confirm the
+        // loop can be cut short by the signal.
+        use crate::loss::cross_entropy;
+        use crate::train::{train_batches_with_eval, TrainConfig};
+        use poe_tensor::Tensor;
+
+        let mut rng = Prng::seed_from_u64(2);
+        let x = Tensor::randn([40, 2], 1.0, &mut rng);
+        let y: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        let mut m = model();
+        let mut es = EarlyStopping::new(1, 1.0); // impossible delta → stop asap
+        let mut stopped_at = None;
+        let mut epoch = 0usize;
+        train_batches_with_eval(
+            &mut m,
+            &x,
+            &TrainConfig::new(10, 8, 0.05),
+            &mut |logits, idx| {
+                let labels: Vec<usize> = idx.iter().map(|&i| y[i]).collect();
+                cross_entropy(logits, &labels)
+            },
+            1,
+            &mut |model| {
+                epoch += 1;
+                if stopped_at.is_none() && es.observe(model, 0.5) {
+                    stopped_at = Some(epoch);
+                }
+                0.5
+            },
+        );
+        // The signal fired on the second evaluation.
+        assert_eq!(stopped_at, Some(2));
+    }
+}

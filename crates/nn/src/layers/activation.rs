@@ -1,0 +1,98 @@
+//! Activation layers.
+
+use crate::{Module, Parameter};
+use poe_tensor::Tensor;
+
+/// Rectified linear unit, `y = max(0, x)`.
+#[derive(Clone)]
+pub struct Relu {
+    /// Mask of positive inputs from the last training forward.
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Default for Relu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for Relu {
+    fn clone_box(&self) -> Box<dyn Module> {
+        Box::new(self.clone())
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
+        } else {
+            self.mask = None;
+        }
+        input.map(|x| x.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("Relu::backward without training forward");
+        assert_eq!(mask.len(), grad_out.numel(), "Relu grad shape mismatch");
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad_out.shape().dims().to_vec())
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Parameter)) {}
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&Parameter)) {}
+
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        in_shape.to_vec()
+    }
+
+    fn flops(&self, in_shape: &[usize]) -> u64 {
+        in_shape.iter().product::<usize>() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::check_input_gradient;
+    use poe_tensor::Prng;
+
+    #[test]
+    fn clamps_negatives() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], [3]);
+        let y = relu.forward(&x, false);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 3.0], [2]);
+        relu.forward(&x, true);
+        let dx = relu.backward(&Tensor::from_vec(vec![5.0, 7.0], [2]));
+        assert_eq!(dx.data(), &[0.0, 7.0]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = Prng::seed_from_u64(1);
+        let mut relu = Relu::new();
+        check_input_gradient(&mut relu, &[6], 4, 5e-2, &mut rng);
+    }
+
+    #[test]
+    fn has_no_params() {
+        assert_eq!(Relu::new().param_count(), 0);
+    }
+}

@@ -1,0 +1,333 @@
+//! Batch normalization (1-D over features, 2-D over channels).
+
+use crate::{Module, Parameter};
+use poe_tensor::Tensor;
+
+const EPS: f32 = 1e-5;
+
+/// Which axes a [`BatchNorm`] normalizes over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// Input `[n, f]`, statistics per feature over the batch.
+    Features,
+    /// Input `[n, c, h, w]`, statistics per channel over batch × space.
+    Channels,
+}
+
+/// Cache from the training forward pass needed by backward.
+#[derive(Clone)]
+struct Cache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    in_shape: Vec<usize>,
+}
+
+/// Batch normalization with learnable affine and running statistics.
+#[derive(Clone)]
+pub struct BatchNorm {
+    gamma: Parameter,
+    beta: Parameter,
+    running_mean: Parameter,
+    running_var: Parameter,
+    momentum: f32,
+    num_features: usize,
+    kind: Kind,
+    cache: Option<Cache>,
+}
+
+impl BatchNorm {
+    /// Batch norm for `[n, f]` inputs (used by the MLP analog of WRN).
+    pub fn new_1d(name: &str, num_features: usize) -> Self {
+        Self::new(name, num_features, Kind::Features)
+    }
+
+    /// Batch norm for `[n, c, h, w]` inputs (used by the conv WRN).
+    pub fn new_2d(name: &str, num_channels: usize) -> Self {
+        Self::new(name, num_channels, Kind::Channels)
+    }
+
+    fn new(name: &str, num_features: usize, kind: Kind) -> Self {
+        BatchNorm {
+            gamma: Parameter::new_no_decay(format!("{name}.gamma"), Tensor::ones([num_features])),
+            beta: Parameter::new_no_decay(format!("{name}.beta"), Tensor::zeros([num_features])),
+            running_mean: Parameter::new_buffer(
+                format!("{name}.running_mean"),
+                Tensor::zeros([num_features]),
+            ),
+            running_var: Parameter::new_buffer(
+                format!("{name}.running_var"),
+                Tensor::ones([num_features]),
+            ),
+            momentum: 0.1,
+            num_features,
+            kind,
+            cache: None,
+        }
+    }
+
+    /// `(group_count, elements_per_group)` and a closure-friendly layout
+    /// description: for every feature `f`, its elements are at
+    /// `base(f) + i*inner_stride` for `i` in `0..per_group` — but because the
+    /// two layouts differ, we instead iterate explicitly in each method.
+    fn check_shape(&self, dims: &[usize]) -> usize {
+        match self.kind {
+            Kind::Features => {
+                assert_eq!(dims.len(), 2, "BatchNorm1d expects [n, f]");
+                assert_eq!(dims[1], self.num_features, "feature count mismatch");
+                dims[0]
+            }
+            Kind::Channels => {
+                assert_eq!(dims.len(), 4, "BatchNorm2d expects [n, c, h, w]");
+                assert_eq!(dims[1], self.num_features, "channel count mismatch");
+                dims[0] * dims[2] * dims[3]
+            }
+        }
+    }
+
+    /// Calls `f(feature_index, element_offset)` for every element.
+    fn for_each(dims: &[usize], kind: Kind, mut f: impl FnMut(usize, usize)) {
+        match kind {
+            Kind::Features => {
+                let (n, c) = (dims[0], dims[1]);
+                for i in 0..n {
+                    for ch in 0..c {
+                        f(ch, i * c + ch);
+                    }
+                }
+            }
+            Kind::Channels => {
+                let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+                let hw = h * w;
+                for i in 0..n {
+                    for ch in 0..c {
+                        let base = (i * c + ch) * hw;
+                        for s in 0..hw {
+                            f(ch, base + s);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Module for BatchNorm {
+    fn clone_box(&self) -> Box<dyn Module> {
+        Box::new(self.clone())
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let dims = input.dims().to_vec();
+        let per_group = self.check_shape(&dims);
+        let c = self.num_features;
+        let src = input.data();
+
+        let (mean, var) = if train {
+            let mut mean = vec![0.0f32; c];
+            Self::for_each(&dims, self.kind, |ch, off| mean[ch] += src[off]);
+            for m in &mut mean {
+                *m /= per_group as f32;
+            }
+            let mut var = vec![0.0f32; c];
+            Self::for_each(&dims, self.kind, |ch, off| {
+                let d = src[off] - mean[ch];
+                var[ch] += d * d;
+            });
+            for v in &mut var {
+                *v /= per_group as f32;
+            }
+            {
+                let rm = self.running_mean.value.data_mut();
+                let rv = self.running_var.value.data_mut();
+                for ch in 0..c {
+                    rm[ch] = (1.0 - self.momentum) * rm[ch] + self.momentum * mean[ch];
+                    rv[ch] = (1.0 - self.momentum) * rv[ch] + self.momentum * var[ch];
+                }
+            }
+            (mean, var)
+        } else {
+            (
+                self.running_mean.value.data().to_vec(),
+                self.running_var.value.data().to_vec(),
+            )
+        };
+
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + EPS).sqrt()).collect();
+        let gamma = self.gamma.value.data();
+        let beta = self.beta.value.data();
+
+        let mut x_hat = Tensor::zeros(dims.clone());
+        let mut out = Tensor::zeros(dims.clone());
+        {
+            let xh = x_hat.data_mut();
+            let o = out.data_mut();
+            Self::for_each(&dims, self.kind, |ch, off| {
+                let v = (src[off] - mean[ch]) * inv_std[ch];
+                xh[off] = v;
+                o[off] = gamma[ch] * v + beta[ch];
+            });
+        }
+
+        self.cache = if train {
+            Some(Cache {
+                x_hat,
+                inv_std,
+                in_shape: dims,
+            })
+        } else {
+            None
+        };
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm::backward without training forward");
+        let dims = cache.in_shape.clone();
+        assert_eq!(grad_out.dims(), &dims[..], "BatchNorm grad shape mismatch");
+        let per_group = self.check_shape(&dims) as f32;
+        let c = self.num_features;
+        let dy = grad_out.data();
+        let xh = cache.x_hat.data();
+
+        // dγ = Σ dy·x̂ ; dβ = Σ dy ; plus the per-feature sums backward needs.
+        let mut sum_dy = vec![0.0f32; c];
+        let mut sum_dy_xhat = vec![0.0f32; c];
+        Self::for_each(&dims, self.kind, |ch, off| {
+            sum_dy[ch] += dy[off];
+            sum_dy_xhat[ch] += dy[off] * xh[off];
+        });
+        for ch in 0..c {
+            self.gamma.grad.data_mut()[ch] += sum_dy_xhat[ch];
+            self.beta.grad.data_mut()[ch] += sum_dy[ch];
+        }
+
+        // dx = γ·inv_std · (dy − mean(dy) − x̂·mean(dy·x̂))
+        let gamma = self.gamma.value.data();
+        let mut dx = Tensor::zeros(dims.clone());
+        {
+            let d = dx.data_mut();
+            Self::for_each(&dims, self.kind, |ch, off| {
+                let m_dy = sum_dy[ch] / per_group;
+                let m_dy_xh = sum_dy_xhat[ch] / per_group;
+                d[off] =
+                    gamma[ch] * cache.inv_std[ch] * (dy[off] - m_dy - xh[off] * m_dy_xh);
+            });
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+        f(&mut self.running_mean);
+        f(&mut self.running_var);
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Parameter)) {
+        f(&self.gamma);
+        f(&self.beta);
+        f(&self.running_mean);
+        f(&self.running_var);
+    }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        in_shape.to_vec()
+    }
+
+    fn flops(&self, in_shape: &[usize]) -> u64 {
+        2 * in_shape.iter().product::<usize>() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{check_input_gradient, check_param_gradients};
+    use poe_tensor::Prng;
+
+    #[test]
+    fn training_output_is_normalized() {
+        let mut bn = BatchNorm::new_1d("bn", 3);
+        let mut rng = Prng::seed_from_u64(1);
+        let x = Tensor::randn([64, 3], 4.0, &mut rng).map(|v| v + 7.0);
+        let y = bn.forward(&x, true);
+        // Per-feature mean ≈ 0, var ≈ 1 (γ=1, β=0 at init).
+        for ch in 0..3 {
+            let col: Vec<f32> = (0..64).map(|r| y.at(&[r, ch])).collect();
+            let m = col.iter().sum::<f32>() / 64.0;
+            let v = col.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / 64.0;
+            assert!(m.abs() < 1e-4, "mean {m}");
+            assert!((v - 1.0).abs() < 1e-2, "var {v}");
+        }
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut bn = BatchNorm::new_1d("bn", 2);
+        let mut rng = Prng::seed_from_u64(2);
+        // Train on shifted data to move the running statistics.
+        for _ in 0..50 {
+            let x = Tensor::randn([32, 2], 1.0, &mut rng).map(|v| v + 5.0);
+            bn.forward(&x, true);
+        }
+        // In eval mode, a batch at the training mean should map near zero.
+        let x = Tensor::full([4, 2], 5.0);
+        let y = bn.forward(&x, false);
+        assert!(y.data().iter().all(|&v| v.abs() < 0.5), "{y:?}");
+        assert!(bn.cache.is_none());
+    }
+
+    #[test]
+    fn batchnorm_2d_normalizes_per_channel() {
+        let mut bn = BatchNorm::new_2d("bn", 2);
+        let mut rng = Prng::seed_from_u64(3);
+        let x = Tensor::randn([8, 2, 3, 3], 2.0, &mut rng);
+        let y = bn.forward(&x, true);
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for n in 0..8 {
+                for i in 0..3 {
+                    for j in 0..3 {
+                        vals.push(y.at(&[n, ch, i, j]));
+                    }
+                }
+            }
+            let m = vals.iter().sum::<f32>() / vals.len() as f32;
+            assert!(m.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn input_gradient_check_1d() {
+        let mut rng = Prng::seed_from_u64(4);
+        let mut bn = BatchNorm::new_1d("bn", 3);
+        check_input_gradient(&mut bn, &[3], 8, 2e-2, &mut rng);
+    }
+
+    #[test]
+    fn param_gradient_check_1d() {
+        let mut rng = Prng::seed_from_u64(5);
+        let mut bn = BatchNorm::new_1d("bn", 3);
+        check_param_gradients(&mut bn, &[3], 8, 2e-2, &mut rng);
+    }
+
+    #[test]
+    fn input_gradient_check_2d() {
+        let mut rng = Prng::seed_from_u64(6);
+        let mut bn = BatchNorm::new_2d("bn", 2);
+        check_input_gradient(&mut bn, &[2, 3, 3], 4, 2e-2, &mut rng);
+    }
+
+    #[test]
+    fn rejects_wrong_rank() {
+        let mut bn = BatchNorm::new_1d("bn", 3);
+        let x = Tensor::zeros([2, 3, 4, 5]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            bn.forward(&x, false);
+        }));
+        assert!(r.is_err());
+    }
+}

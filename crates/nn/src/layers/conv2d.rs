@@ -1,0 +1,227 @@
+//! 2-D convolution layer (im2col + matmul).
+
+use crate::{Module, Parameter};
+use poe_tensor::conv::{col2im, im2col, Conv2dSpec};
+use poe_tensor::{matmul, matmul_a_bt, matmul_at_b, Prng, Tensor};
+
+/// Convolution layer over `[n, c, h, w]` inputs with square kernels.
+#[derive(Clone)]
+pub struct Conv2d {
+    spec: Conv2dSpec,
+    /// Filter matrix `[out_channels × (in_channels·k·k)]`.
+    weight: Parameter,
+    bias: Parameter,
+    cache: Option<ConvCache>,
+}
+
+#[derive(Clone)]
+struct ConvCache {
+    cols: Tensor,
+    n: usize,
+    h: usize,
+    w: usize,
+}
+
+impl Conv2d {
+    /// Creates a Kaiming-initialized convolution.
+    pub fn new(name: &str, spec: Conv2dSpec, rng: &mut Prng) -> Self {
+        let fan_in = spec.patch_len();
+        Conv2d {
+            spec,
+            weight: Parameter::new(
+                format!("{name}.w"),
+                Tensor::kaiming([spec.out_channels, fan_in], fan_in, rng),
+            ),
+            bias: Parameter::new_no_decay(
+                format!("{name}.b"),
+                Tensor::zeros([spec.out_channels]),
+            ),
+            cache: None,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn spec(&self) -> &Conv2dSpec {
+        &self.spec
+    }
+
+    /// Reorders `[(n·oh·ow) × oc]` rows into `[n, oc, oh, ow]`.
+    fn to_nchw(rows: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Tensor {
+        let mut out = Tensor::zeros([n, oc, oh, ow]);
+        let dst = out.data_mut();
+        let src = rows.data();
+        for img in 0..n {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let r = ((img * oh + y) * ow + x) * oc;
+                    for c in 0..oc {
+                        dst[((img * oc + c) * oh + y) * ow + x] = src[r + c];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`Self::to_nchw`].
+    fn from_nchw(t: &Tensor) -> Tensor {
+        let d = t.dims();
+        let (n, oc, oh, ow) = (d[0], d[1], d[2], d[3]);
+        let mut out = Tensor::zeros([n * oh * ow, oc]);
+        let dst = out.data_mut();
+        let src = t.data();
+        for img in 0..n {
+            for c in 0..oc {
+                for y in 0..oh {
+                    for x in 0..ow {
+                        dst[((img * oh + y) * ow + x) * oc + c] =
+                            src[((img * oc + c) * oh + y) * ow + x];
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Module for Conv2d {
+    fn clone_box(&self) -> Box<dyn Module> {
+        Box::new(self.clone())
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let d = input.dims();
+        assert_eq!(d.len(), 4, "Conv2d expects [n, c, h, w]");
+        let (n, h, w) = (d[0], d[2], d[3]);
+        let (oh, ow) = self.spec.output_hw(h, w);
+
+        let cols = im2col(input, &self.spec);
+        let mut rows = matmul_a_bt(&cols, &self.weight.value).expect("conv forward matmul");
+        let b = self.bias.value.data();
+        for r in 0..rows.rows() {
+            for (v, &bv) in rows.row_mut(r).iter_mut().zip(b) {
+                *v += bv;
+            }
+        }
+        let out = Self::to_nchw(&rows, n, self.spec.out_channels, oh, ow);
+        self.cache = if train { Some(ConvCache { cols, n, h, w }) } else { None };
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("Conv2d::backward without training forward");
+        let dy = Self::from_nchw(grad_out); // [(n·oh·ow) × oc]
+
+        // dW = dyᵀ · cols
+        let dw = matmul_at_b(&dy, &cache.cols).expect("conv dW");
+        self.weight.grad.add_scaled(&dw, 1.0).expect("conv dW accumulate");
+        // db = column sums of dy
+        for r in 0..dy.rows() {
+            let row = dy.row(r);
+            for (g, &d) in self.bias.grad.data_mut().iter_mut().zip(row) {
+                *g += d;
+            }
+        }
+        // dx = col2im(dy · W)
+        let dcols = matmul(&dy, &self.weight.value).expect("conv dcols");
+        col2im(&dcols, &self.spec, cache.n, cache.h, cache.w)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Parameter)) {
+        f(&self.weight);
+        f(&self.bias);
+    }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        assert_eq!(in_shape.len(), 3, "per-sample conv shape is [c, h, w]");
+        let (oh, ow) = self.spec.output_hw(in_shape[1], in_shape[2]);
+        vec![self.spec.out_channels, oh, ow]
+    }
+
+    fn flops(&self, in_shape: &[usize]) -> u64 {
+        self.spec.flops(1, in_shape[1], in_shape[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{check_input_gradient, check_param_gradients};
+
+    fn spec() -> Conv2dSpec {
+        Conv2dSpec { in_channels: 2, out_channels: 3, kernel: 3, stride: 1, padding: 1 }
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = Prng::seed_from_u64(1);
+        let mut conv = Conv2d::new("c", spec(), &mut rng);
+        let x = Tensor::randn([2, 2, 5, 5], 1.0, &mut rng);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.dims(), &[2, 3, 5, 5]);
+        assert_eq!(conv.out_shape(&[2, 5, 5]), vec![3, 5, 5]);
+    }
+
+    #[test]
+    fn strided_forward_shape() {
+        let mut rng = Prng::seed_from_u64(2);
+        let s = Conv2dSpec { in_channels: 1, out_channels: 2, kernel: 3, stride: 2, padding: 1 };
+        let mut conv = Conv2d::new("c", s, &mut rng);
+        let y = conv.forward(&Tensor::zeros([1, 1, 8, 8]), false);
+        assert_eq!(y.dims(), &[1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn bias_shifts_every_position() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut conv = Conv2d::new("c", spec(), &mut rng);
+        conv.weight.value.fill_zero();
+        conv.bias.value = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]);
+        let y = conv.forward(&Tensor::zeros([1, 2, 4, 4]), false);
+        for c in 0..3 {
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert_eq!(y.at(&[0, c, i, j]), (c + 1) as f32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nchw_round_trip() {
+        let mut rng = Prng::seed_from_u64(4);
+        let t = Tensor::randn([2, 3, 4, 5], 1.0, &mut rng);
+        let rows = Conv2d::from_nchw(&t);
+        let back = Conv2d::to_nchw(&rows, 2, 3, 4, 5);
+        assert!(back.max_abs_diff(&t) == 0.0);
+    }
+
+    #[test]
+    fn input_gradient_check() {
+        let mut rng = Prng::seed_from_u64(5);
+        let mut conv = Conv2d::new("c", spec(), &mut rng);
+        check_input_gradient(&mut conv, &[2, 4, 4], 2, 2e-2, &mut rng);
+    }
+
+    #[test]
+    fn param_gradient_check() {
+        let mut rng = Prng::seed_from_u64(6);
+        let mut conv = Conv2d::new("c", spec(), &mut rng);
+        check_param_gradients(&mut conv, &[2, 4, 4], 2, 2e-2, &mut rng);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = Prng::seed_from_u64(7);
+        let conv = Conv2d::new("c", spec(), &mut rng);
+        assert_eq!(conv.param_count(), 3 * 2 * 9 + 3);
+    }
+}

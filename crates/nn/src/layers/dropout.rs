@@ -1,0 +1,139 @@
+//! Inverted dropout.
+
+use crate::{Module, Parameter};
+use poe_tensor::{Prng, Tensor};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and the survivors are scaled by `1/(1−p)`, so inference
+/// is the identity. The original WRN recipe uses dropout inside residual
+/// blocks; it is exposed here for parity and for regularization studies on
+/// the small synthetic benchmarks.
+#[derive(Clone)]
+pub struct Dropout {
+    p: f32,
+    rng: Prng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and its own
+    /// deterministic mask stream.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        Dropout {
+            p,
+            rng: Prng::seed_from_u64(seed),
+            mask: None,
+        }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Module for Dropout {
+    fn clone_box(&self) -> Box<dyn Module> {
+        Box::new(self.clone())
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..input.numel())
+            .map(|_| if self.rng.uniform() < keep { scale } else { 0.0 })
+            .collect();
+        let data = input
+            .data()
+            .iter()
+            .zip(&mask)
+            .map(|(&x, &m)| x * m)
+            .collect();
+        self.mask = Some(mask);
+        Tensor::from_vec(data, input.dims().to_vec())
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match &self.mask {
+            None => grad_out.clone(),
+            Some(mask) => {
+                assert_eq!(mask.len(), grad_out.numel(), "dropout grad shape mismatch");
+                let data = grad_out
+                    .data()
+                    .iter()
+                    .zip(mask)
+                    .map(|(&g, &m)| g * m)
+                    .collect();
+                Tensor::from_vec(data, grad_out.dims().to_vec())
+            }
+        }
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Parameter)) {}
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&Parameter)) {}
+
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        in_shape.to_vec()
+    }
+
+    fn flops(&self, in_shape: &[usize]) -> u64 {
+        in_shape.iter().product::<usize>() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]);
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn training_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 2);
+        let x = Tensor::ones([10_000]);
+        let y = d.forward(&x, true);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "dropout mean {mean}");
+        // Survivors are scaled by 1/(1-p).
+        let expected = 1.0 / 0.7;
+        assert!(y.data().iter().all(|&v| v == 0.0 || (v - expected).abs() < 1e-5));
+    }
+
+    #[test]
+    fn backward_applies_the_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::ones([100]);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::ones([100]));
+        // Gradient is zero exactly where the activation was dropped.
+        for (yv, gv) in y.data().iter().zip(g.data()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_probability_is_identity_in_training() {
+        let mut d = Dropout::new(0.0, 4);
+        let x = Tensor::from_vec(vec![5.0, -1.0], [2]);
+        assert_eq!(d.forward(&x, true), x);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_probability_rejected() {
+        Dropout::new(1.0, 5);
+    }
+}

@@ -1,0 +1,158 @@
+//! Fully-connected layer.
+
+use crate::{Module, Parameter};
+use poe_tensor::{matmul, matmul_a_bt, matmul_at_b, Prng, Tensor};
+
+/// Affine layer `y = x·Wᵀ + b` with `W: [out × in]`, Kaiming-initialized.
+#[derive(Clone)]
+pub struct Linear {
+    weight: Parameter,
+    bias: Parameter,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer with Kaiming-normal weights and zero bias.
+    pub fn new(name: &str, in_features: usize, out_features: usize, rng: &mut Prng) -> Self {
+        Linear {
+            weight: Parameter::new(
+                format!("{name}.w"),
+                Tensor::kaiming([out_features, in_features], in_features, rng),
+            ),
+            bias: Parameter::new_no_decay(format!("{name}.b"), Tensor::zeros([out_features])),
+            in_features,
+            out_features,
+            cached_input: None,
+        }
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Module for Linear {
+    fn clone_box(&self) -> Box<dyn Module> {
+        Box::new(self.clone())
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        debug_assert_eq!(input.cols(), self.in_features, "Linear input width mismatch");
+        let x = input
+            .reshape([input.rows(), self.in_features])
+            .expect("linear input reshape");
+        let mut y = matmul_a_bt(&x, &self.weight.value).expect("linear forward matmul");
+        let b = self.bias.value.data();
+        for r in 0..y.rows() {
+            for (v, &bv) in y.row_mut(r).iter_mut().zip(b) {
+                *v += bv;
+            }
+        }
+        self.cached_input = if train { Some(x) } else { None };
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("Linear::backward without training forward");
+        debug_assert_eq!(grad_out.rows(), x.rows());
+        // dW = dyᵀ · x
+        let dw = matmul_at_b(grad_out, x).expect("linear dW");
+        self.weight.grad.add_scaled(&dw, 1.0).expect("linear dW accumulate");
+        // db = column sums of dy
+        for r in 0..grad_out.rows() {
+            let row = grad_out.row(r);
+            for (g, &d) in self.bias.grad.data_mut().iter_mut().zip(row) {
+                *g += d;
+            }
+        }
+        // dx = dy · W
+        matmul(grad_out, &self.weight.value).expect("linear dx")
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Parameter)) {
+        f(&self.weight);
+        f(&self.bias);
+    }
+
+    fn out_shape(&self, _in_shape: &[usize]) -> Vec<usize> {
+        vec![self.out_features]
+    }
+
+    fn flops(&self, _in_shape: &[usize]) -> u64 {
+        2 * (self.in_features * self.out_features) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::check_input_gradient;
+
+    #[test]
+    fn forward_matches_manual_affine() {
+        let mut rng = Prng::seed_from_u64(1);
+        let mut lin = Linear::new("l", 3, 2, &mut rng);
+        // Overwrite with known weights.
+        lin.weight.value = Tensor::from_vec(vec![1.0, 0.0, -1.0, 2.0, 1.0, 0.5], [2, 3]);
+        lin.bias.value = Tensor::from_vec(vec![0.5, -0.5], [2]);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], [1, 3]);
+        let y = lin.forward(&x, false);
+        // y0 = 1 - 3 + 0.5 = -1.5 ; y1 = 2 + 2 + 1.5 - 0.5 = 5.0
+        assert!((y.data()[0] + 1.5).abs() < 1e-6);
+        assert!((y.data()[1] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inference_forward_does_not_cache() {
+        let mut rng = Prng::seed_from_u64(2);
+        let mut lin = Linear::new("l", 3, 2, &mut rng);
+        lin.forward(&Tensor::ones([2, 3]), false);
+        assert!(lin.cached_input.is_none());
+        lin.forward(&Tensor::ones([2, 3]), true);
+        assert!(lin.cached_input.is_some());
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut lin = Linear::new("l", 4, 3, &mut rng);
+        check_input_gradient(&mut lin, &[4], 5, 1e-2, &mut rng);
+    }
+
+    #[test]
+    fn bias_gradient_sums_over_batch() {
+        let mut rng = Prng::seed_from_u64(4);
+        let mut lin = Linear::new("l", 2, 2, &mut rng);
+        let x = Tensor::ones([3, 2]);
+        lin.forward(&x, true);
+        let g = Tensor::ones([3, 2]);
+        lin.backward(&g);
+        // Each bias sees gradient 1 from each of the 3 rows.
+        assert_eq!(lin.bias.grad.data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn flops_and_shapes() {
+        let mut rng = Prng::seed_from_u64(5);
+        let lin = Linear::new("l", 8, 4, &mut rng);
+        assert_eq!(lin.out_shape(&[8]), vec![4]);
+        assert_eq!(lin.flops(&[8]), 64);
+        assert_eq!(lin.param_count(), 36);
+    }
+}

@@ -1,0 +1,17 @@
+//! Neural network layers.
+
+mod activation;
+mod batchnorm;
+mod conv2d;
+mod dropout;
+mod linear;
+mod pool;
+mod sequential;
+
+pub use activation::Relu;
+pub use batchnorm::BatchNorm;
+pub use conv2d::Conv2d;
+pub use dropout::Dropout;
+pub use linear::Linear;
+pub use pool::{Flatten, GlobalAvgPool2d};
+pub use sequential::{Residual, Sequential};

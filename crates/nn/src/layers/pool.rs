@@ -1,0 +1,178 @@
+//! Spatial pooling and flattening.
+
+use crate::{Module, Parameter};
+use poe_tensor::Tensor;
+
+/// Global average pooling: `[n, c, h, w] → [n, c]`.
+#[derive(Clone)]
+pub struct GlobalAvgPool2d {
+    cached_in_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool2d {
+    /// Creates the pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool2d { cached_in_shape: None }
+    }
+}
+
+impl Default for GlobalAvgPool2d {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for GlobalAvgPool2d {
+    fn clone_box(&self) -> Box<dyn Module> {
+        Box::new(self.clone())
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let d = input.dims();
+        assert_eq!(d.len(), 4, "GlobalAvgPool2d expects [n, c, h, w]");
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let hw = (h * w) as f32;
+        let mut out = Tensor::zeros([n, c]);
+        let src = input.data();
+        let dst = out.data_mut();
+        for i in 0..n {
+            for ch in 0..c {
+                let base = (i * c + ch) * h * w;
+                let s: f32 = src[base..base + h * w].iter().sum();
+                dst[i * c + ch] = s / hw;
+            }
+        }
+        self.cached_in_shape = if train { Some(d.to_vec()) } else { None };
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let d = self
+            .cached_in_shape
+            .as_ref()
+            .expect("GlobalAvgPool2d::backward without training forward");
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        assert_eq!(grad_out.dims(), &[n, c], "pool grad shape mismatch");
+        let scale = 1.0 / (h * w) as f32;
+        let mut dx = Tensor::zeros(d.clone());
+        let dst = dx.data_mut();
+        let src = grad_out.data();
+        for i in 0..n {
+            for ch in 0..c {
+                let g = src[i * c + ch] * scale;
+                let base = (i * c + ch) * h * w;
+                for v in &mut dst[base..base + h * w] {
+                    *v = g;
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Parameter)) {}
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&Parameter)) {}
+
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        assert_eq!(in_shape.len(), 3, "per-sample pool shape is [c, h, w]");
+        vec![in_shape[0]]
+    }
+
+    fn flops(&self, in_shape: &[usize]) -> u64 {
+        in_shape.iter().product::<usize>() as u64
+    }
+}
+
+/// Flattens all per-sample dimensions: `[n, …] → [n, prod(…)]`.
+#[derive(Clone)]
+pub struct Flatten {
+    cached_in_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates the flatten layer.
+    pub fn new() -> Self {
+        Flatten { cached_in_shape: None }
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for Flatten {
+    fn clone_box(&self) -> Box<dyn Module> {
+        Box::new(self.clone())
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let d = input.dims().to_vec();
+        assert!(d.len() >= 2, "Flatten expects at least [n, …]");
+        let n = d[0];
+        let rest: usize = d[1..].iter().product();
+        self.cached_in_shape = if train { Some(d) } else { None };
+        input.reshape([n, rest]).expect("flatten reshape")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let d = self
+            .cached_in_shape
+            .as_ref()
+            .expect("Flatten::backward without training forward");
+        grad_out.reshape(d.clone()).expect("flatten grad reshape")
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Parameter)) {}
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&Parameter)) {}
+
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        vec![in_shape.iter().product()]
+    }
+
+    fn flops(&self, _in_shape: &[usize]) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::check_input_gradient;
+    use poe_tensor::Prng;
+
+    #[test]
+    fn global_pool_averages() {
+        let mut pool = GlobalAvgPool2d::new();
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), [1, 2, 2, 2]);
+        let y = pool.forward(&x, false);
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.data(), &[1.5, 5.5]);
+    }
+
+    #[test]
+    fn global_pool_gradient_check() {
+        let mut rng = Prng::seed_from_u64(1);
+        let mut pool = GlobalAvgPool2d::new();
+        check_input_gradient(&mut pool, &[2, 3, 3], 2, 1e-2, &mut rng);
+    }
+
+    #[test]
+    fn flatten_round_trips_gradient() {
+        let mut rng = Prng::seed_from_u64(2);
+        let mut fl = Flatten::new();
+        let x = Tensor::randn([2, 3, 4], 1.0, &mut rng);
+        let y = fl.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 12]);
+        let dx = fl.backward(&y);
+        assert_eq!(dx.dims(), &[2, 3, 4]);
+        assert!(dx.max_abs_diff(&x) == 0.0);
+    }
+
+    #[test]
+    fn shapes_and_flops() {
+        assert_eq!(GlobalAvgPool2d::new().out_shape(&[8, 4, 4]), vec![8]);
+        assert_eq!(Flatten::new().out_shape(&[3, 4, 4]), vec![48]);
+        assert_eq!(Flatten::new().flops(&[3, 4, 4]), 0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Module containers: sequential chains and residual blocks.
+
+use crate::{Module, Parameter};
+use poe_tensor::Tensor;
+
+/// A chain of modules applied in order.
+pub struct Sequential {
+    layers: Vec<Box<dyn Module>>,
+}
+
+impl Sequential {
+    /// Creates an empty chain (the identity function).
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Module + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Module>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers in the chain.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True if the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for Sequential {
+    fn clone(&self) -> Self {
+        Sequential {
+            layers: self.layers.iter().map(|l| l.clone_box()).collect(),
+        }
+    }
+}
+
+impl Clone for Residual {
+    fn clone(&self) -> Self {
+        Residual {
+            body: self.body.clone(),
+            shortcut: self.shortcut.as_ref().map(|s| s.clone_box()),
+        }
+    }
+}
+
+impl Module for Sequential {
+    fn clone_box(&self) -> Box<dyn Module> {
+        Box::new(self.clone())
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Parameter)) {
+        for layer in &self.layers {
+            layer.visit_params_ref(f);
+        }
+    }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        let mut s = in_shape.to_vec();
+        for layer in &self.layers {
+            s = layer.out_shape(&s);
+        }
+        s
+    }
+
+    fn flops(&self, in_shape: &[usize]) -> u64 {
+        let mut s = in_shape.to_vec();
+        let mut total = 0;
+        for layer in &self.layers {
+            total += layer.flops(&s);
+            s = layer.out_shape(&s);
+        }
+        total
+    }
+}
+
+/// A residual block: `y = body(x) + shortcut(x)`.
+///
+/// With no shortcut module the skip connection is the identity, which
+/// requires `body` to preserve the input shape.
+pub struct Residual {
+    body: Sequential,
+    shortcut: Option<Box<dyn Module>>,
+}
+
+impl Residual {
+    /// Residual block with an identity skip.
+    pub fn identity(body: Sequential) -> Self {
+        Residual { body, shortcut: None }
+    }
+
+    /// Residual block with a projection skip (used when the body changes
+    /// width or spatial resolution).
+    pub fn projected(body: Sequential, shortcut: impl Module + 'static) -> Self {
+        Residual {
+            body,
+            shortcut: Some(Box::new(shortcut)),
+        }
+    }
+}
+
+impl Module for Residual {
+    fn clone_box(&self) -> Box<dyn Module> {
+        Box::new(self.clone())
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let main = self.body.forward(input, train);
+        let skip = match &mut self.shortcut {
+            Some(s) => s.forward(input, train),
+            None => input.clone(),
+        };
+        main.add(&skip).expect("residual add: body must preserve shape")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut dx = self.body.backward(grad_out);
+        let skip_grad = match &mut self.shortcut {
+            Some(s) => s.backward(grad_out),
+            None => grad_out.clone(),
+        };
+        dx.add_scaled(&skip_grad, 1.0).expect("residual grad add");
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.body.visit_params(f);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_params(f);
+        }
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Parameter)) {
+        self.body.visit_params_ref(f);
+        if let Some(s) = &self.shortcut {
+            s.visit_params_ref(f);
+        }
+    }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        self.body.out_shape(in_shape)
+    }
+
+    fn flops(&self, in_shape: &[usize]) -> u64 {
+        let body = self.body.flops(in_shape);
+        let skip = self.shortcut.as_ref().map_or(0, |s| s.flops(in_shape));
+        let add = self.body.out_shape(in_shape).iter().product::<usize>() as u64;
+        body + skip + add
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use crate::testing::{check_input_gradient, check_param_gradients};
+    use poe_tensor::Prng;
+
+    fn mlp(rng: &mut Prng) -> Sequential {
+        Sequential::new()
+            .push(Linear::new("l1", 4, 8, rng))
+            .push(Relu::new())
+            .push(Linear::new("l2", 8, 3, rng))
+    }
+
+    #[test]
+    fn sequential_composes_shapes() {
+        let mut rng = Prng::seed_from_u64(1);
+        let net = mlp(&mut rng);
+        assert_eq!(net.out_shape(&[4]), vec![3]);
+        assert_eq!(net.len(), 3);
+        assert_eq!(net.param_count(), (4 * 8 + 8) + (8 * 3 + 3));
+        assert_eq!(net.flops(&[4]), 2 * 32 + 8 + 2 * 24);
+    }
+
+    #[test]
+    fn sequential_gradient_check() {
+        let mut rng = Prng::seed_from_u64(2);
+        let mut net = mlp(&mut rng);
+        check_input_gradient(&mut net, &[4], 3, 2e-2, &mut rng);
+        check_param_gradients(&mut net, &[4], 3, 2e-2, &mut rng);
+    }
+
+    #[test]
+    fn identity_residual_adds_input() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut body = Sequential::new().push(Linear::new("l", 4, 4, &mut rng));
+        // Zero the body so the block is exactly the identity.
+        body.visit_params(&mut |p| p.value.fill_zero());
+        let mut block = Residual::identity(body);
+        let x = Tensor::randn([2, 4], 1.0, &mut rng);
+        let y = block.forward(&x, false);
+        assert!(y.max_abs_diff(&x) < 1e-6);
+    }
+
+    #[test]
+    fn projected_residual_changes_width() {
+        let mut rng = Prng::seed_from_u64(4);
+        let body = Sequential::new().push(Linear::new("b", 4, 6, &mut rng));
+        let proj = Linear::new("p", 4, 6, &mut rng);
+        let mut block = Residual::projected(body, proj);
+        let y = block.forward(&Tensor::zeros([2, 4]), false);
+        assert_eq!(y.dims(), &[2, 6]);
+        assert_eq!(block.out_shape(&[4]), vec![6]);
+    }
+
+    #[test]
+    fn residual_gradient_check() {
+        let mut rng = Prng::seed_from_u64(5);
+        let body = Sequential::new()
+            .push(Linear::new("b1", 4, 4, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new("b2", 4, 4, &mut rng));
+        let mut block = Residual::identity(body);
+        check_input_gradient(&mut block, &[4], 3, 2e-2, &mut rng);
+        check_param_gradients(&mut block, &[4], 3, 2e-2, &mut rng);
+    }
+
+    #[test]
+    fn projected_residual_gradient_check() {
+        let mut rng = Prng::seed_from_u64(6);
+        let body = Sequential::new().push(Linear::new("b", 4, 6, &mut rng));
+        let proj = Linear::new("p", 4, 6, &mut rng);
+        let mut block = Residual::projected(body, proj);
+        check_input_gradient(&mut block, &[4], 3, 2e-2, &mut rng);
+    }
+}

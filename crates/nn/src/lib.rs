@@ -1,0 +1,36 @@
+//! # poe-nn
+//!
+//! A layer-based neural network library with explicit backpropagation —
+//! the training substrate the PoE paper gets from PyTorch, rebuilt in pure
+//! Rust. It provides:
+//!
+//! * the [`Module`] trait (forward/backward with per-layer caches),
+//! * layers: [`layers::Linear`], [`layers::Conv2d`], [`layers::BatchNorm`],
+//!   [`layers::Relu`], [`layers::GlobalAvgPool2d`], [`layers::Flatten`],
+//!   [`layers::Sequential`], [`layers::Residual`],
+//! * the paper's losses with analytic gradients ([`loss`]): cross-entropy,
+//!   the KD loss of Eq. (1), the `L_scale` L1 regularizer of Eq. (4), and
+//!   the combined CKD loss of Eq. (2),
+//! * SGD with momentum and weight decay plus step-decay schedules
+//!   ([`optim`]),
+//! * an instrumented mini-batch training loop ([`train`]) that records the
+//!   timing curves needed for the paper's Figures 6 and 7,
+//! * finite-difference gradient checkers ([`testing`]) used by this crate's
+//!   tests and by downstream architecture tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod early_stop;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+mod module;
+pub mod optim;
+mod param;
+pub mod testing;
+pub mod train;
+
+pub use early_stop::EarlyStopping;
+pub use module::{restore_params, snapshot_params, Module};
+pub use param::Parameter;

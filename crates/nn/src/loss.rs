@@ -1,0 +1,418 @@
+//! Loss functions with analytic gradients w.r.t. the student logits.
+//!
+//! Every loss returns `(scalar_loss, grad_wrt_logits)` where the scalar is
+//! averaged over the batch, so gradient magnitudes are independent of batch
+//! size. These are the exact losses of the PoE paper:
+//!
+//! * [`cross_entropy`] — hard-target training (Scratch / Transfer baselines).
+//! * [`kd_loss`] — Eq. (1), `KL(σ(t/T) ‖ σ(s/T))`, used for library
+//!   extraction and the generic-KD baseline.
+//! * [`l1_scale_loss`] — Eq. (4), `‖t − s‖₁`, the logit-scale regularizer.
+//! * [`CkdLoss`] — Eq. (2), `L_soft + α·L_scale` over *sub-logits*, used for
+//!   expert extraction (with flags to ablate either term — Table 5).
+
+use poe_tensor::ops::{log_softmax, softmax, softmax_with_temperature};
+use poe_tensor::Tensor;
+
+/// Mean cross-entropy of `logits` against integer `labels`.
+///
+/// Returns the loss and its gradient `(softmax(x) − onehot(y)) / n`.
+///
+/// # Panics
+/// Panics if row counts disagree or a label is out of range.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let n = logits.rows();
+    assert_eq!(n, labels.len(), "cross_entropy: batch size mismatch");
+    assert!(n > 0, "cross_entropy on empty batch");
+    let log_p = log_softmax(logits);
+    let mut loss = 0.0f32;
+    let mut grad = softmax(logits);
+    let inv_n = 1.0 / n as f32;
+    for (r, &y) in labels.iter().enumerate() {
+        let row = log_p.row(r);
+        assert!(y < row.len(), "label {y} out of range");
+        loss -= row[y];
+        grad.row_mut(r)[y] -= 1.0;
+    }
+    grad.scale(inv_n);
+    (loss * inv_n, grad)
+}
+
+/// Standard knowledge-distillation loss (Hinton et al. 2015; Eq. (1) of the
+/// paper): `KL(σ(t/T) ‖ σ(s/T))`, averaged over the batch.
+///
+/// When `scale_by_t_squared` is set (the conventional choice, used
+/// throughout this reproduction) the loss and gradient are multiplied by
+/// `T²` so the gradient magnitude is independent of the temperature.
+///
+/// Gradient w.r.t. the student logits: `T²·(1/T)·(σ(s/T) − σ(t/T)) / n`.
+pub fn kd_loss(
+    student_logits: &Tensor,
+    teacher_logits: &Tensor,
+    temperature: f32,
+    scale_by_t_squared: bool,
+) -> (f32, Tensor) {
+    assert_eq!(
+        student_logits.shape(),
+        teacher_logits.shape(),
+        "kd_loss: student/teacher shape mismatch"
+    );
+    let n = student_logits.rows();
+    assert!(n > 0, "kd_loss on empty batch");
+    let p = softmax_with_temperature(teacher_logits, temperature); // target
+    let log_q = log_softmax(&student_logits.scaled(1.0 / temperature));
+    let q = softmax_with_temperature(student_logits, temperature);
+
+    // KL(P‖Q) = Σ P (log P − log Q); entropy of P is constant w.r.t. s but
+    // we include it so the reported loss is a true KL (≥ 0).
+    let mut loss = 0.0f32;
+    for r in 0..n {
+        let (pr, lqr) = (p.row(r), log_q.row(r));
+        for (j, &pj) in pr.iter().enumerate() {
+            if pj > 0.0 {
+                loss += pj * (pj.ln() - lqr[j]);
+            }
+        }
+    }
+    let mut grad = q.sub(&p).expect("kd grad sub");
+    let scale = if scale_by_t_squared { temperature } else { 1.0 / temperature };
+    grad.scale(scale / n as f32);
+    let loss_scale = if scale_by_t_squared {
+        temperature * temperature
+    } else {
+        1.0
+    };
+    (loss * loss_scale / n as f32, grad)
+}
+
+/// The logit-scale regularizer `L_scale = ‖t − s‖₁` (Eq. (4)), averaged over
+/// the batch (sum over classes, mean over samples).
+///
+/// Gradient: `−sign(t − s) / n` (sub-gradient 0 at equality).
+///
+/// The paper argues for L1 over L2 because it conveys overall scale without
+/// chasing exact logit values; [`l2_scale_loss`] exists for the ablation.
+pub fn l1_scale_loss(student_logits: &Tensor, teacher_logits: &Tensor) -> (f32, Tensor) {
+    assert_eq!(
+        student_logits.shape(),
+        teacher_logits.shape(),
+        "l1_scale_loss: shape mismatch"
+    );
+    let n = student_logits.rows().max(1);
+    let inv_n = 1.0 / n as f32;
+    let mut loss = 0.0f32;
+    let mut grad = Tensor::zeros(student_logits.shape().dims().to_vec());
+    {
+        let g = grad.data_mut();
+        for (i, (&s, &t)) in student_logits
+            .data()
+            .iter()
+            .zip(teacher_logits.data())
+            .enumerate()
+        {
+            let d = s - t;
+            loss += d.abs();
+            g[i] = d.signum() * inv_n;
+        }
+    }
+    (loss * inv_n, grad)
+}
+
+/// L2 variant of the scale regularizer, `½‖t − s‖₂²` per sample (mean over
+/// the batch) — used only to ablate the paper's L1 choice.
+///
+/// Gradient: `(s − t) / n`.
+pub fn l2_scale_loss(student_logits: &Tensor, teacher_logits: &Tensor) -> (f32, Tensor) {
+    assert_eq!(
+        student_logits.shape(),
+        teacher_logits.shape(),
+        "l2_scale_loss: shape mismatch"
+    );
+    let n = student_logits.rows().max(1);
+    let inv_n = 1.0 / n as f32;
+    let mut loss = 0.0f32;
+    let mut grad = Tensor::zeros(student_logits.shape().dims().to_vec());
+    {
+        let g = grad.data_mut();
+        for (i, (&s, &t)) in student_logits
+            .data()
+            .iter()
+            .zip(teacher_logits.data())
+            .enumerate()
+        {
+            let d = s - t;
+            loss += 0.5 * d * d;
+            g[i] = d * inv_n;
+        }
+    }
+    (loss * inv_n, grad)
+}
+
+/// Which norm the scale regularizer uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScaleNorm {
+    /// The paper's choice (robust to outliers, conveys overall scale).
+    #[default]
+    L1,
+    /// Ablation variant.
+    L2,
+}
+
+/// Conditional knowledge distillation loss (Eq. (2)):
+/// `L_CKD = L_soft + α·L_scale` evaluated on teacher **sub-logits**
+/// `t_H` (the columns of the oracle's logits belonging to the primitive
+/// task) against the expert's full output `s_H`.
+///
+/// ```
+/// use poe_nn::loss::CkdLoss;
+/// use poe_tensor::Tensor;
+///
+/// let oracle_sub = Tensor::from_vec(vec![4.0, -1.0], [1, 2]);
+/// let student = Tensor::from_vec(vec![0.0, 0.0], [1, 2]);
+/// let (loss, grad) = CkdLoss::paper(4.0).eval(&student, &oracle_sub);
+/// assert!(loss > 0.0);
+/// assert_eq!(grad.dims(), &[1, 2]);
+/// // At the target the loss vanishes.
+/// let (zero, _) = CkdLoss::paper(4.0).eval(&oracle_sub, &oracle_sub);
+/// assert!(zero.abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CkdLoss {
+    /// Distillation temperature `T`.
+    pub temperature: f32,
+    /// Weight `α` of the scale term (0.3 in the paper).
+    pub alpha: f32,
+    /// Include `L_soft` (disable to ablate — Table 5 "L_scale only").
+    pub use_soft: bool,
+    /// Include `L_scale` (disable to ablate — Table 5 "L_soft only").
+    pub use_scale: bool,
+    /// Norm of the scale term (L1 in the paper; L2 for the ablation).
+    pub scale_norm: ScaleNorm,
+}
+
+impl CkdLoss {
+    /// The paper's configuration: both terms, `α = 0.3`, `T` as given.
+    pub fn paper(temperature: f32) -> Self {
+        CkdLoss {
+            temperature,
+            alpha: 0.3,
+            use_soft: true,
+            use_scale: true,
+            scale_norm: ScaleNorm::L1,
+        }
+    }
+
+    /// Ablation using only the softened-KL term.
+    pub fn soft_only(temperature: f32) -> Self {
+        CkdLoss { use_scale: false, ..Self::paper(temperature) }
+    }
+
+    /// Ablation using only the L1 scale term.
+    pub fn scale_only(temperature: f32) -> Self {
+        CkdLoss { use_soft: false, ..Self::paper(temperature) }
+    }
+
+    /// Evaluates the loss and its gradient w.r.t. the student logits.
+    ///
+    /// `teacher_sub_logits` must already be restricted to the primitive
+    /// task's classes (`Tensor::select_cols` on the oracle output) and have
+    /// the same shape as `student_logits`.
+    ///
+    /// # Panics
+    /// Panics if both terms are disabled or shapes disagree.
+    pub fn eval(&self, student_logits: &Tensor, teacher_sub_logits: &Tensor) -> (f32, Tensor) {
+        assert!(
+            self.use_soft || self.use_scale,
+            "CkdLoss with both terms disabled"
+        );
+        let mut total = 0.0f32;
+        let mut grad = Tensor::zeros(student_logits.shape().dims().to_vec());
+        if self.use_soft {
+            let (l, g) = kd_loss(student_logits, teacher_sub_logits, self.temperature, true);
+            total += l;
+            grad.add_scaled(&g, 1.0).expect("ckd grad");
+        }
+        if self.use_scale {
+            let (l, g) = match self.scale_norm {
+                ScaleNorm::L1 => l1_scale_loss(student_logits, teacher_sub_logits),
+                ScaleNorm::L2 => l2_scale_loss(student_logits, teacher_sub_logits),
+            };
+            total += self.alpha * l;
+            grad.add_scaled(&g, self.alpha).expect("ckd grad");
+        }
+        (total, grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poe_tensor::Prng;
+
+    /// Finite-difference check for a loss closure returning (loss, grad).
+    fn fd_check(
+        f: impl Fn(&Tensor) -> (f32, Tensor),
+        x: &Tensor,
+        tol: f64,
+    ) {
+        let (_, grad) = f(x);
+        let eps = 1e-2f32;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let numeric = (f(&xp).0 as f64 - f(&xm).0 as f64) / (2.0 * eps as f64);
+            let analytic = grad.data()[i] as f64;
+            let denom = 1.0 + numeric.abs().max(analytic.abs());
+            assert!(
+                ((numeric - analytic) / denom).abs() < tol,
+                "grad mismatch at {i}: numeric {numeric}, analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_known_value() {
+        // Uniform logits over 4 classes → loss = ln 4.
+        let logits = Tensor::zeros([2, 4]);
+        let (loss, grad) = cross_entropy(&logits, &[0, 3]);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+        // Gradient rows sum to zero.
+        for r in 0..2 {
+            assert!(grad.row(r).iter().sum::<f32>().abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_fd() {
+        let mut rng = Prng::seed_from_u64(1);
+        let x = Tensor::randn([3, 5], 1.0, &mut rng);
+        fd_check(|x| cross_entropy(x, &[1, 4, 0]), &x, 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_decreases_for_correct_confidence() {
+        let low = Tensor::from_vec(vec![0.0, 0.0], [1, 2]);
+        let high = Tensor::from_vec(vec![4.0, 0.0], [1, 2]);
+        assert!(cross_entropy(&high, &[0]).0 < cross_entropy(&low, &[0]).0);
+    }
+
+    #[test]
+    fn kd_loss_zero_when_matching() {
+        let mut rng = Prng::seed_from_u64(2);
+        let t = Tensor::randn([2, 4], 1.0, &mut rng);
+        let (loss, grad) = kd_loss(&t, &t, 4.0, true);
+        assert!(loss.abs() < 1e-5);
+        assert!(grad.l1_norm() < 1e-5);
+    }
+
+    #[test]
+    fn kd_loss_is_nonnegative() {
+        let mut rng = Prng::seed_from_u64(3);
+        for _ in 0..10 {
+            let s = Tensor::randn([2, 5], 2.0, &mut rng);
+            let t = Tensor::randn([2, 5], 2.0, &mut rng);
+            assert!(kd_loss(&s, &t, 4.0, true).0 >= -1e-5);
+        }
+    }
+
+    #[test]
+    fn kd_gradient_fd() {
+        let mut rng = Prng::seed_from_u64(4);
+        let s = Tensor::randn([2, 4], 1.0, &mut rng);
+        let t = Tensor::randn([2, 4], 1.0, &mut rng);
+        for &scale in &[true, false] {
+            fd_check(|s| kd_loss(s, &t, 3.0, scale), &s, 1e-3);
+        }
+    }
+
+    #[test]
+    fn kd_shape_invariant_to_scale_flag() {
+        // T² scaling keeps gradient magnitude roughly constant across T.
+        let mut rng = Prng::seed_from_u64(5);
+        let s = Tensor::randn([4, 6], 1.0, &mut rng);
+        let t = Tensor::randn([4, 6], 1.0, &mut rng);
+        let g1 = kd_loss(&s, &t, 1.0, true).1.l1_norm();
+        let g8 = kd_loss(&s, &t, 8.0, true).1.l1_norm();
+        // Within an order of magnitude (not 64x apart).
+        assert!(g8 > g1 / 10.0 && g8 < g1 * 10.0, "g1={g1} g8={g8}");
+    }
+
+    #[test]
+    fn l1_scale_known_value() {
+        let s = Tensor::from_vec(vec![1.0, -2.0], [1, 2]);
+        let t = Tensor::from_vec(vec![0.0, 0.0], [1, 2]);
+        let (loss, grad) = l1_scale_loss(&s, &t);
+        assert!((loss - 3.0).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn l1_scale_gradient_fd_away_from_kinks() {
+        // Use well-separated values so FD never crosses the |·| kink.
+        let s = Tensor::from_vec(vec![2.0, -3.0, 1.5, -0.5], [2, 2]);
+        let t = Tensor::zeros([2, 2]);
+        fd_check(|s| l1_scale_loss(s, &t), &s, 1e-3);
+    }
+
+    #[test]
+    fn ckd_combines_terms() {
+        let mut rng = Prng::seed_from_u64(6);
+        let s = Tensor::randn([3, 4], 1.0, &mut rng);
+        let t = Tensor::randn([3, 4], 1.0, &mut rng);
+        let both = CkdLoss::paper(4.0).eval(&s, &t);
+        let soft = CkdLoss::soft_only(4.0).eval(&s, &t);
+        let scale = CkdLoss::scale_only(4.0).eval(&s, &t);
+        // The ablation variants already apply α to their single active term,
+        // so the full loss decomposes as an exact sum.
+        let expect = soft.0 + scale.0;
+        assert!((both.0 - expect).abs() < 1e-4 * (1.0 + expect.abs()));
+        let recon = soft.1.add(&scale.1).unwrap();
+        assert!(both.1.max_abs_diff(&recon) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ckd_rejects_no_terms() {
+        let l = CkdLoss {
+            temperature: 4.0,
+            alpha: 0.3,
+            use_soft: false,
+            use_scale: false,
+            scale_norm: ScaleNorm::L1,
+        };
+        l.eval(&Tensor::zeros([1, 2]), &Tensor::zeros([1, 2]));
+    }
+
+    #[test]
+    fn l2_scale_known_value_and_gradient() {
+        let s = Tensor::from_vec(vec![2.0, -1.0], [1, 2]);
+        let t = Tensor::zeros([1, 2]);
+        let (loss, grad) = l2_scale_loss(&s, &t);
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.data(), &[2.0, -1.0]);
+        let mut rng = Prng::seed_from_u64(8);
+        let s = Tensor::randn([2, 3], 1.0, &mut rng);
+        let t = Tensor::randn([2, 3], 1.0, &mut rng);
+        fd_check(|s| l2_scale_loss(s, &t), &s, 1e-3);
+    }
+
+    #[test]
+    fn ckd_l2_variant_differs_from_l1() {
+        let mut rng = Prng::seed_from_u64(9);
+        let s = Tensor::randn([2, 3], 2.0, &mut rng);
+        let t = Tensor::randn([2, 3], 2.0, &mut rng);
+        let l1 = CkdLoss::paper(4.0);
+        let l2 = CkdLoss { scale_norm: ScaleNorm::L2, ..CkdLoss::paper(4.0) };
+        assert_ne!(l1.eval(&s, &t).0, l2.eval(&s, &t).0);
+    }
+
+    #[test]
+    fn ckd_gradient_fd() {
+        let mut rng = Prng::seed_from_u64(7);
+        let s = Tensor::randn([2, 3], 2.0, &mut rng);
+        let t = Tensor::randn([2, 3], 2.0, &mut rng);
+        fd_check(|s| CkdLoss::paper(4.0).eval(s, &t), &s, 5e-3);
+    }
+}

@@ -1,0 +1,217 @@
+//! Evaluation metrics beyond plain accuracy: top-k accuracy, confusion
+//! matrices, and per-class precision/recall — the reporting layer a served
+//! task-specific model needs in production.
+
+use poe_tensor::Tensor;
+
+/// Top-`k` accuracy: a prediction counts if the true label is among the `k`
+/// highest-scoring classes.
+///
+/// # Panics
+/// Panics if `k == 0`, row counts disagree, or `k` exceeds the class count.
+pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> f64 {
+    assert!(k >= 1, "k must be positive");
+    assert_eq!(logits.rows(), labels.len(), "top_k: row/label mismatch");
+    assert!(k <= logits.cols(), "k exceeds the number of classes");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for (r, &label) in labels.iter().enumerate() {
+        let row = logits.row(r);
+        let target = row[label];
+        // Rank = number of classes strictly better than the target.
+        let better = row.iter().filter(|&&v| v > target).count();
+        if better < k {
+            hits += 1;
+        }
+    }
+    hits as f64 / labels.len() as f64
+}
+
+/// A confusion matrix over `n` classes: `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    n: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from logits (argmax predictions) and labels.
+    ///
+    /// # Panics
+    /// Panics if a label is out of range or counts disagree.
+    pub fn from_logits(logits: &Tensor, labels: &[usize]) -> Self {
+        assert_eq!(logits.rows(), labels.len(), "confusion: row/label mismatch");
+        let n = logits.cols();
+        let mut counts = vec![0usize; n * n];
+        for (pred, &actual) in logits.argmax_rows().iter().zip(labels) {
+            assert!(actual < n, "label {actual} out of range");
+            counts[actual * n + pred] += 1;
+        }
+        ConfusionMatrix { n, counts }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.n
+    }
+
+    /// Count of samples with true class `actual` predicted as `predicted`.
+    pub fn count(&self, actual: usize, predicted: usize) -> usize {
+        self.counts[actual * self.n + predicted]
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (diagonal mass).
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        let diag: usize = (0..self.n).map(|i| self.count(i, i)).sum();
+        diag as f64 / self.total() as f64
+    }
+
+    /// Precision of a class: `tp / (tp + fp)` (0 when the class was never
+    /// predicted).
+    pub fn precision(&self, class: usize) -> f64 {
+        let tp = self.count(class, class);
+        let predicted: usize = (0..self.n).map(|a| self.count(a, class)).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp as f64 / predicted as f64
+        }
+    }
+
+    /// Recall of a class: `tp / (tp + fn)` (0 when the class never occurs).
+    pub fn recall(&self, class: usize) -> f64 {
+        let tp = self.count(class, class);
+        let actual: usize = (0..self.n).map(|p| self.count(class, p)).sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp as f64 / actual as f64
+        }
+    }
+
+    /// Macro-averaged F1 over classes that occur in the data.
+    pub fn macro_f1(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut present = 0usize;
+        for c in 0..self.n {
+            let occurs: usize = (0..self.n).map(|p| self.count(c, p)).sum();
+            if occurs == 0 {
+                continue;
+            }
+            present += 1;
+            let (p, r) = (self.precision(c), self.recall(c));
+            if p + r > 0.0 {
+                sum += 2.0 * p * r / (p + r);
+            }
+        }
+        if present == 0 {
+            0.0
+        } else {
+            sum / present as f64
+        }
+    }
+
+    /// The most confused off-diagonal pair `(actual, predicted, count)`.
+    pub fn worst_confusion(&self) -> Option<(usize, usize, usize)> {
+        let mut best: Option<(usize, usize, usize)> = None;
+        for a in 0..self.n {
+            for p in 0..self.n {
+                if a != p {
+                    let c = self.count(a, p);
+                    if c > 0 && best.map_or(true, |(_, _, bc)| c > bc) {
+                        best = Some((a, p, c));
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_logits() -> (Tensor, Vec<usize>) {
+        // 3 classes; rows predict [0, 1, 1, 2].
+        let logits = Tensor::from_vec(
+            vec![
+                5.0, 1.0, 0.0, //
+                0.0, 4.0, 1.0, //
+                1.0, 3.0, 0.0, //
+                0.0, 1.0, 2.0,
+            ],
+            [4, 3],
+        );
+        let labels = vec![0, 1, 2, 2];
+        (logits, labels)
+    }
+
+    #[test]
+    fn top_k_widens_with_k() {
+        let (logits, labels) = toy_logits();
+        let t1 = top_k_accuracy(&logits, &labels, 1);
+        let t2 = top_k_accuracy(&logits, &labels, 2);
+        let t3 = top_k_accuracy(&logits, &labels, 3);
+        assert!((t1 - 0.75).abs() < 1e-9);
+        assert!(t2 >= t1 && t3 >= t2);
+        assert_eq!(t3, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn top_k_rejects_oversized_k() {
+        let (logits, labels) = toy_logits();
+        top_k_accuracy(&logits, &labels, 4);
+    }
+
+    #[test]
+    fn confusion_counts_are_exact() {
+        let (logits, labels) = toy_logits();
+        let m = ConfusionMatrix::from_logits(&logits, &labels);
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.count(0, 0), 1);
+        assert_eq!(m.count(1, 1), 1);
+        assert_eq!(m.count(2, 1), 1); // row 2: true 2 predicted 1
+        assert_eq!(m.count(2, 2), 1);
+        assert!((m.accuracy() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let (logits, labels) = toy_logits();
+        let m = ConfusionMatrix::from_logits(&logits, &labels);
+        // Class 1 predicted twice, once correctly.
+        assert!((m.precision(1) - 0.5).abs() < 1e-9);
+        assert!((m.recall(1) - 1.0).abs() < 1e-9);
+        // Class 2: one of two recovered.
+        assert!((m.recall(2) - 0.5).abs() < 1e-9);
+        assert!(m.macro_f1() > 0.5 && m.macro_f1() < 1.0);
+    }
+
+    #[test]
+    fn worst_confusion_finds_the_off_diagonal_peak() {
+        let (logits, labels) = toy_logits();
+        let m = ConfusionMatrix::from_logits(&logits, &labels);
+        assert_eq!(m.worst_confusion(), Some((2, 1, 1)));
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let m = ConfusionMatrix::from_logits(&Tensor::zeros([0, 3]), &[]);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.macro_f1(), 0.0);
+        assert_eq!(m.worst_confusion(), None);
+        assert_eq!(top_k_accuracy(&Tensor::zeros([0, 3]), &[], 1), 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! The `Module` trait: layer-based forward/backward with explicit caches.
+//!
+//! Rather than a general autograd tape, every layer implements an explicit
+//! `forward` (which caches whatever its backward pass needs) and `backward`
+//! (which consumes the cache, accumulates parameter gradients, and returns
+//! the gradient w.r.t. its input). This is the classic design used by
+//! hand-rolled production training stacks: no graph allocation per step, and
+//! every gradient formula is visible and unit-testable against finite
+//! differences.
+
+use crate::Parameter;
+use poe_tensor::Tensor;
+
+/// A differentiable network component.
+///
+/// `Send + Sync` so pooled models can be served concurrently (all layers
+/// are plain owned data).
+pub trait Module: Send + Sync {
+    /// Returns a boxed deep copy of the layer (parameters and running
+    /// statistics; forward caches may be dropped). This is what lets an
+    /// expert pool hand out copies of its components at query time.
+    fn clone_box(&self) -> Box<dyn Module>;
+
+    /// Runs the layer on a batch. `train` selects training-mode behaviour
+    /// (e.g. batch statistics vs running statistics for batch-norm) and
+    /// whether caches for `backward` are retained.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates `grad_out` (gradient w.r.t. this layer's output of the
+    /// most recent training-mode `forward`) back through the layer,
+    /// accumulating into parameter gradients, and returns the gradient
+    /// w.r.t. the layer's input.
+    ///
+    /// # Panics
+    /// May panic if called without a preceding training-mode `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits every parameter mutably, in a stable architecture-defined
+    /// order (used by optimizers and serialization).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter));
+
+    /// Visits every parameter immutably, in the same order as
+    /// [`Module::visit_params`].
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Parameter));
+
+    /// Per-sample output shape for a per-sample input shape (no batch dim).
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize>;
+
+    /// Estimated multiply-accumulate FLOPs for one sample of `in_shape`.
+    fn flops(&self, in_shape: &[usize]) -> u64;
+
+    /// Total number of scalar weights (excluding persistent buffers such
+    /// as batch-norm running statistics, matching how model sizes are
+    /// conventionally reported).
+    fn param_count(&self) -> usize {
+        let mut n = 0;
+        self.visit_params_ref(&mut |p| {
+            if !p.buffer {
+                n += p.numel();
+            }
+        });
+        n
+    }
+
+    /// Zeroes every parameter gradient.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Marks every non-buffer parameter trainable or frozen.
+    fn set_trainable(&mut self, trainable: bool) {
+        self.visit_params(&mut |p| {
+            if !p.buffer {
+                p.trainable = trainable;
+            }
+        });
+    }
+}
+
+/// Collects clones of all parameter values, in visit order.
+pub fn snapshot_params(m: &dyn Module) -> Vec<Tensor> {
+    let mut out = Vec::new();
+    m.visit_params_ref(&mut |p| out.push(p.value.clone()));
+    out
+}
+
+/// Restores parameter values from a snapshot taken with
+/// [`snapshot_params`] on an identically-shaped module.
+///
+/// # Panics
+/// Panics if the count or any shape disagrees.
+pub fn restore_params(m: &mut dyn Module, snapshot: &[Tensor]) {
+    let mut i = 0;
+    m.visit_params(&mut |p| {
+        assert!(i < snapshot.len(), "snapshot has too few tensors");
+        assert_eq!(
+            p.value.shape(),
+            snapshot[i].shape(),
+            "snapshot shape mismatch at parameter `{}`",
+            p.name
+        );
+        p.value = snapshot[i].clone();
+        i += 1;
+    });
+    assert_eq!(i, snapshot.len(), "snapshot has too many tensors");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use poe_tensor::Prng;
+
+    #[test]
+    fn param_count_sums_all() {
+        let mut rng = Prng::seed_from_u64(1);
+        let lin = Linear::new("l", 4, 3, &mut rng);
+        assert_eq!(lin.param_count(), 4 * 3 + 3);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut rng = Prng::seed_from_u64(2);
+        let mut lin = Linear::new("l", 4, 3, &mut rng);
+        let snap = snapshot_params(&lin);
+        lin.visit_params(&mut |p| p.value.scale(0.0));
+        restore_params(&mut lin, &snap);
+        let now = snapshot_params(&lin);
+        assert_eq!(now, snap);
+    }
+
+    #[test]
+    fn set_trainable_freezes_all() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut lin = Linear::new("l", 2, 2, &mut rng);
+        lin.set_trainable(false);
+        let mut all_frozen = true;
+        lin.visit_params_ref(&mut |p| all_frozen &= !p.trainable);
+        assert!(all_frozen);
+    }
+}

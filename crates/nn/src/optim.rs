@@ -1,0 +1,410 @@
+//! Optimizers.
+
+use crate::Module;
+use poe_tensor::Tensor;
+
+/// Stochastic gradient descent with classical momentum and decoupled L2
+/// weight decay — the paper's recipe (momentum 0.9, weight decay 5e-4).
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient `μ` (0 disables momentum).
+    pub momentum: f32,
+    /// L2 weight-decay coefficient (applied only to `decay` parameters).
+    pub weight_decay: f32,
+    /// Velocity buffers, one per parameter in visit order. Lazily created
+    /// on the first step; the architecture must not change between steps.
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an optimizer with the paper's momentum/decay defaults.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Creates a fully-specified optimizer.
+    pub fn with_config(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Applies one update step from the accumulated gradients, then leaves
+    /// gradients untouched (call [`Module::zero_grad`] before the next
+    /// accumulation).
+    ///
+    /// Frozen (`trainable == false`) parameters are skipped but still own a
+    /// velocity slot so indices stay aligned if they are later unfrozen.
+    pub fn step(&mut self, model: &mut dyn Module) {
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let weight_decay = self.weight_decay;
+        let velocity = &mut self.velocity;
+        let mut idx = 0usize;
+        model.visit_params(&mut |p| {
+            if velocity.len() == idx {
+                velocity.push(Tensor::zeros(p.value.shape().dims().to_vec()));
+            }
+            assert_eq!(
+                velocity[idx].shape(),
+                p.value.shape(),
+                "optimizer state shape drifted for `{}`",
+                p.name
+            );
+            if p.trainable {
+                let v = &mut velocity[idx];
+                let wd = if p.decay { weight_decay } else { 0.0 };
+                let vd = v.data_mut();
+                let pd = p.value.data_mut();
+                let gd = p.grad.data();
+                for i in 0..pd.len() {
+                    let g = gd[i] + wd * pd[i];
+                    vd[i] = momentum * vd[i] + g;
+                    pd[i] -= lr * vd[i];
+                }
+            }
+            idx += 1;
+        });
+    }
+
+    /// Resets momentum buffers (e.g. when reusing the optimizer for a new
+    /// training phase).
+    pub fn reset_state(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, 2015) with decoupled weight decay.
+///
+/// The paper trains everything with SGD+momentum; Adam is provided for the
+/// hyperparameter-robustness studies (the KD losses are sensitive to the
+/// SGD rate — see DESIGN.md calibration notes) and for downstream users.
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// Numerical floor ε.
+    pub eps: f32,
+    /// Decoupled (AdamW-style) weight decay on `decay` parameters.
+    pub weight_decay: f32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the conventional β/ε defaults.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+
+    /// Applies one update step from the accumulated gradients.
+    pub fn step(&mut self, model: &mut dyn Module) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        let mut idx = 0usize;
+        model.visit_params(&mut |p| {
+            if ms.len() == idx {
+                ms.push(Tensor::zeros(p.value.shape().dims().to_vec()));
+                vs.push(Tensor::zeros(p.value.shape().dims().to_vec()));
+            }
+            if p.trainable {
+                let m = ms[idx].data_mut();
+                let v = vs[idx].data_mut();
+                let w = p.value.data_mut();
+                let g = p.grad.data();
+                for i in 0..w.len() {
+                    m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+                    v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+                    let m_hat = m[i] / bc1;
+                    let v_hat = v[i] / bc2;
+                    w[i] -= lr * (m_hat / (v_hat.sqrt() + eps));
+                    if p.decay {
+                        w[i] -= lr * wd * w[i];
+                    }
+                }
+            }
+            idx += 1;
+        });
+    }
+
+    /// Resets moment estimates and the step counter.
+    pub fn reset_state(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+}
+
+/// Rescales all accumulated gradients so their global L2 norm is at most
+/// `max_norm`, returning the pre-clip norm. A standard stabilizer for the
+/// steep early phase of distillation (whose T²-scaled gradients caused the
+/// divergences documented in DESIGN.md).
+pub fn clip_grad_norm(model: &mut dyn Module, max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let mut sq = 0.0f64;
+    model.visit_params_ref(&mut |p| {
+        if p.trainable {
+            sq += p.grad.data().iter().map(|&g| (g as f64) * (g as f64)).sum::<f64>();
+        }
+    });
+    let norm = sq.sqrt() as f32;
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        model.visit_params(&mut |p| {
+            if p.trainable {
+                p.grad.scale(scale);
+            }
+        });
+    }
+    norm
+}
+
+/// Step-decay learning-rate schedule: multiply by `gamma` at each milestone
+/// epoch.
+#[derive(Debug, Clone)]
+pub struct StepDecay {
+    /// Initial learning rate.
+    pub base_lr: f32,
+    /// Epochs at which the rate is decayed.
+    pub milestones: Vec<usize>,
+    /// Multiplicative decay factor.
+    pub gamma: f32,
+}
+
+impl StepDecay {
+    /// Constant learning rate.
+    pub fn constant(lr: f32) -> Self {
+        StepDecay { base_lr: lr, milestones: Vec::new(), gamma: 1.0 }
+    }
+
+    /// Learning rate at a given epoch.
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        let decays = self.milestones.iter().filter(|&&m| epoch >= m).count();
+        self.base_lr * self.gamma.powi(decays as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use crate::loss::cross_entropy;
+    use poe_tensor::{Prng, Tensor};
+
+    #[test]
+    fn sgd_descends_a_quadratic() {
+        // Minimize ‖W‖² via gradient = 2W: values should shrink.
+        let mut rng = Prng::seed_from_u64(1);
+        let mut lin = Linear::new("l", 3, 3, &mut rng);
+        let mut sgd = Sgd::with_config(0.1, 0.0, 0.0);
+        let before: f32 = {
+            let mut s = 0.0;
+            lin.visit_params_ref(&mut |p| s += p.value.l2_norm());
+            s
+        };
+        for _ in 0..20 {
+            lin.zero_grad();
+            lin.visit_params(&mut |p| {
+                let v = p.value.clone();
+                p.grad.add_scaled(&v, 2.0).unwrap();
+            });
+            sgd.step(&mut lin);
+        }
+        let after: f32 = {
+            let mut s = 0.0;
+            lin.visit_params_ref(&mut |p| s += p.value.l2_norm());
+            s
+        };
+        assert!(after < before * 0.05, "before={before} after={after}");
+    }
+
+    #[test]
+    fn momentum_accelerates_on_constant_gradient() {
+        let mut rng = Prng::seed_from_u64(2);
+        let mut lin = Linear::new("l", 1, 1, &mut rng);
+        lin.visit_params(&mut |p| p.value.fill_zero());
+        let mut sgd = Sgd::with_config(0.1, 0.9, 0.0);
+        // Constant gradient 1 on the weight: with momentum, displacement
+        // after k steps exceeds the no-momentum k·lr.
+        for _ in 0..10 {
+            lin.zero_grad();
+            lin.visit_params(&mut |p| {
+                if p.name.ends_with(".w") {
+                    p.grad.data_mut()[0] = 1.0;
+                }
+            });
+            sgd.step(&mut lin);
+        }
+        let mut w = 0.0;
+        lin.visit_params_ref(&mut |p| {
+            if p.name.ends_with(".w") {
+                w = p.value.data()[0];
+            }
+        });
+        assert!(w < -10.0 * 0.1, "momentum should overshoot plain SGD: w={w}");
+    }
+
+    #[test]
+    fn frozen_params_do_not_move() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut lin = Linear::new("l", 2, 2, &mut rng);
+        lin.set_trainable(false);
+        let before = crate::module::snapshot_params(&lin);
+        let mut sgd = Sgd::new(0.5);
+        lin.visit_params(&mut |p| p.grad.map_in_place(|_| 1.0));
+        sgd.step(&mut lin);
+        assert_eq!(crate::module::snapshot_params(&lin), before);
+    }
+
+    #[test]
+    fn weight_decay_skips_no_decay_params() {
+        let mut rng = Prng::seed_from_u64(4);
+        let mut lin = Linear::new("l", 2, 2, &mut rng);
+        // Set bias to a known value; with zero gradient and weight decay on,
+        // the bias (no_decay) must not move while the weight shrinks.
+        lin.visit_params(&mut |p| {
+            p.value.map_in_place(|_| 1.0);
+        });
+        let mut sgd = Sgd::with_config(0.1, 0.0, 0.5);
+        lin.zero_grad();
+        sgd.step(&mut lin);
+        lin.visit_params_ref(&mut |p| {
+            if p.name.ends_with(".b") {
+                assert_eq!(p.value.data()[0], 1.0);
+            } else {
+                assert!(p.value.data()[0] < 1.0);
+            }
+        });
+    }
+
+    #[test]
+    fn training_a_separable_problem_reaches_high_accuracy() {
+        // 2-class linearly separable blobs.
+        let mut rng = Prng::seed_from_u64(5);
+        let n = 200;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let cx = if class == 0 { -2.0 } else { 2.0 };
+            xs.push(cx + rng.normal() * 0.5);
+            xs.push(rng.normal() * 0.5);
+            ys.push(class);
+        }
+        let x = Tensor::from_vec(xs, [n, 2]);
+        let mut lin = Linear::new("l", 2, 2, &mut rng);
+        let mut sgd = Sgd::with_config(0.5, 0.9, 0.0);
+        for _ in 0..50 {
+            let logits = lin.forward(&x, true);
+            let (_, grad) = cross_entropy(&logits, &ys);
+            lin.zero_grad();
+            lin.backward(&grad);
+            sgd.step(&mut lin);
+        }
+        let logits = lin.forward(&x, false);
+        let acc = poe_tensor::ops::accuracy(&logits, &ys);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn adam_descends_a_quadratic() {
+        let mut rng = Prng::seed_from_u64(7);
+        let mut lin = Linear::new("l", 3, 3, &mut rng);
+        let mut adam = Adam::new(0.05);
+        let before: f32 = {
+            let mut s = 0.0;
+            lin.visit_params_ref(&mut |p| s += p.value.l2_norm());
+            s
+        };
+        for _ in 0..100 {
+            lin.zero_grad();
+            lin.visit_params(&mut |p| {
+                let v = p.value.clone();
+                p.grad.add_scaled(&v, 2.0).unwrap();
+            });
+            adam.step(&mut lin);
+        }
+        let after: f32 = {
+            let mut s = 0.0;
+            lin.visit_params_ref(&mut |p| s += p.value.l2_norm());
+            s
+        };
+        assert!(after < before * 0.2, "before={before} after={after}");
+    }
+
+    #[test]
+    fn adam_solves_the_separable_problem() {
+        let mut rng = Prng::seed_from_u64(8);
+        let n = 100;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            xs.push(if class == 0 { -2.0 } else { 2.0 } + rng.normal() * 0.4);
+            xs.push(rng.normal() * 0.4);
+            ys.push(class);
+        }
+        let x = Tensor::from_vec(xs, [n, 2]);
+        let mut lin = Linear::new("l", 2, 2, &mut rng);
+        let mut adam = Adam::new(0.05);
+        for _ in 0..60 {
+            let logits = lin.forward(&x, true);
+            let (_, grad) = cross_entropy(&logits, &ys);
+            lin.zero_grad();
+            lin.backward(&grad);
+            adam.step(&mut lin);
+        }
+        let logits = lin.forward(&x, false);
+        assert!(poe_tensor::ops::accuracy(&logits, &ys) > 0.95);
+    }
+
+    #[test]
+    fn clip_grad_norm_bounds_and_reports() {
+        let mut rng = Prng::seed_from_u64(9);
+        let mut lin = Linear::new("l", 4, 4, &mut rng);
+        lin.visit_params(&mut |p| p.grad.map_in_place(|_| 3.0));
+        let pre = clip_grad_norm(&mut lin, 1.0);
+        assert!(pre > 1.0);
+        let mut sq = 0.0f32;
+        lin.visit_params_ref(&mut |p| sq += p.grad.data().iter().map(|g| g * g).sum::<f32>());
+        assert!((sq.sqrt() - 1.0).abs() < 1e-4);
+        // Below the threshold nothing changes.
+        let pre2 = clip_grad_norm(&mut lin, 10.0);
+        assert!((pre2 - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn step_decay_schedule() {
+        let s = StepDecay { base_lr: 1.0, milestones: vec![10, 20], gamma: 0.1 };
+        assert_eq!(s.lr_at(0), 1.0);
+        assert_eq!(s.lr_at(9), 1.0);
+        assert!((s.lr_at(10) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(25) - 0.01).abs() < 1e-7);
+        assert_eq!(StepDecay::constant(0.3).lr_at(100), 0.3);
+    }
+}

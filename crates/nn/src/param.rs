@@ -1,0 +1,101 @@
+//! Trainable parameters.
+
+use poe_tensor::Tensor;
+
+/// A trainable tensor together with its gradient accumulator.
+#[derive(Clone, Debug)]
+pub struct Parameter {
+    /// Stable name used for serialization and debugging (e.g. `"conv2.0.w"`).
+    pub name: String,
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the backward pass; same shape as `value`.
+    pub grad: Tensor,
+    /// Whether the optimizer may update this parameter. Frozen parameters
+    /// (e.g. the PoE *library* during CKD) still propagate gradients to
+    /// their inputs but are never stepped.
+    pub trainable: bool,
+    /// Whether weight decay applies (disabled for biases and norm affines,
+    /// matching common practice and the paper's WRN training recipe).
+    pub decay: bool,
+    /// True for non-trainable state that must persist with the model but is
+    /// not a weight (e.g. batch-norm running statistics). Buffers are
+    /// serialized and restored but excluded from parameter counts and never
+    /// stepped by optimizers.
+    pub buffer: bool,
+}
+
+impl Parameter {
+    /// Creates a trainable, weight-decayed parameter.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().dims().to_vec());
+        Parameter {
+            name: name.into(),
+            value,
+            grad,
+            trainable: true,
+            decay: true,
+            buffer: false,
+        }
+    }
+
+    /// Creates a persistent non-trainable buffer (running statistics).
+    pub fn new_buffer(name: impl Into<String>, value: Tensor) -> Self {
+        let mut p = Self::new(name, value);
+        p.trainable = false;
+        p.decay = false;
+        p.buffer = true;
+        p
+    }
+
+    /// Creates a parameter that is exempt from weight decay (bias / norm).
+    pub fn new_no_decay(name: impl Into<String>, value: Tensor) -> Self {
+        let mut p = Self::new(name, value);
+        p.decay = false;
+        p
+    }
+
+    /// Zeroes the gradient accumulator in place.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Number of scalar weights.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_parameter_has_zero_grad() {
+        let p = Parameter::new("w", Tensor::ones([2, 3]));
+        assert_eq!(p.grad.numel(), 6);
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+        assert!(p.trainable && p.decay);
+    }
+
+    #[test]
+    fn no_decay_constructor() {
+        let p = Parameter::new_no_decay("b", Tensor::zeros([4]));
+        assert!(!p.decay);
+        assert!(p.trainable);
+    }
+
+    #[test]
+    fn buffer_constructor_flags() {
+        let p = Parameter::new_buffer("rm", Tensor::zeros([3]));
+        assert!(p.buffer && !p.trainable && !p.decay);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Parameter::new("w", Tensor::ones([3]));
+        p.grad.data_mut()[1] = 5.0;
+        p.zero_grad();
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+    }
+}

@@ -1,0 +1,130 @@
+//! Test utilities: finite-difference gradient checking.
+//!
+//! Exposed publicly so downstream crates can gradient-check their composite
+//! architectures too.
+
+use crate::Module;
+use poe_tensor::{Prng, Tensor};
+
+/// Scalar loss used by the checkers: a fixed random linear functional of the
+/// module output, `L(y) = Σ c_i · y_i`. Its gradient w.r.t. `y` is exactly
+/// `c`, which removes any loss-side approximation from the check.
+fn loss_and_grad(y: &Tensor, coeffs: &Tensor) -> (f64, Tensor) {
+    let loss = y
+        .data()
+        .iter()
+        .zip(coeffs.data())
+        .map(|(&a, &b)| (a as f64) * (b as f64))
+        .sum();
+    (loss, coeffs.clone())
+}
+
+/// Checks the module's *input* gradient against central finite differences.
+///
+/// `per_sample_shape` excludes the batch dimension. The check perturbs a
+/// sample of input coordinates (all of them if the input is small) and
+/// asserts the relative error is below `tol`.
+///
+/// # Panics
+/// Panics (via `assert!`) when a coordinate disagrees.
+pub fn check_input_gradient(
+    module: &mut dyn Module,
+    per_sample_shape: &[usize],
+    batch: usize,
+    tol: f64,
+    rng: &mut Prng,
+) {
+    let mut shape = vec![batch];
+    shape.extend_from_slice(per_sample_shape);
+    let x = Tensor::randn(shape.clone(), 1.0, rng);
+
+    let y = module.forward(&x, true);
+    let coeffs = Tensor::randn(y.shape().dims().to_vec(), 1.0, rng);
+    let (_, dy) = loss_and_grad(&y, &coeffs);
+    module.zero_grad();
+    let dx = module.backward(&dy);
+    assert_eq!(dx.shape(), x.shape(), "input gradient has wrong shape");
+
+    let eps = 1e-2f32;
+    let n = x.numel();
+    let probes: Vec<usize> = if n <= 64 {
+        (0..n).collect()
+    } else {
+        (0..64).map(|_| rng.below(n)).collect()
+    };
+
+    for &i in &probes {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let (lp, _) = loss_and_grad(&module.forward(&xp, true), &coeffs);
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= eps;
+        let (lm, _) = loss_and_grad(&module.forward(&xm, true), &coeffs);
+        let numeric = (lp - lm) / (2.0 * eps as f64);
+        let analytic = dx.data()[i] as f64;
+        let denom = 1.0 + numeric.abs().max(analytic.abs());
+        assert!(
+            ((numeric - analytic) / denom).abs() < tol,
+            "input grad mismatch at {i}: numeric {numeric} vs analytic {analytic}"
+        );
+    }
+}
+
+/// Checks every *parameter* gradient against central finite differences.
+///
+/// # Panics
+/// Panics (via `assert!`) when a coordinate disagrees.
+pub fn check_param_gradients(
+    module: &mut dyn Module,
+    per_sample_shape: &[usize],
+    batch: usize,
+    tol: f64,
+    rng: &mut Prng,
+) {
+    let mut shape = vec![batch];
+    shape.extend_from_slice(per_sample_shape);
+    let x = Tensor::randn(shape, 1.0, rng);
+
+    let y = module.forward(&x, true);
+    let coeffs = Tensor::randn(y.shape().dims().to_vec(), 1.0, rng);
+    let (_, dy) = loss_and_grad(&y, &coeffs);
+    module.zero_grad();
+    module.backward(&dy);
+
+    // Collect analytic gradients first (visit order is stable).
+    let mut analytic: Vec<(String, Vec<f32>)> = Vec::new();
+    module.visit_params_ref(&mut |p| analytic.push((p.name.clone(), p.grad.data().to_vec())));
+
+    let eps = 1e-2f32;
+    for (pi, (pname, agrad)) in analytic.iter().enumerate() {
+        let n = agrad.len();
+        let probes: Vec<usize> = if n <= 16 {
+            (0..n).collect()
+        } else {
+            (0..16).map(|_| rng.below(n)).collect()
+        };
+        for &i in &probes {
+            let nudge = |module: &mut dyn Module, delta: f32| {
+                let mut idx = 0;
+                module.visit_params(&mut |p| {
+                    if idx == pi {
+                        p.value.data_mut()[i] += delta;
+                    }
+                    idx += 1;
+                });
+            };
+            nudge(module, eps);
+            let (lp, _) = loss_and_grad(&module.forward(&x, true), &coeffs);
+            nudge(module, -2.0 * eps);
+            let (lm, _) = loss_and_grad(&module.forward(&x, true), &coeffs);
+            nudge(module, eps); // restore
+            let numeric = (lp - lm) / (2.0 * eps as f64);
+            let a = agrad[i] as f64;
+            let denom = 1.0 + numeric.abs().max(a.abs());
+            assert!(
+                ((numeric - a) / denom).abs() < tol,
+                "param `{pname}` grad mismatch at {i}: numeric {numeric} vs analytic {a}"
+            );
+        }
+    }
+}

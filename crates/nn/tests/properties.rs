@@ -1,0 +1,132 @@
+//! Property-based tests for the NN layer algebra and the loss functions'
+//! analytic gradients.
+
+use poe_nn::layers::{BatchNorm, Linear, Relu, Sequential};
+use poe_nn::loss::{cross_entropy, kd_loss, l1_scale_loss, l2_scale_loss, CkdLoss};
+use poe_nn::{restore_params, snapshot_params, Module};
+use poe_tensor::{Prng, Tensor};
+use proptest::prelude::*;
+
+fn logits_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-6.0f32..6.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(v, [rows, cols]))
+}
+
+/// Generic central-difference check against an analytic gradient.
+fn fd_matches(f: &dyn Fn(&Tensor) -> (f32, Tensor), x: &Tensor, tol: f64) -> Result<(), String> {
+    let (_, grad) = f(x);
+    let eps = 1e-2f32;
+    for i in 0..x.numel() {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= eps;
+        let numeric = (f(&xp).0 as f64 - f(&xm).0 as f64) / (2.0 * eps as f64);
+        let analytic = grad.data()[i] as f64;
+        let denom = 1.0 + numeric.abs().max(analytic.abs());
+        if ((numeric - analytic) / denom).abs() > tol {
+            return Err(format!("coord {i}: numeric {numeric} vs analytic {analytic}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cross_entropy_gradient_is_correct(x in logits_strategy(3, 4), l0 in 0usize..4, l1 in 0usize..4, l2 in 0usize..4) {
+        let labels = [l0, l1, l2];
+        fd_matches(&|x| cross_entropy(x, &labels), &x, 2e-3).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero(x in logits_strategy(4, 5)) {
+        let labels = [0usize, 1, 2, 3];
+        let (_, g) = cross_entropy(&x, &labels);
+        for r in 0..4 {
+            prop_assert!(g.row(r).iter().sum::<f32>().abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn kd_gradient_is_correct(s in logits_strategy(2, 4), t in logits_strategy(2, 4), temp in 1.0f32..8.0) {
+        fd_matches(&|s| kd_loss(s, &t, temp, true), &s, 5e-3).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn kd_is_minimized_at_teacher(t in logits_strategy(2, 4), temp in 1.0f32..8.0) {
+        // Loss at the teacher's own logits is (near) zero and below any
+        // perturbed point.
+        let (at_teacher, _) = kd_loss(&t, &t, temp, true);
+        prop_assert!(at_teacher.abs() < 1e-4);
+        let shifted = t.map(|v| v + 0.5);
+        // Softmax-invariant shift: still zero.
+        let (at_shifted, _) = kd_loss(&shifted, &t, temp, true);
+        prop_assert!(at_shifted.abs() < 1e-3);
+    }
+
+    #[test]
+    fn scale_losses_are_nonnegative_and_zero_at_match(t in logits_strategy(2, 3)) {
+        prop_assert!(l1_scale_loss(&t, &t).0.abs() < 1e-6);
+        prop_assert!(l2_scale_loss(&t, &t).0.abs() < 1e-6);
+        let s = t.map(|v| v + 1.0);
+        prop_assert!(l1_scale_loss(&s, &t).0 > 0.0);
+        prop_assert!(l2_scale_loss(&s, &t).0 > 0.0);
+    }
+
+    #[test]
+    fn ckd_loss_decreases_along_its_negative_gradient(
+        s in logits_strategy(2, 3),
+        t in logits_strategy(2, 3),
+    ) {
+        let loss = CkdLoss::paper(4.0);
+        let (l0, g) = loss.eval(&s, &t);
+        let mut stepped = s.clone();
+        stepped.add_scaled(&g, -0.05).unwrap();
+        let (l1, _) = loss.eval(&stepped, &t);
+        prop_assert!(l1 <= l0 + 1e-4, "loss rose along -grad: {l0} -> {l1}");
+    }
+
+    #[test]
+    fn snapshot_restore_is_identity(seed in 0u64..1000) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let mut net = Sequential::new()
+            .push(Linear::new("a", 4, 6, &mut rng))
+            .push(BatchNorm::new_1d("bn", 6))
+            .push(Relu::new())
+            .push(Linear::new("b", 6, 3, &mut rng));
+        let before = snapshot_params(&net);
+        // Mutate, restore, compare.
+        net.visit_params(&mut |p| p.value.map_in_place(|v| v * 2.0 + 1.0));
+        restore_params(&mut net, &before);
+        prop_assert_eq!(snapshot_params(&net), before);
+    }
+
+    #[test]
+    fn cloned_module_predicts_identically(seed in 0u64..1000) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let mut net = Sequential::new()
+            .push(Linear::new("a", 5, 8, &mut rng))
+            .push(BatchNorm::new_1d("bn", 8))
+            .push(Relu::new())
+            .push(Linear::new("b", 8, 2, &mut rng));
+        // Run one training step so BN has non-default running stats.
+        let x = Tensor::randn([6, 5], 1.0, &mut rng);
+        net.forward(&x, true);
+        let mut cloned = net.clone();
+        let y1 = net.forward(&x, false);
+        let y2 = cloned.forward(&x, false);
+        prop_assert!(y1.max_abs_diff(&y2) < 1e-6);
+    }
+
+    #[test]
+    fn backward_shapes_mirror_inputs(batch in 1usize..6, width in 1usize..8) {
+        let mut rng = Prng::seed_from_u64(42);
+        let mut lin = Linear::new("l", width, 3, &mut rng);
+        let x = Tensor::randn([batch, width], 1.0, &mut rng);
+        let y = lin.forward(&x, true);
+        let dx = lin.backward(&y);
+        prop_assert_eq!(dx.dims(), x.dims());
+    }
+}

@@ -1,0 +1,259 @@
+//! Convolution lowering: im2col / col2im.
+//!
+//! 2-D convolution is implemented by lowering each input window into a row of
+//! a patch matrix (`im2col`), so the convolution becomes a single matmul with
+//! the `[out_channels × (in_channels·kh·kw)]` filter matrix. The backward
+//! pass w.r.t. the input scatters gradients back with `col2im`.
+
+use crate::Tensor;
+
+/// Static description of a conv2d geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Kernel height and width (square kernels only).
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding on every side.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Output spatial size for an input of `h × w`.
+    ///
+    /// # Panics
+    /// Panics if the geometry yields an empty output.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding).checked_sub(self.kernel).map(|x| x / self.stride + 1);
+        let ow = (w + 2 * self.padding).checked_sub(self.kernel).map(|x| x / self.stride + 1);
+        match (oh, ow) {
+            (Some(oh), Some(ow)) if oh > 0 && ow > 0 => (oh, ow),
+            _ => panic!(
+                "conv geometry {}x{} kernel={} stride={} pad={} yields empty output",
+                h, w, self.kernel, self.stride, self.padding
+            ),
+        }
+    }
+
+    /// Number of columns of the patch matrix (`in_channels · k · k`).
+    #[inline]
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Multiply-accumulate count for one `[n, c, h, w]` input.
+    pub fn flops(&self, n: usize, h: usize, w: usize) -> u64 {
+        let (oh, ow) = self.output_hw(h, w);
+        2 * (n * oh * ow * self.out_channels * self.patch_len()) as u64
+    }
+}
+
+/// Lowers an `[n, c, h, w]` input into the patch matrix
+/// `[(n·oh·ow) × (c·k·k)]`. Out-of-bounds (padding) taps read as zero.
+///
+/// # Panics
+/// Panics if `input` is not rank 4 or its channel count disagrees with `spec`.
+pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Tensor {
+    let dims = input.dims();
+    assert_eq!(dims.len(), 4, "im2col expects [n, c, h, w]");
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    assert_eq!(c, spec.in_channels, "channel mismatch");
+    let (oh, ow) = spec.output_hw(h, w);
+    let k = spec.kernel;
+    let patch = spec.patch_len();
+
+    let mut out = Tensor::zeros([n * oh * ow, patch]);
+    let src = input.data();
+    let dst = out.data_mut();
+
+    for img in 0..n {
+        let src_img = &src[img * c * h * w..(img + 1) * c * h * w];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row0 = ((img * oh + oy) * ow + ox) * patch;
+                let y0 = (oy * spec.stride) as isize - spec.padding as isize;
+                let x0 = (ox * spec.stride) as isize - spec.padding as isize;
+                let mut col = row0;
+                for ch in 0..c {
+                    let plane = &src_img[ch * h * w..(ch + 1) * h * w];
+                    for ky in 0..k {
+                        let y = y0 + ky as isize;
+                        if y < 0 || y >= h as isize {
+                            col += k;
+                            continue;
+                        }
+                        let line = &plane[y as usize * w..(y as usize + 1) * w];
+                        for kx in 0..k {
+                            let x = x0 + kx as isize;
+                            if x >= 0 && x < w as isize {
+                                dst[col] = line[x as usize];
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Inverse scatter of [`im2col`]: accumulates patch-matrix gradients back
+/// into an `[n, c, h, w]` input-gradient tensor. Overlapping taps add.
+pub fn col2im(cols: &Tensor, spec: &Conv2dSpec, n: usize, h: usize, w: usize) -> Tensor {
+    let (oh, ow) = spec.output_hw(h, w);
+    let k = spec.kernel;
+    let c = spec.in_channels;
+    let patch = spec.patch_len();
+    assert_eq!(cols.dims(), &[n * oh * ow, patch], "col2im shape mismatch");
+
+    let mut out = Tensor::zeros([n, c, h, w]);
+    let dst = out.data_mut();
+    let src = cols.data();
+
+    for img in 0..n {
+        let dst_img = &mut dst[img * c * h * w..(img + 1) * c * h * w];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row0 = ((img * oh + oy) * ow + ox) * patch;
+                let y0 = (oy * spec.stride) as isize - spec.padding as isize;
+                let x0 = (ox * spec.stride) as isize - spec.padding as isize;
+                let mut col = row0;
+                for ch in 0..c {
+                    let plane = &mut dst_img[ch * h * w..(ch + 1) * h * w];
+                    for ky in 0..k {
+                        let y = y0 + ky as isize;
+                        if y < 0 || y >= h as isize {
+                            col += k;
+                            continue;
+                        }
+                        let base = y as usize * w;
+                        for kx in 0..k {
+                            let x = x0 + kx as isize;
+                            if x >= 0 && x < w as isize {
+                                plane[base + x as usize] += src[col];
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Prng;
+
+    #[test]
+    fn output_geometry() {
+        let spec = Conv2dSpec { in_channels: 3, out_channels: 8, kernel: 3, stride: 1, padding: 1 };
+        assert_eq!(spec.output_hw(8, 8), (8, 8));
+        let spec = Conv2dSpec { in_channels: 3, out_channels: 8, kernel: 3, stride: 2, padding: 1 };
+        assert_eq!(spec.output_hw(8, 8), (4, 4));
+        assert_eq!(spec.patch_len(), 27);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_output_panics() {
+        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 5, stride: 1, padding: 0 };
+        spec.output_hw(3, 3);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no padding: patch matrix is the input
+        // re-laid-out with channels as columns.
+        let spec = Conv2dSpec { in_channels: 2, out_channels: 1, kernel: 1, stride: 1, padding: 0 };
+        let input = Tensor::from_vec((0..8).map(|x| x as f32).collect(), [1, 2, 2, 2]);
+        let cols = im2col(&input, &spec);
+        assert_eq!(cols.dims(), &[4, 2]);
+        // Position (0,0): channel0=0, channel1=4.
+        assert_eq!(cols.row(0), &[0.0, 4.0]);
+        assert_eq!(cols.row(3), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn im2col_reads_padding_as_zero() {
+        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 3, stride: 1, padding: 1 };
+        let input = Tensor::ones([1, 1, 2, 2]);
+        let cols = im2col(&input, &spec);
+        assert_eq!(cols.dims(), &[4, 9]);
+        // Top-left output position: only the bottom-right 2x2 of the kernel
+        // overlaps real pixels → exactly 4 ones.
+        assert_eq!(cols.row(0).iter().sum::<f32>(), 4.0);
+    }
+
+    #[test]
+    fn conv_via_im2col_matches_direct() {
+        // Direct (naive) conv vs im2col+matmul on a random case.
+        let mut rng = Prng::seed_from_u64(5);
+        let spec = Conv2dSpec { in_channels: 2, out_channels: 3, kernel: 3, stride: 1, padding: 1 };
+        let (n, h, w) = (2, 5, 4);
+        let input = Tensor::randn([n, 2, h, w], 1.0, &mut rng);
+        let weight = Tensor::randn([3, spec.patch_len()], 0.5, &mut rng);
+
+        let cols = im2col(&input, &spec);
+        let out = crate::matmul::matmul_a_bt(&cols, &weight).unwrap(); // [(n·oh·ow) × oc]
+
+        let (oh, ow) = spec.output_hw(h, w);
+        for img in 0..n {
+            for oc in 0..3 {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ic in 0..2 {
+                            for ky in 0..3 {
+                                for kx in 0..3 {
+                                    let y = oy as isize + ky as isize - 1;
+                                    let x = ox as isize + kx as isize - 1;
+                                    if y < 0 || x < 0 || y >= h as isize || x >= w as isize {
+                                        continue;
+                                    }
+                                    let iv = input.at(&[img, ic, y as usize, x as usize]);
+                                    let wv = weight.at(&[oc, (ic * 3 + ky) * 3 + kx]);
+                                    acc += iv * wv;
+                                }
+                            }
+                        }
+                        let got = out.at(&[(img * oh + oy) * ow + ox, oc]);
+                        assert!((acc - got).abs() < 1e-4, "mismatch at {img},{oc},{oy},{ox}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property,
+        // which is exactly what backprop correctness requires.
+        let mut rng = Prng::seed_from_u64(11);
+        let spec = Conv2dSpec { in_channels: 2, out_channels: 1, kernel: 3, stride: 2, padding: 1 };
+        let (n, h, w) = (2, 6, 5);
+        let x = Tensor::randn([n, 2, h, w], 1.0, &mut rng);
+        let cols_shape_rows = {
+            let (oh, ow) = spec.output_hw(h, w);
+            n * oh * ow
+        };
+        let y = Tensor::randn([cols_shape_rows, spec.patch_len()], 1.0, &mut rng);
+
+        let lhs: f32 = im2col(&x, &spec).mul(&y).unwrap().sum();
+        let rhs: f32 = x.mul(&col2im(&y, &spec, n, h, w)).unwrap().sum();
+        assert!((lhs - rhs).abs() < 1e-2, "adjoint mismatch: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn flops_accounting_scales_linearly_in_batch() {
+        let spec = Conv2dSpec { in_channels: 4, out_channels: 8, kernel: 3, stride: 1, padding: 1 };
+        assert_eq!(spec.flops(2, 8, 8), 2 * spec.flops(1, 8, 8));
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for tensor operations.
+
+use crate::Shape;
+use std::fmt;
+
+/// Errors produced by fallible tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to match (or be compatible) did not.
+    ShapeMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Left-hand shape.
+        lhs: Shape,
+        /// Right-hand shape.
+        rhs: Shape,
+    },
+    /// A reshape target had a different number of elements.
+    BadReshape {
+        /// Source shape.
+        from: Shape,
+        /// Requested shape.
+        to: Shape,
+    },
+    /// An index was out of bounds for the given dimension.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Extent of the dimension indexed.
+        extent: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in `{op}`: {lhs} vs {rhs}")
+            }
+            TensorError::BadReshape { from, to } => {
+                write!(
+                    f,
+                    "cannot reshape {from} ({} elements) into {to} ({} elements)",
+                    from.numel(),
+                    to.numel()
+                )
+            }
+            TensorError::IndexOutOfBounds { index, extent } => {
+                write!(f, "index {index} out of bounds for extent {extent}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Convenient result alias for tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::ShapeMismatch {
+            op: "add",
+            lhs: Shape::new([2, 3]),
+            rhs: Shape::new([3, 2]),
+        };
+        let s = e.to_string();
+        assert!(s.contains("add") && s.contains("[2x3]") && s.contains("[3x2]"));
+
+        let e = TensorError::BadReshape {
+            from: Shape::new([4]),
+            to: Shape::new([5]),
+        };
+        assert!(e.to_string().contains("4 elements"));
+
+        let e = TensorError::IndexOutOfBounds { index: 9, extent: 3 };
+        assert!(e.to_string().contains('9'));
+    }
+}

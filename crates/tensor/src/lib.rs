@@ -1,0 +1,30 @@
+//! # poe-tensor
+//!
+//! Minimal dense `f32` tensor library underpinning the Pool of Experts
+//! reproduction: shapes and row-major storage ([`Tensor`]), blocked and
+//! multi-threaded matrix multiplication ([`matmul()`]), convolution lowering
+//! via im2col ([`conv`]), stable softmax-family ops ([`ops`]), and seeded
+//! random number generation ([`Prng`]).
+//!
+//! The design deliberately avoids strided views and general broadcasting:
+//! every kernel is a dense loop over contiguous memory, which keeps the
+//! numeric core small, auditable, and fast on CPU — the substrate the paper
+//! would otherwise get from PyTorch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod shape;
+mod tensor;
+
+pub mod conv;
+pub mod matmul;
+pub mod ops;
+pub mod rng;
+
+pub use error::{Result, TensorError};
+pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
+pub use rng::Prng;
+pub use shape::Shape;
+pub use tensor::Tensor;

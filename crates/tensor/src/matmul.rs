@@ -1,0 +1,260 @@
+//! Matrix multiplication kernels.
+//!
+//! These are the hot loops of the whole workspace: every linear layer,
+//! convolution (via im2col), and their backward passes reduce to one of the
+//! three products below. The kernels use an i-k-j loop order so the inner
+//! loop streams contiguously over both `b` and `out`, letting LLVM
+//! auto-vectorize, and shard the output rows across threads with
+//! `crossbeam::scope` when the problem is large enough to amortize spawning.
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Problems with at least this many multiply-adds are sharded across threads.
+const PARALLEL_THRESHOLD: usize = 1 << 20;
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+#[inline]
+fn dims2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    if t.shape().rank() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: t.shape().clone(),
+            rhs: Shape::new(vec![0, 0]),
+        });
+    }
+    Ok((t.dims()[0], t.dims()[1]))
+}
+
+/// Serial kernel computing `out[m×n] += a[m×k] · b[k×n]` over a row range of `a`.
+fn mm_rows(out: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize, rows: usize) {
+    debug_assert_eq!(out.len(), rows * n);
+    debug_assert_eq!(a.len(), rows * k);
+    debug_assert_eq!(b.len(), k * n);
+    for i in 0..rows {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// Runs `mm_rows` over `m` rows, sharded across threads when profitable.
+fn mm_dispatch(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    let work = m * k * n;
+    let threads = available_threads();
+    if work < PARALLEL_THRESHOLD || threads == 1 || m < 2 {
+        mm_rows(out, a, b, k, n, m);
+        return;
+    }
+    let shards = threads.min(m);
+    let chunk = m.div_ceil(shards);
+    crossbeam::scope(|scope| {
+        let mut rest_out = out;
+        let mut rest_a = a;
+        for _ in 0..shards {
+            let rows = chunk.min(rest_a.len() / k);
+            if rows == 0 {
+                break;
+            }
+            let (o, o2) = rest_out.split_at_mut(rows * n);
+            let (ar, a2) = rest_a.split_at(rows * k);
+            rest_out = o2;
+            rest_a = a2;
+            scope.spawn(move |_| mm_rows(o, ar, b, k, n, rows));
+        }
+    })
+    .expect("matmul worker panicked");
+}
+
+/// `a[m×k] · b[k×n] → [m×n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = dims2(a, "matmul lhs")?;
+    let (k2, n) = dims2(b, "matmul rhs")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    let mut out = Tensor::zeros([m, n]);
+    mm_dispatch(out.data_mut(), a.data(), b.data(), m, k, n);
+    Ok(out)
+}
+
+/// `aᵀ[k×m]ᵀ · b[k×n] → [m×n]`, i.e. `a` is given transposed.
+///
+/// Used in backprop for weight gradients: `dW = xᵀ · dy`.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m) = dims2(a, "matmul_at_b lhs")?;
+    let (k2, n) = dims2(b, "matmul_at_b rhs")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_at_b",
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    // out[i][j] = Σ_p a[p][i] * b[p][j]. Loop over p outer so both reads are
+    // contiguous; accumulate rank-1 updates into out.
+    let mut out = Tensor::zeros([m, n]);
+    let o = out.data_mut();
+    let ad = a.data();
+    let bd = b.data();
+    for p in 0..k {
+        let a_row = &ad[p * m..(p + 1) * m];
+        let b_row = &bd[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let out_row = &mut o[i * n..(i + 1) * n];
+            for (ov, &bv) in out_row.iter_mut().zip(b_row) {
+                *ov += a_pi * bv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `a[m×k] · bᵀ[n×k]ᵀ → [m×n]`, i.e. `b` is given transposed.
+///
+/// Used in backprop for input gradients: `dx = dy · Wᵀ` where `W` is stored
+/// `[out×in]`.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = dims2(a, "matmul_a_bt lhs")?;
+    let (n, k2) = dims2(b, "matmul_a_bt rhs")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_a_bt",
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    let mut out = Tensor::zeros([m, n]);
+    let o = out.data_mut();
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let a_row = &ad[i * k..(i + 1) * k];
+        let out_row = &mut o[i * n..(i + 1) * n];
+        for (j, ov) in out_row.iter_mut().enumerate() {
+            let b_row = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *ov = acc;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Prng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros([m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                *out.at_mut(&[i, j]) = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], [2, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matches_naive_on_random_shapes() {
+        let mut rng = Prng::seed_from_u64(17);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (7, 4, 9), (16, 16, 16), (33, 17, 5)] {
+            let a = Tensor::randn([m, k], 1.0, &mut rng);
+            let b = Tensor::randn([k, n], 1.0, &mut rng);
+            let c = matmul(&a, &b).unwrap();
+            assert!(c.max_abs_diff(&naive(&a, &b)) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        let mut rng = Prng::seed_from_u64(23);
+        // Big enough to cross PARALLEL_THRESHOLD (m*k*n = 128*128*128 = 2M).
+        let a = Tensor::randn([128, 128], 0.5, &mut rng);
+        let b = Tensor::randn([128, 128], 0.5, &mut rng);
+        let par = matmul(&a, &b).unwrap();
+        let mut ser = Tensor::zeros([128, 128]);
+        mm_rows(ser.data_mut(), a.data(), b.data(), 128, 128, 128);
+        assert!(par.max_abs_diff(&ser) < 1e-4);
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let mut rng = Prng::seed_from_u64(29);
+        let a = Tensor::randn([6, 4], 1.0, &mut rng); // k=6, m=4
+        let b = Tensor::randn([6, 5], 1.0, &mut rng);
+        let fast = matmul_at_b(&a, &b).unwrap();
+        let slow = matmul(&a.transpose(), &b).unwrap();
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let mut rng = Prng::seed_from_u64(31);
+        let a = Tensor::randn([4, 6], 1.0, &mut rng);
+        let b = Tensor::randn([5, 6], 1.0, &mut rng); // n=5, k=6
+        let fast = matmul_a_bt(&a, &b).unwrap();
+        let slow = matmul(&a, &b.transpose()).unwrap();
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn dimension_mismatch_errors() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 5]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul_at_b(&a, &b).is_err());
+        assert!(matmul_a_bt(&a, &b).is_err());
+        let v = Tensor::zeros([3]);
+        assert!(matmul(&v, &b).is_err());
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Prng::seed_from_u64(37);
+        let a = Tensor::randn([5, 5], 1.0, &mut rng);
+        let mut eye = Tensor::zeros([5, 5]);
+        for i in 0..5 {
+            *eye.at_mut(&[i, i]) = 1.0;
+        }
+        assert!(matmul(&a, &eye).unwrap().max_abs_diff(&a) < 1e-6);
+        assert!(matmul(&eye, &a).unwrap().max_abs_diff(&a) < 1e-6);
+    }
+}

@@ -1,0 +1,183 @@
+//! Row-wise numeric operations: stable softmax, log-softmax, temperature
+//! scaling, and one-hot encoding.
+//!
+//! All functions treat their input through the *matrix view* (leading
+//! dimensions flattened into rows, last dimension as classes), which is how
+//! every logit tensor in the workspace is laid out.
+
+use crate::Tensor;
+
+/// Numerically stable softmax over the last dimension.
+///
+/// Each row `x` maps to `exp(x − max(x)) / Σ exp(x − max(x))`.
+///
+/// ```
+/// use poe_tensor::{ops::softmax, Tensor};
+///
+/// let p = softmax(&Tensor::from_vec(vec![0.0, 0.0], [1, 2]));
+/// assert!((p.row(0)[0] - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let mut out = logits.clone();
+    softmax_in_place(&mut out);
+    out
+}
+
+/// In-place variant of [`softmax`].
+pub fn softmax_in_place(logits: &mut Tensor) {
+    let rows = logits.rows();
+    for r in 0..rows {
+        let row = logits.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Numerically stable log-softmax over the last dimension.
+pub fn log_softmax(logits: &Tensor) -> Tensor {
+    let mut out = logits.clone();
+    let rows = out.rows();
+    for r in 0..rows {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+        for v in row.iter_mut() {
+            *v -= log_sum;
+        }
+    }
+    out
+}
+
+/// Softmax of `logits / temperature` — the *softened* distribution of
+/// knowledge distillation (Hinton et al. 2015).
+///
+/// # Panics
+/// Panics if `temperature <= 0`.
+pub fn softmax_with_temperature(logits: &Tensor, temperature: f32) -> Tensor {
+    assert!(temperature > 0.0, "temperature must be positive");
+    softmax(&logits.scaled(1.0 / temperature))
+}
+
+/// One-hot encodes labels into an `[n × num_classes]` matrix.
+///
+/// # Panics
+/// Panics if any label is `>= num_classes`.
+pub fn one_hot(labels: &[usize], num_classes: usize) -> Tensor {
+    let mut out = Tensor::zeros([labels.len(), num_classes]);
+    for (r, &c) in labels.iter().enumerate() {
+        assert!(c < num_classes, "label {c} out of range for {num_classes} classes");
+        out.row_mut(r)[c] = 1.0;
+    }
+    out
+}
+
+/// Classification accuracy of `logits` (or probabilities) against labels.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    assert_eq!(logits.rows(), labels.len(), "accuracy: row/label count mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let pred = logits.argmax_rows();
+    let correct = pred.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / labels.len() as f64
+}
+
+/// *Task-specific accuracy* (Section 5.2 of the paper): predictions of a
+/// generic model are restricted to the columns in `task_classes` and the
+/// argmax is taken only within the task, then compared against labels that
+/// index into `task_classes`.
+pub fn task_specific_accuracy(
+    full_logits: &Tensor,
+    task_classes: &[usize],
+    labels_in_task: &[usize],
+) -> f64 {
+    let sub = full_logits.select_cols(task_classes);
+    accuracy(&sub, labels_in_task)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], [2, 3]);
+        let p = softmax(&x);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(p.row(r).iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], [1, 3]);
+        let y = x.map(|v| v + 100.0);
+        assert!(softmax(&x).max_abs_diff(&softmax(&y)) < 1e-6);
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let x = Tensor::from_vec(vec![1000.0, 1001.0, 999.0], [1, 3]);
+        let p = softmax(&x);
+        assert!(!p.has_non_finite());
+        assert!((p.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.0], [2, 2]);
+        let a = log_softmax(&x);
+        let b = softmax(&x).map(|v| v.ln());
+        assert!(a.max_abs_diff(&b) < 1e-5);
+    }
+
+    #[test]
+    fn high_temperature_flattens() {
+        let x = Tensor::from_vec(vec![1.0, 5.0], [1, 2]);
+        let sharp = softmax_with_temperature(&x, 1.0);
+        let soft = softmax_with_temperature(&x, 10.0);
+        // The softened distribution is closer to uniform.
+        assert!(soft.row(0)[0] > sharp.row(0)[0]);
+        assert!(soft.row(0)[1] < sharp.row(0)[1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_temperature_panics() {
+        softmax_with_temperature(&Tensor::zeros([1, 2]), 0.0);
+    }
+
+    #[test]
+    fn one_hot_encodes() {
+        let t = one_hot(&[2, 0], 3);
+        assert_eq!(t.row(0), &[0.0, 0.0, 1.0]);
+        assert_eq!(t.row(1), &[1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], [3, 2]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(accuracy(&Tensor::zeros([0, 2]), &[]), 0.0);
+    }
+
+    #[test]
+    fn task_specific_accuracy_restricts_argmax() {
+        // Full logits over 4 classes; task = classes {1, 3}.
+        // Row 0: global argmax is class 0, but within {1,3} it is 3.
+        let logits = Tensor::from_vec(vec![9.0, 1.0, 0.0, 2.0], [1, 4]);
+        // Label "1" means task_classes[1] = class 3.
+        assert_eq!(task_specific_accuracy(&logits, &[1, 3], &[1]), 1.0);
+        assert_eq!(task_specific_accuracy(&logits, &[1, 3], &[0]), 0.0);
+    }
+}

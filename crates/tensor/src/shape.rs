@@ -1,0 +1,188 @@
+//! Shapes and row-major stride arithmetic for dense tensors.
+
+use std::fmt;
+
+/// The shape of a dense, row-major tensor.
+///
+/// A `Shape` is an ordered list of dimension extents. The empty shape `[]`
+/// denotes a scalar with one element. Strides are always the canonical
+/// row-major (C-order) strides; this library does not support strided views,
+/// which keeps every kernel a dense loop over contiguous memory.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// Returns the dimension extents as a slice.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions (rank) of the shape.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements described by the shape.
+    ///
+    /// The empty (scalar) shape has one element.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Extent of dimension `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rank()`.
+    #[inline]
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Canonical row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    /// Panics if `index` has the wrong rank or any coordinate is out of
+    /// bounds (debug builds only for the bounds check).
+    #[inline]
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.0.len(),
+            "index rank {} does not match shape rank {}",
+            index.len(),
+            self.0.len()
+        );
+        let mut off = 0;
+        let mut stride = 1;
+        for i in (0..self.0.len()).rev() {
+            debug_assert!(index[i] < self.0[i], "index out of bounds");
+            off += index[i] * stride;
+            stride *= self.0[i];
+        }
+        off
+    }
+
+    /// Interprets the shape as a matrix `(rows, cols)`.
+    ///
+    /// Rank-1 shapes are treated as a single row; higher ranks flatten all
+    /// leading dimensions into rows and keep the last dimension as columns.
+    ///
+    /// # Panics
+    /// Panics on the scalar shape.
+    pub fn as_matrix(&self) -> (usize, usize) {
+        assert!(!self.0.is_empty(), "scalar shape has no matrix view");
+        match self.0.len() {
+            1 => (1, self.0[0]),
+            _ => {
+                let cols = *self.0.last().unwrap();
+                (self.numel() / cols.max(1), cols)
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(v: [usize; N]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.dim(1), 3);
+    }
+
+    #[test]
+    fn scalar_shape_has_one_element() {
+        let s = Shape::new(Vec::new());
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.rank(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+        assert_eq!(s.offset(&[1, 0, 1]), 13);
+    }
+
+    #[test]
+    #[should_panic]
+    fn offset_rejects_wrong_rank() {
+        Shape::new([2, 3]).offset(&[1]);
+    }
+
+    #[test]
+    fn matrix_view() {
+        assert_eq!(Shape::new([5]).as_matrix(), (1, 5));
+        assert_eq!(Shape::new([4, 7]).as_matrix(), (4, 7));
+        assert_eq!(Shape::new([2, 3, 4]).as_matrix(), (6, 4));
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::new([2, 3]).to_string(), "[2x3]");
+    }
+}

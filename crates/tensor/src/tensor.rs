@@ -1,0 +1,680 @@
+//! The dense `f32` tensor type.
+
+use crate::{Prng, Result, Shape, TensorError};
+use std::fmt;
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// This is the single numeric container used by the whole workspace. It is
+/// deliberately simple — contiguous storage, no views, no broadcasting beyond
+/// the row-wise helpers the NN stack needs — which keeps every kernel easy to
+/// audit and fast on CPU.
+///
+/// ```
+/// use poe_tensor::{matmul, Tensor};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+/// let eye = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2]);
+/// let b = matmul(&a, &eye).unwrap();
+/// assert_eq!(a, b);
+/// assert_eq!(a.row(1), &[3.0, 4.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Creates a tensor from raw data and a shape.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != shape.numel()`.
+    pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "data length {} does not match shape {shape}",
+            data.len()
+        );
+        Tensor { data, shape }
+    }
+
+    /// A tensor of zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        Tensor {
+            data: vec![0.0; shape.numel()],
+            shape,
+        }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        Tensor {
+            data: vec![value; shape.numel()],
+            shape,
+        }
+    }
+
+    /// A tensor of ones.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// I.i.d. standard-normal entries scaled by `std`.
+    pub fn randn(shape: impl Into<Shape>, std: f32, rng: &mut Prng) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.numel()).map(|_| rng.normal() * std).collect();
+        Tensor { data, shape }
+    }
+
+    /// I.i.d. uniform entries in `[lo, hi)`.
+    pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut Prng) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.numel()).map(|_| rng.uniform_in(lo, hi)).collect();
+        Tensor { data, shape }
+    }
+
+    /// Kaiming/He-normal initialization for a weight with `fan_in` inputs.
+    pub fn kaiming(shape: impl Into<Shape>, fan_in: usize, rng: &mut Prng) -> Self {
+        let std = (2.0 / fan_in.max(1) as f32).sqrt();
+        Self::randn(shape, std, rng)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension extents as a slice.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read-only view of the underlying storage, row-major.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying storage, row-major.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    #[inline]
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Mutable element at a multi-dimensional index.
+    #[inline]
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
+        let off = self.shape.offset(index);
+        &mut self.data[off]
+    }
+
+    /// Number of rows when viewed as a matrix (all leading dims flattened).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.shape.as_matrix().0
+    }
+
+    /// Number of columns when viewed as a matrix (the last dim).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.shape.as_matrix().1
+    }
+
+    /// Borrow row `r` of the matrix view.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        let (rows, cols) = self.shape.as_matrix();
+        assert!(r < rows, "row {r} out of bounds for {rows} rows");
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Mutably borrow row `r` of the matrix view.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        let (rows, cols) = self.shape.as_matrix();
+        assert!(r < rows, "row {r} out of bounds for {rows} rows");
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Returns a tensor with the same data and a new shape.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Tensor> {
+        let shape = shape.into();
+        if shape.numel() != self.numel() {
+            return Err(TensorError::BadReshape {
+                from: self.shape.clone(),
+                to: shape,
+            });
+        }
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape,
+        })
+    }
+
+    /// In-place reshape (no copy).
+    pub fn reshape_in_place(&mut self, shape: impl Into<Shape>) -> Result<()> {
+        let shape = shape.into();
+        if shape.numel() != self.numel() {
+            return Err(TensorError::BadReshape {
+                from: self.shape.clone(),
+                to: shape,
+            });
+        }
+        self.shape = shape;
+        Ok(())
+    }
+
+    /// Matrix transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not rank 2.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "transpose requires a rank-2 tensor");
+        let (m, n) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, [n, m])
+    }
+
+    /// Selects rows by index into a new tensor (gather on axis 0 of the
+    /// matrix view).
+    pub fn select_rows(&self, indices: &[usize]) -> Tensor {
+        let (rows, cols) = self.shape.as_matrix();
+        let mut out = Vec::with_capacity(indices.len() * cols);
+        for &r in indices {
+            assert!(r < rows, "row index {r} out of bounds for {rows} rows");
+            out.extend_from_slice(self.row(r));
+        }
+        Tensor::from_vec(out, [indices.len(), cols])
+    }
+
+    /// Selects whole samples along axis 0 regardless of per-sample rank:
+    /// `[n, …] → [indices.len(), …]`.
+    pub fn select_samples(&self, indices: &[usize]) -> Tensor {
+        let dims = self.dims();
+        assert!(!dims.is_empty(), "select_samples on a scalar");
+        let per: usize = dims[1..].iter().product();
+        let mut out = Vec::with_capacity(indices.len() * per);
+        for &i in indices {
+            assert!(i < dims[0], "sample index {i} out of bounds for {} samples", dims[0]);
+            out.extend_from_slice(&self.data[i * per..(i + 1) * per]);
+        }
+        let mut shape = vec![indices.len()];
+        shape.extend_from_slice(&dims[1..]);
+        Tensor::from_vec(out, shape)
+    }
+
+    /// Selects columns by index into a new tensor (gather on the last axis
+    /// of the matrix view). Used to take *sub-logits* `t_H` from full logits.
+    pub fn select_cols(&self, indices: &[usize]) -> Tensor {
+        let (rows, cols) = self.shape.as_matrix();
+        let mut out = Vec::with_capacity(rows * indices.len());
+        for r in 0..rows {
+            let row = self.row(r);
+            for &c in indices {
+                assert!(c < cols, "column index {c} out of bounds for {cols} columns");
+                out.push(row[c]);
+            }
+        }
+        Tensor::from_vec(out, [rows, indices.len()])
+    }
+
+    /// Horizontally concatenates matrices (same row count). This is the
+    /// *logit concatenation* primitive of PoE's train-free consolidation.
+    pub fn concat_cols(parts: &[&Tensor]) -> Result<Tensor> {
+        assert!(!parts.is_empty(), "concat_cols of zero tensors");
+        let rows = parts[0].rows();
+        for p in parts {
+            if p.rows() != rows {
+                return Err(TensorError::ShapeMismatch {
+                    op: "concat_cols",
+                    lhs: parts[0].shape.clone(),
+                    rhs: p.shape.clone(),
+                });
+            }
+        }
+        let total_cols: usize = parts.iter().map(|p| p.cols()).sum();
+        let mut out = Vec::with_capacity(rows * total_cols);
+        for r in 0..rows {
+            for p in parts {
+                out.extend_from_slice(p.row(r));
+            }
+        }
+        Ok(Tensor::from_vec(out, [rows, total_cols]))
+    }
+
+    /// Concatenates tensors along axis 0, preserving per-sample shape
+    /// (all trailing dimensions must match). The batched-inference
+    /// counterpart of [`Tensor::select_samples`].
+    pub fn concat_samples(parts: &[&Tensor]) -> Result<Tensor> {
+        assert!(!parts.is_empty(), "concat_samples of zero tensors");
+        let trailing = &parts[0].dims()[1..];
+        let mut total = 0usize;
+        for p in parts {
+            if &p.dims()[1..] != trailing {
+                return Err(TensorError::ShapeMismatch {
+                    op: "concat_samples",
+                    lhs: parts[0].shape.clone(),
+                    rhs: p.shape.clone(),
+                });
+            }
+            total += p.dims()[0];
+        }
+        let mut data = Vec::with_capacity(total * trailing.iter().product::<usize>());
+        for p in parts {
+            data.extend_from_slice(p.data());
+        }
+        let mut shape = vec![total];
+        shape.extend_from_slice(trailing);
+        Ok(Tensor::from_vec(data, shape))
+    }
+
+    /// Vertically concatenates matrices (same column count).
+    pub fn concat_rows(parts: &[&Tensor]) -> Result<Tensor> {
+        assert!(!parts.is_empty(), "concat_rows of zero tensors");
+        let cols = parts[0].cols();
+        let mut rows = 0;
+        for p in parts {
+            if p.cols() != cols {
+                return Err(TensorError::ShapeMismatch {
+                    op: "concat_rows",
+                    lhs: parts[0].shape.clone(),
+                    rhs: p.shape.clone(),
+                });
+            }
+            rows += p.rows();
+        }
+        let mut out = Vec::with_capacity(rows * cols);
+        for p in parts {
+            out.extend_from_slice(p.data());
+        }
+        Ok(Tensor::from_vec(out, [rows, cols]))
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise arithmetic
+    // ------------------------------------------------------------------
+
+    fn zip_check(&self, other: &Tensor, op: &'static str) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Elementwise sum into a new tensor.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_check(other, "add")?;
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Tensor {
+            data,
+            shape: self.shape.clone(),
+        })
+    }
+
+    /// Elementwise difference into a new tensor.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_check(other, "sub")?;
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Tensor {
+            data,
+            shape: self.shape.clone(),
+        })
+    }
+
+    /// Elementwise (Hadamard) product into a new tensor.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_check(other, "mul")?;
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Ok(Tensor {
+            data,
+            shape: self.shape.clone(),
+        })
+    }
+
+    /// `self += alpha * other`, in place (axpy).
+    pub fn add_scaled(&mut self, other: &Tensor, alpha: f32) -> Result<()> {
+        self.zip_check(other, "add_scaled")?;
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `s`, in place.
+    pub fn scale(&mut self, s: f32) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Returns a new tensor with every element multiplied by `s`.
+    pub fn scaled(&self, s: f32) -> Tensor {
+        let mut t = self.clone();
+        t.scale(s);
+        t
+    }
+
+    /// Applies `f` to every element, in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Returns a new tensor with `f` applied to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Sets every element to zero without reallocating.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (−∞ for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (+∞ for an empty tensor).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Sum of absolute values (L1 norm).
+    pub fn l1_norm(&self) -> f32 {
+        self.data.iter().map(|x| x.abs()).sum()
+    }
+
+    /// Euclidean norm.
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Per-row argmax of the matrix view.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        let (rows, _) = self.shape.as_matrix();
+        (0..rows)
+            .map(|r| {
+                let row = self.row(r);
+                let mut best = 0;
+                for (i, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Per-row maximum of the matrix view.
+    pub fn max_rows(&self) -> Vec<f32> {
+        let (rows, _) = self.shape.as_matrix();
+        (0..rows)
+            .map(|r| self.row(r).iter().copied().fold(f32::NEG_INFINITY, f32::max))
+            .collect()
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Maximum absolute difference to another tensor of the same shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "max_abs_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        if self.numel() <= 16 {
+            write!(f, "{:?}", self.data)
+        } else {
+            write!(
+                f,
+                "[{:.4}, {:.4}, …, {:.4}] (n={})",
+                self.data[0],
+                self.data[1],
+                self.data[self.numel() - 1],
+                self.numel()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let z = Tensor::zeros([2, 3]);
+        assert_eq!(z.numel(), 6);
+        assert!(z.data().iter().all(|&x| x == 0.0));
+        let o = Tensor::ones([3]);
+        assert_eq!(o.sum(), 3.0);
+        let f = Tensor::full([2, 2], 2.5);
+        assert_eq!(f.mean(), 2.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_checks_length() {
+        Tensor::from_vec(vec![1.0, 2.0], [3]);
+    }
+
+    #[test]
+    fn randn_is_seeded() {
+        let mut r1 = Prng::seed_from_u64(1);
+        let mut r2 = Prng::seed_from_u64(1);
+        let a = Tensor::randn([4, 4], 1.0, &mut r1);
+        let b = Tensor::randn([4, 4], 1.0, &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]);
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], [3]);
+        assert_eq!(a.add(&b).unwrap().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[4.0, 10.0, 18.0]);
+        let mut c = a.clone();
+        c.add_scaled(&b, 2.0).unwrap();
+        assert_eq!(c.data(), &[9.0, 12.0, 15.0]);
+    }
+
+    #[test]
+    fn elementwise_shape_mismatch_errors() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([3, 2]);
+        assert!(a.add(&b).is_err());
+        assert!(a.sub(&b).is_err());
+        assert!(a.mul(&b).is_err());
+    }
+
+    #[test]
+    fn reshape_checks_numel() {
+        let a = Tensor::zeros([2, 3]);
+        assert!(a.reshape([3, 2]).is_ok());
+        assert!(a.reshape([7]).is_err());
+        let mut b = a.clone();
+        b.reshape_in_place([6]).unwrap();
+        assert_eq!(b.dims(), &[6]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), [2, 3]);
+        let t = a.transpose();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.at(&[2, 1]), a.at(&[1, 2]));
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn row_and_col_selection() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), [3, 4]);
+        let r = a.select_rows(&[2, 0]);
+        assert_eq!(r.dims(), &[2, 4]);
+        assert_eq!(r.row(0), &[8.0, 9.0, 10.0, 11.0]);
+        let c = a.select_cols(&[3, 1]);
+        assert_eq!(c.dims(), &[3, 2]);
+        assert_eq!(c.row(1), &[7.0, 5.0]);
+    }
+
+    #[test]
+    fn concat_cols_is_logit_concatenation() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0, 9.0, 10.0], [2, 3]);
+        let c = Tensor::concat_cols(&[&a, &b]).unwrap();
+        assert_eq!(c.dims(), &[2, 5]);
+        assert_eq!(c.row(0), &[1.0, 2.0, 5.0, 6.0, 7.0]);
+        assert_eq!(c.row(1), &[3.0, 4.0, 8.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn concat_rows_stacks() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [1, 2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], [2, 2]);
+        let c = Tensor::concat_rows(&[&a, &b]).unwrap();
+        assert_eq!(c.dims(), &[3, 2]);
+        assert_eq!(c.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_samples_preserves_rank() {
+        let a = Tensor::from_vec((0..12).map(|v| v as f32).collect(), [1, 3, 2, 2]);
+        let b = Tensor::from_vec((12..36).map(|v| v as f32).collect(), [2, 3, 2, 2]);
+        let c = Tensor::concat_samples(&[&a, &b]).unwrap();
+        assert_eq!(c.dims(), &[3, 3, 2, 2]);
+        assert_eq!(c.at(&[1, 0, 0, 0]), 12.0);
+        // Mismatched trailing shape errors.
+        let d = Tensor::zeros([2, 3, 2, 3]);
+        assert!(Tensor::concat_samples(&[&a, &d]).is_err());
+    }
+
+    #[test]
+    fn concat_mismatch_errors() {
+        let a = Tensor::zeros([2, 2]);
+        let b = Tensor::zeros([3, 2]);
+        assert!(Tensor::concat_cols(&[&a, &b]).is_err());
+        let c = Tensor::zeros([2, 3]);
+        assert!(Tensor::concat_rows(&[&a, &c]).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_vec(vec![-1.0, 2.0, -3.0, 4.0], [2, 2]);
+        assert_eq!(a.sum(), 2.0);
+        assert_eq!(a.mean(), 0.5);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.min(), -3.0);
+        assert_eq!(a.l1_norm(), 10.0);
+        assert!((a.l2_norm() - 30.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_and_max_rows() {
+        let a = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.7, 0.2, 0.1], [2, 3]);
+        assert_eq!(a.argmax_rows(), vec![1, 0]);
+        assert_eq!(a.max_rows(), vec![0.9, 0.7]);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut a = Tensor::zeros([3]);
+        assert!(!a.has_non_finite());
+        a.data_mut()[1] = f32::NAN;
+        assert!(a.has_non_finite());
+    }
+}

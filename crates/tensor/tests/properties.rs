@@ -1,0 +1,113 @@
+//! Property-based tests for the tensor core: algebraic laws of the
+//! elementwise ops, matmul, softmax, and the im2col/col2im adjoint pair.
+
+use poe_tensor::conv::{col2im, im2col, Conv2dSpec};
+use poe_tensor::ops::{log_softmax, softmax, softmax_with_temperature};
+use poe_tensor::{matmul, matmul_a_bt, matmul_at_b, Prng, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(v, [rows, cols]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_commutes(a in tensor_strategy(3, 4), b in tensor_strategy(3, 4)) {
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert!(ab.max_abs_diff(&ba) == 0.0);
+    }
+
+    #[test]
+    fn sub_then_add_round_trips(a in tensor_strategy(2, 5), b in tensor_strategy(2, 5)) {
+        let round = a.sub(&b).unwrap().add(&b).unwrap();
+        prop_assert!(round.max_abs_diff(&a) < 1e-4);
+    }
+
+    #[test]
+    fn scale_distributes_over_add(a in tensor_strategy(3, 3), b in tensor_strategy(3, 3), s in -4.0f32..4.0) {
+        let lhs = a.add(&b).unwrap().scaled(s);
+        let rhs = a.scaled(s).add(&b.scaled(s)).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        a in tensor_strategy(3, 4),
+        b in tensor_strategy(4, 2),
+        c in tensor_strategy(4, 2),
+    ) {
+        let lhs = matmul(&a, &b.add(&c).unwrap()).unwrap();
+        let rhs = matmul(&a, &b).unwrap().add(&matmul(&a, &c).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-2);
+    }
+
+    #[test]
+    fn matmul_transpose_variants_agree(a in tensor_strategy(4, 3), b in tensor_strategy(4, 5)) {
+        // aᵀ·b three ways.
+        let v1 = matmul_at_b(&a, &b).unwrap();
+        let v2 = matmul(&a.transpose(), &b).unwrap();
+        let v3 = matmul_a_bt(&a.transpose(), &b.transpose()).unwrap();
+        prop_assert!(v1.max_abs_diff(&v2) < 1e-3);
+        prop_assert!(v1.max_abs_diff(&v3) < 1e-3);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(x in tensor_strategy(4, 6)) {
+        let p = softmax(&x);
+        for r in 0..4 {
+            let s: f32 = p.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-5);
+            prop_assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(x in tensor_strategy(3, 5)) {
+        let p = softmax(&x);
+        prop_assert_eq!(p.argmax_rows(), x.argmax_rows());
+    }
+
+    #[test]
+    fn temperature_preserves_argmax(x in tensor_strategy(2, 4), t in 0.5f32..16.0) {
+        let p = softmax_with_temperature(&x, t);
+        prop_assert_eq!(p.argmax_rows(), x.argmax_rows());
+    }
+
+    #[test]
+    fn log_softmax_is_nonpositive(x in tensor_strategy(3, 4)) {
+        let l = log_softmax(&x);
+        prop_assert!(l.data().iter().all(|&v| v <= 1e-6));
+    }
+
+    #[test]
+    fn concat_then_select_round_trips(a in tensor_strategy(3, 2), b in tensor_strategy(3, 4)) {
+        let cat = Tensor::concat_cols(&[&a, &b]).unwrap();
+        let a2 = cat.select_cols(&[0, 1]);
+        let b2 = cat.select_cols(&[2, 3, 4, 5]);
+        prop_assert!(a2.max_abs_diff(&a) == 0.0);
+        prop_assert!(b2.max_abs_diff(&b) == 0.0);
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in tensor_strategy(4, 7)) {
+        prop_assert!(a.transpose().transpose().max_abs_diff(&a) == 0.0);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(seed in 0u64..1000, stride in 1usize..3, pad in 0usize..2) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let spec = Conv2dSpec { in_channels: 2, out_channels: 1, kernel: 3, stride, padding: pad };
+        let (n, h, w) = (1, 6, 6);
+        if h + 2 * pad < 3 { return Ok(()); }
+        let x = Tensor::randn([n, 2, h, w], 1.0, &mut rng);
+        let (oh, ow) = spec.output_hw(h, w);
+        let y = Tensor::randn([n * oh * ow, spec.patch_len()], 1.0, &mut rng);
+        let lhs: f32 = im2col(&x, &spec).mul(&y).unwrap().sum();
+        let rhs: f32 = x.mul(&col2im(&y, &spec, n, h, w)).unwrap().sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+}

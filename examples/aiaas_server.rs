@@ -1,0 +1,105 @@
+//! A realtime AIaaS front end (the paper's system vision): a concurrent
+//! query service over one preprocessed pool, with clients on many threads
+//! requesting different composite tasks, live expert installation, and a
+//! persisted model store.
+//!
+//! Run with: `cargo run --release --example aiaas_server`
+
+use pool_of_experts::core::pipeline::{preprocess, PipelineConfig};
+use pool_of_experts::core::pool::QueryError;
+use pool_of_experts::core::service::QueryService;
+use pool_of_experts::core::Expert;
+use pool_of_experts::data::synth::{generate, GaussianHierarchyConfig};
+use pool_of_experts::models::WrnConfig;
+use pool_of_experts::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let cfg = GaussianHierarchyConfig::balanced(12, 3)
+        .with_renderer(32, 2)
+        .with_samples(50, 10)
+        .with_seed(23);
+    let (split, hierarchy) = generate(&cfg);
+
+    // Preprocess, but deliberately leave task 11 without an expert — it
+    // will be installed while the service is live.
+    println!("preprocessing (experts for tasks 0..11, task 11 deferred) …");
+    let pipe = PipelineConfig::defaults(
+        WrnConfig::new(16, 4.0, 4.0, hierarchy.num_classes()),
+        WrnConfig::new(16, 1.0, 1.0, hierarchy.num_classes()),
+        20,
+    );
+    let initial: Vec<usize> = (0..11).collect();
+    let pre = preprocess(&split.train, &hierarchy, &pipe, Some(&initial));
+
+    // Persist the pool — the "database" of knowledge components.
+    let store = std::env::temp_dir().join("poe_aiaas_store");
+    let bytes = pre.pool.save_to_dir(&store).expect("persist pool");
+    println!("pool persisted to {} ({bytes} bytes)", store.display());
+
+    let service = Arc::new(QueryService::new(pre.pool));
+
+    // --- Concurrent clients ----------------------------------------------
+    println!("serving 16 concurrent clients …");
+    let mut handles = Vec::new();
+    for client in 0..16u64 {
+        let svc = Arc::clone(&service);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = Prng::seed_from_u64(1000 + client);
+            let mut served = 0;
+            let mut missing = 0;
+            for _ in 0..8 {
+                let n = 1 + rng.below(4);
+                let tasks = rng.sample_without_replacement(12, n);
+                match svc.query(&tasks) {
+                    Ok(r) => {
+                        served += 1;
+                        assert_eq!(r.stats.num_experts, tasks.len());
+                    }
+                    Err(QueryError::MissingExpert(11)) => missing += 1,
+                    Err(e) => panic!("unexpected query error: {e}"),
+                }
+            }
+            (served, missing)
+        }));
+    }
+    let mut total_served = 0;
+    let mut total_missing = 0;
+    for h in handles {
+        let (s, m) = h.join().unwrap();
+        total_served += s;
+        total_missing += m;
+    }
+    println!("  {total_served} queries served, {total_missing} hit the missing expert (task 11)");
+
+    // --- Hot-install the missing expert -----------------------------------
+    println!("extracting and installing the expert for task 11 (no downtime) …");
+    let classes = hierarchy.primitive(11).classes.clone();
+    let sub = pre.oracle_logits.select_cols(&classes);
+    let arch = WrnConfig { ks: 0.25, num_classes: classes.len(), ..pipe.student_arch };
+    let mut rng = Prng::seed_from_u64(0xF00D);
+    let head = pool_of_experts::models::build_mlp_head("late11", &arch, classes.len(), &mut rng);
+    let ext = pool_of_experts::core::extract_expert(
+        &pre.library_features,
+        &sub,
+        head,
+        &pipe.ckd_config(),
+    );
+    service.install_expert(Expert { task_index: 11, classes, head: ext.head });
+
+    let r = service.query(&[11, 0]).expect("task 11 now queryable");
+    println!(
+        "  task 11 now served: n(Q)=2 model with {} outputs in {:.3} ms",
+        r.class_layout.len(),
+        r.stats.assembly_secs * 1e3
+    );
+
+    let stats = service.stats();
+    println!(
+        "final stats: {} served / {} rejected, mean assembly {:.3} ms",
+        stats.queries_served,
+        stats.queries_rejected,
+        stats.mean_assembly_secs() * 1e3
+    );
+    std::fs::remove_dir_all(&store).ok();
+}

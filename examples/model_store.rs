@@ -1,0 +1,69 @@
+//! The pool as a persistent model database: preprocess once, save a fully
+//! self-describing store to disk, then — as a separate deployment would —
+//! reopen it from nothing but the directory and serve queries.
+//!
+//! Run with: `cargo run --release --example model_store`
+
+use pool_of_experts::core::pipeline::{preprocess, PipelineConfig};
+use pool_of_experts::core::service::QueryService;
+use pool_of_experts::core::store::{load_standalone, save_standalone, PoolSpec};
+use pool_of_experts::data::synth::{generate, GaussianHierarchyConfig};
+use pool_of_experts::models::WrnConfig;
+use pool_of_experts::tensor::ops::accuracy;
+
+fn main() {
+    let cfg = GaussianHierarchyConfig::balanced(6, 3)
+        .with_renderer(32, 2)
+        .with_samples(50, 12)
+        .with_seed(19);
+    let (split, hierarchy) = generate(&cfg);
+
+    // ---- "Training cluster": preprocess and persist --------------------
+    println!("[trainer] preprocessing …");
+    let pipe = PipelineConfig::defaults(
+        WrnConfig::new(16, 4.0, 4.0, hierarchy.num_classes()),
+        WrnConfig::new(16, 1.0, 1.0, hierarchy.num_classes()),
+        20,
+    );
+    let pre = preprocess(&split.train, &hierarchy, &pipe, None);
+    let spec = PoolSpec {
+        student_arch: pipe.student_arch,
+        expert_ks: pipe.expert_ks,
+        library_groups: pipe.library_groups,
+        input_dim: split.train.sample_shape()[0],
+    };
+    let dir = std::env::temp_dir().join("poe_model_store_example");
+    std::fs::remove_dir_all(&dir).ok();
+    let bytes = save_standalone(&pre.pool, &spec, &dir).expect("persist store");
+    println!(
+        "[trainer] store written: {} ({} files, {bytes} bytes)",
+        dir.display(),
+        std::fs::read_dir(&dir).unwrap().count()
+    );
+    drop(pre); // the serving side starts from disk only
+
+    // ---- "Serving node": reopen from disk and answer queries -----------
+    println!("[server ] reopening store …");
+    let (pool, spec2) = load_standalone(&dir).expect("reopen store");
+    assert_eq!(spec2.library_groups, 3);
+    println!(
+        "[server ] pool: {} experts over {} classes ({} / {})",
+        pool.num_experts(),
+        pool.hierarchy().num_classes(),
+        pool.library_arch,
+        pool.expert_arch,
+    );
+    let service = QueryService::new(pool);
+    let result = service.query(&[0, 3, 5]).expect("query");
+    let mut model = result.model;
+    let view = split.test.task_view(&result.class_layout);
+    let acc = accuracy(&model.infer(&view.inputs), &view.labels);
+    println!(
+        "[server ] served M(Q) for tasks {{0, 3, 5}} in {:.3} ms — accuracy {:.1}%",
+        result.stats.assembly_secs * 1e3,
+        acc * 100.0
+    );
+    assert!(acc > 0.4, "reopened store must serve a working model");
+    std::fs::remove_dir_all(&dir).ok();
+    println!("done.");
+}

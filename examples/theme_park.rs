@@ -1,0 +1,99 @@
+//! The paper's motivating scenario (Section 1): a mobile user walks through
+//! an animal theme park — restaurant → zoo → souvenir shop — and each
+//! location needs a *different* tiny classifier, instantly.
+//!
+//! A pre-trained generic oracle knows all 30 classes; PoE preprocesses it
+//! once, then serves each location change as a realtime model query. The
+//! example contrasts PoE's per-query latency with actually retraining a
+//! specialist from scratch at each location.
+//!
+//! Run with: `cargo run --release --example theme_park`
+
+use pool_of_experts::baselines::train_scratch;
+use pool_of_experts::core::pipeline::{preprocess, PipelineConfig};
+use pool_of_experts::core::service::QueryService;
+use pool_of_experts::data::synth::{generate, GaussianHierarchyConfig};
+use pool_of_experts::data::PrimitiveTask;
+use pool_of_experts::models::WrnConfig;
+use pool_of_experts::nn::train::TrainConfig;
+use pool_of_experts::tensor::ops::accuracy;
+use std::time::Instant;
+
+const PLACES: [(&str, &[usize]); 4] = [
+    ("restaurant (foods)", &[0, 1]),
+    ("zoo (animals)", &[2, 3, 4]),
+    ("souvenir shop (goods)", &[5]),
+    ("back to the restaurant, friends joined (foods + drinks)", &[0, 1, 6]),
+];
+
+fn main() {
+    // 10 primitive "concept groups" of 3 classes each: foods, drinks,
+    // mammals, birds, fish, toys, …
+    let names = [
+        "foods", "desserts", "mammals", "birds", "fish", "souvenirs", "drinks", "plants",
+        "vehicles", "insects",
+    ];
+    let cfg = GaussianHierarchyConfig::balanced(10, 3)
+        .with_renderer(32, 2)
+        .with_samples(60, 15)
+        .with_seed(7);
+    let (split, mut hierarchy) = generate(&cfg);
+    // Rename the generated tasks to the scenario's vocabulary.
+    let groups: Vec<PrimitiveTask> = hierarchy
+        .primitives()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| PrimitiveTask { name: names[i].into(), classes: p.classes.clone() })
+        .collect();
+    hierarchy = pool_of_experts::data::ClassHierarchy::new(hierarchy.num_classes(), groups);
+
+    println!("preprocessing the oracle once (server side) …");
+    let pipe = PipelineConfig::defaults(
+        WrnConfig::new(16, 4.0, 4.0, hierarchy.num_classes()),
+        WrnConfig::new(16, 1.0, 1.0, hierarchy.num_classes()),
+        25,
+    );
+    let pre = preprocess(&split.train, &hierarchy, &pipe, None);
+    let service = QueryService::new(pre.pool);
+
+    for (place, tasks) in PLACES {
+        println!("\n→ user arrives at: {place}");
+        let t0 = Instant::now();
+        let result = service.query(tasks).expect("query");
+        let poe_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let mut model = result.model;
+        let view = split.test.task_view(&result.class_layout);
+        let poe_acc = accuracy(&model.infer(&view.inputs), &view.labels);
+
+        // What the user would have to wait for without PoE: train a
+        // specialist from scratch on the task data.
+        let classes = result.class_layout.clone();
+        let train_view = split.train.task_view(&classes);
+        let arch = WrnConfig::new(16, 1.0, 0.25 * tasks.len() as f32, classes.len());
+        let t1 = Instant::now();
+        let (mut scratch, _) =
+            train_scratch(&arch, 32, &train_view, &TrainConfig::new(30, 64, 0.05), 99);
+        let scratch_secs = t1.elapsed().as_secs_f64();
+        let scratch_logits = pool_of_experts::nn::train::predict(&mut scratch, &view.inputs, 256);
+        let scratch_acc = accuracy(&scratch_logits, &view.labels);
+
+        println!(
+            "   PoE:     model in {poe_ms:.2} ms, accuracy {:.1}%",
+            poe_acc * 100.0
+        );
+        println!(
+            "   Scratch: model in {:.2} s ({}x slower), accuracy {:.1}%",
+            scratch_secs,
+            (scratch_secs / (poe_ms / 1e3)).round(),
+            scratch_acc * 100.0
+        );
+    }
+
+    let stats = service.stats();
+    println!(
+        "\nserved {} queries, mean assembly latency {:.3} ms",
+        stats.queries_served,
+        stats.mean_assembly_secs() * 1e3
+    );
+}

@@ -1,0 +1,32 @@
+//! # pool-of-experts
+//!
+//! Facade crate re-exporting the public API of the Pool of Experts (PoE)
+//! reproduction — see the workspace `README.md` for the architecture and
+//! `DESIGN.md` for the paper-to-code map.
+//!
+//! ```
+//! use pool_of_experts::prelude::*;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use poe_baselines as baselines;
+pub use poe_core as core;
+pub use poe_data as data;
+pub use poe_models as models;
+pub use poe_nn as nn;
+pub use poe_tensor as tensor;
+
+/// Commonly-used items, re-exported for examples and quick starts.
+pub mod prelude {
+    pub use poe_core::pipeline::{preprocess, PipelineConfig, Preprocessed};
+    pub use poe_core::pool::{Expert, ExpertPool};
+    pub use poe_core::service::QueryService;
+    pub use poe_data::synth::{generate, GaussianHierarchyConfig};
+    pub use poe_data::{ClassHierarchy, Dataset, SplitDataset};
+    pub use poe_models::{BranchedModel, SplitModel, WrnConfig};
+    pub use poe_nn::train::TrainConfig;
+    pub use poe_nn::Module;
+    pub use poe_tensor::{Prng, Shape, Tensor};
+}

@@ -1,0 +1,100 @@
+//! End-to-end integration: the full PoE lifecycle across every crate —
+//! data generation → preprocessing → persistence → realtime service.
+
+use pool_of_experts::core::pipeline::{preprocess, PipelineConfig};
+use pool_of_experts::core::pool::QueryError;
+use pool_of_experts::core::service::QueryService;
+use pool_of_experts::data::synth::{generate, GaussianHierarchyConfig};
+use pool_of_experts::data::{ClassHierarchy, SplitDataset};
+use pool_of_experts::models::WrnConfig;
+use pool_of_experts::tensor::ops::accuracy;
+use pool_of_experts::tensor::{Prng, Tensor};
+
+fn tiny_world() -> (SplitDataset, ClassHierarchy, PipelineConfig) {
+    let cfg = GaussianHierarchyConfig { dim: 8, ..GaussianHierarchyConfig::balanced(4, 3) }
+        .with_samples(25, 8)
+        .with_seed(77);
+    let (split, hierarchy) = generate(&cfg);
+    let mut pipe = PipelineConfig::defaults(
+        WrnConfig::new(10, 2.0, 2.0, hierarchy.num_classes()).with_unit(8),
+        WrnConfig::new(10, 1.0, 1.0, hierarchy.num_classes()).with_unit(8),
+        20,
+    );
+    pipe.seed = 3;
+    (split, hierarchy, pipe)
+}
+
+#[test]
+fn preprocess_consolidate_and_serve() {
+    let (split, hierarchy, pipe) = tiny_world();
+    let pre = preprocess(&split.train, &hierarchy, &pipe, None);
+    assert_eq!(pre.pool.num_experts(), 4);
+
+    // Direct consolidation beats chance and matches the queried layout.
+    let (mut model, stats) = pre.pool.consolidate(&[3, 1]).unwrap();
+    let classes = pre.pool.hierarchy().composite_classes(&[1, 3]);
+    let mut layout = model.class_layout();
+    layout.sort_unstable();
+    assert_eq!(layout, classes);
+    let view = split.test.task_view(&model.class_layout());
+    let acc = accuracy(&model.infer(&view.inputs), &view.labels);
+    assert!(acc > 1.5 / 6.0, "composite accuracy {acc} barely above chance");
+    assert!(stats.assembly_secs < 1.0);
+
+    // Service layer over the same pool.
+    let svc = QueryService::new(pre.pool);
+    let r = svc.query(&[0, 2]).unwrap();
+    assert_eq!(r.stats.num_experts, 2);
+    assert_eq!(svc.query(&[9]).unwrap_err(), QueryError::UnknownTask(9));
+    assert_eq!(svc.stats().queries_served, 1);
+    assert_eq!(svc.stats().queries_rejected, 1);
+}
+
+#[test]
+fn pool_persistence_round_trips_through_disk() {
+    let (split, hierarchy, pipe) = tiny_world();
+    let pre = preprocess(&split.train, &hierarchy, &pipe, None);
+    let dir = std::env::temp_dir().join("poe_e2e_store");
+    let bytes = pre.pool.save_to_dir(&dir).unwrap();
+    assert_eq!(bytes, pre.pool.volumes().total_bytes);
+
+    // A second preprocessing run with a different seed has the same
+    // structure but different weights; loading must overwrite them so both
+    // pools answer identically.
+    let mut pipe2 = pipe.clone();
+    pipe2.seed = 99;
+    let pre2 = preprocess(&split.train, &hierarchy, &pipe2, None);
+    let mut pool2 = pre2.pool;
+    pool2.load_from_dir(&dir).unwrap();
+
+    let x = Tensor::randn([5, 8], 1.0, &mut Prng::seed_from_u64(1));
+    let (mut a, _) = pre.pool.consolidate(&[0, 1, 2, 3]).unwrap();
+    let (mut b, _) = pool2.consolidate(&[0, 1, 2, 3]).unwrap();
+    assert!(a.infer(&x).max_abs_diff(&b.infer(&x)) < 1e-6);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn query_order_defines_logit_layout() {
+    let (split, hierarchy, pipe) = tiny_world();
+    let pre = preprocess(&split.train, &hierarchy, &pipe, None);
+    let (mut ab, _) = pre.pool.consolidate(&[0, 2]).unwrap();
+    let (mut ba, _) = pre.pool.consolidate(&[2, 0]).unwrap();
+    let x = Tensor::randn([4, 8], 1.0, &mut Prng::seed_from_u64(2));
+    let ya = ab.infer(&x);
+    let yb = ba.infer(&x);
+    // Same logits, permuted blocks of width 3.
+    let swapped = Tensor::concat_cols(&[&yb.select_cols(&[3, 4, 5]), &yb.select_cols(&[0, 1, 2])])
+        .unwrap();
+    assert!(ya.max_abs_diff(&swapped) < 1e-6);
+}
+
+#[test]
+fn missing_expert_is_a_clean_error_not_a_panic() {
+    let (split, hierarchy, pipe) = tiny_world();
+    let pre = preprocess(&split.train, &hierarchy, &pipe, Some(&[0, 1]));
+    assert_eq!(
+        pre.pool.consolidate(&[0, 3]).unwrap_err(),
+        QueryError::MissingExpert(3)
+    );
+}

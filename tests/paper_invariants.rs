@@ -1,0 +1,162 @@
+//! Integration tests for the paper's qualitative claims on a small fixed
+//! world: calibration of CKD experts (Figure 5), the realtime-vs-training
+//! gap (Figures 6/7), the branched-architecture size advantage (Table 3),
+//! and the storage story (Table 4).
+
+use pool_of_experts::baselines::train_scratch;
+use pool_of_experts::core::confidence::max_confidences;
+use pool_of_experts::core::pipeline::{preprocess, PipelineConfig, Preprocessed};
+use pool_of_experts::data::synth::{generate, GaussianHierarchyConfig};
+use pool_of_experts::data::{ClassHierarchy, SplitDataset};
+use pool_of_experts::models::serialize::module_byte_size;
+use pool_of_experts::models::{build_wrn_mlp, WrnConfig};
+use pool_of_experts::nn::train::{predict, TrainConfig};
+use pool_of_experts::nn::Module;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+struct World {
+    split: SplitDataset,
+    hierarchy: ClassHierarchy,
+    pipe: PipelineConfig,
+    pre: Preprocessed,
+}
+
+// Preprocessing is the expensive part; share it across tests.
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let cfg = GaussianHierarchyConfig { dim: 8, ..GaussianHierarchyConfig::balanced(5, 3) }
+            .with_samples(30, 10)
+            .with_seed(88);
+        let (split, hierarchy) = generate(&cfg);
+        let mut pipe = PipelineConfig::defaults(
+            WrnConfig::new(10, 2.0, 2.0, hierarchy.num_classes()).with_unit(8),
+            WrnConfig::new(10, 1.0, 1.0, hierarchy.num_classes()).with_unit(8),
+            25,
+        );
+        pipe.seed = 4;
+        let pre = preprocess(&split.train, &hierarchy, &pipe, None);
+        World { split, hierarchy, pipe, pre }
+    })
+}
+
+/// Figure 5's claim: a CKD expert is markedly less confident on inputs from
+/// classes it has never seen than a Scratch specialist is.
+#[test]
+fn ckd_experts_are_calibrated_scratch_is_overconfident() {
+    let w = world();
+    let task = 0;
+    let classes = w.hierarchy.primitive(task).classes.clone();
+    let ood = w.split.test.out_of_task_view(&classes);
+
+    // Scratch specialist on raw inputs.
+    let arch = WrnConfig { ks: 0.25, num_classes: classes.len(), ..w.pipe.student_arch };
+    let train_view = w.split.train.task_view(&classes);
+    let (mut scratch, _) =
+        train_scratch(&arch, 8, &train_view, &TrainConfig::new(40, 32, 0.05), 9);
+    let scratch_conf = max_confidences(&mut scratch, &ood.inputs);
+
+    // The pooled CKD expert (runs on library features).
+    let mut lib = w.pre.pool.library().clone();
+    let f_ood = predict(&mut lib, &ood.inputs, 256);
+    let mut expert = w.pre.pool.expert(task).unwrap().head.clone();
+    let ckd_conf = max_confidences(&mut expert, &f_ood);
+
+    let mean = |v: &[f32]| v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+    let (ms, mc) = (mean(&scratch_conf), mean(&ckd_conf));
+    assert!(
+        mc + 0.1 < ms,
+        "CKD OOD confidence {mc:.3} should sit well below Scratch {ms:.3}"
+    );
+}
+
+/// Figures 6/7's claim: consolidation is orders of magnitude faster than
+/// training a specialist for the same composite task.
+#[test]
+fn consolidation_is_orders_of_magnitude_faster_than_training() {
+    let w = world();
+    let combo = [1usize, 2, 4];
+    let t0 = Instant::now();
+    let (_, stats) = w.pre.pool.consolidate(&combo).unwrap();
+    let poe_secs = t0.elapsed().as_secs_f64().max(stats.assembly_secs);
+
+    let classes = w.hierarchy.composite_classes(&combo);
+    let train_view = w.split.train.task_view(&classes);
+    let arch = WrnConfig { ks: 0.75, num_classes: classes.len(), ..w.pipe.student_arch };
+    let t1 = Instant::now();
+    train_scratch(&arch, 8, &train_view, &TrainConfig::new(25, 32, 0.05), 10);
+    let train_secs = t1.elapsed().as_secs_f64();
+
+    assert!(
+        train_secs > poe_secs * 50.0,
+        "training {train_secs:.3}s vs PoE {poe_secs:.6}s — gap too small"
+    );
+}
+
+/// Table 3's architecture claim: n branched conv4 blocks carry fewer
+/// parameters than one conv4 block widened by n (linear vs quadratic).
+#[test]
+fn branched_experts_grow_linearly_not_quadratically() {
+    let w = world();
+    let n = 4;
+    let combo: Vec<usize> = (0..n).collect();
+    let (branched, _) = w.pre.pool.consolidate(&combo).unwrap();
+    let branched_heads: usize =
+        branched.branches().iter().map(|b| b.head.param_count()).sum();
+
+    // One monolithic head with k_s scaled by n (as Scratch/Transfer use).
+    let classes = w.hierarchy.composite_classes(&combo);
+    let wide_arch = WrnConfig {
+        ks: w.pipe.expert_ks * n as f32,
+        num_classes: classes.len(),
+        ..w.pipe.student_arch
+    };
+    let mut rng = pool_of_experts::tensor::Prng::seed_from_u64(11);
+    let wide = pool_of_experts::models::build_mlp_head("wide", &wide_arch, classes.len(), &mut rng);
+    assert!(
+        branched_heads < wide.param_count(),
+        "branched {} params should undercut monolithic {}",
+        branched_heads,
+        wide.param_count()
+    );
+}
+
+/// Table 4's claim: the whole pool (library + all experts) is a small
+/// fraction of the oracle, and vastly below storing per-subset models.
+#[test]
+fn pool_storage_is_a_fraction_of_the_oracle() {
+    let w = world();
+    let volumes = w.pre.pool.volumes();
+    let oracle_bytes = module_byte_size(&w.pre.oracle);
+    assert!(
+        volumes.total_bytes * 3 < oracle_bytes,
+        "pool {} bytes should be ≪ oracle {} bytes",
+        volumes.total_bytes,
+        oracle_bytes
+    );
+    // 2^n strawman at the mean-subset model size dwarfs both.
+    let n = w.hierarchy.num_primitives() as i32;
+    let mut rng = pool_of_experts::tensor::Prng::seed_from_u64(12);
+    let avg_model = build_wrn_mlp(
+        &WrnConfig {
+            ks: w.pipe.expert_ks * (n as f32 / 2.0),
+            num_classes: w.hierarchy.num_classes() / 2,
+            ..w.pipe.student_arch
+        },
+        8,
+        &mut rng,
+    );
+    let exhaustive = (2f64.powi(n) - 1.0) * module_byte_size(&avg_model) as f64;
+    assert!(exhaustive > volumes.total_bytes as f64 * 4.0);
+}
+
+/// The oracle logits cached by the pipeline are exactly the oracle's
+/// inference outputs (the contract every baseline relies on).
+#[test]
+fn cached_oracle_logits_match_fresh_inference() {
+    let w = world();
+    let mut oracle = w.pre.oracle.clone();
+    let fresh = pool_of_experts::core::training::logits_of(&mut oracle, &w.split.train.inputs);
+    assert!(fresh.max_abs_diff(&w.pre.oracle_logits) < 1e-5);
+}
