@@ -66,7 +66,16 @@ pub fn merge_teachers(
     seed: u64,
 ) -> (SplitModel, TrainReport) {
     merge_teachers_with_eval(
-        method, arch, input_dim, merge_data, teachers, temperature, cfg, seed, 0, &mut |_| 0.0,
+        method,
+        arch,
+        input_dim,
+        merge_data,
+        teachers,
+        temperature,
+        cfg,
+        seed,
+        0,
+        &mut |_| 0.0,
     )
 }
 
@@ -90,7 +99,11 @@ pub fn merge_teachers_with_eval(
     let total: usize = teachers.iter().map(|t| t.logits.cols()).sum();
     assert_eq!(arch.num_classes, total, "student width must equal Σ|H_i|");
     for t in teachers {
-        assert_eq!(t.logits.rows(), n, "teacher logits must align with merge data");
+        assert_eq!(
+            t.logits.rows(),
+            n,
+            "teacher logits must align with merge data"
+        );
     }
 
     // Block column ranges in the student output.
@@ -104,79 +117,86 @@ pub fn merge_teachers_with_eval(
     let mut rng = Prng::seed_from_u64(seed);
     let mut student = build_wrn_mlp(arch, input_dim, &mut rng);
 
-    let report = train_batches_with_eval(&mut student, &merge_data.inputs, cfg, &mut |logits, idx| {
-        match method {
-            MergeMethod::Sd => {
-                // Σ_i KL(σ(t_i/T) ‖ σ(s_i/T)) with independent block softmax.
-                let mut total_loss = 0.0f32;
-                let mut grad = Tensor::zeros(logits.shape().dims().to_vec());
-                for (ti, &(lo, hi)) in teachers.iter().zip(&blocks) {
-                    let cols: Vec<usize> = (lo..hi).collect();
-                    let s_block = logits.select_cols(&cols);
-                    let t_block = ti.logits.select_rows(idx);
-                    let (l, g) = kd_loss(&s_block, &t_block, temperature, true);
-                    total_loss += l;
-                    // Scatter block gradient back.
-                    for r in 0..grad.rows() {
-                        let dst = grad.row_mut(r);
-                        let src = g.row(r);
-                        dst[lo..hi].copy_from_slice(src);
-                    }
-                }
-                (total_loss, grad)
-            }
-            MergeMethod::Dmc => {
-                // ½‖s_i − (t_i − mean(t_i))‖² per block, mean over batch.
-                let rows = logits.rows();
-                let mut total_loss = 0.0f32;
-                let mut grad = Tensor::zeros(logits.shape().dims().to_vec());
-                for (ti, &(lo, hi)) in teachers.iter().zip(&blocks) {
-                    let t_block = ti.logits.select_rows(idx);
-                    let width = hi - lo;
-                    for r in 0..rows {
-                        let t_row = t_block.row(r);
-                        let mean: f32 = t_row.iter().sum::<f32>() / width as f32;
-                        let s_row = &logits.row(r)[lo..hi];
-                        for (j, (&sv, &tv)) in s_row.iter().zip(t_row).enumerate() {
-                            let d = sv - (tv - mean);
-                            total_loss += 0.5 * d * d / rows as f32;
-                            grad.row_mut(r)[lo + j] = d / rows as f32;
+    let report = train_batches_with_eval(
+        &mut student,
+        &merge_data.inputs,
+        cfg,
+        &mut |logits, idx| {
+            match method {
+                MergeMethod::Sd => {
+                    // Σ_i KL(σ(t_i/T) ‖ σ(s_i/T)) with independent block softmax.
+                    let mut total_loss = 0.0f32;
+                    let mut grad = Tensor::zeros(logits.shape().dims().to_vec());
+                    for (ti, &(lo, hi)) in teachers.iter().zip(&blocks) {
+                        let cols: Vec<usize> = (lo..hi).collect();
+                        let s_block = logits.select_cols(&cols);
+                        let t_block = ti.logits.select_rows(idx);
+                        let (l, g) = kd_loss(&s_block, &t_block, temperature, true);
+                        total_loss += l;
+                        // Scatter block gradient back.
+                        for r in 0..grad.rows() {
+                            let dst = grad.row_mut(r);
+                            let src = g.row(r);
+                            dst[lo..hi].copy_from_slice(src);
                         }
                     }
+                    (total_loss, grad)
                 }
-                (total_loss, grad)
-            }
-            MergeMethod::Uhc => {
-                // Σ_i KL(p_i ‖ q|_{H_i}) with q = softmax over the union.
-                // Gradient within block i: (T/n)·(q|_{H_i}(j) − p_i(j))
-                // (T² loss scaling, matching kd_loss's convention).
-                let q = softmax_with_temperature(logits, temperature);
-                let rows = logits.rows();
-                let mut total_loss = 0.0f32;
-                let mut grad = Tensor::zeros(logits.shape().dims().to_vec());
-                for (ti, &(lo, hi)) in teachers.iter().zip(&blocks) {
-                    let t_block = ti.logits.select_rows(idx);
-                    let p = softmax_with_temperature(&t_block, temperature);
-                    for r in 0..rows {
-                        let q_row = &q.row(r)[lo..hi];
-                        let mass: f32 = q_row.iter().sum::<f32>().max(1e-12);
-                        let p_row = p.row(r);
-                        let mut kl = 0.0f32;
-                        for (j, (&qv, &pv)) in q_row.iter().zip(p_row).enumerate() {
-                            let q_cond = qv / mass;
-                            if pv > 0.0 {
-                                kl += pv * (pv.ln() - q_cond.max(1e-12).ln());
+                MergeMethod::Dmc => {
+                    // ½‖s_i − (t_i − mean(t_i))‖² per block, mean over batch.
+                    let rows = logits.rows();
+                    let mut total_loss = 0.0f32;
+                    let mut grad = Tensor::zeros(logits.shape().dims().to_vec());
+                    for (ti, &(lo, hi)) in teachers.iter().zip(&blocks) {
+                        let t_block = ti.logits.select_rows(idx);
+                        let width = hi - lo;
+                        for r in 0..rows {
+                            let t_row = t_block.row(r);
+                            let mean: f32 = t_row.iter().sum::<f32>() / width as f32;
+                            let s_row = &logits.row(r)[lo..hi];
+                            for (j, (&sv, &tv)) in s_row.iter().zip(t_row).enumerate() {
+                                let d = sv - (tv - mean);
+                                total_loss += 0.5 * d * d / rows as f32;
+                                grad.row_mut(r)[lo + j] = d / rows as f32;
                             }
-                            grad.row_mut(r)[lo + j] +=
-                                temperature * (q_cond - pv) / rows as f32;
                         }
-                        total_loss += temperature * temperature * kl / rows as f32;
                     }
+                    (total_loss, grad)
                 }
-                (total_loss, grad)
+                MergeMethod::Uhc => {
+                    // Σ_i KL(p_i ‖ q|_{H_i}) with q = softmax over the union.
+                    // Gradient within block i: (T/n)·(q|_{H_i}(j) − p_i(j))
+                    // (T² loss scaling, matching kd_loss's convention).
+                    let q = softmax_with_temperature(logits, temperature);
+                    let rows = logits.rows();
+                    let mut total_loss = 0.0f32;
+                    let mut grad = Tensor::zeros(logits.shape().dims().to_vec());
+                    for (ti, &(lo, hi)) in teachers.iter().zip(&blocks) {
+                        let t_block = ti.logits.select_rows(idx);
+                        let p = softmax_with_temperature(&t_block, temperature);
+                        for r in 0..rows {
+                            let q_row = &q.row(r)[lo..hi];
+                            let mass: f32 = q_row.iter().sum::<f32>().max(1e-12);
+                            let p_row = p.row(r);
+                            let mut kl = 0.0f32;
+                            for (j, (&qv, &pv)) in q_row.iter().zip(p_row).enumerate() {
+                                let q_cond = qv / mass;
+                                if pv > 0.0 {
+                                    kl += pv * (pv.ln() - q_cond.max(1e-12).ln());
+                                }
+                                grad.row_mut(r)[lo + j] +=
+                                    temperature * (q_cond - pv) / rows as f32;
+                            }
+                            total_loss += temperature * temperature * kl / rows as f32;
+                        }
+                    }
+                    (total_loss, grad)
+                }
             }
-        }
-    }, eval_every, eval_fn);
+        },
+        eval_every,
+        eval_fn,
+    );
     (student, report)
 }
 
@@ -246,9 +266,12 @@ mod tests {
 
     fn merge_setup() -> (Dataset, Dataset, Vec<usize>, Vec<(usize, usize)>) {
         let (split, h) = generate(
-            &GaussianHierarchyConfig { dim: 8, ..GaussianHierarchyConfig::balanced(3, 2) }
-                .with_samples(25, 10)
-                .with_seed(51),
+            &GaussianHierarchyConfig {
+                dim: 8,
+                ..GaussianHierarchyConfig::balanced(3, 2)
+            }
+            .with_samples(25, 10)
+            .with_seed(51),
         );
         let tasks = [0usize, 2];
         let mut block_classes = Vec::new();
@@ -371,7 +394,9 @@ mod tests {
     #[should_panic(expected = "width")]
     fn width_mismatch_rejected() {
         let data = Dataset::new(Tensor::zeros([4, 8]), vec![0, 0, 0, 0], 2);
-        let teachers = vec![MergeTeacher { logits: Tensor::zeros([4, 2]) }];
+        let teachers = vec![MergeTeacher {
+            logits: Tensor::zeros([4, 2]),
+        }];
         let arch = WrnConfig::new(10, 1.0, 0.5, 3).with_unit(4);
         merge_teachers(
             MergeMethod::Sd,
@@ -388,8 +413,10 @@ mod tests {
     #[test]
     fn uhc_gradient_matches_finite_difference() {
         // Check the hand-derived UHC gradient on a tiny fixed case.
-        let teachers = [Tensor::from_vec(vec![2.0, -1.0, 0.5, 1.0], [2, 2]),
-                        Tensor::from_vec(vec![0.0, 1.0, -0.5, 0.3], [2, 2])];
+        let teachers = [
+            Tensor::from_vec(vec![2.0, -1.0, 0.5, 1.0], [2, 2]),
+            Tensor::from_vec(vec![0.0, 1.0, -0.5, 0.3], [2, 2]),
+        ];
         let t = 2.0f32;
         let eval = |s: &Tensor| -> (f32, Tensor) {
             let q = softmax_with_temperature(s, t);

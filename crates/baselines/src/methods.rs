@@ -20,7 +20,10 @@ pub fn train_scratch(
     cfg: &TrainConfig,
     seed: u64,
 ) -> (SplitModel, TrainReport) {
-    assert_eq!(arch.num_classes, task_data.num_classes, "arch/task class mismatch");
+    assert_eq!(
+        arch.num_classes, task_data.num_classes,
+        "arch/task class mismatch"
+    );
     let mut rng = Prng::seed_from_u64(seed);
     let mut model = build_wrn_mlp(arch, input_dim, &mut rng);
     let report = train_cross_entropy(&mut model, task_data, cfg);
@@ -65,7 +68,11 @@ pub fn train_generic_kd(
     cfg: &TrainConfig,
     seed: u64,
 ) -> (SplitModel, TrainReport) {
-    assert_eq!(arch.num_classes, oracle_logits.cols(), "arch must cover all classes");
+    assert_eq!(
+        arch.num_classes,
+        oracle_logits.cols(),
+        "arch must cover all classes"
+    );
     let mut rng = Prng::seed_from_u64(seed);
     let mut model = build_wrn_mlp(arch, input_dim, &mut rng);
     let report = train_distill(&mut model, train_inputs, oracle_logits, temperature, cfg);
@@ -73,11 +80,7 @@ pub fn train_generic_kd(
 }
 
 /// Runs `library → head` inference over a dataset and returns logits.
-pub fn library_head_logits(
-    library: &Sequential,
-    head: &Sequential,
-    inputs: &Tensor,
-) -> Tensor {
+pub fn library_head_logits(library: &Sequential, head: &Sequential, inputs: &Tensor) -> Tensor {
     let mut lib = library.clone();
     let mut h = head.clone();
     let f = predict(&mut lib, inputs, 256);
@@ -93,9 +96,12 @@ mod tests {
 
     fn tiny() -> (poe_data::SplitDataset, poe_data::ClassHierarchy) {
         generate(
-            &GaussianHierarchyConfig { dim: 8, ..GaussianHierarchyConfig::balanced(3, 2) }
-                .with_samples(25, 10)
-                .with_seed(41),
+            &GaussianHierarchyConfig {
+                dim: 8,
+                ..GaussianHierarchyConfig::balanced(3, 2)
+            }
+            .with_samples(25, 10)
+            .with_seed(41),
         )
     }
 
@@ -131,7 +137,13 @@ mod tests {
         let classes = h.primitive(0).classes.clone();
         let train_view = split.train.task_view(&classes);
         let head_arch = WrnConfig::new(10, 1.0, 0.25, classes.len()).with_unit(8);
-        let (head, _) = train_transfer(&library, &head_arch, &train_view, &TrainConfig::new(25, 16, 0.08), 3);
+        let (head, _) = train_transfer(
+            &library,
+            &head_arch,
+            &train_view,
+            &TrainConfig::new(25, 16, 0.08),
+            3,
+        );
 
         // Library untouched.
         assert_eq!(poe_nn::snapshot_params(&library), lib_snapshot);
@@ -151,8 +163,15 @@ mod tests {
         let ol = logits_of(&mut oracle, &split.train.inputs);
 
         let arch = WrnConfig::new(10, 1.0, 0.25, 6).with_unit(4);
-        let (mut kd_model, _) =
-            train_generic_kd(&arch, 8, &split.train.inputs, &ol, 4.0, &TrainConfig::new(25, 32, 0.02), 5);
+        let (mut kd_model, _) = train_generic_kd(
+            &arch,
+            8,
+            &split.train.inputs,
+            &ol,
+            4.0,
+            &TrainConfig::new(25, 32, 0.02),
+            5,
+        );
         // It still learns *something* about each task.
         let classes = h.primitive(0).classes.clone();
         let acc =

@@ -40,9 +40,17 @@ fn bench_inference(c: &mut Criterion) {
     let mut pool = ExpertPool::new(hierarchy, library);
     for t in 0..3 {
         let classes = pool.hierarchy().primitive(t).classes.clone();
-        let arch = WrnConfig { ks: 0.25, num_classes: classes.len(), ..WrnConfig::new(16, 1.0, 1.0, 100) };
+        let arch = WrnConfig {
+            ks: 0.25,
+            num_classes: classes.len(),
+            ..WrnConfig::new(16, 1.0, 1.0, 100)
+        };
         let head = build_mlp_head(&format!("e{t}"), &arch, classes.len(), &mut rng);
-        pool.insert_expert(Expert { task_index: t, classes, head });
+        pool.insert_expert(Expert {
+            task_index: t,
+            classes,
+            head,
+        });
     }
     let (mut branched, _) = pool.consolidate(&[0, 1, 2]).unwrap();
     group.bench_function("poe_branched_n3", |b| {

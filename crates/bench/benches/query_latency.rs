@@ -20,11 +20,19 @@ fn build_pool() -> ExpertPool {
     let mut pool = ExpertPool::new(hierarchy, library);
     for t in 0..20 {
         let classes = pool.hierarchy().primitive(t).classes.clone();
-        let arch = WrnConfig { ks: 0.25, num_classes: classes.len(), ..student };
+        let arch = WrnConfig {
+            ks: 0.25,
+            num_classes: classes.len(),
+            ..student
+        };
         // Heads are named `expert<t>` to match the convention the
         // standalone store uses when rebuilding a pool from its manifest.
         let head = build_mlp_head(&format!("expert{t}"), &arch, classes.len(), &mut rng);
-        pool.insert_expert(Expert { task_index: t, classes, head });
+        pool.insert_expert(Expert {
+            task_index: t,
+            classes,
+            head,
+        });
     }
     pool
 }
@@ -51,6 +59,66 @@ fn bench_service_query(c: &mut Criterion) {
     });
 }
 
+/// Cached vs cold consolidation: the consolidation cache should turn a
+/// repeat query into a handful of `Arc` clones, independent of how much
+/// work the cold path does.
+fn bench_cache_hit_vs_cold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consolidation_cache");
+    let query = [1usize, 3, 7, 11, 19];
+
+    // Cold: capacity 0 disables the cache, so every query re-consolidates.
+    let cold = QueryService::with_cache_capacity(build_pool(), 0);
+    group.bench_function("cold", |b| {
+        b.iter(|| cold.query(black_box(&query)).unwrap())
+    });
+
+    // Warm: prime once, then every iteration is a hit.
+    let warm = QueryService::new(build_pool());
+    warm.query(&query).unwrap();
+    group.bench_function("hit", |b| b.iter(|| warm.query(black_box(&query)).unwrap()));
+
+    // A permutation of a cached task set is still a hit (the key is the
+    // sorted set; the entry is reassembled in the requested order).
+    group.bench_function("hit_permuted", |b| {
+        b.iter(|| warm.query(black_box(&[19, 1, 11, 3, 7])).unwrap())
+    });
+    group.finish();
+}
+
+/// Assembly cost as the *library* grows: zero-copy consolidation should be
+/// flat in trunk width because branches share the trunk buffers instead of
+/// copying them.
+fn bench_library_width_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consolidate_vs_library_width");
+    for width in [1.0f32, 2.0, 4.0] {
+        let mut rng = Prng::seed_from_u64(13);
+        let hierarchy = ClassHierarchy::contiguous(20, 4);
+        let student = WrnConfig::new(16, width, 1.0, 20);
+        let library = build_wrn_mlp(&student, 32, &mut rng).into_parts().0;
+        let mut pool = ExpertPool::new(hierarchy, library);
+        for t in 0..4 {
+            let classes = pool.hierarchy().primitive(t).classes.clone();
+            let arch = WrnConfig {
+                ks: 0.25,
+                num_classes: classes.len(),
+                ..student
+            };
+            let head = build_mlp_head(&format!("expert{t}"), &arch, classes.len(), &mut rng);
+            pool.insert_expert(Expert {
+                task_index: t,
+                classes,
+                head,
+            });
+        }
+        group.bench_with_input(
+            BenchmarkId::new("widen", format!("{width}x")),
+            &pool,
+            |b, pool| b.iter(|| pool.consolidate(black_box(&[0, 1, 2, 3])).unwrap()),
+        );
+    }
+    group.finish();
+}
+
 fn bench_store_io(c: &mut Criterion) {
     use poe_core::store::{load_standalone, save_standalone, PoolSpec};
     let pool = build_pool();
@@ -71,5 +139,12 @@ fn bench_store_io(c: &mut Criterion) {
     std::fs::remove_dir_all(&dir).ok();
 }
 
-criterion_group!(benches, bench_consolidate, bench_service_query, bench_store_io);
+criterion_group!(
+    benches,
+    bench_consolidate,
+    bench_service_query,
+    bench_cache_hit_vs_cold,
+    bench_library_width_scaling,
+    bench_store_io
+);
 criterion_main!(benches);

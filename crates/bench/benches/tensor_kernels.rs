@@ -49,7 +49,13 @@ fn bench_softmax(c: &mut Criterion) {
 
 fn bench_im2col(c: &mut Criterion) {
     let mut rng = Prng::seed_from_u64(3);
-    let spec = Conv2dSpec { in_channels: 16, out_channels: 16, kernel: 3, stride: 1, padding: 1 };
+    let spec = Conv2dSpec {
+        in_channels: 16,
+        out_channels: 16,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
     let input = Tensor::randn([8, 16, 8, 8], 1.0, &mut rng);
     c.bench_function("im2col_8x16x8x8_k3", |bch| {
         bch.iter(|| im2col(black_box(&input), black_box(&spec)))

@@ -1,7 +1,9 @@
 use poe_bench::scale::Scale;
 use poe_bench::setup::DatasetSpec;
 use poe_core::library::{extract_library, LibraryConfig};
-use poe_core::training::{eval_accuracy, eval_task_specific_accuracy, logits_of, train_cross_entropy};
+use poe_core::training::{
+    eval_accuracy, eval_task_specific_accuracy, logits_of, train_cross_entropy,
+};
 use poe_models::build_wrn_mlp;
 use poe_nn::train::TrainConfig;
 use poe_tensor::Prng;
@@ -13,16 +15,26 @@ fn main() {
         let dim = split.train.sample_shape()[0];
         let mut rng = Prng::seed_from_u64(0xC0DE);
         let mut oracle = build_wrn_mlp(&spec.oracle_arch(h.num_classes()), dim, &mut rng);
-        let ocfg = TrainConfig::new(scale.oracle_epochs, 64, spec.oracle_lr()).with_milestones(vec![10], 0.2);
+        let ocfg = TrainConfig::new(scale.oracle_epochs, 64, spec.oracle_lr())
+            .with_milestones(vec![10], 0.2);
         train_cross_entropy(&mut oracle, &split.train, &ocfg);
         let o_acc = eval_accuracy(&mut oracle, &split.test);
         let ol = logits_of(&mut oracle, &split.train.inputs);
         let task_classes = h.primitive(3).classes.clone();
         let o_ts = eval_task_specific_accuracy(&mut oracle, &split.test, &task_classes);
-        println!("{}: oracle acc {:.3} ts {:.3} logit max {:.1}", spec.name(), o_acc, o_ts, ol.max());
+        println!(
+            "{}: oracle acc {:.3} ts {:.3} logit max {:.1}",
+            spec.name(),
+            o_acc,
+            o_ts,
+            ol.max()
+        );
         for (ep, lr) in [(15usize, 0.02f32), (40, 0.02), (40, 0.01), (80, 0.01)] {
             let s0 = build_wrn_mlp(&spec.student_arch(h.num_classes()), dim, &mut rng);
-            let cfg = LibraryConfig { temperature: 4.0, train: TrainConfig::new(ep, 64, lr).with_milestones(vec![ep*2/3], 0.2) };
+            let cfg = LibraryConfig {
+                temperature: 4.0,
+                train: TrainConfig::new(ep, 64, lr).with_milestones(vec![ep * 2 / 3], 0.2),
+            };
             let ext = extract_library(s0, &split.train.inputs, &ol, &cfg);
             let mut st = ext.student;
             let acc = eval_accuracy(&mut st, &split.test);

@@ -12,30 +12,56 @@ fn main() {
     let task = prep.six[0];
     let classes = prep.hierarchy.primitive(task).classes.clone();
     let sub = prep.pre.oracle_logits.select_cols(&classes);
-    println!("oracle sub-logits: mean {:.2} max {:.2} min {:.2}", sub.mean(), sub.max(), sub.min());
+    println!(
+        "oracle sub-logits: mean {:.2} max {:.2} min {:.2}",
+        sub.mean(),
+        sub.max(),
+        sub.min()
+    );
     // library student task-specific acc
     let mut student = prep.pre.student.clone();
-    let lib_ts = poe_core::training::eval_task_specific_accuracy(&mut student, &prep.split.test, &classes);
+    let lib_ts =
+        poe_core::training::eval_task_specific_accuracy(&mut student, &prep.split.test, &classes);
     let mut oracle = prep.pre.oracle.clone();
-    let or_ts = poe_core::training::eval_task_specific_accuracy(&mut oracle, &prep.split.test, &classes);
+    let or_ts =
+        poe_core::training::eval_task_specific_accuracy(&mut oracle, &prep.split.test, &classes);
     println!("task {task}: oracle ts {or_ts:.3} student ts {lib_ts:.3}");
 
     let test_view = prep.split.test.task_view(&classes);
     let mut lib = prep.pre.pool.library().clone();
     let f_test = predict(&mut lib, &test_view.inputs, 256);
 
-    for (label, loss) in [("full a=0.3", CkdLoss::paper(4.0)), ("soft only", CkdLoss::soft_only(4.0)),
-                          ("full a=0.1", CkdLoss{alpha:0.1,..CkdLoss::paper(4.0)})] {
+    for (label, loss) in [
+        ("full a=0.3", CkdLoss::paper(4.0)),
+        ("soft only", CkdLoss::soft_only(4.0)),
+        (
+            "full a=0.1",
+            CkdLoss {
+                alpha: 0.1,
+                ..CkdLoss::paper(4.0)
+            },
+        ),
+    ] {
         for (ep, lr) in [(60usize, 0.01f32), (100, 0.01), (100, 0.005)] {
-            let arch = WrnConfig { ks: 0.25, num_classes: classes.len(), ..prep.cfg.student_arch };
+            let arch = WrnConfig {
+                ks: 0.25,
+                num_classes: classes.len(),
+                ..prep.cfg.student_arch
+            };
             let mut rng = poe_tensor::Prng::seed_from_u64(77);
             let head = build_mlp_head("d", &arch, classes.len(), &mut rng);
-            let cfg = CkdConfig { loss, train: TrainConfig::new(ep, 64, lr).with_milestones(vec![ep*2/3], 0.2) };
+            let cfg = CkdConfig {
+                loss,
+                train: TrainConfig::new(ep, 64, lr).with_milestones(vec![ep * 2 / 3], 0.2),
+            };
             let ext = extract_expert(&prep.pre.library_features, &sub, head, &cfg);
             let mut h = ext.head;
             let logits = predict(&mut h, &f_test, 256);
-            println!("{label} ep={ep} lr={lr}: loss {:.3} acc {:.3}",
-                ext.report.final_loss().unwrap(), accuracy(&logits, &test_view.labels));
+            println!(
+                "{label} ep={ep} lr={lr}: loss {:.3} acc {:.3}",
+                ext.report.final_loss().unwrap(),
+                accuracy(&logits, &test_view.labels)
+            );
         }
     }
 }

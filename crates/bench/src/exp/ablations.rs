@@ -16,14 +16,19 @@ use poe_nn::Module;
 
 fn poe_acc_at_3(prep: &Prepared, loss: CkdLoss, seed: u64) -> MeanStd {
     let pool = pool_with_loss(prep, loss, seed);
-    poe_accuracy_by_n(prep, &pool).remove(&3).expect("n=3 entry")
+    poe_accuracy_by_n(prep, &pool)
+        .remove(&3)
+        .expect("n=3 entry")
 }
 
 /// L1 vs L2 for the scale regularizer (the paper argues L1 is more robust).
 pub fn scale_norm(prep: &Prepared) -> String {
     let mut t = TextTable::new(&["L_scale norm", "PoE acc (n=3)"]);
     for (label, norm) in [("L1 (paper)", ScaleNorm::L1), ("L2", ScaleNorm::L2)] {
-        let loss = CkdLoss { scale_norm: norm, ..CkdLoss::paper(prep.cfg.temperature) };
+        let loss = CkdLoss {
+            scale_norm: norm,
+            ..CkdLoss::paper(prep.cfg.temperature)
+        };
         t.row(&[label.into(), poe_acc_at_3(prep, loss, 0xA1).fmt_percent()]);
     }
     format!(
@@ -39,7 +44,10 @@ pub fn temperature(prep: &Prepared) -> String {
     let mut t = TextTable::new(&["Temperature T", "PoE acc (n=3)"]);
     for temp in [1.0f32, 2.0, 4.0, 8.0] {
         let loss = CkdLoss::paper(temp);
-        t.row(&[format!("{temp}"), poe_acc_at_3(prep, loss, 0xA2).fmt_percent()]);
+        t.row(&[
+            format!("{temp}"),
+            poe_acc_at_3(prep, loss, 0xA2).fmt_percent(),
+        ]);
     }
     format!(
         "### Ablation — CKD temperature — {} [{} scale] (paper uses T within the KD-standard 2–8 band)\n\n```\n{}```\n",
@@ -53,7 +61,10 @@ pub fn temperature(prep: &Prepared) -> String {
 pub fn alpha(prep: &Prepared) -> String {
     let mut t = TextTable::new(&["alpha", "PoE acc (n=3)"]);
     for a in [0.0f32, 0.1, 0.3, 1.0, 3.0] {
-        let loss = CkdLoss { alpha: a, ..CkdLoss::paper(prep.cfg.temperature) };
+        let loss = CkdLoss {
+            alpha: a,
+            ..CkdLoss::paper(prep.cfg.temperature)
+        };
         t.row(&[format!("{a}"), poe_acc_at_3(prep, loss, 0xA3).fmt_percent()]);
     }
     format!(
@@ -107,7 +118,11 @@ pub fn library_depth(prep: &Prepared) -> String {
             // At ℓ = 4 conv4 lives inside the shared library, so the head
             // (a bare classifier) must match the library's k_s; below that
             // the expert shrinks conv4 as usual.
-            let ks = if ell == 4 { prep.cfg.student_arch.ks } else { prep.cfg.expert_ks };
+            let ks = if ell == 4 {
+                prep.cfg.student_arch.ks
+            } else {
+                prep.cfg.expert_ks
+            };
             let arch = WrnConfig {
                 ks,
                 num_classes: classes.len(),
@@ -122,7 +137,11 @@ pub fn library_depth(prep: &Prepared) -> String {
             );
             let e = extract_expert(&features, &sub, head, &ckd_cfg);
             expert_params = e.head.param_count();
-            pool.insert_expert(Expert { task_index: task, classes, head: e.head });
+            pool.insert_expert(Expert {
+                task_index: task,
+                classes,
+                head: e.head,
+            });
         }
 
         let acc = poe_accuracy_by_n(prep, &pool).remove(&3).expect("n=3");

@@ -64,11 +64,17 @@ pub fn run() -> String {
         let classes = hierarchy.primitive(task).classes.clone();
         let train_view = split.train.task_view(&classes);
         let test_view = split.test.task_view(&classes);
-        let expert_arch = WrnConfig { ks: 0.5, num_classes: classes.len(), ..student_arch };
+        let expert_arch = WrnConfig {
+            ks: 0.5,
+            num_classes: classes.len(),
+            ..student_arch
+        };
 
-        rows[0]
-            .1
-            .push(eval_task_specific_accuracy(&mut oracle, &split.test, &classes));
+        rows[0].1.push(eval_task_specific_accuracy(
+            &mut oracle,
+            &split.test,
+            &classes,
+        ));
 
         // Scratch: the full small conv net on task data.
         let mut scratch = build_wrn_conv(&expert_arch, cfg.channels, &mut rng);
@@ -80,10 +86,15 @@ pub fn run() -> String {
         let mut head = build_conv_head(&format!("tr{task}"), &expert_arch, classes.len(), &mut rng);
         let f_task = predict(&mut library, &train_view.inputs, 128);
         let labels = train_view.labels.clone();
-        train_batches(&mut head, &f_task, &TrainConfig::new(15, 32, 0.05), &mut |lg, idx| {
-            let batch: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
-            cross_entropy(lg, &batch)
-        });
+        train_batches(
+            &mut head,
+            &f_task,
+            &TrainConfig::new(15, 32, 0.05),
+            &mut |lg, idx| {
+                let batch: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+                cross_entropy(lg, &batch)
+            },
+        );
         let f_test = predict(&mut library, &test_view.inputs, 128);
         let acc = accuracy(&predict(&mut head, &f_test, 128), &test_view.labels);
         rows[2].1.push(acc);

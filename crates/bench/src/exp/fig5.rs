@@ -32,14 +32,23 @@ pub fn compute(prep: &Prepared, bins: usize) -> ConfidenceStudy {
     let train_view = prep.split.train.task_view(&classes);
     let ood = prep.split.test.out_of_task_view(&classes);
     let dim = prep.input_dim;
-    let arch = WrnConfig { ks: 0.25, num_classes: classes.len(), ..prep.cfg.student_arch };
+    let arch = WrnConfig {
+        ks: 0.25,
+        num_classes: classes.len(),
+        ..prep.cfg.student_arch
+    };
     let library = prep.pre.pool.library().clone();
 
     let mut histograms = Vec::new();
 
     // Scratch.
-    let (mut scratch, _) =
-        train_scratch(&arch, dim, &train_view, &prep.method_train(), 0xF5 ^ task as u64);
+    let (mut scratch, _) = train_scratch(
+        &arch,
+        dim,
+        &train_view,
+        &prep.method_train(),
+        0xF5 ^ task as u64,
+    );
     histograms.push((
         "Scratch",
         max_confidence_histogram(&mut scratch, &ood.inputs, bins),
@@ -78,7 +87,13 @@ pub fn compute(prep: &Prepared, bins: usize) -> ConfidenceStudy {
     ));
 
     // CKD, full loss — the pool's expert.
-    let mut full_head = prep.pre.pool.expert(task).expect("pool expert").head.clone();
+    let mut full_head = prep
+        .pre
+        .pool
+        .expert(task)
+        .expect("pool expert")
+        .head
+        .clone();
     histograms.push((
         "CKD (L_CKD)",
         max_confidence_histogram(&mut full_head, &f_ood, bins),

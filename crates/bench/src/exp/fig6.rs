@@ -26,11 +26,17 @@ pub fn compute(prep: &Prepared) -> Vec<Curve> {
         Method::UhcCkd,
     ] {
         let out = runner.run(method, &combo, 5);
-        curves.push(Curve { method: method.label(), points: out.curve });
+        curves.push(Curve {
+            method: method.label(),
+            points: out.curve,
+        });
     }
     for method in [Method::Transfer, Method::CkdComposite] {
         let out = runner.run_with_feature_curve(method, &combo, 5);
-        curves.push(Curve { method: method.label(), points: out.curve });
+        curves.push(Curve {
+            method: method.label(),
+            points: out.curve,
+        });
     }
     let poe = runner.run(Method::Poe, &combo, 0);
     curves.push(Curve {

@@ -98,12 +98,16 @@ pub fn compute(prep: &Prepared) -> Vec<SpecializationRow> {
         let test_view = prep.split.test.task_view(&classes);
         let arch = expert_arch_of(classes.len());
 
-        oracle_row
-            .acc
-            .push(eval_task_specific_accuracy(&mut oracle, &prep.split.test, &classes));
-        kd_row
-            .acc
-            .push(eval_task_specific_accuracy(&mut kd_model, &prep.split.test, &classes));
+        oracle_row.acc.push(eval_task_specific_accuracy(
+            &mut oracle,
+            &prep.split.test,
+            &classes,
+        ));
+        kd_row.acc.push(eval_task_specific_accuracy(
+            &mut kd_model,
+            &prep.split.test,
+            &classes,
+        ));
 
         // Scratch.
         let (mut scratch, _) = train_scratch(

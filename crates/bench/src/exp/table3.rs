@@ -43,8 +43,16 @@ pub fn compute(prep: &Prepared) -> Grid {
 pub fn run(prep: &Prepared) -> String {
     let grid = compute(prep);
     let mut t = TextTable::new(&[
-        "Method", "Type", "n=2 Acc.", "n=2 Params", "n=3 Acc.", "n=3 Params", "n=4 Acc.",
-        "n=4 Params", "n=5 Acc.", "n=5 Params",
+        "Method",
+        "Type",
+        "n=2 Acc.",
+        "n=2 Params",
+        "n=3 Acc.",
+        "n=3 Params",
+        "n=4 Acc.",
+        "n=4 Params",
+        "n=5 Acc.",
+        "n=5 Params",
     ]);
     for (mi, &method) in Method::ALL.iter().enumerate() {
         let per_n = &grid[&mi];

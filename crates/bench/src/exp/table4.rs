@@ -32,8 +32,7 @@ pub fn compute(prep: &Prepared) -> Volumes {
     // size), as the 2^n strawman would store.
     let n = prep.hierarchy.num_primitives();
     let mean_tasks = (n as f32 / 2.0).max(1.0);
-    let mean_classes =
-        (prep.hierarchy.num_classes() as f32 / 2.0).round().max(1.0) as usize;
+    let mean_classes = (prep.hierarchy.num_classes() as f32 / 2.0).round().max(1.0) as usize;
     let arch = WrnConfig {
         ks: 0.25 * mean_tasks,
         num_classes: mean_classes,
@@ -69,7 +68,12 @@ fn fmt_big(bytes: f64) -> String {
 pub fn run(prep: &Prepared) -> String {
     let v = compute(prep);
     let mut t = TextTable::new(&[
-        "Dataset", "Oracle", "Library", "Expert (mean)", "All PoE", "2^n store (est.)",
+        "Dataset",
+        "Oracle",
+        "Library",
+        "Expert (mean)",
+        "All PoE",
+        "2^n store (est.)",
     ]);
     t.row(&[
         prep.spec.name().into(),

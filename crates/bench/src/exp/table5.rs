@@ -17,7 +17,10 @@ pub fn pool_with_loss(prep: &Prepared, loss: CkdLoss, seed: u64) -> ExpertPool {
     let mut pool = ExpertPool::new(prep.hierarchy.clone(), prep.pre.pool.library().clone());
     pool.library_arch = prep.cfg.student_arch.arch_string();
     pool.expert_arch = prep.cfg.expert_arch(0).arch_string();
-    let cfg = CkdConfig { loss, train: prep.cfg.expert_train.clone() };
+    let cfg = CkdConfig {
+        loss,
+        train: prep.cfg.expert_train.clone(),
+    };
     let mut rng = poe_tensor::Prng::seed_from_u64(seed);
     for &t in &prep.six {
         let classes = prep.hierarchy.primitive(t).classes.clone();
@@ -29,7 +32,11 @@ pub fn pool_with_loss(prep: &Prepared, loss: CkdLoss, seed: u64) -> ExpertPool {
         };
         let head = build_mlp_head(&format!("abl{t}"), &arch, classes.len(), &mut rng);
         let ext = extract_expert(&prep.pre.library_features, &sub, head, &cfg);
-        pool.insert_expert(Expert { task_index: t, classes, head: ext.head });
+        pool.insert_expert(Expert {
+            task_index: t,
+            classes,
+            head: ext.head,
+        });
     }
     pool
 }

@@ -200,10 +200,7 @@ impl<'a> MethodRunner<'a> {
             }
             Method::GenericKd => {
                 if !self.generic_kd.contains_key(&n) {
-                    let arch = self.expert_arch(
-                        0.25 * n as f32,
-                        self.prep.hierarchy.num_classes(),
-                    );
+                    let arch = self.expert_arch(0.25 * n as f32, self.prep.hierarchy.num_classes());
                     let (model, report) = train_generic_kd(
                         &arch,
                         input_dim,
@@ -292,7 +289,9 @@ impl<'a> MethodRunner<'a> {
                                 .expect("pool expert missing")
                                 .head
                                 .clone();
-                            MergeTeacher { logits: predict(&mut head, &f, 256) }
+                            MergeTeacher {
+                                logits: predict(&mut head, &f, 256),
+                            }
                         })
                         .collect()
                 } else {
@@ -302,7 +301,9 @@ impl<'a> MethodRunner<'a> {
                         .map(|&t| {
                             let inputs = train_view.inputs.clone();
                             let teacher = self.scratch_teacher(t);
-                            MergeTeacher { logits: logits_of(teacher, &inputs) }
+                            MergeTeacher {
+                                logits: logits_of(teacher, &inputs),
+                            }
                         })
                         .collect()
                 };
@@ -337,21 +338,14 @@ impl<'a> MethodRunner<'a> {
             Method::CkdComposite => {
                 let sub = self.prep.pre.oracle_logits.select_cols(&block_classes);
                 let arch = self.expert_arch(0.25 * n as f32, block_classes.len());
-                let mut rng =
-                    poe_tensor::Prng::seed_from_u64(self.seed ^ 0xCD ^ combo_salt(combo));
-                let head =
-                    poe_models::build_mlp_head("ckdq", &arch, block_classes.len(), &mut rng);
+                let mut rng = poe_tensor::Prng::seed_from_u64(self.seed ^ 0xCD ^ combo_salt(combo));
+                let head = poe_models::build_mlp_head("ckdq", &arch, block_classes.len(), &mut rng);
                 let mut ckd_cfg = CkdConfig {
                     loss: self.prep.cfg.ckd_config().loss,
                     train: self.prep.method_train(),
                 };
                 ckd_cfg.train.schedule.base_lr = 0.01;
-                let ext = extract_expert(
-                    &self.prep.pre.library_features,
-                    &sub,
-                    head,
-                    &ckd_cfg,
-                );
+                let ext = extract_expert(&self.prep.pre.library_features, &sub, head, &ckd_cfg);
                 let mut head = ext.head;
                 let acc = self.eval_library_head(&mut head, &test_view);
                 let mid = self.library.out_shape(&[input_dim]);
@@ -463,7 +457,7 @@ impl<'a> MethodRunner<'a> {
 }
 
 fn combo_salt(combo: &[usize]) -> u64 {
-    combo
-        .iter()
-        .fold(0u64, |acc, &t| acc.wrapping_mul(31).wrapping_add(t as u64 + 1))
+    combo.iter().fold(0u64, |acc, &t| {
+        acc.wrapping_mul(31).wrapping_add(t as u64 + 1)
+    })
 }

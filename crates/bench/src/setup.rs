@@ -154,8 +154,10 @@ pub fn prepare(spec: DatasetSpec, scale: &Scale) -> Prepared {
     );
     cfg.oracle_train = TrainConfig::new(scale.oracle_epochs, 64, spec.oracle_lr())
         .with_milestones(vec![scale.oracle_epochs * 2 / 3], 0.2);
-    cfg.library_train = TrainConfig::new(scale.library_epochs, 64, 0.02)
-        .with_milestones(vec![scale.library_epochs / 2, scale.library_epochs * 5 / 6], 0.3);
+    cfg.library_train = TrainConfig::new(scale.library_epochs, 64, 0.02).with_milestones(
+        vec![scale.library_epochs / 2, scale.library_epochs * 5 / 6],
+        0.3,
+    );
     cfg.expert_train = TrainConfig::new(scale.expert_epochs, 64, 0.01)
         .with_milestones(vec![scale.expert_epochs * 2 / 3], 0.2);
 
@@ -188,7 +190,11 @@ mod tests {
         let spec = DatasetSpec::Cifar100Sim;
         let oracle = build_wrn_mlp(&spec.oracle_arch(100), 32, &mut rng);
         let student = build_wrn_mlp(&spec.student_arch(100), 32, &mut rng);
-        let expert_arch = WrnConfig { ks: 0.25, num_classes: 5, ..spec.student_arch(100) };
+        let expert_arch = WrnConfig {
+            ks: 0.25,
+            num_classes: 5,
+            ..spec.student_arch(100)
+        };
         let head = build_mlp_head("e", &expert_arch, 5, &mut rng);
         let specialist = student.trunk_param_count() + head.param_count();
         let ratio = oracle.param_count() as f64 / specialist as f64;
@@ -200,7 +206,11 @@ mod tests {
 
     #[test]
     fn dataset_specs_have_paper_shapes() {
-        let scale = Scale { train_per_class: 2, test_per_class: 1, ..Scale::QUICK };
+        let scale = Scale {
+            train_per_class: 2,
+            test_per_class: 1,
+            ..Scale::QUICK
+        };
         let (s1, h1) = DatasetSpec::Cifar100Sim.dataset(&scale);
         assert_eq!(h1.num_classes(), 100);
         assert_eq!(h1.num_primitives(), 20);

@@ -41,7 +41,11 @@ impl fmt::Display for ArgError {
             ArgError::MissingValue(k) => write!(f, "option --{k} needs a value"),
             ArgError::Unexpected(t) => write!(f, "unexpected argument `{t}`"),
             ArgError::MissingOption(k) => write!(f, "required option --{k} is missing"),
-            ArgError::BadValue { option, value, expected } => {
+            ArgError::BadValue {
+                option,
+                value,
+                expected,
+            } => {
                 write!(f, "--{option} `{value}` is not a valid {expected}")
             }
         }
@@ -61,7 +65,9 @@ impl Args {
         let mut options = BTreeMap::new();
         while let Some(tok) = it.next() {
             if let Some(key) = tok.strip_prefix("--") {
-                let value = it.next().ok_or_else(|| ArgError::MissingValue(key.into()))?;
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgError::MissingValue(key.into()))?;
                 options.insert(key.to_string(), value);
             } else {
                 return Err(ArgError::Unexpected(tok));
@@ -143,7 +149,10 @@ mod tests {
             ArgError::Unexpected("stray".into())
         );
         let a = parse(&["q"]).unwrap();
-        assert_eq!(a.require("pool").unwrap_err(), ArgError::MissingOption("pool".into()));
+        assert_eq!(
+            a.require("pool").unwrap_err(),
+            ArgError::MissingOption("pool".into())
+        );
     }
 
     #[test]

@@ -41,9 +41,12 @@ USAGE
       and assembly latency; optionally evaluate it on a regenerated test set.
   poe diagnose --pool DIR --dataset SPEC [--seed N]
       Per-expert calibration and logit-scale diagnostics.
-  poe serve --pool DIR [--port P] [--max-requests N]
+  poe serve --pool DIR [--port P] [--max-requests N] [--workers N]
       TCP model-query server (line protocol: INFO / QUERY t,… /
-      PREDICT t,… : f1 f2 … / QUIT). Port 0 picks an ephemeral port.
+      PREDICT t,… : f1 f2 … / STATS / QUIT). Port 0 picks an ephemeral
+      port. Up to N connections are served concurrently (default 4);
+      repeated task sets are answered from the consolidation cache, and
+      STATS reports assembly-latency percentiles.
   poe help
       This text.
 
@@ -54,7 +57,10 @@ DATASET SPECS
 ";
 
 fn dataset_from_spec(spec: &str, seed: u64) -> Result<(SplitDataset, ClassHierarchy), String> {
-    let scale = DatasetScale { train_per_class: 60, test_per_class: 15 };
+    let scale = DatasetScale {
+        train_per_class: 60,
+        test_per_class: 15,
+    };
     if spec == "cifar100" {
         return Ok(cifar100_sim(scale, seed));
     }
@@ -62,11 +68,15 @@ fn dataset_from_spec(spec: &str, seed: u64) -> Result<(SplitDataset, ClassHierar
         return Ok(tiny_imagenet_sim(scale, seed));
     }
     if let Some(rest) = spec.strip_prefix("balanced:") {
-        let (t, c) = rest
-            .split_once('x')
-            .ok_or_else(|| format!("bad balanced spec `{spec}` (want balanced:<tasks>x<classes>)"))?;
-        let tasks: usize = t.parse().map_err(|_| format!("bad task count in `{spec}`"))?;
-        let classes: usize = c.parse().map_err(|_| format!("bad class count in `{spec}`"))?;
+        let (t, c) = rest.split_once('x').ok_or_else(|| {
+            format!("bad balanced spec `{spec}` (want balanced:<tasks>x<classes>)")
+        })?;
+        let tasks: usize = t
+            .parse()
+            .map_err(|_| format!("bad task count in `{spec}`"))?;
+        let classes: usize = c
+            .parse()
+            .map_err(|_| format!("bad class count in `{spec}`"))?;
         if tasks == 0 || classes == 0 {
             return Err(format!("`{spec}` must have ≥1 task and class"));
         }
@@ -82,8 +92,12 @@ fn dataset_from_spec(spec: &str, seed: u64) -> Result<(SplitDataset, ClassHierar
 fn cmd_preprocess(a: &Args) -> Result<(), String> {
     let spec = a.require("dataset").map_err(|e| e.to_string())?;
     let out = a.require("out").map_err(|e| e.to_string())?;
-    let seed = a.get_parsed("seed", 42u64, "u64").map_err(|e| e.to_string())?;
-    let epochs = a.get_parsed("epochs", 25usize, "usize").map_err(|e| e.to_string())?;
+    let seed = a
+        .get_parsed("seed", 42u64, "u64")
+        .map_err(|e| e.to_string())?;
+    let epochs = a
+        .get_parsed("epochs", 25usize, "usize")
+        .map_err(|e| e.to_string())?;
 
     eprintln!("generating dataset `{spec}` (seed {seed}) …");
     let (split, hierarchy) = dataset_from_spec(spec, seed)?;
@@ -145,7 +159,11 @@ fn cmd_info(a: &Args) -> Result<(), String> {
         v.total_bytes
     );
     for p in h.primitives() {
-        let mark = if pool.has_expert(h.primitive_of_class(p.classes[0])) { "✔" } else { "✘" };
+        let mark = if pool.has_expert(h.primitive_of_class(p.classes[0])) {
+            "✔"
+        } else {
+            "✘"
+        };
         println!("    [{mark}] {:<14} classes {:?}", p.name, p.classes);
     }
     Ok(())
@@ -163,7 +181,9 @@ fn cmd_query(a: &Args) -> Result<(), String> {
         stats.assembly_secs * 1e3
     );
     if let Some(spec) = a.get("eval-dataset") {
-        let seed = a.get_parsed("seed", 42u64, "u64").map_err(|e| e.to_string())?;
+        let seed = a
+            .get_parsed("seed", 42u64, "u64")
+            .map_err(|e| e.to_string())?;
         let (split, _) = dataset_from_spec(spec, seed)?;
         let view = split.test.task_view(&model.class_layout());
         let logits = model.infer(&view.inputs);
@@ -186,7 +206,9 @@ fn cmd_query(a: &Args) -> Result<(), String> {
 fn cmd_diagnose(a: &Args) -> Result<(), String> {
     let dir = a.require("pool").map_err(|e| e.to_string())?;
     let spec = a.require("dataset").map_err(|e| e.to_string())?;
-    let seed = a.get_parsed("seed", 42u64, "u64").map_err(|e| e.to_string())?;
+    let seed = a
+        .get_parsed("seed", 42u64, "u64")
+        .map_err(|e| e.to_string())?;
     let (pool, _) = load_standalone(dir).map_err(|e| e.to_string())?;
     let (split, _) = dataset_from_spec(spec, seed)?;
     let d = diagnose_pool(&pool, &split.test, 4);
@@ -196,22 +218,30 @@ fn cmd_diagnose(a: &Args) -> Result<(), String> {
 
 fn cmd_serve(a: &Args) -> Result<(), String> {
     let dir = a.require("pool").map_err(|e| e.to_string())?;
-    let port = a.get_parsed("port", 7878u16, "port number").map_err(|e| e.to_string())?;
+    let port = a
+        .get_parsed("port", 7878u16, "port number")
+        .map_err(|e| e.to_string())?;
     let max_requests = a
         .get_parsed("max-requests", u64::MAX, "u64")
         .map_err(|e| e.to_string())?;
+    let workers = a
+        .get_parsed("workers", serve::DEFAULT_WORKERS, "usize")
+        .map_err(|e| e.to_string())?;
+    if workers == 0 {
+        return Err("--workers must be ≥ 1".into());
+    }
     let (pool, spec) = load_standalone(dir).map_err(|e| e.to_string())?;
     let service = std::sync::Arc::new(QueryService::new(pool));
-    let listener =
-        std::net::TcpListener::bind(("127.0.0.1", port)).map_err(|e| e.to_string())?;
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port)).map_err(|e| e.to_string())?;
     println!(
-        "serving pool {dir} on {} (input dim {}) — protocol: INFO | QUERY t,… | \
-         PREDICT t,… : f1 f2 … | QUIT",
+        "serving pool {dir} on {} (input dim {}, {workers} workers) — protocol: INFO | \
+         QUERY t,… | PREDICT t,… : f1 f2 … | STATS | QUIT",
         listener.local_addr().map_err(|e| e.to_string())?,
         spec.input_dim
     );
-    let handled = serve::serve(listener, service, spec.input_dim, max_requests)
-        .map_err(|e| e.to_string())?;
+    let handled =
+        serve::serve_with_workers(listener, service, spec.input_dim, max_requests, workers)
+            .map_err(|e| e.to_string())?;
     println!("served {handled} requests, shutting down");
     Ok(())
 }
@@ -287,7 +317,14 @@ mod tests {
         let pool = dir.to_str().unwrap();
 
         run(argv(&[
-            "preprocess", "--dataset", "balanced:3x2", "--out", pool, "--seed", "5", "--epochs",
+            "preprocess",
+            "--dataset",
+            "balanced:3x2",
+            "--out",
+            pool,
+            "--seed",
+            "5",
+            "--epochs",
             "4",
         ]))
         .expect("preprocess");
@@ -295,13 +332,26 @@ mod tests {
         run(argv(&["info", "--pool", pool])).expect("info");
 
         run(argv(&[
-            "query", "--pool", pool, "--tasks", "0,2", "--eval-dataset", "balanced:3x2",
-            "--seed", "5",
+            "query",
+            "--pool",
+            pool,
+            "--tasks",
+            "0,2",
+            "--eval-dataset",
+            "balanced:3x2",
+            "--seed",
+            "5",
         ]))
         .expect("query");
 
         run(argv(&[
-            "diagnose", "--pool", pool, "--dataset", "balanced:3x2", "--seed", "5",
+            "diagnose",
+            "--pool",
+            pool,
+            "--dataset",
+            "balanced:3x2",
+            "--seed",
+            "5",
         ]))
         .expect("diagnose");
 

@@ -4,45 +4,119 @@
 //!
 //! ```text
 //! INFO                          → OK tasks=<n> experts=<n> classes=<n>
-//! QUERY 1,3,5                   → OK outputs=<k> params=<p> assembly_ms=<t> classes=<c,…>
+//! QUERY 1,3,5                   → OK outputs=<k> params=<p> assembly_ms=<t> cached=<0|1> classes=<c,…>
 //! PREDICT 1,3,5 : v1 v2 … vd    → OK class=<global id> confidence=<p>
+//! STATS                         → OK served=<n> … p99_ms=<t> (service counters)
 //! QUIT                          → OK bye (closes the connection)
 //! anything else                 → ERR <reason>
 //! ```
 //!
 //! `PREDICT` consolidates the requested composite model (train-free — this
 //! is the paper's realtime query) and classifies one feature vector.
+//!
+//! Connections are handled by a bounded pool of worker threads fed by a
+//! dedicated acceptor, so a slow or idle client never blocks the others.
 
 use poe_core::service::QueryService;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Default number of connection-handling worker threads.
+pub const DEFAULT_WORKERS: usize = 4;
+
+/// Progress shared between the acceptor, the workers, and `serve` itself.
+struct ServeState {
+    handled: u64,
+    accept_error: Option<std::io::Error>,
+}
+
+type Shared = Arc<(Mutex<ServeState>, Condvar)>;
 
 /// Serves requests until `max_requests` lines have been processed
-/// (`u64::MAX` = run forever). Returns the number of requests handled.
+/// (`u64::MAX` = run forever), with [`DEFAULT_WORKERS`] concurrent
+/// connection handlers. Returns the number of requests handled.
+#[cfg_attr(not(test), allow(dead_code))] // the binary passes --workers explicitly
 pub fn serve(
     listener: TcpListener,
     service: Arc<QueryService>,
     input_dim: usize,
     max_requests: u64,
 ) -> std::io::Result<u64> {
-    let handled = Arc::new(AtomicU64::new(0));
-    loop {
-        if handled.load(Ordering::SeqCst) >= max_requests {
-            return Ok(handled.load(Ordering::SeqCst));
-        }
-        let (stream, _) = listener.accept()?;
+    serve_with_workers(listener, service, input_dim, max_requests, DEFAULT_WORKERS)
+}
+
+/// [`serve`] with an explicit worker-pool size. Connections are accepted
+/// eagerly and queued; up to `workers` of them are served concurrently.
+pub fn serve_with_workers(
+    listener: TcpListener,
+    service: Arc<QueryService>,
+    input_dim: usize,
+    max_requests: u64,
+    workers: usize,
+) -> std::io::Result<u64> {
+    let shared: Shared = Arc::new((
+        Mutex::new(ServeState {
+            handled: 0,
+            accept_error: None,
+        }),
+        Condvar::new(),
+    ));
+
+    let (conn_tx, conn_rx) = channel::<TcpStream>();
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+    for _ in 0..workers.max(1) {
+        let conn_rx: Arc<Mutex<Receiver<TcpStream>>> = Arc::clone(&conn_rx);
         let service = Arc::clone(&service);
-        let handled_for_conn = Arc::clone(&handled);
-        // One thread per connection; connections are expected to be few
-        // (this is a demonstration server, not a production frontend).
-        let join = std::thread::spawn(move || {
-            handle_connection(stream, &service, input_dim, &handled_for_conn, max_requests)
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || loop {
+            let stream = {
+                let rx = match conn_rx.lock() {
+                    Ok(rx) => rx,
+                    Err(_) => break,
+                };
+                match rx.recv() {
+                    Ok(s) => s,
+                    Err(_) => break,
+                }
+            };
+            handle_connection(stream, &service, input_dim, &shared, max_requests);
         });
-        // Serve connections sequentially so max_requests is respected
-        // deterministically (sufficient for the demo/test use cases).
-        let _ = join.join();
+    }
+
+    // The acceptor owns the listener; it dies with the process (clients
+    // connecting after the request budget is spent are queued but never
+    // served — acceptable for this demonstration server).
+    {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if conn_tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    let (lock, cvar) = &*shared;
+                    if let Ok(mut st) = lock.lock() {
+                        st.accept_error = Some(e);
+                    }
+                    cvar.notify_all();
+                    break;
+                }
+            }
+        });
+    }
+
+    let (lock, cvar) = &*shared;
+    let mut st = lock.lock().unwrap();
+    while st.handled < max_requests && st.accept_error.is_none() {
+        st = cvar.wait(st).unwrap();
+    }
+    match st.accept_error.take() {
+        Some(e) => Err(e),
+        None => Ok(st.handled),
     }
 }
 
@@ -50,15 +124,15 @@ fn handle_connection(
     stream: TcpStream,
     service: &QueryService,
     input_dim: usize,
-    handled: &AtomicU64,
+    shared: &Shared,
     max_requests: u64,
 ) {
-    let peer = stream.peer_addr().ok();
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
     let reader = BufReader::new(stream);
+    let (lock, cvar) = &**shared;
     for line in reader.lines() {
         let Ok(line) = line else { break };
         let response = respond(&line, service, input_dim);
@@ -66,12 +140,16 @@ fn handle_connection(
         if writeln!(writer, "{response}").is_err() {
             break;
         }
-        let n = handled.fetch_add(1, Ordering::SeqCst) + 1;
+        let n = {
+            let mut st = lock.lock().unwrap();
+            st.handled += 1;
+            st.handled
+        };
+        cvar.notify_all();
         if done || n >= max_requests {
             break;
         }
     }
-    let _ = peer;
 }
 
 /// Computes the response line for one request line (protocol core, kept
@@ -92,15 +170,31 @@ pub fn respond(line: &str, service: &QueryService, input_dim: usize) -> String {
             )
         }),
         "QUIT" => "OK bye".into(),
+        "STATS" => {
+            let s = service.stats();
+            format!(
+                "OK served={} rejected={} cache_hits={} cache_misses={} \
+                 mean_ms={:.3} p50_ms={:.3} p95_ms={:.3} p99_ms={:.3}",
+                s.queries_served,
+                s.queries_rejected,
+                s.cache_hits,
+                s.cache_misses,
+                s.mean_assembly_secs() * 1e3,
+                s.assembly_p50_secs() * 1e3,
+                s.assembly_p95_secs() * 1e3,
+                s.assembly_p99_secs() * 1e3,
+            )
+        }
         "QUERY" => match parse_tasks(rest) {
             Err(e) => format!("ERR {e}"),
             Ok(tasks) => match service.query(&tasks) {
                 Err(e) => format!("ERR {e}"),
                 Ok(r) => format!(
-                    "OK outputs={} params={} assembly_ms={:.3} classes={}",
+                    "OK outputs={} params={} assembly_ms={:.3} cached={} classes={}",
                     r.class_layout.len(),
                     r.stats.params,
                     r.stats.assembly_secs * 1e3,
+                    u8::from(r.stats.cache_hit),
                     join_usize(&r.class_layout),
                 ),
             },
@@ -121,10 +215,7 @@ pub fn respond(line: &str, service: &QueryService, input_dim: usize) -> String {
                 }
             }
             if features.len() != input_dim {
-                return format!(
-                    "ERR expected {input_dim} features, got {}",
-                    features.len()
-                );
+                return format!("ERR expected {input_dim} features, got {}", features.len());
             }
             match service.query(&tasks) {
                 Err(e) => format!("ERR {e}"),
@@ -180,7 +271,11 @@ mod tests {
             let classes = pool.hierarchy().primitive(t).classes.clone();
             let head =
                 Sequential::new().push(Linear::new(&format!("e{t}"), 5, classes.len(), &mut rng));
-            pool.insert_expert(Expert { task_index: t, classes, head });
+            pool.insert_expert(Expert {
+                task_index: t,
+                classes,
+                head,
+            });
         }
         Arc::new(QueryService::new(pool))
     }
@@ -230,6 +325,68 @@ mod tests {
         assert_eq!(ask("INFO"), "OK tasks=3 experts=3 classes=6");
         assert!(ask("QUERY 1").starts_with("OK outputs=2"));
         assert!(ask("PREDICT 1 : 1 2 3 4").starts_with("OK class="));
+        assert_eq!(server.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn stats_verb_reports_counters_and_percentiles() {
+        let svc = toy_service();
+        respond("QUERY 0", &svc, 4);
+        respond("QUERY 0", &svc, 4); // cache hit
+        respond("QUERY 9", &svc, 4); // rejected
+        let s = respond("STATS", &svc, 4);
+        assert!(
+            s.starts_with("OK served=2 rejected=1 cache_hits=1 cache_misses=1"),
+            "{s}"
+        );
+        assert!(s.contains("p50_ms="), "{s}");
+        assert!(s.contains("p99_ms="), "{s}");
+    }
+
+    /// Regression test for head-of-line blocking: the server used to join
+    /// each connection thread right after accepting it, so an idle client
+    /// stalled everyone behind it. Client A connects first and stays
+    /// silent while client B completes its requests; under the old serial
+    /// loop B's reads would time out.
+    #[test]
+    fn concurrent_clients_are_not_serialized() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::time::Duration;
+        let svc = toy_service();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server =
+            std::thread::spawn(move || serve_with_workers(listener, svc, 4, 3, 4).unwrap());
+
+        let ask = |writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &str| {
+            writeln!(writer, "{req}").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            line.trim_end().to_string()
+        };
+
+        // Client A: connects first, sends nothing yet.
+        let a = TcpStream::connect(addr).unwrap();
+        a.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut a_writer = a.try_clone().unwrap();
+        let mut a_reader = BufReader::new(a);
+
+        // Client B: connects second and must get served while A idles.
+        let b = TcpStream::connect(addr).unwrap();
+        b.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut b_writer = b.try_clone().unwrap();
+        let mut b_reader = BufReader::new(b);
+        assert_eq!(
+            ask(&mut b_writer, &mut b_reader, "INFO"),
+            "OK tasks=3 experts=3 classes=6"
+        );
+        assert!(ask(&mut b_writer, &mut b_reader, "QUERY 2").starts_with("OK outputs=2"));
+
+        // Now A wakes up and spends the last request of the budget.
+        assert_eq!(
+            ask(&mut a_writer, &mut a_reader, "INFO"),
+            "OK tasks=3 experts=3 classes=6"
+        );
         assert_eq!(server.join().unwrap(), 3);
     }
 }

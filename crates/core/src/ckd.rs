@@ -31,7 +31,10 @@ impl CkdConfig {
     /// The paper's loss configuration (`α = 0.3`, both terms) with the
     /// given training settings and `T = 4`.
     pub fn paper(train: TrainConfig) -> Self {
-        CkdConfig { loss: CkdLoss::paper(4.0), train }
+        CkdConfig {
+            loss: CkdLoss::paper(4.0),
+            train,
+        }
     }
 }
 
@@ -66,10 +69,15 @@ pub fn extract_expert(
         "features and oracle sub-logits must align row-by-row"
     );
     let loss = cfg.loss;
-    let report = train_batches(&mut head, library_features, &cfg.train, &mut |logits, idx| {
-        let t = oracle_sub_logits.select_rows(idx);
-        loss.eval(logits, &t)
-    });
+    let report = train_batches(
+        &mut head,
+        library_features,
+        &cfg.train,
+        &mut |logits, idx| {
+            let t = oracle_sub_logits.select_rows(idx);
+            loss.eval(logits, &t)
+        },
+    );
     ExpertExtraction { head, report }
 }
 
@@ -90,20 +98,21 @@ mod tests {
     #[test]
     fn ckd_expert_is_accurate_and_calibrated() {
         let (split, h) = generate(
-            &GaussianHierarchyConfig { dim: 8, ..GaussianHierarchyConfig::balanced(3, 3) }
-                .with_samples(30, 12)
-                .with_seed(21),
+            &GaussianHierarchyConfig {
+                dim: 8,
+                ..GaussianHierarchyConfig::balanced(3, 3)
+            }
+            .with_samples(30, 12)
+            .with_seed(21),
         );
         let mut rng = Prng::seed_from_u64(2);
-        let mut oracle =
-            build_wrn_mlp(&WrnConfig::new(10, 2.0, 2.0, 9).with_unit(8), 8, &mut rng);
+        let mut oracle = build_wrn_mlp(&WrnConfig::new(10, 2.0, 2.0, 9).with_unit(8), 8, &mut rng);
         train_cross_entropy(&mut oracle, &split.train, &TrainConfig::new(30, 32, 0.08));
         assert!(eval_accuracy(&mut oracle, &split.test) > 0.6);
 
         // Library: reuse the oracle's trunk shape via a small student; for
         // this unit test, a freshly scratch-trained student trunk suffices.
-        let mut student =
-            build_wrn_mlp(&WrnConfig::new(10, 1.0, 1.0, 9).with_unit(8), 8, &mut rng);
+        let mut student = build_wrn_mlp(&WrnConfig::new(10, 1.0, 1.0, 9).with_unit(8), 8, &mut rng);
         train_cross_entropy(&mut student, &split.train, &TrainConfig::new(20, 32, 0.08));
         let mut library = student.trunk().clone();
         library.set_trainable(false);
@@ -158,6 +167,11 @@ mod tests {
         );
         let feats = Tensor::zeros([5, 16]);
         let subs = Tensor::zeros([4, 2]);
-        extract_expert(&feats, &subs, head, &CkdConfig::paper(TrainConfig::new(1, 4, 0.1)));
+        extract_expert(
+            &feats,
+            &subs,
+            head,
+            &CkdConfig::paper(TrainConfig::new(1, 4, 0.1)),
+        );
     }
 }

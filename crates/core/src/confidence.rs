@@ -33,7 +33,10 @@ impl ConfidenceHistogram {
             }
             bins[b] += 1;
         }
-        ConfidenceHistogram { bins, total: values.len() }
+        ConfidenceHistogram {
+            bins,
+            total: values.len(),
+        }
     }
 
     /// Index of the most frequent bin (ties → lowest index).

@@ -63,7 +63,10 @@ impl PoolDiagnostics {
         if self.experts.is_empty() {
             return 0.0;
         }
-        self.experts.iter().map(|e| e.ood_mean_confidence).sum::<f64>()
+        self.experts
+            .iter()
+            .map(|e| e.ood_mean_confidence)
+            .sum::<f64>()
             / self.experts.len() as f64
     }
 }
@@ -159,13 +162,16 @@ mod tests {
         let mut pool = ExpertPool::new(hierarchy, library);
         for t in 0..2 {
             let classes = pool.hierarchy().primitive(t).classes.clone();
-            let mut head =
-                Sequential::new().push(Linear::new(&format!("e{t}"), 4, 2, &mut rng));
+            let mut head = Sequential::new().push(Linear::new(&format!("e{t}"), 4, 2, &mut rng));
             if t == 1 {
                 // Give expert 1 a deliberately inflated scale.
                 head.visit_params(&mut |p| p.value.scale(10.0));
             }
-            pool.insert_expert(Expert { task_index: t, classes, head });
+            pool.insert_expert(Expert {
+                task_index: t,
+                classes,
+                head,
+            });
         }
         let data = Dataset::new(
             Tensor::randn([40, 3], 1.0, &mut Prng::seed_from_u64(2)),

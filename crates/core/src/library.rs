@@ -24,7 +24,10 @@ pub struct LibraryConfig {
 impl LibraryConfig {
     /// Defaults used across the reproduction (T = 4).
     pub fn new(train: TrainConfig) -> Self {
-        LibraryConfig { temperature: 4.0, train }
+        LibraryConfig {
+            temperature: 4.0,
+            train,
+        }
     }
 }
 
@@ -87,9 +90,12 @@ mod tests {
     #[test]
     fn library_student_learns_from_oracle() {
         let (split, _) = generate(
-            &GaussianHierarchyConfig { dim: 8, ..GaussianHierarchyConfig::balanced(3, 2) }
-                .with_samples(25, 10)
-                .with_seed(11),
+            &GaussianHierarchyConfig {
+                dim: 8,
+                ..GaussianHierarchyConfig::balanced(3, 2)
+            }
+            .with_samples(25, 10)
+            .with_seed(11),
         );
         let mut rng = Prng::seed_from_u64(1);
         // Oracle: wider analog trained from scratch.

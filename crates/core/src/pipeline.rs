@@ -87,7 +87,10 @@ impl PipelineConfig {
     pub fn ckd_config(&self) -> CkdConfig {
         let mut loss = poe_nn::loss::CkdLoss::paper(self.temperature);
         loss.alpha = self.alpha;
-        CkdConfig { loss, train: self.expert_train.clone() }
+        CkdConfig {
+            loss,
+            train: self.expert_train.clone(),
+        }
     }
 }
 
@@ -173,7 +176,11 @@ pub fn preprocess(
         );
         let ext = extract_expert(&library_features, &sub, head, &ckd_cfg);
         expert_reports.insert(t, ext.report);
-        pool.insert_expert(Expert { task_index: t, classes, head: ext.head });
+        pool.insert_expert(Expert {
+            task_index: t,
+            classes,
+            head: ext.head,
+        });
     }
 
     Preprocessed {
@@ -197,9 +204,12 @@ mod tests {
 
     fn tiny_pipeline() -> (poe_data::SplitDataset, ClassHierarchy, Preprocessed) {
         let (split, h) = generate(
-            &GaussianHierarchyConfig { dim: 8, ..GaussianHierarchyConfig::balanced(4, 2) }
-                .with_samples(25, 10)
-                .with_seed(31),
+            &GaussianHierarchyConfig {
+                dim: 8,
+                ..GaussianHierarchyConfig::balanced(4, 2)
+            }
+            .with_samples(25, 10)
+            .with_seed(31),
         );
         let cfg = PipelineConfig {
             oracle_arch: WrnConfig::new(10, 2.0, 2.0, 8).with_unit(8),
@@ -250,9 +260,12 @@ mod tests {
     #[should_panic]
     fn mismatched_class_count_rejected() {
         let (split, h) = generate(
-            &GaussianHierarchyConfig { dim: 6, ..GaussianHierarchyConfig::balanced(2, 2) }
-                .with_samples(4, 2)
-                .with_seed(1),
+            &GaussianHierarchyConfig {
+                dim: 6,
+                ..GaussianHierarchyConfig::balanced(2, 2)
+            }
+            .with_samples(4, 2)
+            .with_seed(1),
         );
         // Oracle declared for 7 classes but the hierarchy has 4.
         let cfg = PipelineConfig::defaults(
@@ -266,9 +279,12 @@ mod tests {
     #[test]
     fn expert_subset_extraction() {
         let (split, h) = generate(
-            &GaussianHierarchyConfig { dim: 8, ..GaussianHierarchyConfig::balanced(4, 2) }
-                .with_samples(15, 5)
-                .with_seed(32),
+            &GaussianHierarchyConfig {
+                dim: 8,
+                ..GaussianHierarchyConfig::balanced(4, 2)
+            }
+            .with_samples(15, 5)
+            .with_seed(32),
         );
         let cfg = PipelineConfig {
             oracle_arch: WrnConfig::new(10, 1.0, 1.0, 8).with_unit(4),

@@ -63,6 +63,10 @@ pub struct ConsolidationStats {
     pub num_experts: usize,
     /// Parameter count of the assembled task-specific model.
     pub params: usize,
+    /// Whether the model came from a consolidation cache rather than a
+    /// fresh assembly. Always `false` for [`ExpertPool::consolidate`];
+    /// the service layer sets it on cache hits.
+    pub cache_hit: bool,
 }
 
 /// Byte-level storage report of a pool (Table 4).
@@ -206,6 +210,7 @@ impl ExpertPool {
             assembly_secs: start.elapsed().as_secs_f64(),
             num_experts: query.len(),
             params: poe_nn::Module::param_count(&model),
+            cache_hit: false,
         };
         Ok((model, stats))
     }
@@ -269,7 +274,11 @@ mod tests {
             let classes = pool.hierarchy().primitive(t).classes.clone();
             let head =
                 Sequential::new().push(Linear::new(&format!("e{t}"), 6, classes.len(), &mut rng));
-            pool.insert_expert(Expert { task_index: t, classes, head });
+            pool.insert_expert(Expert {
+                task_index: t,
+                classes,
+                head,
+            });
         }
         pool
     }
@@ -290,7 +299,10 @@ mod tests {
     fn query_errors_are_specific() {
         let pool = toy_pool(4, &[0, 1]);
         assert_eq!(pool.consolidate(&[]).unwrap_err(), QueryError::EmptyQuery);
-        assert_eq!(pool.consolidate(&[9]).unwrap_err(), QueryError::UnknownTask(9));
+        assert_eq!(
+            pool.consolidate(&[9]).unwrap_err(),
+            QueryError::UnknownTask(9)
+        );
         assert_eq!(
             pool.consolidate(&[0, 0]).unwrap_err(),
             QueryError::DuplicateTask(0)
@@ -346,6 +358,25 @@ mod tests {
         let x = Tensor::randn([3, 4], 1.0, &mut Prng::seed_from_u64(9));
         assert!(a.infer(&x).max_abs_diff(&b.infer(&x)) < 1e-6);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn consolidated_models_are_isolated_from_pool_updates() {
+        let mut pool = toy_pool(3, &[0, 1, 2]);
+        let x = Tensor::randn([2, 4], 1.0, &mut Prng::seed_from_u64(11));
+        let (mut before, _) = pool.consolidate(&[0, 2]).unwrap();
+        let y_before = before.infer(&x);
+
+        // Consolidation shares the pool's weight buffers (copy-on-write), so
+        // an in-place pool update — a fine-tuning step, a reload — must
+        // detach rather than leak into already-assembled models.
+        pool.library
+            .visit_params(&mut |p| p.value.map_in_place(|v| v + 1.0));
+        assert!(before.infer(&x).max_abs_diff(&y_before) == 0.0);
+
+        // Only an explicit re-consolidation observes the new weights.
+        let (mut after, _) = pool.consolidate(&[0, 2]).unwrap();
+        assert!(after.infer(&x).max_abs_diff(&y_before) > 1e-3);
     }
 
     #[test]

@@ -5,10 +5,69 @@
 //! or refreshed online. Every query returns an assembled task-specific
 //! model plus latency statistics — the measurable version of the paper's
 //! "instantly deliver resource-efficient models for any on-demand tasks".
+//!
+//! Repeated queries for the same *set* of primitive tasks are answered from
+//! a small LRU **consolidation cache**: the cached library trunk and expert
+//! branches are copy-on-write clones ([`poe_tensor::Tensor`] shares its
+//! storage), so a cache hit re-materializes the model with a handful of
+//! refcount bumps and no parameter copies. Installing an expert invalidates
+//! the cache, so hits never serve stale weights.
 
 use crate::pool::{ConsolidationStats, Expert, ExpertPool, QueryError};
-use parking_lot::{Mutex, RwLock};
-use poe_models::BranchedModel;
+use poe_models::{Branch, BranchedModel};
+use poe_nn::layers::Sequential;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::{Mutex, RwLock};
+use std::time::Instant;
+
+/// Default number of consolidated task sets kept in the cache.
+pub const DEFAULT_CACHE_CAPACITY: usize = 32;
+
+/// Fixed-bucket latency histogram with power-of-two nanosecond buckets.
+///
+/// Bucket `b` counts latencies in `[2^(b-1), 2^b)` nanoseconds (bucket 0
+/// holds sub-nanosecond measurements; the top bucket is open-ended).
+/// The layout is `Copy`, so [`ServiceStats`] snapshots stay cheap, and
+/// percentile queries resolve to the bucket's upper bound — at most a 2×
+/// overestimate, which is plenty for latency monitoring.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyHistogram {
+    buckets: [u64; 32],
+    count: u64,
+}
+
+impl LatencyHistogram {
+    /// Records one latency measurement.
+    pub fn record(&mut self, secs: f64) {
+        let ns = (secs.max(0.0) * 1e9) as u64;
+        let bucket = (64 - ns.leading_zeros() as usize).min(31);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+    }
+
+    /// Number of recorded measurements.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The latency (seconds) at quantile `q` in `[0, 1]`, resolved to the
+    /// containing bucket's upper bound. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return (1u64 << b) as f64 * 1e-9;
+            }
+        }
+        (1u64 << 31) as f64 * 1e-9
+    }
+}
 
 /// Aggregate service counters.
 #[derive(Debug, Clone, Copy, Default)]
@@ -19,6 +78,12 @@ pub struct ServiceStats {
     pub queries_rejected: u64,
     /// Sum of assembly latencies (seconds) over served queries.
     pub total_assembly_secs: f64,
+    /// Served queries answered from the consolidation cache.
+    pub cache_hits: u64,
+    /// Served queries that required a full consolidation.
+    pub cache_misses: u64,
+    /// Distribution of per-query assembly latency.
+    pub assembly_latency: LatencyHistogram,
 }
 
 impl ServiceStats {
@@ -29,6 +94,21 @@ impl ServiceStats {
         } else {
             self.total_assembly_secs / self.queries_served as f64
         }
+    }
+
+    /// Median assembly latency (seconds).
+    pub fn assembly_p50_secs(&self) -> f64 {
+        self.assembly_latency.quantile(0.50)
+    }
+
+    /// 95th-percentile assembly latency (seconds).
+    pub fn assembly_p95_secs(&self) -> f64 {
+        self.assembly_latency.quantile(0.95)
+    }
+
+    /// 99th-percentile assembly latency (seconds).
+    pub fn assembly_p99_secs(&self) -> f64 {
+        self.assembly_latency.quantile(0.99)
     }
 }
 
@@ -43,32 +123,143 @@ pub struct QueryResult {
     pub stats: ConsolidationStats,
 }
 
+/// One cached consolidation: the components of an assembled model for a
+/// task *set*, with branches sorted by task index so any query order can be
+/// rebuilt by permutation.
+struct CacheEntry {
+    arch: String,
+    library: Arc<Sequential>,
+    branches: Vec<Arc<Branch>>,
+    params: usize,
+    /// Pool generation this entry was assembled from.
+    generation: u64,
+}
+
+impl CacheEntry {
+    /// Re-materializes a model in the requested query order. The clones
+    /// are copy-on-write, so this copies no parameter data.
+    fn assemble(&self, query: &[usize]) -> BranchedModel {
+        let branches: Vec<Arc<Branch>> = query
+            .iter()
+            .map(|t| {
+                let i = self
+                    .branches
+                    .binary_search_by_key(t, |b| b.task_index)
+                    .expect("cache entry covers the query");
+                Arc::clone(&self.branches[i])
+            })
+            .collect();
+        BranchedModel::from_shared(self.arch.clone(), Arc::clone(&self.library), branches)
+    }
+}
+
+/// LRU map from sorted task sets to cached consolidations. Entries are
+/// most-recently-used first; linear scans are fine at the default capacity.
+struct ConsolidationCache {
+    entries: Vec<(Vec<usize>, CacheEntry)>,
+    capacity: usize,
+}
+
+impl ConsolidationCache {
+    fn new(capacity: usize) -> Self {
+        ConsolidationCache {
+            entries: Vec::new(),
+            capacity,
+        }
+    }
+
+    fn get(&mut self, key: &[usize]) -> Option<&CacheEntry> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        let hit = self.entries.remove(pos);
+        self.entries.insert(0, hit);
+        Some(&self.entries[0].1)
+    }
+
+    fn insert(&mut self, key: Vec<usize>, entry: CacheEntry) {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(pos);
+        }
+        self.entries.insert(0, (key, entry));
+        self.entries.truncate(self.capacity);
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
 /// A concurrent, realtime model-querying front end over an expert pool.
 pub struct QueryService {
     pool: RwLock<ExpertPool>,
     stats: Mutex<ServiceStats>,
+    cache: Mutex<ConsolidationCache>,
+    /// Bumped on every pool mutation; consolidations from an older
+    /// generation are not admitted to the cache.
+    generation: AtomicU64,
 }
 
 impl QueryService {
-    /// Wraps a preprocessed pool.
+    /// Wraps a preprocessed pool with the default cache capacity.
     pub fn new(pool: ExpertPool) -> Self {
+        Self::with_cache_capacity(pool, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Wraps a preprocessed pool, keeping at most `capacity` consolidated
+    /// task sets cached (0 disables caching).
+    pub fn with_cache_capacity(pool: ExpertPool, capacity: usize) -> Self {
         QueryService {
             pool: RwLock::new(pool),
             stats: Mutex::new(ServiceStats::default()),
+            cache: Mutex::new(ConsolidationCache::new(capacity)),
+            generation: AtomicU64::new(0),
         }
     }
 
     /// Answers a composite-task query `Q` given as primitive-task indices.
     pub fn query(&self, tasks: &[usize]) -> Result<QueryResult, QueryError> {
+        let start = Instant::now();
+
+        // Cache lookup is keyed by the *sorted* task set; the entry is
+        // replayed in the requested order (query order defines the logit
+        // layout). Invalid queries never form a valid key — duplicates
+        // shrink under dedup and are caught here, the rest fall through to
+        // `consolidate`, which produces the specific error.
+        let mut key: Vec<usize> = tasks.to_vec();
+        key.sort_unstable();
+        for w in key.windows(2) {
+            if w[0] == w[1] {
+                self.reject();
+                return Err(QueryError::DuplicateTask(w[0]));
+            }
+        }
+
+        if let Some((model, params)) = {
+            let mut cache = self.cache.lock().unwrap();
+            cache.get(&key).map(|e| (e.assemble(tasks), e.params))
+        } {
+            let stats = ConsolidationStats {
+                assembly_secs: start.elapsed().as_secs_f64(),
+                num_experts: tasks.len(),
+                params,
+                cache_hit: true,
+            };
+            self.record_served(&stats);
+            return Ok(QueryResult {
+                class_layout: model.class_layout(),
+                model,
+                stats,
+            });
+        }
+
+        let generation = self.generation.load(Ordering::Acquire);
         let result = {
-            let pool = self.pool.read();
+            let pool = self.pool.read().unwrap();
             pool.consolidate(tasks)
         };
-        let mut stats = self.stats.lock();
         match result {
             Ok((model, cstats)) => {
-                stats.queries_served += 1;
-                stats.total_assembly_secs += cstats.assembly_secs;
+                self.admit(key, &model, cstats.params, generation);
+                self.record_served(&cstats);
                 Ok(QueryResult {
                     class_layout: model.class_layout(),
                     model,
@@ -76,10 +267,44 @@ impl QueryService {
                 })
             }
             Err(e) => {
-                stats.queries_rejected += 1;
+                self.reject();
                 Err(e)
             }
         }
+    }
+
+    /// Caches a freshly consolidated model unless the pool changed while
+    /// it was being assembled.
+    fn admit(&self, key: Vec<usize>, model: &BranchedModel, params: usize, generation: u64) {
+        let mut branches = model.shared_branches();
+        branches.sort_unstable_by_key(|b| b.task_index);
+        let entry = CacheEntry {
+            arch: model.arch.clone(),
+            library: model.shared_library(),
+            branches,
+            params,
+            generation,
+        };
+        let mut cache = self.cache.lock().unwrap();
+        if self.generation.load(Ordering::Acquire) == entry.generation {
+            cache.insert(key, entry);
+        }
+    }
+
+    fn record_served(&self, cstats: &ConsolidationStats) {
+        let mut stats = self.stats.lock().unwrap();
+        stats.queries_served += 1;
+        stats.total_assembly_secs += cstats.assembly_secs;
+        stats.assembly_latency.record(cstats.assembly_secs);
+        if cstats.cache_hit {
+            stats.cache_hits += 1;
+        } else {
+            stats.cache_misses += 1;
+        }
+    }
+
+    fn reject(&self) {
+        self.stats.lock().unwrap().queries_rejected += 1;
     }
 
     /// Answers a query phrased as *global class ids* (e.g. "cat, fox,
@@ -87,7 +312,7 @@ impl QueryService {
     /// is consolidated.
     pub fn query_classes(&self, classes: &[usize]) -> Result<QueryResult, QueryError> {
         let tasks: Vec<usize> = {
-            let pool = self.pool.read();
+            let pool = self.pool.read().unwrap();
             let h = pool.hierarchy();
             let mut seen = vec![false; h.num_primitives()];
             let mut tasks = Vec::new();
@@ -106,19 +331,29 @@ impl QueryService {
         self.query(&tasks)
     }
 
-    /// Installs (or replaces) an expert while the service is live.
+    /// Installs (or replaces) an expert while the service is live. Cached
+    /// consolidations are invalidated so subsequent hits cannot serve the
+    /// replaced weights.
     pub fn install_expert(&self, expert: Expert) {
-        self.pool.write().insert_expert(expert);
+        let mut pool = self.pool.write().unwrap();
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        self.cache.lock().unwrap().clear();
+        pool.insert_expert(expert);
+    }
+
+    /// Number of task sets currently cached.
+    pub fn cached_consolidations(&self) -> usize {
+        self.cache.lock().unwrap().entries.len()
     }
 
     /// Current counters.
     pub fn stats(&self) -> ServiceStats {
-        *self.stats.lock()
+        *self.stats.lock().unwrap()
     }
 
     /// Read access to the underlying pool.
     pub fn with_pool<R>(&self, f: impl FnOnce(&ExpertPool) -> R) -> R {
-        f(&self.pool.read())
+        f(&self.pool.read().unwrap())
     }
 }
 
@@ -127,7 +362,7 @@ mod tests {
     use super::*;
     use poe_data::ClassHierarchy;
     use poe_nn::layers::{Linear, Relu, Sequential};
-    use poe_tensor::Prng;
+    use poe_tensor::{Prng, Tensor};
 
     fn service(num_tasks: usize, with_experts: &[usize]) -> QueryService {
         let mut rng = Prng::seed_from_u64(3);
@@ -140,9 +375,36 @@ mod tests {
             let classes = pool.hierarchy().primitive(t).classes.clone();
             let head =
                 Sequential::new().push(Linear::new(&format!("e{t}"), 5, classes.len(), &mut rng));
-            pool.insert_expert(Expert { task_index: t, classes, head });
+            pool.insert_expert(Expert {
+                task_index: t,
+                classes,
+                head,
+            });
         }
         QueryService::new(pool)
+    }
+
+    #[test]
+    fn cache_hits_share_storage_with_the_entry() {
+        let svc = service(4, &[0, 1, 2, 3]);
+        // The miss admits its own shared handles to the cache, so the hit
+        // must hand back the very same trunk allocation — zero copies.
+        let miss = svc.query(&[0, 2]).unwrap();
+        let hit = svc.query(&[0, 2]).unwrap();
+        assert!(hit.stats.cache_hit);
+        assert!(Arc::ptr_eq(
+            &miss.model.shared_library(),
+            &hit.model.shared_library()
+        ));
+        // Running the hit's model detaches it lazily without disturbing
+        // the cached entry.
+        let mut m = hit.model;
+        m.infer(&Tensor::zeros([1, 4]));
+        let again = svc.query(&[0, 2]).unwrap();
+        assert!(Arc::ptr_eq(
+            &miss.model.shared_library(),
+            &again.model.shared_library()
+        ));
     }
 
     #[test]
@@ -154,6 +416,8 @@ mod tests {
         let s = svc.stats();
         assert_eq!(s.queries_served, 1);
         assert_eq!(s.queries_rejected, 0);
+        assert_eq!(s.assembly_latency.count(), 1);
+        assert!(s.assembly_p99_secs() >= s.assembly_p50_secs());
     }
 
     #[test]
@@ -201,5 +465,103 @@ mod tests {
             assert_eq!(h.join().unwrap().unwrap(), 2);
         }
         assert_eq!(svc.stats().queries_served, 8);
+    }
+
+    #[test]
+    fn repeat_query_hits_the_cache_with_identical_output() {
+        let svc = service(4, &[0, 1, 2, 3]);
+        let x = Tensor::randn([2, 4], 1.0, &mut Prng::seed_from_u64(11));
+        let mut cold = svc.query(&[1, 3]).unwrap();
+        assert!(!cold.stats.cache_hit);
+        let mut warm = svc.query(&[1, 3]).unwrap();
+        assert!(warm.stats.cache_hit);
+        assert_eq!(warm.class_layout, cold.class_layout);
+        assert_eq!(warm.stats.params, cold.stats.params);
+        assert_eq!(warm.model.infer(&x), cold.model.infer(&x));
+        let s = svc.stats();
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+    }
+
+    #[test]
+    fn cache_hit_replays_any_query_order() {
+        let svc = service(4, &[0, 1, 2, 3]);
+        svc.query(&[0, 2]).unwrap();
+        // Same set, reversed order: must hit and honor the new layout.
+        let r = svc.query(&[2, 0]).unwrap();
+        assert!(r.stats.cache_hit);
+        assert_eq!(r.class_layout, vec![6, 7, 8, 0, 1, 2]);
+        assert_eq!(svc.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn install_expert_invalidates_cache() {
+        let svc = service(3, &[0, 1, 2]);
+        svc.query(&[0, 1]).unwrap();
+        assert_eq!(svc.cached_consolidations(), 1);
+        let mut rng = Prng::seed_from_u64(5);
+        let classes = svc.with_pool(|p| p.hierarchy().primitive(1).classes.clone());
+        svc.install_expert(Expert {
+            task_index: 1,
+            classes,
+            head: Sequential::new().push(Linear::new("v2", 5, 3, &mut rng)),
+        });
+        assert_eq!(svc.cached_consolidations(), 0);
+        // The next query re-consolidates against the fresh expert.
+        let r = svc.query(&[0, 1]).unwrap();
+        assert!(!r.stats.cache_hit);
+    }
+
+    #[test]
+    fn cache_capacity_is_bounded_lru() {
+        let mut rng = Prng::seed_from_u64(3);
+        let hierarchy = ClassHierarchy::contiguous(15, 5);
+        let library = Sequential::new()
+            .push(Linear::new("lib", 4, 5, &mut rng))
+            .push(Relu::new());
+        let mut pool = ExpertPool::new(hierarchy, library);
+        for t in 0..5 {
+            let classes = pool.hierarchy().primitive(t).classes.clone();
+            let head =
+                Sequential::new().push(Linear::new(&format!("e{t}"), 5, classes.len(), &mut rng));
+            pool.insert_expert(Expert {
+                task_index: t,
+                classes,
+                head,
+            });
+        }
+        let svc = QueryService::with_cache_capacity(pool, 2);
+        svc.query(&[0]).unwrap();
+        svc.query(&[1]).unwrap();
+        svc.query(&[2]).unwrap(); // evicts {0}
+        assert_eq!(svc.cached_consolidations(), 2);
+        assert!(!svc.query(&[0]).unwrap().stats.cache_hit);
+        assert!(svc.query(&[2]).unwrap().stats.cache_hit);
+    }
+
+    #[test]
+    fn duplicate_tasks_rejected_before_cache() {
+        let svc = service(3, &[0, 1, 2]);
+        svc.query(&[0, 1]).unwrap();
+        assert_eq!(
+            svc.query(&[0, 1, 0]).unwrap_err(),
+            QueryError::DuplicateTask(0)
+        );
+        assert_eq!(svc.stats().queries_rejected, 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), 0.0);
+        for i in 1..=100u64 {
+            h.record(i as f64 * 1e-6);
+        }
+        assert_eq!(h.count(), 100);
+        let (p50, p95, p99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
+        assert!(p50 > 0.0);
+        assert!(p50 <= p95 && p95 <= p99);
+        // Upper-bound resolution: p99 of ~100µs samples is ≤ 256µs bucket.
+        assert!(p99 <= 3e-4, "p99 {p99}");
     }
 }

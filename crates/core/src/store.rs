@@ -15,9 +15,9 @@
 //! ```
 
 use crate::pool::{Expert, ExpertPool};
-use bytes::{Buf, BufMut, BytesMut};
 use poe_data::{ClassHierarchy, PrimitiveTask};
 use poe_models::serialize::{load_module, SerializeError};
+use poe_models::wire::{WireBuf, WireRead};
 use poe_models::{build_mlp_head_with_depth, build_wrn_mlp_with_depth, WrnConfig};
 use poe_tensor::Prng;
 use std::path::Path;
@@ -39,7 +39,7 @@ pub struct PoolSpec {
     pub input_dim: usize,
 }
 
-fn put_string(buf: &mut BytesMut, s: &str) {
+fn put_string(buf: &mut WireBuf, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
@@ -57,7 +57,7 @@ fn get_string(buf: &mut &[u8]) -> Result<String, SerializeError> {
     String::from_utf8(v).map_err(|_| SerializeError::Format("non-utf8 string".into()))
 }
 
-fn put_arch(buf: &mut BytesMut, a: &WrnConfig) {
+fn put_arch(buf: &mut WireBuf, a: &WrnConfig) {
     buf.put_u32_le(a.depth as u32);
     buf.put_f32_le(a.kc);
     buf.put_f32_le(a.ks);
@@ -79,9 +79,9 @@ fn get_arch(buf: &mut &[u8]) -> Result<WrnConfig, SerializeError> {
 }
 
 /// Serializes the manifest for a pool with the given rebuild spec.
-fn encode_manifest(pool: &ExpertPool, spec: &PoolSpec) -> BytesMut {
+fn encode_manifest(pool: &ExpertPool, spec: &PoolSpec) -> WireBuf {
     let h = pool.hierarchy();
-    let mut buf = BytesMut::new();
+    let mut buf = WireBuf::new();
     buf.put_slice(MANIFEST_MAGIC);
     buf.put_u32_le(MANIFEST_VERSION);
     put_arch(&mut buf, &spec.student_arch);
@@ -172,7 +172,12 @@ fn decode_manifest(mut buf: &[u8]) -> Result<Manifest, SerializeError> {
     let pooled = (0..n).map(|_| buf.get_u32_le() as usize).collect();
 
     Ok(Manifest {
-        spec: PoolSpec { student_arch, expert_ks, library_groups, input_dim },
+        spec: PoolSpec {
+            student_arch,
+            expert_ks,
+            library_groups,
+            input_dim,
+        },
         library_arch,
         expert_arch,
         hierarchy,
@@ -233,7 +238,11 @@ pub fn load_standalone(dir: impl AsRef<Path>) -> Result<(ExpertPool, PoolSpec), 
             &mut rng,
         );
         load_module(dir.join(format!("expert_{t}.poem")), &mut head)?;
-        pool.insert_expert(Expert { task_index: t, classes, head });
+        pool.insert_expert(Expert {
+            task_index: t,
+            classes,
+            head,
+        });
     }
     Ok((pool, m.spec))
 }
@@ -246,9 +255,12 @@ mod tests {
     use poe_tensor::Tensor;
 
     fn built_pool() -> (ExpertPool, PoolSpec, poe_data::SplitDataset) {
-        let cfg = GaussianHierarchyConfig { dim: 6, ..GaussianHierarchyConfig::balanced(3, 2) }
-            .with_samples(10, 4)
-            .with_seed(61);
+        let cfg = GaussianHierarchyConfig {
+            dim: 6,
+            ..GaussianHierarchyConfig::balanced(3, 2)
+        }
+        .with_samples(10, 4)
+        .with_seed(61);
         let (split, h) = generate(&cfg);
         let pipe = PipelineConfig {
             seed: 8,

@@ -110,12 +110,14 @@ mod tests {
     use poe_tensor::Prng;
 
     fn tiny_data() -> (poe_data::SplitDataset, poe_data::ClassHierarchy) {
-        generate(&GaussianHierarchyConfig {
-            dim: 8,
-            ..GaussianHierarchyConfig::balanced(3, 2)
-        }
-        .with_samples(20, 10)
-        .with_seed(3))
+        generate(
+            &GaussianHierarchyConfig {
+                dim: 8,
+                ..GaussianHierarchyConfig::balanced(3, 2)
+            }
+            .with_samples(20, 10)
+            .with_seed(3),
+        )
     }
 
     fn small_net(in_dim: usize, out: usize, seed: u64) -> Sequential {
@@ -157,7 +159,13 @@ mod tests {
         // Student distilled from the teacher without ever seeing labels.
         let t_logits = logits_of(&mut teacher, &split.train.inputs);
         let mut student = small_net(8, 6, 4);
-        train_distill(&mut student, &split.train.inputs, &t_logits, 4.0, &TrainConfig::new(30, 32, 0.1));
+        train_distill(
+            &mut student,
+            &split.train.inputs,
+            &t_logits,
+            4.0,
+            &TrainConfig::new(30, 32, 0.1),
+        );
         let student_acc = eval_accuracy(&mut student, &split.test);
         assert!(
             student_acc > teacher_acc - 0.15,
@@ -171,7 +179,13 @@ mod tests {
         let mut student = small_net(8, 6, 5);
         let bad = Tensor::zeros([3, 6]);
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            train_distill(&mut student, &split.train.inputs, &bad, 4.0, &TrainConfig::new(1, 8, 0.1));
+            train_distill(
+                &mut student,
+                &split.train.inputs,
+                &bad,
+                4.0,
+                &TrainConfig::new(1, 8, 0.1),
+            );
         }));
         assert!(r.is_err());
     }

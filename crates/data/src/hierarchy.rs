@@ -41,7 +41,11 @@ impl ClassHierarchy {
     pub fn new(num_classes: usize, groups: Vec<PrimitiveTask>) -> Self {
         let mut primitive_of = vec![usize::MAX; num_classes];
         for (ti, task) in groups.iter().enumerate() {
-            assert!(!task.classes.is_empty(), "primitive task `{}` is empty", task.name);
+            assert!(
+                !task.classes.is_empty(),
+                "primitive task `{}` is empty",
+                task.name
+            );
             for &c in &task.classes {
                 assert!(c < num_classes, "class {c} out of range in `{}`", task.name);
                 assert_eq!(
@@ -170,9 +174,18 @@ mod tests {
         ClassHierarchy::new(
             6,
             vec![
-                PrimitiveTask { name: "a".into(), classes: vec![0, 3] },
-                PrimitiveTask { name: "b".into(), classes: vec![1, 4] },
-                PrimitiveTask { name: "c".into(), classes: vec![2, 5] },
+                PrimitiveTask {
+                    name: "a".into(),
+                    classes: vec![0, 3],
+                },
+                PrimitiveTask {
+                    name: "b".into(),
+                    classes: vec![1, 4],
+                },
+                PrimitiveTask {
+                    name: "c".into(),
+                    classes: vec![2, 5],
+                },
             ],
         )
     }
@@ -192,8 +205,14 @@ mod tests {
         ClassHierarchy::new(
             3,
             vec![
-                PrimitiveTask { name: "a".into(), classes: vec![0, 1] },
-                PrimitiveTask { name: "b".into(), classes: vec![1, 2] },
+                PrimitiveTask {
+                    name: "a".into(),
+                    classes: vec![0, 1],
+                },
+                PrimitiveTask {
+                    name: "b".into(),
+                    classes: vec![1, 2],
+                },
             ],
         );
     }
@@ -203,7 +222,10 @@ mod tests {
     fn uncovered_class_rejected() {
         ClassHierarchy::new(
             3,
-            vec![PrimitiveTask { name: "a".into(), classes: vec![0, 1] }],
+            vec![PrimitiveTask {
+                name: "a".into(),
+                classes: vec![0, 1],
+            }],
         );
     }
 

@@ -102,7 +102,7 @@ pub fn generate_images(cfg: &ImageHierarchyConfig) -> (SplitDataset, ClassHierar
 
     // Per-class texture: superclass base gratings + class-specific grating.
     struct ClassTexture {
-        base: Vec<Grating>,  // one per channel, low frequency
+        base: Vec<Grating>,   // one per channel, low frequency
         detail: Vec<Grating>, // one per channel, higher frequency
     }
     let mut textures: Vec<ClassTexture> = Vec::with_capacity(num_classes);
@@ -117,7 +117,12 @@ pub fn generate_images(cfg: &ImageHierarchyConfig) -> (SplitDataset, ClassHierar
             textures.push(ClassTexture {
                 base: base
                     .iter()
-                    .map(|g| Grating { fx: g.fx, fy: g.fy, phase: g.phase, amp: g.amp })
+                    .map(|g| Grating {
+                        fx: g.fx,
+                        fy: g.fy,
+                        phase: g.phase,
+                        amp: g.amp,
+                    })
                     .collect(),
                 detail,
             });

@@ -47,7 +47,10 @@ impl From<std::io::Error> for DataIoError {
 }
 
 fn parse_err(line: usize, message: impl Into<String>) -> DataIoError {
-    DataIoError::Parse { line, message: message.into() }
+    DataIoError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Writes a dataset as CSV: a `# classes=N` header comment, then one
@@ -158,7 +161,11 @@ pub fn read_csv(path: impl AsRef<Path>) -> Result<Dataset, DataIoError> {
         None => max_label + 1,
     };
     let n = labels.len();
-    Ok(Dataset::new(Tensor::from_vec(data, [n, dim]), labels, num_classes))
+    Ok(Dataset::new(
+        Tensor::from_vec(data, [n, dim]),
+        labels,
+        num_classes,
+    ))
 }
 
 #[cfg(test)]
@@ -173,9 +180,12 @@ mod tests {
     #[test]
     fn round_trip_preserves_everything() {
         let (split, _) = generate(
-            &GaussianHierarchyConfig { dim: 5, ..GaussianHierarchyConfig::balanced(2, 3) }
-                .with_samples(8, 2)
-                .with_seed(3),
+            &GaussianHierarchyConfig {
+                dim: 5,
+                ..GaussianHierarchyConfig::balanced(2, 3)
+            }
+            .with_samples(8, 2)
+            .with_seed(3),
         );
         let path = tmp("round_trip");
         write_csv(&split.train, &path).unwrap();
@@ -212,7 +222,10 @@ mod tests {
 
         let path = tmp("badlabel");
         std::fs::write(&path, "1.0,x\n").unwrap();
-        assert!(matches!(read_csv(&path), Err(DataIoError::Parse { line: 1, .. })));
+        assert!(matches!(
+            read_csv(&path),
+            Err(DataIoError::Parse { line: 1, .. })
+        ));
         std::fs::remove_file(&path).ok();
     }
 
@@ -230,7 +243,10 @@ mod tests {
     fn empty_file_is_an_error() {
         let path = tmp("empty");
         std::fs::write(&path, "# classes=3\n").unwrap();
-        assert!(matches!(read_csv(&path), Err(DataIoError::Parse { line: 0, .. })));
+        assert!(matches!(
+            read_csv(&path),
+            Err(DataIoError::Parse { line: 0, .. })
+        ));
         std::fs::remove_file(&path).ok();
     }
 }

@@ -25,9 +25,15 @@ pub struct DatasetScale {
 impl DatasetScale {
     /// The default experiment scale (fast enough for CPU sweeps while
     /// keeping accuracy estimates stable).
-    pub const FULL: DatasetScale = DatasetScale { train_per_class: 100, test_per_class: 20 };
+    pub const FULL: DatasetScale = DatasetScale {
+        train_per_class: 100,
+        test_per_class: 20,
+    };
     /// A tiny scale for unit/integration tests.
-    pub const TINY: DatasetScale = DatasetScale { train_per_class: 12, test_per_class: 6 };
+    pub const TINY: DatasetScale = DatasetScale {
+        train_per_class: 12,
+        test_per_class: 6,
+    };
 }
 
 /// The six primitive tasks the paper samples for its specialization and

@@ -177,8 +177,9 @@ pub fn generate(cfg: &GaussianHierarchyConfig) -> (SplitDataset, ClassHierarchy)
     // Class centres.
     let mut centres: Vec<Vec<f32>> = Vec::with_capacity(num_classes);
     for &size in &cfg.task_sizes {
-        let super_centre: Vec<f32> =
-            (0..cfg.dim).map(|_| rng.normal() * cfg.sigma_super).collect();
+        let super_centre: Vec<f32> = (0..cfg.dim)
+            .map(|_| rng.normal() * cfg.sigma_super)
+            .collect();
         for _ in 0..size {
             centres.push(
                 super_centre
@@ -190,11 +191,20 @@ pub fn generate(cfg: &GaussianHierarchyConfig) -> (SplitDataset, ClassHierarchy)
     }
 
     let renderer = if cfg.obs_dim > 0 {
-        Some(Renderer::new(cfg.dim, cfg.obs_dim, cfg.render_depth, &mut rng))
+        Some(Renderer::new(
+            cfg.dim,
+            cfg.obs_dim,
+            cfg.render_depth,
+            &mut rng,
+        ))
     } else {
         None
     };
-    let out_dim = if cfg.obs_dim > 0 { cfg.obs_dim } else { cfg.dim };
+    let out_dim = if cfg.obs_dim > 0 {
+        cfg.obs_dim
+    } else {
+        cfg.dim
+    };
 
     let sample_split = |per_class: usize, rng: &mut Prng| -> Dataset {
         let n = num_classes * per_class;
@@ -280,7 +290,11 @@ mod tests {
             }
         }
         let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt()
         };
         let (mut within, mut wn, mut across, mut an) = (0.0f32, 0, 0.0f32, 0);
         for a in 0..num_classes {

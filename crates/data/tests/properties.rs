@@ -6,9 +6,12 @@ use poe_data::ClassHierarchy;
 use proptest::prelude::*;
 
 fn small_cfg(tasks: usize, classes_per: usize, seed: u64) -> GaussianHierarchyConfig {
-    GaussianHierarchyConfig { dim: 4, ..GaussianHierarchyConfig::balanced(tasks, classes_per) }
-        .with_samples(4, 3)
-        .with_seed(seed)
+    GaussianHierarchyConfig {
+        dim: 4,
+        ..GaussianHierarchyConfig::balanced(tasks, classes_per)
+    }
+    .with_samples(4, 3)
+    .with_seed(seed)
 }
 
 proptest! {

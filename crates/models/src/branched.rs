@@ -10,6 +10,7 @@
 use poe_nn::layers::Sequential;
 use poe_nn::{Module, Parameter};
 use poe_tensor::Tensor;
+use std::sync::Arc;
 
 /// One classified sample with its provenance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,12 +35,19 @@ pub struct Branch {
 }
 
 /// Library trunk + `n(Q)` expert branches + logit concatenation.
+///
+/// The trunk and every branch sit behind an [`Arc`], so cloning or
+/// assembling a branched model is a handful of refcount bumps — the
+/// zero-copy counterpart of the paper's "consolidation is pure assembly"
+/// claim. The structure is deep-cloned lazily ([`Arc::make_mut`]) the
+/// first time a model is actually run, because forward passes cache
+/// activations in the layers.
 #[derive(Clone)]
 pub struct BranchedModel {
     /// Architecture tag, e.g. `"WRN-16-(1, [0.25]ᵀ×3)"`.
     pub arch: String,
-    library: Sequential,
-    branches: Vec<Branch>,
+    library: Arc<Sequential>,
+    branches: Vec<Arc<Branch>>,
 }
 
 impl BranchedModel {
@@ -49,12 +57,39 @@ impl BranchedModel {
     /// # Panics
     /// Panics if no branches are supplied.
     pub fn new(arch: impl Into<String>, library: Sequential, branches: Vec<Branch>) -> Self {
+        Self::from_shared(
+            arch,
+            Arc::new(library),
+            branches.into_iter().map(Arc::new).collect(),
+        )
+    }
+
+    /// Assembles a branched model from already-shared parts without copying
+    /// anything — the fast path used by the consolidation cache.
+    ///
+    /// # Panics
+    /// Panics if no branches are supplied.
+    pub fn from_shared(
+        arch: impl Into<String>,
+        library: Arc<Sequential>,
+        branches: Vec<Arc<Branch>>,
+    ) -> Self {
         assert!(!branches.is_empty(), "branched model needs ≥ 1 expert");
         BranchedModel {
             arch: arch.into(),
             library,
             branches,
         }
+    }
+
+    /// A shared handle to the library trunk (refcount bump).
+    pub fn shared_library(&self) -> Arc<Sequential> {
+        Arc::clone(&self.library)
+    }
+
+    /// Shared handles to the branches, in logit-layout order.
+    pub fn shared_branches(&self) -> Vec<Arc<Branch>> {
+        self.branches.iter().map(Arc::clone).collect()
     }
 
     /// Number of expert branches `n(Q)`.
@@ -79,11 +114,11 @@ impl BranchedModel {
     /// features, logits concatenated. Always inference-mode (the whole
     /// point of PoE is that this model is never trained).
     pub fn infer(&mut self, input: &Tensor) -> Tensor {
-        let features = self.library.forward(input, false);
+        let features = Arc::make_mut(&mut self.library).forward(input, false);
         let outs: Vec<Tensor> = self
             .branches
             .iter_mut()
-            .map(|b| b.head.forward(&features, false))
+            .map(|b| Arc::make_mut(b).head.forward(&features, false))
             .collect();
         let refs: Vec<&Tensor> = outs.iter().collect();
         Tensor::concat_cols(&refs).expect("logit concatenation")
@@ -120,9 +155,9 @@ impl BranchedModel {
         &self.library
     }
 
-    /// Borrows the branches.
-    pub fn branches(&self) -> &[Branch] {
-        &self.branches
+    /// Iterates over the branches in logit-layout order.
+    pub fn branches(&self) -> impl Iterator<Item = &Branch> + '_ {
+        self.branches.iter().map(|b| b.as_ref())
     }
 }
 
@@ -154,9 +189,9 @@ impl Module for BranchedModel {
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
-        self.library.visit_params(f);
+        Arc::make_mut(&mut self.library).visit_params(f);
         for b in &mut self.branches {
-            b.head.visit_params(f);
+            Arc::make_mut(b).head.visit_params(f);
         }
     }
 
@@ -220,9 +255,9 @@ mod tests {
         let x = Tensor::randn([2, 4], 1.0, &mut rng);
         let y = m.infer(&x);
         // Re-run by hand through the same (stateless in eval mode) layers.
-        let f = m.library.forward(&x, false);
-        let y0 = m.branches[0].head.forward(&f, false);
-        let y1 = m.branches[1].head.forward(&f, false);
+        let f = Arc::make_mut(&mut m.library).forward(&x, false);
+        let y0 = Arc::make_mut(&mut m.branches[0]).head.forward(&f, false);
+        let y1 = Arc::make_mut(&mut m.branches[1]).head.forward(&f, false);
         let manual = Tensor::concat_cols(&[&y0, &y1]).unwrap();
         assert!(y.max_abs_diff(&manual) < 1e-6);
     }
@@ -237,7 +272,8 @@ mod tests {
         let logits = m.infer(&x);
         for (row, p) in preds.iter().enumerate() {
             // Class comes from the layout at the argmax column.
-            let col = logits.row(row)
+            let col = logits
+                .row(row)
                 .iter()
                 .enumerate()
                 .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())

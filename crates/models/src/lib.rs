@@ -18,6 +18,7 @@
 mod branched;
 pub mod serialize;
 mod split;
+pub mod wire;
 mod wrn;
 
 pub use branched::{Branch, BranchedModel, Prediction};

@@ -18,7 +18,7 @@
 //!   data f32-LE × numel
 //! ```
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::wire::{WireBuf, WireRead};
 use poe_nn::Module;
 use std::fmt;
 use std::fs;
@@ -57,8 +57,8 @@ impl From<std::io::Error> for SerializeError {
 }
 
 /// Serializes every parameter of a module, in visit order.
-pub fn serialize_module(module: &dyn Module) -> Bytes {
-    let mut buf = BytesMut::with_capacity(module_byte_size(module) as usize);
+pub fn serialize_module(module: &dyn Module) -> Vec<u8> {
+    let mut buf = WireBuf::with_capacity(module_byte_size(module) as usize);
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
     let mut count = 0u32;
@@ -76,7 +76,7 @@ pub fn serialize_module(module: &dyn Module) -> Bytes {
             buf.put_f32_le(v);
         }
     });
-    buf.freeze()
+    buf.into_vec()
 }
 
 /// Exact on-disk size, in bytes, of [`serialize_module`]'s output.
@@ -104,7 +104,9 @@ pub fn deserialize_into(module: &mut dyn Module, data: &[u8]) -> Result<(), Seri
     }
     let version = buf.get_u32_le();
     if version != VERSION {
-        return Err(SerializeError::Format(format!("unsupported version {version}")));
+        return Err(SerializeError::Format(format!(
+            "unsupported version {version}"
+        )));
     }
     let count = buf.get_u32_le();
 

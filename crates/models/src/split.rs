@@ -152,9 +152,11 @@ mod tests {
         let mut m = toy(&mut rng);
         m.freeze_trunk();
         let mut trunk_frozen = true;
-        m.trunk().visit_params_ref(&mut |p| trunk_frozen &= !p.trainable);
+        m.trunk()
+            .visit_params_ref(&mut |p| trunk_frozen &= !p.trainable);
         let mut head_trainable = true;
-        m.head().visit_params_ref(&mut |p| head_trainable &= p.trainable);
+        m.head()
+            .visit_params_ref(&mut |p| head_trainable &= p.trainable);
         assert!(trunk_frozen && head_trainable);
     }
 

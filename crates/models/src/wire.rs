@@ -1,0 +1,132 @@
+//! Little-endian wire encoding helpers.
+//!
+//! A tiny in-tree replacement for the `bytes` crate (unavailable in the
+//! offline build environment) covering exactly what the POEM model format
+//! and the pool manifest need: an appending writer over `Vec<u8>` and an
+//! advancing reader over `&[u8]`.
+
+/// Growable little-endian byte writer.
+#[derive(Debug, Default, Clone)]
+pub struct WireBuf {
+    buf: Vec<u8>,
+}
+
+impl WireBuf {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        WireBuf { buf: Vec::new() }
+    }
+
+    /// Empty buffer with `cap` bytes pre-allocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        WireBuf {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends raw bytes.
+    #[inline]
+    pub fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+
+    /// Appends a `u32` in little-endian order.
+    #[inline]
+    pub fn put_u32_le(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f32` in little-endian order.
+    #[inline]
+    pub fn put_f32_le(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl AsRef<[u8]> for WireBuf {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Advancing little-endian reader, implemented for `&[u8]`.
+///
+/// Each `get_*` consumes from the front of the slice. Callers must check
+/// [`WireRead::remaining`] before reading; the getters panic on underflow
+/// (format validation happens in the callers, which return typed errors).
+pub trait WireRead {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Reads `dst.len()` bytes into `dst`, advancing past them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+    /// Reads a little-endian `u32`, advancing 4 bytes.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `f32`, advancing 4 bytes.
+    fn get_f32_le(&mut self) -> f32;
+}
+
+impl WireRead for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+
+    #[inline]
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    #[inline]
+    fn get_f32_le(&mut self) -> f32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        f32::from_le_bytes(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut w = WireBuf::with_capacity(16);
+        w.put_slice(b"POEM");
+        w.put_u32_le(7);
+        w.put_f32_le(-1.5);
+        assert_eq!(w.len(), 12);
+        let bytes = w.into_vec();
+
+        let mut r: &[u8] = &bytes;
+        let mut magic = [0u8; 4];
+        r.copy_to_slice(&mut magic);
+        assert_eq!(&magic, b"POEM");
+        assert_eq!(r.get_u32_le(), 7);
+        assert_eq!(r.get_f32_le(), -1.5);
+        assert_eq!(r.remaining(), 0);
+    }
+}

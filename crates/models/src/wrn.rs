@@ -50,7 +50,13 @@ pub struct WrnConfig {
 impl WrnConfig {
     /// A config with the paper's base unit of 16.
     pub fn new(depth: usize, kc: f32, ks: f32, num_classes: usize) -> Self {
-        WrnConfig { depth, kc, ks, unit: 16, num_classes }
+        WrnConfig {
+            depth,
+            kc,
+            ks,
+            unit: 16,
+            num_classes,
+        }
     }
 
     /// Overrides the width unit.
@@ -66,9 +72,7 @@ impl WrnConfig {
 
     /// Widths of (conv1, conv2, conv3, conv4).
     pub fn widths(&self) -> (usize, usize, usize, usize) {
-        let scale = |base: usize, k: f32| -> usize {
-            ((base as f32 * k).round() as usize).max(1)
-        };
+        let scale = |base: usize, k: f32| -> usize { ((base as f32 * k).round() as usize).max(1) };
         (
             self.unit,
             scale(self.unit, self.kc),
@@ -116,7 +120,12 @@ fn mlp_group(name: &str, w_in: usize, w_out: usize, n: usize, rng: &mut Prng) ->
     let mut g = Sequential::new();
     for b in 0..n {
         let from = if b == 0 { w_in } else { w_out };
-        g.push_boxed(Box::new(mlp_block(&format!("{name}.b{b}"), from, w_out, rng)));
+        g.push_boxed(Box::new(mlp_block(
+            &format!("{name}.b{b}"),
+            from,
+            w_out,
+            rng,
+        )));
     }
     g
 }
@@ -166,7 +175,12 @@ pub fn build_mlp_head_with_depth(
             )));
         }
     }
-    s.push_boxed(Box::new(Linear::new(&format!("{name}.fc"), w4, out_classes, rng)));
+    s.push_boxed(Box::new(Linear::new(
+        &format!("{name}.fc"),
+        w4,
+        out_classes,
+        rng,
+    )));
     s
 }
 
@@ -202,7 +216,13 @@ pub fn build_wrn_mlp_with_depth(
     let group_io = [(w1, w2), (w2, w3), (w3, w4)];
     for (g, &(from, to)) in group_io.iter().enumerate() {
         if g + 2 <= library_groups {
-            trunk.push_boxed(Box::new(mlp_group(&format!("g{}", g + 2), from, to, n, rng)));
+            trunk.push_boxed(Box::new(mlp_group(
+                &format!("g{}", g + 2),
+                from,
+                to,
+                n,
+                rng,
+            )));
         }
     }
     let head = build_mlp_head_with_depth("head", cfg, library_groups, cfg.num_classes, rng);
@@ -222,7 +242,13 @@ pub fn build_wrn_mlp(cfg: &WrnConfig, input_dim: usize, rng: &mut Prng) -> Split
 fn conv3x3(name: &str, c_in: usize, c_out: usize, stride: usize, rng: &mut Prng) -> Conv2d {
     Conv2d::new(
         name,
-        Conv2dSpec { in_channels: c_in, out_channels: c_out, kernel: 3, stride, padding: 1 },
+        Conv2dSpec {
+            in_channels: c_in,
+            out_channels: c_out,
+            kernel: 3,
+            stride,
+            padding: 1,
+        },
         rng,
     )
 }
@@ -230,19 +256,19 @@ fn conv3x3(name: &str, c_in: usize, c_out: usize, stride: usize, rng: &mut Prng)
 fn conv1x1(name: &str, c_in: usize, c_out: usize, stride: usize, rng: &mut Prng) -> Conv2d {
     Conv2d::new(
         name,
-        Conv2dSpec { in_channels: c_in, out_channels: c_out, kernel: 1, stride, padding: 0 },
+        Conv2dSpec {
+            in_channels: c_in,
+            out_channels: c_out,
+            kernel: 1,
+            stride,
+            padding: 0,
+        },
         rng,
     )
 }
 
 /// One residual conv block (`Conv-BN-ReLU-Conv-BN` + skip, post-ReLU).
-fn conv_block(
-    name: &str,
-    c_in: usize,
-    c_out: usize,
-    stride: usize,
-    rng: &mut Prng,
-) -> Sequential {
+fn conv_block(name: &str, c_in: usize, c_out: usize, stride: usize, rng: &mut Prng) -> Sequential {
     let body = Sequential::new()
         .push(conv3x3(&format!("{name}.c1"), c_in, c_out, stride, rng))
         .push(BatchNorm::new_2d(&format!("{name}.bn1"), c_out))
@@ -270,8 +296,18 @@ fn conv_group(
 ) -> Sequential {
     let mut g = Sequential::new();
     for b in 0..n {
-        let (from, stride) = if b == 0 { (c_in, first_stride) } else { (c_out, 1) };
-        g.push_boxed(Box::new(conv_block(&format!("{name}.b{b}"), from, c_out, stride, rng)));
+        let (from, stride) = if b == 0 {
+            (c_in, first_stride)
+        } else {
+            (c_out, 1)
+        };
+        g.push_boxed(Box::new(conv_block(
+            &format!("{name}.b{b}"),
+            from,
+            c_out,
+            stride,
+            rng,
+        )));
     }
     g
 }
@@ -286,9 +322,21 @@ pub fn build_conv_head(
     let (_, _, w3, w4) = cfg.widths();
     let n = cfg.blocks_per_group();
     let mut s = Sequential::new();
-    s.push_boxed(Box::new(conv_group(&format!("{name}.g4"), w3, w4, n, 2, rng)));
+    s.push_boxed(Box::new(conv_group(
+        &format!("{name}.g4"),
+        w3,
+        w4,
+        n,
+        2,
+        rng,
+    )));
     s.push_boxed(Box::new(GlobalAvgPool2d::new()));
-    s.push_boxed(Box::new(Linear::new(&format!("{name}.fc"), w4, out_classes, rng)));
+    s.push_boxed(Box::new(Linear::new(
+        &format!("{name}.fc"),
+        w4,
+        out_classes,
+        rng,
+    )));
     s
 }
 
@@ -329,8 +377,14 @@ mod tests {
 
     #[test]
     fn arch_string_matches_paper_notation() {
-        assert_eq!(WrnConfig::new(16, 1.0, 0.25, 10).arch_string(), "WRN-16-(1, 0.25)");
-        assert_eq!(WrnConfig::new(40, 4.0, 4.0, 100).arch_string(), "WRN-40-(4, 4)");
+        assert_eq!(
+            WrnConfig::new(16, 1.0, 0.25, 10).arch_string(),
+            "WRN-16-(1, 0.25)"
+        );
+        assert_eq!(
+            WrnConfig::new(40, 4.0, 4.0, 100).arch_string(),
+            "WRN-40-(4, 4)"
+        );
     }
 
     #[test]
@@ -422,7 +476,12 @@ mod tests {
     #[should_panic(expected = "library depth")]
     fn invalid_library_depth_rejected() {
         let mut rng = Prng::seed_from_u64(9);
-        build_wrn_mlp_with_depth(&WrnConfig::new(10, 1.0, 1.0, 4).with_unit(4), 6, 5, &mut rng);
+        build_wrn_mlp_with_depth(
+            &WrnConfig::new(10, 1.0, 1.0, 4).with_unit(4),
+            6,
+            5,
+            &mut rng,
+        );
     }
 
     #[test]

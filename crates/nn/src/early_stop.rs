@@ -41,8 +41,7 @@ impl EarlyStopping {
     pub fn observe(&mut self, model: &dyn Module, metric: f64) -> bool {
         // `min_delta` only gates the patience counter; the best metric and
         // weights always track the true maximum.
-        let meaningful =
-            metric > self.best_metric + self.min_delta || self.best_weights.is_none();
+        let meaningful = metric > self.best_metric + self.min_delta || self.best_weights.is_none();
         if metric > self.best_metric || self.best_weights.is_none() {
             self.best_metric = self.best_metric.max(metric);
             self.best_weights = Some(snapshot_params(model));

@@ -38,7 +38,10 @@ impl Module for Relu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mask = self.mask.as_ref().expect("Relu::backward without training forward");
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("Relu::backward without training forward");
         assert_eq!(mask.len(), grad_out.numel(), "Relu grad shape mismatch");
         let data = grad_out
             .data()

@@ -212,8 +212,7 @@ impl Module for BatchNorm {
             Self::for_each(&dims, self.kind, |ch, off| {
                 let m_dy = sum_dy[ch] / per_group;
                 let m_dy_xh = sum_dy_xhat[ch] / per_group;
-                d[off] =
-                    gamma[ch] * cache.inv_std[ch] * (dy[off] - m_dy - xh[off] * m_dy_xh);
+                d[off] = gamma[ch] * cache.inv_std[ch] * (dy[off] - m_dy - xh[off] * m_dy_xh);
             });
         }
         dx

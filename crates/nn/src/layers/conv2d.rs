@@ -32,10 +32,7 @@ impl Conv2d {
                 format!("{name}.w"),
                 Tensor::kaiming([spec.out_channels, fan_in], fan_in, rng),
             ),
-            bias: Parameter::new_no_decay(
-                format!("{name}.b"),
-                Tensor::zeros([spec.out_channels]),
-            ),
+            bias: Parameter::new_no_decay(format!("{name}.b"), Tensor::zeros([spec.out_channels])),
             cache: None,
         }
     }
@@ -104,7 +101,11 @@ impl Module for Conv2d {
             }
         }
         let out = Self::to_nchw(&rows, n, self.spec.out_channels, oh, ow);
-        self.cache = if train { Some(ConvCache { cols, n, h, w }) } else { None };
+        self.cache = if train {
+            Some(ConvCache { cols, n, h, w })
+        } else {
+            None
+        };
         out
     }
 
@@ -117,7 +118,10 @@ impl Module for Conv2d {
 
         // dW = dyᵀ · cols
         let dw = matmul_at_b(&dy, &cache.cols).expect("conv dW");
-        self.weight.grad.add_scaled(&dw, 1.0).expect("conv dW accumulate");
+        self.weight
+            .grad
+            .add_scaled(&dw, 1.0)
+            .expect("conv dW accumulate");
         // db = column sums of dy
         for r in 0..dy.rows() {
             let row = dy.row(r);
@@ -157,7 +161,13 @@ mod tests {
     use crate::testing::{check_input_gradient, check_param_gradients};
 
     fn spec() -> Conv2dSpec {
-        Conv2dSpec { in_channels: 2, out_channels: 3, kernel: 3, stride: 1, padding: 1 }
+        Conv2dSpec {
+            in_channels: 2,
+            out_channels: 3,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        }
     }
 
     #[test]
@@ -173,7 +183,13 @@ mod tests {
     #[test]
     fn strided_forward_shape() {
         let mut rng = Prng::seed_from_u64(2);
-        let s = Conv2dSpec { in_channels: 1, out_channels: 2, kernel: 3, stride: 2, padding: 1 };
+        let s = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 2,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
         let mut conv = Conv2d::new("c", s, &mut rng);
         let y = conv.forward(&Tensor::zeros([1, 1, 8, 8]), false);
         assert_eq!(y.dims(), &[1, 2, 4, 4]);

@@ -22,7 +22,10 @@ impl Dropout {
     /// # Panics
     /// Panics unless `0 ≤ p < 1`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1)"
+        );
         Dropout {
             p,
             rng: Prng::seed_from_u64(seed),
@@ -49,7 +52,13 @@ impl Module for Dropout {
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
         let mask: Vec<f32> = (0..input.numel())
-            .map(|_| if self.rng.uniform() < keep { scale } else { 0.0 })
+            .map(|_| {
+                if self.rng.uniform() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let data = input
             .data()
@@ -109,7 +118,10 @@ mod tests {
         assert!((mean - 1.0).abs() < 0.05, "dropout mean {mean}");
         // Survivors are scaled by 1/(1-p).
         let expected = 1.0 / 0.7;
-        assert!(y.data().iter().all(|&v| v == 0.0 || (v - expected).abs() < 1e-5));
+        assert!(y
+            .data()
+            .iter()
+            .all(|&v| v == 0.0 || (v - expected).abs() < 1e-5));
     }
 
     #[test]

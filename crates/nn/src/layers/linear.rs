@@ -45,7 +45,11 @@ impl Module for Linear {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        debug_assert_eq!(input.cols(), self.in_features, "Linear input width mismatch");
+        debug_assert_eq!(
+            input.cols(),
+            self.in_features,
+            "Linear input width mismatch"
+        );
         let x = input
             .reshape([input.rows(), self.in_features])
             .expect("linear input reshape");
@@ -68,7 +72,10 @@ impl Module for Linear {
         debug_assert_eq!(grad_out.rows(), x.rows());
         // dW = dyᵀ · x
         let dw = matmul_at_b(grad_out, x).expect("linear dW");
-        self.weight.grad.add_scaled(&dw, 1.0).expect("linear dW accumulate");
+        self.weight
+            .grad
+            .add_scaled(&dw, 1.0)
+            .expect("linear dW accumulate");
         // db = column sums of dy
         for r in 0..grad_out.rows() {
             let row = grad_out.row(r);

@@ -12,7 +12,9 @@ pub struct GlobalAvgPool2d {
 impl GlobalAvgPool2d {
     /// Creates the pooling layer.
     pub fn new() -> Self {
-        GlobalAvgPool2d { cached_in_shape: None }
+        GlobalAvgPool2d {
+            cached_in_shape: None,
+        }
     }
 }
 
@@ -91,7 +93,9 @@ pub struct Flatten {
 impl Flatten {
     /// Creates the flatten layer.
     pub fn new() -> Self {
-        Flatten { cached_in_shape: None }
+        Flatten {
+            cached_in_shape: None,
+        }
     }
 }
 

@@ -123,7 +123,10 @@ pub struct Residual {
 impl Residual {
     /// Residual block with an identity skip.
     pub fn identity(body: Sequential) -> Self {
-        Residual { body, shortcut: None }
+        Residual {
+            body,
+            shortcut: None,
+        }
     }
 
     /// Residual block with a projection skip (used when the body changes
@@ -147,7 +150,8 @@ impl Module for Residual {
             Some(s) => s.forward(input, train),
             None => input.clone(),
         };
-        main.add(&skip).expect("residual add: body must preserve shape")
+        main.add(&skip)
+            .expect("residual add: body must preserve shape")
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -75,7 +75,11 @@ pub fn kd_loss(
         }
     }
     let mut grad = q.sub(&p).expect("kd grad sub");
-    let scale = if scale_by_t_squared { temperature } else { 1.0 / temperature };
+    let scale = if scale_by_t_squared {
+        temperature
+    } else {
+        1.0 / temperature
+    };
     grad.scale(scale / n as f32);
     let loss_scale = if scale_by_t_squared {
         temperature * temperature
@@ -112,7 +116,16 @@ pub fn l1_scale_loss(student_logits: &Tensor, teacher_logits: &Tensor) -> (f32, 
         {
             let d = s - t;
             loss += d.abs();
-            g[i] = d.signum() * inv_n;
+            // Not `d.signum()`: IEEE signum maps ±0.0 to ±1.0, but the
+            // documented sub-gradient at equality is 0.
+            let sign = if d > 0.0 {
+                1.0
+            } else if d < 0.0 {
+                -1.0
+            } else {
+                0.0
+            };
+            g[i] = sign * inv_n;
         }
     }
     (loss * inv_n, grad)
@@ -204,12 +217,18 @@ impl CkdLoss {
 
     /// Ablation using only the softened-KL term.
     pub fn soft_only(temperature: f32) -> Self {
-        CkdLoss { use_scale: false, ..Self::paper(temperature) }
+        CkdLoss {
+            use_scale: false,
+            ..Self::paper(temperature)
+        }
     }
 
     /// Ablation using only the L1 scale term.
     pub fn scale_only(temperature: f32) -> Self {
-        CkdLoss { use_soft: false, ..Self::paper(temperature) }
+        CkdLoss {
+            use_soft: false,
+            ..Self::paper(temperature)
+        }
     }
 
     /// Evaluates the loss and its gradient w.r.t. the student logits.
@@ -250,11 +269,7 @@ mod tests {
     use poe_tensor::Prng;
 
     /// Finite-difference check for a loss closure returning (loss, grad).
-    fn fd_check(
-        f: impl Fn(&Tensor) -> (f32, Tensor),
-        x: &Tensor,
-        tol: f64,
-    ) {
+    fn fd_check(f: impl Fn(&Tensor) -> (f32, Tensor), x: &Tensor, tol: f64) {
         let (_, grad) = f(x);
         let eps = 1e-2f32;
         for i in 0..x.numel() {
@@ -357,6 +372,21 @@ mod tests {
     }
 
     #[test]
+    fn l1_scale_gradient_is_zero_at_the_kink() {
+        // At s == t the sub-gradient is 0 by the documented convention.
+        // (f32::signum would give ±1 here, since signum(±0.0) = ±1.0.)
+        let s = Tensor::from_vec(vec![1.0, -2.0, 0.0, -0.0], [2, 2]);
+        let t = s.clone();
+        let (loss, grad) = l1_scale_loss(&s, &t);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.data(), &[0.0; 4]);
+        // Mixed case: only the matching coordinate has zero gradient.
+        let t2 = Tensor::from_vec(vec![1.0, 0.0, 1.0, -1.0], [2, 2]);
+        let (_, g2) = l1_scale_loss(&s, &t2);
+        assert_eq!(g2.data(), &[0.0, -0.5, -0.5, 0.5]);
+    }
+
+    #[test]
     fn ckd_combines_terms() {
         let mut rng = Prng::seed_from_u64(6);
         let s = Tensor::randn([3, 4], 1.0, &mut rng);
@@ -404,7 +434,10 @@ mod tests {
         let s = Tensor::randn([2, 3], 2.0, &mut rng);
         let t = Tensor::randn([2, 3], 2.0, &mut rng);
         let l1 = CkdLoss::paper(4.0);
-        let l2 = CkdLoss { scale_norm: ScaleNorm::L2, ..CkdLoss::paper(4.0) };
+        let l2 = CkdLoss {
+            scale_norm: ScaleNorm::L2,
+            ..CkdLoss::paper(4.0)
+        };
         assert_ne!(l1.eval(&s, &t).0, l2.eval(&s, &t).0);
     }
 

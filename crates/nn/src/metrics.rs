@@ -128,7 +128,7 @@ impl ConfusionMatrix {
             for p in 0..self.n {
                 if a != p {
                     let c = self.count(a, p);
-                    if c > 0 && best.map_or(true, |(_, _, bc)| c > bc) {
+                    if c > 0 && best.is_none_or(|(_, _, bc)| c > bc) {
                         best = Some((a, p, c));
                     }
                 }

@@ -169,7 +169,12 @@ pub fn clip_grad_norm(model: &mut dyn Module, max_norm: f32) -> f32 {
     let mut sq = 0.0f64;
     model.visit_params_ref(&mut |p| {
         if p.trainable {
-            sq += p.grad.data().iter().map(|&g| (g as f64) * (g as f64)).sum::<f64>();
+            sq += p
+                .grad
+                .data()
+                .iter()
+                .map(|&g| (g as f64) * (g as f64))
+                .sum::<f64>();
         }
     });
     let norm = sq.sqrt() as f32;
@@ -199,7 +204,11 @@ pub struct StepDecay {
 impl StepDecay {
     /// Constant learning rate.
     pub fn constant(lr: f32) -> Self {
-        StepDecay { base_lr: lr, milestones: Vec::new(), gamma: 1.0 }
+        StepDecay {
+            base_lr: lr,
+            milestones: Vec::new(),
+            gamma: 1.0,
+        }
     }
 
     /// Learning rate at a given epoch.
@@ -266,7 +275,10 @@ mod tests {
                 w = p.value.data()[0];
             }
         });
-        assert!(w < -10.0 * 0.1, "momentum should overshoot plain SGD: w={w}");
+        assert!(
+            w < -10.0 * 0.1,
+            "momentum should overshoot plain SGD: w={w}"
+        );
     }
 
     #[test]
@@ -400,7 +412,11 @@ mod tests {
 
     #[test]
     fn step_decay_schedule() {
-        let s = StepDecay { base_lr: 1.0, milestones: vec![10, 20], gamma: 0.1 };
+        let s = StepDecay {
+            base_lr: 1.0,
+            milestones: vec![10, 20],
+            gamma: 0.1,
+        };
         assert_eq!(s.lr_at(0), 1.0);
         assert_eq!(s.lr_at(9), 1.0);
         assert!((s.lr_at(10) - 0.1).abs() < 1e-7);

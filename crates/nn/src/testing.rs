@@ -45,7 +45,6 @@ pub fn check_input_gradient(
     let dx = module.backward(&dy);
     assert_eq!(dx.shape(), x.shape(), "input gradient has wrong shape");
 
-    let eps = 1e-2f32;
     let n = x.numel();
     let probes: Vec<usize> = if n <= 64 {
         (0..n).collect()
@@ -54,20 +53,45 @@ pub fn check_input_gradient(
     };
 
     for &i in &probes {
-        let mut xp = x.clone();
-        xp.data_mut()[i] += eps;
-        let (lp, _) = loss_and_grad(&module.forward(&xp, true), &coeffs);
-        let mut xm = x.clone();
-        xm.data_mut()[i] -= eps;
-        let (lm, _) = loss_and_grad(&module.forward(&xm, true), &coeffs);
-        let numeric = (lp - lm) / (2.0 * eps as f64);
         let analytic = dx.data()[i] as f64;
-        let denom = 1.0 + numeric.abs().max(analytic.abs());
+        let central = |eps: f32| {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let (lp, _) = loss_and_grad(&module.forward(&xp, true), &coeffs);
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let (lm, _) = loss_and_grad(&module.forward(&xm, true), &coeffs);
+            (lp - lm) / (2.0 * eps as f64)
+        };
+        let (numeric, ok) = fd_converges(central, analytic, tol);
         assert!(
-            ((numeric - analytic) / denom).abs() < tol,
+            ok,
             "input grad mismatch at {i}: numeric {numeric} vs analytic {analytic}"
         );
     }
+}
+
+/// Central-difference step sizes tried in order. A correct analytic gradient
+/// matches as `eps → 0` (until f32 round-off dominates); a wrong one never
+/// does. Starting coarse keeps the common case cheap and the shrinking ladder
+/// rescues probes where the ±eps window straddles a ReLU kink — there the
+/// two one-sided slopes differ and the central estimate is meaningless at
+/// that scale, not wrong in the limit.
+const FD_EPS_LADDER: [f32; 3] = [1e-2, 1e-3, 3e-4];
+
+/// Runs `central(eps)` down the ladder until the estimate agrees with
+/// `analytic` within `tol` relative error. Returns the last estimate and
+/// whether any step agreed.
+fn fd_converges(mut central: impl FnMut(f32) -> f64, analytic: f64, tol: f64) -> (f64, bool) {
+    let mut numeric = f64::NAN;
+    for eps in FD_EPS_LADDER {
+        numeric = central(eps);
+        let denom = 1.0 + numeric.abs().max(analytic.abs());
+        if ((numeric - analytic) / denom).abs() < tol {
+            return (numeric, true);
+        }
+    }
+    (numeric, false)
 }
 
 /// Checks every *parameter* gradient against central finite differences.
@@ -95,7 +119,6 @@ pub fn check_param_gradients(
     let mut analytic: Vec<(String, Vec<f32>)> = Vec::new();
     module.visit_params_ref(&mut |p| analytic.push((p.name.clone(), p.grad.data().to_vec())));
 
-    let eps = 1e-2f32;
     for (pi, (pname, agrad)) in analytic.iter().enumerate() {
         let n = agrad.len();
         let probes: Vec<usize> = if n <= 16 {
@@ -113,16 +136,18 @@ pub fn check_param_gradients(
                     idx += 1;
                 });
             };
-            nudge(module, eps);
-            let (lp, _) = loss_and_grad(&module.forward(&x, true), &coeffs);
-            nudge(module, -2.0 * eps);
-            let (lm, _) = loss_and_grad(&module.forward(&x, true), &coeffs);
-            nudge(module, eps); // restore
-            let numeric = (lp - lm) / (2.0 * eps as f64);
             let a = agrad[i] as f64;
-            let denom = 1.0 + numeric.abs().max(a.abs());
+            let central = |eps: f32| {
+                nudge(module, eps);
+                let (lp, _) = loss_and_grad(&module.forward(&x, true), &coeffs);
+                nudge(module, -2.0 * eps);
+                let (lm, _) = loss_and_grad(&module.forward(&x, true), &coeffs);
+                nudge(module, eps); // restore
+                (lp - lm) / (2.0 * eps as f64)
+            };
+            let (numeric, ok) = fd_converges(central, a, tol);
             assert!(
-                ((numeric - a) / denom).abs() < tol,
+                ok,
                 "param `{pname}` grad mismatch at {i}: numeric {numeric} vs analytic {a}"
             );
         }

@@ -185,7 +185,8 @@ pub fn train_batches_with_eval(
             loss_sum += loss as f64;
             batches += 1;
         }
-        let eval_metric = if eval_every > 0 && (epoch % eval_every == eval_every - 1 || epoch + 1 == cfg.epochs)
+        let eval_metric = if eval_every > 0
+            && (epoch % eval_every == eval_every - 1 || epoch + 1 == cfg.epochs)
         {
             Some(eval_fn(model))
         } else {
@@ -303,7 +304,12 @@ mod tests {
             eval_metric: Some(metric),
         };
         let report = TrainReport {
-            records: vec![mk(0, 0.5, 1.0), mk(1, 0.79, 2.0), mk(2, 0.8, 3.0), mk(3, 0.78, 4.0)],
+            records: vec![
+                mk(0, 0.5, 1.0),
+                mk(1, 0.79, 2.0),
+                mk(2, 0.8, 3.0),
+                mk(3, 0.78, 4.0),
+            ],
             total_secs: 4.0,
         };
         let (best, t) = report.best_eval().unwrap();

@@ -25,7 +25,9 @@ fn fd_matches(f: &dyn Fn(&Tensor) -> (f32, Tensor), x: &Tensor, tol: f64) -> Res
         let analytic = grad.data()[i] as f64;
         let denom = 1.0 + numeric.abs().max(analytic.abs());
         if ((numeric - analytic) / denom).abs() > tol {
-            return Err(format!("coord {i}: numeric {numeric} vs analytic {analytic}"));
+            return Err(format!(
+                "coord {i}: numeric {numeric} vs analytic {analytic}"
+            ));
         }
     }
     Ok(())

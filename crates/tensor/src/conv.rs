@@ -28,8 +28,12 @@ impl Conv2dSpec {
     /// # Panics
     /// Panics if the geometry yields an empty output.
     pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        let oh = (h + 2 * self.padding).checked_sub(self.kernel).map(|x| x / self.stride + 1);
-        let ow = (w + 2 * self.padding).checked_sub(self.kernel).map(|x| x / self.stride + 1);
+        let oh = (h + 2 * self.padding)
+            .checked_sub(self.kernel)
+            .map(|x| x / self.stride + 1);
+        let ow = (w + 2 * self.padding)
+            .checked_sub(self.kernel)
+            .map(|x| x / self.stride + 1);
         match (oh, ow) {
             (Some(oh), Some(ow)) if oh > 0 && ow > 0 => (oh, ow),
             _ => panic!(
@@ -154,9 +158,21 @@ mod tests {
 
     #[test]
     fn output_geometry() {
-        let spec = Conv2dSpec { in_channels: 3, out_channels: 8, kernel: 3, stride: 1, padding: 1 };
+        let spec = Conv2dSpec {
+            in_channels: 3,
+            out_channels: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         assert_eq!(spec.output_hw(8, 8), (8, 8));
-        let spec = Conv2dSpec { in_channels: 3, out_channels: 8, kernel: 3, stride: 2, padding: 1 };
+        let spec = Conv2dSpec {
+            in_channels: 3,
+            out_channels: 8,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
         assert_eq!(spec.output_hw(8, 8), (4, 4));
         assert_eq!(spec.patch_len(), 27);
     }
@@ -164,7 +180,13 @@ mod tests {
     #[test]
     #[should_panic]
     fn empty_output_panics() {
-        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 5, stride: 1, padding: 0 };
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 5,
+            stride: 1,
+            padding: 0,
+        };
         spec.output_hw(3, 3);
     }
 
@@ -172,7 +194,13 @@ mod tests {
     fn im2col_identity_kernel() {
         // 1x1 kernel, stride 1, no padding: patch matrix is the input
         // re-laid-out with channels as columns.
-        let spec = Conv2dSpec { in_channels: 2, out_channels: 1, kernel: 1, stride: 1, padding: 0 };
+        let spec = Conv2dSpec {
+            in_channels: 2,
+            out_channels: 1,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
         let input = Tensor::from_vec((0..8).map(|x| x as f32).collect(), [1, 2, 2, 2]);
         let cols = im2col(&input, &spec);
         assert_eq!(cols.dims(), &[4, 2]);
@@ -183,7 +211,13 @@ mod tests {
 
     #[test]
     fn im2col_reads_padding_as_zero() {
-        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 3, stride: 1, padding: 1 };
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let input = Tensor::ones([1, 1, 2, 2]);
         let cols = im2col(&input, &spec);
         assert_eq!(cols.dims(), &[4, 9]);
@@ -196,7 +230,13 @@ mod tests {
     fn conv_via_im2col_matches_direct() {
         // Direct (naive) conv vs im2col+matmul on a random case.
         let mut rng = Prng::seed_from_u64(5);
-        let spec = Conv2dSpec { in_channels: 2, out_channels: 3, kernel: 3, stride: 1, padding: 1 };
+        let spec = Conv2dSpec {
+            in_channels: 2,
+            out_channels: 3,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let (n, h, w) = (2, 5, 4);
         let input = Tensor::randn([n, 2, h, w], 1.0, &mut rng);
         let weight = Tensor::randn([3, spec.patch_len()], 0.5, &mut rng);
@@ -237,7 +277,13 @@ mod tests {
         // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property,
         // which is exactly what backprop correctness requires.
         let mut rng = Prng::seed_from_u64(11);
-        let spec = Conv2dSpec { in_channels: 2, out_channels: 1, kernel: 3, stride: 2, padding: 1 };
+        let spec = Conv2dSpec {
+            in_channels: 2,
+            out_channels: 1,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
         let (n, h, w) = (2, 6, 5);
         let x = Tensor::randn([n, 2, h, w], 1.0, &mut rng);
         let cols_shape_rows = {
@@ -253,7 +299,13 @@ mod tests {
 
     #[test]
     fn flops_accounting_scales_linearly_in_batch() {
-        let spec = Conv2dSpec { in_channels: 4, out_channels: 8, kernel: 3, stride: 1, padding: 1 };
+        let spec = Conv2dSpec {
+            in_channels: 4,
+            out_channels: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         assert_eq!(spec.flops(2, 8, 8), 2 * spec.flops(1, 8, 8));
     }
 }

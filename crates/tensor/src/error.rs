@@ -77,7 +77,10 @@ mod tests {
         };
         assert!(e.to_string().contains("4 elements"));
 
-        let e = TensorError::IndexOutOfBounds { index: 9, extent: 3 };
+        let e = TensorError::IndexOutOfBounds {
+            index: 9,
+            extent: 3,
+        };
         assert!(e.to_string().contains('9'));
     }
 }

@@ -22,6 +22,7 @@ pub mod conv;
 pub mod matmul;
 pub mod ops;
 pub mod rng;
+pub mod threads;
 
 pub use error::{Result, TensorError};
 pub use matmul::{matmul, matmul_a_bt, matmul_at_b};

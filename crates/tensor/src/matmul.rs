@@ -4,20 +4,17 @@
 //! convolution (via im2col), and their backward passes reduce to one of the
 //! three products below. The kernels use an i-k-j loop order so the inner
 //! loop streams contiguously over both `b` and `out`, letting LLVM
-//! auto-vectorize, and shard the output rows across threads with
-//! `crossbeam::scope` when the problem is large enough to amortize spawning.
+//! auto-vectorize, and shard the output rows across the shared compute
+//! pool ([`crate::threads`]) when the problem is large enough to amortize
+//! the hand-off. Workers receive refcounted handles to the copy-on-write
+//! tensor buffers and return owned output chunks, so no borrow ever
+//! crosses a thread boundary.
 
 use crate::{Result, Shape, Tensor, TensorError};
+use std::sync::mpsc::channel;
 
 /// Problems with at least this many multiply-adds are sharded across threads.
 const PARALLEL_THRESHOLD: usize = 1 << 20;
-
-fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
-}
 
 #[inline]
 fn dims2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
@@ -51,32 +48,55 @@ fn mm_rows(out: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize, rows: usiz
     }
 }
 
-/// Runs `mm_rows` over `m` rows, sharded across threads when profitable.
-fn mm_dispatch(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+/// Runs `mm_rows` over `m` rows, sharded across the compute pool when
+/// profitable. The first shard runs inline on the calling thread, so
+/// progress is guaranteed even when every pool worker is busy.
+fn mm_dispatch(out: &mut [f32], a: &Tensor, b: &Tensor, m: usize, k: usize, n: usize) {
     let work = m * k * n;
-    let threads = available_threads();
+    let threads = crate::threads::num_threads();
     if work < PARALLEL_THRESHOLD || threads == 1 || m < 2 {
-        mm_rows(out, a, b, k, n, m);
+        mm_rows(out, a.data(), b.data(), k, n, m);
         return;
     }
     let shards = threads.min(m);
     let chunk = m.div_ceil(shards);
-    crossbeam::scope(|scope| {
-        let mut rest_out = out;
-        let mut rest_a = a;
-        for _ in 0..shards {
-            let rows = chunk.min(rest_a.len() / k);
-            if rows == 0 {
-                break;
-            }
-            let (o, o2) = rest_out.split_at_mut(rows * n);
-            let (ar, a2) = rest_a.split_at(rows * k);
-            rest_out = o2;
-            rest_a = a2;
-            scope.spawn(move |_| mm_rows(o, ar, b, k, n, rows));
-        }
-    })
-    .expect("matmul worker panicked");
+    let (tx, rx) = channel::<(usize, Vec<f32>)>();
+    let mut queued = 0usize;
+    let mut row = chunk; // shard at rows [0, chunk) runs inline below
+    while row < m {
+        let rows = chunk.min(m - row);
+        let (a_buf, b_buf) = (a.storage(), b.storage());
+        let tx = tx.clone();
+        let start = row;
+        crate::threads::global().execute(move || {
+            let mut o = vec![0.0f32; rows * n];
+            mm_rows(
+                &mut o,
+                &a_buf[start * k..(start + rows) * k],
+                &b_buf,
+                k,
+                n,
+                rows,
+            );
+            let _ = tx.send((start, o));
+        });
+        queued += 1;
+        row += rows;
+    }
+    drop(tx);
+    let head = chunk.min(m);
+    mm_rows(
+        &mut out[..head * n],
+        &a.data()[..head * k],
+        b.data(),
+        k,
+        n,
+        head,
+    );
+    for _ in 0..queued {
+        let (start, o) = rx.recv().expect("matmul worker panicked");
+        out[start * n..start * n + o.len()].copy_from_slice(&o);
+    }
 }
 
 /// `a[m×k] · b[k×n] → [m×n]`.
@@ -91,7 +111,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros([m, n]);
-    mm_dispatch(out.data_mut(), a.data(), b.data(), m, k, n);
+    mm_dispatch(out.data_mut(), a, b, m, k, n);
     Ok(out)
 }
 

@@ -73,7 +73,10 @@ pub fn softmax_with_temperature(logits: &Tensor, temperature: f32) -> Tensor {
 pub fn one_hot(labels: &[usize], num_classes: usize) -> Tensor {
     let mut out = Tensor::zeros([labels.len(), num_classes]);
     for (r, &c) in labels.iter().enumerate() {
-        assert!(c < num_classes, "label {c} out of range for {num_classes} classes");
+        assert!(
+            c < num_classes,
+            "label {c} out of range for {num_classes} classes"
+        );
         out.row_mut(r)[c] = 1.0;
     }
     out
@@ -81,7 +84,11 @@ pub fn one_hot(labels: &[usize], num_classes: usize) -> Tensor {
 
 /// Classification accuracy of `logits` (or probabilities) against labels.
 pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
-    assert_eq!(logits.rows(), labels.len(), "accuracy: row/label count mismatch");
+    assert_eq!(
+        logits.rows(),
+        labels.len(),
+        "accuracy: row/label count mismatch"
+    );
     if labels.is_empty() {
         return 0.0;
     }

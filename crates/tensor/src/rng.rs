@@ -2,11 +2,11 @@
 //!
 //! Every experiment in this reproduction is deterministic: each public entry
 //! point takes an explicit `u64` seed which is threaded into a [`Prng`].
-//! The wrapper adds the distributions the NN stack needs (standard normal
-//! via Box–Muller, Fisher–Yates permutations) on top of `rand`'s `StdRng`.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! The generator is a self-contained xoshiro256++ (seeded through
+//! splitmix64, as its authors recommend) plus the distributions the NN
+//! stack needs: standard normal via Box–Muller and Fisher–Yates
+//! permutations. Keeping the generator in-tree makes streams reproducible
+//! across platforms and rust versions with no external dependency.
 
 /// A seeded pseudo-random number generator with NN-oriented helpers.
 ///
@@ -23,17 +23,33 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Clone)]
 pub struct Prng {
-    inner: StdRng,
+    /// xoshiro256++ state; never all-zero thanks to splitmix64 seeding.
+    state: [u64; 4],
     /// Cached second output of the Box–Muller transform.
     spare_normal: Option<f32>,
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Prng {
     /// Creates a generator from a 64-bit seed. Equal seeds produce equal
     /// streams on every platform.
     pub fn seed_from_u64(seed: u64) -> Self {
+        let mut s = seed;
         Prng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
             spare_normal: None,
         }
     }
@@ -41,14 +57,14 @@ impl Prng {
     /// Derives an independent child generator. Used to give each dataset /
     /// model / trainer its own stream from a single experiment seed.
     pub fn fork(&mut self, salt: u64) -> Prng {
-        let s = self.inner.random::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         Prng::seed_from_u64(s)
     }
 
-    /// Uniform `f32` in `[0, 1)`.
+    /// Uniform `f32` in `[0, 1)`, using the top 24 bits of the stream.
     #[inline]
     pub fn uniform(&mut self) -> f32 {
-        self.inner.random::<f32>()
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
     }
 
     /// Uniform `f32` in `[lo, hi)`.
@@ -57,20 +73,32 @@ impl Prng {
         lo + (hi - lo) * self.uniform()
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Uniform integer in `[0, n)` (Lemire's multiply-shift reduction;
+    /// the bias is < 2⁻⁶⁴ per draw, irrelevant at NN scales).
     ///
     /// # Panics
     /// Panics if `n == 0`.
     #[inline]
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is undefined");
-        self.inner.random_range(0..n)
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
-    /// Raw uniform `u64`.
+    /// Raw uniform `u64` (xoshiro256++ step).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.random::<u64>()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
     }
 
     /// Standard normal sample (mean 0, variance 1) via Box–Muller.

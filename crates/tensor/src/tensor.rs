@@ -2,6 +2,7 @@
 
 use crate::{Prng, Result, Shape, TensorError};
 use std::fmt;
+use std::sync::Arc;
 
 /// A dense, row-major tensor of `f32` values.
 ///
@@ -9,6 +10,13 @@ use std::fmt;
 /// deliberately simple — contiguous storage, no views, no broadcasting beyond
 /// the row-wise helpers the NN stack needs — which keeps every kernel easy to
 /// audit and fast on CPU.
+///
+/// Storage is **copy-on-write**: [`Tensor::clone`] bumps a refcount instead
+/// of copying the buffer, and the first mutation through any `&mut self`
+/// accessor transparently unshares it. Cloning a whole model (PoE's
+/// train-free consolidation clones the library and every expert head per
+/// query) therefore costs O(#tensors), not O(#parameters). Use
+/// [`Tensor::shares_storage`] to observe sharing.
 ///
 /// ```
 /// use poe_tensor::{matmul, Tensor};
@@ -18,10 +26,16 @@ use std::fmt;
 /// let b = matmul(&a, &eye).unwrap();
 /// assert_eq!(a, b);
 /// assert_eq!(a.row(1), &[3.0, 4.0]);
+///
+/// let mut c = a.clone();
+/// assert!(c.shares_storage(&a));      // clone = refcount bump
+/// c.data_mut()[0] = 9.0;              // first write unshares
+/// assert!(!c.shares_storage(&a));
+/// assert_eq!(a.data()[0], 1.0);
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(Clone)]
 pub struct Tensor {
-    data: Vec<f32>,
+    data: Arc<Vec<f32>>,
     shape: Shape,
 }
 
@@ -42,14 +56,17 @@ impl Tensor {
             "data length {} does not match shape {shape}",
             data.len()
         );
-        Tensor { data, shape }
+        Tensor {
+            data: Arc::new(data),
+            shape,
+        }
     }
 
     /// A tensor of zeros.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         Tensor {
-            data: vec![0.0; shape.numel()],
+            data: Arc::new(vec![0.0; shape.numel()]),
             shape,
         }
     }
@@ -58,7 +75,7 @@ impl Tensor {
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         Tensor {
-            data: vec![value; shape.numel()],
+            data: Arc::new(vec![value; shape.numel()]),
             shape,
         }
     }
@@ -72,14 +89,20 @@ impl Tensor {
     pub fn randn(shape: impl Into<Shape>, std: f32, rng: &mut Prng) -> Self {
         let shape = shape.into();
         let data = (0..shape.numel()).map(|_| rng.normal() * std).collect();
-        Tensor { data, shape }
+        Tensor {
+            data: Arc::new(data),
+            shape,
+        }
     }
 
     /// I.i.d. uniform entries in `[lo, hi)`.
     pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut Prng) -> Self {
         let shape = shape.into();
         let data = (0..shape.numel()).map(|_| rng.uniform_in(lo, hi)).collect();
-        Tensor { data, shape }
+        Tensor {
+            data: Arc::new(data),
+            shape,
+        }
     }
 
     /// Kaiming/He-normal initialization for a weight with `fan_in` inputs.
@@ -117,14 +140,46 @@ impl Tensor {
     }
 
     /// Mutable view of the underlying storage, row-major.
+    ///
+    /// If the storage is shared with other tensors (copy-on-write clones),
+    /// it is unshared — copied once — before the borrow is handed out.
     #[inline]
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.buf_mut()
     }
 
-    /// Consumes the tensor, returning its storage.
+    /// The copy-on-write step: unshares the buffer if needed and returns
+    /// the uniquely-owned storage.
+    #[inline]
+    fn buf_mut(&mut self) -> &mut Vec<f32> {
+        Arc::make_mut(&mut self.data)
+    }
+
+    /// True when `self` and `other` share one underlying buffer (i.e. one
+    /// is a clone of the other and neither has been mutated since).
+    #[inline]
+    pub fn shares_storage(&self, other: &Tensor) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Number of tensors currently sharing this tensor's storage
+    /// (1 when uniquely owned).
+    #[inline]
+    pub fn storage_ref_count(&self) -> usize {
+        Arc::strong_count(&self.data)
+    }
+
+    /// A refcounted handle to the storage, for sending read-only views of
+    /// this tensor's data to worker threads without copying.
+    #[inline]
+    pub(crate) fn storage(&self) -> Arc<Vec<f32>> {
+        Arc::clone(&self.data)
+    }
+
+    /// Consumes the tensor, returning its storage (copies only if the
+    /// storage is still shared with another tensor).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        Arc::try_unwrap(self.data).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// Element at a multi-dimensional index.
@@ -137,7 +192,7 @@ impl Tensor {
     #[inline]
     pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
         let off = self.shape.offset(index);
-        &mut self.data[off]
+        &mut self.buf_mut()[off]
     }
 
     /// Number of rows when viewed as a matrix (all leading dims flattened).
@@ -165,14 +220,15 @@ impl Tensor {
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         let (rows, cols) = self.shape.as_matrix();
         assert!(r < rows, "row {r} out of bounds for {rows} rows");
-        &mut self.data[r * cols..(r + 1) * cols]
+        &mut self.buf_mut()[r * cols..(r + 1) * cols]
     }
 
     // ------------------------------------------------------------------
     // Shape manipulation
     // ------------------------------------------------------------------
 
-    /// Returns a tensor with the same data and a new shape.
+    /// Returns a tensor with the same data and a new shape. The result
+    /// shares storage with `self` (copy-on-write).
     pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Tensor> {
         let shape = shape.into();
         if shape.numel() != self.numel() {
@@ -182,7 +238,7 @@ impl Tensor {
             });
         }
         Ok(Tensor {
-            data: self.data.clone(),
+            data: Arc::clone(&self.data),
             shape,
         })
     }
@@ -236,7 +292,11 @@ impl Tensor {
         let per: usize = dims[1..].iter().product();
         let mut out = Vec::with_capacity(indices.len() * per);
         for &i in indices {
-            assert!(i < dims[0], "sample index {i} out of bounds for {} samples", dims[0]);
+            assert!(
+                i < dims[0],
+                "sample index {i} out of bounds for {} samples",
+                dims[0]
+            );
             out.extend_from_slice(&self.data[i * per..(i + 1) * per]);
         }
         let mut shape = vec![indices.len()];
@@ -252,7 +312,10 @@ impl Tensor {
         for r in 0..rows {
             let row = self.row(r);
             for &c in indices {
-                assert!(c < cols, "column index {c} out of bounds for {cols} columns");
+                assert!(
+                    c < cols,
+                    "column index {c} out of bounds for {cols} columns"
+                );
                 out.push(row[c]);
             }
         }
@@ -352,11 +415,11 @@ impl Tensor {
         let data = self
             .data
             .iter()
-            .zip(&other.data)
+            .zip(other.data.iter())
             .map(|(a, b)| a + b)
             .collect();
         Ok(Tensor {
-            data,
+            data: Arc::new(data),
             shape: self.shape.clone(),
         })
     }
@@ -367,11 +430,11 @@ impl Tensor {
         let data = self
             .data
             .iter()
-            .zip(&other.data)
+            .zip(other.data.iter())
             .map(|(a, b)| a - b)
             .collect();
         Ok(Tensor {
-            data,
+            data: Arc::new(data),
             shape: self.shape.clone(),
         })
     }
@@ -382,11 +445,11 @@ impl Tensor {
         let data = self
             .data
             .iter()
-            .zip(&other.data)
+            .zip(other.data.iter())
             .map(|(a, b)| a * b)
             .collect();
         Ok(Tensor {
-            data,
+            data: Arc::new(data),
             shape: self.shape.clone(),
         })
     }
@@ -394,7 +457,7 @@ impl Tensor {
     /// `self += alpha * other`, in place (axpy).
     pub fn add_scaled(&mut self, other: &Tensor, alpha: f32) -> Result<()> {
         self.zip_check(other, "add_scaled")?;
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, b) in self.buf_mut().iter_mut().zip(other.data.iter()) {
             *a += alpha * b;
         }
         Ok(())
@@ -402,7 +465,7 @@ impl Tensor {
 
     /// Multiplies every element by `s`, in place.
     pub fn scale(&mut self, s: f32) {
-        for x in &mut self.data {
+        for x in self.buf_mut().iter_mut() {
             *x *= s;
         }
     }
@@ -416,7 +479,7 @@ impl Tensor {
 
     /// Applies `f` to every element, in place.
     pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
+        for x in self.buf_mut().iter_mut() {
             *x = f(*x);
         }
     }
@@ -424,14 +487,20 @@ impl Tensor {
     /// Returns a new tensor with `f` applied to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data: Arc::new(self.data.iter().map(|&x| f(x)).collect()),
             shape: self.shape.clone(),
         }
     }
 
-    /// Sets every element to zero without reallocating.
+    /// Sets every element to zero without reallocating (unless the storage
+    /// is shared, in which case a fresh zeroed buffer replaces it).
     pub fn fill_zero(&mut self) {
-        self.data.iter_mut().for_each(|x| *x = 0.0);
+        if Arc::get_mut(&mut self.data).is_none() {
+            // Shared: don't copy values we are about to overwrite.
+            self.data = Arc::new(vec![0.0; self.shape.numel()]);
+        } else {
+            self.buf_mut().iter_mut().for_each(|x| *x = 0.0);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -493,7 +562,12 @@ impl Tensor {
     pub fn max_rows(&self) -> Vec<f32> {
         let (rows, _) = self.shape.as_matrix();
         (0..rows)
-            .map(|r| self.row(r).iter().copied().fold(f32::NEG_INFINITY, f32::max))
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .copied()
+                    .fold(f32::NEG_INFINITY, f32::max)
+            })
             .collect()
     }
 
@@ -507,9 +581,17 @@ impl Tensor {
         assert_eq!(self.shape, other.shape, "max_abs_diff shape mismatch");
         self.data
             .iter()
-            .zip(&other.data)
+            .zip(other.data.iter())
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f32::max)
+    }
+}
+
+impl PartialEq for Tensor {
+    /// Value equality: same shape, elementwise-equal contents. Sharing is
+    /// not required (and, per IEEE-754, NaN ≠ NaN even within one buffer).
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && *self.data == *other.data
     }
 }
 
@@ -668,6 +750,69 @@ mod tests {
         let a = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.7, 0.2, 0.1], [2, 3]);
         assert_eq!(a.argmax_rows(), vec![1, 0]);
         assert_eq!(a.max_rows(), vec![0.9, 0.7]);
+    }
+
+    #[test]
+    fn clone_shares_storage_until_mutation() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let mut b = a.clone();
+        assert!(b.shares_storage(&a));
+        assert_eq!(a.storage_ref_count(), 2);
+        // Read-only accessors never unshare.
+        assert_eq!(b.row(0), a.row(0));
+        assert_eq!(b.at(&[1, 1]), 4.0);
+        assert!(b.shares_storage(&a));
+        // First write unshares; the original is untouched.
+        b.data_mut()[0] = 9.0;
+        assert!(!b.shares_storage(&a));
+        assert_eq!(a.data()[0], 1.0);
+        assert_eq!(b.data()[0], 9.0);
+        assert_eq!(a.storage_ref_count(), 1);
+    }
+
+    #[test]
+    fn reshape_shares_storage() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), [2, 3]);
+        let mut r = a.reshape([3, 2]).unwrap();
+        assert!(r.shares_storage(&a));
+        *r.at_mut(&[0, 0]) = 7.0;
+        assert!(!r.shares_storage(&a));
+        assert_eq!(a.at(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn into_vec_copies_only_when_shared() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let b = a.clone();
+        assert_eq!(b.into_vec(), vec![1.0, 2.0]); // shared: copies
+        assert_eq!(a.into_vec(), vec![1.0, 2.0]); // unique: moves
+    }
+
+    #[test]
+    fn fill_zero_unshares() {
+        let a = Tensor::ones([4]);
+        let mut b = a.clone();
+        b.fill_zero();
+        assert_eq!(a.data(), &[1.0; 4]);
+        assert_eq!(b.data(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn in_place_ops_unshare() {
+        let a = Tensor::ones([3]);
+        let mut s = a.clone();
+        s.scale(2.0);
+        let mut m = a.clone();
+        m.map_in_place(|x| x + 1.0);
+        let mut ax = a.clone();
+        ax.add_scaled(&Tensor::ones([3]), 0.5).unwrap();
+        let mut r = a.clone();
+        r.row_mut(0)[1] = 5.0;
+        assert_eq!(a.data(), &[1.0; 3]);
+        assert_eq!(s.data(), &[2.0; 3]);
+        assert_eq!(m.data(), &[2.0; 3]);
+        assert_eq!(ax.data(), &[1.5; 3]);
+        assert_eq!(r.data(), &[1.0, 5.0, 1.0]);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! The shared compute thread pool.
+//!
+//! Kernels used to spawn fresh OS threads per call (via a scoped-thread
+//! helper) and hard-capped themselves at 8 threads. This module replaces
+//! that with one lazily-initialized, process-wide pool sized to the
+//! machine (overridable with `POE_NUM_THREADS`), so parallel sections pay
+//! a channel send instead of a thread spawn.
+//!
+//! Jobs must be `'static` and **leaf-like**: a job must never block on the
+//! completion of another pool job, or the pool can deadlock. The matmul
+//! dispatcher satisfies this by sending workers cheap [`std::sync::Arc`]
+//! clones of the copy-on-write tensor buffers (so borrows never cross
+//! threads) and collecting owned output chunks over a channel.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Number of compute threads to use: the `POE_NUM_THREADS` environment
+/// variable when set to a positive integer, otherwise all available cores.
+/// Read once and cached for the process lifetime.
+pub fn num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(v) = std::env::var("POE_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// A fixed-size pool of worker threads executing queued jobs.
+pub struct ThreadPool {
+    sender: Sender<Job>,
+}
+
+impl ThreadPool {
+    fn with_workers(count: usize) -> Self {
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        for i in 0..count {
+            let receiver: Arc<Mutex<Receiver<Job>>> = Arc::clone(&receiver);
+            std::thread::Builder::new()
+                .name(format!("poe-compute-{i}"))
+                .spawn(move || loop {
+                    let job = match receiver.lock() {
+                        Ok(rx) => rx.recv(),
+                        Err(_) => break,
+                    };
+                    match job {
+                        // A panicking job must not kill the worker; the
+                        // submitter observes the failure through its own
+                        // result channel going dead.
+                        Ok(job) => drop(catch_unwind(AssertUnwindSafe(job))),
+                        Err(_) => break,
+                    }
+                })
+                .expect("spawn compute worker");
+        }
+        ThreadPool { sender }
+    }
+
+    /// Queues a job for execution on some worker.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .send(Box::new(job))
+            .expect("compute pool is never shut down");
+    }
+}
+
+/// The process-wide compute pool, created on first use with
+/// [`num_threads`] workers.
+pub fn global() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| ThreadPool::with_workers(num_threads()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn jobs_run_and_results_come_back() {
+        let (tx, rx) = channel();
+        for i in 0..64usize {
+            let tx = tx.clone();
+            global().execute(move || {
+                tx.send(i * 2).unwrap();
+            });
+        }
+        drop(tx);
+        let mut total = 0usize;
+        for _ in 0..64 {
+            total += rx.recv().unwrap();
+        }
+        assert_eq!(total, (0..64).map(|i| i * 2).sum());
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_poison_the_pool() {
+        let (tx, rx) = channel::<()>();
+        global().execute(move || {
+            let _tx = tx; // dropped on unwind, closing the channel
+            panic!("job panic");
+        });
+        assert!(rx.recv().is_err());
+        // The pool still runs subsequent jobs.
+        let hits = Arc::new(AtomicUsize::new(0));
+        let (done_tx, done_rx) = channel();
+        for _ in 0..8 {
+            let hits = Arc::clone(&hits);
+            let done_tx = done_tx.clone();
+            global().execute(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+                done_tx.send(()).unwrap();
+            });
+        }
+        drop(done_tx);
+        for _ in 0..8 {
+            done_rx.recv().unwrap();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn num_threads_is_positive_and_stable() {
+        let n = num_threads();
+        assert!(n >= 1);
+        assert_eq!(n, num_threads());
+    }
+}

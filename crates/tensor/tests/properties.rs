@@ -98,6 +98,34 @@ proptest! {
     }
 
     #[test]
+    fn clone_shares_storage_until_mutation(a in tensor_strategy(4, 5), i in 0usize..20) {
+        let mut b = a.clone();
+        // A clone is a refcount bump: both tensors point at the same buffer.
+        prop_assert!(b.shares_storage(&a));
+        prop_assert!(b.max_abs_diff(&a) == 0.0);
+        // First mutable access detaches the clone (copy-on-write)…
+        b.data_mut()[i] += 1.0;
+        prop_assert!(!b.shares_storage(&a));
+        // …and the original is unchanged.
+        prop_assert!((b.data()[i] - a.data()[i] - 1.0).abs() < 1e-6);
+        for j in (0..20).filter(|&j| j != i) {
+            prop_assert_eq!(b.data()[j], a.data()[j]);
+        }
+    }
+
+    #[test]
+    fn read_ops_never_detach(a in tensor_strategy(3, 4), b in tensor_strategy(3, 4)) {
+        let c = a.clone();
+        // Reads and out-of-place ops on a shared tensor must not copy it.
+        let _ = c.add(&b).unwrap();
+        let _ = c.scaled(2.0);
+        let _ = c.sum();
+        prop_assert!(c.shares_storage(&a));
+        let r = c.reshape([4, 3]).unwrap();
+        prop_assert!(r.shares_storage(&a));
+    }
+
+    #[test]
     fn im2col_col2im_adjoint(seed in 0u64..1000, stride in 1usize..3, pad in 0usize..2) {
         let mut rng = Prng::seed_from_u64(seed);
         let spec = Conv2dSpec { in_channels: 2, out_channels: 1, kernel: 3, stride, padding: pad };

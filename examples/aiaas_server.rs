@@ -76,7 +76,11 @@ fn main() {
     println!("extracting and installing the expert for task 11 (no downtime) …");
     let classes = hierarchy.primitive(11).classes.clone();
     let sub = pre.oracle_logits.select_cols(&classes);
-    let arch = WrnConfig { ks: 0.25, num_classes: classes.len(), ..pipe.student_arch };
+    let arch = WrnConfig {
+        ks: 0.25,
+        num_classes: classes.len(),
+        ..pipe.student_arch
+    };
     let mut rng = Prng::seed_from_u64(0xF00D);
     let head = pool_of_experts::models::build_mlp_head("late11", &arch, classes.len(), &mut rng);
     let ext = pool_of_experts::core::extract_expert(
@@ -85,7 +89,11 @@ fn main() {
         head,
         &pipe.ckd_config(),
     );
-    service.install_expert(Expert { task_index: 11, classes, head: ext.head });
+    service.install_expert(Expert {
+        task_index: 11,
+        classes,
+        head: ext.head,
+    });
 
     let r = service.query(&[11, 0]).expect("task 11 now queryable");
     println!(

@@ -61,7 +61,11 @@ fn main() {
     for t in 0..hierarchy.num_primitives() {
         let classes = hierarchy.primitive(t).classes.clone();
         let sub = oracle_logits.select_cols(&classes);
-        let head_arch = WrnConfig { ks: 0.5, num_classes: classes.len(), ..student_arch };
+        let head_arch = WrnConfig {
+            ks: 0.5,
+            num_classes: classes.len(),
+            ..student_arch
+        };
         let mut head = build_conv_head(&format!("e{t}"), &head_arch, classes.len(), &mut rng);
         println!("extracting conv expert {t} ({} classes) …", classes.len());
         train_batches(
@@ -70,7 +74,11 @@ fn main() {
             &TrainConfig::new(15, 32, 0.01),
             &mut |logits, idx| loss.eval(logits, &sub.select_rows(idx)),
         );
-        branches.push(pool_of_experts::models::Branch { task_index: t, head, classes });
+        branches.push(pool_of_experts::models::Branch {
+            task_index: t,
+            head,
+            classes,
+        });
     }
 
     // Train-free consolidation of tasks {0, 2}.

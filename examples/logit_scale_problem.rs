@@ -36,25 +36,42 @@ fn main() {
     // Rebuild the experts twice from the same library features: once per
     // loss variant.
     let variants = [
-        ("L_soft + α·L_scale (the paper's CKD)", CkdLoss::paper(pipe.temperature)),
-        ("L_soft only (scale information lost)", CkdLoss::soft_only(pipe.temperature)),
+        (
+            "L_soft + α·L_scale (the paper's CKD)",
+            CkdLoss::paper(pipe.temperature),
+        ),
+        (
+            "L_soft only (scale information lost)",
+            CkdLoss::soft_only(pipe.temperature),
+        ),
     ];
     for (label, loss) in variants {
         let mut pool = ExpertPool::new(hierarchy.clone(), pre.pool.library().clone());
-        let ckd = CkdConfig { loss, train: pipe.expert_train.clone() };
+        let ckd = CkdConfig {
+            loss,
+            train: pipe.expert_train.clone(),
+        };
         let mut rng = pool_of_experts::prelude::Prng::seed_from_u64(0x5CA1E);
         for t in 0..hierarchy.num_primitives() {
             let classes = hierarchy.primitive(t).classes.clone();
             let sub = pre.oracle_logits.select_cols(&classes);
-            let arch = WrnConfig { ks: 0.25, num_classes: classes.len(), ..pipe.student_arch };
+            let arch = WrnConfig {
+                ks: 0.25,
+                num_classes: classes.len(),
+                ..pipe.student_arch
+            };
             let head = build_mlp_head(&format!("v{t}"), &arch, classes.len(), &mut rng);
             let ext = extract_expert(&pre.library_features, &sub, head, &ckd);
-            pool.insert_expert(Expert { task_index: t, classes, head: ext.head });
+            pool.insert_expert(Expert {
+                task_index: t,
+                classes,
+                head: ext.head,
+            });
         }
 
         let d = diagnose_pool(&pool, &split.test, 2);
-        let per_expert_acc: f64 = d.experts.iter().map(|e| e.in_task_accuracy).sum::<f64>()
-            / d.experts.len() as f64;
+        let per_expert_acc: f64 =
+            d.experts.iter().map(|e| e.in_task_accuracy).sum::<f64>() / d.experts.len() as f64;
 
         let query: Vec<usize> = (0..hierarchy.num_primitives()).collect();
         let (mut model, _) = pool.consolidate(&query).expect("consolidate");

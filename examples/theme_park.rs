@@ -23,15 +23,26 @@ const PLACES: [(&str, &[usize]); 4] = [
     ("restaurant (foods)", &[0, 1]),
     ("zoo (animals)", &[2, 3, 4]),
     ("souvenir shop (goods)", &[5]),
-    ("back to the restaurant, friends joined (foods + drinks)", &[0, 1, 6]),
+    (
+        "back to the restaurant, friends joined (foods + drinks)",
+        &[0, 1, 6],
+    ),
 ];
 
 fn main() {
     // 10 primitive "concept groups" of 3 classes each: foods, drinks,
     // mammals, birds, fish, toys, …
     let names = [
-        "foods", "desserts", "mammals", "birds", "fish", "souvenirs", "drinks", "plants",
-        "vehicles", "insects",
+        "foods",
+        "desserts",
+        "mammals",
+        "birds",
+        "fish",
+        "souvenirs",
+        "drinks",
+        "plants",
+        "vehicles",
+        "insects",
     ];
     let cfg = GaussianHierarchyConfig::balanced(10, 3)
         .with_renderer(32, 2)
@@ -43,7 +54,10 @@ fn main() {
         .primitives()
         .iter()
         .enumerate()
-        .map(|(i, p)| PrimitiveTask { name: names[i].into(), classes: p.classes.clone() })
+        .map(|(i, p)| PrimitiveTask {
+            name: names[i].into(),
+            classes: p.classes.clone(),
+        })
         .collect();
     hierarchy = pool_of_experts::data::ClassHierarchy::new(hierarchy.num_classes(), groups);
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_alpha-27f6b482579b44f4.d: crates/bench/src/bin/ablate_alpha.rs
+
+/root/repo/target/debug/deps/libablate_alpha-27f6b482579b44f4.rmeta: crates/bench/src/bin/ablate_alpha.rs
+
+crates/bench/src/bin/ablate_alpha.rs:

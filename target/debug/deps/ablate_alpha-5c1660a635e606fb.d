@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_alpha-5c1660a635e606fb.d: crates/bench/src/bin/ablate_alpha.rs
+
+/root/repo/target/debug/deps/ablate_alpha-5c1660a635e606fb: crates/bench/src/bin/ablate_alpha.rs
+
+crates/bench/src/bin/ablate_alpha.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_alpha-76c53d2533d6cd31.d: crates/bench/src/bin/ablate_alpha.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_alpha-76c53d2533d6cd31.rmeta: crates/bench/src/bin/ablate_alpha.rs Cargo.toml
+
+crates/bench/src/bin/ablate_alpha.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_alpha-c41c786ba5669930.d: crates/bench/src/bin/ablate_alpha.rs
+
+/root/repo/target/debug/deps/libablate_alpha-c41c786ba5669930.rmeta: crates/bench/src/bin/ablate_alpha.rs
+
+crates/bench/src/bin/ablate_alpha.rs:

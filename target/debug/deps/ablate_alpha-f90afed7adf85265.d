@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_alpha-f90afed7adf85265.d: crates/bench/src/bin/ablate_alpha.rs
+
+/root/repo/target/debug/deps/ablate_alpha-f90afed7adf85265: crates/bench/src/bin/ablate_alpha.rs
+
+crates/bench/src/bin/ablate_alpha.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_library_depth-8233eac2cc1ade47.d: crates/bench/src/bin/ablate_library_depth.rs
+
+/root/repo/target/debug/deps/ablate_library_depth-8233eac2cc1ade47: crates/bench/src/bin/ablate_library_depth.rs
+
+crates/bench/src/bin/ablate_library_depth.rs:

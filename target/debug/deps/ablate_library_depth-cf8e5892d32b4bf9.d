@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_library_depth-cf8e5892d32b4bf9.d: crates/bench/src/bin/ablate_library_depth.rs
+
+/root/repo/target/debug/deps/libablate_library_depth-cf8e5892d32b4bf9.rmeta: crates/bench/src/bin/ablate_library_depth.rs
+
+crates/bench/src/bin/ablate_library_depth.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_library_depth-d13231366412052c.d: crates/bench/src/bin/ablate_library_depth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_library_depth-d13231366412052c.rmeta: crates/bench/src/bin/ablate_library_depth.rs Cargo.toml
+
+crates/bench/src/bin/ablate_library_depth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

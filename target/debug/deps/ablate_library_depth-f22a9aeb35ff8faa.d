@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_library_depth-f22a9aeb35ff8faa.d: crates/bench/src/bin/ablate_library_depth.rs
+
+/root/repo/target/debug/deps/libablate_library_depth-f22a9aeb35ff8faa.rmeta: crates/bench/src/bin/ablate_library_depth.rs
+
+crates/bench/src/bin/ablate_library_depth.rs:

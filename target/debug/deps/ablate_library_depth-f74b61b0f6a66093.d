@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_library_depth-f74b61b0f6a66093.d: crates/bench/src/bin/ablate_library_depth.rs
+
+/root/repo/target/debug/deps/ablate_library_depth-f74b61b0f6a66093: crates/bench/src/bin/ablate_library_depth.rs
+
+crates/bench/src/bin/ablate_library_depth.rs:

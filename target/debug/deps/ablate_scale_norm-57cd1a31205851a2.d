@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_scale_norm-57cd1a31205851a2.d: crates/bench/src/bin/ablate_scale_norm.rs
+
+/root/repo/target/debug/deps/libablate_scale_norm-57cd1a31205851a2.rmeta: crates/bench/src/bin/ablate_scale_norm.rs
+
+crates/bench/src/bin/ablate_scale_norm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_scale_norm-7ee1ed1a460fa71e.d: crates/bench/src/bin/ablate_scale_norm.rs
+
+/root/repo/target/debug/deps/ablate_scale_norm-7ee1ed1a460fa71e: crates/bench/src/bin/ablate_scale_norm.rs
+
+crates/bench/src/bin/ablate_scale_norm.rs:

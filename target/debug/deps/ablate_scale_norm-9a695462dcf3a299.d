@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_scale_norm-9a695462dcf3a299.d: crates/bench/src/bin/ablate_scale_norm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_scale_norm-9a695462dcf3a299.rmeta: crates/bench/src/bin/ablate_scale_norm.rs Cargo.toml
+
+crates/bench/src/bin/ablate_scale_norm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

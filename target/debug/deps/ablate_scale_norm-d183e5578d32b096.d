@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_scale_norm-d183e5578d32b096.d: crates/bench/src/bin/ablate_scale_norm.rs
+
+/root/repo/target/debug/deps/libablate_scale_norm-d183e5578d32b096.rmeta: crates/bench/src/bin/ablate_scale_norm.rs
+
+crates/bench/src/bin/ablate_scale_norm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_scale_norm-fe89ad2700f7600f.d: crates/bench/src/bin/ablate_scale_norm.rs
+
+/root/repo/target/debug/deps/ablate_scale_norm-fe89ad2700f7600f: crates/bench/src/bin/ablate_scale_norm.rs
+
+crates/bench/src/bin/ablate_scale_norm.rs:

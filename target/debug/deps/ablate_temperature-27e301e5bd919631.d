@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_temperature-27e301e5bd919631.d: crates/bench/src/bin/ablate_temperature.rs
+
+/root/repo/target/debug/deps/libablate_temperature-27e301e5bd919631.rmeta: crates/bench/src/bin/ablate_temperature.rs
+
+crates/bench/src/bin/ablate_temperature.rs:

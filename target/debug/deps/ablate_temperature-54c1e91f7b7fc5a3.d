@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_temperature-54c1e91f7b7fc5a3.d: crates/bench/src/bin/ablate_temperature.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_temperature-54c1e91f7b7fc5a3.rmeta: crates/bench/src/bin/ablate_temperature.rs Cargo.toml
+
+crates/bench/src/bin/ablate_temperature.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

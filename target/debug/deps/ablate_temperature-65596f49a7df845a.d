@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_temperature-65596f49a7df845a.d: crates/bench/src/bin/ablate_temperature.rs
+
+/root/repo/target/debug/deps/ablate_temperature-65596f49a7df845a: crates/bench/src/bin/ablate_temperature.rs
+
+crates/bench/src/bin/ablate_temperature.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_temperature-95d2d53aa0ffe4eb.d: crates/bench/src/bin/ablate_temperature.rs
+
+/root/repo/target/debug/deps/libablate_temperature-95d2d53aa0ffe4eb.rmeta: crates/bench/src/bin/ablate_temperature.rs
+
+crates/bench/src/bin/ablate_temperature.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_temperature-be0232babff81faa.d: crates/bench/src/bin/ablate_temperature.rs
+
+/root/repo/target/debug/deps/ablate_temperature-be0232babff81faa: crates/bench/src/bin/ablate_temperature.rs
+
+crates/bench/src/bin/ablate_temperature.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_temperature-f960c7dd06874315.d: crates/bench/src/bin/ablate_temperature.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_temperature-f960c7dd06874315.rmeta: crates/bench/src/bin/ablate_temperature.rs Cargo.toml
+
+crates/bench/src/bin/ablate_temperature.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

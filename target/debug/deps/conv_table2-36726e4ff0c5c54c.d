@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conv_table2-36726e4ff0c5c54c.d: crates/bench/src/bin/conv_table2.rs
+
+/root/repo/target/debug/deps/conv_table2-36726e4ff0c5c54c: crates/bench/src/bin/conv_table2.rs
+
+crates/bench/src/bin/conv_table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conv_table2-37956be5a36b0d40.d: crates/bench/src/bin/conv_table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconv_table2-37956be5a36b0d40.rmeta: crates/bench/src/bin/conv_table2.rs Cargo.toml
+
+crates/bench/src/bin/conv_table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

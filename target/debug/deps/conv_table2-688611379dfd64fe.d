@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conv_table2-688611379dfd64fe.d: crates/bench/src/bin/conv_table2.rs
+
+/root/repo/target/debug/deps/conv_table2-688611379dfd64fe: crates/bench/src/bin/conv_table2.rs
+
+crates/bench/src/bin/conv_table2.rs:

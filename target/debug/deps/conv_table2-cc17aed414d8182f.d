@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conv_table2-cc17aed414d8182f.d: crates/bench/src/bin/conv_table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconv_table2-cc17aed414d8182f.rmeta: crates/bench/src/bin/conv_table2.rs Cargo.toml
+
+crates/bench/src/bin/conv_table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conv_table2-e98196e64d972186.d: crates/bench/src/bin/conv_table2.rs
+
+/root/repo/target/debug/deps/libconv_table2-e98196e64d972186.rmeta: crates/bench/src/bin/conv_table2.rs
+
+crates/bench/src/bin/conv_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diagnose_pool-07414f63d9745ee2.d: crates/bench/src/bin/diagnose_pool.rs
+
+/root/repo/target/debug/deps/libdiagnose_pool-07414f63d9745ee2.rmeta: crates/bench/src/bin/diagnose_pool.rs
+
+crates/bench/src/bin/diagnose_pool.rs:

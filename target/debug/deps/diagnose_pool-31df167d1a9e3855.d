@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diagnose_pool-31df167d1a9e3855.d: crates/bench/src/bin/diagnose_pool.rs
+
+/root/repo/target/debug/deps/diagnose_pool-31df167d1a9e3855: crates/bench/src/bin/diagnose_pool.rs
+
+crates/bench/src/bin/diagnose_pool.rs:

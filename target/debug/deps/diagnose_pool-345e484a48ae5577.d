@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diagnose_pool-345e484a48ae5577.d: crates/bench/src/bin/diagnose_pool.rs
+
+/root/repo/target/debug/deps/libdiagnose_pool-345e484a48ae5577.rmeta: crates/bench/src/bin/diagnose_pool.rs
+
+crates/bench/src/bin/diagnose_pool.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diagnose_pool-c354153a506e5a4e.d: crates/bench/src/bin/diagnose_pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiagnose_pool-c354153a506e5a4e.rmeta: crates/bench/src/bin/diagnose_pool.rs Cargo.toml
+
+crates/bench/src/bin/diagnose_pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

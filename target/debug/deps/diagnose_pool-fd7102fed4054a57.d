@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diagnose_pool-fd7102fed4054a57.d: crates/bench/src/bin/diagnose_pool.rs
+
+/root/repo/target/debug/deps/diagnose_pool-fd7102fed4054a57: crates/bench/src/bin/diagnose_pool.rs
+
+crates/bench/src/bin/diagnose_pool.rs:

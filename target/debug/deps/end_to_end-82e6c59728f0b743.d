@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-82e6c59728f0b743.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-82e6c59728f0b743: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-b64b9ab637fce9cd.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/libfig5-b64b9ab637fce9cd.rmeta: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

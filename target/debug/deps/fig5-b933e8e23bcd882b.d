@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-b933e8e23bcd882b.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-b933e8e23bcd882b: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-e9d6c7f6e7922f4b.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-e9d6c7f6e7922f4b: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

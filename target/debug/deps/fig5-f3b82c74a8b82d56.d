@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-f3b82c74a8b82d56.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/libfig5-f3b82c74a8b82d56.rmeta: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-2628e1169bc309c2.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/libfig6-2628e1169bc309c2.rmeta: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

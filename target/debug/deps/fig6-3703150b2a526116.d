@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-3703150b2a526116.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-3703150b2a526116: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-9b2f01d5a29034aa.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-9b2f01d5a29034aa: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-b44a34d9e993f721.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/libfig6-b44a34d9e993f721.rmeta: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

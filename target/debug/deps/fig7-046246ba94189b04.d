@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-046246ba94189b04.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-046246ba94189b04: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

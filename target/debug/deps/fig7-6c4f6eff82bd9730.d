@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-6c4f6eff82bd9730.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/libfig7-6c4f6eff82bd9730.rmeta: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

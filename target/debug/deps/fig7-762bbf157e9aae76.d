@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-762bbf157e9aae76.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-762bbf157e9aae76: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

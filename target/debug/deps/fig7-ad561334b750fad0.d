@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-ad561334b750fad0.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/libfig7-ad561334b750fad0.rmeta: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness-8404c69db911d959.d: crates/bench/tests/harness.rs
+
+/root/repo/target/debug/deps/harness-8404c69db911d959: crates/bench/tests/harness.rs
+
+crates/bench/tests/harness.rs:

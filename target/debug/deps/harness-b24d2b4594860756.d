@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness-b24d2b4594860756.d: crates/bench/tests/harness.rs
+
+/root/repo/target/debug/deps/libharness-b24d2b4594860756.rmeta: crates/bench/tests/harness.rs
+
+crates/bench/tests/harness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harness-c5a23e0a9dd0af7c.d: crates/bench/tests/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharness-c5a23e0a9dd0af7c.rmeta: crates/bench/tests/harness.rs Cargo.toml
+
+crates/bench/tests/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

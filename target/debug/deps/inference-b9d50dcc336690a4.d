@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inference-b9d50dcc336690a4.d: crates/bench/benches/inference.rs
+
+/root/repo/target/debug/deps/libinference-b9d50dcc336690a4.rmeta: crates/bench/benches/inference.rs
+
+crates/bench/benches/inference.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/inference-e5565e1e3e2c61a5.d: crates/bench/benches/inference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinference-e5565e1e3e2c61a5.rmeta: crates/bench/benches/inference.rs Cargo.toml
+
+crates/bench/benches/inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

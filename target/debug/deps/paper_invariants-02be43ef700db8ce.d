@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_invariants-02be43ef700db8ce.d: tests/paper_invariants.rs
+
+/root/repo/target/debug/deps/paper_invariants-02be43ef700db8ce: tests/paper_invariants.rs
+
+tests/paper_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_invariants-5ca029963986c5da.d: tests/paper_invariants.rs
+
+/root/repo/target/debug/deps/libpaper_invariants-5ca029963986c5da.rmeta: tests/paper_invariants.rs
+
+tests/paper_invariants.rs:

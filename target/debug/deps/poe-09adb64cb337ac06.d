@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/poe-09adb64cb337ac06.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/serve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpoe-09adb64cb337ac06.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/serve.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/poe-12ce729f60b04c95.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/serve.rs
+
+/root/repo/target/debug/deps/libpoe-12ce729f60b04c95.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/serve.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/serve.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/poe-7d2485083b5131ef.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/serve.rs
+
+/root/repo/target/debug/deps/libpoe-7d2485083b5131ef.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/serve.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/serve.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/poe-cf414fc9c1479fe4.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/serve.rs
+
+/root/repo/target/debug/deps/poe-cf414fc9c1479fe4: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/serve.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/serve.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/poe-fedf5ace64912252.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/serve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpoe-fedf5ace64912252.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/serve.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/poe_baselines-4f7442b54c5f07ae.d: crates/baselines/src/lib.rs crates/baselines/src/merge.rs crates/baselines/src/methods.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpoe_baselines-4f7442b54c5f07ae.rmeta: crates/baselines/src/lib.rs crates/baselines/src/merge.rs crates/baselines/src/methods.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/merge.rs:
+crates/baselines/src/methods.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

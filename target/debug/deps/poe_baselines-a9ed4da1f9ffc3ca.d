@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/poe_baselines-a9ed4da1f9ffc3ca.d: crates/baselines/src/lib.rs crates/baselines/src/merge.rs crates/baselines/src/methods.rs
+
+/root/repo/target/debug/deps/poe_baselines-a9ed4da1f9ffc3ca: crates/baselines/src/lib.rs crates/baselines/src/merge.rs crates/baselines/src/methods.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/merge.rs:
+crates/baselines/src/methods.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/poe_baselines-b492723cbd527c20.d: crates/baselines/src/lib.rs crates/baselines/src/merge.rs crates/baselines/src/methods.rs
+
+/root/repo/target/debug/deps/libpoe_baselines-b492723cbd527c20.rlib: crates/baselines/src/lib.rs crates/baselines/src/merge.rs crates/baselines/src/methods.rs
+
+/root/repo/target/debug/deps/libpoe_baselines-b492723cbd527c20.rmeta: crates/baselines/src/lib.rs crates/baselines/src/merge.rs crates/baselines/src/methods.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/merge.rs:
+crates/baselines/src/methods.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/poe_baselines-d39e0988570a7f14.d: crates/baselines/src/lib.rs crates/baselines/src/merge.rs crates/baselines/src/methods.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpoe_baselines-d39e0988570a7f14.rmeta: crates/baselines/src/lib.rs crates/baselines/src/merge.rs crates/baselines/src/methods.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/merge.rs:
+crates/baselines/src/methods.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

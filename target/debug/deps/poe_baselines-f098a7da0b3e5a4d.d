@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/poe_baselines-f098a7da0b3e5a4d.d: crates/baselines/src/lib.rs crates/baselines/src/merge.rs crates/baselines/src/methods.rs
+
+/root/repo/target/debug/deps/libpoe_baselines-f098a7da0b3e5a4d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/merge.rs crates/baselines/src/methods.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/merge.rs:
+crates/baselines/src/methods.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/poe_baselines-f68491f5444b7bb8.d: crates/baselines/src/lib.rs crates/baselines/src/merge.rs crates/baselines/src/methods.rs
+
+/root/repo/target/debug/deps/libpoe_baselines-f68491f5444b7bb8.rmeta: crates/baselines/src/lib.rs crates/baselines/src/merge.rs crates/baselines/src/methods.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/merge.rs:
+crates/baselines/src/methods.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/poe_bench-5f2b0ace788291be.d: crates/bench/src/lib.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/ablations.rs crates/bench/src/exp/conv_path.rs crates/bench/src/exp/fig5.rs crates/bench/src/exp/fig6.rs crates/bench/src/exp/fig7.rs crates/bench/src/exp/table1.rs crates/bench/src/exp/table2.rs crates/bench/src/exp/table3.rs crates/bench/src/exp/table4.rs crates/bench/src/exp/table5.rs crates/bench/src/fmt.rs crates/bench/src/methods.rs crates/bench/src/scale.rs crates/bench/src/setup.rs
+
+/root/repo/target/debug/deps/poe_bench-5f2b0ace788291be: crates/bench/src/lib.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/ablations.rs crates/bench/src/exp/conv_path.rs crates/bench/src/exp/fig5.rs crates/bench/src/exp/fig6.rs crates/bench/src/exp/fig7.rs crates/bench/src/exp/table1.rs crates/bench/src/exp/table2.rs crates/bench/src/exp/table3.rs crates/bench/src/exp/table4.rs crates/bench/src/exp/table5.rs crates/bench/src/fmt.rs crates/bench/src/methods.rs crates/bench/src/scale.rs crates/bench/src/setup.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp/mod.rs:
+crates/bench/src/exp/ablations.rs:
+crates/bench/src/exp/conv_path.rs:
+crates/bench/src/exp/fig5.rs:
+crates/bench/src/exp/fig6.rs:
+crates/bench/src/exp/fig7.rs:
+crates/bench/src/exp/table1.rs:
+crates/bench/src/exp/table2.rs:
+crates/bench/src/exp/table3.rs:
+crates/bench/src/exp/table4.rs:
+crates/bench/src/exp/table5.rs:
+crates/bench/src/fmt.rs:
+crates/bench/src/methods.rs:
+crates/bench/src/scale.rs:
+crates/bench/src/setup.rs:

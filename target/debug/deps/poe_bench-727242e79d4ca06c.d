@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/poe_bench-727242e79d4ca06c.d: crates/bench/src/lib.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/ablations.rs crates/bench/src/exp/conv_path.rs crates/bench/src/exp/fig5.rs crates/bench/src/exp/fig6.rs crates/bench/src/exp/fig7.rs crates/bench/src/exp/table1.rs crates/bench/src/exp/table2.rs crates/bench/src/exp/table3.rs crates/bench/src/exp/table4.rs crates/bench/src/exp/table5.rs crates/bench/src/fmt.rs crates/bench/src/methods.rs crates/bench/src/scale.rs crates/bench/src/setup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpoe_bench-727242e79d4ca06c.rmeta: crates/bench/src/lib.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/ablations.rs crates/bench/src/exp/conv_path.rs crates/bench/src/exp/fig5.rs crates/bench/src/exp/fig6.rs crates/bench/src/exp/fig7.rs crates/bench/src/exp/table1.rs crates/bench/src/exp/table2.rs crates/bench/src/exp/table3.rs crates/bench/src/exp/table4.rs crates/bench/src/exp/table5.rs crates/bench/src/fmt.rs crates/bench/src/methods.rs crates/bench/src/scale.rs crates/bench/src/setup.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp/mod.rs:
+crates/bench/src/exp/ablations.rs:
+crates/bench/src/exp/conv_path.rs:
+crates/bench/src/exp/fig5.rs:
+crates/bench/src/exp/fig6.rs:
+crates/bench/src/exp/fig7.rs:
+crates/bench/src/exp/table1.rs:
+crates/bench/src/exp/table2.rs:
+crates/bench/src/exp/table3.rs:
+crates/bench/src/exp/table4.rs:
+crates/bench/src/exp/table5.rs:
+crates/bench/src/fmt.rs:
+crates/bench/src/methods.rs:
+crates/bench/src/scale.rs:
+crates/bench/src/setup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

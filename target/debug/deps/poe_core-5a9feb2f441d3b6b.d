@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/poe_core-5a9feb2f441d3b6b.d: crates/core/src/lib.rs crates/core/src/ckd.rs crates/core/src/confidence.rs crates/core/src/diagnostics.rs crates/core/src/library.rs crates/core/src/pipeline.rs crates/core/src/pool.rs crates/core/src/service.rs crates/core/src/store.rs crates/core/src/training.rs
+
+/root/repo/target/debug/deps/poe_core-5a9feb2f441d3b6b: crates/core/src/lib.rs crates/core/src/ckd.rs crates/core/src/confidence.rs crates/core/src/diagnostics.rs crates/core/src/library.rs crates/core/src/pipeline.rs crates/core/src/pool.rs crates/core/src/service.rs crates/core/src/store.rs crates/core/src/training.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ckd.rs:
+crates/core/src/confidence.rs:
+crates/core/src/diagnostics.rs:
+crates/core/src/library.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/pool.rs:
+crates/core/src/service.rs:
+crates/core/src/store.rs:
+crates/core/src/training.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/poe_core-a438c2f180886ac7.d: crates/core/src/lib.rs crates/core/src/ckd.rs crates/core/src/confidence.rs crates/core/src/diagnostics.rs crates/core/src/library.rs crates/core/src/pipeline.rs crates/core/src/pool.rs crates/core/src/service.rs crates/core/src/store.rs crates/core/src/training.rs
+
+/root/repo/target/debug/deps/libpoe_core-a438c2f180886ac7.rlib: crates/core/src/lib.rs crates/core/src/ckd.rs crates/core/src/confidence.rs crates/core/src/diagnostics.rs crates/core/src/library.rs crates/core/src/pipeline.rs crates/core/src/pool.rs crates/core/src/service.rs crates/core/src/store.rs crates/core/src/training.rs
+
+/root/repo/target/debug/deps/libpoe_core-a438c2f180886ac7.rmeta: crates/core/src/lib.rs crates/core/src/ckd.rs crates/core/src/confidence.rs crates/core/src/diagnostics.rs crates/core/src/library.rs crates/core/src/pipeline.rs crates/core/src/pool.rs crates/core/src/service.rs crates/core/src/store.rs crates/core/src/training.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ckd.rs:
+crates/core/src/confidence.rs:
+crates/core/src/diagnostics.rs:
+crates/core/src/library.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/pool.rs:
+crates/core/src/service.rs:
+crates/core/src/store.rs:
+crates/core/src/training.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/poe_core-cf955d56f73ef5d0.d: crates/core/src/lib.rs crates/core/src/ckd.rs crates/core/src/confidence.rs crates/core/src/diagnostics.rs crates/core/src/library.rs crates/core/src/pipeline.rs crates/core/src/pool.rs crates/core/src/service.rs crates/core/src/store.rs crates/core/src/training.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpoe_core-cf955d56f73ef5d0.rmeta: crates/core/src/lib.rs crates/core/src/ckd.rs crates/core/src/confidence.rs crates/core/src/diagnostics.rs crates/core/src/library.rs crates/core/src/pipeline.rs crates/core/src/pool.rs crates/core/src/service.rs crates/core/src/store.rs crates/core/src/training.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/ckd.rs:
+crates/core/src/confidence.rs:
+crates/core/src/diagnostics.rs:
+crates/core/src/library.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/pool.rs:
+crates/core/src/service.rs:
+crates/core/src/store.rs:
+crates/core/src/training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

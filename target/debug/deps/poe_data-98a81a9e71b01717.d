@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/poe_data-98a81a9e71b01717.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/hierarchy.rs crates/data/src/images.rs crates/data/src/io.rs crates/data/src/presets.rs crates/data/src/synth.rs
+
+/root/repo/target/debug/deps/poe_data-98a81a9e71b01717: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/hierarchy.rs crates/data/src/images.rs crates/data/src/io.rs crates/data/src/presets.rs crates/data/src/synth.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/hierarchy.rs:
+crates/data/src/images.rs:
+crates/data/src/io.rs:
+crates/data/src/presets.rs:
+crates/data/src/synth.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/poe_data-bc4b540b6922739c.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/hierarchy.rs crates/data/src/images.rs crates/data/src/io.rs crates/data/src/presets.rs crates/data/src/synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpoe_data-bc4b540b6922739c.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/hierarchy.rs crates/data/src/images.rs crates/data/src/io.rs crates/data/src/presets.rs crates/data/src/synth.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/hierarchy.rs:
+crates/data/src/images.rs:
+crates/data/src/io.rs:
+crates/data/src/presets.rs:
+crates/data/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

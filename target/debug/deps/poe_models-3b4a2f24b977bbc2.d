@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/poe_models-3b4a2f24b977bbc2.d: crates/models/src/lib.rs crates/models/src/branched.rs crates/models/src/serialize.rs crates/models/src/split.rs crates/models/src/wire.rs crates/models/src/wrn.rs
+
+/root/repo/target/debug/deps/libpoe_models-3b4a2f24b977bbc2.rlib: crates/models/src/lib.rs crates/models/src/branched.rs crates/models/src/serialize.rs crates/models/src/split.rs crates/models/src/wire.rs crates/models/src/wrn.rs
+
+/root/repo/target/debug/deps/libpoe_models-3b4a2f24b977bbc2.rmeta: crates/models/src/lib.rs crates/models/src/branched.rs crates/models/src/serialize.rs crates/models/src/split.rs crates/models/src/wire.rs crates/models/src/wrn.rs
+
+crates/models/src/lib.rs:
+crates/models/src/branched.rs:
+crates/models/src/serialize.rs:
+crates/models/src/split.rs:
+crates/models/src/wire.rs:
+crates/models/src/wrn.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/poe_models-751ec1f0bc9a5a3f.d: crates/models/src/lib.rs crates/models/src/branched.rs crates/models/src/serialize.rs crates/models/src/split.rs crates/models/src/wire.rs crates/models/src/wrn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpoe_models-751ec1f0bc9a5a3f.rmeta: crates/models/src/lib.rs crates/models/src/branched.rs crates/models/src/serialize.rs crates/models/src/split.rs crates/models/src/wire.rs crates/models/src/wrn.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/branched.rs:
+crates/models/src/serialize.rs:
+crates/models/src/split.rs:
+crates/models/src/wire.rs:
+crates/models/src/wrn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

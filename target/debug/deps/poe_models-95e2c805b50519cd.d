@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/poe_models-95e2c805b50519cd.d: crates/models/src/lib.rs crates/models/src/branched.rs crates/models/src/serialize.rs crates/models/src/split.rs crates/models/src/wire.rs crates/models/src/wrn.rs
+
+/root/repo/target/debug/deps/libpoe_models-95e2c805b50519cd.rmeta: crates/models/src/lib.rs crates/models/src/branched.rs crates/models/src/serialize.rs crates/models/src/split.rs crates/models/src/wire.rs crates/models/src/wrn.rs
+
+crates/models/src/lib.rs:
+crates/models/src/branched.rs:
+crates/models/src/serialize.rs:
+crates/models/src/split.rs:
+crates/models/src/wire.rs:
+crates/models/src/wrn.rs:

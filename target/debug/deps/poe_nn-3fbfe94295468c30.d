@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/poe_nn-3fbfe94295468c30.d: crates/nn/src/lib.rs crates/nn/src/early_stop.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/batchnorm.rs crates/nn/src/layers/conv2d.rs crates/nn/src/layers/dropout.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/pool.rs crates/nn/src/layers/sequential.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/module.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/testing.rs crates/nn/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpoe_nn-3fbfe94295468c30.rmeta: crates/nn/src/lib.rs crates/nn/src/early_stop.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/batchnorm.rs crates/nn/src/layers/conv2d.rs crates/nn/src/layers/dropout.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/pool.rs crates/nn/src/layers/sequential.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/module.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/testing.rs crates/nn/src/train.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/early_stop.rs:
+crates/nn/src/layers/mod.rs:
+crates/nn/src/layers/activation.rs:
+crates/nn/src/layers/batchnorm.rs:
+crates/nn/src/layers/conv2d.rs:
+crates/nn/src/layers/dropout.rs:
+crates/nn/src/layers/linear.rs:
+crates/nn/src/layers/pool.rs:
+crates/nn/src/layers/sequential.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/module.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/param.rs:
+crates/nn/src/testing.rs:
+crates/nn/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

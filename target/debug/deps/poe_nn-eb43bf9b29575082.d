@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/poe_nn-eb43bf9b29575082.d: crates/nn/src/lib.rs crates/nn/src/early_stop.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/batchnorm.rs crates/nn/src/layers/conv2d.rs crates/nn/src/layers/dropout.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/pool.rs crates/nn/src/layers/sequential.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/module.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/testing.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/poe_nn-eb43bf9b29575082: crates/nn/src/lib.rs crates/nn/src/early_stop.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/batchnorm.rs crates/nn/src/layers/conv2d.rs crates/nn/src/layers/dropout.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/pool.rs crates/nn/src/layers/sequential.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/module.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/testing.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/early_stop.rs:
+crates/nn/src/layers/mod.rs:
+crates/nn/src/layers/activation.rs:
+crates/nn/src/layers/batchnorm.rs:
+crates/nn/src/layers/conv2d.rs:
+crates/nn/src/layers/dropout.rs:
+crates/nn/src/layers/linear.rs:
+crates/nn/src/layers/pool.rs:
+crates/nn/src/layers/sequential.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/module.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/param.rs:
+crates/nn/src/testing.rs:
+crates/nn/src/train.rs:

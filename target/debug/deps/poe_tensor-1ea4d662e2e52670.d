@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/poe_tensor-1ea4d662e2e52670.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/rng.rs crates/tensor/src/threads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpoe_tensor-1ea4d662e2e52670.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/rng.rs crates/tensor/src/threads.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/threads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pool_of_experts-27b49a3612a044d2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpool_of_experts-27b49a3612a044d2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pool_of_experts-3e2827eca10b22ab.d: src/lib.rs
+
+/root/repo/target/debug/deps/pool_of_experts-3e2827eca10b22ab: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pool_of_experts-7c8be9c36a1e2be3.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpool_of_experts-7c8be9c36a1e2be3.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

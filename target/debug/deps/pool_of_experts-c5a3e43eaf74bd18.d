@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pool_of_experts-c5a3e43eaf74bd18.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpool_of_experts-c5a3e43eaf74bd18.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpool_of_experts-c5a3e43eaf74bd18.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pool_of_experts-fbb5d5f8551d2dff.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpool_of_experts-fbb5d5f8551d2dff.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile_clone-55343d686f1ac458.d: crates/bench/src/bin/profile_clone.rs
+
+/root/repo/target/debug/deps/libprofile_clone-55343d686f1ac458.rmeta: crates/bench/src/bin/profile_clone.rs
+
+crates/bench/src/bin/profile_clone.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile_clone-e4828be56bdeb6c0.d: crates/bench/src/bin/profile_clone.rs
+
+/root/repo/target/debug/deps/libprofile_clone-e4828be56bdeb6c0.rmeta: crates/bench/src/bin/profile_clone.rs
+
+crates/bench/src/bin/profile_clone.rs:

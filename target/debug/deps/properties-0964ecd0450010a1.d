@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0964ecd0450010a1.d: crates/data/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0964ecd0450010a1: crates/data/tests/properties.rs
+
+crates/data/tests/properties.rs:

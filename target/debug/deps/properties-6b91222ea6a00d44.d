@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6b91222ea6a00d44.d: crates/tensor/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-6b91222ea6a00d44.rmeta: crates/tensor/tests/properties.rs
+
+crates/tensor/tests/properties.rs:

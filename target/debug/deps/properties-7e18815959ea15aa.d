@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-7e18815959ea15aa.d: crates/data/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-7e18815959ea15aa.rmeta: crates/data/tests/properties.rs Cargo.toml
+
+crates/data/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-89222eab98f5a9cb.d: crates/models/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-89222eab98f5a9cb.rmeta: crates/models/tests/properties.rs Cargo.toml
+
+crates/models/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8c18fd71d88b80c3.d: crates/tensor/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8c18fd71d88b80c3: crates/tensor/tests/properties.rs
+
+crates/tensor/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ad7b0cd4e5cc8313.d: crates/nn/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ad7b0cd4e5cc8313: crates/nn/tests/properties.rs
+
+crates/nn/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c0d3107b5fcf2040.d: crates/data/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-c0d3107b5fcf2040.rmeta: crates/data/tests/properties.rs
+
+crates/data/tests/properties.rs:

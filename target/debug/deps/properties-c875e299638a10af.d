@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c875e299638a10af.d: crates/models/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c875e299638a10af: crates/models/tests/properties.rs
+
+crates/models/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-df4196ef872bf1bd.d: crates/models/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-df4196ef872bf1bd.rmeta: crates/models/tests/properties.rs
+
+crates/models/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ed5c5b1838b79861.d: crates/nn/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-ed5c5b1838b79861.rmeta: crates/nn/tests/properties.rs
+
+crates/nn/tests/properties.rs:

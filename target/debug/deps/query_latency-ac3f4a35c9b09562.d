@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/query_latency-ac3f4a35c9b09562.d: crates/bench/benches/query_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquery_latency-ac3f4a35c9b09562.rmeta: crates/bench/benches/query_latency.rs Cargo.toml
+
+crates/bench/benches/query_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

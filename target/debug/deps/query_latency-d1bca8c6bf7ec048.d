@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/query_latency-d1bca8c6bf7ec048.d: crates/bench/benches/query_latency.rs
+
+/root/repo/target/debug/deps/libquery_latency-d1bca8c6bf7ec048.rmeta: crates/bench/benches/query_latency.rs
+
+crates/bench/benches/query_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-08752c593e60734f.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/librepro_all-08752c593e60734f.rmeta: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-31107415886b523b.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-31107415886b523b: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-6f64947fa5121786.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-6f64947fa5121786: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

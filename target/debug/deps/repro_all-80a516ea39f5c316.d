@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-80a516ea39f5c316.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/librepro_all-80a516ea39f5c316.rmeta: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scratch_grad-6ebcdf456eb65209.d: crates/models/tests/scratch_grad.rs
+
+/root/repo/target/debug/deps/scratch_grad-6ebcdf456eb65209: crates/models/tests/scratch_grad.rs
+
+crates/models/tests/scratch_grad.rs:

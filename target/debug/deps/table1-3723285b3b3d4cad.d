@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-3723285b3b3d4cad.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-3723285b3b3d4cad: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

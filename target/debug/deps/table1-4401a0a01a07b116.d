@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-4401a0a01a07b116.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-4401a0a01a07b116.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-465b8be11907efe6.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-465b8be11907efe6: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

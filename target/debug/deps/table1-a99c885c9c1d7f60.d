@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-a99c885c9c1d7f60.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-a99c885c9c1d7f60.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

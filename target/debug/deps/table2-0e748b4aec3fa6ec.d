@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-0e748b4aec3fa6ec.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-0e748b4aec3fa6ec.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-80655d7731cf7731.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-80655d7731cf7731: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-d57956ff212d5a0a.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-d57956ff212d5a0a.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-e4525d42a7c26cdc.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-e4525d42a7c26cdc: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

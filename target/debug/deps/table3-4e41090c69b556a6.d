@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-4e41090c69b556a6.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-4e41090c69b556a6: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-4e6779357bec7055.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-4e6779357bec7055.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-dbb146167b5a4b4f.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-dbb146167b5a4b4f.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-efcc9c2ba9fed303.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-efcc9c2ba9fed303: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

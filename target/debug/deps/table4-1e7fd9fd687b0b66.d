@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-1e7fd9fd687b0b66.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-1e7fd9fd687b0b66.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

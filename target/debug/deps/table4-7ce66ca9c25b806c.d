@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-7ce66ca9c25b806c.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-7ce66ca9c25b806c: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-a66e0ba832356115.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-a66e0ba832356115.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-c78832ecfd188fc0.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-c78832ecfd188fc0: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-0076fa00393f4405.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/libtable5-0076fa00393f4405.rmeta: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-89ee05263430f0ad.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-89ee05263430f0ad: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

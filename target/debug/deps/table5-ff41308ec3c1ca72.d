@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-ff41308ec3c1ca72.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-ff41308ec3c1ca72: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

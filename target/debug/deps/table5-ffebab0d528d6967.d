@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-ffebab0d528d6967.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/libtable5-ffebab0d528d6967.rmeta: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tensor_kernels-263d01c86353cb0b.d: crates/bench/benches/tensor_kernels.rs
+
+/root/repo/target/debug/deps/libtensor_kernels-263d01c86353cb0b.rmeta: crates/bench/benches/tensor_kernels.rs
+
+crates/bench/benches/tensor_kernels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/training_throughput-17a1af6f6ff0fc32.d: crates/bench/benches/training_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraining_throughput-17a1af6f6ff0fc32.rmeta: crates/bench/benches/training_throughput.rs Cargo.toml
+
+crates/bench/benches/training_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

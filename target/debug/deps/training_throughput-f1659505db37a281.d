@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/training_throughput-f1659505db37a281.d: crates/bench/benches/training_throughput.rs
+
+/root/repo/target/debug/deps/libtraining_throughput-f1659505db37a281.rmeta: crates/bench/benches/training_throughput.rs
+
+crates/bench/benches/training_throughput.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/aiaas_server-1a465f0dfc361ab4.d: examples/aiaas_server.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaiaas_server-1a465f0dfc361ab4.rmeta: examples/aiaas_server.rs Cargo.toml
+
+examples/aiaas_server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/aiaas_server-7622494af865d191.d: examples/aiaas_server.rs
+
+/root/repo/target/debug/examples/aiaas_server-7622494af865d191: examples/aiaas_server.rs
+
+examples/aiaas_server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/aiaas_server-a7cf11cc9d0751d4.d: examples/aiaas_server.rs
+
+/root/repo/target/debug/examples/libaiaas_server-a7cf11cc9d0751d4.rmeta: examples/aiaas_server.rs
+
+examples/aiaas_server.rs:

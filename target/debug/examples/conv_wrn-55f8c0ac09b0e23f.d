@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/conv_wrn-55f8c0ac09b0e23f.d: examples/conv_wrn.rs
+
+/root/repo/target/debug/examples/libconv_wrn-55f8c0ac09b0e23f.rmeta: examples/conv_wrn.rs
+
+examples/conv_wrn.rs:

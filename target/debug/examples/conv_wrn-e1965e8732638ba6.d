@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/conv_wrn-e1965e8732638ba6.d: examples/conv_wrn.rs
+
+/root/repo/target/debug/examples/conv_wrn-e1965e8732638ba6: examples/conv_wrn.rs
+
+examples/conv_wrn.rs:

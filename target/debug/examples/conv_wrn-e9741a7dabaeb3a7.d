@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/conv_wrn-e9741a7dabaeb3a7.d: examples/conv_wrn.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconv_wrn-e9741a7dabaeb3a7.rmeta: examples/conv_wrn.rs Cargo.toml
+
+examples/conv_wrn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

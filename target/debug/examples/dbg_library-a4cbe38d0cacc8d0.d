@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_library-a4cbe38d0cacc8d0.d: crates/bench/examples/dbg_library.rs
+
+/root/repo/target/debug/examples/libdbg_library-a4cbe38d0cacc8d0.rmeta: crates/bench/examples/dbg_library.rs
+
+crates/bench/examples/dbg_library.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_library-c2ec4fa6fd5b840e.d: crates/bench/examples/dbg_library.rs
+
+/root/repo/target/debug/examples/dbg_library-c2ec4fa6fd5b840e: crates/bench/examples/dbg_library.rs
+
+crates/bench/examples/dbg_library.rs:

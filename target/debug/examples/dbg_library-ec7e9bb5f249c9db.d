@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dbg_library-ec7e9bb5f249c9db.d: crates/bench/examples/dbg_library.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdbg_library-ec7e9bb5f249c9db.rmeta: crates/bench/examples/dbg_library.rs Cargo.toml
+
+crates/bench/examples/dbg_library.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dbg_tiny_ckd-2d993abee1de025d.d: crates/bench/examples/dbg_tiny_ckd.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdbg_tiny_ckd-2d993abee1de025d.rmeta: crates/bench/examples/dbg_tiny_ckd.rs Cargo.toml
+
+crates/bench/examples/dbg_tiny_ckd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

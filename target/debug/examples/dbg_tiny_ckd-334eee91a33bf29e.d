@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_tiny_ckd-334eee91a33bf29e.d: crates/bench/examples/dbg_tiny_ckd.rs
+
+/root/repo/target/debug/examples/libdbg_tiny_ckd-334eee91a33bf29e.rmeta: crates/bench/examples/dbg_tiny_ckd.rs
+
+crates/bench/examples/dbg_tiny_ckd.rs:

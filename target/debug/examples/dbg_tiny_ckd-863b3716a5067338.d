@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_tiny_ckd-863b3716a5067338.d: crates/bench/examples/dbg_tiny_ckd.rs
+
+/root/repo/target/debug/examples/dbg_tiny_ckd-863b3716a5067338: crates/bench/examples/dbg_tiny_ckd.rs
+
+crates/bench/examples/dbg_tiny_ckd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/logit_scale_problem-542c0fac474eb4e4.d: examples/logit_scale_problem.rs
+
+/root/repo/target/debug/examples/logit_scale_problem-542c0fac474eb4e4: examples/logit_scale_problem.rs
+
+examples/logit_scale_problem.rs:

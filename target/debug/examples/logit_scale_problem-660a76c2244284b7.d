@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/logit_scale_problem-660a76c2244284b7.d: examples/logit_scale_problem.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblogit_scale_problem-660a76c2244284b7.rmeta: examples/logit_scale_problem.rs Cargo.toml
+
+examples/logit_scale_problem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

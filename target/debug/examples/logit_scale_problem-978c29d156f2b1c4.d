@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/logit_scale_problem-978c29d156f2b1c4.d: examples/logit_scale_problem.rs
+
+/root/repo/target/debug/examples/liblogit_scale_problem-978c29d156f2b1c4.rmeta: examples/logit_scale_problem.rs
+
+examples/logit_scale_problem.rs:

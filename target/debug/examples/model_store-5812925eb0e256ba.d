@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_store-5812925eb0e256ba.d: examples/model_store.rs
+
+/root/repo/target/debug/examples/model_store-5812925eb0e256ba: examples/model_store.rs
+
+examples/model_store.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_store-601b371cb2179d01.d: examples/model_store.rs
+
+/root/repo/target/debug/examples/libmodel_store-601b371cb2179d01.rmeta: examples/model_store.rs
+
+examples/model_store.rs:

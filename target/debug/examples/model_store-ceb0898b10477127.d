@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/model_store-ceb0898b10477127.d: examples/model_store.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmodel_store-ceb0898b10477127.rmeta: examples/model_store.rs Cargo.toml
+
+examples/model_store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

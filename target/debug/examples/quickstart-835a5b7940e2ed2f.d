@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-835a5b7940e2ed2f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-835a5b7940e2ed2f.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

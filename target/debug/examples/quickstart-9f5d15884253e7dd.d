@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9f5d15884253e7dd.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9f5d15884253e7dd: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/theme_park-61b4b6c07fe3df4f.d: examples/theme_park.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtheme_park-61b4b6c07fe3df4f.rmeta: examples/theme_park.rs Cargo.toml
+
+examples/theme_park.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

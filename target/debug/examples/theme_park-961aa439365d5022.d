@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/theme_park-961aa439365d5022.d: examples/theme_park.rs
+
+/root/repo/target/debug/examples/theme_park-961aa439365d5022: examples/theme_park.rs
+
+examples/theme_park.rs:

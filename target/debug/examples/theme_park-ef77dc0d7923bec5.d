@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/theme_park-ef77dc0d7923bec5.d: examples/theme_park.rs
+
+/root/repo/target/debug/examples/libtheme_park-ef77dc0d7923bec5.rmeta: examples/theme_park.rs
+
+examples/theme_park.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_alpha-34e34cd8dd6cb4e8.d: crates/bench/src/bin/ablate_alpha.rs
+
+/root/repo/target/release/deps/ablate_alpha-34e34cd8dd6cb4e8: crates/bench/src/bin/ablate_alpha.rs
+
+crates/bench/src/bin/ablate_alpha.rs:

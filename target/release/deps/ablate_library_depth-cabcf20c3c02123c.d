@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_library_depth-cabcf20c3c02123c.d: crates/bench/src/bin/ablate_library_depth.rs
+
+/root/repo/target/release/deps/ablate_library_depth-cabcf20c3c02123c: crates/bench/src/bin/ablate_library_depth.rs
+
+crates/bench/src/bin/ablate_library_depth.rs:

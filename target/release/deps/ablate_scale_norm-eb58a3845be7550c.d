@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_scale_norm-eb58a3845be7550c.d: crates/bench/src/bin/ablate_scale_norm.rs
+
+/root/repo/target/release/deps/ablate_scale_norm-eb58a3845be7550c: crates/bench/src/bin/ablate_scale_norm.rs
+
+crates/bench/src/bin/ablate_scale_norm.rs:

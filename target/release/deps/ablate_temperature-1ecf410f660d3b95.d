@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_temperature-1ecf410f660d3b95.d: crates/bench/src/bin/ablate_temperature.rs
+
+/root/repo/target/release/deps/ablate_temperature-1ecf410f660d3b95: crates/bench/src/bin/ablate_temperature.rs
+
+crates/bench/src/bin/ablate_temperature.rs:

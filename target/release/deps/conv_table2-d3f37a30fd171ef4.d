@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/conv_table2-d3f37a30fd171ef4.d: crates/bench/src/bin/conv_table2.rs
+
+/root/repo/target/release/deps/conv_table2-d3f37a30fd171ef4: crates/bench/src/bin/conv_table2.rs
+
+crates/bench/src/bin/conv_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/diagnose_pool-a374726cc3c3d44a.d: crates/bench/src/bin/diagnose_pool.rs
+
+/root/repo/target/release/deps/diagnose_pool-a374726cc3c3d44a: crates/bench/src/bin/diagnose_pool.rs
+
+crates/bench/src/bin/diagnose_pool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-3d46fd3d7165c08e.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-3d46fd3d7165c08e: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-2f6218b0b01b63c3.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-2f6218b0b01b63c3: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-d905ce13b732b6bd.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-d905ce13b732b6bd: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/poe-dff6b9dd706a089d.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/serve.rs
+
+/root/repo/target/release/deps/poe-dff6b9dd706a089d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/serve.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/serve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/poe_baselines-e094110503a8611d.d: crates/baselines/src/lib.rs crates/baselines/src/merge.rs crates/baselines/src/methods.rs
+
+/root/repo/target/release/deps/libpoe_baselines-e094110503a8611d.rlib: crates/baselines/src/lib.rs crates/baselines/src/merge.rs crates/baselines/src/methods.rs
+
+/root/repo/target/release/deps/libpoe_baselines-e094110503a8611d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/merge.rs crates/baselines/src/methods.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/merge.rs:
+crates/baselines/src/methods.rs:

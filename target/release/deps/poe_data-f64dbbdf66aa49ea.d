@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/poe_data-f64dbbdf66aa49ea.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/hierarchy.rs crates/data/src/images.rs crates/data/src/io.rs crates/data/src/presets.rs crates/data/src/synth.rs
+
+/root/repo/target/release/deps/libpoe_data-f64dbbdf66aa49ea.rlib: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/hierarchy.rs crates/data/src/images.rs crates/data/src/io.rs crates/data/src/presets.rs crates/data/src/synth.rs
+
+/root/repo/target/release/deps/libpoe_data-f64dbbdf66aa49ea.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/hierarchy.rs crates/data/src/images.rs crates/data/src/io.rs crates/data/src/presets.rs crates/data/src/synth.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/hierarchy.rs:
+crates/data/src/images.rs:
+crates/data/src/io.rs:
+crates/data/src/presets.rs:
+crates/data/src/synth.rs:

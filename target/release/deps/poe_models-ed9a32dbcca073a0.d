@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/poe_models-ed9a32dbcca073a0.d: crates/models/src/lib.rs crates/models/src/branched.rs crates/models/src/serialize.rs crates/models/src/split.rs crates/models/src/wire.rs crates/models/src/wrn.rs
+
+/root/repo/target/release/deps/libpoe_models-ed9a32dbcca073a0.rlib: crates/models/src/lib.rs crates/models/src/branched.rs crates/models/src/serialize.rs crates/models/src/split.rs crates/models/src/wire.rs crates/models/src/wrn.rs
+
+/root/repo/target/release/deps/libpoe_models-ed9a32dbcca073a0.rmeta: crates/models/src/lib.rs crates/models/src/branched.rs crates/models/src/serialize.rs crates/models/src/split.rs crates/models/src/wire.rs crates/models/src/wrn.rs
+
+crates/models/src/lib.rs:
+crates/models/src/branched.rs:
+crates/models/src/serialize.rs:
+crates/models/src/split.rs:
+crates/models/src/wire.rs:
+crates/models/src/wrn.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/poe_nn-fcf391089a663b1e.d: crates/nn/src/lib.rs crates/nn/src/early_stop.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/batchnorm.rs crates/nn/src/layers/conv2d.rs crates/nn/src/layers/dropout.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/pool.rs crates/nn/src/layers/sequential.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/module.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/testing.rs crates/nn/src/train.rs
+
+/root/repo/target/release/deps/libpoe_nn-fcf391089a663b1e.rlib: crates/nn/src/lib.rs crates/nn/src/early_stop.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/batchnorm.rs crates/nn/src/layers/conv2d.rs crates/nn/src/layers/dropout.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/pool.rs crates/nn/src/layers/sequential.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/module.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/testing.rs crates/nn/src/train.rs
+
+/root/repo/target/release/deps/libpoe_nn-fcf391089a663b1e.rmeta: crates/nn/src/lib.rs crates/nn/src/early_stop.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/batchnorm.rs crates/nn/src/layers/conv2d.rs crates/nn/src/layers/dropout.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/pool.rs crates/nn/src/layers/sequential.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/module.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/testing.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/early_stop.rs:
+crates/nn/src/layers/mod.rs:
+crates/nn/src/layers/activation.rs:
+crates/nn/src/layers/batchnorm.rs:
+crates/nn/src/layers/conv2d.rs:
+crates/nn/src/layers/dropout.rs:
+crates/nn/src/layers/linear.rs:
+crates/nn/src/layers/pool.rs:
+crates/nn/src/layers/sequential.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/module.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/param.rs:
+crates/nn/src/testing.rs:
+crates/nn/src/train.rs:

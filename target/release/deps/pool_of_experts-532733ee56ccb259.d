@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pool_of_experts-532733ee56ccb259.d: src/lib.rs
+
+/root/repo/target/release/deps/libpool_of_experts-532733ee56ccb259.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpool_of_experts-532733ee56ccb259.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile_clone-5650e34ceee2cb2b.d: crates/bench/src/bin/profile_clone.rs
+
+/root/repo/target/release/deps/profile_clone-5650e34ceee2cb2b: crates/bench/src/bin/profile_clone.rs
+
+crates/bench/src/bin/profile_clone.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/query_latency-65054a34d1912483.d: crates/bench/benches/query_latency.rs
+
+/root/repo/target/release/deps/query_latency-65054a34d1912483: crates/bench/benches/query_latency.rs
+
+crates/bench/benches/query_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-4267aa75005c8158.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-4267aa75005c8158: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-028a62765e77b9c9.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-028a62765e77b9c9: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

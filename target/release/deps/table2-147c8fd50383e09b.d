@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-147c8fd50383e09b.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-147c8fd50383e09b: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-d2ddb055cd55150d.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-d2ddb055cd55150d: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

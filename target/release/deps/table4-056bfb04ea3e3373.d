@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-056bfb04ea3e3373.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-056bfb04ea3e3373: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-f9b9d6aa331e6d35.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-f9b9d6aa331e6d35: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -11,9 +11,12 @@ use pool_of_experts::tensor::ops::accuracy;
 use pool_of_experts::tensor::{Prng, Tensor};
 
 fn tiny_world() -> (SplitDataset, ClassHierarchy, PipelineConfig) {
-    let cfg = GaussianHierarchyConfig { dim: 8, ..GaussianHierarchyConfig::balanced(4, 3) }
-        .with_samples(25, 8)
-        .with_seed(77);
+    let cfg = GaussianHierarchyConfig {
+        dim: 8,
+        ..GaussianHierarchyConfig::balanced(4, 3)
+    }
+    .with_samples(25, 8)
+    .with_seed(77);
     let (split, hierarchy) = generate(&cfg);
     let mut pipe = PipelineConfig::defaults(
         WrnConfig::new(10, 2.0, 2.0, hierarchy.num_classes()).with_unit(8),
@@ -38,7 +41,10 @@ fn preprocess_consolidate_and_serve() {
     assert_eq!(layout, classes);
     let view = split.test.task_view(&model.class_layout());
     let acc = accuracy(&model.infer(&view.inputs), &view.labels);
-    assert!(acc > 1.5 / 6.0, "composite accuracy {acc} barely above chance");
+    assert!(
+        acc > 1.5 / 6.0,
+        "composite accuracy {acc} barely above chance"
+    );
     assert!(stats.assembly_secs < 1.0);
 
     // Service layer over the same pool.
@@ -84,8 +90,8 @@ fn query_order_defines_logit_layout() {
     let ya = ab.infer(&x);
     let yb = ba.infer(&x);
     // Same logits, permuted blocks of width 3.
-    let swapped = Tensor::concat_cols(&[&yb.select_cols(&[3, 4, 5]), &yb.select_cols(&[0, 1, 2])])
-        .unwrap();
+    let swapped =
+        Tensor::concat_cols(&[&yb.select_cols(&[3, 4, 5]), &yb.select_cols(&[0, 1, 2])]).unwrap();
     assert!(ya.max_abs_diff(&swapped) < 1e-6);
 }
 

@@ -26,9 +26,12 @@ struct World {
 fn world() -> &'static World {
     static WORLD: OnceLock<World> = OnceLock::new();
     WORLD.get_or_init(|| {
-        let cfg = GaussianHierarchyConfig { dim: 8, ..GaussianHierarchyConfig::balanced(5, 3) }
-            .with_samples(30, 10)
-            .with_seed(88);
+        let cfg = GaussianHierarchyConfig {
+            dim: 8,
+            ..GaussianHierarchyConfig::balanced(5, 3)
+        }
+        .with_samples(30, 10)
+        .with_seed(88);
         let (split, hierarchy) = generate(&cfg);
         let mut pipe = PipelineConfig::defaults(
             WrnConfig::new(10, 2.0, 2.0, hierarchy.num_classes()).with_unit(8),
@@ -37,7 +40,12 @@ fn world() -> &'static World {
         );
         pipe.seed = 4;
         let pre = preprocess(&split.train, &hierarchy, &pipe, None);
-        World { split, hierarchy, pipe, pre }
+        World {
+            split,
+            hierarchy,
+            pipe,
+            pre,
+        }
     })
 }
 
@@ -51,10 +59,13 @@ fn ckd_experts_are_calibrated_scratch_is_overconfident() {
     let ood = w.split.test.out_of_task_view(&classes);
 
     // Scratch specialist on raw inputs.
-    let arch = WrnConfig { ks: 0.25, num_classes: classes.len(), ..w.pipe.student_arch };
+    let arch = WrnConfig {
+        ks: 0.25,
+        num_classes: classes.len(),
+        ..w.pipe.student_arch
+    };
     let train_view = w.split.train.task_view(&classes);
-    let (mut scratch, _) =
-        train_scratch(&arch, 8, &train_view, &TrainConfig::new(40, 32, 0.05), 9);
+    let (mut scratch, _) = train_scratch(&arch, 8, &train_view, &TrainConfig::new(40, 32, 0.05), 9);
     let scratch_conf = max_confidences(&mut scratch, &ood.inputs);
 
     // The pooled CKD expert (runs on library features).
@@ -83,7 +94,11 @@ fn consolidation_is_orders_of_magnitude_faster_than_training() {
 
     let classes = w.hierarchy.composite_classes(&combo);
     let train_view = w.split.train.task_view(&classes);
-    let arch = WrnConfig { ks: 0.75, num_classes: classes.len(), ..w.pipe.student_arch };
+    let arch = WrnConfig {
+        ks: 0.75,
+        num_classes: classes.len(),
+        ..w.pipe.student_arch
+    };
     let t1 = Instant::now();
     train_scratch(&arch, 8, &train_view, &TrainConfig::new(25, 32, 0.05), 10);
     let train_secs = t1.elapsed().as_secs_f64();
@@ -102,8 +117,7 @@ fn branched_experts_grow_linearly_not_quadratically() {
     let n = 4;
     let combo: Vec<usize> = (0..n).collect();
     let (branched, _) = w.pre.pool.consolidate(&combo).unwrap();
-    let branched_heads: usize =
-        branched.branches().iter().map(|b| b.head.param_count()).sum();
+    let branched_heads: usize = branched.branches().map(|b| b.head.param_count()).sum();
 
     // One monolithic head with k_s scaled by n (as Scratch/Transfer use).
     let classes = w.hierarchy.composite_classes(&combo);

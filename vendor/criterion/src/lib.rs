@@ -1,0 +1,194 @@
+//! A minimal, dependency-free stand-in for the subset of the `criterion`
+//! benchmarking API this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `criterion` cannot be fetched. This shim keeps `cargo bench` working
+//! offline: each benchmark is warmed up briefly, then timed for a fixed
+//! wall-clock budget, and the mean time per iteration is printed. There is
+//! no statistical analysis, plotting, or baseline comparison — the numbers
+//! are honest wall-clock means, which is enough for the relative
+//! comparisons the repository's benches make (e.g. cached vs. cold
+//! consolidation).
+
+// Vendored stand-in: keep it simple, not lint-perfect.
+#![allow(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(300);
+
+/// Entry point handed to each benchmark function.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+}
+
+/// Throughput annotation (accepted and ignored by this shim).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// A named collection of benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Records the per-iteration throughput (ignored by this shim).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), &mut f);
+        self
+    }
+
+    /// Runs a parameterized benchmark within the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.id), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timer handed to the benchmark closure.
+pub struct Bencher {
+    phase: Phase,
+    iters: u64,
+    elapsed: Duration,
+}
+
+enum Phase {
+    Warmup,
+    Measure,
+}
+
+impl Bencher {
+    /// Times `f`, repeating it until this phase's time budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let budget = match self.phase {
+            Phase::Warmup => WARMUP,
+            Phase::Measure => MEASURE,
+        };
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            self.iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= budget {
+                self.elapsed = elapsed;
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut warm = Bencher {
+        phase: Phase::Warmup,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut warm);
+    let mut bench = Bencher {
+        phase: Phase::Measure,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bench);
+    let per_iter = if bench.iters == 0 {
+        Duration::ZERO
+    } else {
+        bench.elapsed / bench.iters as u32
+    };
+    println!(
+        "bench {name:<48} {:>12.3} µs/iter  ({} iters)",
+        per_iter.as_secs_f64() * 1e6,
+        bench.iters
+    );
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &p| b.iter(|| p * 2));
+        g.finish();
+    }
+}
