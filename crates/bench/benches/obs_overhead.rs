@@ -1,0 +1,123 @@
+//! The observability tax. The ISSUE-2 acceptance bar is that tracing
+//! *disabled* adds <5% to `service_query` latency; these benches measure
+//! each instrumentation primitive in isolation so a regression is
+//! attributable: the span site with no context installed (the kernel
+//! default), with a disabled collector (the serving default), and with
+//! collection actually on; plus the counter/histogram hot paths behind
+//! the `global_*!` macros and the end-to-end query with tracing on/off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use poe_core::pool::{Expert, ExpertPool};
+use poe_core::service::QueryService;
+use poe_data::ClassHierarchy;
+use poe_models::{build_mlp_head, build_wrn_mlp, WrnConfig};
+use poe_obs::TraceCollector;
+use poe_tensor::Prng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_span_sites(c: &mut Criterion) {
+    let mut group = c.benchmark_group("span");
+
+    // No request context on this thread — what every tensor/train span
+    // costs inside `cargo run` paths that never install one.
+    group.bench_function("no_context", |b| {
+        b.iter(|| {
+            let _s = poe_obs::span(black_box("bench.noop"));
+        })
+    });
+
+    // Context installed, collector disabled — the serving hot path with
+    // tracing off (the default).
+    let off = Arc::new(TraceCollector::new());
+    group.bench_function("context_disabled", |b| {
+        poe_obs::with_request(&off, 1, || {
+            b.iter(|| {
+                let _s = poe_obs::span(black_box("bench.noop"));
+            })
+        })
+    });
+
+    // Collector enabled — the full cost: an `Instant::now` pair plus a
+    // mutex-guarded ring push.
+    let on = Arc::new(TraceCollector::new());
+    on.set_enabled(true);
+    group.bench_function("context_enabled", |b| {
+        poe_obs::with_request(&on, 1, || {
+            b.iter(|| {
+                let _s = poe_obs::span(black_box("bench.recorded"));
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_registry_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry");
+    group.bench_function("counter_inc", |b| {
+        b.iter(|| poe_obs::global_counter!("bench.obs.counter").inc())
+    });
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| poe_obs::global_histogram!("bench.obs.hist").record(black_box(1.5e-4)))
+    });
+    // The cold path macros avoid: a name lookup through the registry
+    // mutex on every event.
+    let registry = poe_obs::Registry::new();
+    group.bench_function("counter_lookup_and_inc", |b| {
+        b.iter(|| registry.counter(black_box("bench.obs.lookup")).inc())
+    });
+    group.finish();
+}
+
+/// A pool shaped like the CIFAR-100 deployment (20 tasks × 5 classes),
+/// matching `query_latency.rs` so the numbers line up.
+fn build_pool() -> ExpertPool {
+    let mut rng = Prng::seed_from_u64(7);
+    let hierarchy = ClassHierarchy::contiguous(100, 20);
+    let student = WrnConfig::new(16, 1.0, 1.0, 100);
+    let library = build_wrn_mlp(&student, 32, &mut rng).into_parts().0;
+    let mut pool = ExpertPool::new(hierarchy, library);
+    for t in 0..20 {
+        let classes = pool.hierarchy().primitive(t).classes.clone();
+        let arch = WrnConfig {
+            ks: 0.25,
+            num_classes: classes.len(),
+            ..student
+        };
+        let head = build_mlp_head(&format!("expert{t}"), &arch, classes.len(), &mut rng);
+        pool.insert_expert(Expert {
+            task_index: t,
+            classes,
+            head,
+        });
+    }
+    pool
+}
+
+/// End-to-end: the same uncached `service.query` with tracing off vs on.
+/// "off" here should match `query_latency`'s `consolidation_cache/cold`
+/// to within noise — that equivalence *is* the <5% acceptance check.
+fn bench_query_with_tracing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_query_tracing");
+    let query = [1usize, 3, 7, 11, 19];
+
+    let svc_off = QueryService::with_cache_capacity(build_pool(), 0);
+    group.bench_function("off", |b| {
+        b.iter(|| svc_off.query(black_box(&query)).unwrap())
+    });
+
+    let svc_on = QueryService::with_cache_capacity(build_pool(), 0);
+    svc_on.obs().trace.set_enabled(true);
+    group.bench_function("on", |b| {
+        b.iter(|| svc_on.query(black_box(&query)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_span_sites,
+    bench_registry_primitives,
+    bench_query_with_tracing
+);
+criterion_main!(benches);

@@ -31,9 +31,10 @@ const HELP: &str = "\
 poe — Pool of Experts model database (SIGMOD 2021 reproduction)
 
 USAGE
-  poe preprocess --dataset SPEC --out DIR [--seed N] [--epochs N]
+  poe preprocess --dataset SPEC --out DIR [--seed N] [--epochs N] [--trace on]
       Train an oracle, extract the library and every expert, and persist a
-      self-describing pool store to DIR.
+      self-describing pool store to DIR. With --trace on, print a per-phase
+      span summary (oracle / library / expert extraction) to stderr.
   poe info --pool DIR
       Print the store's hierarchy, architectures, experts, and volumes.
   poe query --pool DIR --tasks I,J,K [--eval-dataset SPEC --seed N]
@@ -42,11 +43,17 @@ USAGE
   poe diagnose --pool DIR --dataset SPEC [--seed N]
       Per-expert calibration and logit-scale diagnostics.
   poe serve --pool DIR [--port P] [--max-requests N] [--workers N]
+            [--trace on|off] [--slow-query-ms N] [--metrics-every N]
       TCP model-query server (line protocol: INFO / QUERY t,… /
-      PREDICT t,… : f1 f2 … / STATS / QUIT). Port 0 picks an ephemeral
-      port. Up to N connections are served concurrently (default 4);
-      repeated task sets are answered from the consolidation cache, and
-      STATS reports assembly-latency percentiles.
+      PREDICT t,… : f1 f2 … / STATS / METRICS / TRACE on|off / QUIT —
+      see docs/PROTOCOL.md). Port 0 picks an ephemeral port. Up to N
+      connections are served concurrently (default 4); repeated task sets
+      are answered from the consolidation cache, STATS reports
+      assembly-latency percentiles, and METRICS dumps the full JSON
+      snapshot. --trace starts span collection enabled, --slow-query-ms
+      retains requests at or above N ms (0 = off), --metrics-every prints
+      the metrics JSON to stderr every N seconds (0 = off); see
+      docs/OPERATIONS.md.
   poe help
       This text.
 
@@ -98,6 +105,7 @@ fn cmd_preprocess(a: &Args) -> Result<(), String> {
     let epochs = a
         .get_parsed("epochs", 25usize, "usize")
         .map_err(|e| e.to_string())?;
+    let trace_on = parse_trace_flag(a)?;
 
     eprintln!("generating dataset `{spec}` (seed {seed}) …");
     let (split, hierarchy) = dataset_from_spec(spec, seed)?;
@@ -114,7 +122,38 @@ fn cmd_preprocess(a: &Args) -> Result<(), String> {
         pipe.student_arch.arch_string(),
         hierarchy.num_primitives()
     );
-    let pre = preprocess(&split.train, &hierarchy, &pipe, None);
+    let pre = if trace_on {
+        // Collect preprocessing spans (pipeline phases, per-epoch timings,
+        // per-expert CKD runs) and summarize them by name.
+        let collector = std::sync::Arc::new(poe_obs::TraceCollector::with_capacity(4096));
+        collector.set_enabled(true);
+        let pre = poe_obs::with_request(&collector, poe_obs::next_request_id(), || {
+            preprocess(&split.train, &hierarchy, &pipe, None)
+        });
+        let mut by_name: std::collections::BTreeMap<&str, (u64, f64)> =
+            std::collections::BTreeMap::new();
+        for ev in collector.recent(usize::MAX) {
+            let slot = by_name.entry(ev.name).or_insert((0, 0.0));
+            slot.0 += 1;
+            slot.1 += ev.duration_secs;
+        }
+        eprintln!(
+            "preprocessing span summary ({} spans):",
+            collector.spans_recorded()
+        );
+        for (name, (count, total)) in by_name {
+            eprintln!("  {name:<26} ×{count:<5} {:.3} s total", total);
+        }
+        if collector.events_dropped() > 0 {
+            eprintln!(
+                "  ({} early spans evicted from the ring buffer)",
+                collector.events_dropped()
+            );
+        }
+        pre
+    } else {
+        preprocess(&split.train, &hierarchy, &pipe, None)
+    };
     let poolspec = PoolSpec {
         student_arch: pipe.student_arch,
         expert_ks: pipe.expert_ks,
@@ -216,6 +255,16 @@ fn cmd_diagnose(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a `--trace on|off` value (absent = `false`).
+fn parse_trace_flag(a: &Args) -> Result<bool, String> {
+    match a.get("trace") {
+        None => Ok(false),
+        Some(v) if v.eq_ignore_ascii_case("on") => Ok(true),
+        Some(v) if v.eq_ignore_ascii_case("off") => Ok(false),
+        Some(v) => Err(format!("--trace `{v}` is not `on` or `off`")),
+    }
+}
+
 fn cmd_serve(a: &Args) -> Result<(), String> {
     let dir = a.require("pool").map_err(|e| e.to_string())?;
     let port = a
@@ -230,14 +279,37 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
     if workers == 0 {
         return Err("--workers must be ≥ 1".into());
     }
+    let trace_on = parse_trace_flag(a)?;
+    let slow_ms = a
+        .get_parsed("slow-query-ms", 0u64, "u64")
+        .map_err(|e| e.to_string())?;
+    let metrics_every = a
+        .get_parsed("metrics-every", 0u64, "u64")
+        .map_err(|e| e.to_string())?;
     let (pool, spec) = load_standalone(dir).map_err(|e| e.to_string())?;
     let service = std::sync::Arc::new(QueryService::new(pool));
+    service.obs().trace.set_enabled(trace_on);
+    if slow_ms > 0 {
+        service
+            .obs()
+            .slow
+            .set_threshold(Some(std::time::Duration::from_millis(slow_ms)));
+    }
+    if metrics_every > 0 {
+        let svc = std::sync::Arc::clone(&service);
+        poe_obs::spawn_flusher(std::time::Duration::from_secs(metrics_every), move || {
+            eprintln!("METRICS {}", serve::metrics_json(&svc));
+        });
+    }
     let listener = std::net::TcpListener::bind(("127.0.0.1", port)).map_err(|e| e.to_string())?;
     println!(
-        "serving pool {dir} on {} (input dim {}, {workers} workers) — protocol: INFO | \
-         QUERY t,… | PREDICT t,… : f1 f2 … | STATS | QUIT",
+        "serving pool {dir} on {} (input dim {}, {workers} workers, trace={}, \
+         slow-query-ms={slow_ms}) — protocol: INFO | QUERY t,… | \
+         PREDICT t,… : f1 f2 … | STATS | METRICS | TRACE on|off | QUIT \
+         (docs/PROTOCOL.md)",
         listener.local_addr().map_err(|e| e.to_string())?,
-        spec.input_dim
+        spec.input_dim,
+        if trace_on { "on" } else { "off" },
     );
     let handled =
         serve::serve_with_workers(listener, service, spec.input_dim, max_requests, workers)
@@ -326,6 +398,8 @@ mod tests {
             "5",
             "--epochs",
             "4",
+            "--trace",
+            "on",
         ]))
         .expect("preprocess");
 

@@ -1,27 +1,27 @@
 //! `poe serve` — a minimal TCP model-query server over a pool store.
 //!
-//! Line protocol (UTF-8, one request per line):
-//!
-//! ```text
-//! INFO                          → OK tasks=<n> experts=<n> classes=<n>
-//! QUERY 1,3,5                   → OK outputs=<k> params=<p> assembly_ms=<t> cached=<0|1> classes=<c,…>
-//! PREDICT 1,3,5 : v1 v2 … vd    → OK class=<global id> confidence=<p>
-//! STATS                         → OK served=<n> … p99_ms=<t> (service counters)
-//! QUIT                          → OK bye (closes the connection)
-//! anything else                 → ERR <reason>
-//! ```
+//! The wire protocol (UTF-8, one request line → one response line; verbs
+//! `INFO`, `QUERY`, `PREDICT`, `STATS`, `METRICS`, `TRACE`, `QUIT`) is
+//! specified in full in `docs/PROTOCOL.md` at the repository root —
+//! grammar, every `ERR` reason, cache semantics, and worked transcripts.
+//! `docs/OPERATIONS.md` covers deployment and how to read the metrics.
 //!
 //! `PREDICT` consolidates the requested composite model (train-free — this
 //! is the paper's realtime query) and classifies one feature vector.
 //!
 //! Connections are handled by a bounded pool of worker threads fed by a
 //! dedicated acceptor, so a slow or idle client never blocks the others.
+//! Every request line runs inside a [`poe_obs`] request context: it gets a
+//! process-unique request ID, a `serve.request` span, a per-verb counter,
+//! and a slow-log observation against the service's
+//! [`poe_core::service::QueryService::obs`] bundle.
 
 use poe_core::service::QueryService;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Default number of connection-handling worker threads.
 pub const DEFAULT_WORKERS: usize = 4;
@@ -154,8 +154,44 @@ fn handle_connection(
 
 /// Computes the response line for one request line (protocol core, kept
 /// free of I/O so it is directly testable).
+///
+/// Wraps the dispatch in the request-level observability plumbing: a fresh
+/// request ID, a `serve.request` span against the service's trace
+/// collector, a `serve.requests.<verb>` counter, and a slow-log
+/// observation (slow requests are also echoed to stderr so an operator
+/// sees them without polling `METRICS`).
 pub fn respond(line: &str, service: &QueryService, input_dim: usize) -> String {
-    let line = line.trim();
+    let obs = service.obs();
+    let request_id = poe_obs::next_request_id();
+    let start = Instant::now();
+    let trimmed = line.trim();
+    let verb = trimmed
+        .split_whitespace()
+        .next()
+        .unwrap_or("")
+        .to_ascii_uppercase();
+    let counter_name = match verb.as_str() {
+        "INFO" | "QUERY" | "PREDICT" | "STATS" | "METRICS" | "TRACE" | "QUIT" => {
+            format!("serve.requests.{}", verb.to_ascii_lowercase())
+        }
+        _ => "serve.requests.other".to_string(),
+    };
+    obs.registry.counter(&counter_name).inc();
+    let response = poe_obs::with_request(&obs.trace, request_id, || {
+        let _span = poe_obs::span("serve.request");
+        respond_inner(trimmed, service, input_dim)
+    });
+    let elapsed = start.elapsed();
+    if obs.slow.observe(request_id, trimmed, elapsed) {
+        eprintln!(
+            "slow request #{request_id} ({:.3} ms): {trimmed}",
+            elapsed.as_secs_f64() * 1e3
+        );
+    }
+    response
+}
+
+fn respond_inner(line: &str, service: &QueryService, input_dim: usize) -> String {
     let mut parts = line.splitn(2, ' ');
     let verb = parts.next().unwrap_or("").to_ascii_uppercase();
     let rest = parts.next().unwrap_or("").trim();
@@ -172,19 +208,37 @@ pub fn respond(line: &str, service: &QueryService, input_dim: usize) -> String {
         "QUIT" => "OK bye".into(),
         "STATS" => {
             let s = service.stats();
+            // An idle service has no latency distribution; `n/a` keeps the
+            // field present without faking a 0 ms percentile.
+            let ms = |v: Option<f64>| match v {
+                Some(secs) => format!("{:.3}", secs * 1e3),
+                None => "n/a".into(),
+            };
             format!(
                 "OK served={} rejected={} cache_hits={} cache_misses={} \
-                 mean_ms={:.3} p50_ms={:.3} p95_ms={:.3} p99_ms={:.3}",
+                 mean_ms={} p50_ms={} p95_ms={} p99_ms={}",
                 s.queries_served,
                 s.queries_rejected,
                 s.cache_hits,
                 s.cache_misses,
-                s.mean_assembly_secs() * 1e3,
-                s.assembly_p50_secs() * 1e3,
-                s.assembly_p95_secs() * 1e3,
-                s.assembly_p99_secs() * 1e3,
+                ms(s.mean_assembly_secs()),
+                ms(s.assembly_p50_secs()),
+                ms(s.assembly_p95_secs()),
+                ms(s.assembly_p99_secs()),
             )
         }
+        "METRICS" => format!("OK {}", metrics_json(service)),
+        "TRACE" => match rest.to_ascii_lowercase().as_str() {
+            "on" => {
+                service.obs().trace.set_enabled(true);
+                "OK trace=on".into()
+            }
+            "off" => {
+                service.obs().trace.set_enabled(false);
+                "OK trace=off".into()
+            }
+            _ => "ERR TRACE needs `on` or `off`".into(),
+        },
         "QUERY" => match parse_tasks(rest) {
             Err(e) => format!("ERR {e}"),
             Ok(tasks) => match service.query(&tasks) {
@@ -232,6 +286,41 @@ pub fn respond(line: &str, service: &QueryService, input_dim: usize) -> String {
         "" => "ERR empty request".into(),
         other => format!("ERR unknown verb `{other}`"),
     }
+}
+
+/// Renders the full observability snapshot of `service` as one JSON line:
+/// the service's own registry merged with the process-wide kernel/training
+/// registry, plus tracing counters and the retained slow-query entries.
+/// This is the payload of the `METRICS` verb and of the periodic
+/// `--metrics-every` flush.
+pub fn metrics_json(service: &QueryService) -> String {
+    let obs = service.obs();
+    let mut snap = obs.registry.snapshot();
+    snap.merge(poe_obs::Registry::global().snapshot());
+    let base = snap.to_json();
+    let trace = &obs.trace;
+    let slow: Vec<String> = obs
+        .slow
+        .entries()
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"request_id\":{},\"duration_ms\":{},\"line\":\"{}\"}}",
+                e.request_id,
+                poe_obs::json::fmt_f64(e.duration_secs * 1e3),
+                poe_obs::json::json_escape(&e.detail)
+            )
+        })
+        .collect();
+    format!(
+        "{},\"trace\":{{\"enabled\":{},\"spans_recorded\":{},\"events_dropped\":{}}},\
+         \"slow_queries\":[{}]}}",
+        &base[..base.len() - 1],
+        trace.is_enabled(),
+        trace.spans_recorded(),
+        trace.events_dropped(),
+        slow.join(",")
+    )
 }
 
 fn parse_tasks(s: &str) -> Result<Vec<usize>, String> {
@@ -341,6 +430,141 @@ mod tests {
         );
         assert!(s.contains("p50_ms="), "{s}");
         assert!(s.contains("p99_ms="), "{s}");
+        assert!(!s.contains("n/a"), "{s}");
+    }
+
+    #[test]
+    fn stats_verb_reports_na_before_first_query() {
+        let svc = toy_service();
+        let s = respond("STATS", &svc, 4);
+        assert_eq!(
+            s,
+            "OK served=0 rejected=0 cache_hits=0 cache_misses=0 \
+             mean_ms=n/a p50_ms=n/a p95_ms=n/a p99_ms=n/a"
+        );
+    }
+
+    #[test]
+    fn metrics_verb_returns_merged_json_snapshot() {
+        let svc = toy_service();
+        respond("QUERY 0", &svc, 4);
+        respond("QUERY 0", &svc, 4); // hit
+        let m = respond("METRICS", &svc, 4);
+        assert!(m.starts_with("OK {\"counters\":{"), "{m}");
+        let json = &m[3..];
+        // Service-level counters and the assembly histogram.
+        assert!(json.contains("\"service.queries_served\":2"), "{m}");
+        assert!(json.contains("\"service.cache.hits\":1"), "{m}");
+        assert!(json.contains("\"service.cache.misses\":1"), "{m}");
+        assert!(
+            json.contains("\"service.assembly_secs\":{\"count\":2"),
+            "{m}"
+        );
+        // Per-verb request counters (METRICS counts itself).
+        assert!(json.contains("\"serve.requests.query\":2"), "{m}");
+        assert!(json.contains("\"serve.requests.metrics\":1"), "{m}");
+        // Kernel-level instruments come from the merged global registry.
+        // Consolidation alone copies weights without a matmul, so drive one
+        // through PREDICT (Linear forward → matmul_a_bt → the shared
+        // tensor.matmul.secs histogram).
+        respond("PREDICT 0 : 1 2 3 4", &svc, 4);
+        let m = respond("METRICS", &svc, 4);
+        assert!(m.contains("\"tensor.matmul_a_bt.calls\":"), "{m}");
+        assert!(m.contains("\"tensor.matmul.secs\":{\"count\":"), "{m}");
+        // Trace and slow-query sections are always present.
+        assert!(m.contains("\"trace\":{\"enabled\":false"), "{m}");
+        assert!(m.contains("\"slow_queries\":[]"), "{m}");
+    }
+
+    #[test]
+    fn trace_verb_toggles_span_collection() {
+        let svc = toy_service();
+        assert!(respond("TRACE maybe", &svc, 4).starts_with("ERR TRACE needs"));
+        assert_eq!(respond("TRACE on", &svc, 4), "OK trace=on");
+        assert!(svc.obs().trace.is_enabled());
+        let before = svc.obs().trace.spans_recorded();
+        respond("QUERY 0", &svc, 4); // miss: serve.request + service.query + pool.consolidate
+        assert_eq!(svc.obs().trace.spans_recorded(), before + 3);
+        respond("QUERY 0", &svc, 4); // hit: serve.request + service.query
+        assert_eq!(svc.obs().trace.spans_recorded(), before + 5);
+        let events = svc.obs().trace.recent(2);
+        assert_eq!(events[0].name, "service.query");
+        assert_eq!(events[1].name, "serve.request");
+        assert_eq!(events[0].request_id, events[1].request_id);
+        assert_eq!(respond("TRACE off", &svc, 4), "OK trace=off");
+        let frozen = svc.obs().trace.spans_recorded();
+        respond("QUERY 0", &svc, 4);
+        assert_eq!(svc.obs().trace.spans_recorded(), frozen);
+    }
+
+    #[test]
+    fn slow_queries_are_retained_and_reported() {
+        let svc = toy_service();
+        // Threshold 0 ns: every request qualifies as slow.
+        svc.obs()
+            .slow
+            .set_threshold(Some(std::time::Duration::from_nanos(1)));
+        respond("QUERY 0", &svc, 4);
+        let entries = svc.obs().slow.entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].detail, "QUERY 0");
+        let m = respond("METRICS", &svc, 4);
+        assert!(m.contains("\"slow_queries\":[{\"request_id\":"), "{m}");
+        assert!(m.contains("\"line\":\"QUERY 0\""), "{m}");
+    }
+
+    /// Two clients interleaving QUERY and METRICS must never observe a torn
+    /// snapshot: within one client the served counter is monotone and at
+    /// least its own completed queries, and globally
+    /// `cache_hits + cache_misses ≤ queries_served` in every snapshot.
+    #[test]
+    fn interleaved_query_and_metrics_see_consistent_counters() {
+        const PER_CLIENT: u64 = 40;
+        let svc = toy_service();
+        svc.obs().trace.set_enabled(true);
+        let extract = |json: &str, key: &str| -> u64 {
+            let pat = format!("\"{key}\":");
+            let at = json.find(&pat).unwrap_or_else(|| panic!("{key} in {json}")) + pat.len();
+            json[at..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .unwrap()
+        };
+        let mut handles = Vec::new();
+        for t in 0..2u64 {
+            let svc = Arc::clone(&svc);
+            handles.push(std::thread::spawn(move || {
+                let mut last_served = 0u64;
+                for i in 0..PER_CLIENT {
+                    let task = (t + i) % 3;
+                    let q = respond(&format!("QUERY {task}"), &svc, 4);
+                    assert!(q.starts_with("OK"), "{q}");
+                    let m = respond("METRICS", &svc, 4);
+                    let served = extract(&m, "service.queries_served");
+                    let hits = extract(&m, "service.cache.hits");
+                    let misses = extract(&m, "service.cache.misses");
+                    assert!(served >= last_served, "served counter went backwards");
+                    assert!(served > i, "snapshot misses own completed queries");
+                    assert!(
+                        hits + misses <= served,
+                        "torn snapshot: hits {hits} + misses {misses} > served {served}"
+                    );
+                    last_served = served;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = svc.stats();
+        assert_eq!(s.queries_served, 2 * PER_CLIENT);
+        assert_eq!(s.cache_hits + s.cache_misses, s.queries_served);
+        // Span accounting: each QUERY is serve.request + service.query
+        // (+ pool.consolidate per miss), each METRICS is serve.request.
+        let expected = 2 * PER_CLIENT * 3 + s.cache_misses;
+        assert_eq!(svc.obs().trace.spans_recorded(), expected);
     }
 
     /// Regression test for head-of-line blocking: the server used to join

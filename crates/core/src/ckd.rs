@@ -68,6 +68,7 @@ pub fn extract_expert(
         oracle_sub_logits.rows(),
         "features and oracle sub-logits must align row-by-row"
     );
+    let _span = poe_obs::span("ckd.extract_expert");
     let loss = cfg.loss;
     let report = train_batches(
         &mut head,
@@ -78,6 +79,7 @@ pub fn extract_expert(
             loss.eval(logits, &t)
         },
     );
+    poe_obs::global_counter!("ckd.experts_extracted").inc();
     ExpertExtraction { head, report }
 }
 

@@ -68,5 +68,5 @@ pub use diagnostics::{diagnose_pool, ExpertDiagnostics, PoolDiagnostics};
 pub use library::{extract_library, extract_library_from_oracle, LibraryConfig, LibraryExtraction};
 pub use pipeline::{preprocess, PipelineConfig, Preprocessed};
 pub use pool::{ConsolidationStats, Expert, ExpertPool, QueryError, VolumeReport};
-pub use service::{QueryResult, QueryService, ServiceStats};
+pub use service::{LatencyHistogram, QueryResult, QueryService, ServiceStats};
 pub use store::{load_standalone, save_standalone, PoolSpec};

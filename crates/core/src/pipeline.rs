@@ -138,7 +138,10 @@ pub fn preprocess(
     // 1. Oracle.
     let mut oracle =
         build_wrn_mlp_with_depth(&cfg.oracle_arch, input_dim, cfg.library_groups, &mut rng);
-    let oracle_report = train_cross_entropy(&mut oracle, train, &cfg.oracle_train);
+    let oracle_report = {
+        let _span = poe_obs::span("pipeline.train_oracle");
+        train_cross_entropy(&mut oracle, train, &cfg.oracle_train)
+    };
     let oracle_logits = logits_of(&mut oracle, &train.inputs);
 
     // 2. Library via standard KD.
@@ -148,7 +151,10 @@ pub fn preprocess(
         temperature: cfg.temperature,
         train: cfg.library_train.clone(),
     };
-    let extraction = extract_library(student0, &train.inputs, &oracle_logits, &lib_cfg);
+    let extraction = {
+        let _span = poe_obs::span("pipeline.extract_library");
+        extract_library(student0, &train.inputs, &oracle_logits, &lib_cfg)
+    };
     let library_report = extraction.report.clone();
     let mut library = extraction.library();
     let student = extraction.student;

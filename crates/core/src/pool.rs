@@ -187,6 +187,7 @@ impl ExpertPool {
             }
         }
 
+        let _span = poe_obs::span("pool.consolidate");
         let start = Instant::now();
         let branches: Vec<Branch> = query
             .iter()

@@ -12,64 +12,30 @@
 //! storage), so a cache hit re-materializes the model with a handful of
 //! refcount bumps and no parameter copies. Installing an expert invalidates
 //! the cache, so hits never serve stale weights.
+//!
+//! Every service owns a private [`poe_obs::Observability`] bundle. Counters
+//! and histograms live in its registry under `service.*` names (merged with
+//! the process-wide kernel metrics when the serving layer exports a
+//! snapshot), spans are emitted against its trace collector, and
+//! [`ServiceStats`] is reconstructed from the instruments on demand — the
+//! registry is the single source of truth.
 
 use crate::pool::{ConsolidationStats, Expert, ExpertPool, QueryError};
 use poe_models::{Branch, BranchedModel};
 use poe_nn::layers::Sequential;
+use poe_obs::{ensure_context, span, AtomicHistogram, Counter, Gauge, Observability};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::{Mutex, RwLock};
 use std::time::Instant;
 
+pub use poe_obs::LatencyHistogram;
+
 /// Default number of consolidated task sets kept in the cache.
 pub const DEFAULT_CACHE_CAPACITY: usize = 32;
 
-/// Fixed-bucket latency histogram with power-of-two nanosecond buckets.
-///
-/// Bucket `b` counts latencies in `[2^(b-1), 2^b)` nanoseconds (bucket 0
-/// holds sub-nanosecond measurements; the top bucket is open-ended).
-/// The layout is `Copy`, so [`ServiceStats`] snapshots stay cheap, and
-/// percentile queries resolve to the bucket's upper bound — at most a 2×
-/// overestimate, which is plenty for latency monitoring.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct LatencyHistogram {
-    buckets: [u64; 32],
-    count: u64,
-}
-
-impl LatencyHistogram {
-    /// Records one latency measurement.
-    pub fn record(&mut self, secs: f64) {
-        let ns = (secs.max(0.0) * 1e9) as u64;
-        let bucket = (64 - ns.leading_zeros() as usize).min(31);
-        self.buckets[bucket] += 1;
-        self.count += 1;
-    }
-
-    /// Number of recorded measurements.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// The latency (seconds) at quantile `q` in `[0, 1]`, resolved to the
-    /// containing bucket's upper bound. Returns 0 when empty.
-    pub fn quantile(&self, q: f64) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (b, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= target {
-                return (1u64 << b) as f64 * 1e-9;
-            }
-        }
-        (1u64 << 31) as f64 * 1e-9
-    }
-}
-
-/// Aggregate service counters.
+/// Aggregate service counters, reconstructed from the service's metrics
+/// registry by [`QueryService::stats`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServiceStats {
     /// Queries answered successfully.
@@ -87,28 +53,60 @@ pub struct ServiceStats {
 }
 
 impl ServiceStats {
-    /// Mean assembly latency per served query.
-    pub fn mean_assembly_secs(&self) -> f64 {
+    /// Mean assembly latency per served query, or `None` before the first
+    /// served query (an idle service has no mean latency; `0.0` would read
+    /// as impossibly fast).
+    pub fn mean_assembly_secs(&self) -> Option<f64> {
         if self.queries_served == 0 {
-            0.0
+            None
         } else {
-            self.total_assembly_secs / self.queries_served as f64
+            Some(self.total_assembly_secs / self.queries_served as f64)
         }
     }
 
-    /// Median assembly latency (seconds).
-    pub fn assembly_p50_secs(&self) -> f64 {
+    /// Median assembly latency (seconds); `None` when nothing was served.
+    pub fn assembly_p50_secs(&self) -> Option<f64> {
         self.assembly_latency.quantile(0.50)
     }
 
-    /// 95th-percentile assembly latency (seconds).
-    pub fn assembly_p95_secs(&self) -> f64 {
+    /// 95th-percentile assembly latency (seconds); `None` when nothing was
+    /// served.
+    pub fn assembly_p95_secs(&self) -> Option<f64> {
         self.assembly_latency.quantile(0.95)
     }
 
-    /// 99th-percentile assembly latency (seconds).
-    pub fn assembly_p99_secs(&self) -> f64 {
+    /// 99th-percentile assembly latency (seconds); `None` when nothing was
+    /// served.
+    pub fn assembly_p99_secs(&self) -> Option<f64> {
         self.assembly_latency.quantile(0.99)
+    }
+}
+
+/// Instrument handles fetched once at service construction, so the hot
+/// path records through relaxed atomics without touching the registry's
+/// name map.
+struct ServiceMetrics {
+    served: Arc<Counter>,
+    rejected: Arc<Counter>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    assembly_ns: Arc<Counter>,
+    assembly: Arc<AtomicHistogram>,
+    cache_entries: Arc<Gauge>,
+}
+
+impl ServiceMetrics {
+    fn register(obs: &Observability) -> Self {
+        let r = &obs.registry;
+        ServiceMetrics {
+            served: r.counter("service.queries_served"),
+            rejected: r.counter("service.queries_rejected"),
+            hits: r.counter("service.cache.hits"),
+            misses: r.counter("service.cache.misses"),
+            assembly_ns: r.counter("service.assembly_ns_total"),
+            assembly: r.histogram("service.assembly_secs"),
+            cache_entries: r.gauge("service.cache.entries"),
+        }
     }
 }
 
@@ -191,11 +189,12 @@ impl ConsolidationCache {
 /// A concurrent, realtime model-querying front end over an expert pool.
 pub struct QueryService {
     pool: RwLock<ExpertPool>,
-    stats: Mutex<ServiceStats>,
     cache: Mutex<ConsolidationCache>,
     /// Bumped on every pool mutation; consolidations from an older
     /// generation are not admitted to the cache.
     generation: AtomicU64,
+    obs: Arc<Observability>,
+    metrics: ServiceMetrics,
 }
 
 impl QueryService {
@@ -207,16 +206,35 @@ impl QueryService {
     /// Wraps a preprocessed pool, keeping at most `capacity` consolidated
     /// task sets cached (0 disables caching).
     pub fn with_cache_capacity(pool: ExpertPool, capacity: usize) -> Self {
+        let obs = Observability::new();
+        let metrics = ServiceMetrics::register(&obs);
         QueryService {
             pool: RwLock::new(pool),
-            stats: Mutex::new(ServiceStats::default()),
             cache: Mutex::new(ConsolidationCache::new(capacity)),
             generation: AtomicU64::new(0),
+            obs,
+            metrics,
         }
     }
 
+    /// This service's observability bundle: its metrics registry, trace
+    /// collector, and slow-query log. The serving layer toggles tracing and
+    /// exports snapshots through this handle.
+    pub fn obs(&self) -> &Arc<Observability> {
+        &self.obs
+    }
+
     /// Answers a composite-task query `Q` given as primitive-task indices.
+    ///
+    /// Runs under a `service.query` span. If the calling thread carries no
+    /// request context (direct library use), one rooted at this service's
+    /// collector is installed for the duration of the call.
     pub fn query(&self, tasks: &[usize]) -> Result<QueryResult, QueryError> {
+        ensure_context(&self.obs.trace, || self.query_traced(tasks))
+    }
+
+    fn query_traced(&self, tasks: &[usize]) -> Result<QueryResult, QueryError> {
+        let _span = span("service.query");
         let start = Instant::now();
 
         // Cache lookup is keyed by the *sorted* task set; the entry is
@@ -288,23 +306,30 @@ impl QueryService {
         let mut cache = self.cache.lock().unwrap();
         if self.generation.load(Ordering::Acquire) == entry.generation {
             cache.insert(key, entry);
+            self.metrics.cache_entries.set(cache.entries.len() as f64);
         }
     }
 
     fn record_served(&self, cstats: &ConsolidationStats) {
-        let mut stats = self.stats.lock().unwrap();
-        stats.queries_served += 1;
-        stats.total_assembly_secs += cstats.assembly_secs;
-        stats.assembly_latency.record(cstats.assembly_secs);
+        // `queries_served` is bumped *before* the hit/miss counter. A
+        // snapshot reads counters in name order (`service.cache.hits` <
+        // `service.queries_served`), so observers never see
+        // `hits + misses > queries_served` — the counters converge to
+        // equality at quiescence but can only ever lag, not lead.
+        self.metrics.served.inc();
+        self.metrics
+            .assembly_ns
+            .add((cstats.assembly_secs.max(0.0) * 1e9) as u64);
+        self.metrics.assembly.record(cstats.assembly_secs);
         if cstats.cache_hit {
-            stats.cache_hits += 1;
+            self.metrics.hits.inc();
         } else {
-            stats.cache_misses += 1;
+            self.metrics.misses.inc();
         }
     }
 
     fn reject(&self) {
-        self.stats.lock().unwrap().queries_rejected += 1;
+        self.metrics.rejected.inc();
     }
 
     /// Answers a query phrased as *global class ids* (e.g. "cat, fox,
@@ -338,6 +363,7 @@ impl QueryService {
         let mut pool = self.pool.write().unwrap();
         self.generation.fetch_add(1, Ordering::AcqRel);
         self.cache.lock().unwrap().clear();
+        self.metrics.cache_entries.set(0.0);
         pool.insert_expert(expert);
     }
 
@@ -346,9 +372,23 @@ impl QueryService {
         self.cache.lock().unwrap().entries.len()
     }
 
-    /// Current counters.
+    /// Current counters, reconstructed from the metrics registry.
+    ///
+    /// Reads are ordered so the invariant `cache_hits + cache_misses ≤
+    /// queries_served` holds even against concurrent recording (see
+    /// `record_served`).
     pub fn stats(&self) -> ServiceStats {
-        *self.stats.lock().unwrap()
+        let cache_hits = self.metrics.hits.get();
+        let cache_misses = self.metrics.misses.get();
+        let queries_served = self.metrics.served.get();
+        ServiceStats {
+            queries_served,
+            queries_rejected: self.metrics.rejected.get(),
+            total_assembly_secs: self.metrics.assembly_ns.get() as f64 * 1e-9,
+            cache_hits,
+            cache_misses,
+            assembly_latency: self.metrics.assembly.snapshot(),
+        }
     }
 
     /// Read access to the underlying pool.
@@ -417,7 +457,7 @@ mod tests {
         assert_eq!(s.queries_served, 1);
         assert_eq!(s.queries_rejected, 0);
         assert_eq!(s.assembly_latency.count(), 1);
-        assert!(s.assembly_p99_secs() >= s.assembly_p50_secs());
+        assert!(s.assembly_p99_secs().unwrap() >= s.assembly_p50_secs().unwrap());
     }
 
     #[test]
@@ -551,17 +591,50 @@ mod tests {
     }
 
     #[test]
-    fn histogram_quantiles_are_monotone() {
-        let mut h = LatencyHistogram::default();
-        assert_eq!(h.quantile(0.5), 0.0);
-        for i in 1..=100u64 {
-            h.record(i as f64 * 1e-6);
-        }
-        assert_eq!(h.count(), 100);
-        let (p50, p95, p99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
-        assert!(p50 > 0.0);
-        assert!(p50 <= p95 && p95 <= p99);
-        // Upper-bound resolution: p99 of ~100µs samples is ≤ 256µs bucket.
-        assert!(p99 <= 3e-4, "p99 {p99}");
+    fn idle_service_reports_no_latency_stats() {
+        let svc = service(3, &[0, 1, 2]);
+        let s = svc.stats();
+        assert_eq!(s.queries_served, 0);
+        assert_eq!(s.mean_assembly_secs(), None);
+        assert_eq!(s.assembly_p50_secs(), None);
+        assert_eq!(s.assembly_p99_secs(), None);
+        // After one query the percentiles materialize.
+        svc.query(&[0]).unwrap();
+        let s = svc.stats();
+        assert!(s.mean_assembly_secs().unwrap() >= 0.0);
+        assert!(s.assembly_p99_secs().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn stats_mirror_the_metrics_registry() {
+        let svc = service(3, &[0, 1, 2]);
+        svc.query(&[0, 1]).unwrap();
+        svc.query(&[0, 1]).unwrap();
+        assert!(svc.query(&[9]).is_err());
+        let snap = svc.obs().registry.snapshot();
+        assert_eq!(snap.counters["service.queries_served"], 2);
+        assert_eq!(snap.counters["service.queries_rejected"], 1);
+        assert_eq!(snap.counters["service.cache.hits"], 1);
+        assert_eq!(snap.counters["service.cache.misses"], 1);
+        assert_eq!(snap.gauges["service.cache.entries"], 1.0);
+        assert_eq!(snap.histograms["service.assembly_secs"].count(), 2);
+        let s = svc.stats();
+        assert_eq!(s.queries_served, 2);
+        assert_eq!(s.cache_hits + s.cache_misses, s.queries_served);
+    }
+
+    #[test]
+    fn queries_emit_spans_when_tracing_is_enabled() {
+        let svc = service(3, &[0, 1, 2]);
+        svc.query(&[0]).unwrap(); // tracing off: nothing recorded
+        assert_eq!(svc.obs().trace.spans_recorded(), 0);
+        svc.obs().trace.set_enabled(true);
+        svc.query(&[0, 1]).unwrap(); // miss: service.query + pool.consolidate
+        svc.query(&[0, 1]).unwrap(); // hit: service.query only
+        let names: Vec<&str> = svc.obs().trace.recent(16).iter().map(|e| e.name).collect();
+        assert_eq!(
+            names,
+            vec!["pool.consolidate", "service.query", "service.query"]
+        );
     }
 }

@@ -167,6 +167,8 @@ pub fn train_batches_with_eval(
     let mut report = TrainReport::default();
 
     for epoch in 0..cfg.epochs {
+        let _epoch_span = poe_obs::span("train.epoch");
+        let epoch_start = Instant::now();
         sgd.lr = cfg.schedule.lr_at(epoch);
         let order = rng.permutation(n);
         let mut loss_sum = 0.0f64;
@@ -192,6 +194,9 @@ pub fn train_batches_with_eval(
         } else {
             None
         };
+        poe_obs::global_counter!("train.epochs").inc();
+        poe_obs::global_counter!("train.batches").add(batches as u64);
+        poe_obs::global_histogram!("train.epoch_secs").record(epoch_start.elapsed().as_secs_f64());
         report.records.push(EpochRecord {
             epoch,
             mean_loss: (loss_sum / batches.max(1) as f64) as f32,

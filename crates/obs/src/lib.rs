@@ -1,0 +1,133 @@
+//! # poe-obs
+//!
+//! The observability substrate of the Pool of Experts workspace: a
+//! dependency-free metrics registry, span-based tracing, and a slow-query
+//! log, designed so instrumentation can live permanently inside the hot
+//! paths (tensor kernels, training loops, the query service, the TCP
+//! server) at near-zero cost when nothing is watching.
+//!
+//! Three layers:
+//!
+//! * **Metrics** — [`Registry`] maps names to [`Counter`]s, [`Gauge`]s,
+//!   and [`AtomicHistogram`]s. Recording is a relaxed atomic op; handles
+//!   are fetched once and cached (see [`global_counter!`]). The
+//!   process-wide [`Registry::global`] carries kernel/training metrics;
+//!   components that need isolation (one `QueryService` per test, say)
+//!   own private registries and merge [`MetricsSnapshot`]s at export
+//!   time.
+//! * **Tracing** — [`TraceCollector`] + [`span`] + [`with_request`]
+//!   record per-request span trees into a bounded ring buffer, toggled at
+//!   runtime (the serving protocol's `TRACE on|off`). Disabled tracing
+//!   costs one thread-local read per span site.
+//! * **Slow queries** — [`SlowLog`] retains requests that exceeded a
+//!   runtime latency threshold, with request IDs linking entries back to
+//!   trace events.
+//!
+//! [`Observability`] bundles one of each for a serving component, and
+//! [`spawn_flusher`] drives the periodic snapshot hook.
+//!
+//! ```
+//! use poe_obs::{Observability, span, with_request, next_request_id};
+//!
+//! let obs = Observability::new();
+//! obs.trace.set_enabled(true);
+//! let id = next_request_id();
+//! with_request(&obs.trace, id, || {
+//!     let _request = span("serve.request");
+//!     obs.registry.counter("requests").inc();
+//! });
+//! assert_eq!(obs.trace.spans_recorded(), 1);
+//! assert!(obs.registry.snapshot().to_json().contains("\"requests\":1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+pub mod json;
+mod registry;
+mod slowlog;
+mod trace;
+
+pub use histogram::{AtomicHistogram, LatencyHistogram, NUM_BUCKETS};
+pub use registry::{Counter, Gauge, MetricsSnapshot, Registry};
+pub use slowlog::{SlowEntry, SlowLog, DEFAULT_SLOW_LOG_CAPACITY};
+pub use trace::{
+    current_request_id, ensure_context, next_request_id, span, with_request, Span, TraceCollector,
+    TraceEvent, DEFAULT_TRACE_CAPACITY,
+};
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One component's observability bundle: a private metrics registry, a
+/// trace collector, and a slow-query log, plus the component's start time
+/// for uptime reporting.
+#[derive(Debug, Default)]
+pub struct Observability {
+    /// The component's metrics (merge with [`Registry::global`] at export
+    /// time to include kernel- and training-level instruments).
+    pub registry: Registry,
+    /// Span sink for this component's requests.
+    pub trace: Arc<TraceCollector>,
+    /// Requests that exceeded the slow threshold.
+    pub slow: SlowLog,
+}
+
+impl Observability {
+    /// A fresh bundle: empty registry, tracing off, slow log disabled.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+}
+
+/// Spawns a detached background thread that invokes `flush` every
+/// `interval` — the periodic metrics flush hook. The thread runs for the
+/// life of the process (it dies with it); `flush` typically snapshots a
+/// registry and writes the JSON to a log sink.
+pub fn spawn_flusher(interval: Duration, mut flush: impl FnMut() + Send + 'static) {
+    std::thread::Builder::new()
+        .name("poe-obs-flush".into())
+        .spawn(move || loop {
+            std::thread::sleep(interval);
+            flush();
+        })
+        .expect("spawn metrics flusher");
+}
+
+/// Seconds elapsed since `start` — tiny convenience for uptime fields.
+pub fn uptime_secs(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn observability_bundle_is_wired() {
+        let obs = Observability::new();
+        obs.registry.counter("c").inc();
+        obs.trace.set_enabled(true);
+        with_request(&obs.trace, 3, || drop(span("s")));
+        obs.slow.set_threshold(Some(Duration::from_nanos(1)));
+        obs.slow.observe(3, "line", Duration::from_millis(1));
+        assert_eq!(obs.registry.counter("c").get(), 1);
+        assert_eq!(obs.trace.spans_recorded(), 1);
+        assert_eq!(obs.slow.len(), 1);
+    }
+
+    #[test]
+    fn flusher_fires_periodically() {
+        static FIRED: AtomicUsize = AtomicUsize::new(0);
+        spawn_flusher(Duration::from_millis(5), || {
+            FIRED.fetch_add(1, Ordering::SeqCst);
+        });
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while FIRED.load(Ordering::SeqCst) < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(FIRED.load(Ordering::SeqCst) >= 2);
+    }
+}

@@ -1,0 +1,162 @@
+//! The slow-query log: a bounded ring buffer of requests that exceeded a
+//! latency threshold.
+//!
+//! Disabled by default (`threshold = None`); [`SlowLog::observe`] is then a
+//! single relaxed atomic load per request. When a threshold is set, any
+//! observed request at or above it is retained (evicting the oldest entry
+//! once full) so an operator can ask *which* requests were slow, not just
+//! that a percentile moved.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Default number of retained slow-query entries.
+pub const DEFAULT_SLOW_LOG_CAPACITY: usize = 128;
+
+/// One retained slow request.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// The request's ID (see [`crate::next_request_id`]).
+    pub request_id: u64,
+    /// A short description of the request (e.g. the protocol line).
+    pub detail: String,
+    /// How long the request took, in seconds.
+    pub duration_secs: f64,
+    /// When the request finished, seconds since the log was created.
+    pub at_secs: f64,
+}
+
+/// A bounded ring buffer of requests slower than a runtime threshold.
+#[derive(Debug)]
+pub struct SlowLog {
+    /// Threshold in nanoseconds; 0 means disabled.
+    threshold_ns: AtomicU64,
+    entries: Mutex<VecDeque<SlowEntry>>,
+    capacity: usize,
+    epoch: Instant,
+}
+
+impl Default for SlowLog {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_SLOW_LOG_CAPACITY)
+    }
+}
+
+impl SlowLog {
+    /// A disabled log with the default capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A disabled log retaining at most `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SlowLog {
+            threshold_ns: AtomicU64::new(0),
+            entries: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Sets the threshold; `None` disables the log.
+    pub fn set_threshold(&self, threshold: Option<Duration>) {
+        let ns = threshold.map_or(0, |d| {
+            u64::try_from(d.as_nanos()).unwrap_or(u64::MAX).max(1)
+        });
+        self.threshold_ns.store(ns, Ordering::Release);
+    }
+
+    /// The current threshold, if enabled.
+    pub fn threshold(&self) -> Option<Duration> {
+        match self.threshold_ns.load(Ordering::Acquire) {
+            0 => None,
+            ns => Some(Duration::from_nanos(ns)),
+        }
+    }
+
+    /// Reports one finished request; retains it (and returns `true`) when
+    /// the log is enabled and `duration` is at or above the threshold.
+    pub fn observe(&self, request_id: u64, detail: &str, duration: Duration) -> bool {
+        let threshold = self.threshold_ns.load(Ordering::Acquire);
+        if threshold == 0 || (duration.as_nanos() as u64) < threshold {
+            return false;
+        }
+        let entry = SlowEntry {
+            request_id,
+            detail: detail.to_string(),
+            duration_secs: duration.as_secs_f64(),
+            at_secs: self.epoch.elapsed().as_secs_f64(),
+        };
+        let mut entries = self.entries.lock().unwrap();
+        if entries.len() >= self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back(entry);
+        true
+    }
+
+    /// All retained entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowEntry> {
+        self.entries.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_retains_nothing() {
+        let log = SlowLog::new();
+        assert!(!log.observe(1, "QUERY 0", Duration::from_secs(10)));
+        assert!(log.is_empty());
+        assert_eq!(log.threshold(), None);
+    }
+
+    #[test]
+    fn threshold_filters_and_entries_describe_the_request() {
+        let log = SlowLog::new();
+        log.set_threshold(Some(Duration::from_millis(5)));
+        assert!(!log.observe(1, "fast", Duration::from_millis(1)));
+        assert!(log.observe(2, "slow", Duration::from_millis(9)));
+        let entries = log.entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].request_id, 2);
+        assert_eq!(entries[0].detail, "slow");
+        assert!(entries[0].duration_secs >= 9e-3);
+    }
+
+    #[test]
+    fn log_is_bounded_and_keeps_newest() {
+        let log = SlowLog::with_capacity(2);
+        log.set_threshold(Some(Duration::from_nanos(1)));
+        for i in 0..5 {
+            log.observe(i, &format!("q{i}"), Duration::from_millis(1));
+        }
+        let entries = log.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].detail, "q3");
+        assert_eq!(entries[1].detail, "q4");
+    }
+
+    #[test]
+    fn threshold_can_be_cleared() {
+        let log = SlowLog::new();
+        log.set_threshold(Some(Duration::from_millis(1)));
+        assert!(log.threshold().is_some());
+        log.set_threshold(None);
+        assert!(!log.observe(1, "x", Duration::from_secs(1)));
+    }
+}

@@ -1,0 +1,291 @@
+//! Lightweight span-based tracing with per-request IDs.
+//!
+//! A [`TraceCollector`] owns an on/off switch and a bounded ring buffer of
+//! finished [`TraceEvent`]s. Code *anywhere* in the workspace opens spans
+//! with the free function [`span`]; the span finds the collector through a
+//! thread-local **request context** installed by [`with_request`] (the
+//! serving layer installs one per request line, the CLI installs one per
+//! preprocessing run). With no context installed, or with the collector
+//! disabled, a span is a no-op costing one thread-local read — near-zero
+//! overhead, which is what lets the instrumentation stay compiled into the
+//! hot paths unconditionally.
+//!
+//! Request IDs come from the process-wide [`next_request_id`] counter, so
+//! events from concurrent connections interleave in the ring buffer but
+//! remain attributable.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default ring-buffer capacity (finished spans retained).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
+
+/// One finished span.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// The request this span belongs to (0 = outside any request).
+    pub request_id: u64,
+    /// Static span name, e.g. `service.query`.
+    pub name: &'static str,
+    /// Span start, seconds since the collector was created.
+    pub start_secs: f64,
+    /// Span duration in seconds.
+    pub duration_secs: f64,
+}
+
+/// Collects spans into a bounded ring buffer when enabled.
+#[derive(Debug)]
+pub struct TraceCollector {
+    enabled: AtomicBool,
+    spans_recorded: AtomicU64,
+    events_dropped: AtomicU64,
+    events: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+    epoch: Instant,
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl TraceCollector {
+    /// A disabled collector with the default ring capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A disabled collector retaining at most `capacity` finished spans.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceCollector {
+            enabled: AtomicBool::new(false),
+            spans_recorded: AtomicU64::new(0),
+            events_dropped: AtomicU64::new(0),
+            events: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Turns span collection on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Release);
+    }
+
+    /// Whether spans are currently collected.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Total spans recorded since creation (monotone; survives ring
+    /// evictions).
+    pub fn spans_recorded(&self) -> u64 {
+        self.spans_recorded.load(Ordering::Relaxed)
+    }
+
+    /// Spans evicted from the ring buffer to make room.
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped.load(Ordering::Relaxed)
+    }
+
+    /// The most recent `n` finished spans, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<TraceEvent> {
+        let events = self.events.lock().unwrap();
+        events.iter().rev().take(n).rev().cloned().collect()
+    }
+
+    fn record(&self, request_id: u64, name: &'static str, start: Instant, duration_secs: f64) {
+        self.spans_recorded.fetch_add(1, Ordering::Relaxed);
+        let start_secs = start.duration_since(self.epoch).as_secs_f64();
+        let mut events = self.events.lock().unwrap();
+        if events.len() >= self.capacity {
+            events.pop_front();
+            self.events_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(TraceEvent {
+            request_id,
+            name,
+            start_secs,
+            duration_secs,
+        });
+    }
+}
+
+/// Allocates a fresh process-unique request ID (starting at 1).
+pub fn next_request_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+struct Context {
+    collector: Arc<TraceCollector>,
+    request_id: u64,
+}
+
+thread_local! {
+    static CONTEXT: RefCell<Option<Context>> = const { RefCell::new(None) };
+}
+
+/// Restores the previous context when a [`with_request`] scope unwinds.
+struct ContextGuard(Option<Context>);
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CONTEXT.with(|c| *c.borrow_mut() = self.0.take());
+    }
+}
+
+/// Runs `f` with `collector` installed as the current thread's span sink
+/// and `request_id` attached to every span opened inside. Contexts nest:
+/// the previous one is restored on exit (also on panic).
+pub fn with_request<R>(
+    collector: &Arc<TraceCollector>,
+    request_id: u64,
+    f: impl FnOnce() -> R,
+) -> R {
+    let prev = CONTEXT.with(|c| {
+        c.borrow_mut().replace(Context {
+            collector: Arc::clone(collector),
+            request_id,
+        })
+    });
+    let _guard = ContextGuard(prev);
+    f()
+}
+
+/// Like [`with_request`], but keeps an already-installed context (so a
+/// component can guarantee its spans are collected when called directly,
+/// without re-rooting spans of a request that is already in flight).
+pub fn ensure_context<R>(collector: &Arc<TraceCollector>, f: impl FnOnce() -> R) -> R {
+    let installed = CONTEXT.with(|c| c.borrow().is_some());
+    if installed {
+        f()
+    } else {
+        with_request(collector, 0, f)
+    }
+}
+
+/// The request ID of the current context (0 when none is installed).
+pub fn current_request_id() -> u64 {
+    CONTEXT.with(|c| c.borrow().as_ref().map_or(0, |ctx| ctx.request_id))
+}
+
+/// An open span; records a [`TraceEvent`] when dropped.
+///
+/// Obtained from [`span`]. When tracing is off (no context installed, or
+/// the collector disabled) the span is inert and costs nothing on drop.
+#[must_use = "a span measures the scope it is alive for"]
+pub struct Span {
+    live: Option<(Arc<TraceCollector>, u64, &'static str, Instant)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((collector, request_id, name, start)) = self.live.take() {
+            collector.record(request_id, name, start, start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Opens a span named `name` against the current thread's request context.
+pub fn span(name: &'static str) -> Span {
+    let live = CONTEXT.with(|c| {
+        let ctx = c.borrow();
+        match ctx.as_ref() {
+            Some(ctx) if ctx.collector.is_enabled() => Some((
+                Arc::clone(&ctx.collector),
+                ctx.request_id,
+                name,
+                Instant::now(),
+            )),
+            _ => None,
+        }
+    });
+    Span { live }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_only_inside_enabled_contexts() {
+        let col = Arc::new(TraceCollector::new());
+        // No context: no-op.
+        drop(span("orphan"));
+        assert_eq!(col.spans_recorded(), 0);
+        // Context but disabled: still a no-op.
+        with_request(&col, 7, || drop(span("off")));
+        assert_eq!(col.spans_recorded(), 0);
+        // Enabled: recorded with the request id.
+        col.set_enabled(true);
+        with_request(&col, 7, || drop(span("on")));
+        assert_eq!(col.spans_recorded(), 1);
+        let ev = &col.recent(10)[0];
+        assert_eq!(ev.request_id, 7);
+        assert_eq!(ev.name, "on");
+        assert!(ev.duration_secs >= 0.0);
+    }
+
+    #[test]
+    fn contexts_nest_and_restore() {
+        let outer = Arc::new(TraceCollector::new());
+        let inner = Arc::new(TraceCollector::new());
+        outer.set_enabled(true);
+        inner.set_enabled(true);
+        with_request(&outer, 1, || {
+            with_request(&inner, 2, || {
+                assert_eq!(current_request_id(), 2);
+                drop(span("inner"));
+            });
+            assert_eq!(current_request_id(), 1);
+            drop(span("outer"));
+        });
+        assert_eq!(current_request_id(), 0);
+        assert_eq!(inner.spans_recorded(), 1);
+        assert_eq!(outer.spans_recorded(), 1);
+        assert_eq!(inner.recent(1)[0].request_id, 2);
+    }
+
+    #[test]
+    fn ensure_context_does_not_reroot() {
+        let a = Arc::new(TraceCollector::new());
+        let b = Arc::new(TraceCollector::new());
+        a.set_enabled(true);
+        b.set_enabled(true);
+        with_request(&a, 5, || {
+            ensure_context(&b, || drop(span("kept")));
+        });
+        assert_eq!(a.spans_recorded(), 1, "span must stay on the outer context");
+        assert_eq!(b.spans_recorded(), 0);
+        // Without an outer context, ensure_context installs one.
+        ensure_context(&b, || drop(span("fresh")));
+        assert_eq!(b.spans_recorded(), 1);
+        assert_eq!(b.recent(1)[0].request_id, 0);
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded() {
+        let col = Arc::new(TraceCollector::with_capacity(4));
+        col.set_enabled(true);
+        with_request(&col, 1, || {
+            for _ in 0..10 {
+                drop(span("s"));
+            }
+        });
+        assert_eq!(col.spans_recorded(), 10);
+        assert_eq!(col.recent(100).len(), 4);
+        assert_eq!(col.events_dropped(), 6);
+    }
+
+    #[test]
+    fn request_ids_are_unique() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert!(b > a);
+    }
+}

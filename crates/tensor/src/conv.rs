@@ -70,6 +70,7 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Tensor {
     let k = spec.kernel;
     let patch = spec.patch_len();
 
+    poe_obs::global_counter!("tensor.im2col.calls").inc();
     let mut out = Tensor::zeros([n * oh * ow, patch]);
     let src = input.data();
     let dst = out.data_mut();
@@ -115,6 +116,7 @@ pub fn col2im(cols: &Tensor, spec: &Conv2dSpec, n: usize, h: usize, w: usize) ->
     let patch = spec.patch_len();
     assert_eq!(cols.dims(), &[n * oh * ow, patch], "col2im shape mismatch");
 
+    poe_obs::global_counter!("tensor.col2im.calls").inc();
     let mut out = Tensor::zeros([n, c, h, w]);
     let dst = out.data_mut();
     let src = cols.data();

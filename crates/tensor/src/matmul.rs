@@ -9,9 +9,17 @@
 //! the hand-off. Workers receive refcounted handles to the copy-on-write
 //! tensor buffers and return owned output chunks, so no borrow ever
 //! crosses a thread boundary.
+//!
+//! Every kernel reports to the process-wide metrics registry
+//! ([`poe_obs::Registry::global`]): per-kernel call counters, a shared
+//! `tensor.matmul.secs` latency histogram, and shard-occupancy counters
+//! for the parallel path. Recording is a couple of relaxed atomics plus
+//! one clock read per call, far below the cost of even the smallest
+//! product that reaches these kernels in practice.
 
 use crate::{Result, Shape, Tensor, TensorError};
 use std::sync::mpsc::channel;
+use std::time::Instant;
 
 /// Problems with at least this many multiply-adds are sharded across threads.
 const PARALLEL_THRESHOLD: usize = 1 << 20;
@@ -59,6 +67,8 @@ fn mm_dispatch(out: &mut [f32], a: &Tensor, b: &Tensor, m: usize, k: usize, n: u
         return;
     }
     let shards = threads.min(m);
+    poe_obs::global_counter!("tensor.matmul.sharded").inc();
+    poe_obs::global_counter!("tensor.matmul.shards").add(shards as u64);
     let chunk = m.div_ceil(shards);
     let (tx, rx) = channel::<(usize, Vec<f32>)>();
     let mut queued = 0usize;
@@ -110,8 +120,11 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.shape().clone(),
         });
     }
+    let start = Instant::now();
     let mut out = Tensor::zeros([m, n]);
     mm_dispatch(out.data_mut(), a, b, m, k, n);
+    poe_obs::global_counter!("tensor.matmul.calls").inc();
+    poe_obs::global_histogram!("tensor.matmul.secs").record(start.elapsed().as_secs_f64());
     Ok(out)
 }
 
@@ -130,6 +143,7 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     // out[i][j] = Σ_p a[p][i] * b[p][j]. Loop over p outer so both reads are
     // contiguous; accumulate rank-1 updates into out.
+    let start = Instant::now();
     let mut out = Tensor::zeros([m, n]);
     let o = out.data_mut();
     let ad = a.data();
@@ -147,6 +161,8 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             }
         }
     }
+    poe_obs::global_counter!("tensor.matmul_at_b.calls").inc();
+    poe_obs::global_histogram!("tensor.matmul.secs").record(start.elapsed().as_secs_f64());
     Ok(out)
 }
 
@@ -164,6 +180,7 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.shape().clone(),
         });
     }
+    let start = Instant::now();
     let mut out = Tensor::zeros([m, n]);
     let o = out.data_mut();
     let ad = a.data();
@@ -180,6 +197,8 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             *ov = acc;
         }
     }
+    poe_obs::global_counter!("tensor.matmul_a_bt.calls").inc();
+    poe_obs::global_histogram!("tensor.matmul.secs").record(start.elapsed().as_secs_f64());
     Ok(out)
 }
 

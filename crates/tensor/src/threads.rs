@@ -80,7 +80,11 @@ impl ThreadPool {
 /// [`num_threads`] workers.
 pub fn global() -> &'static ThreadPool {
     static POOL: OnceLock<ThreadPool> = OnceLock::new();
-    POOL.get_or_init(|| ThreadPool::with_workers(num_threads()))
+    POOL.get_or_init(|| {
+        let n = num_threads();
+        poe_obs::global_gauge!("tensor.pool.threads").set(n as f64);
+        ThreadPool::with_workers(n)
+    })
 }
 
 #[cfg(test)]

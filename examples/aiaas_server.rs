@@ -107,7 +107,7 @@ fn main() {
         "final stats: {} served / {} rejected, mean assembly {:.3} ms",
         stats.queries_served,
         stats.queries_rejected,
-        stats.mean_assembly_secs() * 1e3
+        stats.mean_assembly_secs().unwrap_or(0.0) * 1e3
     );
     std::fs::remove_dir_all(&store).ok();
 }

@@ -108,6 +108,6 @@ fn main() {
     println!(
         "\nserved {} queries, mean assembly latency {:.3} ms",
         stats.queries_served,
-        stats.mean_assembly_secs() * 1e3
+        stats.mean_assembly_secs().unwrap_or(0.0) * 1e3
     );
 }

@@ -16,6 +16,7 @@ pub use poe_core as core;
 pub use poe_data as data;
 pub use poe_models as models;
 pub use poe_nn as nn;
+pub use poe_obs as obs;
 pub use poe_tensor as tensor;
 
 /// Commonly-used items, re-exported for examples and quick starts.
