@@ -12,10 +12,8 @@
 //! the standard renderer), `cifar100`, or `tiny-imagenet` (the two paper
 //! analogs).
 
-mod args;
-mod serve;
-
-use args::{ArgError, Args};
+use poe_cli::args::{ArgError, Args};
+use poe_cli::serve;
 use poe_core::diagnostics::diagnose_pool;
 use poe_core::pipeline::{preprocess, PipelineConfig};
 use poe_core::service::QueryService;
@@ -44,16 +42,26 @@ USAGE
       Per-expert calibration and logit-scale diagnostics.
   poe serve --pool DIR [--port P] [--max-requests N] [--workers N]
             [--trace on|off] [--slow-query-ms N] [--metrics-every N]
+            [--idle-timeout-ms N] [--queue-capacity N]
+            [--max-conn-requests N] [--drain-deadline-ms N]
       TCP model-query server (line protocol: INFO / QUERY t,… /
-      PREDICT t,… : f1 f2 … / STATS / METRICS / TRACE on|off / QUIT —
-      see docs/PROTOCOL.md). Port 0 picks an ephemeral port. Up to N
-      connections are served concurrently (default 4); repeated task sets
-      are answered from the consolidation cache, STATS reports
+      PREDICT t,… : f1 f2 … / STATS / METRICS / TRACE on|off / HEALTH /
+      SHUTDOWN / QUIT — see docs/PROTOCOL.md). Port 0 picks an ephemeral
+      port. Up to N connections are served concurrently (default 4) from
+      a bounded accept queue (--queue-capacity, default 128); when the
+      queue is full new connections are shed with `ERR busy`. Repeated
+      task sets are answered from the consolidation cache, STATS reports
       assembly-latency percentiles, and METRICS dumps the full JSON
       snapshot. --trace starts span collection enabled, --slow-query-ms
       retains requests at or above N ms (0 = off), --metrics-every prints
-      the metrics JSON to stderr every N seconds (0 = off); see
-      docs/OPERATIONS.md.
+      the metrics JSON to stderr every N seconds (0 = off).
+      --idle-timeout-ms closes silent connections (default 30000, 0 =
+      never), --max-conn-requests caps requests per connection (0 = no
+      cap), --drain-deadline-ms bounds the graceful-shutdown drain
+      (default 5000). If the pool store fails to load (e.g. checksum
+      mismatch) the server starts degraded: HEALTH reports ready=0 with
+      the load error and data verbs answer `ERR not ready`. Failure modes
+      and the runbook live in docs/OPERATIONS.md.
   poe help
       This text.
 
@@ -286,8 +294,42 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
     let metrics_every = a
         .get_parsed("metrics-every", 0u64, "u64")
         .map_err(|e| e.to_string())?;
-    let (pool, spec) = load_standalone(dir).map_err(|e| e.to_string())?;
-    let service = std::sync::Arc::new(QueryService::new(pool));
+    let idle_timeout_ms = a
+        .get_parsed("idle-timeout-ms", 30_000u64, "u64")
+        .map_err(|e| e.to_string())?;
+    let queue_capacity = a
+        .get_parsed("queue-capacity", 128usize, "usize")
+        .map_err(|e| e.to_string())?;
+    let max_conn_requests = a
+        .get_parsed("max-conn-requests", 0u64, "u64")
+        .map_err(|e| e.to_string())?;
+    let drain_deadline_ms = a
+        .get_parsed("drain-deadline-ms", 5_000u64, "u64")
+        .map_err(|e| e.to_string())?;
+    // A pool that fails to load (corrupt store, version skew, missing
+    // files) starts the server degraded instead of not at all: HEALTH
+    // carries the typed load error as a non-ready state, so an operator
+    // probing the port sees *why* instead of a connection refusal.
+    let (service, input_dim, pool_error) = match load_standalone(dir) {
+        Ok((pool, spec)) => (
+            std::sync::Arc::new(QueryService::new(pool)),
+            spec.input_dim,
+            None,
+        ),
+        Err(e) => {
+            eprintln!("warning: pool at {dir} failed to load: {e}");
+            eprintln!("warning: serving DEGRADED — HEALTH reports ready=0, data verbs refuse");
+            let placeholder = poe_core::pool::ExpertPool::new(
+                ClassHierarchy::contiguous(1, 1),
+                poe_nn::layers::Sequential::new(),
+            );
+            (
+                std::sync::Arc::new(QueryService::new(placeholder)),
+                0,
+                Some(e.to_string()),
+            )
+        }
+    };
     service.obs().trace.set_enabled(trace_on);
     if slow_ms > 0 {
         service
@@ -303,18 +345,42 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
     }
     let listener = std::net::TcpListener::bind(("127.0.0.1", port)).map_err(|e| e.to_string())?;
     println!(
-        "serving pool {dir} on {} (input dim {}, {workers} workers, trace={}, \
-         slow-query-ms={slow_ms}) — protocol: INFO | QUERY t,… | \
-         PREDICT t,… : f1 f2 … | STATS | METRICS | TRACE on|off | QUIT \
-         (docs/PROTOCOL.md)",
+        "serving pool {dir} on {} (input dim {input_dim}, {workers} workers, trace={}, \
+         slow-query-ms={slow_ms}, idle-timeout-ms={idle_timeout_ms}, \
+         queue-capacity={queue_capacity}) — protocol: INFO | QUERY t,… | \
+         PREDICT t,… : f1 f2 … | STATS | METRICS | TRACE on|off | HEALTH | \
+         SHUTDOWN | QUIT (docs/PROTOCOL.md)",
         listener.local_addr().map_err(|e| e.to_string())?,
-        spec.input_dim,
         if trace_on { "on" } else { "off" },
     );
-    let handled =
-        serve::serve_with_workers(listener, service, spec.input_dim, max_requests, workers)
-            .map_err(|e| e.to_string())?;
-    println!("served {handled} requests, shutting down");
+    let cfg = serve::ServeConfig {
+        workers,
+        max_requests,
+        idle_timeout: (idle_timeout_ms > 0)
+            .then(|| std::time::Duration::from_millis(idle_timeout_ms)),
+        max_conn_requests: if max_conn_requests == 0 {
+            u64::MAX
+        } else {
+            max_conn_requests
+        },
+        queue_capacity: queue_capacity.max(1),
+        drain_deadline: std::time::Duration::from_millis(drain_deadline_ms),
+        pool_error,
+        metrics_on_shutdown: true,
+        ..serve::ServeConfig::default()
+    };
+    let server =
+        serve::Server::start(listener, service, input_dim, cfg).map_err(|e| e.to_string())?;
+    let report = server.join().map_err(|e| e.to_string())?;
+    println!(
+        "served {} requests, shutting down{}",
+        report.handled,
+        if report.drain_timed_out {
+            " (drain deadline hit; stragglers force-closed)"
+        } else {
+            ""
+        }
+    );
     Ok(())
 }
 

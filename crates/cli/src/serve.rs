@@ -1,43 +1,383 @@
-//! `poe serve` — a minimal TCP model-query server over a pool store.
+//! `poe serve` — a fault-tolerant TCP model-query server over a pool store.
 //!
 //! The wire protocol (UTF-8, one request line → one response line; verbs
-//! `INFO`, `QUERY`, `PREDICT`, `STATS`, `METRICS`, `TRACE`, `QUIT`) is
-//! specified in full in `docs/PROTOCOL.md` at the repository root —
-//! grammar, every `ERR` reason, cache semantics, and worked transcripts.
-//! `docs/OPERATIONS.md` covers deployment and how to read the metrics.
+//! `INFO`, `QUERY`, `PREDICT`, `STATS`, `METRICS`, `TRACE`, `HEALTH`,
+//! `SHUTDOWN`, `QUIT`) is specified in full in `docs/PROTOCOL.md` at the
+//! repository root — grammar, every `ERR` reason, cache semantics, and
+//! worked transcripts. `docs/OPERATIONS.md` covers deployment, metrics,
+//! and the failure-modes runbook.
 //!
 //! `PREDICT` consolidates the requested composite model (train-free — this
 //! is the paper's realtime query) and classifies one feature vector.
 //!
+//! ## Fault-tolerance architecture
+//!
 //! Connections are handled by a bounded pool of worker threads fed by a
-//! dedicated acceptor, so a slow or idle client never blocks the others.
+//! **bounded** accept queue. The serving substrate degrades instead of
+//! collapsing:
+//!
+//! * **Connection hardening** — every connection gets read/write
+//!   deadlines ([`ServeConfig::idle_timeout`]); request lines are read
+//!   through a bounded buffer that answers `ERR line too long` instead of
+//!   growing without limit; a per-connection request cap bounds any
+//!   single client's hold on a worker.
+//! * **Load shedding** — when the accept queue is full the acceptor
+//!   answers `ERR busy retry_after_ms=<n>` and closes immediately: shed,
+//!   don't stall. Shed/timeout/oversize/write-error counters land in the
+//!   service's [`poe_obs`] registry (`serve.*`, visible via `METRICS`).
+//! * **Graceful lifecycle** — `HEALTH` reports liveness and readiness
+//!   (pool loaded, workers alive, shed rate under threshold); `SHUTDOWN`
+//!   (or [`ServerHandle::shutdown`]) stops accepting, drains in-flight
+//!   requests within [`ServeConfig::drain_deadline`], force-closes
+//!   stragglers past it, and joins every worker and acceptor thread
+//!   before [`Server::join`] returns — no thread outlives the server.
+//! * **Crash survival** — worker panics (including [`poe_chaos`]-injected
+//!   ones) are caught per connection; the worker stays alive and the
+//!   panic is counted (`serve.worker_panics`).
+//!
 //! Every request line runs inside a [`poe_obs`] request context: it gets a
 //! process-unique request ID, a `serve.request` span, a per-verb counter,
 //! and a slow-log observation against the service's
 //! [`poe_core::service::QueryService::obs`] bundle.
 
 use poe_core::service::QueryService;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::mpsc::{channel, Receiver};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Default number of connection-handling worker threads.
 pub const DEFAULT_WORKERS: usize = 4;
 
-/// Progress shared between the acceptor, the workers, and `serve` itself.
+/// Default cap on one request line, in bytes.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 8 * 1024;
+
+/// Hard cap on the number of task ids in one `QUERY`/`PREDICT`.
+pub const MAX_QUERY_TASKS: usize = 4096;
+
+/// Tuning knobs of the serving substrate. `ServeConfig::default()` is a
+/// sane lab setup; `docs/OPERATIONS.md` discusses sizing.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Connection-handling worker threads (min 1).
+    pub workers: usize,
+    /// Stop after this many requests (`u64::MAX` = run forever).
+    pub max_requests: u64,
+    /// Per-connection read/write deadline; `None` disables (a silent
+    /// client can then pin a worker until shutdown force-closes it).
+    pub idle_timeout: Option<Duration>,
+    /// Reject request lines longer than this many bytes.
+    pub max_line_bytes: usize,
+    /// Close a connection after this many requests (`u64::MAX` = no cap).
+    pub max_conn_requests: u64,
+    /// Accepted connections queued ahead of the workers; beyond this the
+    /// acceptor sheds (`ERR busy`) instead of queueing (min 1).
+    pub queue_capacity: usize,
+    /// The `retry_after_ms` hint sent with `ERR busy` / shutdown sheds.
+    pub retry_after_ms: u64,
+    /// How long [`Server::join`] waits for in-flight connections to drain
+    /// after shutdown starts before force-closing them.
+    pub drain_deadline: Duration,
+    /// `HEALTH` reports `ready=0` while the lifetime shed rate
+    /// (`shed / (shed + accepted)`) exceeds this fraction.
+    pub shed_rate_threshold: f64,
+    /// When set, the pool failed to load (corrupt/truncated store): the
+    /// server runs degraded — `HEALTH` reports `ready=0 pool=error` and
+    /// data verbs answer `ERR not ready` — so an operator can probe what
+    /// went wrong instead of facing a dead port.
+    pub pool_error: Option<String>,
+    /// Print a final `METRICS <json>` line to stderr when the server
+    /// shuts down (the lifecycle's metrics flush).
+    pub metrics_on_shutdown: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: DEFAULT_WORKERS,
+            max_requests: u64::MAX,
+            idle_timeout: Some(Duration::from_secs(30)),
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            max_conn_requests: u64::MAX,
+            queue_capacity: 128,
+            retry_after_ms: 100,
+            drain_deadline: Duration::from_secs(5),
+            shed_rate_threshold: 0.5,
+            pool_error: None,
+            metrics_on_shutdown: false,
+        }
+    }
+}
+
+/// What [`Server::join`] reports after a clean exit.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeReport {
+    /// Requests answered successfully over the server's lifetime.
+    pub handled: u64,
+    /// Whether the drain deadline expired and stragglers were
+    /// force-closed (also counted in `serve.drain_timeouts`).
+    pub drain_timed_out: bool,
+}
+
+/// Serve-layer counters, registered in the service's metrics registry so
+/// `METRICS` exports them alongside everything else.
+struct ServeMetrics {
+    accepted: Arc<poe_obs::Counter>,
+    shed: Arc<poe_obs::Counter>,
+    timeouts: Arc<poe_obs::Counter>,
+    oversize: Arc<poe_obs::Counter>,
+    write_errors: Arc<poe_obs::Counter>,
+    worker_panics: Arc<poe_obs::Counter>,
+    drain_timeouts: Arc<poe_obs::Counter>,
+}
+
+impl ServeMetrics {
+    fn register(service: &QueryService) -> Self {
+        let r = &service.obs().registry;
+        ServeMetrics {
+            accepted: r.counter("serve.accepted"),
+            shed: r.counter("serve.shed"),
+            timeouts: r.counter("serve.timeouts"),
+            oversize: r.counter("serve.oversize"),
+            write_errors: r.counter("serve.write_errors"),
+            worker_panics: r.counter("serve.worker_panics"),
+            drain_timeouts: r.counter("serve.drain_timeouts"),
+        }
+    }
+}
+
+/// Progress shared between the acceptor, the workers, and `join`.
 struct ServeState {
     handled: u64,
     accept_error: Option<std::io::Error>,
 }
 
-type Shared = Arc<(Mutex<ServeState>, Condvar)>;
+struct ServerShared {
+    cfg: ServeConfig,
+    service: Arc<QueryService>,
+    input_dim: usize,
+    addr: SocketAddr,
+    state: Mutex<ServeState>,
+    cvar: Condvar,
+    draining: AtomicBool,
+    workers_alive: AtomicUsize,
+    /// In-flight connections, so shutdown can force-close stragglers.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+    metrics: ServeMetrics,
+}
+
+impl ServerShared {
+    /// Locks `state`, surviving poisoning (a chaos-injected worker panic
+    /// must not take the whole server down with it).
+    fn lock_state(&self) -> MutexGuard<'_, ServeState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_conns(&self) -> MutexGuard<'_, HashMap<u64, TcpStream>> {
+        self.conns.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Starts the drain: stop accepting, wake everyone. Idempotent.
+    fn trigger_shutdown(&self) {
+        if self.draining.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the acceptor out of its blocking accept() so it can see
+        // the flag and drop the queue sender.
+        let _ = TcpStream::connect(self.addr);
+        self.cvar.notify_all();
+    }
+
+    fn force_close_conns(&self) {
+        for stream in self.lock_conns().values() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    fn shed_rate(&self) -> f64 {
+        let shed = self.metrics.shed.get();
+        let accepted = self.metrics.accepted.get();
+        if shed + accepted == 0 {
+            0.0
+        } else {
+            shed as f64 / (shed + accepted) as f64
+        }
+    }
+}
+
+/// A running query server: acceptor + workers, all joined on shutdown.
+///
+/// [`Server::start`] returns immediately; [`Server::join`] blocks until
+/// the request budget is spent, the listener dies, or a shutdown is
+/// requested (the `SHUTDOWN` verb or [`ServerHandle::shutdown`]), then
+/// drains and joins every thread. The convenience wrappers
+/// [`serve`]/[`serve_with_workers`] do both in one call.
+pub struct Server {
+    shared: Arc<ServerShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+/// A cloneable remote control for a [`Server`] (shutdown, progress).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<ServerShared>,
+}
+
+impl ServerHandle {
+    /// Requests a graceful shutdown: stop accepting, drain in-flight
+    /// requests, join threads. Idempotent; returns immediately (the
+    /// drain happens in [`Server::join`]).
+    pub fn shutdown(&self) {
+        self.shared.trigger_shutdown();
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+
+    /// Requests answered so far.
+    pub fn handled(&self) -> u64 {
+        self.shared.lock_state().handled
+    }
+}
+
+impl Server {
+    /// Binds the serving threads to `listener` and starts accepting.
+    pub fn start(
+        listener: TcpListener,
+        service: Arc<QueryService>,
+        input_dim: usize,
+        cfg: ServeConfig,
+    ) -> std::io::Result<Server> {
+        let addr = listener.local_addr()?;
+        let workers_n = cfg.workers.max(1);
+        let metrics = ServeMetrics::register(&service);
+        let shared = Arc::new(ServerShared {
+            cfg,
+            service,
+            input_dim,
+            addr,
+            state: Mutex::new(ServeState {
+                handled: 0,
+                accept_error: None,
+            }),
+            cvar: Condvar::new(),
+            draining: AtomicBool::new(false),
+            workers_alive: AtomicUsize::new(workers_n),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            metrics,
+        });
+
+        let (conn_tx, conn_rx) = sync_channel::<TcpStream>(shared.cfg.queue_capacity.max(1));
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let mut workers = Vec::with_capacity(workers_n);
+        for i in 0..workers_n {
+            let conn_rx = Arc::clone(&conn_rx);
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("poe-serve-worker-{i}"))
+                    .spawn(move || worker_loop(conn_rx, shared))
+                    .expect("spawn serve worker"),
+            );
+        }
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("poe-serve-acceptor".into())
+                .spawn(move || acceptor_loop(listener, conn_tx, shared))
+                .expect("spawn serve acceptor")
+        };
+        Ok(Server {
+            shared,
+            workers,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// A cloneable control handle (usable from other threads).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Connections currently being served (not queued ones).
+    pub fn active_connections(&self) -> usize {
+        self.shared.lock_conns().len()
+    }
+
+    /// Blocks until the server finishes (budget spent, listener error, or
+    /// shutdown requested), drains within the configured deadline, joins
+    /// every thread, and reports.
+    pub fn join(mut self) -> std::io::Result<ServeReport> {
+        {
+            let mut st = self.shared.lock_state();
+            while st.handled < self.shared.cfg.max_requests
+                && st.accept_error.is_none()
+                && !self.shared.draining.load(Ordering::Acquire)
+            {
+                st = self
+                    .shared
+                    .cvar
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        self.shared.trigger_shutdown();
+
+        // Drain: workers exit once the acceptor drops the queue sender
+        // and their current connection ends. Past the deadline, yank the
+        // remaining connections shut so blocked reads/writes error out.
+        let deadline = Instant::now() + self.shared.cfg.drain_deadline;
+        let mut drain_timed_out = false;
+        while self.shared.workers_alive.load(Ordering::Acquire) > 0 {
+            if Instant::now() >= deadline {
+                if !drain_timed_out {
+                    drain_timed_out = true;
+                    self.shared.metrics.drain_timeouts.inc();
+                }
+                self.shared.force_close_conns();
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+
+        if self.shared.cfg.metrics_on_shutdown {
+            eprintln!("METRICS {}", metrics_json(&self.shared.service));
+        }
+        let mut st = self.shared.lock_state();
+        if let Some(e) = st.accept_error.take() {
+            return Err(e);
+        }
+        Ok(ServeReport {
+            handled: st.handled,
+            drain_timed_out,
+        })
+    }
+}
 
 /// Serves requests until `max_requests` lines have been processed
 /// (`u64::MAX` = run forever), with [`DEFAULT_WORKERS`] concurrent
 /// connection handlers. Returns the number of requests handled.
-#[cfg_attr(not(test), allow(dead_code))] // the binary passes --workers explicitly
 pub fn serve(
     listener: TcpListener,
     service: Arc<QueryService>,
@@ -48,7 +388,7 @@ pub fn serve(
 }
 
 /// [`serve`] with an explicit worker-pool size. Connections are accepted
-/// eagerly and queued; up to `workers` of them are served concurrently.
+/// into a bounded queue; up to `workers` of them are served concurrently.
 pub fn serve_with_workers(
     listener: TcpListener,
     service: Arc<QueryService>,
@@ -56,104 +396,234 @@ pub fn serve_with_workers(
     max_requests: u64,
     workers: usize,
 ) -> std::io::Result<u64> {
-    let shared: Shared = Arc::new((
-        Mutex::new(ServeState {
-            handled: 0,
-            accept_error: None,
-        }),
-        Condvar::new(),
-    ));
+    let cfg = ServeConfig {
+        workers,
+        max_requests,
+        ..ServeConfig::default()
+    };
+    Ok(Server::start(listener, service, input_dim, cfg)?
+        .join()?
+        .handled)
+}
 
-    let (conn_tx, conn_rx) = channel::<TcpStream>();
-    let conn_rx = Arc::new(Mutex::new(conn_rx));
-    for _ in 0..workers.max(1) {
-        let conn_rx: Arc<Mutex<Receiver<TcpStream>>> = Arc::clone(&conn_rx);
-        let service = Arc::clone(&service);
-        let shared = Arc::clone(&shared);
-        std::thread::spawn(move || loop {
-            let stream = {
-                let rx = match conn_rx.lock() {
-                    Ok(rx) => rx,
-                    Err(_) => break,
-                };
-                match rx.recv() {
-                    Ok(s) => s,
-                    Err(_) => break,
+fn acceptor_loop(listener: TcpListener, conn_tx: SyncSender<TcpStream>, shared: Arc<ServerShared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.draining.load(Ordering::Acquire) {
+                    break; // the shutdown wake-up (or a late client)
                 }
-            };
-            handle_connection(stream, &service, input_dim, &shared, max_requests);
-        });
-    }
-
-    // The acceptor owns the listener; it dies with the process (clients
-    // connecting after the request budget is spent are queued but never
-    // served — acceptable for this demonstration server).
-    {
-        let shared = Arc::clone(&shared);
-        std::thread::spawn(move || loop {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    if conn_tx.send(stream).is_err() {
-                        break;
-                    }
-                }
-                Err(e) => {
-                    let (lock, cvar) = &*shared;
-                    if let Ok(mut st) = lock.lock() {
-                        st.accept_error = Some(e);
-                    }
-                    cvar.notify_all();
-                    break;
+                match conn_tx.try_send(stream) {
+                    Ok(()) => shared.metrics.accepted.inc(),
+                    Err(TrySendError::Full(stream)) => shed(stream, &shared),
+                    Err(TrySendError::Disconnected(_)) => break,
                 }
             }
-        });
+            Err(e) => {
+                shared.lock_state().accept_error = Some(e);
+                shared.cvar.notify_all();
+                break;
+            }
+        }
+    }
+    // Dropping conn_tx here lets workers drain the queue and exit.
+}
+
+/// Load shedding: the queue is full, so answer `ERR busy` and close —
+/// a fast refusal the client can retry, instead of an unbounded queue.
+fn shed(mut stream: TcpStream, shared: &ServerShared) {
+    shared.metrics.shed.inc();
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = writeln!(
+        stream,
+        "ERR busy retry_after_ms={}",
+        shared.cfg.retry_after_ms
+    );
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn worker_loop(conn_rx: Arc<Mutex<Receiver<TcpStream>>>, shared: Arc<ServerShared>) {
+    loop {
+        let stream = {
+            let rx = conn_rx.lock().unwrap_or_else(PoisonError::into_inner);
+            match rx.recv() {
+                Ok(s) => s,
+                Err(_) => break, // acceptor gone and queue drained
+            }
+        };
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.lock_conns().insert(conn_id, clone);
+        }
+        // A panic while serving one connection (a bug — or an injected
+        // chaos fault) kills that connection, not the worker: the thread
+        // survives to serve the next client.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            poe_chaos::maybe_panic(poe_chaos::sites::SERVE_WORKER_PANIC);
+            handle_connection(stream, &shared);
+        }));
+        shared.lock_conns().remove(&conn_id);
+        if outcome.is_err() {
+            shared.metrics.worker_panics.inc();
+            shared.cvar.notify_all();
+        }
+    }
+    shared.workers_alive.fetch_sub(1, Ordering::AcqRel);
+    shared.cvar.notify_all();
+}
+
+/// Outcome of one bounded line read.
+enum ReadLine {
+    Line(String),
+    TooLong,
+    TimedOut,
+    Closed,
+}
+
+/// A request-line reader with a hard byte cap: a client streaming an
+/// endless line (or trickling bytes with no newline) gets `TooLong` /
+/// `TimedOut` instead of growing an unbounded buffer.
+struct BoundedLineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    max: usize,
+}
+
+impl BoundedLineReader {
+    fn new(stream: TcpStream, max: usize) -> Self {
+        BoundedLineReader {
+            stream,
+            buf: Vec::new(),
+            max,
+        }
     }
 
-    let (lock, cvar) = &*shared;
-    let mut st = lock.lock().unwrap();
-    while st.handled < max_requests && st.accept_error.is_none() {
-        st = cvar.wait(st).unwrap();
-    }
-    match st.accept_error.take() {
-        Some(e) => Err(e),
-        None => Ok(st.handled),
+    fn read_line(&mut self) -> ReadLine {
+        loop {
+            if let Some(i) = self.buf.iter().position(|&b| b == b'\n') {
+                if i > self.max {
+                    return ReadLine::TooLong;
+                }
+                let mut line: Vec<u8> = self.buf.drain(..=i).collect();
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return ReadLine::Line(String::from_utf8_lossy(&line).into_owned());
+            }
+            if self.buf.len() > self.max {
+                return ReadLine::TooLong;
+            }
+            poe_chaos::stall(poe_chaos::sites::SERVE_READ_STALL);
+            let mut chunk = [0u8; 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return ReadLine::Closed,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return ReadLine::TimedOut
+                }
+                Err(_) => return ReadLine::Closed,
+            }
+        }
     }
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    service: &QueryService,
-    input_dim: usize,
-    shared: &Shared,
-    max_requests: u64,
-) {
+/// Writes one response line (the chaos write-fault site).
+fn send_line(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    if let Some(e) = poe_chaos::fail_io(poe_chaos::sites::SERVE_WRITE_IO) {
+        return Err(e);
+    }
+    writeln!(writer, "{line}")
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
+    let cfg = &shared.cfg;
+    if let Some(t) = cfg.idle_timeout {
+        let _ = stream.set_read_timeout(Some(t));
+        let _ = stream.set_write_timeout(Some(t));
+    }
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let reader = BufReader::new(stream);
-    let (lock, cvar) = &**shared;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        let response = respond(&line, service, input_dim);
-        let done = line.trim().eq_ignore_ascii_case("QUIT");
-        if writeln!(writer, "{response}").is_err() {
+    let mut reader = BoundedLineReader::new(stream, cfg.max_line_bytes);
+    let mut conn_requests = 0u64;
+    loop {
+        if shared.draining.load(Ordering::Acquire) {
+            // The drain covers the request in flight; subsequent ones on
+            // a kept-alive connection are refused with a retry hint.
+            let _ = send_line(
+                &mut writer,
+                &format!("ERR shutting down retry_after_ms={}", cfg.retry_after_ms),
+            );
             break;
         }
+        let line = match reader.read_line() {
+            ReadLine::Line(l) => l,
+            ReadLine::TooLong => {
+                shared.metrics.oversize.inc();
+                let _ = send_line(
+                    &mut writer,
+                    &format!("ERR line too long (max {} bytes)", cfg.max_line_bytes),
+                );
+                break;
+            }
+            ReadLine::TimedOut => {
+                shared.metrics.timeouts.inc();
+                let _ = send_line(&mut writer, "ERR idle timeout");
+                break;
+            }
+            ReadLine::Closed => break,
+        };
+        let (response, action) =
+            respond_action(&line, &shared.service, shared.input_dim, Some(shared));
+        if send_line(&mut writer, &response).is_err() {
+            // The client is gone (or chaos says so): the request was NOT
+            // answered, so it is not counted as handled.
+            shared.metrics.write_errors.inc();
+            break;
+        }
+        conn_requests += 1;
         let n = {
-            let mut st = lock.lock().unwrap();
+            let mut st = shared.lock_state();
             st.handled += 1;
             st.handled
         };
-        cvar.notify_all();
-        if done || n >= max_requests {
+        shared.cvar.notify_all();
+        match action {
+            Action::Shutdown => {
+                shared.trigger_shutdown();
+                break;
+            }
+            Action::Close => break,
+            Action::Continue => {}
+        }
+        if n >= cfg.max_requests {
+            break;
+        }
+        if conn_requests >= cfg.max_conn_requests {
+            let _ = send_line(&mut writer, "ERR connection request limit reached");
             break;
         }
     }
 }
 
+/// What the connection loop should do after writing a response.
+enum Action {
+    Continue,
+    Close,
+    Shutdown,
+}
+
 /// Computes the response line for one request line (protocol core, kept
-/// free of I/O so it is directly testable).
+/// free of I/O so it is directly testable). Server-lifecycle verbs
+/// (`HEALTH` readiness details, `SHUTDOWN`) report degenerate values
+/// without a running [`Server`]; everything else is self-contained.
 ///
 /// Wraps the dispatch in the request-level observability plumbing: a fresh
 /// request ID, a `serve.request` span against the service's trace
@@ -161,6 +631,15 @@ fn handle_connection(
 /// observation (slow requests are also echoed to stderr so an operator
 /// sees them without polling `METRICS`).
 pub fn respond(line: &str, service: &QueryService, input_dim: usize) -> String {
+    respond_action(line, service, input_dim, None).0
+}
+
+fn respond_action(
+    line: &str,
+    service: &QueryService,
+    input_dim: usize,
+    server: Option<&ServerShared>,
+) -> (String, Action) {
     let obs = service.obs();
     let request_id = poe_obs::next_request_id();
     let start = Instant::now();
@@ -171,15 +650,14 @@ pub fn respond(line: &str, service: &QueryService, input_dim: usize) -> String {
         .unwrap_or("")
         .to_ascii_uppercase();
     let counter_name = match verb.as_str() {
-        "INFO" | "QUERY" | "PREDICT" | "STATS" | "METRICS" | "TRACE" | "QUIT" => {
-            format!("serve.requests.{}", verb.to_ascii_lowercase())
-        }
+        "INFO" | "QUERY" | "PREDICT" | "STATS" | "METRICS" | "TRACE" | "HEALTH" | "SHUTDOWN"
+        | "QUIT" => format!("serve.requests.{}", verb.to_ascii_lowercase()),
         _ => "serve.requests.other".to_string(),
     };
     obs.registry.counter(&counter_name).inc();
     let response = poe_obs::with_request(&obs.trace, request_id, || {
         let _span = poe_obs::span("serve.request");
-        respond_inner(trimmed, service, input_dim)
+        respond_inner(trimmed, service, input_dim, server)
     });
     let elapsed = start.elapsed();
     if obs.slow.observe(request_id, trimmed, elapsed) {
@@ -191,12 +669,28 @@ pub fn respond(line: &str, service: &QueryService, input_dim: usize) -> String {
     response
 }
 
-fn respond_inner(line: &str, service: &QueryService, input_dim: usize) -> String {
+fn respond_inner(
+    line: &str,
+    service: &QueryService,
+    input_dim: usize,
+    server: Option<&ServerShared>,
+) -> (String, Action) {
     let mut parts = line.splitn(2, ' ');
     let verb = parts.next().unwrap_or("").to_ascii_uppercase();
     let rest = parts.next().unwrap_or("").trim();
 
-    match verb.as_str() {
+    // A degraded server (pool failed to load) refuses data verbs but
+    // keeps answering lifecycle/observability ones, so an operator can
+    // see *why* it is not ready.
+    if let Some(s) = server {
+        if let Some(detail) = &s.cfg.pool_error {
+            if matches!(verb.as_str(), "INFO" | "QUERY" | "PREDICT") {
+                return (format!("ERR not ready: {detail}"), Action::Continue);
+            }
+        }
+    }
+
+    let text = match verb.as_str() {
         "INFO" => service.with_pool(|p| {
             format!(
                 "OK tasks={} experts={} classes={}",
@@ -205,7 +699,12 @@ fn respond_inner(line: &str, service: &QueryService, input_dim: usize) -> String
                 p.hierarchy().num_classes()
             )
         }),
-        "QUIT" => "OK bye".into(),
+        "QUIT" => return ("OK bye".into(), Action::Close),
+        "HEALTH" => health_line(server),
+        "SHUTDOWN" => match server {
+            Some(_) => return ("OK shutting down".into(), Action::Shutdown),
+            None => "ERR SHUTDOWN requires a running server".into(),
+        },
         "STATS" => {
             let s = service.stats();
             // An idle service has no latency distribution; `n/a` keeps the
@@ -254,38 +753,74 @@ fn respond_inner(line: &str, service: &QueryService, input_dim: usize) -> String
             },
         },
         "PREDICT" => {
-            let Some((task_part, feat_part)) = rest.split_once(':') else {
-                return "ERR PREDICT needs `tasks : features`".into();
-            };
-            let tasks = match parse_tasks(task_part.trim()) {
-                Ok(t) => t,
-                Err(e) => return format!("ERR {e}"),
-            };
-            let mut features = Vec::new();
-            for tok in feat_part.split_whitespace() {
-                match tok.parse::<f32>() {
-                    Ok(v) if v.is_finite() => features.push(v),
-                    _ => return format!("ERR bad feature value `{tok}`"),
+            let predict = || {
+                let Some((task_part, feat_part)) = rest.split_once(':') else {
+                    return "ERR PREDICT needs `tasks : features`".into();
+                };
+                let tasks = match parse_tasks(task_part.trim()) {
+                    Ok(t) => t,
+                    Err(e) => return format!("ERR {e}"),
+                };
+                let mut features = Vec::new();
+                for tok in feat_part.split_whitespace() {
+                    match tok.parse::<f32>() {
+                        Ok(v) if v.is_finite() => features.push(v),
+                        _ => return format!("ERR bad feature value `{tok}`"),
+                    }
                 }
-            }
-            if features.len() != input_dim {
-                return format!("ERR expected {input_dim} features, got {}", features.len());
-            }
-            match service.query(&tasks) {
-                Err(e) => format!("ERR {e}"),
-                Ok(mut r) => {
-                    let x = poe_tensor::Tensor::from_vec(features, [1, input_dim]);
-                    let p = r.model.predict_with_provenance(&x)[0];
-                    format!(
-                        "OK class={} task={} confidence={:.4}",
-                        p.class, p.task_index, p.confidence
-                    )
+                if features.len() != input_dim {
+                    return format!("ERR expected {input_dim} features, got {}", features.len());
                 }
-            }
+                match service.query(&tasks) {
+                    Err(e) => format!("ERR {e}"),
+                    Ok(mut r) => {
+                        let x = poe_tensor::Tensor::from_vec(features, [1, input_dim]);
+                        let p = r.model.predict_with_provenance(&x)[0];
+                        format!(
+                            "OK class={} task={} confidence={:.4}",
+                            p.class, p.task_index, p.confidence
+                        )
+                    }
+                }
+            };
+            predict()
         }
         "" => "ERR empty request".into(),
         other => format!("ERR unknown verb `{other}`"),
+    };
+    (text, Action::Continue)
+}
+
+/// Renders the `HEALTH` response: liveness is implicit in answering at
+/// all; readiness requires a loaded pool, live workers, no drain in
+/// progress, and a shed rate under the configured threshold.
+fn health_line(server: Option<&ServerShared>) -> String {
+    let Some(s) = server else {
+        // Library/test use without a running server: trivially ready.
+        return "OK live=1 ready=1 pool=ok workers=0/0 inflight=0 shed_rate=0.000 draining=0"
+            .into();
+    };
+    let pool_ok = s.cfg.pool_error.is_none();
+    let alive = s.workers_alive.load(Ordering::Acquire);
+    let total = s.cfg.workers.max(1);
+    let draining = s.draining.load(Ordering::Acquire);
+    let rate = s.shed_rate();
+    let ready = pool_ok && !draining && alive > 0 && rate <= s.cfg.shed_rate_threshold;
+    let mut line = format!(
+        "OK live=1 ready={} pool={} workers={}/{} inflight={} shed_rate={:.3} draining={}",
+        u8::from(ready),
+        if pool_ok { "ok" } else { "error" },
+        alive,
+        total,
+        s.lock_conns().len(),
+        rate,
+        u8::from(draining),
+    );
+    if let Some(detail) = &s.cfg.pool_error {
+        line.push_str(" detail=");
+        line.push_str(detail);
     }
+    line
 }
 
 /// Renders the full observability snapshot of `service` as one JSON line:
@@ -327,13 +862,19 @@ fn parse_tasks(s: &str) -> Result<Vec<usize>, String> {
     if s.is_empty() {
         return Err("no tasks given".into());
     }
-    s.split(',')
-        .map(|p| {
-            p.trim()
-                .parse::<usize>()
-                .map_err(|_| format!("bad task id `{p}`"))
-        })
-        .collect()
+    let mut tasks: Vec<usize> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for p in s.split(',') {
+        if tasks.len() == MAX_QUERY_TASKS {
+            return Err(format!("too many tasks (max {MAX_QUERY_TASKS})"));
+        }
+        let id: usize = p.trim().parse().map_err(|_| format!("bad task id `{p}`"))?;
+        if !seen.insert(id) {
+            return Err(format!("duplicate task {id}"));
+        }
+        tasks.push(id);
+    }
+    Ok(tasks)
 }
 
 fn join_usize(v: &[usize]) -> String {
@@ -350,6 +891,7 @@ mod tests {
     use poe_data::ClassHierarchy;
     use poe_nn::layers::{Linear, Sequential};
     use poe_tensor::Prng;
+    use std::io::{BufRead, BufReader};
 
     fn toy_service() -> Arc<QueryService> {
         let mut rng = Prng::seed_from_u64(1);
@@ -367,6 +909,40 @@ mod tests {
             });
         }
         Arc::new(QueryService::new(pool))
+    }
+
+    fn start(cfg: ServeConfig) -> (Server, Arc<QueryService>, SocketAddr) {
+        let svc = toy_service();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let server = Server::start(listener, Arc::clone(&svc), 4, cfg).unwrap();
+        let addr = server.local_addr();
+        (server, svc, addr)
+    }
+
+    fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+        for _ in 0..2500 {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        panic!("timed out waiting for: {what}");
+    }
+
+    fn ask(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &str) -> String {
+        writeln!(writer, "{req}").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    }
+
+    fn client(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        (stream, reader)
     }
 
     #[test]
@@ -395,25 +971,36 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_and_oversized_task_lists_are_rejected() {
+        let svc = toy_service();
+        assert_eq!(respond("QUERY 0,1,0", &svc, 4), "ERR duplicate task 0");
+        assert_eq!(
+            respond("PREDICT 2,2 : 1 2 3 4", &svc, 4),
+            "ERR duplicate task 2"
+        );
+        let ok: Vec<String> = (0..MAX_QUERY_TASKS).map(|i| i.to_string()).collect();
+        assert_eq!(parse_tasks(&ok.join(",")).unwrap().len(), MAX_QUERY_TASKS);
+        let over: Vec<String> = (0..=MAX_QUERY_TASKS).map(|i| i.to_string()).collect();
+        assert_eq!(
+            parse_tasks(&over.join(",")).unwrap_err(),
+            format!("too many tasks (max {MAX_QUERY_TASKS})")
+        );
+    }
+
+    #[test]
     fn tcp_round_trip() {
-        use std::io::{BufRead, BufReader, Write};
         let svc = toy_service();
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let server = std::thread::spawn(move || serve(listener, svc, 4, 3).unwrap());
 
-        let stream = std::net::TcpStream::connect(addr).unwrap();
-        let mut writer = stream.try_clone().unwrap();
-        let mut reader = BufReader::new(stream);
-        let mut ask = |req: &str| -> String {
-            writeln!(writer, "{req}").unwrap();
-            let mut line = String::new();
-            reader.read_line(&mut line).unwrap();
-            line.trim_end().to_string()
-        };
-        assert_eq!(ask("INFO"), "OK tasks=3 experts=3 classes=6");
-        assert!(ask("QUERY 1").starts_with("OK outputs=2"));
-        assert!(ask("PREDICT 1 : 1 2 3 4").starts_with("OK class="));
+        let (mut writer, mut reader) = client(addr);
+        assert_eq!(
+            ask(&mut writer, &mut reader, "INFO"),
+            "OK tasks=3 experts=3 classes=6"
+        );
+        assert!(ask(&mut writer, &mut reader, "QUERY 1").starts_with("OK outputs=2"));
+        assert!(ask(&mut writer, &mut reader, "PREDICT 1 : 1 2 3 4").starts_with("OK class="));
         assert_eq!(server.join().unwrap(), 3);
     }
 
@@ -500,7 +1087,7 @@ mod tests {
     #[test]
     fn slow_queries_are_retained_and_reported() {
         let svc = toy_service();
-        // Threshold 0 ns: every request qualifies as slow.
+        // Threshold 1 ns: every request qualifies as slow.
         svc.obs()
             .slow
             .set_threshold(Some(std::time::Duration::from_nanos(1)));
@@ -574,32 +1161,17 @@ mod tests {
     /// loop B's reads would time out.
     #[test]
     fn concurrent_clients_are_not_serialized() {
-        use std::io::{BufRead, BufReader, Write};
-        use std::time::Duration;
         let svc = toy_service();
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let server =
             std::thread::spawn(move || serve_with_workers(listener, svc, 4, 3, 4).unwrap());
 
-        let ask = |writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &str| {
-            writeln!(writer, "{req}").unwrap();
-            let mut line = String::new();
-            reader.read_line(&mut line).unwrap();
-            line.trim_end().to_string()
-        };
-
         // Client A: connects first, sends nothing yet.
-        let a = TcpStream::connect(addr).unwrap();
-        a.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
-        let mut a_writer = a.try_clone().unwrap();
-        let mut a_reader = BufReader::new(a);
+        let (mut a_writer, mut a_reader) = client(addr);
 
         // Client B: connects second and must get served while A idles.
-        let b = TcpStream::connect(addr).unwrap();
-        b.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
-        let mut b_writer = b.try_clone().unwrap();
-        let mut b_reader = BufReader::new(b);
+        let (mut b_writer, mut b_reader) = client(addr);
         assert_eq!(
             ask(&mut b_writer, &mut b_reader, "INFO"),
             "OK tasks=3 experts=3 classes=6"
@@ -612,5 +1184,193 @@ mod tests {
             "OK tasks=3 experts=3 classes=6"
         );
         assert_eq!(server.join().unwrap(), 3);
+    }
+
+    /// Regression test for the worker-thread leak: `serve_with_workers`
+    /// used to detach its worker and acceptor threads, leaving them
+    /// parked on the channel after returning. Now they are all joined
+    /// and the listener is closed, so a late connect is refused.
+    #[test]
+    fn server_threads_are_joined_when_budget_is_spent() {
+        let svc = toy_service();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || serve_with_workers(listener, svc, 4, 1, 2));
+        let (mut w, mut r) = client(addr);
+        assert!(ask(&mut w, &mut r, "INFO").starts_with("OK"));
+        assert_eq!(server.join().unwrap().unwrap(), 1);
+        // All threads joined ⇒ the listener is dropped ⇒ refused.
+        assert!(TcpStream::connect(addr).is_err());
+    }
+
+    #[test]
+    fn oversized_request_lines_are_rejected_without_buffering() {
+        let (server, svc, addr) = start(ServeConfig {
+            max_line_bytes: 64,
+            ..ServeConfig::default()
+        });
+        let (mut w, mut r) = client(addr);
+        writeln!(w, "QUERY {}", "9".repeat(200)).unwrap();
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "ERR line too long (max 64 bytes)");
+        // The connection is closed after the rejection.
+        line.clear();
+        assert_eq!(r.read_line(&mut line).unwrap(), 0);
+        assert_eq!(svc.obs().registry.counter("serve.oversize").get(), 1);
+        server.handle().shutdown();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn idle_connections_time_out() {
+        let (server, svc, addr) = start(ServeConfig {
+            idle_timeout: Some(Duration::from_millis(50)),
+            ..ServeConfig::default()
+        });
+        let (_w, mut r) = client(addr);
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "ERR idle timeout");
+        line.clear();
+        assert_eq!(r.read_line(&mut line).unwrap(), 0);
+        assert_eq!(svc.obs().registry.counter("serve.timeouts").get(), 1);
+        server.handle().shutdown();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn full_accept_queue_sheds_with_busy() {
+        let (server, svc, addr) = start(ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            drain_deadline: Duration::from_millis(200),
+            ..ServeConfig::default()
+        });
+        let accepted = svc.obs().registry.counter("serve.accepted");
+        // A occupies the only worker; B fills the one queue slot.
+        let (a_w, _a_r) = client(addr);
+        wait_until("client A in service", || server.active_connections() == 1);
+        let (b_w, _b_r) = client(addr);
+        wait_until("client B queued", || accepted.get() == 2);
+        // C finds the queue full: shed with a retry hint, then closed.
+        let (_c_w, mut c_r) = client(addr);
+        let mut line = String::new();
+        c_r.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "ERR busy retry_after_ms=100");
+        line.clear();
+        assert_eq!(c_r.read_line(&mut line).unwrap(), 0);
+        assert_eq!(svc.obs().registry.counter("serve.shed").get(), 1);
+        drop(a_w);
+        drop(b_w);
+        server.handle().shutdown();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn per_connection_request_cap_closes_connection() {
+        let (server, _svc, addr) = start(ServeConfig {
+            max_conn_requests: 2,
+            ..ServeConfig::default()
+        });
+        let (mut w, mut r) = client(addr);
+        assert!(ask(&mut w, &mut r, "INFO").starts_with("OK"));
+        assert!(ask(&mut w, &mut r, "INFO").starts_with("OK"));
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "ERR connection request limit reached");
+        line.clear();
+        assert_eq!(r.read_line(&mut line).unwrap(), 0);
+        server.handle().shutdown();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn health_verb_reports_readiness() {
+        // Standalone (no server): trivially ready, and SHUTDOWN refuses.
+        let svc = toy_service();
+        assert_eq!(
+            respond("HEALTH", &svc, 4),
+            "OK live=1 ready=1 pool=ok workers=0/0 inflight=0 shed_rate=0.000 draining=0"
+        );
+        assert_eq!(
+            respond("SHUTDOWN", &svc, 4),
+            "ERR SHUTDOWN requires a running server"
+        );
+        // Against a live server: real worker/in-flight numbers.
+        let (server, _svc, addr) = start(ServeConfig::default());
+        let (mut w, mut r) = client(addr);
+        let h = ask(&mut w, &mut r, "HEALTH");
+        assert!(
+            h.starts_with("OK live=1 ready=1 pool=ok workers=4/4 inflight=1"),
+            "{h}"
+        );
+        assert!(h.ends_with("draining=0"), "{h}");
+        assert_eq!(ask(&mut w, &mut r, "QUIT"), "OK bye");
+        server.handle().shutdown();
+        server.join().unwrap();
+    }
+
+    /// SHUTDOWN drains within the deadline even with an idle client
+    /// pinning a worker: the straggler is force-closed, every thread is
+    /// joined, and the listener is released.
+    #[test]
+    fn shutdown_verb_drains_within_deadline() {
+        let (server, svc, addr) = start(ServeConfig {
+            workers: 2,
+            idle_timeout: None, // the idle client would block forever
+            drain_deadline: Duration::from_millis(300),
+            ..ServeConfig::default()
+        });
+        let (_idle_w, mut idle_r) = client(addr);
+        wait_until("idle client in service", || {
+            server.active_connections() == 1
+        });
+        let (mut w, mut r) = client(addr);
+        assert_eq!(ask(&mut w, &mut r, "SHUTDOWN"), "OK shutting down");
+        let begin = Instant::now();
+        let report = server.join().unwrap();
+        assert!(
+            begin.elapsed() < Duration::from_secs(3),
+            "drain exceeded deadline by far: {:?}",
+            begin.elapsed()
+        );
+        assert_eq!(report.handled, 1);
+        assert!(report.drain_timed_out, "idle client should be force-closed");
+        assert_eq!(svc.obs().registry.counter("serve.drain_timeouts").get(), 1);
+        // The idle client observes its connection being closed.
+        let mut line = String::new();
+        let _ = idle_r.read_line(&mut line);
+        // Listener released: a new connect is refused.
+        assert!(TcpStream::connect(addr).is_err());
+    }
+
+    #[test]
+    fn degraded_server_reports_not_ready_and_refuses_data_verbs() {
+        let (server, _svc, addr) = start(ServeConfig {
+            pool_error: Some("corrupt model file: checksum mismatch".into()),
+            ..ServeConfig::default()
+        });
+        let (mut w, mut r) = client(addr);
+        let h = ask(&mut w, &mut r, "HEALTH");
+        assert!(h.contains("ready=0"), "{h}");
+        assert!(h.contains("pool=error"), "{h}");
+        assert!(
+            h.ends_with("detail=corrupt model file: checksum mismatch"),
+            "{h}"
+        );
+        assert_eq!(
+            ask(&mut w, &mut r, "QUERY 0"),
+            "ERR not ready: corrupt model file: checksum mismatch"
+        );
+        assert_eq!(
+            ask(&mut w, &mut r, "INFO"),
+            "ERR not ready: corrupt model file: checksum mismatch"
+        );
+        // Observability verbs still answer so the operator can diagnose.
+        assert!(ask(&mut w, &mut r, "STATS").starts_with("OK served=0"));
+        assert!(ask(&mut w, &mut r, "METRICS").starts_with("OK {"));
+        server.handle().shutdown();
+        server.join().unwrap();
     }
 }

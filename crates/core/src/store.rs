@@ -16,7 +16,7 @@
 
 use crate::pool::{Expert, ExpertPool};
 use poe_data::{ClassHierarchy, PrimitiveTask};
-use poe_models::serialize::{load_module, SerializeError};
+use poe_models::serialize::{atomic_write, load_module, SerializeError};
 use poe_models::wire::{WireBuf, WireRead};
 use poe_models::{build_mlp_head_with_depth, build_wrn_mlp_with_depth, WrnConfig};
 use poe_tensor::Prng;
@@ -195,7 +195,9 @@ pub fn save_standalone(
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir).map_err(SerializeError::Io)?;
     let manifest = encode_manifest(pool, spec);
-    std::fs::write(dir.join(MANIFEST_FILE), &manifest).map_err(SerializeError::Io)?;
+    // Atomic (temp + fsync + rename): a crash mid-save leaves the
+    // previous manifest intact instead of a torn store.
+    atomic_write(dir.join(MANIFEST_FILE), manifest.as_ref()).map_err(SerializeError::Io)?;
     let weights = pool.save_to_dir(dir)?;
     Ok(manifest.len() as u64 + weights)
 }

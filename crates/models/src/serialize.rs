@@ -3,29 +3,40 @@
 //! The PoE framework is, in the paper's own framing, a *database* of
 //! knowledge components: a library plus a pool of experts persisted on
 //! disk and loaded at query time. This module defines the storage format
-//! (versioned, self-describing, little-endian) and the byte accounting
-//! used for the storage-volume experiment (Table 4).
+//! (versioned, self-describing, little-endian), the byte accounting used
+//! for the storage-volume experiment (Table 4), and the crash-safety
+//! machinery: every file is written atomically ([`atomic_write`]: temp
+//! file + fsync + rename, so a crash mid-save leaves the previous version
+//! intact), and v2 files carry a CRC32 footer that detects truncation and
+//! bit flips at load time ([`SerializeError::Corrupt`]) instead of
+//! loading garbage weights.
 //!
-//! Layout:
+//! Layout (version 2; version-1 files — identical but without the footer
+//! — still load):
 //!
 //! ```text
 //! magic   b"POEM"
-//! version u32 = 1
+//! version u32 = 2
 //! count   u32                          number of named tensors
 //! repeat count times:
 //!   name_len u32, name utf-8 bytes
 //!   rank u32, dims u32 × rank
 //!   data f32-LE × numel
+//! footer  b"POEC", crc32 u32           IEEE CRC32 of all preceding bytes
 //! ```
 
 use crate::wire::{WireBuf, WireRead};
 use poe_nn::Module;
 use std::fmt;
 use std::fs;
+use std::io::Write;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"POEM";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+const FOOTER_MAGIC: &[u8; 4] = b"POEC";
+/// Bytes of the v2 integrity footer: footer magic + CRC32.
+const FOOTER_BYTES: u64 = 8;
 
 /// Errors from (de)serializing model files.
 #[derive(Debug)]
@@ -36,6 +47,10 @@ pub enum SerializeError {
     Format(String),
     /// The stream disagrees with the target module (name/shape/count).
     Mismatch(String),
+    /// The checksum footer disagrees with the content: the file was
+    /// truncated or bit-flipped after it was written. Never load such a
+    /// file as weights.
+    Corrupt(String),
 }
 
 impl fmt::Display for SerializeError {
@@ -44,6 +59,7 @@ impl fmt::Display for SerializeError {
             SerializeError::Io(e) => write!(f, "i/o error: {e}"),
             SerializeError::Format(m) => write!(f, "bad model file: {m}"),
             SerializeError::Mismatch(m) => write!(f, "model mismatch: {m}"),
+            SerializeError::Corrupt(m) => write!(f, "corrupt model file: {m}"),
         }
     }
 }
@@ -56,7 +72,37 @@ impl From<std::io::Error> for SerializeError {
     }
 }
 
-/// Serializes every parameter of a module, in visit order.
+/// IEEE CRC32 (the zlib/PNG polynomial), table-driven, computed at
+/// compile time — the integrity check behind the v2 footer.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Serializes every parameter of a module, in visit order, with the v2
+/// integrity footer.
 pub fn serialize_module(module: &dyn Module) -> Vec<u8> {
     let mut buf = WireBuf::with_capacity(module_byte_size(module) as usize);
     buf.put_slice(MAGIC);
@@ -76,7 +122,11 @@ pub fn serialize_module(module: &dyn Module) -> Vec<u8> {
             buf.put_f32_le(v);
         }
     });
-    buf.into_vec()
+    let mut bytes = buf.into_vec();
+    let crc = crc32(&bytes);
+    bytes.extend_from_slice(FOOTER_MAGIC);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    bytes
 }
 
 /// Exact on-disk size, in bytes, of [`serialize_module`]'s output.
@@ -87,11 +137,13 @@ pub fn module_byte_size(module: &dyn Module) -> u64 {
         size += 4 + 4 * p.value.dims().len() as u64; // rank + dims
         size += 4 * p.value.numel() as u64; // data
     });
-    size
+    size + FOOTER_BYTES
 }
 
 /// Restores parameter values from `data` into an identically-structured
-/// module (same parameter names, shapes, and visit order).
+/// module (same parameter names, shapes, and visit order). Accepts
+/// version-2 streams (checksum verified before any weight is touched)
+/// and legacy version-1 streams (no footer).
 pub fn deserialize_into(module: &mut dyn Module, data: &[u8]) -> Result<(), SerializeError> {
     let mut buf = data;
     if buf.remaining() < 12 {
@@ -103,10 +155,38 @@ pub fn deserialize_into(module: &mut dyn Module, data: &[u8]) -> Result<(), Seri
         return Err(SerializeError::Format("bad magic".into()));
     }
     let version = buf.get_u32_le();
-    if version != VERSION {
-        return Err(SerializeError::Format(format!(
-            "unsupported version {version}"
-        )));
+    match version {
+        1 => {}
+        2 => {
+            // Verify the integrity footer over the whole stream before
+            // believing a single byte of tensor data.
+            if data.len() < 12 + FOOTER_BYTES as usize {
+                return Err(SerializeError::Corrupt(
+                    "file too short for its checksum footer (truncated)".into(),
+                ));
+            }
+            let (payload, footer) = data.split_at(data.len() - FOOTER_BYTES as usize);
+            if &footer[..4] != FOOTER_MAGIC {
+                return Err(SerializeError::Corrupt(
+                    "checksum footer missing (file truncated mid-write)".into(),
+                ));
+            }
+            let stored = u32::from_le_bytes(footer[4..8].try_into().unwrap());
+            let actual = crc32(payload);
+            if stored != actual {
+                return Err(SerializeError::Corrupt(format!(
+                    "checksum mismatch: footer {stored:#010x}, content {actual:#010x}"
+                )));
+            }
+            // Re-point the parser at the payload just past magic+version
+            // (the tensor count comes next), now that it is trustworthy.
+            buf = &payload[8..];
+        }
+        other => {
+            return Err(SerializeError::Format(format!(
+                "unsupported version {other}"
+            )));
+        }
     }
     let count = buf.get_u32_le();
 
@@ -175,15 +255,56 @@ pub fn deserialize_into(module: &mut dyn Module, data: &[u8]) -> Result<(), Seri
     }
 }
 
-/// Writes a module to disk, returning the byte count.
+/// Writes `bytes` to `path` atomically: the content goes to a temp file
+/// in the same directory, is fsynced, and is renamed over `path` (the
+/// directory is then fsynced best-effort). A crash — or an injected
+/// [`poe_chaos`] fault — at any point leaves either the complete new file
+/// or the untouched previous one, never a torn mix.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    if let Some(e) = poe_chaos::fail_io(poe_chaos::sites::STORE_WRITE_IO) {
+        return Err(e);
+    }
+    let mut file = fs::File::create(&tmp)?;
+    if let Some(n) = poe_chaos::partial_write(poe_chaos::sites::STORE_WRITE_PARTIAL, bytes.len()) {
+        // Simulated crash mid-write: a torn temp file exists, the real
+        // path was never touched.
+        file.write_all(&bytes[..n])?;
+        let _ = file.sync_all();
+        return Err(std::io::Error::other(
+            "chaos: simulated crash after partial write",
+        ));
+    }
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp, path)?;
+    // Persist the rename itself. Failure to fsync the directory does not
+    // un-write the file, so this is best-effort.
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Writes a module to disk atomically, returning the byte count. A crash
+/// during the save leaves any previously saved file intact.
 pub fn save_module(path: impl AsRef<Path>, module: &dyn Module) -> Result<u64, SerializeError> {
     let bytes = serialize_module(module);
-    fs::write(path, &bytes)?;
+    atomic_write(path, &bytes)?;
     Ok(bytes.len() as u64)
 }
 
 /// Loads a module file from disk into an identically-structured module.
 pub fn load_module(path: impl AsRef<Path>, module: &mut dyn Module) -> Result<(), SerializeError> {
+    if let Some(e) = poe_chaos::fail_io(poe_chaos::sites::STORE_READ_IO) {
+        return Err(SerializeError::Io(e));
+    }
     let data = fs::read(path)?;
     deserialize_into(module, &data)
 }
@@ -201,6 +322,17 @@ mod tests {
             .push(Linear::new("a", 3, 5, &mut rng))
             .push(Relu::new())
             .push(Linear::new("b", 5, 2, &mut rng))
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC32 test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -236,17 +368,67 @@ mod tests {
     #[test]
     fn rejects_bad_magic() {
         let mut dst = net(6);
-        let err = deserialize_into(&mut dst, b"NOPE____").unwrap_err();
+        let err = deserialize_into(&mut dst, b"NOPE________").unwrap_err();
         assert!(matches!(err, SerializeError::Format(_)));
     }
 
     #[test]
-    fn rejects_truncated_stream() {
+    fn rejects_unsupported_version() {
+        let src = net(6);
+        let mut bytes = serialize_module(&src);
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        let mut dst = net(6);
+        let err = deserialize_into(&mut dst, &bytes).unwrap_err();
+        assert!(matches!(err, SerializeError::Format(_)), "{err}");
+        assert!(err.to_string().contains("unsupported version 99"), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncated_stream_via_checksum() {
         let src = net(7);
         let bytes = serialize_module(&src);
         let mut dst = net(8);
+        // Truncation chops the footer (or leaves a stale one): the
+        // integrity check fires before any tensor parsing.
         let err = deserialize_into(&mut dst, &bytes[..bytes.len() - 10]).unwrap_err();
-        assert!(matches!(err, SerializeError::Format(_)));
+        assert!(matches!(err, SerializeError::Corrupt(_)), "{err}");
+        // Even a 4-byte loss (exactly the CRC) is caught.
+        let err = deserialize_into(&mut dst, &bytes[..bytes.len() - 4]).unwrap_err();
+        assert!(matches!(err, SerializeError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_flipped_byte_via_checksum() {
+        let src = net(7);
+        let bytes = serialize_module(&src);
+        let mut dst = net(8);
+        // Flip one bit in the middle of the tensor data. Shapes and names
+        // still parse — only the checksum can catch this.
+        let mut evil = bytes.clone();
+        let mid = evil.len() / 2;
+        evil[mid] ^= 0x01;
+        let err = deserialize_into(&mut dst, &evil).unwrap_err();
+        assert!(matches!(err, SerializeError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        // The pristine bytes still load, so the rejection was the flip.
+        deserialize_into(&mut dst, &bytes).unwrap();
+    }
+
+    /// v1 files (written before the checksum footer existed) must keep
+    /// loading: same layout, version field 1, no footer.
+    #[test]
+    fn loads_legacy_v1_stream() {
+        let src = net(9);
+        let v2 = serialize_module(&src);
+        let mut v1 = v2[..v2.len() - FOOTER_BYTES as usize].to_vec();
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let mut dst = net(10);
+        deserialize_into(&mut dst, &v1).unwrap();
+        assert_eq!(snapshot_params(&src), snapshot_params(&dst));
+        // A truncated v1 stream is still caught by the structural checks.
+        let mut dst = net(10);
+        let err = deserialize_into(&mut dst, &v1[..v1.len() - 10]).unwrap_err();
+        assert!(matches!(err, SerializeError::Format(_)), "{err}");
     }
 
     #[test]
@@ -273,5 +455,22 @@ mod tests {
             .push(Linear::new("b", 5, 2, &mut rng));
         let err = deserialize_into(&mut wrong, &bytes).unwrap_err();
         assert!(matches!(err, SerializeError::Mismatch(_)));
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join("poe_atomic_write_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f.bin");
+        atomic_write(&path, b"first").unwrap();
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        assert!(
+            !std::path::Path::new(&tmp).exists(),
+            "temp file left behind"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
