@@ -1,0 +1,118 @@
+//! Micro-batching payoff: one `predict_batch` over N rows versus N
+//! single-row predictions through the same consolidated model. The batched
+//! path amortizes per-call overhead (consolidation-cache lookup, dispatch,
+//! span bookkeeping) and turns N skinny matmuls into one wide one — the
+//! acceptance bar is ≥2× samples/sec at batch 32.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use poe_core::pool::{Expert, ExpertPool};
+use poe_core::service::QueryService;
+use poe_data::ClassHierarchy;
+use poe_models::{build_mlp_head, build_wrn_mlp, WrnConfig};
+use poe_tensor::{Prng, Tensor};
+use std::hint::black_box;
+use std::time::Instant;
+
+const INPUT_DIM: usize = 32;
+
+/// The CIFAR-100-shaped pool the other serving benches use (20 tasks × 5
+/// classes over a WRN-16 MLP analog).
+fn build_service() -> QueryService {
+    let mut rng = Prng::seed_from_u64(7);
+    let hierarchy = ClassHierarchy::contiguous(100, 20);
+    let student = WrnConfig::new(16, 1.0, 1.0, 100);
+    let library = build_wrn_mlp(&student, INPUT_DIM, &mut rng).into_parts().0;
+    let mut pool = ExpertPool::new(hierarchy, library);
+    for t in 0..20 {
+        let classes = pool.hierarchy().primitive(t).classes.clone();
+        let arch = WrnConfig {
+            ks: 0.25,
+            num_classes: classes.len(),
+            ..student
+        };
+        let head = build_mlp_head(&format!("expert{t}"), &arch, classes.len(), &mut rng);
+        pool.insert_expert(Expert {
+            task_index: t,
+            classes,
+            head,
+        });
+    }
+    QueryService::builder(pool).build()
+}
+
+fn rows(n: usize) -> Vec<f32> {
+    let mut rng = Prng::seed_from_u64(42);
+    (0..n * INPUT_DIM)
+        .map(|_| rng.uniform_in(-1.0, 1.0))
+        .collect()
+}
+
+/// Per-request vs batched inference at growing batch sizes. Both sides
+/// classify the *same* `n` samples against the same warm task set; the
+/// per-request side issues `n` single-row `predict_batch` calls (the
+/// unbatched serve path), the batched side one `n`-row call.
+fn bench_batch_vs_per_request(c: &mut Criterion) {
+    let svc = build_service();
+    let tasks = [1usize, 3, 7, 11, 19];
+    svc.query(&tasks).unwrap(); // warm the consolidation cache
+    let mut group = c.benchmark_group("batch_throughput");
+    for n in [8usize, 32, 128] {
+        let data = rows(n);
+        let batch = Tensor::from_vec(data.clone(), vec![n, INPUT_DIM]);
+        let singles: Vec<Tensor> = (0..n)
+            .map(|i| {
+                Tensor::from_vec(
+                    data[i * INPUT_DIM..(i + 1) * INPUT_DIM].to_vec(),
+                    vec![1, INPUT_DIM],
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("per_request", n), &n, |b, _| {
+            b.iter(|| {
+                for x in &singles {
+                    black_box(svc.predict_batch(black_box(&tasks), x).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, _| {
+            b.iter(|| black_box(svc.predict_batch(black_box(&tasks), &batch).unwrap()))
+        });
+    }
+    group.finish();
+
+    // The acceptance ratio, measured directly so the number is in the
+    // bench output rather than derived by hand from two mean lines.
+    let n = 32usize;
+    let data = rows(n);
+    let batch = Tensor::from_vec(data.clone(), vec![n, INPUT_DIM]);
+    let singles: Vec<Tensor> = (0..n)
+        .map(|i| {
+            Tensor::from_vec(
+                data[i * INPUT_DIM..(i + 1) * INPUT_DIM].to_vec(),
+                vec![1, INPUT_DIM],
+            )
+        })
+        .collect();
+    let reps = 200;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for x in &singles {
+            black_box(svc.predict_batch(&tasks, x).unwrap());
+        }
+    }
+    let per_request = t0.elapsed();
+    let t1 = Instant::now();
+    for _ in 0..reps {
+        black_box(svc.predict_batch(&tasks, &batch).unwrap());
+    }
+    let batched = t1.elapsed();
+    let speedup = per_request.as_secs_f64() / batched.as_secs_f64();
+    println!(
+        "batch_throughput: batch={n} per_request={:.3}ms batched={:.3}ms speedup={speedup:.2}x",
+        per_request.as_secs_f64() * 1e3 / reps as f64,
+        batched.as_secs_f64() * 1e3 / reps as f64,
+    );
+}
+
+criterion_group!(benches, bench_batch_vs_per_request);
+criterion_main!(benches);

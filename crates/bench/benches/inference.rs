@@ -52,7 +52,7 @@ fn bench_inference(c: &mut Criterion) {
             head,
         });
     }
-    let (mut branched, _) = pool.consolidate(&[0, 1, 2]).unwrap();
+    let (branched, _) = pool.consolidate(&[0, 1, 2]).unwrap();
     group.bench_function("poe_branched_n3", |b| {
         b.iter(|| branched.infer(black_box(&x)))
     });

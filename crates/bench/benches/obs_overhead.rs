@@ -101,12 +101,16 @@ fn bench_query_with_tracing(c: &mut Criterion) {
     let mut group = c.benchmark_group("service_query_tracing");
     let query = [1usize, 3, 7, 11, 19];
 
-    let svc_off = QueryService::with_cache_capacity(build_pool(), 0);
+    let svc_off = QueryService::builder(build_pool())
+        .cache_capacity(0)
+        .build();
     group.bench_function("off", |b| {
         b.iter(|| svc_off.query(black_box(&query)).unwrap())
     });
 
-    let svc_on = QueryService::with_cache_capacity(build_pool(), 0);
+    let svc_on = QueryService::builder(build_pool())
+        .cache_capacity(0)
+        .build();
     svc_on.obs().trace.set_enabled(true);
     group.bench_function("on", |b| {
         b.iter(|| svc_on.query(black_box(&query)).unwrap())

@@ -50,7 +50,7 @@ fn bench_consolidate(c: &mut Criterion) {
 }
 
 fn bench_service_query(c: &mut Criterion) {
-    let svc = QueryService::new(build_pool());
+    let svc = QueryService::builder(build_pool()).build();
     c.bench_function("service_query_n5", |b| {
         b.iter(|| svc.query(black_box(&[1, 3, 7, 11, 19])).unwrap())
     });
@@ -67,13 +67,15 @@ fn bench_cache_hit_vs_cold(c: &mut Criterion) {
     let query = [1usize, 3, 7, 11, 19];
 
     // Cold: capacity 0 disables the cache, so every query re-consolidates.
-    let cold = QueryService::with_cache_capacity(build_pool(), 0);
+    let cold = QueryService::builder(build_pool())
+        .cache_capacity(0)
+        .build();
     group.bench_function("cold", |b| {
         b.iter(|| cold.query(black_box(&query)).unwrap())
     });
 
     // Warm: prime once, then every iteration is a hit.
-    let warm = QueryService::new(build_pool());
+    let warm = QueryService::builder(build_pool()).build();
     warm.query(&query).unwrap();
     group.bench_function("hit", |b| b.iter(|| warm.query(black_box(&query)).unwrap()));
 

@@ -49,7 +49,7 @@ pub fn poe_accuracy_by_n(prep: &Prepared, pool: &ExpertPool) -> BTreeMap<usize, 
         for combo in prep.combos(n) {
             let classes = prep.block_classes(&combo);
             let view = prep.split.test.task_view(&classes);
-            let (mut model, _) = pool.consolidate(&combo).expect("ablation pool consolidate");
+            let (model, _) = pool.consolidate(&combo).expect("ablation pool consolidate");
             let logits = model.infer(&view.inputs);
             agg.push(accuracy(&logits, &view.labels));
         }

@@ -358,7 +358,7 @@ impl<'a> MethodRunner<'a> {
                 }
             }
             Method::Poe => {
-                let (mut model, stats) = self
+                let (model, stats) = self
                     .prep
                     .pre
                     .pool

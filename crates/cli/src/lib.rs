@@ -11,3 +11,4 @@
 
 pub mod args;
 pub mod serve;
+pub mod wire;

@@ -44,6 +44,7 @@ USAGE
             [--trace on|off] [--slow-query-ms N] [--metrics-every N]
             [--idle-timeout-ms N] [--queue-capacity N]
             [--max-conn-requests N] [--drain-deadline-ms N]
+            [--max-batch N] [--batch-delay-us N]
       TCP model-query server (line protocol: INFO / QUERY t,… /
       PREDICT t,… : f1 f2 … / STATS / METRICS / TRACE on|off / HEALTH /
       SHUTDOWN / QUIT — see docs/PROTOCOL.md). Port 0 picks an ephemeral
@@ -58,7 +59,11 @@ USAGE
       --idle-timeout-ms closes silent connections (default 30000, 0 =
       never), --max-conn-requests caps requests per connection (0 = no
       cap), --drain-deadline-ms bounds the graceful-shutdown drain
-      (default 5000). If the pool store fails to load (e.g. checksum
+      (default 5000). PREDICTs from concurrent connections that name the
+      same task set are coalesced into one batched inference: --max-batch
+      caps the batch (default 32; ≤1 disables batching) and
+      --batch-delay-us bounds how long the first request waits for
+      company (default 1000). If the pool store fails to load (e.g. checksum
       mismatch) the server starts degraded: HEALTH reports ready=0 with
       the load error and data verbs answer `ERR not ready`. Failure modes
       and the runbook live in docs/OPERATIONS.md.
@@ -220,7 +225,7 @@ fn cmd_query(a: &Args) -> Result<(), String> {
     let dir = a.require("pool").map_err(|e| e.to_string())?;
     let tasks = a.get_usize_list("tasks").map_err(|e| e.to_string())?;
     let (pool, _) = load_standalone(dir).map_err(|e| e.to_string())?;
-    let (mut model, stats) = pool.consolidate(&tasks).map_err(|e| e.to_string())?;
+    let (model, stats) = pool.consolidate(&tasks).map_err(|e| e.to_string())?;
     println!(
         "M(Q) for tasks {tasks:?}: {} outputs, {} params, assembled in {:.3} ms",
         model.num_outputs(),
@@ -306,13 +311,19 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
     let drain_deadline_ms = a
         .get_parsed("drain-deadline-ms", 5_000u64, "u64")
         .map_err(|e| e.to_string())?;
+    let max_batch = a
+        .get_parsed("max-batch", serve::DEFAULT_MAX_BATCH, "usize")
+        .map_err(|e| e.to_string())?;
+    let batch_delay_us = a
+        .get_parsed("batch-delay-us", serve::DEFAULT_BATCH_DELAY_US, "u64")
+        .map_err(|e| e.to_string())?;
     // A pool that fails to load (corrupt store, version skew, missing
     // files) starts the server degraded instead of not at all: HEALTH
     // carries the typed load error as a non-ready state, so an operator
     // probing the port sees *why* instead of a connection refusal.
     let (service, input_dim, pool_error) = match load_standalone(dir) {
         Ok((pool, spec)) => (
-            std::sync::Arc::new(QueryService::new(pool)),
+            std::sync::Arc::new(QueryService::builder(pool).build()),
             spec.input_dim,
             None,
         ),
@@ -324,7 +335,7 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
                 poe_nn::layers::Sequential::new(),
             );
             (
-                std::sync::Arc::new(QueryService::new(placeholder)),
+                std::sync::Arc::new(QueryService::builder(placeholder).build()),
                 0,
                 Some(e.to_string()),
             )
@@ -367,6 +378,8 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
         drain_deadline: std::time::Duration::from_millis(drain_deadline_ms),
         pool_error,
         metrics_on_shutdown: true,
+        max_batch,
+        batch_delay: std::time::Duration::from_micros(batch_delay_us),
         ..serve::ServeConfig::default()
     };
     let server =

@@ -10,6 +10,24 @@
 //! `PREDICT` consolidates the requested composite model (train-free — this
 //! is the paper's realtime query) and classifies one feature vector.
 //!
+//! ## Cross-connection micro-batching
+//!
+//! Under a running [`Server`], `PREDICT` requests are not answered one by
+//! one: each is parked in a per-task-set batch queue (keyed on the
+//! *sorted* task set, exactly like the consolidation cache) and a
+//! batch scheduler flushes a queue when it reaches
+//! [`ServeConfig::max_batch`] samples or [`ServeConfig::batch_delay`]
+//! elapses — whichever comes first. A flush runs **one** batched
+//! inference through the shared CoW-assembled model
+//! ([`poe_core::service::QueryService::predict_batch`]) and demultiplexes
+//! the per-row predictions back to the waiting connections, so concurrent
+//! clients asking for the same composite model amortize both the
+//! consolidation and the matmuls. `SHUTDOWN` drains every parked queue
+//! before the connection drain begins, so no parked request is lost.
+//! Batching is invisible on the wire: same grammar, one response per
+//! request line, responses on each connection in request order. Every
+//! `ERR` line is a typed [`crate::wire::WireError`].
+//!
 //! ## Fault-tolerance architecture
 //!
 //! Connections are handled by a bounded pool of worker threads fed by a
@@ -40,7 +58,11 @@
 //! and a slow-log observation against the service's
 //! [`poe_core::service::QueryService::obs`] bundle.
 
+use crate::wire::WireError;
+use poe_core::pool::QueryError;
 use poe_core::service::QueryService;
+use poe_models::Prediction;
+use poe_tensor::Tensor;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -58,6 +80,13 @@ pub const DEFAULT_MAX_LINE_BYTES: usize = 8 * 1024;
 
 /// Hard cap on the number of task ids in one `QUERY`/`PREDICT`.
 pub const MAX_QUERY_TASKS: usize = 4096;
+
+/// Default cap on samples coalesced into one batched `PREDICT` inference.
+pub const DEFAULT_MAX_BATCH: usize = 32;
+
+/// Default micro-batch window in microseconds: how long the first request
+/// of a batch waits for company before a timeout flush.
+pub const DEFAULT_BATCH_DELAY_US: u64 = 1000;
 
 /// Tuning knobs of the serving substrate. `ServeConfig::default()` is a
 /// sane lab setup; `docs/OPERATIONS.md` discusses sizing.
@@ -93,6 +122,13 @@ pub struct ServeConfig {
     /// Print a final `METRICS <json>` line to stderr when the server
     /// shuts down (the lifecycle's metrics flush).
     pub metrics_on_shutdown: bool,
+    /// Micro-batching: flush a per-task-set `PREDICT` queue once it holds
+    /// this many samples. Values ≤ 1 disable cross-connection batching
+    /// (every `PREDICT` runs immediately, as a batch of one).
+    pub max_batch: usize,
+    /// Micro-batching: flush a non-empty queue this long after its first
+    /// request arrived, even if it never fills (bounds added latency).
+    pub batch_delay: Duration,
 }
 
 impl Default for ServeConfig {
@@ -109,6 +145,8 @@ impl Default for ServeConfig {
             shed_rate_threshold: 0.5,
             pool_error: None,
             metrics_on_shutdown: false,
+            max_batch: DEFAULT_MAX_BATCH,
+            batch_delay: Duration::from_micros(DEFAULT_BATCH_DELAY_US),
         }
     }
 }
@@ -150,6 +188,245 @@ impl ServeMetrics {
     }
 }
 
+/// Instruments of the micro-batch scheduler, registered alongside the
+/// other `serve.*` metrics so `METRICS` exports them.
+struct BatchMetrics {
+    /// `serve.batch.size` — samples per flushed batch (count-valued
+    /// histogram; the `.size` suffix makes exporters render raw counts).
+    size: Arc<poe_obs::AtomicHistogram>,
+    /// `serve.batch.queue_depth` — samples currently parked across all
+    /// per-task-set queues.
+    queue_depth: Arc<poe_obs::Gauge>,
+    /// `serve.batch.flush.full` — flushes triggered by a full queue.
+    flush_full: Arc<poe_obs::Counter>,
+    /// `serve.batch.flush.timeout` — flushes triggered by the delay timer.
+    flush_timeout: Arc<poe_obs::Counter>,
+    /// `serve.batch.flush.drain` — flushes triggered by shutdown drain
+    /// (including post-drain stragglers run as batches of one).
+    flush_drain: Arc<poe_obs::Counter>,
+    /// `serve.batch.aborted` — batches lost to a panic inside the batched
+    /// inference; their requests answer `ERR batch aborted`.
+    aborted: Arc<poe_obs::Counter>,
+}
+
+impl BatchMetrics {
+    fn register(service: &QueryService) -> Self {
+        let r = &service.obs().registry;
+        BatchMetrics {
+            size: r.histogram("serve.batch.size"),
+            queue_depth: r.gauge("serve.batch.queue_depth"),
+            flush_full: r.counter("serve.batch.flush.full"),
+            flush_timeout: r.counter("serve.batch.flush.timeout"),
+            flush_drain: r.counter("serve.batch.flush.drain"),
+            aborted: r.counter("serve.batch.aborted"),
+        }
+    }
+}
+
+/// One `PREDICT` parked in a batch queue: its feature row and the
+/// single-use channel its prediction comes back on. Dropping the sender
+/// without sending wakes the parked request with [`WireError::BatchAborted`].
+struct Parked {
+    features: Vec<f32>,
+    tx: SyncSender<Result<Prediction, QueryError>>,
+}
+
+/// The rows accumulated for one task set, plus the deadline by which the
+/// timer thread flushes them regardless of fill.
+struct PendingBatch {
+    rows: Vec<Parked>,
+    deadline: Instant,
+}
+
+/// The cross-connection micro-batch scheduler.
+///
+/// `PREDICT` requests park in per-task-set queues (keyed on the *sorted*
+/// task set, mirroring the consolidation cache, so permutations of the
+/// same composite task share a batch). A queue flushes when it reaches
+/// `max_batch` rows — inline, on the worker that filled it — or when
+/// `delay` elapses since its first row, on the dedicated timer thread.
+/// A flush runs one [`QueryService::predict_batch`] and demultiplexes the
+/// per-row predictions back to the parked connections.
+///
+/// [`BatchScheduler::drain`] (shutdown) flushes every queue and marks the
+/// scheduler drained; requests submitted after that run immediately as
+/// batches of one, so nothing is ever lost or answered twice.
+struct BatchScheduler {
+    service: Arc<QueryService>,
+    input_dim: usize,
+    max_batch: usize,
+    delay: Duration,
+    /// `None` once drained; the timer thread exits when it sees that.
+    queues: Mutex<Option<HashMap<Vec<usize>, PendingBatch>>>,
+    cvar: Condvar,
+    metrics: BatchMetrics,
+}
+
+impl BatchScheduler {
+    fn new(service: Arc<QueryService>, input_dim: usize, cfg: &ServeConfig) -> Self {
+        let metrics = BatchMetrics::register(&service);
+        BatchScheduler {
+            service,
+            input_dim,
+            max_batch: cfg.max_batch.max(2),
+            delay: cfg.batch_delay,
+            queues: Mutex::new(Some(HashMap::new())),
+            cvar: Condvar::new(),
+            metrics,
+        }
+    }
+
+    fn lock_queues(&self) -> MutexGuard<'_, Option<HashMap<Vec<usize>, PendingBatch>>> {
+        self.queues.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Parks one request and blocks until its batch is flushed, returning
+    /// this row's prediction (or the whole batch's consolidation error).
+    fn submit(&self, mut tasks: Vec<usize>, features: Vec<f32>) -> Result<Prediction, WireError> {
+        tasks.sort_unstable(); // batch key = sorted task set, like the cache
+        let (rx, full) = {
+            let mut guard = self.lock_queues();
+            let Some(queues) = guard.as_mut() else {
+                // Drained: no timer thread will come, so run immediately.
+                drop(guard);
+                return self.run_straggler(&tasks, features);
+            };
+            let (tx, rx) = sync_channel(1);
+            let batch = queues.entry(tasks.clone()).or_insert_with(|| PendingBatch {
+                rows: Vec::new(),
+                deadline: Instant::now() + self.delay,
+            });
+            batch.rows.push(Parked { features, tx });
+            let full = if batch.rows.len() >= self.max_batch {
+                queues.remove(&tasks)
+            } else {
+                None
+            };
+            self.metrics.queue_depth.set(depth_of(queues) as f64);
+            (rx, full)
+        };
+        match full {
+            Some(batch) => {
+                // This request completed the batch: flush inline (the
+                // sends below include our own row, so recv cannot block).
+                self.metrics.flush_full.inc();
+                self.flush(&tasks, batch);
+            }
+            // A new row may have moved the earliest deadline: wake the
+            // timer thread to re-arm.
+            None => self.cvar.notify_all(),
+        }
+        match rx.recv() {
+            Ok(Ok(p)) => Ok(p),
+            Ok(Err(e)) => Err(WireError::Query(e)),
+            Err(_) => Err(WireError::BatchAborted),
+        }
+    }
+
+    /// Runs one batched inference and demultiplexes per-row results to
+    /// every parked connection. A panic inside the model (a bug, or an
+    /// injected chaos fault) is contained here: the senders drop, every
+    /// waiter answers `ERR batch aborted`, and the scheduler lives on.
+    fn flush(&self, tasks: &[usize], batch: PendingBatch) {
+        let rows = batch.rows;
+        self.metrics.size.record_n(rows.len() as u64);
+        let mut data = Vec::with_capacity(rows.len() * self.input_dim);
+        for p in &rows {
+            data.extend_from_slice(&p.features);
+        }
+        let x = Tensor::from_vec(data, [rows.len(), self.input_dim]);
+        match catch_unwind(AssertUnwindSafe(|| self.service.predict_batch(tasks, &x))) {
+            Ok(Ok(preds)) => {
+                for (p, parked) in preds.into_iter().zip(rows) {
+                    let _ = parked.tx.send(Ok(p));
+                }
+            }
+            Ok(Err(e)) => {
+                for parked in rows {
+                    let _ = parked.tx.send(Err(e.clone()));
+                }
+            }
+            Err(_) => self.metrics.aborted.inc(),
+        }
+    }
+
+    /// A post-drain request: run it alone, still through `predict_batch`
+    /// so `service.batch.*` accounting stays complete.
+    fn run_straggler(&self, tasks: &[usize], features: Vec<f32>) -> Result<Prediction, WireError> {
+        self.metrics.flush_drain.inc();
+        self.metrics.size.record_n(1);
+        let x = Tensor::from_vec(features, [1, self.input_dim]);
+        match catch_unwind(AssertUnwindSafe(|| self.service.predict_batch(tasks, &x))) {
+            Ok(Ok(preds)) => Ok(preds[0]),
+            Ok(Err(e)) => Err(WireError::Query(e)),
+            Err(_) => {
+                self.metrics.aborted.inc();
+                Err(WireError::BatchAborted)
+            }
+        }
+    }
+
+    /// Shutdown: flush every parked queue (no request is lost) and mark
+    /// the scheduler drained so the timer thread exits. Idempotent.
+    fn drain(&self) {
+        let taken = self.lock_queues().take();
+        self.cvar.notify_all();
+        let Some(queues) = taken else { return };
+        for (tasks, batch) in queues {
+            self.metrics.flush_drain.inc();
+            self.flush(&tasks, batch);
+        }
+        self.metrics.queue_depth.set(0.0);
+    }
+}
+
+fn depth_of(queues: &HashMap<Vec<usize>, PendingBatch>) -> usize {
+    queues.values().map(|b| b.rows.len()).sum()
+}
+
+/// The timer thread: flushes batches whose delay window expired. Full-queue
+/// flushes happen inline on worker threads; this thread only enforces the
+/// latency bound and exits once [`BatchScheduler::drain`] runs.
+fn batcher_loop(scheduler: Arc<BatchScheduler>) {
+    let mut guard = scheduler.lock_queues();
+    while let Some(queues) = guard.as_mut() {
+        let now = Instant::now();
+        let expired: Vec<Vec<usize>> = queues
+            .iter()
+            .filter(|(_, b)| b.deadline <= now)
+            .map(|(k, _)| k.clone())
+            .collect();
+        if !expired.is_empty() {
+            let batches: Vec<(Vec<usize>, PendingBatch)> = expired
+                .into_iter()
+                .filter_map(|k| queues.remove(&k).map(|b| (k, b)))
+                .collect();
+            scheduler.metrics.queue_depth.set(depth_of(queues) as f64);
+            drop(guard);
+            for (tasks, batch) in batches {
+                scheduler.metrics.flush_timeout.inc();
+                scheduler.flush(&tasks, batch);
+            }
+            guard = scheduler.lock_queues();
+            continue;
+        }
+        guard = match queues.values().map(|b| b.deadline).min() {
+            Some(deadline) => {
+                let wait = deadline.saturating_duration_since(now);
+                scheduler
+                    .cvar
+                    .wait_timeout(guard, wait)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0
+            }
+            None => scheduler
+                .cvar
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner),
+        };
+    }
+}
+
 /// Progress shared between the acceptor, the workers, and `join`.
 struct ServeState {
     handled: u64,
@@ -169,6 +446,8 @@ struct ServerShared {
     conns: Mutex<HashMap<u64, TcpStream>>,
     next_conn: AtomicU64,
     metrics: ServeMetrics,
+    /// The micro-batch scheduler; `None` when `cfg.max_batch ≤ 1`.
+    batcher: Option<Arc<BatchScheduler>>,
 }
 
 impl ServerShared {
@@ -182,10 +461,16 @@ impl ServerShared {
         self.conns.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Starts the drain: stop accepting, wake everyone. Idempotent.
+    /// Starts the drain: stop accepting, flush every parked batch, wake
+    /// everyone. Idempotent.
     fn trigger_shutdown(&self) {
         if self.draining.swap(true, Ordering::AcqRel) {
             return;
+        }
+        // Flush parked PREDICT batches first, so every already-accepted
+        // request is answered before the connection drain begins.
+        if let Some(b) = &self.batcher {
+            b.drain();
         }
         // Wake the acceptor out of its blocking accept() so it can see
         // the flag and drop the queue sender.
@@ -221,6 +506,7 @@ pub struct Server {
     shared: Arc<ServerShared>,
     workers: Vec<std::thread::JoinHandle<()>>,
     acceptor: Option<std::thread::JoinHandle<()>>,
+    batcher: Option<std::thread::JoinHandle<()>>,
 }
 
 /// A cloneable remote control for a [`Server`] (shutdown, progress).
@@ -259,6 +545,8 @@ impl Server {
         let addr = listener.local_addr()?;
         let workers_n = cfg.workers.max(1);
         let metrics = ServeMetrics::register(&service);
+        let batch_scheduler = (cfg.max_batch > 1)
+            .then(|| Arc::new(BatchScheduler::new(Arc::clone(&service), input_dim, &cfg)));
         let shared = Arc::new(ServerShared {
             cfg,
             service,
@@ -274,6 +562,14 @@ impl Server {
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
             metrics,
+            batcher: batch_scheduler,
+        });
+        let batcher_thread = shared.batcher.as_ref().map(|b| {
+            let b = Arc::clone(b);
+            std::thread::Builder::new()
+                .name("poe-serve-batcher".into())
+                .spawn(move || batcher_loop(b))
+                .expect("spawn serve batcher")
         });
 
         let (conn_tx, conn_rx) = sync_channel::<TcpStream>(shared.cfg.queue_capacity.max(1));
@@ -300,6 +596,7 @@ impl Server {
             shared,
             workers,
             acceptor: Some(acceptor),
+            batcher: batcher_thread,
         })
     }
 
@@ -359,6 +656,11 @@ impl Server {
         }
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
+        }
+        // trigger_shutdown drained the batch queues; the timer thread saw
+        // the drained marker and exited.
+        if let Some(b) = self.batcher.take() {
+            let _ = b.join();
         }
 
         if self.shared.cfg.metrics_on_shutdown {
@@ -434,11 +736,10 @@ fn acceptor_loop(listener: TcpListener, conn_tx: SyncSender<TcpStream>, shared: 
 fn shed(mut stream: TcpStream, shared: &ServerShared) {
     shared.metrics.shed.inc();
     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
-    let _ = writeln!(
-        stream,
-        "ERR busy retry_after_ms={}",
-        shared.cfg.retry_after_ms
-    );
+    let busy = WireError::Busy {
+        retry_after_ms: shared.cfg.retry_after_ms,
+    };
+    let _ = writeln!(stream, "{}", busy.line());
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
@@ -557,25 +858,25 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
         if shared.draining.load(Ordering::Acquire) {
             // The drain covers the request in flight; subsequent ones on
             // a kept-alive connection are refused with a retry hint.
-            let _ = send_line(
-                &mut writer,
-                &format!("ERR shutting down retry_after_ms={}", cfg.retry_after_ms),
-            );
+            let refusal = WireError::ShuttingDown {
+                retry_after_ms: cfg.retry_after_ms,
+            };
+            let _ = send_line(&mut writer, &refusal.line());
             break;
         }
         let line = match reader.read_line() {
             ReadLine::Line(l) => l,
             ReadLine::TooLong => {
                 shared.metrics.oversize.inc();
-                let _ = send_line(
-                    &mut writer,
-                    &format!("ERR line too long (max {} bytes)", cfg.max_line_bytes),
-                );
+                let oversize = WireError::LineTooLong {
+                    max_bytes: cfg.max_line_bytes,
+                };
+                let _ = send_line(&mut writer, &oversize.line());
                 break;
             }
             ReadLine::TimedOut => {
                 shared.metrics.timeouts.inc();
-                let _ = send_line(&mut writer, "ERR idle timeout");
+                let _ = send_line(&mut writer, &WireError::IdleTimeout.line());
                 break;
             }
             ReadLine::Closed => break,
@@ -607,7 +908,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
             break;
         }
         if conn_requests >= cfg.max_conn_requests {
-            let _ = send_line(&mut writer, "ERR connection request limit reached");
+            let _ = send_line(&mut writer, &WireError::ConnRequestLimit.line());
             break;
         }
     }
@@ -685,7 +986,7 @@ fn respond_inner(
     if let Some(s) = server {
         if let Some(detail) = &s.cfg.pool_error {
             if matches!(verb.as_str(), "INFO" | "QUERY" | "PREDICT") {
-                return (format!("ERR not ready: {detail}"), Action::Continue);
+                return (WireError::NotReady(detail.clone()).line(), Action::Continue);
             }
         }
     }
@@ -703,7 +1004,7 @@ fn respond_inner(
         "HEALTH" => health_line(server),
         "SHUTDOWN" => match server {
             Some(_) => return ("OK shutting down".into(), Action::Shutdown),
-            None => "ERR SHUTDOWN requires a running server".into(),
+            None => WireError::ShutdownNoServer.line(),
         },
         "STATS" => {
             let s = service.stats();
@@ -736,12 +1037,12 @@ fn respond_inner(
                 service.obs().trace.set_enabled(false);
                 "OK trace=off".into()
             }
-            _ => "ERR TRACE needs `on` or `off`".into(),
+            _ => WireError::TraceSyntax.line(),
         },
         "QUERY" => match parse_tasks(rest) {
-            Err(e) => format!("ERR {e}"),
+            Err(e) => e.line(),
             Ok(tasks) => match service.query(&tasks) {
-                Err(e) => format!("ERR {e}"),
+                Err(e) => WireError::from(e).line(),
                 Ok(r) => format!(
                     "OK outputs={} params={} assembly_ms={:.3} cached={} classes={}",
                     r.class_layout.len(),
@@ -752,43 +1053,73 @@ fn respond_inner(
                 ),
             },
         },
-        "PREDICT" => {
-            let predict = || {
-                let Some((task_part, feat_part)) = rest.split_once(':') else {
-                    return "ERR PREDICT needs `tasks : features`".into();
+        "PREDICT" => match parse_predict(rest, input_dim) {
+            Err(e) => e.line(),
+            Ok((tasks, features)) => {
+                // Under a running server, park in the micro-batch queue
+                // for this task set; standalone (or with batching off),
+                // run immediately as a batch of one.
+                let result = match server.and_then(|s| s.batcher.as_deref()) {
+                    Some(b) => b.submit(tasks, features),
+                    None => direct_predict(service, &tasks, features, input_dim),
                 };
-                let tasks = match parse_tasks(task_part.trim()) {
-                    Ok(t) => t,
-                    Err(e) => return format!("ERR {e}"),
-                };
-                let mut features = Vec::new();
-                for tok in feat_part.split_whitespace() {
-                    match tok.parse::<f32>() {
-                        Ok(v) if v.is_finite() => features.push(v),
-                        _ => return format!("ERR bad feature value `{tok}`"),
+                match result {
+                    Ok(p) => format!(
+                        "OK class={} task={} confidence={:.4}",
+                        p.class, p.task_index, p.confidence
+                    ),
+                    Err(e) => {
+                        let action = if e.closes_connection() {
+                            Action::Close
+                        } else {
+                            Action::Continue
+                        };
+                        return (e.line(), action);
                     }
                 }
-                if features.len() != input_dim {
-                    return format!("ERR expected {input_dim} features, got {}", features.len());
-                }
-                match service.query(&tasks) {
-                    Err(e) => format!("ERR {e}"),
-                    Ok(mut r) => {
-                        let x = poe_tensor::Tensor::from_vec(features, [1, input_dim]);
-                        let p = r.model.predict_with_provenance(&x)[0];
-                        format!(
-                            "OK class={} task={} confidence={:.4}",
-                            p.class, p.task_index, p.confidence
-                        )
-                    }
-                }
-            };
-            predict()
-        }
-        "" => "ERR empty request".into(),
-        other => format!("ERR unknown verb `{other}`"),
+            }
+        },
+        "" => WireError::EmptyRequest.line(),
+        other => WireError::UnknownVerb(other.to_string()).line(),
     };
     (text, Action::Continue)
+}
+
+/// Parses `PREDICT` arguments: `tasks : features`, with the feature count
+/// checked against the pool's input dimension.
+fn parse_predict(rest: &str, input_dim: usize) -> Result<(Vec<usize>, Vec<f32>), WireError> {
+    let Some((task_part, feat_part)) = rest.split_once(':') else {
+        return Err(WireError::PredictSyntax);
+    };
+    let tasks = parse_tasks(task_part.trim())?;
+    let mut features = Vec::new();
+    for tok in feat_part.split_whitespace() {
+        match tok.parse::<f32>() {
+            Ok(v) if v.is_finite() => features.push(v),
+            _ => return Err(WireError::BadFeature(tok.to_string())),
+        }
+    }
+    if features.len() != input_dim {
+        return Err(WireError::FeatureCount {
+            expected: input_dim,
+            got: features.len(),
+        });
+    }
+    Ok((tasks, features))
+}
+
+/// The unbatched `PREDICT` path (library `respond` without a server, or
+/// batching disabled): consolidate through the shared cache and classify
+/// the one row.
+fn direct_predict(
+    service: &QueryService,
+    tasks: &[usize],
+    features: Vec<f32>,
+    input_dim: usize,
+) -> Result<Prediction, WireError> {
+    let r = service.query(tasks).map_err(WireError::from)?;
+    let x = Tensor::from_vec(features, [1, input_dim]);
+    Ok(r.model.predict_with_provenance(&x)[0])
 }
 
 /// Renders the `HEALTH` response: liveness is implicit in answering at
@@ -858,19 +1189,24 @@ pub fn metrics_json(service: &QueryService) -> String {
     )
 }
 
-fn parse_tasks(s: &str) -> Result<Vec<usize>, String> {
+fn parse_tasks(s: &str) -> Result<Vec<usize>, WireError> {
     if s.is_empty() {
-        return Err("no tasks given".into());
+        return Err(WireError::NoTasks);
     }
     let mut tasks: Vec<usize> = Vec::new();
     let mut seen = std::collections::HashSet::new();
     for p in s.split(',') {
         if tasks.len() == MAX_QUERY_TASKS {
-            return Err(format!("too many tasks (max {MAX_QUERY_TASKS})"));
+            return Err(WireError::TooManyTasks {
+                max: MAX_QUERY_TASKS,
+            });
         }
-        let id: usize = p.trim().parse().map_err(|_| format!("bad task id `{p}`"))?;
+        let id: usize = p
+            .trim()
+            .parse()
+            .map_err(|_| WireError::BadTaskId(p.to_string()))?;
         if !seen.insert(id) {
-            return Err(format!("duplicate task {id}"));
+            return Err(WireError::DuplicateTask(id));
         }
         tasks.push(id);
     }
@@ -908,7 +1244,7 @@ mod tests {
                 head,
             });
         }
-        Arc::new(QueryService::new(pool))
+        Arc::new(QueryService::builder(pool).build())
     }
 
     fn start(cfg: ServeConfig) -> (Server, Arc<QueryService>, SocketAddr) {
@@ -983,7 +1319,9 @@ mod tests {
         let over: Vec<String> = (0..=MAX_QUERY_TASKS).map(|i| i.to_string()).collect();
         assert_eq!(
             parse_tasks(&over.join(",")).unwrap_err(),
-            format!("too many tasks (max {MAX_QUERY_TASKS})")
+            WireError::TooManyTasks {
+                max: MAX_QUERY_TASKS
+            }
         );
     }
 
@@ -1343,6 +1681,179 @@ mod tests {
         let _ = idle_r.read_line(&mut line);
         // Listener released: a new connect is refused.
         assert!(TcpStream::connect(addr).is_err());
+    }
+
+    /// Parses the payload of an `OK class=… task=… confidence=…` line.
+    fn parse_prediction(line: &str) -> (usize, usize, f32) {
+        let field = |key: &str| -> &str {
+            let pat = format!("{key}=");
+            let at = line.find(&pat).unwrap_or_else(|| panic!("{key} in {line}")) + pat.len();
+            line[at..].split_whitespace().next().unwrap()
+        };
+        (
+            field("class").parse().unwrap(),
+            field("task").parse().unwrap(),
+            field("confidence").parse().unwrap(),
+        )
+    }
+
+    /// Concurrent PREDICTs for permutations of one task set coalesce into
+    /// a single full-queue flush, and every demultiplexed per-row answer
+    /// matches the unbatched path bit for bit.
+    #[test]
+    fn batched_predictions_match_the_direct_path() {
+        let (server, svc, addr) = start(ServeConfig {
+            workers: 4,
+            max_batch: 4,
+            batch_delay: Duration::from_secs(10), // only a full flush counts
+            ..ServeConfig::default()
+        });
+        let requests: Vec<String> = (0..4)
+            .map(|i| {
+                let tasks = if i % 2 == 0 { "0,2" } else { "2,0" };
+                let f = i as f32;
+                format!("PREDICT {tasks} : {} {} {} {}", f, 0.5 - f, -f, 0.25 * f)
+            })
+            .collect();
+        let mut handles = Vec::new();
+        for req in &requests {
+            let req = req.clone();
+            handles.push(std::thread::spawn(move || {
+                let (mut w, mut r) = client(addr);
+                ask(&mut w, &mut r, &req)
+            }));
+        }
+        let answers: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Reference: the library `respond` path (no server, no batching)
+        // against the same deterministic service.
+        for (req, got) in requests.iter().zip(&answers) {
+            let want = respond(req, &svc, 4);
+            assert!(got.starts_with("OK class="), "{got}");
+            let (gc, gt, gp) = parse_prediction(got);
+            let (wc, wt, wp) = parse_prediction(&want);
+            assert_eq!((gc, gt), (wc, wt), "req {req}: {got} vs {want}");
+            assert!((gp - wp).abs() <= 1e-4, "req {req}: {got} vs {want}");
+        }
+        let reg = &svc.obs().registry;
+        assert_eq!(reg.counter("serve.batch.flush.full").get(), 1);
+        assert_eq!(reg.counter("serve.batch.flush.timeout").get(), 0);
+        let sizes = reg.histogram("serve.batch.size").snapshot();
+        assert_eq!(sizes.count(), 1, "exactly one flush");
+        // Power-of-two buckets read back as the next bucket's upper bound.
+        assert_eq!(sizes.quantile_n(0.5), Some(8), "batch of 4");
+        // The service-level batch accounting fired exactly once too.
+        assert_eq!(reg.counter("service.batch.calls").get(), 1);
+        assert_eq!(reg.counter("service.batch.rows").get(), 4);
+        server.handle().shutdown();
+        server.join().unwrap();
+    }
+
+    /// A lone PREDICT is not stuck behind `--max-batch`: the delay timer
+    /// flushes it as a batch of one.
+    #[test]
+    fn lone_predict_is_flushed_by_the_delay_timer() {
+        let (server, svc, addr) = start(ServeConfig {
+            max_batch: 64,
+            batch_delay: Duration::from_millis(5),
+            ..ServeConfig::default()
+        });
+        let (mut w, mut r) = client(addr);
+        let got = ask(&mut w, &mut r, "PREDICT 1 : 1 2 3 4");
+        assert!(got.starts_with("OK class="), "{got}");
+        let reg = &svc.obs().registry;
+        assert_eq!(reg.counter("serve.batch.flush.timeout").get(), 1);
+        assert_eq!(reg.counter("serve.batch.flush.full").get(), 0);
+        assert_eq!(
+            reg.histogram("serve.batch.size").snapshot().quantile_n(0.5),
+            Some(2),
+            "batch of 1 (bucket upper bound 2)"
+        );
+        assert_eq!(reg.gauge("serve.batch.queue_depth").get(), 0.0);
+        server.handle().shutdown();
+        server.join().unwrap();
+    }
+
+    /// A consolidation error fails every request parked in the batch with
+    /// the same typed reason the unbatched path gives, and the connection
+    /// stays usable.
+    #[test]
+    fn batched_query_errors_reach_every_parked_request() {
+        let (server, _svc, addr) = start(ServeConfig {
+            max_batch: 2,
+            batch_delay: Duration::from_secs(10),
+            ..ServeConfig::default()
+        });
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            handles.push(std::thread::spawn(move || {
+                let (mut w, mut r) = client(addr);
+                let e = ask(&mut w, &mut r, "PREDICT 9 : 1 2 3 4");
+                // Same connection still answers afterwards.
+                let h = ask(&mut w, &mut r, "HEALTH");
+                (e, h)
+            }));
+        }
+        for h in handles {
+            let (e, health) = h.join().unwrap();
+            assert_eq!(e, "ERR unknown primitive task 9");
+            assert!(health.starts_with("OK live=1"), "{health}");
+        }
+        server.handle().shutdown();
+        server.join().unwrap();
+    }
+
+    /// SHUTDOWN drains a half-full batch queue: every parked PREDICT is
+    /// answered exactly once before the connections close.
+    #[test]
+    fn shutdown_drains_parked_batches() {
+        let (server, svc, addr) = start(ServeConfig {
+            workers: 4,
+            max_batch: 8,                         // stays half-full
+            batch_delay: Duration::from_secs(30), // timer never fires
+            ..ServeConfig::default()
+        });
+        let depth = svc.obs().registry.gauge("serve.batch.queue_depth");
+        let mut handles = Vec::new();
+        for i in 0..3 {
+            handles.push(std::thread::spawn(move || {
+                let (mut w, mut r) = client(addr);
+                ask(&mut w, &mut r, &format!("PREDICT 0 : {i} 1 2 3"))
+            }));
+        }
+        wait_until("3 requests parked", || depth.get() == 3.0);
+        let (mut w, mut r) = client(addr);
+        assert_eq!(ask(&mut w, &mut r, "SHUTDOWN"), "OK shutting down");
+        for h in handles {
+            let line = h.join().unwrap();
+            assert!(line.starts_with("OK class="), "parked request lost: {line}");
+        }
+        server.join().unwrap();
+        let reg = &svc.obs().registry;
+        assert_eq!(reg.counter("serve.batch.flush.drain").get(), 1);
+        assert_eq!(
+            reg.histogram("serve.batch.size").snapshot().quantile_n(0.5),
+            Some(4),
+            "one batch of 3 (bucket upper bound 4)"
+        );
+        assert_eq!(depth.get(), 0.0);
+    }
+
+    /// With `max_batch ≤ 1` the scheduler is never built and PREDICT runs
+    /// unbatched — the opt-out knob for latency-critical single clients.
+    #[test]
+    fn batching_can_be_disabled() {
+        let (server, svc, addr) = start(ServeConfig {
+            max_batch: 1,
+            ..ServeConfig::default()
+        });
+        let (mut w, mut r) = client(addr);
+        let got = ask(&mut w, &mut r, "PREDICT 1 : 1 2 3 4");
+        assert!(got.starts_with("OK class="), "{got}");
+        let reg = &svc.obs().registry;
+        assert_eq!(reg.histogram("serve.batch.size").snapshot().count(), 0);
+        assert_eq!(reg.counter("service.batch.calls").get(), 0);
+        server.handle().shutdown();
+        server.join().unwrap();
     }
 
     #[test]

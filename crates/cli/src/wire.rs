@@ -1,0 +1,310 @@
+//! Typed wire-protocol errors for `poe serve`.
+//!
+//! Every `ERR` line the server can emit is a [`WireError`] variant; the
+//! single [`std::fmt::Display`] impl below is the one place the reason
+//! strings are rendered, and each rendered form corresponds to exactly one
+//! row of the error tables in `docs/PROTOCOL.md`. The
+//! `every_variant_matches_a_protocol_row` test pins that correspondence:
+//! adding a variant without documenting it (or editing a string without
+//! updating the doc) fails the build's test gate.
+
+use poe_core::pool::QueryError;
+use std::fmt;
+
+/// One protocol-level failure, rendered on the wire as `ERR <reason>`.
+///
+/// The first group of variants answers and keeps the connection open; the
+/// variants for which [`WireError::closes_connection`] returns `true` are
+/// the fault-tolerance rejections that answer one line and close.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Blank request line.
+    EmptyRequest,
+    /// First word of the line is not a known verb.
+    UnknownVerb(String),
+    /// `QUERY`/`PREDICT` with an empty task list.
+    NoTasks,
+    /// Task token that is not a non-negative integer.
+    BadTaskId(String),
+    /// The same task index appears twice in the request's task list.
+    DuplicateTask(usize),
+    /// Task list longer than the protocol cap.
+    TooManyTasks {
+        /// The cap ([`crate::serve::MAX_QUERY_TASKS`]).
+        max: usize,
+    },
+    /// Consolidation refused the task set (service layer).
+    Query(QueryError),
+    /// `PREDICT` without the `:` separator.
+    PredictSyntax,
+    /// Feature token that is not a finite float.
+    BadFeature(String),
+    /// Feature count ≠ the pool's input dimension.
+    FeatureCount {
+        /// The pool's input dimension.
+        expected: usize,
+        /// Features actually supplied.
+        got: usize,
+    },
+    /// `TRACE` with an argument other than `on`/`off`.
+    TraceSyntax,
+    /// `SHUTDOWN` sent to the library `respond` without a server.
+    ShutdownNoServer,
+    /// Data verb on a degraded server (pool failed to load).
+    NotReady(String),
+    /// Accept queue full: shed before any request was read.
+    Busy {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// Request line exceeded the line cap.
+    LineTooLong {
+        /// The cap in bytes.
+        max_bytes: usize,
+    },
+    /// No complete request line within the idle deadline.
+    IdleTimeout,
+    /// Per-connection request cap hit.
+    ConnRequestLimit,
+    /// Request arrived while the server is draining.
+    ShuttingDown {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The micro-batch this request was parked in was lost to an internal
+    /// failure; the request was *not* answered and may be retried.
+    BatchAborted,
+}
+
+impl WireError {
+    /// The full response line: `ERR <reason>`.
+    pub fn line(&self) -> String {
+        format!("ERR {self}")
+    }
+
+    /// Whether the server closes the connection after sending this error
+    /// (the fault-tolerance rejection family in `docs/PROTOCOL.md`).
+    pub fn closes_connection(&self) -> bool {
+        matches!(
+            self,
+            WireError::Busy { .. }
+                | WireError::LineTooLong { .. }
+                | WireError::IdleTimeout
+                | WireError::ConnRequestLimit
+                | WireError::ShuttingDown { .. }
+                | WireError::BatchAborted
+        )
+    }
+}
+
+impl From<QueryError> for WireError {
+    fn from(e: QueryError) -> Self {
+        WireError::Query(e)
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::EmptyRequest => write!(f, "empty request"),
+            WireError::UnknownVerb(v) => write!(f, "unknown verb `{v}`"),
+            WireError::NoTasks => write!(f, "no tasks given"),
+            WireError::BadTaskId(tok) => write!(f, "bad task id `{tok}`"),
+            WireError::DuplicateTask(t) => write!(f, "duplicate task {t}"),
+            WireError::TooManyTasks { max } => write!(f, "too many tasks (max {max})"),
+            WireError::Query(e) => write!(f, "{e}"),
+            WireError::PredictSyntax => write!(f, "PREDICT needs `tasks : features`"),
+            WireError::BadFeature(tok) => write!(f, "bad feature value `{tok}`"),
+            WireError::FeatureCount { expected, got } => {
+                write!(f, "expected {expected} features, got {got}")
+            }
+            WireError::TraceSyntax => write!(f, "TRACE needs `on` or `off`"),
+            WireError::ShutdownNoServer => write!(f, "SHUTDOWN requires a running server"),
+            WireError::NotReady(detail) => write!(f, "not ready: {detail}"),
+            WireError::Busy { retry_after_ms } => {
+                write!(f, "busy retry_after_ms={retry_after_ms}")
+            }
+            WireError::LineTooLong { max_bytes } => {
+                write!(f, "line too long (max {max_bytes} bytes)")
+            }
+            WireError::IdleTimeout => write!(f, "idle timeout"),
+            WireError::ConnRequestLimit => write!(f, "connection request limit reached"),
+            WireError::ShuttingDown { retry_after_ms } => {
+                write!(f, "shutting down retry_after_ms={retry_after_ms}")
+            }
+            WireError::BatchAborted => write!(f, "batch aborted"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `docs/PROTOCOL.md` with its markdown-escaped backticks unescaped,
+    /// so rendered error lines can be matched against table rows verbatim.
+    fn protocol_doc() -> String {
+        include_str!("../../../docs/PROTOCOL.md").replace("\\`", "`")
+    }
+
+    /// One sample of every variant: (constructed error, expected wire
+    /// line, the `docs/PROTOCOL.md` table row it instantiates).
+    fn samples() -> Vec<(WireError, &'static str, &'static str)> {
+        vec![
+            (
+                WireError::EmptyRequest,
+                "ERR empty request",
+                "`ERR empty request`",
+            ),
+            (
+                WireError::UnknownVerb("X".into()),
+                "ERR unknown verb `X`",
+                "`ERR unknown verb `X``",
+            ),
+            (
+                WireError::NoTasks,
+                "ERR no tasks given",
+                "`ERR no tasks given`",
+            ),
+            (
+                WireError::BadTaskId("X".into()),
+                "ERR bad task id `X`",
+                "`ERR bad task id `X``",
+            ),
+            (
+                WireError::DuplicateTask(3),
+                "ERR duplicate task 3",
+                "`ERR duplicate task N`",
+            ),
+            (
+                WireError::TooManyTasks { max: 4096 },
+                "ERR too many tasks (max 4096)",
+                "`ERR too many tasks (max 4096)`",
+            ),
+            (
+                WireError::Query(QueryError::EmptyQuery),
+                "ERR composite task is empty",
+                "`ERR composite task is empty`",
+            ),
+            (
+                WireError::Query(QueryError::UnknownTask(9)),
+                "ERR unknown primitive task 9",
+                "`ERR unknown primitive task N`",
+            ),
+            (
+                WireError::Query(QueryError::DuplicateTask(2)),
+                "ERR primitive task 2 listed twice",
+                "`ERR primitive task N listed twice`",
+            ),
+            (
+                WireError::Query(QueryError::MissingExpert(5)),
+                "ERR no expert pooled for task 5",
+                "`ERR no expert pooled for task N`",
+            ),
+            (
+                WireError::PredictSyntax,
+                "ERR PREDICT needs `tasks : features`",
+                "`ERR PREDICT needs `tasks : features``",
+            ),
+            (
+                WireError::BadFeature("X".into()),
+                "ERR bad feature value `X`",
+                "`ERR bad feature value `X``",
+            ),
+            (
+                WireError::FeatureCount {
+                    expected: 4,
+                    got: 2,
+                },
+                "ERR expected 4 features, got 2",
+                "`ERR expected N features, got M`",
+            ),
+            (
+                WireError::TraceSyntax,
+                "ERR TRACE needs `on` or `off`",
+                "`ERR TRACE needs `on` or `off``",
+            ),
+            (
+                WireError::ShutdownNoServer,
+                "ERR SHUTDOWN requires a running server",
+                "`ERR SHUTDOWN requires a running server`",
+            ),
+            (
+                WireError::NotReady("<detail>".into()),
+                "ERR not ready: <detail>",
+                "`ERR not ready: <detail>`",
+            ),
+            (
+                WireError::Busy {
+                    retry_after_ms: 100,
+                },
+                "ERR busy retry_after_ms=100",
+                "`ERR busy retry_after_ms=<n>`",
+            ),
+            (
+                WireError::LineTooLong { max_bytes: 64 },
+                "ERR line too long (max 64 bytes)",
+                "`ERR line too long (max N bytes)`",
+            ),
+            (
+                WireError::IdleTimeout,
+                "ERR idle timeout",
+                "`ERR idle timeout`",
+            ),
+            (
+                WireError::ConnRequestLimit,
+                "ERR connection request limit reached",
+                "`ERR connection request limit reached`",
+            ),
+            (
+                WireError::ShuttingDown {
+                    retry_after_ms: 100,
+                },
+                "ERR shutting down retry_after_ms=100",
+                "`ERR shutting down retry_after_ms=<n>`",
+            ),
+            (
+                WireError::BatchAborted,
+                "ERR batch aborted",
+                "`ERR batch aborted`",
+            ),
+        ]
+    }
+
+    /// Every variant renders its documented form, and every rendered form
+    /// has a matching row in `docs/PROTOCOL.md` — the doc and the enum
+    /// cannot drift apart silently.
+    #[test]
+    fn every_variant_matches_a_protocol_row() {
+        let doc = protocol_doc();
+        for (err, rendered, doc_row) in samples() {
+            assert_eq!(err.line(), rendered, "{err:?}");
+            assert!(
+                doc.contains(doc_row),
+                "docs/PROTOCOL.md is missing the row {doc_row} for {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn close_family_matches_the_doc_table() {
+        // Exactly the fault-tolerance table closes connections.
+        let closing: Vec<WireError> = samples()
+            .into_iter()
+            .map(|(e, _, _)| e)
+            .filter(WireError::closes_connection)
+            .collect();
+        assert_eq!(closing.len(), 6, "{closing:?}");
+        assert!(!WireError::EmptyRequest.closes_connection());
+        assert!(!WireError::Query(QueryError::EmptyQuery).closes_connection());
+    }
+
+    #[test]
+    fn query_errors_convert_losslessly() {
+        let w: WireError = QueryError::MissingExpert(7).into();
+        assert_eq!(w, WireError::Query(QueryError::MissingExpert(7)));
+        assert_eq!(w.line(), "ERR no expert pooled for task 7");
+    }
+}

@@ -243,7 +243,7 @@ mod tests {
         assert_eq!(pre.pool.num_experts(), h.num_primitives());
 
         // Consolidate a 2-task composite and evaluate it end-to-end.
-        let (mut model, stats) = pre.pool.consolidate(&[0, 2]).unwrap();
+        let (model, stats) = pre.pool.consolidate(&[0, 2]).unwrap();
         assert_eq!(stats.num_experts, 2);
         let classes = h.composite_classes(&[0, 2]);
         let view = split.test.task_view(&classes);

@@ -287,7 +287,7 @@ mod tests {
     #[test]
     fn consolidation_assembles_query_order() {
         let pool = toy_pool(4, &[0, 1, 2, 3]);
-        let (mut model, stats) = pool.consolidate(&[2, 0]).unwrap();
+        let (model, stats) = pool.consolidate(&[2, 0]).unwrap();
         assert_eq!(stats.num_experts, 2);
         assert_eq!(model.class_layout(), vec![4, 5, 0, 1]);
         let y = model.infer(&Tensor::zeros([1, 4]));
@@ -354,8 +354,8 @@ mod tests {
             .visit_params(&mut |p| p.value.map_in_place(|_| 0.123));
         other.load_from_dir(&dir).unwrap();
 
-        let (mut a, _) = pool.consolidate(&[0, 1, 2]).unwrap();
-        let (mut b, _) = other.consolidate(&[0, 1, 2]).unwrap();
+        let (a, _) = pool.consolidate(&[0, 1, 2]).unwrap();
+        let (b, _) = other.consolidate(&[0, 1, 2]).unwrap();
         let x = Tensor::randn([3, 4], 1.0, &mut Prng::seed_from_u64(9));
         assert!(a.infer(&x).max_abs_diff(&b.infer(&x)) < 1e-6);
         std::fs::remove_dir_all(&dir).ok();
@@ -365,7 +365,7 @@ mod tests {
     fn consolidated_models_are_isolated_from_pool_updates() {
         let mut pool = toy_pool(3, &[0, 1, 2]);
         let x = Tensor::randn([2, 4], 1.0, &mut Prng::seed_from_u64(11));
-        let (mut before, _) = pool.consolidate(&[0, 2]).unwrap();
+        let (before, _) = pool.consolidate(&[0, 2]).unwrap();
         let y_before = before.infer(&x);
 
         // Consolidation shares the pool's weight buffers (copy-on-write), so
@@ -376,7 +376,7 @@ mod tests {
         assert!(before.infer(&x).max_abs_diff(&y_before) == 0.0);
 
         // Only an explicit re-consolidation observes the new weights.
-        let (mut after, _) = pool.consolidate(&[0, 2]).unwrap();
+        let (after, _) = pool.consolidate(&[0, 2]).unwrap();
         assert!(after.infer(&x).max_abs_diff(&y_before) > 1e-3);
     }
 
@@ -384,8 +384,8 @@ mod tests {
     fn consolidation_is_fast_and_repeatable() {
         let pool = toy_pool(6, &[0, 1, 2, 3, 4, 5]);
         let x = Tensor::randn([2, 4], 1.0, &mut Prng::seed_from_u64(10));
-        let (mut m1, _) = pool.consolidate(&[1, 3, 5]).unwrap();
-        let (mut m2, _) = pool.consolidate(&[1, 3, 5]).unwrap();
+        let (m1, _) = pool.consolidate(&[1, 3, 5]).unwrap();
+        let (m2, _) = pool.consolidate(&[1, 3, 5]).unwrap();
         assert!(m1.infer(&x).max_abs_diff(&m2.infer(&x)) == 0.0);
     }
 }

@@ -21,9 +21,10 @@
 //! registry is the single source of truth.
 
 use crate::pool::{ConsolidationStats, Expert, ExpertPool, QueryError};
-use poe_models::{Branch, BranchedModel};
+use poe_models::{Branch, BranchedModel, Prediction};
 use poe_nn::layers::Sequential;
 use poe_obs::{ensure_context, span, AtomicHistogram, Counter, Gauge, Observability};
+use poe_tensor::Tensor;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::{Mutex, RwLock};
@@ -33,6 +34,11 @@ pub use poe_obs::LatencyHistogram;
 
 /// Default number of consolidated task sets kept in the cache.
 pub const DEFAULT_CACHE_CAPACITY: usize = 32;
+
+/// Default cap on rows per batched forward pass: larger
+/// [`QueryService::predict_batch`] inputs are split into chunks of at most
+/// this many rows so one enormous batch cannot monopolize the CPU.
+pub const DEFAULT_MAX_BATCH_ROWS: usize = 1024;
 
 /// Aggregate service counters, reconstructed from the service's metrics
 /// registry by [`QueryService::stats`].
@@ -93,6 +99,10 @@ struct ServiceMetrics {
     assembly_ns: Arc<Counter>,
     assembly: Arc<AtomicHistogram>,
     cache_entries: Arc<Gauge>,
+    batch_calls: Arc<Counter>,
+    batch_rows: Arc<Counter>,
+    batch_size: Arc<AtomicHistogram>,
+    batch_infer: Arc<AtomicHistogram>,
 }
 
 impl ServiceMetrics {
@@ -106,6 +116,10 @@ impl ServiceMetrics {
             assembly_ns: r.counter("service.assembly_ns_total"),
             assembly: r.histogram("service.assembly_secs"),
             cache_entries: r.gauge("service.cache.entries"),
+            batch_calls: r.counter("service.batch.calls"),
+            batch_rows: r.counter("service.batch.rows"),
+            batch_size: r.histogram("service.batch.size"),
+            batch_infer: r.histogram("service.batch.infer_secs"),
         }
     }
 }
@@ -186,6 +200,61 @@ impl ConsolidationCache {
     }
 }
 
+/// Configures and constructs a [`QueryService`].
+///
+/// Obtained from [`QueryService::builder`]; every knob has a production
+/// default, so `QueryService::builder(pool).build()` is the common case.
+pub struct QueryServiceBuilder {
+    pool: ExpertPool,
+    cache_capacity: usize,
+    obs: Option<Arc<Observability>>,
+    max_batch_rows: usize,
+}
+
+impl QueryServiceBuilder {
+    /// Keeps at most `capacity` consolidated task sets in the LRU cache
+    /// (0 disables caching). Default: [`DEFAULT_CACHE_CAPACITY`].
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Uses an existing observability bundle instead of a fresh private
+    /// one — lets embedders aggregate several services into one registry
+    /// or pre-enable tracing before the first query.
+    pub fn observability(mut self, obs: Arc<Observability>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Caps rows per batched forward pass: larger
+    /// [`QueryService::predict_batch`] inputs run as several chunked
+    /// passes. Default: [`DEFAULT_MAX_BATCH_ROWS`].
+    ///
+    /// # Panics
+    /// Panics if `rows` is 0 — a service that can never run a forward
+    /// pass is a configuration error, not a policy.
+    pub fn max_batch_rows(mut self, rows: usize) -> Self {
+        assert!(rows > 0, "max_batch_rows must be ≥ 1");
+        self.max_batch_rows = rows;
+        self
+    }
+
+    /// Builds the service.
+    pub fn build(self) -> QueryService {
+        let obs = self.obs.unwrap_or_default();
+        let metrics = ServiceMetrics::register(&obs);
+        QueryService {
+            pool: RwLock::new(self.pool),
+            cache: Mutex::new(ConsolidationCache::new(self.cache_capacity)),
+            generation: AtomicU64::new(0),
+            obs,
+            metrics,
+            max_batch_rows: self.max_batch_rows,
+        }
+    }
+}
+
 /// A concurrent, realtime model-querying front end over an expert pool.
 pub struct QueryService {
     pool: RwLock<ExpertPool>,
@@ -195,25 +264,19 @@ pub struct QueryService {
     generation: AtomicU64,
     obs: Arc<Observability>,
     metrics: ServiceMetrics,
+    max_batch_rows: usize,
 }
 
 impl QueryService {
-    /// Wraps a preprocessed pool with the default cache capacity.
-    pub fn new(pool: ExpertPool) -> Self {
-        Self::with_cache_capacity(pool, DEFAULT_CACHE_CAPACITY)
-    }
-
-    /// Wraps a preprocessed pool, keeping at most `capacity` consolidated
-    /// task sets cached (0 disables caching).
-    pub fn with_cache_capacity(pool: ExpertPool, capacity: usize) -> Self {
-        let obs = Observability::new();
-        let metrics = ServiceMetrics::register(&obs);
-        QueryService {
-            pool: RwLock::new(pool),
-            cache: Mutex::new(ConsolidationCache::new(capacity)),
-            generation: AtomicU64::new(0),
-            obs,
-            metrics,
+    /// Starts configuring a service over a preprocessed pool. Every knob
+    /// defaults to its production value; `builder(pool).build()` matches
+    /// what `poe serve` runs.
+    pub fn builder(pool: ExpertPool) -> QueryServiceBuilder {
+        QueryServiceBuilder {
+            pool,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            obs: None,
+            max_batch_rows: DEFAULT_MAX_BATCH_ROWS,
         }
     }
 
@@ -332,6 +395,68 @@ impl QueryService {
         self.metrics.rejected.inc();
     }
 
+    /// Classifies a whole batch of feature rows against the task set `Q`
+    /// with **one** consolidation and one forward pass per chunk — the
+    /// entry point behind the serve layer's micro-batching scheduler.
+    ///
+    /// The consolidation goes through [`QueryService::query`], so it
+    /// shares the consolidation cache (and its hit/miss accounting) with
+    /// single-sample traffic. `inputs` must be `[n, …]` with the
+    /// per-sample shape the pool expects; row `i` of the result is the
+    /// prediction for row `i` of the input, exactly what single-sample
+    /// `infer` would have produced. Batches larger than the configured
+    /// `max_batch_rows` run as several chunked forward passes.
+    ///
+    /// Records `service.batch.{calls,rows}` counters plus the
+    /// `service.batch.size` and `service.batch.infer_secs` histograms.
+    pub fn predict_batch(
+        &self,
+        tasks: &[usize],
+        inputs: &Tensor,
+    ) -> Result<Vec<Prediction>, QueryError> {
+        ensure_context(&self.obs.trace, || self.predict_batch_traced(tasks, inputs))
+    }
+
+    fn predict_batch_traced(
+        &self,
+        tasks: &[usize],
+        inputs: &Tensor,
+    ) -> Result<Vec<Prediction>, QueryError> {
+        let _span = span("service.predict_batch");
+        let dims = inputs.dims();
+        assert!(dims.len() >= 2, "predict_batch expects [n, …] inputs");
+        let rows = dims[0];
+        let r = self.query(tasks)?;
+
+        let start = Instant::now();
+        let preds = if rows <= self.max_batch_rows {
+            r.model.predict_with_provenance(inputs)
+        } else {
+            // Row-major storage: a run of whole rows is a contiguous slice.
+            let row_len: usize = dims[1..].iter().product();
+            let data = inputs.data();
+            let mut preds = Vec::with_capacity(rows);
+            let mut at = 0;
+            while at < rows {
+                let take = (rows - at).min(self.max_batch_rows);
+                let mut shape = dims.to_vec();
+                shape[0] = take;
+                let chunk =
+                    Tensor::from_vec(data[at * row_len..(at + take) * row_len].to_vec(), shape);
+                preds.extend(r.model.predict_with_provenance(&chunk));
+                at += take;
+            }
+            preds
+        };
+        self.metrics.batch_calls.inc();
+        self.metrics.batch_rows.add(rows as u64);
+        self.metrics.batch_size.record_n(rows as u64);
+        self.metrics
+            .batch_infer
+            .record(start.elapsed().as_secs_f64());
+        Ok(preds)
+    }
+
     /// Answers a query phrased as *global class ids* (e.g. "cat, fox,
     /// wolf"): the smallest set of primitive tasks covering all the classes
     /// is consolidated.
@@ -404,7 +529,7 @@ mod tests {
     use poe_nn::layers::{Linear, Relu, Sequential};
     use poe_tensor::{Prng, Tensor};
 
-    fn service(num_tasks: usize, with_experts: &[usize]) -> QueryService {
+    fn toy_pool(num_tasks: usize, with_experts: &[usize]) -> ExpertPool {
         let mut rng = Prng::seed_from_u64(3);
         let hierarchy = ClassHierarchy::contiguous(3 * num_tasks, num_tasks);
         let library = Sequential::new()
@@ -421,7 +546,11 @@ mod tests {
                 head,
             });
         }
-        QueryService::new(pool)
+        pool
+    }
+
+    fn service(num_tasks: usize, with_experts: &[usize]) -> QueryService {
+        QueryService::builder(toy_pool(num_tasks, with_experts)).build()
     }
 
     #[test]
@@ -438,7 +567,7 @@ mod tests {
         ));
         // Running the hit's model detaches it lazily without disturbing
         // the cached entry.
-        let mut m = hit.model;
+        let m = hit.model;
         m.infer(&Tensor::zeros([1, 4]));
         let again = svc.query(&[0, 2]).unwrap();
         assert!(Arc::ptr_eq(
@@ -511,9 +640,9 @@ mod tests {
     fn repeat_query_hits_the_cache_with_identical_output() {
         let svc = service(4, &[0, 1, 2, 3]);
         let x = Tensor::randn([2, 4], 1.0, &mut Prng::seed_from_u64(11));
-        let mut cold = svc.query(&[1, 3]).unwrap();
+        let cold = svc.query(&[1, 3]).unwrap();
         assert!(!cold.stats.cache_hit);
-        let mut warm = svc.query(&[1, 3]).unwrap();
+        let warm = svc.query(&[1, 3]).unwrap();
         assert!(warm.stats.cache_hit);
         assert_eq!(warm.class_layout, cold.class_layout);
         assert_eq!(warm.stats.params, cold.stats.params);
@@ -570,7 +699,7 @@ mod tests {
                 head,
             });
         }
-        let svc = QueryService::with_cache_capacity(pool, 2);
+        let svc = QueryService::builder(pool).cache_capacity(2).build();
         svc.query(&[0]).unwrap();
         svc.query(&[1]).unwrap();
         svc.query(&[2]).unwrap(); // evicts {0}
@@ -635,6 +764,125 @@ mod tests {
         assert_eq!(
             names,
             vec!["pool.consolidate", "service.query", "service.query"]
+        );
+    }
+
+    #[test]
+    fn builder_defaults_match_production_knobs() {
+        let svc = QueryService::builder(toy_pool(3, &[0, 1, 2])).build();
+        assert_eq!(svc.max_batch_rows, DEFAULT_MAX_BATCH_ROWS);
+        svc.query(&[0]).unwrap();
+        svc.query(&[1]).unwrap();
+        assert_eq!(svc.cached_consolidations(), 2);
+    }
+
+    #[test]
+    fn builder_zero_cache_capacity_disables_caching() {
+        let svc = QueryService::builder(toy_pool(3, &[0, 1, 2]))
+            .cache_capacity(0)
+            .build();
+        svc.query(&[0, 1]).unwrap();
+        assert_eq!(svc.cached_consolidations(), 0);
+        assert!(!svc.query(&[0, 1]).unwrap().stats.cache_hit);
+    }
+
+    #[test]
+    fn builder_accepts_external_observability() {
+        let obs = Observability::new();
+        let svc = QueryService::builder(toy_pool(3, &[0, 1, 2]))
+            .observability(Arc::clone(&obs))
+            .build();
+        svc.query(&[0]).unwrap();
+        // The caller's bundle is the service's bundle: counters land there.
+        assert!(Arc::ptr_eq(&obs, svc.obs()));
+        assert_eq!(
+            obs.registry.snapshot().counters["service.queries_served"],
+            1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch_rows")]
+    fn builder_rejects_zero_batch_rows() {
+        QueryService::builder(toy_pool(1, &[0])).max_batch_rows(0);
+    }
+
+    #[test]
+    fn predict_batch_matches_single_sample_inference() {
+        let svc = service(4, &[0, 1, 2, 3]);
+        let mut rng = Prng::seed_from_u64(21);
+        let batch = Tensor::randn([16, 4], 1.0, &mut rng);
+        let preds = svc.predict_batch(&[2, 0], &batch).unwrap();
+        assert_eq!(preds.len(), 16);
+        let model = svc.query(&[2, 0]).unwrap().model;
+        for (i, p) in preds.iter().enumerate() {
+            let row = Tensor::from_vec(batch.row(i).to_vec(), [1, 4]);
+            let single = model.predict_with_provenance(&row)[0];
+            assert_eq!(p.class, single.class);
+            assert_eq!(p.task_index, single.task_index);
+            assert!((p.confidence - single.confidence).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn predict_batch_chunks_large_inputs_identically() {
+        let pool = toy_pool(3, &[0, 1, 2]);
+        let svc = QueryService::builder(pool).max_batch_rows(2).build();
+        let whole = QueryService::builder(toy_pool(3, &[0, 1, 2])).build();
+        let mut rng = Prng::seed_from_u64(22);
+        let batch = Tensor::randn([5, 4], 1.0, &mut rng);
+        let chunked = svc.predict_batch(&[0, 2], &batch).unwrap();
+        let reference = whole.predict_batch(&[0, 2], &batch).unwrap();
+        assert_eq!(chunked.len(), 5);
+        for (c, r) in chunked.iter().zip(&reference) {
+            assert_eq!(c.class, r.class);
+            assert!((c.confidence - r.confidence).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn predict_batch_shares_the_consolidation_cache() {
+        let svc = service(3, &[0, 1, 2]);
+        svc.query(&[1, 2]).unwrap();
+        let x = Tensor::zeros([3, 4]);
+        svc.predict_batch(&[1, 2], &x).unwrap();
+        let s = svc.stats();
+        // The batch consolidation hit the entry admitted by the query.
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+    }
+
+    #[test]
+    fn predict_batch_records_batch_metrics() {
+        let svc = service(3, &[0, 1, 2]);
+        let x = Tensor::zeros([7, 4]);
+        svc.predict_batch(&[0], &x).unwrap();
+        svc.predict_batch(&[0], &x).unwrap();
+        let snap = svc.obs().registry.snapshot();
+        assert_eq!(snap.counters["service.batch.calls"], 2);
+        assert_eq!(snap.counters["service.batch.rows"], 14);
+        assert_eq!(snap.histograms["service.batch.size"].count(), 2);
+        assert_eq!(snap.histograms["service.batch.infer_secs"].count(), 2);
+        assert!(
+            snap.histograms["service.batch.size"]
+                .quantile_n(0.5)
+                .unwrap()
+                >= 7
+        );
+    }
+
+    #[test]
+    fn predict_batch_propagates_query_errors() {
+        let svc = service(3, &[0]);
+        let x = Tensor::zeros([2, 4]);
+        assert!(matches!(
+            svc.predict_batch(&[1], &x),
+            Err(QueryError::MissingExpert(1))
+        ));
+        assert_eq!(svc.stats().queries_rejected, 1);
+        assert_eq!(
+            svc.obs().registry.snapshot().counters["service.batch.calls"],
+            0
         );
     }
 }

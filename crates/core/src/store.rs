@@ -296,8 +296,8 @@ mod tests {
         assert_eq!(reopened.hierarchy(), pool.hierarchy());
 
         let x = Tensor::randn([4, 6], 1.0, &mut Prng::seed_from_u64(3));
-        let (mut a, _) = pool.consolidate(&[0, 2]).unwrap();
-        let (mut b, _) = reopened.consolidate(&[0, 2]).unwrap();
+        let (a, _) = pool.consolidate(&[0, 2]).unwrap();
+        let (b, _) = reopened.consolidate(&[0, 2]).unwrap();
         assert!(a.infer(&x).max_abs_diff(&b.infer(&x)) < 1e-6);
         std::fs::remove_dir_all(&dir).ok();
     }

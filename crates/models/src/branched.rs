@@ -39,9 +39,10 @@ pub struct Branch {
 /// The trunk and every branch sit behind an [`Arc`], so cloning or
 /// assembling a branched model is a handful of refcount bumps — the
 /// zero-copy counterpart of the paper's "consolidation is pure assembly"
-/// claim. The structure is deep-cloned lazily ([`Arc::make_mut`]) the
-/// first time a model is actually run, because forward passes cache
-/// activations in the layers.
+/// claim. Inference runs through [`Module::infer`], which never writes
+/// backward caches, so the shared parts are never deep-cloned on the
+/// serving path; only mutation (`visit_params`, training-mode `forward`
+/// of the parts) detaches via [`Arc::make_mut`].
 #[derive(Clone)]
 pub struct BranchedModel {
     /// Architecture tag, e.g. `"WRN-16-(1, [0.25]ᵀ×3)"`.
@@ -112,13 +113,15 @@ impl BranchedModel {
 
     /// Runs inference: library features once, every expert on those
     /// features, logits concatenated. Always inference-mode (the whole
-    /// point of PoE is that this model is never trained).
-    pub fn infer(&mut self, input: &Tensor) -> Tensor {
-        let features = Arc::make_mut(&mut self.library).forward(input, false);
+    /// point of PoE is that this model is never trained), and `&self` —
+    /// the eval path writes no caches, so one shared instance serves
+    /// concurrent batches without detaching its `Arc`'d parts.
+    pub fn infer(&self, input: &Tensor) -> Tensor {
+        let features = self.library.infer(input);
         let outs: Vec<Tensor> = self
             .branches
-            .iter_mut()
-            .map(|b| Arc::make_mut(b).head.forward(&features, false))
+            .iter()
+            .map(|b| b.head.infer(&features))
             .collect();
         let refs: Vec<&Tensor> = outs.iter().collect();
         Tensor::concat_cols(&refs).expect("logit concatenation")
@@ -129,7 +132,7 @@ impl BranchedModel {
     /// softmax confidence over the unified logit. The service layer uses
     /// this to tell a client **which expert answered** — useful both for
     /// interpretability and for routing follow-up queries.
-    pub fn predict_with_provenance(&mut self, input: &Tensor) -> Vec<Prediction> {
+    pub fn predict_with_provenance(&self, input: &Tensor) -> Vec<Prediction> {
         let logits = self.infer(input);
         let probs = poe_tensor::ops::softmax(&logits);
         let layout = self.class_layout();
@@ -177,7 +180,11 @@ impl Module for BranchedModel {
     }
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        self.infer(input)
+        BranchedModel::infer(self, input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        BranchedModel::infer(self, input)
     }
 
     /// Branched models are inference-only by construction.
@@ -240,7 +247,7 @@ mod tests {
     #[test]
     fn infer_concatenates_expert_logits() {
         let mut rng = Prng::seed_from_u64(1);
-        let mut m = toy_branched(&mut rng);
+        let m = toy_branched(&mut rng);
         let x = Tensor::randn([3, 4], 1.0, &mut rng);
         let y = m.infer(&x);
         assert_eq!(y.dims(), &[3, 5]);
@@ -265,7 +272,7 @@ mod tests {
     #[test]
     fn provenance_names_the_winning_expert() {
         let mut rng = Prng::seed_from_u64(5);
-        let mut m = toy_branched(&mut rng);
+        let m = toy_branched(&mut rng);
         let x = Tensor::randn([6, 4], 1.0, &mut rng);
         let preds = m.predict_with_provenance(&x);
         assert_eq!(preds.len(), 6);

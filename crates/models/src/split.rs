@@ -87,6 +87,10 @@ impl Module for SplitModel {
         self.head.forward(&f, train)
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        self.head.infer(&self.trunk.infer(input))
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let g = self.head.backward(grad_out);
         self.trunk.backward(&g)

@@ -37,6 +37,10 @@ impl Module for Relu {
         input.map(|x| x.max(0.0))
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        input.map(|x| x.max(0.0))
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let mask = self
             .mask

@@ -180,6 +180,25 @@ impl Module for BatchNorm {
         out
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let dims = input.dims().to_vec();
+        self.check_shape(&dims);
+        let src = input.data();
+        let mean = self.running_mean.value.data();
+        let var = self.running_var.value.data();
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + EPS).sqrt()).collect();
+        let gamma = self.gamma.value.data();
+        let beta = self.beta.value.data();
+        let mut out = Tensor::zeros(dims.clone());
+        {
+            let o = out.data_mut();
+            Self::for_each(&dims, self.kind, |ch, off| {
+                o[off] = gamma[ch] * (src[off] - mean[ch]) * inv_std[ch] + beta[ch];
+            });
+        }
+        out
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let cache = self
             .cache

@@ -60,6 +60,26 @@ impl Conv2d {
         out
     }
 
+    /// Shared forward math: returns the im2col patch matrix (for the
+    /// training cache) and the `[n, oc, oh, ow]` output.
+    fn run(&self, input: &Tensor) -> (Tensor, Tensor) {
+        let d = input.dims();
+        assert_eq!(d.len(), 4, "Conv2d expects [n, c, h, w]");
+        let (n, h, w) = (d[0], d[2], d[3]);
+        let (oh, ow) = self.spec.output_hw(h, w);
+
+        let cols = im2col(input, &self.spec);
+        let mut rows = matmul_a_bt(&cols, &self.weight.value).expect("conv forward matmul");
+        let b = self.bias.value.data();
+        for r in 0..rows.rows() {
+            for (v, &bv) in rows.row_mut(r).iter_mut().zip(b) {
+                *v += bv;
+            }
+        }
+        let out = Self::to_nchw(&rows, n, self.spec.out_channels, oh, ow);
+        (cols, out)
+    }
+
     /// Inverse of [`Self::to_nchw`].
     fn from_nchw(t: &Tensor) -> Tensor {
         let d = t.dims();
@@ -87,26 +107,23 @@ impl Module for Conv2d {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let d = input.dims();
-        assert_eq!(d.len(), 4, "Conv2d expects [n, c, h, w]");
-        let (n, h, w) = (d[0], d[2], d[3]);
-        let (oh, ow) = self.spec.output_hw(h, w);
-
-        let cols = im2col(input, &self.spec);
-        let mut rows = matmul_a_bt(&cols, &self.weight.value).expect("conv forward matmul");
-        let b = self.bias.value.data();
-        for r in 0..rows.rows() {
-            for (v, &bv) in rows.row_mut(r).iter_mut().zip(b) {
-                *v += bv;
-            }
-        }
-        let out = Self::to_nchw(&rows, n, self.spec.out_channels, oh, ow);
+        let (cols, out) = self.run(input);
         self.cache = if train {
-            Some(ConvCache { cols, n, h, w })
+            let d = input.dims();
+            Some(ConvCache {
+                cols,
+                n: d[0],
+                h: d[2],
+                w: d[3],
+            })
         } else {
             None
         };
         out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        self.run(input).1
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -70,6 +70,10 @@ impl Module for Dropout {
         Tensor::from_vec(data, input.dims().to_vec())
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        input.clone()
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         match &self.mask {
             None => grad_out.clone(),

@@ -45,6 +45,20 @@ impl Module for Linear {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let y = self.infer(input);
+        self.cached_input = if train {
+            Some(
+                input
+                    .reshape([input.rows(), self.in_features])
+                    .expect("linear input reshape"),
+            )
+        } else {
+            None
+        };
+        y
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         debug_assert_eq!(
             input.cols(),
             self.in_features,
@@ -60,7 +74,6 @@ impl Module for Linear {
                 *v += bv;
             }
         }
-        self.cached_input = if train { Some(x) } else { None };
         y
     }
 

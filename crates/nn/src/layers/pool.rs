@@ -30,6 +30,16 @@ impl Module for GlobalAvgPool2d {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let out = self.infer(input);
+        self.cached_in_shape = if train {
+            Some(input.dims().to_vec())
+        } else {
+            None
+        };
+        out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         let d = input.dims();
         assert_eq!(d.len(), 4, "GlobalAvgPool2d expects [n, c, h, w]");
         let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
@@ -44,7 +54,6 @@ impl Module for GlobalAvgPool2d {
                 dst[i * c + ch] = s / hw;
             }
         }
-        self.cached_in_shape = if train { Some(d.to_vec()) } else { None };
         out
     }
 
@@ -116,6 +125,14 @@ impl Module for Flatten {
         let n = d[0];
         let rest: usize = d[1..].iter().product();
         self.cached_in_shape = if train { Some(d) } else { None };
+        input.reshape([n, rest]).expect("flatten reshape")
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let d = input.dims();
+        assert!(d.len() >= 2, "Flatten expects at least [n, …]");
+        let n = d[0];
+        let rest: usize = d[1..].iter().product();
         input.reshape([n, rest]).expect("flatten reshape")
     }
 

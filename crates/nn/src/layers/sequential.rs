@@ -72,6 +72,14 @@ impl Module for Sequential {
         x
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.infer(&x);
+        }
+        x
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let mut g = grad_out.clone();
         for layer in self.layers.iter_mut().rev() {
@@ -148,6 +156,16 @@ impl Module for Residual {
         let main = self.body.forward(input, train);
         let skip = match &mut self.shortcut {
             Some(s) => s.forward(input, train),
+            None => input.clone(),
+        };
+        main.add(&skip)
+            .expect("residual add: body must preserve shape")
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let main = self.body.infer(input);
+        let skip = match &self.shortcut {
+            Some(s) => s.infer(input),
             None => input.clone(),
         };
         main.add(&skip)

@@ -26,6 +26,11 @@ pub trait Module: Send + Sync {
     /// whether caches for `backward` are retained.
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
 
+    /// Runs the layer on a batch in inference mode without mutating it:
+    /// identical math to `forward(input, false)` but no backward caches
+    /// are touched, so one shared instance can serve concurrent batches.
+    fn infer(&self, input: &Tensor) -> Tensor;
+
     /// Propagates `grad_out` (gradient w.r.t. this layer's output of the
     /// most recent training-mode `forward`) back through the layer,
     /// accumulating into parameter gradients, and returns the gradient

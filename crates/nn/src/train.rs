@@ -365,6 +365,9 @@ mod tests {
                 Box::new(Reshaper)
             }
             fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+                self.infer(x)
+            }
+            fn infer(&self, x: &Tensor) -> Tensor {
                 let n = x.dims()[0];
                 x.reshape([n, 2, 1, 1]).unwrap()
             }

@@ -7,6 +7,13 @@
 //! queries resolve to the containing bucket's upper bound — at most a 2×
 //! overestimate, which is plenty for latency monitoring while keeping
 //! recording to a couple of integer instructions.
+//!
+//! The same buckets double as a *count-valued* histogram via
+//! [`AtomicHistogram::record_n`] / [`LatencyHistogram::quantile_n`]: a
+//! measurement of `n` (a batch size, a queue depth) lands in the bucket of
+//! `n` nanoseconds, and quantiles come back as counts with the same ≤ 2×
+//! resolution. By convention such instruments are named with a `.size`
+//! suffix so exporters render them as raw counts, not milliseconds.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -15,9 +22,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub const NUM_BUCKETS: usize = 32;
 
 #[inline]
+fn bucket_of_n(n: u64) -> usize {
+    (64 - n.leading_zeros() as usize).min(NUM_BUCKETS - 1)
+}
+
+#[inline]
 fn bucket_of(secs: f64) -> usize {
-    let ns = (secs.max(0.0) * 1e9) as u64;
-    (64 - ns.leading_zeros() as usize).min(NUM_BUCKETS - 1)
+    bucket_of_n((secs.max(0.0) * 1e9) as u64)
 }
 
 #[inline]
@@ -40,6 +51,12 @@ impl LatencyHistogram {
     /// Records one latency measurement.
     pub fn record(&mut self, secs: f64) {
         self.buckets[bucket_of(secs)] += 1;
+        self.count += 1;
+    }
+
+    /// Records one count-valued measurement (batch size, queue depth).
+    pub fn record_n(&mut self, n: u64) {
+        self.buckets[bucket_of_n(n)] += 1;
         self.count += 1;
     }
 
@@ -67,6 +84,13 @@ impl LatencyHistogram {
             }
         }
         Some(bucket_upper_secs(NUM_BUCKETS - 1))
+    }
+
+    /// The count at quantile `q` for a histogram fed through
+    /// [`Self::record_n`], resolved to the containing bucket's upper bound
+    /// (a power of two; ≤ 2× overestimate). `None` when empty.
+    pub fn quantile_n(&self, q: f64) -> Option<u64> {
+        self.quantile(q).map(|secs| (secs * 1e9).round() as u64)
     }
 
     /// Builds a snapshot directly from raw bucket counts.
@@ -97,6 +121,12 @@ impl AtomicHistogram {
     /// Records one latency measurement (relaxed; safe from any thread).
     pub fn record(&self, secs: f64) {
         self.buckets[bucket_of(secs)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one count-valued measurement (relaxed; safe from any
+    /// thread). See [`LatencyHistogram::quantile_n`] for reading it back.
+    pub fn record_n(&self, n: u64) {
+        self.buckets[bucket_of_n(n)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Takes a consistent point-in-time copy.
@@ -170,6 +200,35 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(a.snapshot().count(), 4000);
+    }
+
+    #[test]
+    fn count_valued_quantiles_round_trip_powers_of_two() {
+        let a = AtomicHistogram::new();
+        for _ in 0..10 {
+            a.record_n(32);
+        }
+        let snap = a.snapshot();
+        assert_eq!(snap.count(), 10);
+        // 32 sits in the (16, 32]… bucket family: upper bound 64, a ≤ 2×
+        // overestimate, and exact powers of two read back as themselves
+        // shifted one bucket up.
+        let p50 = snap.quantile_n(0.5).unwrap();
+        assert!((32..=64).contains(&p50), "p50 {p50}");
+        assert!(p50.is_power_of_two());
+        assert_eq!(LatencyHistogram::default().quantile_n(0.5), None);
+    }
+
+    #[test]
+    fn record_n_and_record_share_buckets() {
+        let mut by_secs = LatencyHistogram::default();
+        let mut by_n = LatencyHistogram::default();
+        for n in [0u64, 1, 7, 100, 4096] {
+            by_secs.record(n as f64 * 1e-9);
+            by_n.record_n(n);
+        }
+        assert_eq!(by_secs.quantile(0.5), by_n.quantile(0.5));
+        assert_eq!(by_secs.quantile(0.99), by_n.quantile(0.99));
     }
 
     #[test]

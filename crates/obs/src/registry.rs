@@ -168,16 +168,33 @@ impl MetricsSnapshot {
     }
 
     /// Renders the snapshot as a single-line JSON object with `counters`,
-    /// `gauges`, and `histograms` members. Histograms are emitted as
-    /// `{"count":n,"p50_ms":x,"p95_ms":x,"p99_ms":x}` with `null`
-    /// percentiles when empty (never a false zero).
+    /// `gauges`, and `histograms` members. Latency histograms are emitted
+    /// as `{"count":n,"p50_ms":x,"p95_ms":x,"p99_ms":x}` with `null`
+    /// percentiles when empty (never a false zero). Histograms named with
+    /// a `.size` suffix hold count-valued measurements (batch sizes, queue
+    /// depths) and emit raw-count percentiles instead:
+    /// `{"count":n,"p50":x,"p95":x,"p99":x}`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         push_entries(&mut out, &self.counters, |v| v.to_string());
         out.push_str("},\"gauges\":{");
         push_entries(&mut out, &self.gauges, |v| fmt_f64(*v));
         out.push_str("},\"histograms\":{");
-        push_entries(&mut out, &self.histograms, histogram_json);
+        let mut first = true;
+        for (k, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('"');
+            out.push_str(&json_escape(k));
+            out.push_str("\":");
+            if k.ends_with(".size") {
+                out.push_str(&size_histogram_json(h));
+            } else {
+                out.push_str(&histogram_json(h));
+            }
+        }
         out.push_str("}}");
         out
     }
@@ -190,6 +207,20 @@ fn histogram_json(h: &LatencyHistogram) -> String {
     };
     format!(
         "{{\"count\":{},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{}}}",
+        h.count(),
+        q(0.50),
+        q(0.95),
+        q(0.99)
+    )
+}
+
+fn size_histogram_json(h: &LatencyHistogram) -> String {
+    let q = |p: f64| match h.quantile_n(p) {
+        Some(n) => n.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
         h.count(),
         q(0.50),
         q(0.95),
@@ -304,6 +335,25 @@ mod tests {
         );
         assert!(json.contains("\"busy\":{\"count\":1,\"p50_ms\":"), "{json}");
         assert!(!json.contains('\n'), "snapshot JSON must be one line");
+    }
+
+    #[test]
+    fn size_histograms_render_raw_counts() {
+        let r = Registry::new();
+        r.histogram("serve.batch.size").record_n(32);
+        r.histogram("serve.batch.empty.size"); // registered, never recorded
+        let json = r.snapshot().to_json();
+        assert!(
+            json.contains("\"serve.batch.size\":{\"count\":1,\"p50\":64,\"p95\":64,\"p99\":64}"),
+            "{json}"
+        );
+        assert!(
+            json.contains(
+                "\"serve.batch.empty.size\":{\"count\":0,\"p50\":null,\"p95\":null,\"p99\":null}"
+            ),
+            "{json}"
+        );
+        assert!(!json.contains("p50_ms\":64"), "{json}");
     }
 
     #[test]

@@ -37,7 +37,7 @@ fn main() {
     let bytes = pre.pool.save_to_dir(&store).expect("persist pool");
     println!("pool persisted to {} ({bytes} bytes)", store.display());
 
-    let service = Arc::new(QueryService::new(pre.pool));
+    let service = Arc::new(QueryService::builder(pre.pool).build());
 
     // --- Concurrent clients ----------------------------------------------
     println!("serving 16 concurrent clients …");

@@ -86,7 +86,7 @@ fn main() {
         .into_iter()
         .filter(|b| b.task_index == 0 || b.task_index == 2)
         .collect();
-    let mut model = BranchedModel::new("conv-poe", library, wanted);
+    let model = BranchedModel::new("conv-poe", library, wanted);
     let classes = model.class_layout();
     let view = split.test.task_view(&classes);
     let acc = accuracy(&model.infer(&view.inputs), &view.labels);

@@ -74,7 +74,7 @@ fn main() {
             d.experts.iter().map(|e| e.in_task_accuracy).sum::<f64>() / d.experts.len() as f64;
 
         let query: Vec<usize> = (0..hierarchy.num_primitives()).collect();
-        let (mut model, _) = pool.consolidate(&query).expect("consolidate");
+        let (model, _) = pool.consolidate(&query).expect("consolidate");
         let view = split.test.task_view(&model.class_layout());
         let unified_acc = accuracy(&model.infer(&view.inputs), &view.labels);
 

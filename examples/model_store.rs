@@ -53,9 +53,9 @@ fn main() {
         pool.library_arch,
         pool.expert_arch,
     );
-    let service = QueryService::new(pool);
+    let service = QueryService::builder(pool).build();
     let result = service.query(&[0, 3, 5]).expect("query");
-    let mut model = result.model;
+    let model = result.model;
     let view = split.test.task_view(&result.class_layout);
     let acc = accuracy(&model.infer(&view.inputs), &view.labels);
     println!(

@@ -48,7 +48,7 @@ fn main() {
 
     // --- 3. Service phase: train-free query ------------------------------
     let query = [1usize, 4, 6]; // "I'm at the zoo, then the aquarium, then the café"
-    let (mut model, stats) = pre.pool.consolidate(&query).expect("consolidate");
+    let (model, stats) = pre.pool.consolidate(&query).expect("consolidate");
     println!(
         "consolidated M(Q) for tasks {query:?} in {:.3} ms — {} params, no training",
         stats.assembly_secs * 1e3,

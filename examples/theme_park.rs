@@ -68,7 +68,7 @@ fn main() {
         25,
     );
     let pre = preprocess(&split.train, &hierarchy, &pipe, None);
-    let service = QueryService::new(pre.pool);
+    let service = QueryService::builder(pre.pool).build();
 
     for (place, tasks) in PLACES {
         println!("\n→ user arrives at: {place}");
@@ -76,7 +76,7 @@ fn main() {
         let result = service.query(tasks).expect("query");
         let poe_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-        let mut model = result.model;
+        let model = result.model;
         let view = split.test.task_view(&result.class_layout);
         let poe_acc = accuracy(&model.infer(&view.inputs), &view.labels);
 

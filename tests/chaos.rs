@@ -38,7 +38,7 @@ fn toy_service() -> Arc<QueryService> {
             head,
         });
     }
-    Arc::new(QueryService::new(pool))
+    Arc::new(QueryService::builder(pool).build())
 }
 
 fn start(cfg: ServeConfig) -> (Server, Arc<QueryService>, SocketAddr) {
@@ -206,6 +206,68 @@ fn shutdown_drains_within_deadline_under_chaos() {
     assert!(report.drain_timed_out, "idle client should be force-closed");
     // The listener is gone: the port refuses new connections.
     assert!(TcpStream::connect(addr).is_err());
+}
+
+/// SHUTDOWN drains a half-full micro-batch queue even while chaos stalls
+/// reads: every parked PREDICT is answered exactly once (no losses, no
+/// duplicates) before the connections close.
+#[test]
+fn shutdown_drains_half_full_batch_queue_under_chaos() {
+    let _guard = ChaosPlan::new(poe_chaos::seed_from_env())
+        .with(Fault {
+            site: sites::SERVE_READ_STALL.into(),
+            kind: FaultKind::StallMs(20),
+            prob: 0.5,
+            max_hits: Some(8),
+        })
+        .install();
+    let (server, svc, addr) = start(ServeConfig {
+        workers: 4,
+        max_batch: 8,                         // queue stays half-full
+        batch_delay: Duration::from_secs(30), // the timer never fires
+        ..ServeConfig::default()
+    });
+    let depth = svc.obs().registry.gauge("serve.batch.queue_depth");
+    let mut handles = Vec::new();
+    for i in 0..3 {
+        handles.push(std::thread::spawn(move || {
+            let (mut w, mut r) = client(addr);
+            let answer = ask(&mut w, &mut r, &format!("PREDICT 0 : {i} 1 2 3"));
+            // Exactly one response per request: anything after it is the
+            // drain refusal on the kept-alive connection (then EOF), never
+            // a duplicated prediction.
+            let mut extra = String::new();
+            let _ = r.read_line(&mut extra).unwrap_or(0);
+            (answer, extra.trim_end().to_string())
+        }));
+    }
+    let begin = Instant::now();
+    while depth.get() < 3.0 {
+        assert!(
+            begin.elapsed() < Duration::from_secs(10),
+            "requests never parked (depth {})",
+            depth.get()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let (mut w, mut r) = client(addr);
+    assert_eq!(ask(&mut w, &mut r, "SHUTDOWN"), "OK shutting down");
+    for h in handles {
+        let (answer, trailing) = h.join().unwrap();
+        assert!(
+            answer.starts_with("OK class="),
+            "parked request lost: {answer}"
+        );
+        assert!(
+            trailing.is_empty() || trailing.starts_with("ERR shutting down"),
+            "duplicate response after drain: {trailing:?}"
+        );
+    }
+    server.join().unwrap();
+    let reg = &svc.obs().registry;
+    assert_eq!(reg.counter("serve.batch.flush.drain").get(), 1);
+    assert_eq!(reg.counter("serve.batch.aborted").get(), 0);
+    assert_eq!(depth.get(), 0.0);
 }
 
 /// Crash-during-save: a partial write followed by failure must leave the

@@ -34,7 +34,7 @@ fn preprocess_consolidate_and_serve() {
     assert_eq!(pre.pool.num_experts(), 4);
 
     // Direct consolidation beats chance and matches the queried layout.
-    let (mut model, stats) = pre.pool.consolidate(&[3, 1]).unwrap();
+    let (model, stats) = pre.pool.consolidate(&[3, 1]).unwrap();
     let classes = pre.pool.hierarchy().composite_classes(&[1, 3]);
     let mut layout = model.class_layout();
     layout.sort_unstable();
@@ -48,7 +48,7 @@ fn preprocess_consolidate_and_serve() {
     assert!(stats.assembly_secs < 1.0);
 
     // Service layer over the same pool.
-    let svc = QueryService::new(pre.pool);
+    let svc = QueryService::builder(pre.pool).build();
     let r = svc.query(&[0, 2]).unwrap();
     assert_eq!(r.stats.num_experts, 2);
     assert_eq!(svc.query(&[9]).unwrap_err(), QueryError::UnknownTask(9));
@@ -74,8 +74,8 @@ fn pool_persistence_round_trips_through_disk() {
     pool2.load_from_dir(&dir).unwrap();
 
     let x = Tensor::randn([5, 8], 1.0, &mut Prng::seed_from_u64(1));
-    let (mut a, _) = pre.pool.consolidate(&[0, 1, 2, 3]).unwrap();
-    let (mut b, _) = pool2.consolidate(&[0, 1, 2, 3]).unwrap();
+    let (a, _) = pre.pool.consolidate(&[0, 1, 2, 3]).unwrap();
+    let (b, _) = pool2.consolidate(&[0, 1, 2, 3]).unwrap();
     assert!(a.infer(&x).max_abs_diff(&b.infer(&x)) < 1e-6);
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -84,8 +84,8 @@ fn pool_persistence_round_trips_through_disk() {
 fn query_order_defines_logit_layout() {
     let (split, hierarchy, pipe) = tiny_world();
     let pre = preprocess(&split.train, &hierarchy, &pipe, None);
-    let (mut ab, _) = pre.pool.consolidate(&[0, 2]).unwrap();
-    let (mut ba, _) = pre.pool.consolidate(&[2, 0]).unwrap();
+    let (ab, _) = pre.pool.consolidate(&[0, 2]).unwrap();
+    let (ba, _) = pre.pool.consolidate(&[2, 0]).unwrap();
     let x = Tensor::randn([4, 8], 1.0, &mut Prng::seed_from_u64(2));
     let ya = ab.infer(&x);
     let yb = ba.infer(&x);
