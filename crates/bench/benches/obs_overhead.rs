@@ -118,10 +118,43 @@ fn bench_query_with_tracing(c: &mut Criterion) {
     group.finish();
 }
 
+/// The flight-recorder tax (ISSUE-5 acceptance bar: <5% end-to-end).
+/// Each uncached `service.query` records a `cache.miss` event into the
+/// global ring; "off" flips the recorder's enabled flag, leaving only an
+/// atomic load on the path. A separate primitive bench isolates the cost
+/// of one `record` call (mutex push into the bounded ring).
+fn bench_query_with_recorder(c: &mut Criterion) {
+    let flight = poe_obs::FlightRecorder::global();
+    let mut group = c.benchmark_group("service_query_recorder");
+    let query = [1usize, 3, 7, 11, 19];
+
+    let svc_off = QueryService::builder(build_pool())
+        .cache_capacity(0)
+        .build();
+    flight.set_enabled(false);
+    group.bench_function("off", |b| {
+        b.iter(|| svc_off.query(black_box(&query)).unwrap())
+    });
+
+    let svc_on = QueryService::builder(build_pool())
+        .cache_capacity(0)
+        .build();
+    flight.set_enabled(true);
+    group.bench_function("on", |b| {
+        b.iter(|| svc_on.query(black_box(&query)).unwrap())
+    });
+
+    group.bench_function("record_event", |b| {
+        b.iter(|| flight.record_for(black_box(7), "bench.event", "detail=1"))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_span_sites,
     bench_registry_primitives,
-    bench_query_with_tracing
+    bench_query_with_tracing,
+    bench_query_with_recorder
 );
 criterion_main!(benches);

@@ -57,6 +57,9 @@ pub mod sites {
     pub const SERVE_WRITE_IO: &str = "serve.write.io";
     /// Panic injected into a connection-handling worker.
     pub const SERVE_WORKER_PANIC: &str = "serve.worker.panic";
+    /// Panic injected into a batched forward pass (the flush path) — the
+    /// scheduler must contain it and abort only the affected batch.
+    pub const SERVE_BATCH_PANIC: &str = "serve.batch.panic";
 }
 
 /// What a triggered fault does at its site.
@@ -347,6 +350,9 @@ fn decide(site: &str) -> Option<FaultKind> {
         .unwrap_or_else(PoisonError::into_inner)
         .entry(site.to_string())
         .or_insert(0) += 1;
+    // Injections leave a trail in the process black box: a post-mortem
+    // dump must show *why* a worker panicked or a write failed.
+    poe_obs::FlightRecorder::global().record("chaos.inject", format!("site={site} kind={kind:?}"));
     Some(kind)
 }
 
@@ -455,6 +461,24 @@ mod tests {
         assert_eq!(a, b, "same seed must give the same fault schedule");
         assert_ne!(a, c, "different seeds should differ (32 draws)");
         assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn injections_leave_a_flight_recorder_trail() {
+        let rec = poe_obs::FlightRecorder::global();
+        let before = rec.recorded();
+        let _guard = ChaosPlan::new(9)
+            .with(Fault::always(sites::STORE_READ_IO, FaultKind::Io))
+            .install();
+        assert!(fail_io(sites::STORE_READ_IO).is_some());
+        assert!(rec.recorded() > before);
+        let trail: Vec<_> = rec
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.kind == "chaos.inject" && e.detail.contains(sites::STORE_READ_IO))
+            .collect();
+        assert!(!trail.is_empty(), "injection must be visible in a dump");
+        assert!(trail[0].detail.contains("kind=Io"), "{:?}", trail[0]);
     }
 
     #[test]

@@ -10,5 +10,6 @@
 #![forbid(unsafe_code)]
 
 pub mod args;
+pub mod obs;
 pub mod serve;
 pub mod wire;

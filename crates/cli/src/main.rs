@@ -41,32 +41,46 @@ USAGE
   poe diagnose --pool DIR --dataset SPEC [--seed N]
       Per-expert calibration and logit-scale diagnostics.
   poe serve --pool DIR [--port P] [--max-requests N] [--workers N]
-            [--trace on|off] [--slow-query-ms N] [--metrics-every N]
-            [--idle-timeout-ms N] [--queue-capacity N]
+            [--trace on|off] [--trace-out PATH] [--slow-query-ms N]
+            [--metrics-every N] [--idle-timeout-ms N] [--queue-capacity N]
             [--max-conn-requests N] [--drain-deadline-ms N]
             [--max-batch N] [--batch-delay-us N]
+            [--recorder-events N] [--recorder-dir DIR]
       TCP model-query server (line protocol: INFO / QUERY t,… /
-      PREDICT t,… : f1 f2 … / STATS / METRICS / TRACE on|off / HEALTH /
-      SHUTDOWN / QUIT — see docs/PROTOCOL.md). Port 0 picks an ephemeral
-      port. Up to N connections are served concurrently (default 4) from
-      a bounded accept queue (--queue-capacity, default 128); when the
-      queue is full new connections are shed with `ERR busy`. Repeated
-      task sets are answered from the consolidation cache, STATS reports
-      assembly-latency percentiles, and METRICS dumps the full JSON
-      snapshot. --trace starts span collection enabled, --slow-query-ms
-      retains requests at or above N ms (0 = off), --metrics-every prints
-      the metrics JSON to stderr every N seconds (0 = off).
-      --idle-timeout-ms closes silent connections (default 30000, 0 =
-      never), --max-conn-requests caps requests per connection (0 = no
-      cap), --drain-deadline-ms bounds the graceful-shutdown drain
-      (default 5000). PREDICTs from concurrent connections that name the
-      same task set are coalesced into one batched inference: --max-batch
-      caps the batch (default 32; ≤1 disables batching) and
-      --batch-delay-us bounds how long the first request waits for
-      company (default 1000). If the pool store fails to load (e.g. checksum
+      PREDICT t,… : f1 f2 … / STATS / METRICS [json|openmetrics] /
+      TRACE on|off / DUMP / HEALTH / SHUTDOWN / QUIT — see
+      docs/PROTOCOL.md). Port 0 picks an ephemeral port. Up to N
+      connections are served concurrently (default 4) from a bounded
+      accept queue (--queue-capacity, default 128); when the queue is
+      full new connections are shed with `ERR busy`. Repeated task sets
+      are answered from the consolidation cache, STATS reports
+      assembly-latency percentiles, METRICS dumps the full JSON snapshot
+      (or Prometheus/OpenMetrics text with `METRICS openmetrics`).
+      --trace starts span collection enabled; --trace-out streams every
+      finished span as JSONL to PATH; --slow-query-ms retains requests at
+      or above N ms (0 = off); --metrics-every prints the metrics JSON to
+      stderr every N seconds (0 = off). --idle-timeout-ms closes silent
+      connections (default 30000, 0 = never), --max-conn-requests caps
+      requests per connection (0 = no cap), --drain-deadline-ms bounds
+      the graceful-shutdown drain (default 5000). PREDICTs from
+      concurrent connections that name the same task set are coalesced
+      into one batched inference: --max-batch caps the batch (default 32;
+      ≤1 disables batching) and --batch-delay-us bounds how long the
+      first request waits for company (default 1000). The always-on
+      flight recorder keeps the last --recorder-events structured events
+      (default 4096) and dumps them as JSONL to --recorder-dir on
+      SHUTDOWN, on a panic, and on the DUMP verb (read dumps with
+      `poe obs`). If the pool store fails to load (e.g. checksum
       mismatch) the server starts degraded: HEALTH reports ready=0 with
       the load error and data verbs answer `ERR not ready`. Failure modes
       and the runbook live in docs/OPERATIONS.md.
+  poe obs dump --file PATH [--kind K] [--request N]
+  poe obs tail --file PATH [--last N]
+  poe obs check --file PATH
+      Flight-recorder and exposition tooling: `dump` pretty-prints a
+      recorder JSONL file (filter by event kind or request id), `tail`
+      shows the last N events (default 20), `check` validates an
+      OpenMetrics exposition file line by line (exit 1 on violation).
   poe help
       This text.
 
@@ -317,19 +331,48 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
     let batch_delay_us = a
         .get_parsed("batch-delay-us", serve::DEFAULT_BATCH_DELAY_US, "u64")
         .map_err(|e| e.to_string())?;
+    let recorder_events = a
+        .get_parsed("recorder-events", poe_obs::DEFAULT_RECORDER_EVENTS, "usize")
+        .map_err(|e| e.to_string())?;
+    let recorder_dir = a.get("recorder-dir").map(std::path::PathBuf::from);
+    // A `poe serve` process that panics outright (not a contained worker
+    // panic) still leaves its black box behind: the hook dumps the global
+    // flight recorder before the default panic message prints.
+    if let Some(dir) = recorder_dir.clone() {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            match poe_obs::FlightRecorder::global().dump_to_dir(&dir) {
+                Ok(path) => eprintln!("flight recorder dumped to {}", path.display()),
+                Err(e) => eprintln!("flight recorder dump failed: {e}"),
+            }
+            previous(info);
+        }));
+    }
     // A pool that fails to load (corrupt store, version skew, missing
     // files) starts the server degraded instead of not at all: HEALTH
     // carries the typed load error as a non-ready state, so an operator
     // probing the port sees *why* instead of a connection refusal.
     let (service, input_dim, pool_error) = match load_standalone(dir) {
-        Ok((pool, spec)) => (
-            std::sync::Arc::new(QueryService::builder(pool).build()),
-            spec.input_dim,
-            None,
-        ),
+        Ok((pool, spec)) => {
+            poe_obs::FlightRecorder::global().record_for(
+                0,
+                "store.load",
+                format!("dir={dir} experts={}", pool.num_experts()),
+            );
+            (
+                std::sync::Arc::new(QueryService::builder(pool).build()),
+                spec.input_dim,
+                None,
+            )
+        }
         Err(e) => {
             eprintln!("warning: pool at {dir} failed to load: {e}");
             eprintln!("warning: serving DEGRADED — HEALTH reports ready=0, data verbs refuse");
+            poe_obs::FlightRecorder::global().record_for(
+                0,
+                "store.degraded",
+                format!("dir={dir} error={e}"),
+            );
             let placeholder = poe_core::pool::ExpertPool::new(
                 ClassHierarchy::contiguous(1, 1),
                 poe_nn::layers::Sequential::new(),
@@ -342,6 +385,17 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
         }
     };
     service.obs().trace.set_enabled(trace_on);
+    if let Some(path) = a.get("trace-out") {
+        // Stream every finished span as JSONL; implies tracing on (a
+        // sink on a disabled collector would stay silent forever).
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create --trace-out {path}: {e}"))?;
+        service
+            .obs()
+            .trace
+            .set_sink(Box::new(std::io::BufWriter::new(file)));
+        service.obs().trace.set_enabled(true);
+    }
     if slow_ms > 0 {
         service
             .obs()
@@ -380,11 +434,15 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
         metrics_on_shutdown: true,
         max_batch,
         batch_delay: std::time::Duration::from_micros(batch_delay_us),
+        recorder_events,
+        recorder_dir,
         ..serve::ServeConfig::default()
     };
-    let server =
-        serve::Server::start(listener, service, input_dim, cfg).map_err(|e| e.to_string())?;
+    let server = serve::Server::start(listener, std::sync::Arc::clone(&service), input_dim, cfg)
+        .map_err(|e| e.to_string())?;
     let report = server.join().map_err(|e| e.to_string())?;
+    // Flush the span sink so the trace file is complete on clean exit.
+    service.obs().trace.flush_sink();
     println!(
         "served {} requests, shutting down{}",
         report.handled,
@@ -398,6 +456,11 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
 }
 
 fn run(tokens: Vec<String>) -> Result<(), String> {
+    // `poe obs <action> …` nests a second command word, so it is routed
+    // before the flat `Args` grammar sees the tokens.
+    if tokens.first().is_some_and(|t| t == "obs") {
+        return poe_cli::obs::run_obs(&tokens[1..]).map(|report| print!("{report}"));
+    }
     let args = match Args::parse(tokens) {
         Ok(a) => a,
         Err(ArgError::MissingCommand) => {
@@ -447,6 +510,14 @@ mod tests {
     fn unknown_subcommand_is_an_error() {
         let r = run(vec!["frobnicate".into()]);
         assert!(r.unwrap_err().contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn obs_subcommand_is_routed_and_validates_its_action() {
+        let err = run(vec!["obs".into()]).unwrap_err();
+        assert!(err.contains("dump | tail | check"), "{err}");
+        let err = run(argv(&["obs", "nope", "--file", "x"])).unwrap_err();
+        assert!(err.contains("unknown obs action"), "{err}");
     }
 
     #[test]

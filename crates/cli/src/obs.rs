@@ -1,0 +1,252 @@
+//! `poe obs` — offline tooling for flight-recorder dumps and OpenMetrics
+//! exposition files.
+//!
+//! Three actions, all file-based so they work on artifacts copied off a
+//! crashed host:
+//!
+//! * `poe obs dump --file PATH [--kind K] [--request N]` — pretty-print a
+//!   recorder JSONL dump (header summary + one aligned line per event),
+//!   optionally filtered by event kind or request id.
+//! * `poe obs tail --file PATH [--last N]` — the last `N` events (default
+//!   20): the "what happened right before the crash" view.
+//! * `poe obs check --file PATH` — run the OpenMetrics line-by-line
+//!   validator ([`poe_obs::openmetrics::check`]) over an exposition file
+//!   (e.g. a captured `METRICS openmetrics` payload) and report the
+//!   family/sample counts, or the first violation.
+//!
+//! Every function returns the rendered report as a `String` so tests can
+//! assert on output without capturing stdout; the binary prints it.
+
+use crate::args::Args;
+use poe_obs::FlightEvent;
+use std::path::Path;
+
+/// Runs one `poe obs <action>` invocation. `tokens` is everything after
+/// the `obs` word on the command line.
+pub fn run_obs(tokens: &[String]) -> Result<String, String> {
+    let args = match Args::parse(tokens.to_vec()) {
+        Ok(a) => a,
+        Err(crate::args::ArgError::MissingCommand) => {
+            return Err("poe obs needs an action: dump | tail | check".into())
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    let file = args.require("file").map_err(|e| e.to_string())?;
+    match args.command.as_str() {
+        "dump" => dump(
+            Path::new(file),
+            args.get("kind"),
+            args.get_parsed("request", 0u64, "u64")
+                .map_err(|e| e.to_string())?,
+        ),
+        "tail" => tail(
+            Path::new(file),
+            args.get_parsed("last", 20usize, "usize")
+                .map_err(|e| e.to_string())?,
+        ),
+        "check" => check(Path::new(file)),
+        other => Err(format!(
+            "unknown obs action `{other}` (want dump | tail | check)"
+        )),
+    }
+}
+
+/// Header fields of a recorder dump, scraped from its first JSONL line.
+struct DumpHeader {
+    unix_secs: u64,
+    recorded: u64,
+    dropped: u64,
+    capacity: u64,
+}
+
+fn parse_header(line: &str) -> Option<DumpHeader> {
+    if !line.contains("\"recorder\":\"poe-flight\"") {
+        return None;
+    }
+    let field = |key: &str| -> Option<u64> {
+        let pat = format!("\"{key}\":");
+        let at = line.find(&pat)? + pat.len();
+        let rest = &line[at..];
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    };
+    Some(DumpHeader {
+        unix_secs: field("unix_secs")?,
+        recorded: field("recorded")?,
+        dropped: field("dropped")?,
+        capacity: field("capacity")?,
+    })
+}
+
+/// Loads a recorder dump: `(header, events)`. The header is optional so
+/// truncated files (crash mid-write) still yield their intact events.
+fn load_dump(path: &Path) -> Result<(Option<DumpHeader>, Vec<FlightEvent>), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let header = text.lines().next().and_then(parse_header);
+    let events: Vec<FlightEvent> = text.lines().filter_map(FlightEvent::parse_jsonl).collect();
+    if header.is_none() && events.is_empty() {
+        return Err(format!(
+            "{} is not a flight-recorder dump (no header, no events)",
+            path.display()
+        ));
+    }
+    Ok((header, events))
+}
+
+fn render_header(out: &mut String, path: &Path, h: &Option<DumpHeader>, shown: usize) {
+    out.push_str(&format!("flight recorder dump {}\n", path.display()));
+    if let Some(h) = h {
+        out.push_str(&format!(
+            "  dumped at unix {}; {} recorded, {} dropped, capacity {}\n",
+            h.unix_secs, h.recorded, h.dropped, h.capacity
+        ));
+    } else {
+        out.push_str("  (no header line — truncated dump?)\n");
+    }
+    out.push_str(&format!("  {shown} event(s) shown\n"));
+}
+
+fn render_events(out: &mut String, events: &[FlightEvent]) {
+    for e in events {
+        out.push_str(&format!(
+            "  #{:<6} {:>10.3}s req={:<6} {:<16} {}\n",
+            e.seq, e.at_secs, e.request_id, e.kind, e.detail
+        ));
+    }
+}
+
+/// `poe obs dump`: the whole file, optionally filtered by kind prefix
+/// (`--kind batch` matches `batch.flush` and `batch.abort`) and/or
+/// request id (`--request 0` means "no filter").
+pub fn dump(path: &Path, kind: Option<&str>, request: u64) -> Result<String, String> {
+    let (header, mut events) = load_dump(path)?;
+    if let Some(k) = kind {
+        events.retain(|e| e.kind.starts_with(k));
+    }
+    if request != 0 {
+        events.retain(|e| e.request_id == request);
+    }
+    let mut out = String::new();
+    render_header(&mut out, path, &header, events.len());
+    render_events(&mut out, &events);
+    Ok(out)
+}
+
+/// `poe obs tail`: the last `n` events — the crash-adjacent view.
+pub fn tail(path: &Path, n: usize) -> Result<String, String> {
+    let (header, events) = load_dump(path)?;
+    let tail = &events[events.len().saturating_sub(n.max(1))..];
+    let mut out = String::new();
+    render_header(&mut out, path, &header, tail.len());
+    render_events(&mut out, tail);
+    Ok(out)
+}
+
+/// `poe obs check`: validate an OpenMetrics exposition file.
+pub fn check(path: &Path) -> Result<String, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    match poe_obs::openmetrics::check(&text) {
+        Ok(s) => Ok(format!(
+            "{} OK: {} families, {} samples\n",
+            path.display(),
+            s.families,
+            s.samples
+        )),
+        Err(e) => Err(format!("{} FAILED: {e}", path.display())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poe_obs::FlightRecorder;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn write_dump(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        let rec = FlightRecorder::with_capacity(16);
+        rec.record_for(1, "request.start", "verb=QUERY");
+        rec.record_for(1, "request.end", "verb=QUERY ok=1 ms=0.120");
+        rec.record_for(2, "batch.flush", "cause=full size=2 tasks=0 ids=2,3");
+        rec.record_for(0, "worker.panic", "conn=4 contained=1");
+        rec.dump_to_dir(&dir).unwrap()
+    }
+
+    #[test]
+    fn dump_renders_header_and_events() {
+        let path = write_dump("poe_obs_cmd_dump");
+        let out = run_obs(&argv(&["dump", "--file", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("4 recorded, 0 dropped, capacity 16"), "{out}");
+        assert!(out.contains("4 event(s) shown"), "{out}");
+        assert!(out.contains("request.start"), "{out}");
+        assert!(out.contains("worker.panic"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn dump_filters_by_kind_and_request() {
+        let path = write_dump("poe_obs_cmd_filter");
+        let file = path.to_str().unwrap();
+        let by_kind = run_obs(&argv(&["dump", "--file", file, "--kind", "batch"])).unwrap();
+        assert!(by_kind.contains("1 event(s) shown"), "{by_kind}");
+        assert!(by_kind.contains("batch.flush"), "{by_kind}");
+        let by_req = run_obs(&argv(&["dump", "--file", file, "--request", "1"])).unwrap();
+        assert!(by_req.contains("2 event(s) shown"), "{by_req}");
+        assert!(!by_req.contains("batch.flush"), "{by_req}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn tail_shows_the_last_events() {
+        let path = write_dump("poe_obs_cmd_tail");
+        let out = run_obs(&argv(&[
+            "tail",
+            "--file",
+            path.to_str().unwrap(),
+            "--last",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("2 event(s) shown"), "{out}");
+        assert!(out.contains("worker.panic"), "{out}");
+        assert!(!out.contains("request.start"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn check_accepts_valid_and_rejects_broken_exposition() {
+        let dir = std::env::temp_dir().join("poe_obs_cmd_check");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.om");
+        let reg = poe_obs::Registry::new();
+        reg.counter("x").add(3);
+        std::fs::write(&good, reg.snapshot().to_openmetrics()).unwrap();
+        let out = run_obs(&argv(&["check", "--file", good.to_str().unwrap()])).unwrap();
+        assert!(out.contains("OK: 1 families, 1 samples"), "{out}");
+        let bad = dir.join("bad.om");
+        std::fs::write(&bad, "poe_x_total 1\n# EOF\n").unwrap();
+        let err = run_obs(&argv(&["check", "--file", bad.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("FAILED"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert!(run_obs(&[]).unwrap_err().contains("dump | tail | check"));
+        assert!(run_obs(&argv(&["frob", "--file", "x"]))
+            .unwrap_err()
+            .contains("unknown obs action"));
+        assert!(run_obs(&argv(&["dump"])).unwrap_err().contains("--file"));
+        assert!(run_obs(&argv(&["dump", "--file", "/nonexistent/x.jsonl"]))
+            .unwrap_err()
+            .contains("cannot read"));
+    }
+}

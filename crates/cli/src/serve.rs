@@ -1,11 +1,14 @@
 //! `poe serve` — a fault-tolerant TCP model-query server over a pool store.
 //!
 //! The wire protocol (UTF-8, one request line → one response line; verbs
-//! `INFO`, `QUERY`, `PREDICT`, `STATS`, `METRICS`, `TRACE`, `HEALTH`,
-//! `SHUTDOWN`, `QUIT`) is specified in full in `docs/PROTOCOL.md` at the
-//! repository root — grammar, every `ERR` reason, cache semantics, and
-//! worked transcripts. `docs/OPERATIONS.md` covers deployment, metrics,
-//! and the failure-modes runbook.
+//! `INFO`, `QUERY`, `PREDICT`, `STATS`, `METRICS [json|openmetrics]`,
+//! `TRACE`, `DUMP`, `HEALTH`, `SHUTDOWN`, `QUIT`) is specified in full in
+//! `docs/PROTOCOL.md` at the repository root — grammar, every `ERR`
+//! reason, cache semantics, and worked transcripts. `METRICS openmetrics`
+//! is the protocol's one multi-line response: a framing line followed by
+//! Prometheus/OpenMetrics exposition text terminated by `# EOF`.
+//! `docs/OPERATIONS.md` covers deployment, metrics, and the failure-modes
+//! runbook.
 //!
 //! `PREDICT` consolidates the requested composite model (train-free — this
 //! is the paper's realtime query) and classifies one feature vector.
@@ -57,6 +60,18 @@
 //! process-unique request ID, a `serve.request` span, a per-verb counter,
 //! and a slow-log observation against the service's
 //! [`poe_core::service::QueryService::obs`] bundle.
+//!
+//! ## The flight recorder
+//!
+//! Every layer of the server also feeds the always-on
+//! [`poe_obs::FlightRecorder`] black box: `request.start`/`request.end`
+//! (and `request.panic` when a handler dies mid-request), `batch.flush`
+//! with its cause, size, and the parked request ids, `batch.abort`, `shed`,
+//! `worker.panic`, and the server lifecycle (`server.start`,
+//! `server.drain`, `server.shutdown`). The ring is dumped to a timestamped
+//! JSONL file on `SHUTDOWN` (when [`ServeConfig::recorder_dir`] is set), on
+//! a `poe serve` panic, and on demand via the `DUMP` verb, so the last few
+//! thousand events before a crash are always reconstructable.
 
 use crate::wire::WireError;
 use poe_core::pool::QueryError;
@@ -67,6 +82,7 @@ use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -129,6 +145,13 @@ pub struct ServeConfig {
     /// Micro-batching: flush a non-empty queue this long after its first
     /// request arrived, even if it never fills (bounds added latency).
     pub batch_delay: Duration,
+    /// Flight-recorder ring capacity (events retained); applied to the
+    /// service's recorder when the server starts.
+    pub recorder_events: usize,
+    /// Where flight-recorder dumps land. When set, `SHUTDOWN` writes a
+    /// final dump there as the server drains; `DUMP` writes there too
+    /// (falling back to the OS temp dir when unset).
+    pub recorder_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -147,6 +170,8 @@ impl Default for ServeConfig {
             metrics_on_shutdown: false,
             max_batch: DEFAULT_MAX_BATCH,
             batch_delay: Duration::from_micros(DEFAULT_BATCH_DELAY_US),
+            recorder_events: poe_obs::DEFAULT_RECORDER_EVENTS,
+            recorder_dir: None,
         }
     }
 }
@@ -229,6 +254,9 @@ impl BatchMetrics {
 struct Parked {
     features: Vec<f32>,
     tx: SyncSender<Result<Prediction, QueryError>>,
+    /// The parked request's id, captured at submit time so flush events in
+    /// the flight recorder can name every row they answered (or lost).
+    request_id: u64,
 }
 
 /// The rows accumulated for one task set, plus the deadline by which the
@@ -284,19 +312,24 @@ impl BatchScheduler {
     /// this row's prediction (or the whole batch's consolidation error).
     fn submit(&self, mut tasks: Vec<usize>, features: Vec<f32>) -> Result<Prediction, WireError> {
         tasks.sort_unstable(); // batch key = sorted task set, like the cache
+        let request_id = poe_obs::current_request_id();
         let (rx, full) = {
             let mut guard = self.lock_queues();
             let Some(queues) = guard.as_mut() else {
                 // Drained: no timer thread will come, so run immediately.
                 drop(guard);
-                return self.run_straggler(&tasks, features);
+                return self.run_straggler(&tasks, features, request_id);
             };
             let (tx, rx) = sync_channel(1);
             let batch = queues.entry(tasks.clone()).or_insert_with(|| PendingBatch {
                 rows: Vec::new(),
                 deadline: Instant::now() + self.delay,
             });
-            batch.rows.push(Parked { features, tx });
+            batch.rows.push(Parked {
+                features,
+                tx,
+                request_id,
+            });
             let full = if batch.rows.len() >= self.max_batch {
                 queues.remove(&tasks)
             } else {
@@ -309,8 +342,7 @@ impl BatchScheduler {
             Some(batch) => {
                 // This request completed the batch: flush inline (the
                 // sends below include our own row, so recv cannot block).
-                self.metrics.flush_full.inc();
-                self.flush(&tasks, batch);
+                self.flush(&tasks, batch, "full");
             }
             // A new row may have moved the earliest deadline: wake the
             // timer thread to re-arm.
@@ -324,18 +356,41 @@ impl BatchScheduler {
     }
 
     /// Runs one batched inference and demultiplexes per-row results to
-    /// every parked connection. A panic inside the model (a bug, or an
-    /// injected chaos fault) is contained here: the senders drop, every
-    /// waiter answers `ERR batch aborted`, and the scheduler lives on.
-    fn flush(&self, tasks: &[usize], batch: PendingBatch) {
+    /// every parked connection. `cause` names what triggered the flush
+    /// (`full` / `timeout` / `drain`) and drives both the per-cause flush
+    /// counter and the `batch.flush` flight-recorder event. A panic inside
+    /// the model (a bug, or an injected chaos fault) is contained here:
+    /// the senders drop, every waiter answers `ERR batch aborted`, a
+    /// `batch.abort` event names the lost request ids, and the scheduler
+    /// lives on.
+    fn flush(&self, tasks: &[usize], batch: PendingBatch, cause: &'static str) {
         let rows = batch.rows;
+        match cause {
+            "full" => self.metrics.flush_full.inc(),
+            "timeout" => self.metrics.flush_timeout.inc(),
+            _ => self.metrics.flush_drain.inc(),
+        }
         self.metrics.size.record_n(rows.len() as u64);
+        let ids: Vec<u64> = rows.iter().map(|p| p.request_id).collect();
+        self.service.obs().flight.record_for(
+            ids.first().copied().unwrap_or(0),
+            "batch.flush",
+            format!(
+                "cause={cause} size={} tasks={} ids={}",
+                rows.len(),
+                join_usize(tasks),
+                join_u64(&ids)
+            ),
+        );
         let mut data = Vec::with_capacity(rows.len() * self.input_dim);
         for p in &rows {
             data.extend_from_slice(&p.features);
         }
         let x = Tensor::from_vec(data, [rows.len(), self.input_dim]);
-        match catch_unwind(AssertUnwindSafe(|| self.service.predict_batch(tasks, &x))) {
+        match catch_unwind(AssertUnwindSafe(|| {
+            poe_chaos::maybe_panic(poe_chaos::sites::SERVE_BATCH_PANIC);
+            self.service.predict_batch(tasks, &x)
+        })) {
             Ok(Ok(preds)) => {
                 for (p, parked) in preds.into_iter().zip(rows) {
                     let _ = parked.tx.send(Ok(p));
@@ -346,23 +401,45 @@ impl BatchScheduler {
                     let _ = parked.tx.send(Err(e.clone()));
                 }
             }
-            Err(_) => self.metrics.aborted.inc(),
+            Err(_) => {
+                self.metrics.aborted.inc();
+                self.service.obs().flight.record_for(
+                    ids.first().copied().unwrap_or(0),
+                    "batch.abort",
+                    format!(
+                        "cause=panic size={} tasks={} ids={}",
+                        ids.len(),
+                        join_usize(tasks),
+                        join_u64(&ids)
+                    ),
+                );
+            }
         }
     }
 
-    /// A post-drain request: run it alone, still through `predict_batch`
-    /// so `service.batch.*` accounting stays complete.
-    fn run_straggler(&self, tasks: &[usize], features: Vec<f32>) -> Result<Prediction, WireError> {
-        self.metrics.flush_drain.inc();
-        self.metrics.size.record_n(1);
-        let x = Tensor::from_vec(features, [1, self.input_dim]);
-        match catch_unwind(AssertUnwindSafe(|| self.service.predict_batch(tasks, &x))) {
-            Ok(Ok(preds)) => Ok(preds[0]),
+    /// A post-drain request: run it alone, still through [`Self::flush`]
+    /// so `service.batch.*` accounting and flight-recorder events stay
+    /// complete.
+    fn run_straggler(
+        &self,
+        tasks: &[usize],
+        features: Vec<f32>,
+        request_id: u64,
+    ) -> Result<Prediction, WireError> {
+        let (tx, rx) = sync_channel(1);
+        let batch = PendingBatch {
+            rows: vec![Parked {
+                features,
+                tx,
+                request_id,
+            }],
+            deadline: Instant::now(),
+        };
+        self.flush(tasks, batch, "drain");
+        match rx.recv() {
+            Ok(Ok(p)) => Ok(p),
             Ok(Err(e)) => Err(WireError::Query(e)),
-            Err(_) => {
-                self.metrics.aborted.inc();
-                Err(WireError::BatchAborted)
-            }
+            Err(_) => Err(WireError::BatchAborted),
         }
     }
 
@@ -373,10 +450,18 @@ impl BatchScheduler {
         self.cvar.notify_all();
         let Some(queues) = taken else { return };
         for (tasks, batch) in queues {
-            self.metrics.flush_drain.inc();
-            self.flush(&tasks, batch);
+            self.flush(&tasks, batch, "drain");
         }
         self.metrics.queue_depth.set(0.0);
+    }
+
+    /// Parked rows across all queues and the number of non-empty queues —
+    /// the `HEALTH` verb's `batch_queues`/`batch_depth` fields.
+    fn queue_stats(&self) -> (usize, usize) {
+        match self.lock_queues().as_ref() {
+            Some(queues) => (queues.len(), depth_of(queues)),
+            None => (0, 0),
+        }
     }
 }
 
@@ -404,8 +489,7 @@ fn batcher_loop(scheduler: Arc<BatchScheduler>) {
             scheduler.metrics.queue_depth.set(depth_of(queues) as f64);
             drop(guard);
             for (tasks, batch) in batches {
-                scheduler.metrics.flush_timeout.inc();
-                scheduler.flush(&tasks, batch);
+                scheduler.flush(&tasks, batch, "timeout");
             }
             guard = scheduler.lock_queues();
             continue;
@@ -467,6 +551,10 @@ impl ServerShared {
         if self.draining.swap(true, Ordering::AcqRel) {
             return;
         }
+        self.service
+            .obs()
+            .flight
+            .record_for(0, "server.drain", format!("addr={}", self.addr));
         // Flush parked PREDICT batches first, so every already-accepted
         // request is answered before the connection drain begins.
         if let Some(b) = &self.batcher {
@@ -545,6 +633,16 @@ impl Server {
         let addr = listener.local_addr()?;
         let workers_n = cfg.workers.max(1);
         let metrics = ServeMetrics::register(&service);
+        let flight = &service.obs().flight;
+        flight.set_capacity(cfg.recorder_events);
+        flight.record_for(
+            0,
+            "server.start",
+            format!(
+                "addr={addr} workers={workers_n} max_batch={}",
+                cfg.max_batch
+            ),
+        );
         let batch_scheduler = (cfg.max_batch > 1)
             .then(|| Arc::new(BatchScheduler::new(Arc::clone(&service), input_dim, &cfg)));
         let shared = Arc::new(ServerShared {
@@ -663,6 +761,21 @@ impl Server {
             let _ = b.join();
         }
 
+        // The black box's shutdown entry, then the final dump (when a
+        // recorder dir is configured) — the post-mortem file an operator
+        // reads after an unexplained exit.
+        let flight = &self.shared.service.obs().flight;
+        flight.record_for(
+            0,
+            "server.shutdown",
+            format!("handled={}", self.shared.lock_state().handled),
+        );
+        if let Some(dir) = &self.shared.cfg.recorder_dir {
+            match flight.dump_to_dir(dir) {
+                Ok(path) => eprintln!("flight recorder dumped to {}", path.display()),
+                Err(e) => eprintln!("flight recorder dump failed: {e}"),
+            }
+        }
         if self.shared.cfg.metrics_on_shutdown {
             eprintln!("METRICS {}", metrics_json(&self.shared.service));
         }
@@ -735,6 +848,11 @@ fn acceptor_loop(listener: TcpListener, conn_tx: SyncSender<TcpStream>, shared: 
 /// a fast refusal the client can retry, instead of an unbounded queue.
 fn shed(mut stream: TcpStream, shared: &ServerShared) {
     shared.metrics.shed.inc();
+    shared.service.obs().flight.record_for(
+        0,
+        "shed",
+        format!("retry_after_ms={}", shared.cfg.retry_after_ms),
+    );
     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
     let busy = WireError::Busy {
         retry_after_ms: shared.cfg.retry_after_ms,
@@ -766,6 +884,11 @@ fn worker_loop(conn_rx: Arc<Mutex<Receiver<TcpStream>>>, shared: Arc<ServerShare
         shared.lock_conns().remove(&conn_id);
         if outcome.is_err() {
             shared.metrics.worker_panics.inc();
+            shared.service.obs().flight.record_for(
+                0,
+                "worker.panic",
+                format!("conn={conn_id} contained=1"),
+            );
             shared.cvar.notify_all();
         }
     }
@@ -951,16 +1074,36 @@ fn respond_action(
         .unwrap_or("")
         .to_ascii_uppercase();
     let counter_name = match verb.as_str() {
-        "INFO" | "QUERY" | "PREDICT" | "STATS" | "METRICS" | "TRACE" | "HEALTH" | "SHUTDOWN"
-        | "QUIT" => format!("serve.requests.{}", verb.to_ascii_lowercase()),
+        "INFO" | "QUERY" | "PREDICT" | "STATS" | "METRICS" | "TRACE" | "DUMP" | "HEALTH"
+        | "SHUTDOWN" | "QUIT" => format!("serve.requests.{}", verb.to_ascii_lowercase()),
         _ => "serve.requests.other".to_string(),
     };
     obs.registry.counter(&counter_name).inc();
+    obs.flight
+        .record_for(request_id, "request.start", format!("verb={verb}"));
     let response = poe_obs::with_request(&obs.trace, request_id, || {
         let _span = poe_obs::span("serve.request");
+        // The sentinel records `request.panic` with this request's id if
+        // the handler unwinds — the request context is torn down before
+        // the worker's catch_unwind sees the panic, so this is the only
+        // place the id is still known.
+        let _sentinel = PanicSentinel {
+            flight: obs.flight.as_ref(),
+            request_id,
+            verb: &verb,
+        };
         respond_inner(trimmed, service, input_dim, server)
     });
     let elapsed = start.elapsed();
+    obs.flight.record_for(
+        request_id,
+        "request.end",
+        format!(
+            "verb={verb} ok={} ms={:.3}",
+            u8::from(response.0.starts_with("OK")),
+            elapsed.as_secs_f64() * 1e3
+        ),
+    );
     if obs.slow.observe(request_id, trimmed, elapsed) {
         eprintln!(
             "slow request #{request_id} ({:.3} ms): {trimmed}",
@@ -968,6 +1111,26 @@ fn respond_action(
         );
     }
     response
+}
+
+/// Records a `request.panic` flight event on unwind; a normal return drops
+/// it silently (the drop hook checks [`std::thread::panicking`]).
+struct PanicSentinel<'a> {
+    flight: &'a poe_obs::FlightRecorder,
+    request_id: u64,
+    verb: &'a str,
+}
+
+impl Drop for PanicSentinel<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.flight.record_for(
+                self.request_id,
+                "request.panic",
+                format!("verb={}", self.verb),
+            );
+        }
+    }
 }
 
 fn respond_inner(
@@ -1001,7 +1164,7 @@ fn respond_inner(
             )
         }),
         "QUIT" => return ("OK bye".into(), Action::Close),
-        "HEALTH" => health_line(server),
+        "HEALTH" => health_line(service, server),
         "SHUTDOWN" => match server {
             Some(_) => return ("OK shutting down".into(), Action::Shutdown),
             None => WireError::ShutdownNoServer.line(),
@@ -1027,7 +1190,33 @@ fn respond_inner(
                 ms(s.assembly_p99_secs()),
             )
         }
-        "METRICS" => format!("OK {}", metrics_json(service)),
+        "METRICS" => match rest.to_ascii_lowercase().as_str() {
+            "" | "json" => format!("OK {}", metrics_json(service)),
+            "openmetrics" => {
+                // The protocol's one multi-line response: a framing line
+                // with the payload's line count, then the exposition text
+                // whose `# EOF` terminator doubles as the end marker.
+                let text = metrics_openmetrics(service);
+                let body = text.trim_end_matches('\n');
+                format!("OK openmetrics lines={}\n{body}", body.lines().count())
+            }
+            _ => WireError::MetricsSyntax.line(),
+        },
+        "DUMP" => {
+            let flight = &service.obs().flight;
+            let dir = server
+                .and_then(|s| s.cfg.recorder_dir.clone())
+                .unwrap_or_else(std::env::temp_dir);
+            match flight.dump_to_dir(&dir) {
+                Ok(path) => format!(
+                    "OK dump path={} events={} dropped={}",
+                    path.display(),
+                    flight.len(),
+                    flight.dropped()
+                ),
+                Err(e) => WireError::DumpFailed(e.to_string()).line(),
+            }
+        }
         "TRACE" => match rest.to_ascii_lowercase().as_str() {
             "on" => {
                 service.obs().trace.set_enabled(true);
@@ -1124,12 +1313,20 @@ fn direct_predict(
 
 /// Renders the `HEALTH` response: liveness is implicit in answering at
 /// all; readiness requires a loaded pool, live workers, no drain in
-/// progress, and a shed rate under the configured threshold.
-fn health_line(server: Option<&ServerShared>) -> String {
+/// progress, and a shed rate under the configured threshold. The tail
+/// fields surface queueing and recorder backpressure: `batch_queues` /
+/// `batch_depth` count non-empty per-task-set batch queues and the rows
+/// parked across them, and `recorder_dropped` is the flight recorder's
+/// evicted-event count (a large value means the ring is too small for the
+/// event rate — size up `--recorder-events`).
+fn health_line(service: &QueryService, server: Option<&ServerShared>) -> String {
+    let recorder_dropped = service.obs().flight.dropped();
     let Some(s) = server else {
         // Library/test use without a running server: trivially ready.
-        return "OK live=1 ready=1 pool=ok workers=0/0 inflight=0 shed_rate=0.000 draining=0"
-            .into();
+        return format!(
+            "OK live=1 ready=1 pool=ok workers=0/0 inflight=0 shed_rate=0.000 draining=0 \
+             batch_queues=0 batch_depth=0 recorder_dropped={recorder_dropped}"
+        );
     };
     let pool_ok = s.cfg.pool_error.is_none();
     let alive = s.workers_alive.load(Ordering::Acquire);
@@ -1137,8 +1334,14 @@ fn health_line(server: Option<&ServerShared>) -> String {
     let draining = s.draining.load(Ordering::Acquire);
     let rate = s.shed_rate();
     let ready = pool_ok && !draining && alive > 0 && rate <= s.cfg.shed_rate_threshold;
+    let (batch_queues, batch_depth) = s
+        .batcher
+        .as_deref()
+        .map_or((0, 0), BatchScheduler::queue_stats);
     let mut line = format!(
-        "OK live=1 ready={} pool={} workers={}/{} inflight={} shed_rate={:.3} draining={}",
+        "OK live=1 ready={} pool={} workers={}/{} inflight={} shed_rate={:.3} draining={} \
+         batch_queues={batch_queues} batch_depth={batch_depth} \
+         recorder_dropped={recorder_dropped}",
         u8::from(ready),
         if pool_ok { "ok" } else { "error" },
         alive,
@@ -1189,6 +1392,29 @@ pub fn metrics_json(service: &QueryService) -> String {
     )
 }
 
+/// Renders the same merged snapshot as [`metrics_json`] in the
+/// OpenMetrics/Prometheus text format (the `METRICS openmetrics` payload).
+/// Recorder and trace health ride along as first-class counter families so
+/// a scraper sees black-box backpressure without speaking the protocol.
+pub fn metrics_openmetrics(service: &QueryService) -> String {
+    let obs = service.obs();
+    let mut snap = obs.registry.snapshot();
+    snap.merge(poe_obs::Registry::global().snapshot());
+    snap.counters
+        .insert("obs.flight.recorded".into(), obs.flight.recorded());
+    snap.counters
+        .insert("obs.flight.dropped".into(), obs.flight.dropped());
+    snap.counters.insert(
+        "obs.trace.spans_recorded".into(),
+        obs.trace.spans_recorded(),
+    );
+    snap.counters.insert(
+        "obs.trace.events_dropped".into(),
+        obs.trace.events_dropped(),
+    );
+    snap.to_openmetrics()
+}
+
 fn parse_tasks(s: &str) -> Result<Vec<usize>, WireError> {
     if s.is_empty() {
         return Err(WireError::NoTasks);
@@ -1214,6 +1440,13 @@ fn parse_tasks(s: &str) -> Result<Vec<usize>, WireError> {
 }
 
 fn join_usize(v: &[usize]) -> String {
+    v.iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn join_u64(v: &[u64]) -> String {
     v.iter()
         .map(|x| x.to_string())
         .collect::<Vec<_>>()
@@ -1399,6 +1632,156 @@ mod tests {
         // Trace and slow-query sections are always present.
         assert!(m.contains("\"trace\":{\"enabled\":false"), "{m}");
         assert!(m.contains("\"slow_queries\":[]"), "{m}");
+    }
+
+    #[test]
+    fn metrics_openmetrics_passes_the_self_check() {
+        let svc = toy_service();
+        respond("QUERY 0", &svc, 4);
+        respond("PREDICT 0 : 1 2 3 4", &svc, 4);
+        let m = respond("METRICS openmetrics", &svc, 4);
+        let (frame, body) = m.split_once('\n').expect("multi-line response");
+        let lines: usize = frame
+            .strip_prefix("OK openmetrics lines=")
+            .unwrap_or_else(|| panic!("bad framing line: {frame}"))
+            .parse()
+            .unwrap();
+        assert_eq!(body.lines().count(), lines, "{frame}");
+        assert!(body.ends_with("# EOF"), "exposition must end with # EOF");
+        let summary = poe_obs::openmetrics::check(&format!("{body}\n")).unwrap();
+        assert!(summary.families > 10, "{summary:?}");
+        // Spot checks: a service counter, a serve counter, a histogram
+        // family, and the recorder/trace rides-along.
+        // QUERY serves one query; PREDICT consolidates (serves) one more.
+        assert!(
+            body.contains("poe_service_queries_served_total 2\n"),
+            "{body}"
+        );
+        assert!(
+            body.contains("# TYPE poe_serve_requests_metrics counter\n"),
+            "{body}"
+        );
+        assert!(
+            body.contains("poe_service_assembly_secs_bucket{le=\"+Inf\"}"),
+            "{body}"
+        );
+        assert!(body.contains("poe_obs_flight_recorded_total "), "{body}");
+        assert!(
+            body.contains("poe_obs_trace_spans_recorded_total "),
+            "{body}"
+        );
+        // `json` and bare METRICS stay the one-line JSON form.
+        assert!(respond("METRICS json", &svc, 4).starts_with("OK {\"counters\":{"));
+        assert_eq!(
+            respond("METRICS prometheus", &svc, 4),
+            "ERR METRICS accepts `json` or `openmetrics`"
+        );
+    }
+
+    #[test]
+    fn dump_verb_writes_a_parseable_flight_file() {
+        let dir = std::env::temp_dir().join("poe_dump_verb_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let (server, _svc, addr) = start(ServeConfig {
+            recorder_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        });
+        let (mut w, mut r) = client(addr);
+        assert!(ask(&mut w, &mut r, "QUERY 1").starts_with("OK outputs="));
+        let d = ask(&mut w, &mut r, "DUMP");
+        assert!(d.starts_with("OK dump path="), "{d}");
+        let path = d
+            .split_whitespace()
+            .find_map(|f| f.strip_prefix("path="))
+            .unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        let mut lines = text.lines();
+        assert!(
+            lines
+                .next()
+                .unwrap()
+                .contains("\"recorder\":\"poe-flight\""),
+            "{text}"
+        );
+        let events: Vec<poe_obs::FlightEvent> = lines
+            .filter_map(poe_obs::FlightEvent::parse_jsonl)
+            .collect();
+        // The ring is process-global, so other tests' events may be
+        // present too; this connection's QUERY must be there with
+        // matching start/end ids.
+        let start_ev = events
+            .iter()
+            .rev()
+            .find(|e| e.kind == "request.start" && e.detail == "verb=QUERY")
+            .expect("request.start for the QUERY");
+        assert!(
+            events.iter().any(|e| e.kind == "request.end"
+                && e.request_id == start_ev.request_id
+                && e.detail.contains("ok=1")),
+            "request.end with the same id"
+        );
+        assert!(
+            events.iter().any(|e| e.kind == "server.start"),
+            "server.start lifecycle event"
+        );
+        server.handle().shutdown();
+        server.join().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Batch flushes leave `batch.flush` flight events whose ids match the
+    /// parked requests' `request.start` events.
+    #[test]
+    fn batch_flush_events_name_their_parked_request_ids() {
+        let (server, svc, addr) = start(ServeConfig {
+            workers: 4,
+            max_batch: 2,
+            batch_delay: Duration::from_secs(10),
+            ..ServeConfig::default()
+        });
+        let before = svc.obs().flight.recorded();
+        let mut handles = Vec::new();
+        for i in 0..2 {
+            handles.push(std::thread::spawn(move || {
+                let (mut w, mut r) = client(addr);
+                ask(&mut w, &mut r, &format!("PREDICT 1 : {i} 2 3 4"))
+            }));
+        }
+        for h in handles {
+            assert!(h.join().unwrap().starts_with("OK class="));
+        }
+        let events: Vec<_> = svc
+            .obs()
+            .flight
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.seq > before)
+            .collect();
+        let flush = events
+            .iter()
+            .find(|e| e.kind == "batch.flush" && e.detail.contains("cause=full"))
+            .expect("full-queue batch.flush event");
+        assert!(flush.detail.contains("size=2"), "{flush:?}");
+        assert!(flush.detail.contains("tasks=1"), "{flush:?}");
+        let ids: Vec<u64> = flush
+            .detail
+            .split_whitespace()
+            .find_map(|f| f.strip_prefix("ids="))
+            .unwrap()
+            .split(',')
+            .map(|s| s.parse().unwrap())
+            .collect();
+        assert_eq!(ids.len(), 2, "{flush:?}");
+        for id in ids {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.kind == "request.start" && e.request_id == id),
+                "flush id {id} must match a request.start"
+            );
+        }
+        server.handle().shutdown();
+        server.join().unwrap();
     }
 
     #[test]
@@ -1627,9 +2010,13 @@ mod tests {
     fn health_verb_reports_readiness() {
         // Standalone (no server): trivially ready, and SHUTDOWN refuses.
         let svc = toy_service();
-        assert_eq!(
-            respond("HEALTH", &svc, 4),
-            "OK live=1 ready=1 pool=ok workers=0/0 inflight=0 shed_rate=0.000 draining=0"
+        let h = respond("HEALTH", &svc, 4);
+        assert!(
+            h.starts_with(
+                "OK live=1 ready=1 pool=ok workers=0/0 inflight=0 shed_rate=0.000 draining=0 \
+                 batch_queues=0 batch_depth=0 recorder_dropped="
+            ),
+            "{h}"
         );
         assert_eq!(
             respond("SHUTDOWN", &svc, 4),
@@ -1643,9 +2030,40 @@ mod tests {
             h.starts_with("OK live=1 ready=1 pool=ok workers=4/4 inflight=1"),
             "{h}"
         );
-        assert!(h.ends_with("draining=0"), "{h}");
+        assert!(h.contains(" draining=0 "), "{h}");
+        assert!(h.contains(" batch_queues=0 batch_depth=0 "), "{h}");
+        assert!(h.contains(" recorder_dropped="), "{h}");
         assert_eq!(ask(&mut w, &mut r, "QUIT"), "OK bye");
         server.handle().shutdown();
+        server.join().unwrap();
+    }
+
+    /// `HEALTH` sees rows parked in the batch queues while they wait for
+    /// the delay timer.
+    #[test]
+    fn health_reports_parked_batch_depth() {
+        let (server, svc, addr) = start(ServeConfig {
+            workers: 4,
+            max_batch: 8,
+            batch_delay: Duration::from_secs(30), // timer never fires
+            ..ServeConfig::default()
+        });
+        let depth = svc.obs().registry.gauge("serve.batch.queue_depth");
+        let mut handles = Vec::new();
+        for i in 0..2 {
+            handles.push(std::thread::spawn(move || {
+                let (mut w, mut r) = client(addr);
+                ask(&mut w, &mut r, &format!("PREDICT 0 : {i} 1 2 3"))
+            }));
+        }
+        wait_until("2 requests parked", || depth.get() == 2.0);
+        let (mut w, mut r) = client(addr);
+        let h = ask(&mut w, &mut r, "HEALTH");
+        assert!(h.contains(" batch_queues=1 batch_depth=2 "), "{h}");
+        server.handle().shutdown();
+        for h in handles {
+            assert!(h.join().unwrap().starts_with("OK class="));
+        }
         server.join().unwrap();
     }
 

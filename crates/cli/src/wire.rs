@@ -48,6 +48,10 @@ pub enum WireError {
     },
     /// `TRACE` with an argument other than `on`/`off`.
     TraceSyntax,
+    /// `METRICS` with a format argument other than `json`/`openmetrics`.
+    MetricsSyntax,
+    /// `DUMP` could not write the flight-recorder file.
+    DumpFailed(String),
     /// `SHUTDOWN` sent to the library `respond` without a server.
     ShutdownNoServer,
     /// Data verb on a degraded server (pool failed to load).
@@ -119,6 +123,8 @@ impl fmt::Display for WireError {
                 write!(f, "expected {expected} features, got {got}")
             }
             WireError::TraceSyntax => write!(f, "TRACE needs `on` or `off`"),
+            WireError::MetricsSyntax => write!(f, "METRICS accepts `json` or `openmetrics`"),
+            WireError::DumpFailed(detail) => write!(f, "dump failed: {detail}"),
             WireError::ShutdownNoServer => write!(f, "SHUTDOWN requires a running server"),
             WireError::NotReady(detail) => write!(f, "not ready: {detail}"),
             WireError::Busy { retry_after_ms } => {
@@ -225,6 +231,16 @@ mod tests {
                 WireError::TraceSyntax,
                 "ERR TRACE needs `on` or `off`",
                 "`ERR TRACE needs `on` or `off``",
+            ),
+            (
+                WireError::MetricsSyntax,
+                "ERR METRICS accepts `json` or `openmetrics`",
+                "`ERR METRICS accepts `json` or `openmetrics``",
+            ),
+            (
+                WireError::DumpFailed("<detail>".into()),
+                "ERR dump failed: <detail>",
+                "`ERR dump failed: <detail>`",
             ),
             (
                 WireError::ShutdownNoServer,

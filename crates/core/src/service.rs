@@ -30,6 +30,19 @@ use std::sync::Arc;
 use std::sync::{Mutex, RwLock};
 use std::time::Instant;
 
+/// Renders a sorted task set as flight-recorder detail: `tasks=0,1,2`.
+fn task_list(key: &[usize]) -> String {
+    let mut out = String::with_capacity(7 + key.len() * 3);
+    out.push_str("tasks=");
+    for (i, t) in key.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&t.to_string());
+    }
+    out
+}
+
 pub use poe_obs::LatencyHistogram;
 
 /// Default number of consolidated task sets kept in the cache.
@@ -324,6 +337,7 @@ impl QueryService {
                 params,
                 cache_hit: true,
             };
+            self.obs.flight.record("cache.hit", task_list(&key));
             self.record_served(&stats);
             return Ok(QueryResult {
                 class_layout: model.class_layout(),
@@ -332,6 +346,7 @@ impl QueryService {
             });
         }
 
+        self.obs.flight.record("cache.miss", task_list(&key));
         let generation = self.generation.load(Ordering::Acquire);
         let result = {
             let pool = self.pool.read().unwrap();
@@ -393,6 +408,11 @@ impl QueryService {
 
     fn reject(&self) {
         self.metrics.rejected.inc();
+    }
+
+    /// The flight recorder this service reports cache activity to.
+    pub fn flight(&self) -> &Arc<poe_obs::FlightRecorder> {
+        &self.obs.flight
     }
 
     /// Classifies a whole batch of feature rows against the task set `Q`
@@ -487,8 +507,17 @@ impl QueryService {
     pub fn install_expert(&self, expert: Expert) {
         let mut pool = self.pool.write().unwrap();
         self.generation.fetch_add(1, Ordering::AcqRel);
-        self.cache.lock().unwrap().clear();
+        let evicted = {
+            let mut cache = self.cache.lock().unwrap();
+            let n = cache.entries.len();
+            cache.clear();
+            n
+        };
         self.metrics.cache_entries.set(0.0);
+        self.obs.flight.record(
+            "cache.invalidate",
+            format!("task={} evicted={evicted}", expert.task_index),
+        );
         pool.insert_expert(expert);
     }
 

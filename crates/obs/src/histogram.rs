@@ -31,8 +31,12 @@ fn bucket_of(secs: f64) -> usize {
     bucket_of_n((secs.max(0.0) * 1e9) as u64)
 }
 
+/// Upper bound (seconds) of bucket `bucket` — `2^bucket` nanoseconds.
+/// Exporters use this to emit explicit bucket boundaries (the OpenMetrics
+/// `le` label); for count-valued histograms the bound is the raw count
+/// `2^bucket`.
 #[inline]
-fn bucket_upper_secs(bucket: usize) -> f64 {
+pub fn bucket_upper_secs(bucket: usize) -> f64 {
     (1u64 << bucket) as f64 * 1e-9
 }
 
@@ -45,6 +49,9 @@ fn bucket_upper_secs(bucket: usize) -> f64 {
 pub struct LatencyHistogram {
     buckets: [u64; NUM_BUCKETS],
     count: u64,
+    /// Sum of all measurements, in nanoseconds (raw units for
+    /// count-valued histograms) — feeds the OpenMetrics `_sum` series.
+    sum_ns: u64,
 }
 
 impl LatencyHistogram {
@@ -52,17 +59,35 @@ impl LatencyHistogram {
     pub fn record(&mut self, secs: f64) {
         self.buckets[bucket_of(secs)] += 1;
         self.count += 1;
+        self.sum_ns += (secs.max(0.0) * 1e9) as u64;
     }
 
     /// Records one count-valued measurement (batch size, queue depth).
     pub fn record_n(&mut self, n: u64) {
         self.buckets[bucket_of_n(n)] += 1;
         self.count += 1;
+        self.sum_ns += n;
     }
 
     /// Number of recorded measurements.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Sum of all latency measurements, in seconds.
+    pub fn sum_secs(&self) -> f64 {
+        self.sum_ns as f64 * 1e-9
+    }
+
+    /// Sum of all count-valued measurements (see [`Self::record_n`]).
+    pub fn sum_n(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Raw per-bucket counts; bucket `b`'s upper bound is
+    /// [`bucket_upper_secs`]`(b)`.
+    pub fn buckets(&self) -> &[u64; NUM_BUCKETS] {
+        &self.buckets
     }
 
     /// The latency (seconds) at quantile `q` in `[0, 1]`, resolved to the
@@ -93,10 +118,14 @@ impl LatencyHistogram {
         self.quantile(q).map(|secs| (secs * 1e9).round() as u64)
     }
 
-    /// Builds a snapshot directly from raw bucket counts.
-    pub(crate) fn from_buckets(buckets: [u64; NUM_BUCKETS]) -> Self {
+    /// Builds a snapshot directly from raw bucket counts and a sum.
+    pub(crate) fn from_buckets(buckets: [u64; NUM_BUCKETS], sum_ns: u64) -> Self {
         let count = buckets.iter().sum();
-        LatencyHistogram { buckets, count }
+        LatencyHistogram {
+            buckets,
+            count,
+            sum_ns,
+        }
     }
 }
 
@@ -110,6 +139,7 @@ impl LatencyHistogram {
 #[derive(Debug, Default)]
 pub struct AtomicHistogram {
     buckets: [AtomicU64; NUM_BUCKETS],
+    sum_ns: AtomicU64,
 }
 
 impl AtomicHistogram {
@@ -121,12 +151,15 @@ impl AtomicHistogram {
     /// Records one latency measurement (relaxed; safe from any thread).
     pub fn record(&self, secs: f64) {
         self.buckets[bucket_of(secs)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns
+            .fetch_add((secs.max(0.0) * 1e9) as u64, Ordering::Relaxed);
     }
 
     /// Records one count-valued measurement (relaxed; safe from any
     /// thread). See [`LatencyHistogram::quantile_n`] for reading it back.
     pub fn record_n(&self, n: u64) {
         self.buckets[bucket_of_n(n)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Takes a consistent point-in-time copy.
@@ -135,7 +168,7 @@ impl AtomicHistogram {
         for (b, a) in buckets.iter_mut().zip(&self.buckets) {
             *b = a.load(Ordering::Relaxed);
         }
-        LatencyHistogram::from_buckets(buckets)
+        LatencyHistogram::from_buckets(buckets, self.sum_ns.load(Ordering::Relaxed))
     }
 }
 

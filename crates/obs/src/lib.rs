@@ -45,11 +45,14 @@
 
 mod histogram;
 pub mod json;
+pub mod openmetrics;
+mod recorder;
 mod registry;
 mod slowlog;
 mod trace;
 
-pub use histogram::{AtomicHistogram, LatencyHistogram, NUM_BUCKETS};
+pub use histogram::{bucket_upper_secs, AtomicHistogram, LatencyHistogram, NUM_BUCKETS};
+pub use recorder::{FlightEvent, FlightRecorder, DEFAULT_RECORDER_EVENTS};
 pub use registry::{Counter, Gauge, MetricsSnapshot, Registry};
 pub use slowlog::{SlowEntry, SlowLog, DEFAULT_SLOW_LOG_CAPACITY};
 pub use trace::{
@@ -61,9 +64,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One component's observability bundle: a private metrics registry, a
-/// trace collector, and a slow-query log, plus the component's start time
-/// for uptime reporting.
-#[derive(Debug, Default)]
+/// trace collector, a slow-query log, and a handle to the flight
+/// recorder.
+#[derive(Debug)]
 pub struct Observability {
     /// The component's metrics (merge with [`Registry::global`] at export
     /// time to include kernel- and training-level instruments).
@@ -72,10 +75,28 @@ pub struct Observability {
     pub trace: Arc<TraceCollector>,
     /// Requests that exceeded the slow threshold.
     pub slow: SlowLog,
+    /// The always-on black-box event ring. Defaults to the process-wide
+    /// [`FlightRecorder::global`] — one process, one black box — so
+    /// events from the service, the server, and chaos injection land in
+    /// the same dump. Tests that assert exact event counts substitute a
+    /// private recorder.
+    pub flight: Arc<FlightRecorder>,
+}
+
+impl Default for Observability {
+    fn default() -> Self {
+        Observability {
+            registry: Registry::default(),
+            trace: Arc::default(),
+            slow: SlowLog::default(),
+            flight: Arc::clone(FlightRecorder::global()),
+        }
+    }
 }
 
 impl Observability {
-    /// A fresh bundle: empty registry, tracing off, slow log disabled.
+    /// A fresh bundle: empty registry, tracing off, slow log disabled,
+    /// flight recorder shared with the process-wide ring.
     pub fn new() -> Arc<Self> {
         Arc::new(Self::default())
     }

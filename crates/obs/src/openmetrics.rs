@@ -1,0 +1,446 @@
+//! OpenMetrics/Prometheus text exposition and a line-by-line self-check.
+//!
+//! [`MetricsSnapshot::to_openmetrics`] renders a merged snapshot in the
+//! [OpenMetrics text format]: counters as `<name>_total`, gauges as plain
+//! samples, histograms as explicit-bound `<name>_bucket{le="..."}` series
+//! with `_sum`/`_count`, terminated by `# EOF`. Instrument names are
+//! dotted paths internally (`service.assembly_secs`); exposition prefixes
+//! `poe_` and maps every non-`[a-zA-Z0-9_:]` character to `_`.
+//!
+//! Histograms named with a `.size` suffix hold count-valued measurements
+//! (batch sizes, queue depths), so their `le` bounds and `_sum` are raw
+//! counts; everything else is seconds.
+//!
+//! [`check`] validates text in that format line by line — name charset,
+//! metadata-before-samples, bucket monotonicity (both in `le` and in
+//! cumulative count), `_count` = `+Inf` bucket, `_sum` present, a single
+//! trailing `# EOF`. The `poe obs check` subcommand and the exposition
+//! tests share it, so the emitter can never drift from the checker
+//! silently.
+//!
+//! [OpenMetrics text format]: https://github.com/OpenObservability/OpenMetrics
+
+use crate::histogram::{bucket_upper_secs, LatencyHistogram};
+use crate::registry::MetricsSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Maps a dotted instrument name to an exposition family name:
+/// `service.assembly_secs` → `poe_service_assembly_secs`.
+pub fn family_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("poe_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn push_histogram(out: &mut String, family: &str, h: &LatencyHistogram, size_valued: bool) {
+    let _ = writeln!(out, "# TYPE {family} histogram");
+    let mut cumulative = 0u64;
+    for (b, &n) in h.buckets().iter().enumerate() {
+        cumulative += n;
+        if size_valued {
+            let _ = writeln!(out, "{family}_bucket{{le=\"{}\"}} {cumulative}", 1u64 << b);
+        } else {
+            let _ = writeln!(
+                out,
+                "{family}_bucket{{le=\"{}\"}} {cumulative}",
+                bucket_upper_secs(b)
+            );
+        }
+    }
+    let _ = writeln!(out, "{family}_bucket{{le=\"+Inf\"}} {}", h.count());
+    if size_valued {
+        let _ = writeln!(out, "{family}_sum {}", h.sum_n());
+    } else {
+        let _ = writeln!(out, "{family}_sum {}", h.sum_secs());
+    }
+    let _ = writeln!(out, "{family}_count {}", h.count());
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as OpenMetrics text (ends with `# EOF` and a
+    /// trailing newline). Guaranteed to pass [`check`].
+    pub fn to_openmetrics(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let family = family_name(name);
+            let _ = writeln!(out, "# TYPE {family} counter");
+            let _ = writeln!(out, "{family}_total {v}");
+        }
+        for (name, v) in &self.gauges {
+            let family = family_name(name);
+            let _ = writeln!(out, "# TYPE {family} gauge");
+            let _ = writeln!(out, "{family} {v}");
+        }
+        for (name, h) in &self.histograms {
+            push_histogram(&mut out, &family_name(name), h, name.ends_with(".size"));
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+}
+
+/// What [`check`] verified: how many metric families and samples the text
+/// exposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckSummary {
+    /// Families declared with `# TYPE`.
+    pub families: usize,
+    /// Sample lines validated.
+    pub samples: usize,
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[derive(Default)]
+struct HistogramState {
+    last_le: Option<f64>,
+    last_cumulative: Option<f64>,
+    inf_bucket: Option<f64>,
+    sum: Option<f64>,
+    count: Option<f64>,
+}
+
+/// Validates OpenMetrics text line by line. Returns a summary on success,
+/// or `Err` naming the first offending line and why.
+pub fn check(text: &str) -> Result<CheckSummary, String> {
+    let mut families: BTreeMap<String, String> = BTreeMap::new();
+    let mut sample_counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut hist_states: BTreeMap<String, HistogramState> = BTreeMap::new();
+    let mut samples = 0usize;
+    let mut saw_eof = false;
+    let fail =
+        |lineno: usize, line: &str, why: &str| Err(format!("line {lineno}: {why}: `{line}`"));
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if saw_eof {
+            return fail(lineno, line, "content after # EOF");
+        }
+        if line.is_empty() {
+            return fail(lineno, line, "blank line");
+        }
+        if line == "# EOF" {
+            saw_eof = true;
+            continue;
+        }
+        if let Some(meta) = line.strip_prefix("# ") {
+            let mut parts = meta.split_whitespace();
+            match parts.next() {
+                Some("TYPE") => {
+                    let (name, ty) = match (parts.next(), parts.next(), parts.next()) {
+                        (Some(name), Some(ty), None) => (name, ty),
+                        _ => return fail(lineno, line, "malformed # TYPE"),
+                    };
+                    if !valid_name(name) {
+                        return fail(lineno, line, "invalid family name");
+                    }
+                    if !matches!(ty, "counter" | "gauge" | "histogram") {
+                        return fail(lineno, line, "unknown family type");
+                    }
+                    if families.insert(name.to_string(), ty.to_string()).is_some() {
+                        return fail(lineno, line, "duplicate # TYPE for family");
+                    }
+                }
+                Some("HELP") | Some("UNIT") => {}
+                _ => return fail(lineno, line, "unknown comment directive"),
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (name_labels, value) = match line.rsplit_once(' ') {
+            Some(pair) => pair,
+            None => return fail(lineno, line, "sample line without a value"),
+        };
+        let value: f64 = match value.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                if value == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    return fail(lineno, line, "unparseable sample value");
+                }
+            }
+        };
+        let (name, labels) = match name_labels.split_once('{') {
+            Some((n, rest)) => match rest.strip_suffix('}') {
+                Some(labels) => (n, Some(labels)),
+                None => return fail(lineno, line, "unterminated label set"),
+            },
+            None => (name_labels, None),
+        };
+        if !valid_name(name) {
+            return fail(lineno, line, "invalid sample name");
+        }
+        // Resolve the family this sample belongs to.
+        let resolved = if let Some(base) = name.strip_suffix("_total") {
+            families.get(base).filter(|t| *t == "counter").map(|_| base)
+        } else if let Some(base) = name.strip_suffix("_bucket") {
+            families
+                .get(base)
+                .filter(|t| *t == "histogram")
+                .map(|_| base)
+        } else if let Some(base) = name.strip_suffix("_sum") {
+            families
+                .get(base)
+                .filter(|t| *t == "histogram")
+                .map(|_| base)
+        } else if let Some(base) = name.strip_suffix("_count") {
+            families
+                .get(base)
+                .filter(|t| *t == "histogram")
+                .map(|_| base)
+        } else {
+            families.get(name).filter(|t| *t == "gauge").map(|_| name)
+        };
+        let family = match resolved {
+            Some(f) => f.to_string(),
+            None => return fail(lineno, line, "sample without a matching # TYPE family"),
+        };
+        if families[&family] == "counter" && value < 0.0 {
+            return fail(lineno, line, "negative counter");
+        }
+        if name.ends_with("_bucket") {
+            let labels = match labels {
+                Some(l) => l,
+                None => return fail(lineno, line, "histogram bucket without le label"),
+            };
+            let le = match labels
+                .strip_prefix("le=\"")
+                .and_then(|l| l.strip_suffix('"'))
+            {
+                Some("+Inf") => f64::INFINITY,
+                Some(v) => match v.parse::<f64>() {
+                    Ok(v) => v,
+                    Err(_) => return fail(lineno, line, "unparseable le bound"),
+                },
+                None => return fail(lineno, line, "histogram bucket without le label"),
+            };
+            let st = hist_states.entry(family.clone()).or_default();
+            if let Some(prev) = st.last_le {
+                if le <= prev {
+                    return fail(lineno, line, "le bounds must be strictly increasing");
+                }
+            }
+            if let Some(prev) = st.last_cumulative {
+                if value < prev {
+                    return fail(lineno, line, "bucket counts must be cumulative");
+                }
+            }
+            st.last_le = Some(le);
+            st.last_cumulative = Some(value);
+            if le.is_infinite() {
+                st.inf_bucket = Some(value);
+            }
+        } else if name.ends_with("_sum") && families[&family] == "histogram" {
+            hist_states.entry(family.clone()).or_default().sum = Some(value);
+        } else if name.ends_with("_count") && families[&family] == "histogram" {
+            hist_states.entry(family.clone()).or_default().count = Some(value);
+        }
+        *sample_counts.entry(family).or_insert(0) += 1;
+        samples += 1;
+    }
+    if !saw_eof {
+        return Err("missing trailing # EOF".to_string());
+    }
+    for (family, ty) in &families {
+        if sample_counts.get(family).copied().unwrap_or(0) == 0 {
+            return Err(format!("family `{family}` declared but has no samples"));
+        }
+        if ty == "histogram" {
+            let st = hist_states
+                .get(family)
+                .ok_or_else(|| format!("histogram `{family}` has no buckets"))?;
+            let inf = st
+                .inf_bucket
+                .ok_or_else(|| format!("histogram `{family}` is missing le=\"+Inf\""))?;
+            let count = st
+                .count
+                .ok_or_else(|| format!("histogram `{family}` is missing _count"))?;
+            if st.sum.is_none() {
+                return Err(format!("histogram `{family}` is missing _sum"));
+            }
+            if (inf - count).abs() > f64::EPSILON {
+                return Err(format!(
+                    "histogram `{family}`: _count {count} != le=\"+Inf\" bucket {inf}"
+                ));
+            }
+        }
+    }
+    Ok(CheckSummary {
+        families: families.len(),
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Registry, NUM_BUCKETS};
+
+    fn populated_snapshot() -> MetricsSnapshot {
+        let r = Registry::new();
+        r.counter("service.queries_served").add(7);
+        r.counter("serve.shed").add(0);
+        r.gauge("service.cache.entries").set(3.0);
+        r.histogram("service.assembly_secs").record(2e-3);
+        r.histogram("service.assembly_secs").record(17e-6);
+        r.histogram("serve.batch.size").record_n(32);
+        r.histogram("empty_hist"); // registered, never recorded
+        r.snapshot()
+    }
+
+    #[test]
+    fn exposition_passes_its_own_check() {
+        let text = populated_snapshot().to_openmetrics();
+        let summary = check(&text).unwrap();
+        assert_eq!(summary.families, 6);
+        assert!(summary.samples > 6 * 3, "histograms expand to many samples");
+        assert!(text.ends_with("# EOF\n"), "{text}");
+    }
+
+    #[test]
+    fn families_render_with_prefix_and_suffixes() {
+        let text = populated_snapshot().to_openmetrics();
+        assert!(text.contains("# TYPE poe_service_queries_served counter\n"));
+        assert!(text.contains("poe_service_queries_served_total 7\n"));
+        assert!(text.contains("# TYPE poe_service_cache_entries gauge\n"));
+        assert!(text.contains("poe_service_cache_entries 3\n"));
+        assert!(text.contains("# TYPE poe_service_assembly_secs histogram\n"));
+        assert!(text.contains("poe_service_assembly_secs_count 2\n"));
+        assert!(text.contains("poe_service_assembly_secs_bucket{le=\"+Inf\"} 2\n"));
+        // Size-valued histograms expose raw-count bounds and sums.
+        assert!(
+            text.contains("poe_serve_batch_size_bucket{le=\"64\"}"),
+            "{text}"
+        );
+        assert!(text.contains("poe_serve_batch_size_sum 32\n"), "{text}");
+    }
+
+    #[test]
+    fn empty_histograms_still_expose_complete_series() {
+        let r = Registry::new();
+        r.histogram("quiet_secs");
+        let text = r.snapshot().to_openmetrics();
+        assert!(text.contains("poe_quiet_secs_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("poe_quiet_secs_sum 0\n"));
+        assert!(text.contains("poe_quiet_secs_count 0\n"));
+        check(&text).unwrap();
+    }
+
+    #[test]
+    fn latency_bucket_bounds_are_unique_and_increasing() {
+        let r = Registry::new();
+        r.histogram("h").record(1e-6);
+        let text = r.snapshot().to_openmetrics();
+        let les: Vec<&str> = text
+            .lines()
+            .filter_map(|l| l.split("le=\"").nth(1))
+            .filter_map(|l| l.split('"').next())
+            .collect();
+        assert_eq!(les.len(), NUM_BUCKETS + 1);
+        let mut prev = -1.0f64;
+        for le in &les[..NUM_BUCKETS] {
+            let v: f64 = le.parse().expect(le);
+            assert!(v > prev, "le {le} not increasing");
+            prev = v;
+        }
+        assert_eq!(les[NUM_BUCKETS], "+Inf");
+    }
+
+    #[test]
+    fn check_rejects_malformed_text() {
+        let cases: &[(&str, &str)] = &[
+            ("poe_x_total 1\n# EOF\n", "matching # TYPE"),
+            (
+                "# TYPE poe_x counter\npoe_x_total 1\n",
+                "missing trailing # EOF",
+            ),
+            (
+                "# TYPE poe_x counter\npoe_x_total nope\n# EOF\n",
+                "unparseable",
+            ),
+            (
+                "# TYPE poe_x counter\npoe_x_total -1\n# EOF\n",
+                "negative counter",
+            ),
+            (
+                "# TYPE poe_x counter\n# TYPE poe_x counter\npoe_x_total 1\n# EOF\n",
+                "duplicate",
+            ),
+            (
+                "# TYPE poe_x counter\npoe_x_total 1\n# EOF\nleftover 2\n",
+                "after # EOF",
+            ),
+            ("# TYPE poe_x counter\n# EOF\n", "no samples"),
+            (
+                "# TYPE 9bad counter\n9bad_total 1\n# EOF\n",
+                "invalid family name",
+            ),
+        ];
+        for (text, expect) in cases {
+            let err = check(text).unwrap_err();
+            assert!(err.contains(expect), "case `{text:?}` gave `{err}`");
+        }
+    }
+
+    #[test]
+    fn check_rejects_broken_histograms() {
+        let head = "# TYPE poe_h histogram\n";
+        let cases: &[(&str, &str)] = &[
+            (
+                "poe_h_bucket{le=\"1\"} 2\npoe_h_bucket{le=\"2\"} 1\n\
+                 poe_h_bucket{le=\"+Inf\"} 2\npoe_h_sum 1\npoe_h_count 2\n# EOF\n",
+                "cumulative",
+            ),
+            (
+                "poe_h_bucket{le=\"2\"} 1\npoe_h_bucket{le=\"1\"} 2\n\
+                 poe_h_bucket{le=\"+Inf\"} 2\npoe_h_sum 1\npoe_h_count 2\n# EOF\n",
+                "strictly increasing",
+            ),
+            (
+                "poe_h_bucket{le=\"1\"} 1\npoe_h_sum 1\npoe_h_count 1\n# EOF\n",
+                "+Inf",
+            ),
+            (
+                "poe_h_bucket{le=\"+Inf\"} 2\npoe_h_sum 1\npoe_h_count 3\n# EOF\n",
+                "!=",
+            ),
+            (
+                "poe_h_bucket{le=\"+Inf\"} 1\npoe_h_count 1\n# EOF\n",
+                "_sum",
+            ),
+            (
+                "poe_h_bucket 1\npoe_h_sum 1\npoe_h_count 1\n# EOF\n",
+                "le label",
+            ),
+        ];
+        for (body, expect) in cases {
+            let text = format!("{head}{body}");
+            let err = check(&text).unwrap_err();
+            assert!(err.contains(expect), "case `{body:?}` gave `{err}`");
+        }
+    }
+
+    #[test]
+    fn family_name_sanitizes() {
+        assert_eq!(
+            family_name("service.assembly_secs"),
+            "poe_service_assembly_secs"
+        );
+        assert_eq!(family_name("a-b c"), "poe_a_b_c");
+    }
+}

@@ -152,6 +152,27 @@ mod tests {
     }
 
     #[test]
+    fn eviction_is_strictly_oldest_first() {
+        // The log is FIFO by *arrival*, not by duration: a very slow old
+        // entry is still the first to go, and the survivors keep arrival
+        // order. Operators read the log as a timeline.
+        let log = SlowLog::with_capacity(3);
+        log.set_threshold(Some(Duration::from_nanos(1)));
+        // Arrival order 1..=6 with shuffled durations; duration must not
+        // affect eviction.
+        for (id, ms) in [(1, 900), (2, 5), (3, 700), (4, 1), (5, 800), (6, 2)] {
+            log.observe(id, &format!("q{id}"), Duration::from_millis(ms));
+        }
+        let ids: Vec<u64> = log.entries().iter().map(|e| e.request_id).collect();
+        assert_eq!(ids, vec![4, 5, 6], "evict 1,2,3 in arrival order");
+        let ats: Vec<f64> = log.entries().iter().map(|e| e.at_secs).collect();
+        assert!(
+            ats.windows(2).all(|w| w[0] <= w[1]),
+            "entries must stay in arrival order: {ats:?}"
+        );
+    }
+
+    #[test]
     fn threshold_can_be_cleared() {
         let log = SlowLog::new();
         log.set_threshold(Some(Duration::from_millis(1)));

@@ -14,8 +14,10 @@
 //! events from concurrent connections interleave in the ring buffer but
 //! remain attributable.
 
+use crate::json::{fmt_f64, json_escape};
 use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -36,15 +38,41 @@ pub struct TraceEvent {
     pub duration_secs: f64,
 }
 
-/// Collects spans into a bounded ring buffer when enabled.
-#[derive(Debug)]
+impl TraceEvent {
+    /// Renders the span as one JSONL line (no trailing newline). The
+    /// `request_id` doubles as an exemplar: it links a slow histogram
+    /// observation to the flight-recorder events of the same request.
+    pub fn to_jsonl(&self) -> String {
+        format!(
+            "{{\"request_id\":{},\"name\":\"{}\",\"start_secs\":{},\"duration_secs\":{}}}",
+            self.request_id,
+            json_escape(self.name),
+            fmt_f64(self.start_secs),
+            fmt_f64(self.duration_secs),
+        )
+    }
+}
+
+/// Collects spans into a bounded ring buffer when enabled, optionally
+/// streaming every finished span to a JSONL sink (`--trace-out`).
 pub struct TraceCollector {
     enabled: AtomicBool,
     spans_recorded: AtomicU64,
     events_dropped: AtomicU64,
+    sink_errors: AtomicU64,
     events: Mutex<VecDeque<TraceEvent>>,
+    sink: Mutex<Option<Box<dyn Write + Send>>>,
     capacity: usize,
     epoch: Instant,
+}
+
+impl std::fmt::Debug for TraceCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceCollector")
+            .field("enabled", &self.is_enabled())
+            .field("spans_recorded", &self.spans_recorded())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for TraceCollector {
@@ -65,10 +93,45 @@ impl TraceCollector {
             enabled: AtomicBool::new(false),
             spans_recorded: AtomicU64::new(0),
             events_dropped: AtomicU64::new(0),
+            sink_errors: AtomicU64::new(0),
             events: Mutex::new(VecDeque::new()),
+            sink: Mutex::new(None),
             capacity: capacity.max(1),
             epoch: Instant::now(),
         }
+    }
+
+    /// Streams every finished span to `sink` as one JSONL line (see
+    /// [`TraceEvent::to_jsonl`]), in addition to the in-memory ring. The
+    /// sink is dropped after its first write error (errors are counted by
+    /// [`Self::sink_errors`]) so a dead disk cannot stall the hot path.
+    pub fn set_sink(&self, sink: Box<dyn Write + Send>) {
+        *self.sink.lock().unwrap() = Some(sink);
+    }
+
+    /// Flushes and removes the JSONL sink, returning it to the caller
+    /// (typically to close the file at shutdown).
+    pub fn take_sink(&self) -> Option<Box<dyn Write + Send>> {
+        let mut sink = self.sink.lock().unwrap().take();
+        if let Some(s) = sink.as_mut() {
+            let _ = s.flush();
+        }
+        sink
+    }
+
+    /// Flushes the JSONL sink if one is installed.
+    pub fn flush_sink(&self) {
+        if let Some(s) = self.sink.lock().unwrap().as_mut() {
+            if s.flush().is_err() {
+                self.sink_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Write errors observed on the JSONL sink (the sink is detached at
+    /// the first one).
+    pub fn sink_errors(&self) -> u64 {
+        self.sink_errors.load(Ordering::Relaxed)
     }
 
     /// Turns span collection on or off.
@@ -101,17 +164,27 @@ impl TraceCollector {
     fn record(&self, request_id: u64, name: &'static str, start: Instant, duration_secs: f64) {
         self.spans_recorded.fetch_add(1, Ordering::Relaxed);
         let start_secs = start.duration_since(self.epoch).as_secs_f64();
+        let event = TraceEvent {
+            request_id,
+            name,
+            start_secs,
+            duration_secs,
+        };
+        {
+            let mut sink = self.sink.lock().unwrap();
+            if let Some(s) = sink.as_mut() {
+                if writeln!(s, "{}", event.to_jsonl()).is_err() {
+                    self.sink_errors.fetch_add(1, Ordering::Relaxed);
+                    *sink = None;
+                }
+            }
+        }
         let mut events = self.events.lock().unwrap();
         if events.len() >= self.capacity {
             events.pop_front();
             self.events_dropped.fetch_add(1, Ordering::Relaxed);
         }
-        events.push_back(TraceEvent {
-            request_id,
-            name,
-            start_secs,
-            duration_secs,
-        });
+        events.push_back(event);
     }
 }
 
@@ -287,5 +360,80 @@ mod tests {
         let a = next_request_id();
         let b = next_request_id();
         assert!(b > a);
+    }
+
+    #[test]
+    fn request_ids_never_collide_across_threads() {
+        // Ids must come from one process-wide atomic: thread-local
+        // counters would hand the same id to concurrent serve workers,
+        // aliasing flight-recorder events and trace exemplars.
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            handles.push(std::thread::spawn(|| {
+                (0..1000).map(|_| next_request_id()).collect::<Vec<u64>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let total = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), total, "duplicate request ids handed out");
+    }
+
+    #[test]
+    fn sink_streams_spans_as_jsonl() {
+        #[derive(Clone, Default)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let col = Arc::new(TraceCollector::new());
+        col.set_enabled(true);
+        let buf = Shared::default();
+        col.set_sink(Box::new(buf.clone()));
+        with_request(&col, 11, || drop(span("sunk")));
+        col.flush_sink();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let line = text.lines().next().unwrap();
+        assert!(
+            line.starts_with("{\"request_id\":11,\"name\":\"sunk\""),
+            "{line}"
+        );
+        assert!(line.contains("\"duration_secs\":"), "{line}");
+        assert!(col.take_sink().is_some());
+        // With the sink gone, spans still record to the ring.
+        with_request(&col, 12, || drop(span("ringed")));
+        assert_eq!(col.spans_recorded(), 2);
+        assert_eq!(col.sink_errors(), 0);
+    }
+
+    #[test]
+    fn sink_detaches_after_first_write_error() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk gone"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let col = Arc::new(TraceCollector::new());
+        col.set_enabled(true);
+        col.set_sink(Box::new(Failing));
+        with_request(&col, 1, || drop(span("a")));
+        with_request(&col, 2, || drop(span("b")));
+        assert_eq!(col.sink_errors(), 1, "sink must detach after one error");
+        assert_eq!(col.spans_recorded(), 2, "ring keeps recording");
+        assert!(col.take_sink().is_none());
     }
 }

@@ -4,22 +4,124 @@
 //! The build environment has no network access to crates.io, so the real
 //! `criterion` cannot be fetched. This shim keeps `cargo bench` working
 //! offline: each benchmark is warmed up briefly, then timed for a fixed
-//! wall-clock budget, and the mean time per iteration is printed. There is
-//! no statistical analysis, plotting, or baseline comparison — the numbers
-//! are honest wall-clock means, which is enough for the relative
-//! comparisons the repository's benches make (e.g. cached vs. cold
-//! consolidation).
+//! wall-clock budget, and the mean, throughput, and p50/p95/p99 of the
+//! per-iteration time are printed. There is no statistical analysis,
+//! plotting, or baseline comparison — the numbers are honest wall-clock
+//! measurements, which is enough for the relative comparisons the
+//! repository's benches make (e.g. cached vs. cold consolidation).
+//!
+//! ## Persisted reports
+//!
+//! When `POE_BENCH_REPORT=<path>` is set, `criterion_main!` writes every
+//! result from the run as one JSON document (see [`write_report`]) — this
+//! is how the repo's `BENCH_*.json` trajectory files are produced. The
+//! time budgets honour `POE_BENCH_WARMUP_MS` / `POE_BENCH_MEASURE_MS`
+//! so CI can run a fast smoke configuration.
 
 // Vendored stand-in: keep it simple, not lint-perfect.
 #![allow(clippy::all)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export so benches can use `criterion::black_box`.
 pub use std::hint::black_box;
 
-const WARMUP: Duration = Duration::from_millis(50);
-const MEASURE: Duration = Duration::from_millis(300);
+const DEFAULT_WARMUP_MS: u64 = 50;
+const DEFAULT_MEASURE_MS: u64 = 300;
+/// Per-iteration samples retained for percentiles; past this the run
+/// keeps timing (mean stays exact) but stops recording the distribution.
+const MAX_SAMPLES: usize = 100_000;
+
+fn env_ms(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn warmup_budget() -> Duration {
+    Duration::from_millis(env_ms("POE_BENCH_WARMUP_MS", DEFAULT_WARMUP_MS))
+}
+
+fn measure_budget() -> Duration {
+    Duration::from_millis(env_ms("POE_BENCH_MEASURE_MS", DEFAULT_MEASURE_MS))
+}
+
+/// One finished benchmark, as persisted in the JSON report.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/name` or `group/function/param`).
+    pub name: String,
+    /// Iterations executed in the measure phase.
+    pub iters: u64,
+    /// Mean wall-clock time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Iterations per second (1e9 / mean_ns).
+    pub samples_per_sec: f64,
+    /// Median per-iteration time, nanoseconds.
+    pub p50_ns: f64,
+    /// 95th-percentile per-iteration time, nanoseconds.
+    pub p95_ns: f64,
+    /// 99th-percentile per-iteration time, nanoseconds.
+    pub p99_ns: f64,
+}
+
+/// Results accumulated across every bench in the current process, in run
+/// order; drained by [`write_report`].
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// All results recorded so far (cloned; the run keeps accumulating).
+pub fn results() -> Vec<BenchResult> {
+    RESULTS.lock().unwrap().clone()
+}
+
+/// Writes the accumulated results as a JSON report to `path`.
+///
+/// Schema (one object, stable field order):
+///
+/// ```json
+/// {"report":"poe-bench","version":1,"warmup_ms":50,"measure_ms":300,
+///  "benches":[{"name":"grp/case","iters":1200,"mean_ns":245833.0,
+///              "samples_per_sec":4067.8,"p50_ns":240100.0,
+///              "p95_ns":310500.0,"p99_ns":402700.0}]}
+/// ```
+pub fn write_report(path: &str) -> std::io::Result<()> {
+    let results = results();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"report\": \"poe-bench\",\n  \"version\": 1,\n  \"warmup_ms\": {},\n  \"measure_ms\": {},\n  \"benches\": [\n",
+        warmup_budget().as_millis(),
+        measure_budget().as_millis()
+    ));
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"iters\": {}, \"mean_ns\": {:.1}, \"samples_per_sec\": {:.1}, \"p50_ns\": {:.1}, \"p95_ns\": {:.1}, \"p99_ns\": {:.1}}}{sep}\n",
+            r.name.replace('\\', "\\\\").replace('"', "\\\""),
+            r.iters,
+            r.mean_ns,
+            r.samples_per_sec,
+            r.p50_ns,
+            r.p95_ns,
+            r.p99_ns
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+/// Called by `criterion_main!` after every group has run: honours
+/// `POE_BENCH_REPORT` if set, otherwise does nothing.
+pub fn write_report_if_requested() {
+    if let Ok(path) = std::env::var("POE_BENCH_REPORT") {
+        if let Err(e) = write_report(&path) {
+            eprintln!("bench report: cannot write {path}: {e}");
+        } else {
+            eprintln!("bench report written to {path}");
+        }
+    }
+}
 
 /// Entry point handed to each benchmark function.
 pub struct Criterion {
@@ -105,6 +207,11 @@ pub struct Bencher {
     phase: Phase,
     iters: u64,
     elapsed: Duration,
+    /// Per-iteration times (ns) from the measure phase. For very fast
+    /// bodies, iterations are timed in adaptively-sized batches so the
+    /// timer itself stays well under the measured cost; each batch
+    /// contributes one sample (its per-iteration mean).
+    samples_ns: Vec<f64>,
 }
 
 enum Phase {
@@ -116,13 +223,27 @@ impl Bencher {
     /// Times `f`, repeating it until this phase's time budget is spent.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         let budget = match self.phase {
-            Phase::Warmup => WARMUP,
-            Phase::Measure => MEASURE,
+            Phase::Warmup => warmup_budget(),
+            Phase::Measure => measure_budget(),
         };
+        // Batch fast bodies so the Instant pair amortizes: grow the batch
+        // until one batch takes ≥ ~10µs (or the cap is hit).
+        let min_batch_time = Duration::from_micros(10);
+        let mut batch: u64 = 1;
         let start = Instant::now();
         loop {
-            black_box(f());
-            self.iters += 1;
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let took = t0.elapsed();
+            self.iters += batch;
+            if matches!(self.phase, Phase::Measure) && self.samples_ns.len() < MAX_SAMPLES {
+                self.samples_ns.push(took.as_nanos() as f64 / batch as f64);
+            }
+            if took < min_batch_time && batch < 1 << 20 {
+                batch *= 2;
+            }
             let elapsed = start.elapsed();
             if elapsed >= budget {
                 self.elapsed = elapsed;
@@ -132,29 +253,55 @@ impl Bencher {
     }
 }
 
+/// Nearest-rank percentile over a sorted slice (`q` in 0..=1).
+fn percentile(sorted_ns: &[f64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ns.len() as f64) * q).ceil() as usize;
+    sorted_ns[rank.clamp(1, sorted_ns.len()) - 1]
+}
+
 fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
     let mut warm = Bencher {
         phase: Phase::Warmup,
         iters: 0,
         elapsed: Duration::ZERO,
+        samples_ns: Vec::new(),
     };
     f(&mut warm);
     let mut bench = Bencher {
         phase: Phase::Measure,
         iters: 0,
         elapsed: Duration::ZERO,
+        samples_ns: Vec::new(),
     };
     f(&mut bench);
-    let per_iter = if bench.iters == 0 {
-        Duration::ZERO
+    let mean_ns = if bench.iters == 0 {
+        0.0
     } else {
-        bench.elapsed / bench.iters as u32
+        bench.elapsed.as_nanos() as f64 / bench.iters as f64
+    };
+    let mut sorted = bench.samples_ns.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let result = BenchResult {
+        name: name.to_string(),
+        iters: bench.iters,
+        mean_ns,
+        samples_per_sec: if mean_ns > 0.0 { 1e9 / mean_ns } else { 0.0 },
+        p50_ns: percentile(&sorted, 0.50),
+        p95_ns: percentile(&sorted, 0.95),
+        p99_ns: percentile(&sorted, 0.99),
     };
     println!(
-        "bench {name:<48} {:>12.3} µs/iter  ({} iters)",
-        per_iter.as_secs_f64() * 1e6,
-        bench.iters
+        "bench {name:<48} {:>12.3} µs/iter  p50 {:>10.3}  p95 {:>10.3}  p99 {:>10.3}  ({} iters)",
+        result.mean_ns / 1e3,
+        result.p50_ns / 1e3,
+        result.p95_ns / 1e3,
+        result.p99_ns / 1e3,
+        result.iters
     );
+    RESULTS.lock().unwrap().push(result);
 }
 
 /// Collects benchmark functions into a runnable group function.
@@ -168,12 +315,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generates `main` for a bench binary (`harness = false`).
+/// Generates `main` for a bench binary (`harness = false`). After every
+/// group has run, writes the JSON report if `POE_BENCH_REPORT` is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_report_if_requested();
         }
     };
 }
@@ -190,5 +339,45 @@ mod tests {
         g.throughput(Throughput::Elements(4));
         g.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &p| b.iter(|| p * 2));
         g.finish();
+        let all = results();
+        let noop = all.iter().find(|r| r.name == "noop").unwrap();
+        assert!(noop.iters > 0);
+        assert!(noop.samples_per_sec > 0.0);
+        assert!(noop.p50_ns <= noop.p99_ns);
+        assert!(all.iter().any(|r| r.name == "grp/param/3"));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let s: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(percentile(&s, 0.50), 50.0);
+        assert_eq!(percentile(&s, 0.95), 95.0);
+        assert_eq!(percentile(&s, 0.99), 99.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let mut c = Criterion::default();
+        c.bench_function("report_case", |b| b.iter(|| black_box(2) * 2));
+        let path = std::env::temp_dir().join("poe_bench_report_test.json");
+        write_report(path.to_str().unwrap()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\n  \"report\": \"poe-bench\""), "{text}");
+        assert!(text.contains("\"version\": 1"), "{text}");
+        assert!(text.contains("\"name\": \"report_case\""), "{text}");
+        for field in [
+            "iters",
+            "mean_ns",
+            "samples_per_sec",
+            "p50_ns",
+            "p95_ns",
+            "p99_ns",
+        ] {
+            assert!(text.contains(&format!("\"{field}\": ")), "{field}: {text}");
+        }
+        assert!(text.trim_end().ends_with('}'), "{text}");
+        std::fs::remove_file(&path).ok();
     }
 }
