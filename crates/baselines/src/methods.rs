@@ -172,11 +172,25 @@ mod tests {
             &TrainConfig::new(25, 32, 0.02),
             5,
         );
-        // It still learns *something* about each task.
-        let classes = h.primitive(0).classes.clone();
-        let acc =
-            poe_core::training::eval_task_specific_accuracy(&mut kd_model, &split.test, &classes);
-        assert!(acc > 0.5, "generic KD task-specific acc {acc}");
+        // It still learns *something* on average. Which tasks the
+        // capacity-starved student favors is chaotic (it flips with the
+        // training seed and even with kernel accumulation order), so
+        // assert on the mean over all tasks, not any single one.
+        let mean_acc = (0..h.num_primitives())
+            .map(|t| {
+                let classes = h.primitive(t).classes.clone();
+                poe_core::training::eval_task_specific_accuracy(
+                    &mut kd_model,
+                    &split.test,
+                    &classes,
+                )
+            })
+            .sum::<f64>()
+            / h.num_primitives() as f64;
+        assert!(
+            mean_acc > 0.5,
+            "generic KD mean task-specific acc {mean_acc}"
+        );
     }
 
     #[test]

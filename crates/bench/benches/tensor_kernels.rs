@@ -5,6 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use poe_tensor::conv::{im2col, Conv2dSpec};
 use poe_tensor::ops::{softmax, softmax_with_temperature};
+use poe_tensor::quant::QuantizedMatrix;
+use poe_tensor::simd;
 use poe_tensor::{matmul, matmul_a_bt, matmul_at_b, Prng, Tensor};
 use std::hint::black_box;
 
@@ -62,5 +64,93 @@ fn bench_im2col(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_matmul, bench_softmax, bench_im2col);
+/// Forced-scalar vs forced-AVX2 on the same inputs: the dispatch speedup
+/// the SIMD tentpole claims, measured kernel-against-kernel (no thread
+/// pool, no dispatch ambiguity). On machines without AVX2 only the scalar
+/// side runs.
+fn bench_simd_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simd");
+    let mut rng = Prng::seed_from_u64(4);
+    for &n in &[64usize, 256] {
+        let a = Tensor::randn([n, n], 1.0, &mut rng);
+        let b = Tensor::randn([n, n], 1.0, &mut rng);
+        let mut out = vec![0.0f32; n * n];
+        group.bench_with_input(BenchmarkId::new("mm_rows_scalar", n), &n, |bch, _| {
+            bch.iter(|| {
+                out.fill(0.0);
+                simd::scalar::mm_rows(black_box(&mut out), a.data(), b.data(), n, n, n);
+            })
+        });
+        #[cfg(target_arch = "x86_64")]
+        if simd::avx2::available() {
+            group.bench_with_input(BenchmarkId::new("mm_rows_avx2", n), &n, |bch, _| {
+                bch.iter(|| {
+                    out.fill(0.0);
+                    simd::avx2::mm_rows(black_box(&mut out), a.data(), b.data(), n, n, n);
+                })
+            });
+        }
+    }
+    // The im2col-GEMM / linear-forward shape (A·Bᵀ, long k).
+    let x = Tensor::randn([128, 144], 1.0, &mut rng);
+    let w = Tensor::randn([64, 144], 1.0, &mut rng);
+    let mut out = vec![0.0f32; 128 * 64];
+    group.bench_function("mm_a_bt_scalar_128x144x64", |bch| {
+        bch.iter(|| {
+            out.fill(0.0);
+            simd::scalar::mm_a_bt(black_box(&mut out), x.data(), w.data(), 128, 144, 64);
+        })
+    });
+    #[cfg(target_arch = "x86_64")]
+    if simd::avx2::available() {
+        group.bench_function("mm_a_bt_avx2_128x144x64", |bch| {
+            bch.iter(|| {
+                out.fill(0.0);
+                simd::avx2::mm_a_bt(black_box(&mut out), x.data(), w.data(), 128, 144, 64);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The removed `if a == 0.0 {{ continue; }}` shortcut claimed to help
+/// sparse inputs; this pins that branch-free kernels don't regress past
+/// noise on 90%-zero activations (the post-ReLU case it targeted).
+fn bench_sparse_inputs(c: &mut Criterion) {
+    let mut rng = Prng::seed_from_u64(5);
+    let n = 128;
+    let mut a = Tensor::randn([n, n], 1.0, &mut rng);
+    a.map_in_place(|v| if v < 1.28 { 0.0 } else { v }); // ~90% zeros
+    let b = Tensor::randn([n, n], 1.0, &mut rng);
+    c.bench_function("matmul_sparse90_128", |bch| {
+        bch.iter(|| matmul(black_box(&a), black_box(&b)).unwrap())
+    });
+}
+
+/// Quantize / dequantize throughput at expert-head scale: the cost paid
+/// once at preprocess time and once per consolidated branch.
+fn bench_quantization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quant");
+    let mut rng = Prng::seed_from_u64(6);
+    let w = Tensor::randn([256, 128], 1.0, &mut rng);
+    group.bench_function("quantize_256x128", |bch| {
+        bch.iter(|| QuantizedMatrix::quantize(black_box(&w)))
+    });
+    let q = QuantizedMatrix::quantize(&w);
+    let mut out = vec![0.0f32; 256 * 128];
+    group.bench_function("dequantize_256x128", |bch| {
+        bch.iter(|| q.dequantize_into(black_box(&mut out)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_softmax,
+    bench_im2col,
+    bench_simd_kernels,
+    bench_sparse_inputs,
+    bench_quantization
+);
 criterion_main!(benches);

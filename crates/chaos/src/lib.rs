@@ -60,6 +60,23 @@ pub mod sites {
     /// Panic injected into a batched forward pass (the flush path) — the
     /// scheduler must contain it and abort only the affected batch.
     pub const SERVE_BATCH_PANIC: &str = "serve.batch.panic";
+    /// Panic injected into a matmul shard running on the compute pool —
+    /// the dispatcher must recompute the lost shard inline instead of
+    /// propagating the panic to the caller.
+    pub const TENSOR_MATMUL_SHARD_PANIC: &str = "tensor.matmul.shard.panic";
+}
+
+/// Arms the fault hooks that live *below* this crate in the dependency
+/// graph. `poe-tensor` cannot call [`maybe_panic`] directly (it would be
+/// a dependency cycle — this crate uses its PRNG), so its matmul
+/// dispatcher exposes a hook seam that we point at the
+/// [`sites::TENSOR_MATMUL_SHARD_PANIC`] site here. Called automatically
+/// whenever a plan is installed (programmatically or from `POE_CHAOS`);
+/// the hook is a no-op while no plan is active.
+pub fn arm_tensor_hooks() {
+    poe_tensor::matmul::set_shard_fault_hook(|| {
+        maybe_panic(sites::TENSOR_MATMUL_SHARD_PANIC);
+    });
 }
 
 /// What a triggered fault does at its site.
@@ -222,6 +239,7 @@ impl ChaosPlan {
     /// a process-wide lock, so chaos tests serialize instead of
     /// corrupting each other's fault schedules.
     pub fn install(self) -> ChaosGuard {
+        arm_tensor_hooks();
         let lock = test_lock().lock().unwrap_or_else(PoisonError::into_inner);
         let prev = swap_active(Some(self));
         ChaosGuard { prev, _lock: lock }
@@ -275,6 +293,9 @@ fn state() -> &'static ChaosState {
                 Err(e) => panic!("invalid POE_CHAOS spec: {e}"),
             });
         let enabled = env_plan.is_some();
+        if enabled {
+            arm_tensor_hooks();
+        }
         ChaosState {
             enabled: AtomicBool::new(enabled),
             active: Mutex::new(env_plan.map(ActivePlan::new)),

@@ -30,9 +30,13 @@ poe — Pool of Experts model database (SIGMOD 2021 reproduction)
 
 USAGE
   poe preprocess --dataset SPEC --out DIR [--seed N] [--epochs N] [--trace on]
+                 [--quantize on]
       Train an oracle, extract the library and every expert, and persist a
       self-describing pool store to DIR. With --trace on, print a per-phase
-      span summary (oracle / library / expert extraction) to stderr.
+      span summary (oracle / library / expert extraction) to stderr. With
+      --quantize on, expert heads are stored as int8 row-wise weights
+      (~4x smaller on disk, dequantized at assemble time; see
+      docs/OPERATIONS.md for the accuracy trade-off).
   poe info --pool DIR
       Print the store's hierarchy, architectures, experts, and volumes.
   poe query --pool DIR --tasks I,J,K [--eval-dataset SPEC --seed N]
@@ -133,6 +137,12 @@ fn cmd_preprocess(a: &Args) -> Result<(), String> {
         .get_parsed("epochs", 25usize, "usize")
         .map_err(|e| e.to_string())?;
     let trace_on = parse_trace_flag(a)?;
+    let quantize = match a.get("quantize") {
+        None => false,
+        Some(v) if v.eq_ignore_ascii_case("on") => true,
+        Some(v) if v.eq_ignore_ascii_case("off") => false,
+        Some(v) => return Err(format!("--quantize `{v}` is not `on` or `off`")),
+    };
 
     eprintln!("generating dataset `{spec}` (seed {seed}) …");
     let (split, hierarchy) = dataset_from_spec(spec, seed)?;
@@ -187,6 +197,11 @@ fn cmd_preprocess(a: &Args) -> Result<(), String> {
         library_groups: pipe.library_groups,
         input_dim,
     };
+    let mut pre = pre;
+    if quantize {
+        let report = pre.pool.quantize_experts();
+        eprintln!("{report}");
+    }
     let bytes = save_standalone(&pre.pool, &poolspec, out).map_err(|e| e.to_string())?;
     println!(
         "pool written to {out}: {} experts, {bytes} bytes on disk",
@@ -218,11 +233,21 @@ fn cmd_info(a: &Args) -> Result<(), String> {
         spec.input_dim
     );
     let v = pool.volumes();
+    let quantized = pool
+        .pooled_tasks()
+        .iter()
+        .filter(|&&t| pool.is_quantized(t))
+        .count();
     println!(
-        "  volumes:  library {} B, mean expert {} B, total {} B",
+        "  volumes:  library {} B, mean expert {} B, total {} B{}",
         v.library_bytes,
         v.mean_expert_bytes(),
-        v.total_bytes
+        v.total_bytes,
+        if quantized > 0 {
+            format!(" ({quantized} experts int8-quantized)")
+        } else {
+            String::new()
+        }
     );
     for p in h.primitives() {
         let mark = if pool.has_expert(h.primitive_of_class(p.classes[0])) {

@@ -1321,11 +1321,12 @@ fn direct_predict(
 /// event rate — size up `--recorder-events`).
 fn health_line(service: &QueryService, server: Option<&ServerShared>) -> String {
     let recorder_dropped = service.obs().flight.dropped();
+    let simd = poe_tensor::simd::level_name();
     let Some(s) = server else {
         // Library/test use without a running server: trivially ready.
         return format!(
             "OK live=1 ready=1 pool=ok workers=0/0 inflight=0 shed_rate=0.000 draining=0 \
-             batch_queues=0 batch_depth=0 recorder_dropped={recorder_dropped}"
+             batch_queues=0 batch_depth=0 recorder_dropped={recorder_dropped} simd={simd}"
         );
     };
     let pool_ok = s.cfg.pool_error.is_none();
@@ -1341,7 +1342,7 @@ fn health_line(service: &QueryService, server: Option<&ServerShared>) -> String 
     let mut line = format!(
         "OK live=1 ready={} pool={} workers={}/{} inflight={} shed_rate={:.3} draining={} \
          batch_queues={batch_queues} batch_depth={batch_depth} \
-         recorder_dropped={recorder_dropped}",
+         recorder_dropped={recorder_dropped} simd={simd}",
         u8::from(ready),
         if pool_ok { "ok" } else { "error" },
         alive,

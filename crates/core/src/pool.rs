@@ -8,8 +8,11 @@
 //! concatenated — no training, just assembly.
 
 use poe_data::ClassHierarchy;
-use poe_models::serialize::{load_module, module_byte_size, save_module, SerializeError};
-use poe_models::{Branch, BranchedModel};
+use poe_models::serialize::{
+    load_module, load_module_quantized, module_byte_size, module_byte_size_quantized, save_module,
+    save_module_quantized, SerializeError,
+};
+use poe_models::{Branch, BranchedModel, QuantizedModule};
 use poe_nn::layers::Sequential;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -17,6 +20,7 @@ use std::path::Path;
 use std::time::Instant;
 
 /// One pooled expert: the trained head for a primitive task.
+#[derive(Clone)]
 pub struct Expert {
     /// Primitive-task index within the pool's hierarchy.
     pub task_index: usize,
@@ -91,11 +95,53 @@ impl VolumeReport {
     }
 }
 
+/// Result of quantizing a pool's experts ([`ExpertPool::quantize_experts`]).
+#[derive(Debug, Clone)]
+pub struct QuantizationReport {
+    /// Number of experts quantized.
+    pub experts: usize,
+    /// Serialized expert bytes before quantization (dense f32).
+    pub dense_bytes: u64,
+    /// Serialized expert bytes after quantization (int8 row-wise).
+    pub quantized_bytes: u64,
+    /// Worst-case per-weight dequantization error across all experts.
+    pub max_error_bound: f32,
+}
+
+impl QuantizationReport {
+    /// Dense-to-quantized compression ratio (0 when nothing quantized).
+    pub fn ratio(&self) -> f64 {
+        if self.quantized_bytes == 0 {
+            0.0
+        } else {
+            self.dense_bytes as f64 / self.quantized_bytes as f64
+        }
+    }
+}
+
+impl fmt::Display for QuantizationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "quantized {} experts: {} B -> {} B ({:.2}x, max weight error {:.2e})",
+            self.experts,
+            self.dense_bytes,
+            self.quantized_bytes,
+            self.ratio(),
+            self.max_error_bound
+        )
+    }
+}
+
 /// The pool: hierarchy + library + experts.
+#[derive(Clone)]
 pub struct ExpertPool {
     hierarchy: ClassHierarchy,
     library: Sequential,
     experts: BTreeMap<usize, Expert>,
+    /// Int8 payloads for experts whose heads hold placeholder weights;
+    /// consolidation dequantizes from here at assemble time.
+    quantized: BTreeMap<usize, QuantizedModule>,
     /// Architecture tag of the library (for display).
     pub library_arch: String,
     /// Architecture tag of the experts (for display).
@@ -109,6 +155,7 @@ impl ExpertPool {
             hierarchy,
             library,
             experts: BTreeMap::new(),
+            quantized: BTreeMap::new(),
             library_arch: String::new(),
             expert_arch: String::new(),
         }
@@ -140,7 +187,56 @@ impl ExpertPool {
             "expert class list disagrees with hierarchy for task {}",
             expert.task_index
         );
+        // A freshly inserted head is dense: any stale int8 payload from a
+        // previously quantized expert for this task must not shadow it.
+        self.quantized.remove(&expert.task_index);
         self.experts.insert(expert.task_index, expert);
+    }
+
+    /// True when the expert for `task_index` is stored quantized (its head
+    /// holds placeholder weights backed by an int8 payload).
+    pub fn is_quantized(&self, task_index: usize) -> bool {
+        self.quantized.contains_key(&task_index)
+    }
+
+    /// Quantizes every pooled expert head to int8 row-wise weights,
+    /// replacing the dense `f32` weight tensors with shared placeholders.
+    /// Consolidation transparently dequantizes at assemble time; storage
+    /// and serialization shrink roughly 4×. Idempotent: already-quantized
+    /// experts are left alone.
+    pub fn quantize_experts(&mut self) -> QuantizationReport {
+        let mut report = QuantizationReport {
+            experts: 0,
+            dense_bytes: 0,
+            quantized_bytes: 0,
+            max_error_bound: 0.0,
+        };
+        for (&t, e) in &mut self.experts {
+            if self.quantized.contains_key(&t) {
+                continue;
+            }
+            report.dense_bytes += module_byte_size(&e.head);
+            let q = QuantizedModule::from_module(&e.head);
+            QuantizedModule::strip_weights(&mut e.head);
+            report.quantized_bytes += module_byte_size_quantized(&e.head, &q);
+            report.max_error_bound = report.max_error_bound.max(q.error_bound());
+            report.experts += 1;
+            self.quantized.insert(t, q);
+        }
+        report
+    }
+
+    /// Attaches an int8 payload for an already-inserted expert whose head
+    /// holds placeholder weights — the load path of a quantized store.
+    ///
+    /// # Panics
+    /// Panics if no expert exists for `task_index`.
+    pub fn attach_quantized(&mut self, task_index: usize, q: QuantizedModule) {
+        assert!(
+            self.experts.contains_key(&task_index),
+            "no expert pooled for task {task_index}"
+        );
+        self.quantized.insert(task_index, q);
     }
 
     /// Number of pooled experts.
@@ -193,9 +289,18 @@ impl ExpertPool {
             .iter()
             .map(|t| {
                 let e = &self.experts[t];
+                let mut head = e.head.clone();
+                if let Some(q) = self.quantized.get(t) {
+                    // Dequantize-on-assemble: the pooled head only holds
+                    // placeholders; materialize dense weights into this
+                    // clone (copy-on-write detaches it from the pool).
+                    q.restore_into(&mut head)
+                        .expect("quantized payload matches its own expert head");
+                    poe_obs::global_counter!("pool.dequantize.experts").inc();
+                }
                 Branch {
                     task_index: e.task_index,
-                    head: e.head.clone(),
+                    head,
                     classes: e.classes.clone(),
                 }
             })
@@ -222,7 +327,10 @@ impl ExpertPool {
         let expert_bytes: BTreeMap<usize, u64> = self
             .experts
             .iter()
-            .map(|(&t, e)| (t, module_byte_size(&e.head)))
+            .map(|(&t, e)| match self.quantized.get(&t) {
+                Some(q) => (t, module_byte_size_quantized(&e.head, q)),
+                None => (t, module_byte_size(&e.head)),
+            })
             .collect();
         let total_bytes = library_bytes + expert_bytes.values().sum::<u64>();
         VolumeReport {
@@ -239,7 +347,11 @@ impl ExpertPool {
         std::fs::create_dir_all(dir).map_err(SerializeError::Io)?;
         let mut total = save_module(dir.join("library.poem"), &self.library)?;
         for (t, e) in &self.experts {
-            total += save_module(dir.join(format!("expert_{t}.poem")), &e.head)?;
+            let path = dir.join(format!("expert_{t}.poem"));
+            total += match self.quantized.get(t) {
+                Some(q) => save_module_quantized(path, &e.head, q)?,
+                None => save_module(path, &e.head)?,
+            };
         }
         Ok(total)
     }
@@ -250,9 +362,15 @@ impl ExpertPool {
     pub fn load_from_dir(&mut self, dir: impl AsRef<Path>) -> Result<(), SerializeError> {
         let dir = dir.as_ref();
         load_module(dir.join("library.poem"), &mut self.library)?;
+        let mut quantized = BTreeMap::new();
         for (t, e) in &mut self.experts {
-            load_module(dir.join(format!("expert_{t}.poem")), &mut e.head)?;
+            let path = dir.join(format!("expert_{t}.poem"));
+            if let Some(q) = load_module_quantized(path, &mut e.head)? {
+                quantized.insert(*t, q);
+            }
         }
+        // Replace wholesale: dense files clear any stale int8 payloads.
+        self.quantized = quantized;
         Ok(())
     }
 }
@@ -378,6 +496,85 @@ mod tests {
         // Only an explicit re-consolidation observes the new weights.
         let (after, _) = pool.consolidate(&[0, 2]).unwrap();
         assert!(after.infer(&x).max_abs_diff(&y_before) > 1e-3);
+    }
+
+    #[test]
+    fn quantized_pool_consolidates_within_error_bound() {
+        let mut pool = toy_pool(4, &[0, 1, 2, 3]);
+        let x = Tensor::randn([3, 4], 1.0, &mut Prng::seed_from_u64(12));
+        let (dense, _) = pool.consolidate(&[0, 2, 3]).unwrap();
+        let y_dense = dense.infer(&x);
+
+        let report = pool.quantize_experts();
+        assert_eq!(report.experts, 4);
+        assert!(pool.is_quantized(2));
+        assert!(report.quantized_bytes < report.dense_bytes);
+        assert!(!report.to_string().is_empty());
+
+        let before = poe_obs::global_counter!("pool.dequantize.experts").get();
+        let (quant, _) = pool.consolidate(&[0, 2, 3]).unwrap();
+        assert_eq!(
+            poe_obs::global_counter!("pool.dequantize.experts").get(),
+            before + 3
+        );
+        // The library is untouched and weight error is bounded, so logits
+        // drift by at most (input magnitude · fan-in · bound)-ish; for this
+        // toy geometry a loose absolute check suffices.
+        let drift = quant.infer(&x).max_abs_diff(&y_dense);
+        assert!(drift > 0.0, "quantization should not be a no-op");
+        assert!(
+            drift <= 16.0 * report.max_error_bound,
+            "drift {drift} vs bound {}",
+            report.max_error_bound
+        );
+
+        // Idempotent.
+        let again = pool.quantize_experts();
+        assert_eq!(again.experts, 0);
+    }
+
+    #[test]
+    fn quantized_pool_save_load_round_trip() {
+        let dir = std::env::temp_dir().join("poe_pool_quant_test");
+        let mut pool = toy_pool(3, &[0, 1, 2]);
+        pool.quantize_experts();
+        let written = pool.save_to_dir(&dir).unwrap();
+        assert_eq!(written, pool.volumes().total_bytes);
+
+        // Quantized files are smaller than the dense equivalents.
+        let dense = toy_pool(3, &[0, 1, 2]);
+        assert!(
+            pool.volumes().expert_bytes.values().sum::<u64>()
+                < dense.volumes().expert_bytes.values().sum::<u64>()
+        );
+
+        let mut other = toy_pool(3, &[0, 1, 2]);
+        other.load_from_dir(&dir).unwrap();
+        assert!(other.is_quantized(0) && other.is_quantized(2));
+        let x = Tensor::randn([3, 4], 1.0, &mut Prng::seed_from_u64(13));
+        let (a, _) = pool.consolidate(&[0, 1, 2]).unwrap();
+        let (b, _) = other.consolidate(&[0, 1, 2]).unwrap();
+        // Same int8 payload on both sides: assembled models agree exactly.
+        assert!(a.infer(&x).max_abs_diff(&b.infer(&x)) < 1e-6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reinserting_an_expert_clears_stale_quantization() {
+        let mut pool = toy_pool(3, &[0, 1, 2]);
+        pool.quantize_experts();
+        assert!(pool.is_quantized(1));
+        let mut rng = Prng::seed_from_u64(14);
+        let classes = pool.hierarchy().primitive(1).classes.clone();
+        let head = Sequential::new().push(Linear::new("e1b", 6, classes.len(), &mut rng));
+        pool.insert_expert(Expert {
+            task_index: 1,
+            classes,
+            head,
+        });
+        assert!(!pool.is_quantized(1));
+        // Consolidation still works with a mixed dense/quantized pool.
+        pool.consolidate(&[0, 1, 2]).unwrap();
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use crate::pool::{Expert, ExpertPool};
 use poe_data::{ClassHierarchy, PrimitiveTask};
-use poe_models::serialize::{atomic_write, load_module, SerializeError};
+use poe_models::serialize::{atomic_write, load_module, load_module_quantized, SerializeError};
 use poe_models::wire::{WireBuf, WireRead};
 use poe_models::{build_mlp_head_with_depth, build_wrn_mlp_with_depth, WrnConfig};
 use poe_tensor::Prng;
@@ -239,12 +239,18 @@ pub fn load_standalone(dir: impl AsRef<Path>) -> Result<(ExpertPool, PoolSpec), 
             classes.len(),
             &mut rng,
         );
-        load_module(dir.join(format!("expert_{t}.poem")), &mut head)?;
+        // Version-3 expert files keep their int8 payload (the head stays
+        // on placeholder weights, dequantized at assemble time); dense
+        // v1/v2 files load as before and return no payload.
+        let quantized = load_module_quantized(dir.join(format!("expert_{t}.poem")), &mut head)?;
         pool.insert_expert(Expert {
             task_index: t,
             classes,
             head,
         });
+        if let Some(q) = quantized {
+            pool.attach_quantized(t, q);
+        }
     }
     Ok((pool, m.spec))
 }
@@ -296,6 +302,27 @@ mod tests {
         assert_eq!(reopened.hierarchy(), pool.hierarchy());
 
         let x = Tensor::randn([4, 6], 1.0, &mut Prng::seed_from_u64(3));
+        let (a, _) = pool.consolidate(&[0, 2]).unwrap();
+        let (b, _) = reopened.consolidate(&[0, 2]).unwrap();
+        assert!(a.infer(&x).max_abs_diff(&b.infer(&x)) < 1e-6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn standalone_round_trip_preserves_quantized_experts() {
+        let (mut pool, spec, _split) = built_pool();
+        let report = pool.quantize_experts();
+        assert!(report.experts > 0);
+        let dir = std::env::temp_dir().join("poe_standalone_quant_test");
+        std::fs::remove_dir_all(&dir).ok();
+        save_standalone(&pool, &spec, &dir).unwrap();
+
+        let (reopened, _) = load_standalone(&dir).unwrap();
+        for t in reopened.pooled_tasks() {
+            assert!(reopened.is_quantized(t), "task {t} lost its payload");
+        }
+        // Identical int8 payloads ⇒ bit-identical assembled models.
+        let x = Tensor::randn([4, 6], 1.0, &mut Prng::seed_from_u64(5));
         let (a, _) = pool.consolidate(&[0, 2]).unwrap();
         let (b, _) = reopened.consolidate(&[0, 2]).unwrap();
         assert!(a.infer(&x).max_abs_diff(&b.infer(&x)) < 1e-6);

@@ -16,12 +16,14 @@
 #![warn(missing_docs)]
 
 mod branched;
+pub mod quant;
 pub mod serialize;
 mod split;
 pub mod wire;
 mod wrn;
 
 pub use branched::{Branch, BranchedModel, Prediction};
+pub use quant::QuantizedModule;
 pub use split::SplitModel;
 pub use wrn::{
     build_conv_head, build_mlp_head, build_mlp_head_with_depth, build_wrn_conv, build_wrn_mlp,

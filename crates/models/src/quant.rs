@@ -1,0 +1,237 @@
+//! Int8 quantization of whole modules (expert heads).
+//!
+//! A [`QuantizedModule`] is the int8 shadow of a module: every rank-2
+//! parameter (the weight matrices, which dominate the byte count) is
+//! stored as a per-output-row affine [`QuantizedMatrix`], while biases
+//! and any other low-rank parameters stay `f32` in the module itself.
+//! After [`QuantizedModule::strip_weights`] the module's weight tensors
+//! are *placeholders* — copy-on-write clones of one shared zero tensor
+//! per shape — so the dense `f32` weights are actually freed and an
+//! expert's resident cost is its int8 payload plus its biases.
+//!
+//! Consolidation re-materializes dense weights with
+//! [`QuantizedModule::restore_into`] (dequantize-on-assemble): writing
+//! through the placeholder's copy-on-write handle detaches it from the
+//! shared zeros into a fresh buffer, so assembled models are ordinary
+//! dense models and the consolidation cache is unaffected.
+
+use poe_nn::Module;
+use poe_tensor::quant::QuantizedMatrix;
+use poe_tensor::Tensor;
+use std::collections::BTreeMap;
+
+/// The int8 side of a module's rank-2 parameters, in visit order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedModule {
+    entries: Vec<(String, QuantizedMatrix)>,
+}
+
+impl QuantizedModule {
+    /// Rebuilds a payload from deserialized entries (visit order).
+    pub(crate) fn from_entries(entries: Vec<(String, QuantizedMatrix)>) -> Self {
+        QuantizedModule { entries }
+    }
+
+    /// Quantizes every rank-2 parameter of `module`. The module itself is
+    /// untouched; pair with [`QuantizedModule::strip_weights`] to actually
+    /// release the dense weights.
+    pub fn from_module(module: &dyn Module) -> Self {
+        let mut entries = Vec::new();
+        module.visit_params_ref(&mut |p| {
+            if p.value.dims().len() == 2 {
+                entries.push((p.name.clone(), QuantizedMatrix::quantize(&p.value)));
+            }
+        });
+        QuantizedModule { entries }
+    }
+
+    /// Replaces every rank-2 parameter tensor of `module` with a shared
+    /// zero placeholder (one allocation per distinct shape, shared via
+    /// copy-on-write), dropping the dense weight buffers.
+    pub fn strip_weights(module: &mut dyn Module) {
+        let mut shared: BTreeMap<Vec<usize>, Tensor> = BTreeMap::new();
+        module.visit_params(&mut |p| {
+            let dims = p.value.dims().to_vec();
+            if dims.len() == 2 {
+                p.value = shared
+                    .entry(dims.clone())
+                    .or_insert_with(|| Tensor::zeros(dims))
+                    .clone();
+            }
+        });
+    }
+
+    /// Dequantizes every stored matrix back into the matching rank-2
+    /// parameters of `module` (same names, shapes, and visit order as the
+    /// module this was built from).
+    ///
+    /// # Errors
+    /// Returns a message naming the first structural mismatch.
+    pub fn restore_into(&self, module: &mut dyn Module) -> Result<(), String> {
+        let mut cursor = 0usize;
+        let mut error: Option<String> = None;
+        module.visit_params(&mut |p| {
+            if error.is_some() || p.value.dims().len() != 2 {
+                return;
+            }
+            let Some((name, q)) = self.entries.get(cursor) else {
+                error = Some(format!(
+                    "module has more weight matrices than the {} quantized entries",
+                    self.entries.len()
+                ));
+                return;
+            };
+            cursor += 1;
+            if name != &p.name {
+                error = Some(format!(
+                    "quantized entry `{name}` does not match parameter `{}`",
+                    p.name
+                ));
+                return;
+            }
+            if p.value.dims() != [q.rows(), q.cols()] {
+                error = Some(format!(
+                    "quantized entry `{name}` is [{}×{}], parameter is {:?}",
+                    q.rows(),
+                    q.cols(),
+                    p.value.dims()
+                ));
+                return;
+            }
+            q.dequantize_into(p.value.data_mut());
+        });
+        if let Some(e) = error {
+            return Err(e);
+        }
+        if cursor != self.entries.len() {
+            return Err(format!(
+                "module has {cursor} weight matrices, quantized payload has {}",
+                self.entries.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of quantized weight matrices.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no parameter was rank 2.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(name, matrix)` pairs in visit order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &QuantizedMatrix)> {
+        self.entries.iter().map(|(n, q)| (n.as_str(), q))
+    }
+
+    /// Looks up a quantized matrix by parameter name.
+    pub fn get(&self, name: &str) -> Option<&QuantizedMatrix> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, q)| q)
+    }
+
+    /// In-memory int8 payload bytes (data + per-row parameters).
+    pub fn byte_size(&self) -> u64 {
+        self.entries.iter().map(|(_, q)| q.byte_size()).sum()
+    }
+
+    /// Worst-case per-element dequantization error across all matrices.
+    pub fn error_bound(&self) -> f32 {
+        self.entries
+            .iter()
+            .map(|(_, q)| q.error_bound())
+            .fold(0.0f32, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poe_nn::layers::{Linear, Relu, Sequential};
+    use poe_tensor::Prng;
+
+    fn net(seed: u64) -> Sequential {
+        let mut rng = Prng::seed_from_u64(seed);
+        Sequential::new()
+            .push(Linear::new("a", 6, 9, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new("b", 9, 4, &mut rng))
+    }
+
+    #[test]
+    fn quantize_strip_restore_round_trips_within_bound() {
+        let original = net(1);
+        let q = QuantizedModule::from_module(&original);
+        assert_eq!(q.len(), 2);
+
+        let mut working = original.clone();
+        QuantizedModule::strip_weights(&mut working);
+        // Placeholders are shared zeros — weights really are gone.
+        let mut zeroed = 0;
+        working.visit_params_ref(&mut |p| {
+            if p.value.dims().len() == 2 {
+                assert!(p.value.data().iter().all(|&v| v == 0.0));
+                zeroed += 1;
+            }
+        });
+        assert_eq!(zeroed, 2);
+
+        q.restore_into(&mut working).unwrap();
+        let bound = q.error_bound();
+        let mut originals = Vec::new();
+        original.visit_params_ref(&mut |p| originals.push(p.value.clone()));
+        let mut idx = 0;
+        working.visit_params_ref(&mut |p| {
+            let diff = p.value.max_abs_diff(&originals[idx]);
+            assert!(
+                diff <= bound,
+                "param `{}` drifted {diff} > bound {bound}",
+                p.name
+            );
+            idx += 1;
+        });
+    }
+
+    #[test]
+    fn restore_rejects_structural_mismatch() {
+        let q = QuantizedModule::from_module(&net(2));
+        let mut rng = Prng::seed_from_u64(3);
+        let mut wrong = Sequential::new().push(Linear::new("a", 6, 9, &mut rng));
+        assert!(q.restore_into(&mut wrong).is_err());
+        let mut wrong_name = Sequential::new()
+            .push(Linear::new("x", 6, 9, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new("b", 9, 4, &mut rng));
+        assert!(q.restore_into(&mut wrong_name).is_err());
+    }
+
+    #[test]
+    fn byte_size_is_roughly_a_quarter_of_dense() {
+        // Realistically-sized head: per-row scale/min overhead must be
+        // small next to the int8 payload.
+        let mut rng = Prng::seed_from_u64(4);
+        let m = Sequential::new()
+            .push(Linear::new("a", 128, 64, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new("b", 64, 10, &mut rng));
+        let q = QuantizedModule::from_module(&m);
+        let mut dense_weight_bytes = 0u64;
+        m.visit_params_ref(&mut |p| {
+            if p.value.dims().len() == 2 {
+                dense_weight_bytes += 4 * p.value.numel() as u64;
+            }
+        });
+        assert!(q.byte_size() * 3 < dense_weight_bytes);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let m = net(5);
+        let q = QuantizedModule::from_module(&m);
+        assert!(q.get("a.w").is_some());
+        assert_eq!(q.iter().count(), 2);
+        assert!(q.get("definitely-not-a-param").is_none());
+    }
+}

@@ -24,9 +24,28 @@
 //!   data f32-LE × numel
 //! footer  b"POEC", crc32 u32           IEEE CRC32 of all preceding bytes
 //! ```
+//!
+//! Version 3 adds a per-tensor `dtype u32` between the dims and the data,
+//! so expert heads can persist int8 row-wise quantized weights (~4×
+//! smaller) while biases stay `f32`:
+//!
+//! ```text
+//! dtype 0 (f32):          data f32-LE × numel
+//! dtype 1 (int8 rowwise): scales f32-LE × rows, mins f32-LE × rows,
+//!                         data i8 × rows·cols          (rank-2 only)
+//! ```
+//!
+//! v3 files load two ways: [`deserialize_into`] dequantizes on load
+//! (any reader gets dense weights back, within the quantization error
+//! bound), while [`load_module_quantized`] keeps the int8 payload as a
+//! [`QuantizedModule`] for dequantize-on-assemble serving.
 
+use crate::quant::QuantizedModule;
 use crate::wire::{WireBuf, WireRead};
 use poe_nn::Module;
+use poe_tensor::quant::QuantizedMatrix;
+use poe_tensor::Tensor;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io::Write;
@@ -34,9 +53,14 @@ use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"POEM";
 const VERSION: u32 = 2;
+/// Format version that introduces per-tensor dtypes (int8 payloads).
+const VERSION_QUANT: u32 = 3;
 const FOOTER_MAGIC: &[u8; 4] = b"POEC";
 /// Bytes of the v2 integrity footer: footer magic + CRC32.
 const FOOTER_BYTES: u64 = 8;
+/// Per-tensor dtype tags (v3+).
+const DTYPE_F32: u32 = 0;
+const DTYPE_INT8_ROWWISE: u32 = 1;
 
 /// Errors from (de)serializing model files.
 #[derive(Debug)]
@@ -142,9 +166,25 @@ pub fn module_byte_size(module: &dyn Module) -> u64 {
 
 /// Restores parameter values from `data` into an identically-structured
 /// module (same parameter names, shapes, and visit order). Accepts
-/// version-2 streams (checksum verified before any weight is touched)
-/// and legacy version-1 streams (no footer).
+/// version-2 streams (checksum verified before any weight is touched),
+/// legacy version-1 streams (no footer), and version-3 streams — whose
+/// int8 tensors are dequantized on load, so every reader sees dense
+/// weights regardless of how the file stores them.
 pub fn deserialize_into(module: &mut dyn Module, data: &[u8]) -> Result<(), SerializeError> {
+    deserialize_impl(module, data, None).map(|_| ())
+}
+
+/// Shared parser behind [`deserialize_into`] and
+/// [`load_module_quantized`]. When `collect` is `Some`, int8 records are
+/// kept as [`QuantizedMatrix`] entries and the matching module parameters
+/// become shared zero placeholders (the dense weights are never
+/// materialized); when `None`, int8 records dequantize into the module.
+/// Returns the stream's format version.
+fn deserialize_impl(
+    module: &mut dyn Module,
+    data: &[u8],
+    mut collect: Option<&mut Vec<(String, QuantizedMatrix)>>,
+) -> Result<u32, SerializeError> {
     let mut buf = data;
     if buf.remaining() < 12 {
         return Err(SerializeError::Format("truncated header".into()));
@@ -157,7 +197,7 @@ pub fn deserialize_into(module: &mut dyn Module, data: &[u8]) -> Result<(), Seri
     let version = buf.get_u32_le();
     match version {
         1 => {}
-        2 => {
+        2 | 3 => {
             // Verify the integrity footer over the whole stream before
             // believing a single byte of tensor data.
             if data.len() < 12 + FOOTER_BYTES as usize {
@@ -199,6 +239,7 @@ pub fn deserialize_into(module: &mut dyn Module, data: &[u8]) -> Result<(), Seri
     }
 
     let mut error: Option<SerializeError> = None;
+    let mut placeholders: BTreeMap<Vec<usize>, Tensor> = BTreeMap::new();
     module.visit_params(&mut |p| {
         if error.is_some() {
             return;
@@ -236,12 +277,65 @@ pub fn deserialize_into(module: &mut dyn Module, data: &[u8]) -> Result<(), Seri
                     p.value.dims()
                 )));
             }
+            let dtype = if version >= VERSION_QUANT {
+                if buf.remaining() < 4 {
+                    return Err(SerializeError::Format("truncated dtype".into()));
+                }
+                buf.get_u32_le()
+            } else {
+                DTYPE_F32
+            };
             let numel: usize = dims.iter().product();
-            if buf.remaining() < 4 * numel {
-                return Err(SerializeError::Format("truncated tensor data".into()));
-            }
-            for v in p.value.data_mut() {
-                *v = buf.get_f32_le();
+            match dtype {
+                DTYPE_F32 => {
+                    if buf.remaining() < 4 * numel {
+                        return Err(SerializeError::Format("truncated tensor data".into()));
+                    }
+                    for v in p.value.data_mut() {
+                        *v = buf.get_f32_le();
+                    }
+                }
+                DTYPE_INT8_ROWWISE => {
+                    if rank != 2 {
+                        return Err(SerializeError::Format(format!(
+                            "int8 tensor `{name}` has rank {rank}, expected 2"
+                        )));
+                    }
+                    let (rows, cols) = (dims[0], dims[1]);
+                    if buf.remaining() < 8 * rows + numel {
+                        return Err(SerializeError::Format("truncated int8 tensor".into()));
+                    }
+                    let scales: Vec<f32> = (0..rows).map(|_| buf.get_f32_le()).collect();
+                    let mins: Vec<f32> = (0..rows).map(|_| buf.get_f32_le()).collect();
+                    let mut raw = vec![0u8; numel];
+                    buf.copy_to_slice(&mut raw);
+                    let q = QuantizedMatrix::from_parts(
+                        rows,
+                        cols,
+                        scales,
+                        mins,
+                        raw.into_iter().map(|b| b as i8).collect(),
+                    );
+                    match collect.as_deref_mut() {
+                        Some(entries) => {
+                            // Quantized serving path: keep the int8
+                            // payload; the dense parameter becomes a
+                            // shared zero placeholder so the f32 buffer
+                            // is never allocated per expert.
+                            entries.push((name, q));
+                            p.value = placeholders
+                                .entry(dims.clone())
+                                .or_insert_with(|| Tensor::zeros(dims))
+                                .clone();
+                        }
+                        None => q.dequantize_into(p.value.data_mut()),
+                    }
+                }
+                other => {
+                    return Err(SerializeError::Format(format!(
+                        "unknown dtype {other} for tensor `{name}`"
+                    )));
+                }
             }
             Ok(())
         })();
@@ -251,7 +345,7 @@ pub fn deserialize_into(module: &mut dyn Module, data: &[u8]) -> Result<(), Seri
     });
     match error {
         Some(e) => Err(e),
-        None => Ok(()),
+        None => Ok(version),
     }
 }
 
@@ -307,6 +401,116 @@ pub fn load_module(path: impl AsRef<Path>, module: &mut dyn Module) -> Result<()
     }
     let data = fs::read(path)?;
     deserialize_into(module, &data)
+}
+
+/// Serializes a module in the version-3 tagged format: rank-2 parameters
+/// present in `q` are stored as int8 row-wise records, everything else as
+/// `f32`. Same CRC32 footer as version 2.
+///
+/// # Panics
+/// Panics if a quantized entry's shape disagrees with the module — `q`
+/// must have been built from this module (or a clone of it) with
+/// [`QuantizedModule::from_module`].
+pub fn serialize_module_quantized(module: &dyn Module, q: &QuantizedModule) -> Vec<u8> {
+    let mut buf = WireBuf::with_capacity(module_byte_size_quantized(module, q) as usize);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION_QUANT);
+    let mut count = 0u32;
+    module.visit_params_ref(&mut |_| count += 1);
+    buf.put_u32_le(count);
+    module.visit_params_ref(&mut |p| {
+        buf.put_u32_le(p.name.len() as u32);
+        buf.put_slice(p.name.as_bytes());
+        let dims = p.value.dims();
+        buf.put_u32_le(dims.len() as u32);
+        for &d in dims {
+            buf.put_u32_le(d as u32);
+        }
+        let quantized = (dims.len() == 2).then(|| q.get(&p.name)).flatten();
+        match quantized {
+            Some(qm) => {
+                assert_eq!(
+                    dims,
+                    [qm.rows(), qm.cols()],
+                    "quantized entry `{}` does not match the module",
+                    p.name
+                );
+                buf.put_u32_le(DTYPE_INT8_ROWWISE);
+                for &s in qm.scales() {
+                    buf.put_f32_le(s);
+                }
+                for &m in qm.mins() {
+                    buf.put_f32_le(m);
+                }
+                let bytes: Vec<u8> = qm.data().iter().map(|&b| b as u8).collect();
+                buf.put_slice(&bytes);
+            }
+            None => {
+                buf.put_u32_le(DTYPE_F32);
+                for &v in p.value.data() {
+                    buf.put_f32_le(v);
+                }
+            }
+        }
+    });
+    let mut bytes = buf.into_vec();
+    let crc = crc32(&bytes);
+    bytes.extend_from_slice(FOOTER_MAGIC);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    bytes
+}
+
+/// Exact on-disk size, in bytes, of [`serialize_module_quantized`]'s
+/// output — the number Table 4's storage-volume accounting reports for
+/// quantized experts.
+pub fn module_byte_size_quantized(module: &dyn Module, q: &QuantizedModule) -> u64 {
+    let mut size = 4 + 4 + 4u64; // magic + version + count
+    module.visit_params_ref(&mut |p| {
+        size += 4 + p.name.len() as u64; // name
+        size += 4 + 4 * p.value.dims().len() as u64; // rank + dims
+        size += 4; // dtype
+        let dims = p.value.dims();
+        match (dims.len() == 2).then(|| q.get(&p.name)).flatten() {
+            Some(qm) => size += qm.byte_size(),
+            None => size += 4 * p.value.numel() as u64,
+        }
+    });
+    size + FOOTER_BYTES
+}
+
+/// Writes a module to disk in the version-3 quantized format, atomically,
+/// returning the byte count.
+pub fn save_module_quantized(
+    path: impl AsRef<Path>,
+    module: &dyn Module,
+    q: &QuantizedModule,
+) -> Result<u64, SerializeError> {
+    let bytes = serialize_module_quantized(module, q);
+    atomic_write(path, &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Loads a module file, preserving any int8 payload. For a version-3
+/// file this returns `Some(QuantizedModule)` and leaves the module's
+/// quantized weight parameters as shared zero placeholders (dequantize
+/// later with [`QuantizedModule::restore_into`], at assemble time); `f32`
+/// records — biases — load normally. For version-1/2 files it behaves
+/// exactly like [`load_module`] and returns `None`.
+pub fn load_module_quantized(
+    path: impl AsRef<Path>,
+    module: &mut dyn Module,
+) -> Result<Option<QuantizedModule>, SerializeError> {
+    if let Some(e) = poe_chaos::fail_io(poe_chaos::sites::STORE_READ_IO) {
+        return Err(SerializeError::Io(e));
+    }
+    let data = fs::read(path)?;
+    let mut entries = Vec::new();
+    let version = deserialize_impl(module, &data, Some(&mut entries))?;
+    if version >= VERSION_QUANT && !entries.is_empty() {
+        Ok(Some(QuantizedModule::from_entries(entries)))
+    } else {
+        Ok(None)
+    }
 }
 
 #[cfg(test)]
@@ -455,6 +659,79 @@ mod tests {
             .push(Linear::new("b", 5, 2, &mut rng));
         let err = deserialize_into(&mut wrong, &bytes).unwrap_err();
         assert!(matches!(err, SerializeError::Mismatch(_)));
+    }
+
+    #[test]
+    fn v3_round_trip_dequantizes_on_load_within_bound() {
+        let src = net(20);
+        let q = QuantizedModule::from_module(&src);
+        let bytes = serialize_module_quantized(&src, &q);
+        assert_eq!(bytes.len() as u64, module_byte_size_quantized(&src, &q));
+        // v3 files are much smaller than their dense v2 counterparts.
+        assert!(bytes.len() < serialize_module(&src).len());
+
+        // Plain deserialize_into sees dense weights within the bound.
+        let mut dense = net(21);
+        deserialize_into(&mut dense, &bytes).unwrap();
+        let bound = q.error_bound();
+        let mut originals = Vec::new();
+        src.visit_params_ref(&mut |p| originals.push(p.value.clone()));
+        let mut idx = 0;
+        dense.visit_params_ref(&mut |p| {
+            assert!(p.value.max_abs_diff(&originals[idx]) <= bound, "{}", p.name);
+            idx += 1;
+        });
+    }
+
+    #[test]
+    fn v3_quantized_load_preserves_int8_payload() {
+        let dir = std::env::temp_dir().join("poe_serialize_v3_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("expert.poem");
+        let src = net(22);
+        let q = QuantizedModule::from_module(&src);
+        let written = save_module_quantized(&path, &src, &q).unwrap();
+        assert_eq!(written, module_byte_size_quantized(&src, &q));
+
+        let mut dst = net(23);
+        let loaded = load_module_quantized(&path, &mut dst).unwrap().unwrap();
+        // Bit-exact payload round trip.
+        assert_eq!(loaded, q);
+        // Weight params are placeholders; biases loaded dense.
+        dst.visit_params_ref(&mut |p| {
+            if p.value.dims().len() == 2 {
+                assert!(p.value.data().iter().all(|&v| v == 0.0), "{}", p.name);
+            }
+        });
+        // And restoring yields dense weights again.
+        loaded.restore_into(&mut dst).unwrap();
+
+        // A v2 file through the same entry point loads dense, no payload.
+        let v2_path = dir.join("dense.poem");
+        save_module(&v2_path, &src).unwrap();
+        let mut dst2 = net(24);
+        assert!(load_module_quantized(&v2_path, &mut dst2)
+            .unwrap()
+            .is_none());
+        assert_eq!(snapshot_params(&src), snapshot_params(&dst2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v3_rejects_unknown_dtype_and_corruption() {
+        let src = net(25);
+        let q = QuantizedModule::from_module(&src);
+        let bytes = serialize_module_quantized(&src, &q);
+        // Bit flip → checksum catches it.
+        let mut evil = bytes.clone();
+        let mid = evil.len() / 2;
+        evil[mid] ^= 0x40;
+        let mut dst = net(26);
+        let err = deserialize_into(&mut dst, &evil).unwrap_err();
+        assert!(matches!(err, SerializeError::Corrupt(_)), "{err}");
+        // Truncation too.
+        let err = deserialize_into(&mut dst, &bytes[..bytes.len() - 9]).unwrap_err();
+        assert!(matches!(err, SerializeError::Corrupt(_)), "{err}");
     }
 
     #[test]

@@ -82,23 +82,25 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Tensor {
                 let row0 = ((img * oh + oy) * ow + ox) * patch;
                 let y0 = (oy * spec.stride) as isize - spec.padding as isize;
                 let x0 = (ox * spec.stride) as isize - spec.padding as isize;
+                // Taps along kx are consecutive input pixels regardless
+                // of stride, so each kernel row is one bounds-clipped
+                // memcpy instead of k per-tap branches; out-of-bounds
+                // taps stay at the output's zero initialization.
+                let lo = (-x0).clamp(0, k as isize) as usize;
+                let hi = (w as isize - x0).clamp(0, k as isize) as usize;
                 let mut col = row0;
                 for ch in 0..c {
                     let plane = &src_img[ch * h * w..(ch + 1) * h * w];
                     for ky in 0..k {
                         let y = y0 + ky as isize;
-                        if y < 0 || y >= h as isize {
+                        if y < 0 || y >= h as isize || lo >= hi {
                             col += k;
                             continue;
                         }
-                        let line = &plane[y as usize * w..(y as usize + 1) * w];
-                        for kx in 0..k {
-                            let x = x0 + kx as isize;
-                            if x >= 0 && x < w as isize {
-                                dst[col] = line[x as usize];
-                            }
-                            col += 1;
-                        }
+                        let src_start = y as usize * w + (x0 + lo as isize) as usize;
+                        dst[col + lo..col + hi]
+                            .copy_from_slice(&plane[src_start..src_start + (hi - lo)]);
+                        col += k;
                     }
                 }
             }
@@ -128,23 +130,27 @@ pub fn col2im(cols: &Tensor, spec: &Conv2dSpec, n: usize, h: usize, w: usize) ->
                 let row0 = ((img * oh + oy) * ow + ox) * patch;
                 let y0 = (oy * spec.stride) as isize - spec.padding as isize;
                 let x0 = (ox * spec.stride) as isize - spec.padding as isize;
+                // Mirror of the im2col fast path: the valid kx span is a
+                // contiguous slice on both sides, scatter-added.
+                let lo = (-x0).clamp(0, k as isize) as usize;
+                let hi = (w as isize - x0).clamp(0, k as isize) as usize;
                 let mut col = row0;
                 for ch in 0..c {
                     let plane = &mut dst_img[ch * h * w..(ch + 1) * h * w];
                     for ky in 0..k {
                         let y = y0 + ky as isize;
-                        if y < 0 || y >= h as isize {
+                        if y < 0 || y >= h as isize || lo >= hi {
                             col += k;
                             continue;
                         }
-                        let base = y as usize * w;
-                        for kx in 0..k {
-                            let x = x0 + kx as isize;
-                            if x >= 0 && x < w as isize {
-                                plane[base + x as usize] += src[col];
-                            }
-                            col += 1;
+                        let dst_start = y as usize * w + (x0 + lo as isize) as usize;
+                        for (d, &s) in plane[dst_start..dst_start + (hi - lo)]
+                            .iter_mut()
+                            .zip(&src[col + lo..col + hi])
+                        {
+                            *d += s;
                         }
+                        col += k;
                     }
                 }
             }

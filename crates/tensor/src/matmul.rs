@@ -2,27 +2,58 @@
 //!
 //! These are the hot loops of the whole workspace: every linear layer,
 //! convolution (via im2col), and their backward passes reduce to one of the
-//! three products below. The kernels use an i-k-j loop order so the inner
-//! loop streams contiguously over both `b` and `out`, letting LLVM
-//! auto-vectorize, and shard the output rows across the shared compute
-//! pool ([`crate::threads`]) when the problem is large enough to amortize
-//! the hand-off. Workers receive refcounted handles to the copy-on-write
+//! three products below. The actual arithmetic lives in [`crate::simd`],
+//! which dispatches once per call between the scalar oracle kernels and
+//! the AVX2+FMA vector kernels (`POE_SIMD`); this module owns shape
+//! checking, metrics, and the row-sharding across the shared compute pool
+//! ([`crate::threads`]) when the problem is large enough to amortize the
+//! hand-off. Workers receive refcounted handles to the copy-on-write
 //! tensor buffers and return owned output chunks, so no borrow ever
 //! crosses a thread boundary.
+//!
+//! The kernels are deliberately free of data-dependent branches: there is
+//! no "skip zero entries" fast path, because `0 × NaN` and `0 × ∞` must
+//! produce `NaN` identically in the scalar and vector kernels for the
+//! scalar path to serve as a differential-testing oracle.
+//!
+//! A panic inside a pool worker (e.g. injected through the
+//! `tensor.matmul.shard.panic` chaos site) does **not** propagate to the
+//! caller: the dispatcher detects the dead shard through its closed
+//! result channel, recomputes the missing rows inline, and bumps the
+//! `tensor.matmul.shard_panics` counter.
 //!
 //! Every kernel reports to the process-wide metrics registry
 //! ([`poe_obs::Registry::global`]): per-kernel call counters, a shared
 //! `tensor.matmul.secs` latency histogram, and shard-occupancy counters
-//! for the parallel path. Recording is a couple of relaxed atomics plus
-//! one clock read per call, far below the cost of even the smallest
-//! product that reaches these kernels in practice.
+//! for the parallel path.
 
-use crate::{Result, Shape, Tensor, TensorError};
+use crate::{simd, Result, Shape, Tensor, TensorError};
 use std::sync::mpsc::channel;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Problems with at least this many multiply-adds are sharded across threads.
 const PARALLEL_THRESHOLD: usize = 1 << 20;
+
+/// A hook invoked at the start of every queued matmul shard, used by the
+/// fault-injection harness (`poe-chaos` arms it with a panic at the
+/// `tensor.matmul.shard.panic` site). `poe-tensor` cannot depend on
+/// `poe-chaos` — the dependency runs the other way — so chaos installs
+/// itself through this seam. First install wins; it is a no-op until set.
+static SHARD_FAULT_HOOK: OnceLock<fn()> = OnceLock::new();
+
+/// Installs the shard fault hook (see `SHARD_FAULT_HOOK`). Calls after
+/// the first are ignored.
+pub fn set_shard_fault_hook(hook: fn()) {
+    let _ = SHARD_FAULT_HOOK.set(hook);
+}
+
+#[inline]
+fn shard_fault_hook() {
+    if let Some(h) = SHARD_FAULT_HOOK.get() {
+        h();
+    }
+}
 
 #[inline]
 fn dims2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
@@ -36,34 +67,15 @@ fn dims2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     Ok((t.dims()[0], t.dims()[1]))
 }
 
-/// Serial kernel computing `out[m×n] += a[m×k] · b[k×n]` over a row range of `a`.
-fn mm_rows(out: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize, rows: usize) {
-    debug_assert_eq!(out.len(), rows * n);
-    debug_assert_eq!(a.len(), rows * k);
-    debug_assert_eq!(b.len(), k * n);
-    for i in 0..rows {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
-                *o += a_ip * b_pj;
-            }
-        }
-    }
-}
-
-/// Runs `mm_rows` over `m` rows, sharded across the compute pool when
-/// profitable. The first shard runs inline on the calling thread, so
-/// progress is guaranteed even when every pool worker is busy.
+/// Runs the row kernel over `m` rows, sharded across the compute pool
+/// when profitable. The first shard runs inline on the calling thread, so
+/// progress is guaranteed even when every pool worker is busy; shards
+/// whose worker dies are recomputed inline afterwards.
 fn mm_dispatch(out: &mut [f32], a: &Tensor, b: &Tensor, m: usize, k: usize, n: usize) {
     let work = m * k * n;
     let threads = crate::threads::num_threads();
     if work < PARALLEL_THRESHOLD || threads == 1 || m < 2 {
-        mm_rows(out, a.data(), b.data(), k, n, m);
+        simd::mm_rows(out, a.data(), b.data(), k, n, m);
         return;
     }
     let shards = threads.min(m);
@@ -71,7 +83,8 @@ fn mm_dispatch(out: &mut [f32], a: &Tensor, b: &Tensor, m: usize, k: usize, n: u
     poe_obs::global_counter!("tensor.matmul.shards").add(shards as u64);
     let chunk = m.div_ceil(shards);
     let (tx, rx) = channel::<(usize, Vec<f32>)>();
-    let mut queued = 0usize;
+    // Queued shards as (start_row, rows): the recovery bookkeeping.
+    let mut queued: Vec<(usize, usize)> = Vec::with_capacity(shards);
     let mut row = chunk; // shard at rows [0, chunk) runs inline below
     while row < m {
         let rows = chunk.min(m - row);
@@ -79,8 +92,9 @@ fn mm_dispatch(out: &mut [f32], a: &Tensor, b: &Tensor, m: usize, k: usize, n: u
         let tx = tx.clone();
         let start = row;
         crate::threads::global().execute(move || {
+            shard_fault_hook();
             let mut o = vec![0.0f32; rows * n];
-            mm_rows(
+            simd::mm_rows(
                 &mut o,
                 &a_buf[start * k..(start + rows) * k],
                 &b_buf,
@@ -90,12 +104,12 @@ fn mm_dispatch(out: &mut [f32], a: &Tensor, b: &Tensor, m: usize, k: usize, n: u
             );
             let _ = tx.send((start, o));
         });
-        queued += 1;
+        queued.push((start, rows));
         row += rows;
     }
     drop(tx);
     let head = chunk.min(m);
-    mm_rows(
+    simd::mm_rows(
         &mut out[..head * n],
         &a.data()[..head * k],
         b.data(),
@@ -103,9 +117,37 @@ fn mm_dispatch(out: &mut [f32], a: &Tensor, b: &Tensor, m: usize, k: usize, n: u
         n,
         head,
     );
-    for _ in 0..queued {
-        let (start, o) = rx.recv().expect("matmul worker panicked");
-        out[start * n..start * n + o.len()].copy_from_slice(&o);
+    // Collect results. A worker that panicked was unwound inside the pool
+    // (its job is wrapped in catch_unwind) and dropped its sender without
+    // sending; once every live sender is done, `recv` disconnects and
+    // whatever shards never arrived are recomputed right here.
+    let mut done = vec![false; queued.len()];
+    let mut received = 0usize;
+    while received < queued.len() {
+        match rx.recv() {
+            Ok((start, o)) => {
+                out[start * n..start * n + o.len()].copy_from_slice(&o);
+                if let Some(idx) = queued.iter().position(|&(s, _)| s == start) {
+                    done[idx] = true;
+                }
+                received += 1;
+            }
+            Err(_) => break,
+        }
+    }
+    for (idx, &(start, rows)) in queued.iter().enumerate() {
+        if done[idx] {
+            continue;
+        }
+        poe_obs::global_counter!("tensor.matmul.shard_panics").inc();
+        simd::mm_rows(
+            &mut out[start * n..(start + rows) * n],
+            &a.data()[start * k..(start + rows) * k],
+            b.data(),
+            k,
+            n,
+            rows,
+        );
     }
 }
 
@@ -141,26 +183,11 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.shape().clone(),
         });
     }
-    // out[i][j] = Σ_p a[p][i] * b[p][j]. Loop over p outer so both reads are
-    // contiguous; accumulate rank-1 updates into out.
+    // out[i][j] = Σ_p a[p][i] * b[p][j]. The kernel loops over p outer so
+    // both reads are contiguous, accumulating rank-1 updates into out.
     let start = Instant::now();
     let mut out = Tensor::zeros([m, n]);
-    let o = out.data_mut();
-    let ad = a.data();
-    let bd = b.data();
-    for p in 0..k {
-        let a_row = &ad[p * m..(p + 1) * m];
-        let b_row = &bd[p * n..(p + 1) * n];
-        for (i, &a_pi) in a_row.iter().enumerate() {
-            if a_pi == 0.0 {
-                continue;
-            }
-            let out_row = &mut o[i * n..(i + 1) * n];
-            for (ov, &bv) in out_row.iter_mut().zip(b_row) {
-                *ov += a_pi * bv;
-            }
-        }
-    }
+    simd::mm_at_b(out.data_mut(), a.data(), b.data(), k, m, n);
     poe_obs::global_counter!("tensor.matmul_at_b.calls").inc();
     poe_obs::global_histogram!("tensor.matmul.secs").record(start.elapsed().as_secs_f64());
     Ok(out)
@@ -168,8 +195,9 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 
 /// `a[m×k] · bᵀ[n×k]ᵀ → [m×n]`, i.e. `b` is given transposed.
 ///
-/// Used in backprop for input gradients: `dx = dy · Wᵀ` where `W` is stored
-/// `[out×in]`.
+/// Used in every forward pass (`y = x · Wᵀ` with `W` stored `[out×in]`,
+/// and the im2col GEMM of convolution) and in backprop for input
+/// gradients.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, k) = dims2(a, "matmul_a_bt lhs")?;
     let (n, k2) = dims2(b, "matmul_a_bt rhs")?;
@@ -182,21 +210,7 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let start = Instant::now();
     let mut out = Tensor::zeros([m, n]);
-    let o = out.data_mut();
-    let ad = a.data();
-    let bd = b.data();
-    for i in 0..m {
-        let a_row = &ad[i * k..(i + 1) * k];
-        let out_row = &mut o[i * n..(i + 1) * n];
-        for (j, ov) in out_row.iter_mut().enumerate() {
-            let b_row = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
-            }
-            *ov = acc;
-        }
-    }
+    simd::mm_a_bt(out.data_mut(), a.data(), b.data(), m, k, n);
     poe_obs::global_counter!("tensor.matmul_a_bt.calls").inc();
     poe_obs::global_histogram!("tensor.matmul.secs").record(start.elapsed().as_secs_f64());
     Ok(out)
@@ -250,7 +264,7 @@ mod tests {
         let b = Tensor::randn([128, 128], 0.5, &mut rng);
         let par = matmul(&a, &b).unwrap();
         let mut ser = Tensor::zeros([128, 128]);
-        mm_rows(ser.data_mut(), a.data(), b.data(), 128, 128, 128);
+        simd::scalar::mm_rows(ser.data_mut(), a.data(), b.data(), 128, 128, 128);
         assert!(par.max_abs_diff(&ser) < 1e-4);
     }
 
@@ -295,5 +309,30 @@ mod tests {
         }
         assert!(matmul(&a, &eye).unwrap().max_abs_diff(&a) < 1e-6);
         assert!(matmul(&eye, &a).unwrap().max_abs_diff(&a) < 1e-6);
+    }
+
+    /// IEEE-754 requires 0 × ∞ = NaN and 0 × NaN = NaN; the old sparsity
+    /// skip (`if a_ip == 0.0 { continue }`) silently produced 0 instead,
+    /// so the scalar kernel disagreed with any branch-free vector kernel
+    /// on non-finite inputs. All three variants must now propagate.
+    #[test]
+    fn zero_times_non_finite_is_nan_in_all_variants() {
+        let a = Tensor::from_vec(vec![0.0, 1.0], [1, 2]);
+        let b = Tensor::from_vec(vec![f32::INFINITY, 5.0, 1.0, 2.0], [2, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert!(c.at(&[0, 0]).is_nan(), "matmul: 0·∞ lost");
+        assert_eq!(c.at(&[0, 1]), 2.0);
+
+        // aᵀ·b with a zero in a and NaN in b's matching row.
+        let at = Tensor::from_vec(vec![0.0, 1.0], [2, 1]); // k=2, m=1
+        let bb = Tensor::from_vec(vec![f32::NAN, 3.0], [2, 1]);
+        let c = matmul_at_b(&at, &bb).unwrap();
+        assert!(c.at(&[0, 0]).is_nan(), "matmul_at_b: 0·NaN lost");
+
+        // a·bᵀ dot product with a 0 meeting a NaN.
+        let aa = Tensor::from_vec(vec![0.0, 2.0], [1, 2]);
+        let bt = Tensor::from_vec(vec![f32::NAN, 1.0], [1, 2]);
+        let c = matmul_a_bt(&aa, &bt).unwrap();
+        assert!(c.at(&[0, 0]).is_nan(), "matmul_a_bt: 0·NaN lost");
     }
 }

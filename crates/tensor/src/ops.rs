@@ -4,12 +4,34 @@
 //! All functions treat their input through the *matrix view* (leading
 //! dimensions flattened into rows, last dimension as classes), which is how
 //! every logit tensor in the workspace is laid out.
+//!
+//! # Degenerate-row semantics
+//!
+//! The softmax family defines — identically in the scalar and SIMD
+//! kernels — what happens on rows that naive implementations silently
+//! turn into garbage:
+//!
+//! | row contents       | `softmax`                       | `log_softmax`                      |
+//! |--------------------|---------------------------------|------------------------------------|
+//! | any `NaN`          | all `NaN` (poison propagates)   | all `NaN`                          |
+//! | all `−∞`           | uniform `1/n`                   | `−ln n`                            |
+//! | some `+∞`          | `1/c` on the `+∞` entries, else 0 | `−ln c` on them, else `−∞`       |
+//!
+//! where `c` counts the `+∞` entries. NaN rows bump the
+//! `tensor.softmax.nan_rows` counter and the other two bump
+//! `tensor.softmax.degenerate_rows`, so poisoned inference surfaces in
+//! `METRICS` instead of silently skewing predictions. Before these
+//! semantics existed, an all-`−∞` row produced `0/0 = NaN` everywhere and
+//! a single NaN was *hidden* by the NaN-ignoring max fold — making the
+//! scalar kernel useless as a differential oracle for vector code.
 
+use crate::simd;
 use crate::Tensor;
 
 /// Numerically stable softmax over the last dimension.
 ///
-/// Each row `x` maps to `exp(x − max(x)) / Σ exp(x − max(x))`.
+/// Each row `x` maps to `exp(x − max(x)) / Σ exp(x − max(x))`. See the
+/// [module docs](self) for the NaN / infinite-row semantics.
 ///
 /// ```
 /// use poe_tensor::{ops::softmax, Tensor};
@@ -26,32 +48,96 @@ pub fn softmax(logits: &Tensor) -> Tensor {
 /// In-place variant of [`softmax`].
 pub fn softmax_in_place(logits: &mut Tensor) {
     let rows = logits.rows();
+    let mut nan_rows = 0u64;
+    let mut degenerate_rows = 0u64;
     for r in 0..rows {
         let row = logits.row_mut(r);
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
+        if row.is_empty() {
+            continue;
         }
-        let inv = 1.0 / sum;
-        for v in row.iter_mut() {
-            *v *= inv;
+        let (max, has_nan) = simd::row_scan(row);
+        if has_nan {
+            row.fill(f32::NAN);
+            nan_rows += 1;
+            continue;
         }
+        if max == f32::NEG_INFINITY {
+            // All entries −∞: no information, answer uniform instead of
+            // the naive 0/0 = NaN.
+            let u = 1.0 / row.len() as f32;
+            row.fill(u);
+            degenerate_rows += 1;
+            continue;
+        }
+        if max == f32::INFINITY {
+            // +∞ logits dominate everything finite: mass splits evenly
+            // over them (the limit of softmax as those logits → ∞).
+            let c = row.iter().filter(|v| **v == f32::INFINITY).count();
+            let u = 1.0 / c as f32;
+            for v in row.iter_mut() {
+                *v = if *v == f32::INFINITY { u } else { 0.0 };
+            }
+            degenerate_rows += 1;
+            continue;
+        }
+        let sum = simd::exp_sub_sum(row, max);
+        // The max entry contributes exp(0) = 1, so sum ∈ [1, n]: finite,
+        // nonzero, and 1/sum is always a valid scale.
+        simd::scale_in_place(row, 1.0 / sum);
+    }
+    if nan_rows > 0 {
+        poe_obs::global_counter!("tensor.softmax.nan_rows").add(nan_rows);
+    }
+    if degenerate_rows > 0 {
+        poe_obs::global_counter!("tensor.softmax.degenerate_rows").add(degenerate_rows);
     }
 }
 
-/// Numerically stable log-softmax over the last dimension.
+/// Numerically stable log-softmax over the last dimension. See the
+/// [module docs](self) for the NaN / infinite-row semantics.
 pub fn log_softmax(logits: &Tensor) -> Tensor {
     let mut out = logits.clone();
     let rows = out.rows();
+    let mut nan_rows = 0u64;
+    let mut degenerate_rows = 0u64;
     for r in 0..rows {
         let row = out.row_mut(r);
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let log_sum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
-        for v in row.iter_mut() {
-            *v -= log_sum;
+        if row.is_empty() {
+            continue;
         }
+        let (max, has_nan) = simd::row_scan(row);
+        if has_nan {
+            row.fill(f32::NAN);
+            nan_rows += 1;
+            continue;
+        }
+        if max == f32::NEG_INFINITY {
+            let v = -((row.len() as f32).ln());
+            row.fill(v);
+            degenerate_rows += 1;
+            continue;
+        }
+        if max == f32::INFINITY {
+            let c = row.iter().filter(|v| **v == f32::INFINITY).count();
+            let lc = -((c as f32).ln());
+            for v in row.iter_mut() {
+                *v = if *v == f32::INFINITY {
+                    lc
+                } else {
+                    f32::NEG_INFINITY
+                };
+            }
+            degenerate_rows += 1;
+            continue;
+        }
+        let log_sum = simd::sum_exp_sub(row, max).ln() + max;
+        simd::sub_scalar(row, log_sum);
+    }
+    if nan_rows > 0 {
+        poe_obs::global_counter!("tensor.softmax.nan_rows").add(nan_rows);
+    }
+    if degenerate_rows > 0 {
+        poe_obs::global_counter!("tensor.softmax.degenerate_rows").add(degenerate_rows);
     }
     out
 }
@@ -138,6 +224,60 @@ mod tests {
         let p = softmax(&x);
         assert!(!p.has_non_finite());
         assert!((p.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_neg_inf_row_becomes_uniform() {
+        // Used to be 0/0 = NaN across the row.
+        let x = Tensor::from_vec(vec![f32::NEG_INFINITY; 4], [1, 4]);
+        let p = softmax(&x);
+        for &v in p.row(0) {
+            assert!((v - 0.25).abs() < 1e-7, "expected uniform, got {v}");
+        }
+        let l = log_softmax(&x);
+        for &v in l.row(0) {
+            assert!((v + 4.0f32.ln()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn nan_rows_propagate_and_are_counted() {
+        let before = poe_obs::global_counter!("tensor.softmax.nan_rows").get();
+        // Row 0 poisoned, row 1 healthy: poison must not leak across rows.
+        let x = Tensor::from_vec(vec![1.0, f32::NAN, 2.0, 0.0, 1.0, 2.0], [2, 3]);
+        let p = softmax(&x);
+        assert!(p.row(0).iter().all(|v| v.is_nan()));
+        assert!((p.row(1).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        let l = log_softmax(&x);
+        assert!(l.row(0).iter().all(|v| v.is_nan()));
+        assert!(l.row(1).iter().all(|v| v.is_finite()));
+        let after = poe_obs::global_counter!("tensor.softmax.nan_rows").get();
+        assert!(after >= before + 2, "NaN rows must bump the counter");
+    }
+
+    #[test]
+    fn pos_inf_entries_split_the_mass() {
+        let x = Tensor::from_vec(
+            vec![f32::INFINITY, 0.0, f32::INFINITY, f32::NEG_INFINITY],
+            [1, 4],
+        );
+        let p = softmax(&x);
+        assert_eq!(p.row(0), &[0.5, 0.0, 0.5, 0.0]);
+        let l = log_softmax(&x);
+        assert!((l.row(0)[0] + 2.0f32.ln()).abs() < 1e-6);
+        assert_eq!(l.row(0)[1], f32::NEG_INFINITY);
+        assert_eq!(l.row(0)[3], f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn mixed_neg_inf_entries_get_zero_mass() {
+        // −∞ among finite logits is ordinary masking, not degenerate.
+        let x = Tensor::from_vec(vec![0.0, f32::NEG_INFINITY, 0.0], [1, 3]);
+        let p = softmax(&x);
+        assert!((p.row(0)[0] - 0.5).abs() < 1e-6);
+        assert_eq!(p.row(0)[1], 0.0);
+        let l = log_softmax(&x);
+        assert_eq!(l.row(0)[1], f32::NEG_INFINITY);
     }
 
     #[test]

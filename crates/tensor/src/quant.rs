@@ -1,0 +1,254 @@
+//! Int8 affine quantization of weight matrices.
+//!
+//! Expert heads are tiny next to the library but there are many of them,
+//! and the store keeps every one. [`QuantizedMatrix`] stores a rank-2
+//! `f32` tensor as one signed byte per element plus a per-**output-row**
+//! `(scale, zero-point)` pair — a 4× shrink of the weight payload with a
+//! worst-case per-element error of `scale / 2`, where
+//! `scale = (row_max − row_min) / 255`.
+//!
+//! Encoding (asymmetric, per row `r`):
+//!
+//! ```text
+//! scale_r = (max_r − min_r) / 255
+//! q[r][c] = round((v[r][c] − min_r) / scale_r) − 128      ∈ [−128, 127]
+//! v'[r][c] = min_r + scale_r · (q[r][c] + 128)
+//! ```
+//!
+//! Rows are the *output* dimension of `[out × in]` weight matrices, so
+//! each output neuron gets its own range — robust to the per-row weight
+//! scale spread that a single whole-tensor scale would smear.
+
+use crate::Tensor;
+
+/// A rank-2 `f32` tensor stored as int8 with per-row affine parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    scales: Vec<f32>,
+    mins: Vec<f32>,
+    data: Vec<i8>,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a rank-2 tensor.
+    ///
+    /// # Panics
+    /// Panics if `t` is not rank 2 or contains non-finite values (weights
+    /// are always finite; a NaN here is a bug upstream, not a datum).
+    pub fn quantize(t: &Tensor) -> Self {
+        let dims = t.dims();
+        assert_eq!(dims.len(), 2, "quantize expects a rank-2 tensor");
+        let (rows, cols) = (dims[0], dims[1]);
+        let src = t.data();
+        let mut scales = Vec::with_capacity(rows);
+        let mut mins = Vec::with_capacity(rows);
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            let row = &src[r * cols..(r + 1) * cols];
+            let mut lo = f32::INFINITY;
+            let mut hi = f32::NEG_INFINITY;
+            for &v in row {
+                assert!(v.is_finite(), "quantize requires finite weights, got {v}");
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if row.is_empty() {
+                lo = 0.0;
+                hi = 0.0;
+            }
+            let scale = (hi - lo) / 255.0;
+            scales.push(scale);
+            mins.push(lo);
+            if scale == 0.0 {
+                // Constant row: every element decodes to `lo` exactly.
+                data.extend(std::iter::repeat_n(-128i8, cols));
+            } else {
+                for &v in row {
+                    let q = ((v - lo) / scale).round() as i32 - 128;
+                    data.push(q.clamp(-128, 127) as i8);
+                }
+            }
+        }
+        QuantizedMatrix {
+            rows,
+            cols,
+            scales,
+            mins,
+            data,
+        }
+    }
+
+    /// Rebuilds an explicit quantized matrix (used by deserialization).
+    ///
+    /// # Panics
+    /// Panics if the vector lengths disagree with `rows`/`cols`.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        scales: Vec<f32>,
+        mins: Vec<f32>,
+        data: Vec<i8>,
+    ) -> Self {
+        assert_eq!(scales.len(), rows, "scale count must equal rows");
+        assert_eq!(mins.len(), rows, "zero-point count must equal rows");
+        assert_eq!(data.len(), rows * cols, "payload must be rows·cols bytes");
+        QuantizedMatrix {
+            rows,
+            cols,
+            scales,
+            mins,
+            data,
+        }
+    }
+
+    /// Decodes into a fresh `[rows × cols]` tensor.
+    pub fn dequantize(&self) -> Tensor {
+        let mut out = Tensor::zeros([self.rows, self.cols]);
+        self.dequantize_into(out.data_mut());
+        out
+    }
+
+    /// Decodes into a caller-provided buffer of `rows · cols` elements.
+    ///
+    /// # Panics
+    /// Panics on a length mismatch.
+    pub fn dequantize_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.rows * self.cols, "dequantize size mismatch");
+        for r in 0..self.rows {
+            let scale = self.scales[r];
+            let min = self.mins[r];
+            let src = &self.data[r * self.cols..(r + 1) * self.cols];
+            let dst = &mut out[r * self.cols..(r + 1) * self.cols];
+            for (o, &q) in dst.iter_mut().zip(src) {
+                *o = min + scale * (q as f32 + 128.0);
+            }
+        }
+    }
+
+    /// Largest `|dequantize(quantize(v)) − v|` against the original
+    /// tensor — the realized quantization error.
+    ///
+    /// # Panics
+    /// Panics if `original` has a different shape.
+    pub fn max_abs_error(&self, original: &Tensor) -> f32 {
+        assert_eq!(original.dims(), &[self.rows, self.cols], "shape mismatch");
+        let deq = self.dequantize();
+        deq.max_abs_diff(original)
+    }
+
+    /// Worst-case per-element error bound: `max_r scale_r / 2` (plus one
+    /// rounding ulp). Every decoded element is within this of its source.
+    pub fn error_bound(&self) -> f32 {
+        self.scales.iter().copied().fold(0.0f32, f32::max) / 2.0 * 1.0001 + f32::EPSILON
+    }
+
+    /// Number of rows (the per-row quantization granularity).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Per-row scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Per-row zero points (row minima).
+    pub fn mins(&self) -> &[f32] {
+        &self.mins
+    }
+
+    /// The int8 payload, row-major.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// In-memory payload bytes: int8 data plus the per-row parameters.
+    /// (An f32 tensor of the same shape costs `4 · rows · cols`.)
+    pub fn byte_size(&self) -> u64 {
+        (self.data.len() + 4 * self.scales.len() + 4 * self.mins.len()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Prng;
+
+    #[test]
+    fn round_trip_is_within_the_error_bound() {
+        let mut rng = Prng::seed_from_u64(3);
+        for &(r, c) in &[(1, 1), (4, 7), (16, 33), (5, 64)] {
+            let t = Tensor::randn([r, c], 1.5, &mut rng);
+            let q = QuantizedMatrix::quantize(&t);
+            let err = q.max_abs_error(&t);
+            assert!(
+                err <= q.error_bound(),
+                "[{r}×{c}] error {err} exceeds bound {}",
+                q.error_bound()
+            );
+        }
+    }
+
+    #[test]
+    fn constant_rows_decode_exactly() {
+        let t = Tensor::from_vec(vec![2.5; 12], [3, 4]);
+        let q = QuantizedMatrix::quantize(&t);
+        assert_eq!(q.scales(), &[0.0, 0.0, 0.0]);
+        assert!(q.dequantize().max_abs_diff(&t) == 0.0);
+    }
+
+    #[test]
+    fn extremes_decode_exactly_per_row() {
+        // Row min and max map to q = −128 and q = 127 and decode back
+        // bit-exactly (up to one rounding step in the scale itself).
+        let t = Tensor::from_vec(vec![-3.0, 0.1, 5.0, 10.0, 10.5, 20.0], [2, 3]);
+        let q = QuantizedMatrix::quantize(&t);
+        let d = q.dequantize();
+        assert!((d.data()[0] - -3.0).abs() < 1e-5);
+        assert!((d.data()[2] - 5.0).abs() < 1e-4);
+        assert!((d.data()[3] - 10.0).abs() < 1e-4);
+        assert!((d.data()[5] - 20.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn payload_is_a_quarter_of_f32() {
+        let mut rng = Prng::seed_from_u64(4);
+        let t = Tensor::randn([64, 64], 1.0, &mut rng);
+        let q = QuantizedMatrix::quantize(&t);
+        let f32_bytes = 4 * 64 * 64;
+        assert!(q.byte_size() * 3 < f32_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank-2")]
+    fn rejects_non_matrices() {
+        QuantizedMatrix::quantize(&Tensor::zeros([2, 2, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_non_finite_weights() {
+        QuantizedMatrix::quantize(&Tensor::from_vec(vec![1.0, f32::NAN], [1, 2]));
+    }
+
+    #[test]
+    fn from_parts_round_trips_accessors() {
+        let t = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], [2, 2]);
+        let q = QuantizedMatrix::quantize(&t);
+        let q2 = QuantizedMatrix::from_parts(
+            q.rows(),
+            q.cols(),
+            q.scales().to_vec(),
+            q.mins().to_vec(),
+            q.data().to_vec(),
+        );
+        assert_eq!(q, q2);
+    }
+}

@@ -1,0 +1,767 @@
+//! Runtime-dispatched SIMD kernels with a scalar oracle.
+//!
+//! Every hot inner loop of the crate — the three matmul row kernels and
+//! the softmax-family row primitives — exists here twice: once in
+//! [`scalar`] (portable, branch-free, the differential-testing *oracle*)
+//! and once in [`avx2`] (`core::arch` AVX2+FMA intrinsics, x86-64 only).
+//! The top-level functions of this module dispatch between the two based
+//! on [`level`], which is decided **once per process**:
+//!
+//! * `POE_SIMD=off` (or `scalar`) forces the scalar kernels;
+//! * `POE_SIMD=avx2` requests AVX2 and falls back to scalar when the CPU
+//!   lacks `avx2`/`fma` (running unsupported instructions would be
+//!   undefined behavior, so a forced level is a *request*, not a demand);
+//! * `POE_SIMD=auto` (or unset) probes the CPU with
+//!   `is_x86_feature_detected!`.
+//!
+//! The selected level is visible to operators as the
+//! `tensor.simd.avx2` gauge in `METRICS` and the `simd=` field of the
+//! server's `HEALTH` line.
+//!
+//! Both kernel families implement *identical semantics* — in particular
+//! plain IEEE-754 arithmetic with no sparsity shortcuts, so `0 × NaN`
+//! is `NaN` in both — and may only differ by floating-point summation
+//! order (bounded by the differential property tests in
+//! `tests/simd_differential.rs`). The scalar kernels are the contract;
+//! the vector kernels are an optimization of it.
+
+// The crate is `deny(unsafe_code)`; the AVX2 intrinsics below are the one
+// sanctioned exception. Safety rests on two invariants: every `unsafe fn`
+// is only reachable through a wrapper that has verified `avx2`+`fma` at
+// runtime, and every pointer arithmetic stays within `i + 8 <= len`
+// guards with scalar tails.
+#![allow(unsafe_code)]
+
+use std::sync::OnceLock;
+
+/// The kernel family selected for this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Portable scalar kernels (the oracle).
+    Scalar,
+    /// AVX2 + FMA vector kernels.
+    Avx2,
+}
+
+fn detect() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    if avx2::available() {
+        return SimdLevel::Avx2;
+    }
+    SimdLevel::Scalar
+}
+
+/// The process-wide kernel dispatch decision. Reads `POE_SIMD` and probes
+/// the CPU on first call, then caches the answer for the process
+/// lifetime (so the choice can never flip mid-computation).
+pub fn level() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        let choice = std::env::var("POE_SIMD").unwrap_or_default();
+        let level = match choice.trim() {
+            "off" | "scalar" | "0" => SimdLevel::Scalar,
+            // "avx2", "auto", "" and anything else: use the best the CPU
+            // actually has. An explicit `avx2` on a CPU without it falls
+            // back to scalar rather than executing unsupported code.
+            _ => detect(),
+        };
+        let avx2_active = matches!(level, SimdLevel::Avx2);
+        poe_obs::global_gauge!("tensor.simd.avx2").set(if avx2_active { 1.0 } else { 0.0 });
+        level
+    })
+}
+
+/// Short name of the active level, for `HEALTH`/`METRICS` surfaces.
+pub fn level_name() -> &'static str {
+    match level() {
+        SimdLevel::Scalar => "scalar",
+        SimdLevel::Avx2 => "avx2",
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatched entry points. One `level()` check per *kernel call* (not per
+// element); the OnceLock read is a single atomic load.
+// ---------------------------------------------------------------------
+
+/// `out[rows×n] += a[rows×k] · b[k×n]` — the serial matmul row kernel.
+pub fn mm_rows(out: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize, rows: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if level() == SimdLevel::Avx2 {
+        return avx2::mm_rows(out, a, b, k, n, rows);
+    }
+    scalar::mm_rows(out, a, b, k, n, rows)
+}
+
+/// `out[m×n] += aᵀ · b` with `a` given `[k×m]` — rank-1 update order.
+pub fn mm_at_b(out: &mut [f32], a: &[f32], b: &[f32], k: usize, m: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if level() == SimdLevel::Avx2 {
+        return avx2::mm_at_b(out, a, b, k, m, n);
+    }
+    scalar::mm_at_b(out, a, b, k, m, n)
+}
+
+/// `out[m×n] = a[m×k] · bᵀ` with `b` given `[n×k]` — dot-product order.
+/// This is the GEMM behind every linear/conv forward pass (im2col rows
+/// against filter rows).
+pub fn mm_a_bt(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if level() == SimdLevel::Avx2 {
+        return avx2::mm_a_bt(out, a, b, m, k, n);
+    }
+    scalar::mm_a_bt(out, a, b, m, k, n)
+}
+
+/// Scans a row, returning `(max, has_nan)` where `max` ignores NaN
+/// entries. When `has_nan` is true the max value is unspecified — callers
+/// must branch on the flag first.
+pub fn row_scan(row: &[f32]) -> (f32, bool) {
+    #[cfg(target_arch = "x86_64")]
+    if level() == SimdLevel::Avx2 {
+        return avx2::row_scan(row);
+    }
+    scalar::row_scan(row)
+}
+
+/// Maps `row[i] ← exp(row[i] − max)` and returns the sum of the results.
+pub fn exp_sub_sum(row: &mut [f32], max: f32) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if level() == SimdLevel::Avx2 {
+        return avx2::exp_sub_sum(row, max);
+    }
+    scalar::exp_sub_sum(row, max)
+}
+
+/// Returns `Σ exp(row[i] − max)` without modifying the row.
+pub fn sum_exp_sub(row: &[f32], max: f32) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if level() == SimdLevel::Avx2 {
+        return avx2::sum_exp_sub(row, max);
+    }
+    scalar::sum_exp_sub(row, max)
+}
+
+/// Multiplies every element by `s` in place.
+pub fn scale_in_place(row: &mut [f32], s: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if level() == SimdLevel::Avx2 {
+        return avx2::scale_in_place(row, s);
+    }
+    scalar::scale_in_place(row, s)
+}
+
+/// Subtracts `s` from every element in place.
+pub fn sub_scalar(row: &mut [f32], s: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if level() == SimdLevel::Avx2 {
+        return avx2::sub_scalar(row, s);
+    }
+    scalar::sub_scalar(row, s)
+}
+
+/// Portable scalar kernels — the reference semantics ("oracle") that the
+/// vector kernels are differentially tested against, and the fallback on
+/// CPUs without AVX2 (or under `POE_SIMD=off`).
+pub mod scalar {
+    /// `out[rows×n] += a[rows×k] · b[k×n]`, i-k-j loop order.
+    ///
+    /// Deliberately branch-free over the data: there is **no** skip for
+    /// zero entries of `a`, so `0 × NaN = NaN` and `0 × ∞ = NaN`
+    /// propagate exactly as IEEE-754 demands (and exactly as the vector
+    /// kernels compute them).
+    pub fn mm_rows(out: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize, rows: usize) {
+        debug_assert_eq!(out.len(), rows * n);
+        debug_assert_eq!(a.len(), rows * k);
+        debug_assert_eq!(b.len(), k * n);
+        for i in 0..rows {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ip * b_pj;
+                }
+            }
+        }
+    }
+
+    /// `out[m×n] += aᵀ[k×m]ᵀ · b[k×n]`, rank-1 update order.
+    pub fn mm_at_b(out: &mut [f32], a: &[f32], b: &[f32], k: usize, m: usize, n: usize) {
+        debug_assert_eq!(out.len(), m * n);
+        debug_assert_eq!(a.len(), k * m);
+        debug_assert_eq!(b.len(), k * n);
+        for p in 0..k {
+            let a_row = &a[p * m..(p + 1) * m];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (i, &a_pi) in a_row.iter().enumerate() {
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (ov, &bv) in out_row.iter_mut().zip(b_row) {
+                    *ov += a_pi * bv;
+                }
+            }
+        }
+    }
+
+    /// `out[m×n] = a[m×k] · bᵀ[n×k]ᵀ`, dot-product order.
+    pub fn mm_a_bt(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+        debug_assert_eq!(out.len(), m * n);
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), n * k);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (j, ov) in out_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                *ov = acc;
+            }
+        }
+    }
+
+    /// `(max ignoring NaN, any NaN present)`.
+    pub fn row_scan(row: &[f32]) -> (f32, bool) {
+        let mut max = f32::NEG_INFINITY;
+        let mut has_nan = false;
+        for &v in row {
+            if v.is_nan() {
+                has_nan = true;
+            } else if v > max {
+                max = v;
+            }
+        }
+        (max, has_nan)
+    }
+
+    /// `row[i] ← exp(row[i] − max)`; returns the sum.
+    pub fn exp_sub_sum(row: &mut [f32], max: f32) -> f32 {
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        sum
+    }
+
+    /// `Σ exp(row[i] − max)` without modifying the row.
+    pub fn sum_exp_sub(row: &[f32], max: f32) -> f32 {
+        row.iter().map(|&v| (v - max).exp()).sum()
+    }
+
+    /// `row[i] ← row[i] · s`.
+    pub fn scale_in_place(row: &mut [f32], s: f32) {
+        for v in row.iter_mut() {
+            *v *= s;
+        }
+    }
+
+    /// `row[i] ← row[i] − s`.
+    pub fn sub_scalar(row: &mut [f32], s: f32) {
+        for v in row.iter_mut() {
+            *v -= s;
+        }
+    }
+}
+
+/// AVX2 + FMA vector kernels.
+///
+/// Every public function is safe: it asserts [`available()`](self::avx2::available) before
+/// entering the `#[target_feature]` implementation, so calling these on a
+/// CPU without AVX2 panics instead of executing illegal instructions.
+/// The dispatched entry points at the module root only route here when
+/// [`level()`](self::level) already verified the features.
+#[cfg(target_arch = "x86_64")]
+pub mod avx2 {
+    use core::arch::x86_64::*;
+
+    /// True when the running CPU supports both `avx2` and `fma`.
+    /// `std` caches the CPUID probe, so calling this per kernel call is
+    /// an atomic load, not a CPUID.
+    pub fn available() -> bool {
+        std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+    }
+
+    #[inline]
+    fn check() {
+        assert!(
+            available(),
+            "AVX2 kernel invoked on a CPU without avx2+fma support"
+        );
+    }
+
+    /// See [`super::scalar::mm_rows`]; identical semantics, 8-wide FMA.
+    pub fn mm_rows(out: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize, rows: usize) {
+        check();
+        debug_assert_eq!(out.len(), rows * n);
+        debug_assert_eq!(a.len(), rows * k);
+        debug_assert_eq!(b.len(), k * n);
+        unsafe { mm_rows_impl(out, a, b, k, n, rows) }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn mm_rows_impl(out: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize, rows: usize) {
+        // Block four B rows per pass over the C row: the C row is loaded
+        // and stored once per four k-steps instead of once per step, and
+        // the four FMAs per vector are independent of the load chain.
+        for i in 0..rows {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            let mut p = 0usize;
+            while p + 4 <= k {
+                axpy4_impl(
+                    out_row,
+                    [a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]],
+                    &b[p * n..(p + 1) * n],
+                    &b[(p + 1) * n..(p + 2) * n],
+                    &b[(p + 2) * n..(p + 3) * n],
+                    &b[(p + 3) * n..(p + 4) * n],
+                );
+                p += 4;
+            }
+            while p < k {
+                axpy_impl(out_row, a_row[p], &b[p * n..(p + 1) * n]);
+                p += 1;
+            }
+        }
+    }
+
+    /// See [`super::scalar::mm_at_b`]; identical semantics, 8-wide FMA.
+    pub fn mm_at_b(out: &mut [f32], a: &[f32], b: &[f32], k: usize, m: usize, n: usize) {
+        check();
+        debug_assert_eq!(out.len(), m * n);
+        debug_assert_eq!(a.len(), k * m);
+        debug_assert_eq!(b.len(), k * n);
+        unsafe { mm_at_b_impl(out, a, b, k, m, n) }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn mm_at_b_impl(out: &mut [f32], a: &[f32], b: &[f32], k: usize, m: usize, n: usize) {
+        // Same 4-wide k-blocking as `mm_rows_impl`, with the loops
+        // exchanged so each C row stays hot; A is read at stride `m`
+        // (one scalar per k-step), which is cheap next to the row traffic.
+        // Per-element accumulation order over p is unchanged, so results
+        // match the scalar oracle within FMA reassociation error.
+        for i in 0..m {
+            let out_row = &mut out[i * n..(i + 1) * n];
+            let mut p = 0usize;
+            while p + 4 <= k {
+                axpy4_impl(
+                    out_row,
+                    [
+                        a[p * m + i],
+                        a[(p + 1) * m + i],
+                        a[(p + 2) * m + i],
+                        a[(p + 3) * m + i],
+                    ],
+                    &b[p * n..(p + 1) * n],
+                    &b[(p + 1) * n..(p + 2) * n],
+                    &b[(p + 2) * n..(p + 3) * n],
+                    &b[(p + 3) * n..(p + 4) * n],
+                );
+                p += 4;
+            }
+            while p < k {
+                axpy_impl(out_row, a[p * m + i], &b[p * n..(p + 1) * n]);
+                p += 1;
+            }
+        }
+    }
+
+    /// See [`super::scalar::mm_a_bt`]; identical semantics, 8-wide FMA
+    /// dot products with four accumulators.
+    pub fn mm_a_bt(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+        check();
+        debug_assert_eq!(out.len(), m * n);
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), n * k);
+        unsafe { mm_a_bt_impl(out, a, b, m, k, n) }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn mm_a_bt_impl(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (j, ov) in out_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                *ov = dot_impl(a_row, b_row);
+            }
+        }
+    }
+
+    /// `out[i] += s · x[i]` (exposed for the differential tests).
+    pub fn axpy(out: &mut [f32], s: f32, x: &[f32]) {
+        check();
+        debug_assert_eq!(out.len(), x.len());
+        unsafe { axpy_impl(out, s, x) }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn axpy_impl(out: &mut [f32], s: f32, x: &[f32]) {
+        let n = out.len().min(x.len());
+        let vs = _mm256_set1_ps(s);
+        let op = out.as_mut_ptr();
+        let xp = x.as_ptr();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let o = _mm256_loadu_ps(op.add(i));
+            let v = _mm256_loadu_ps(xp.add(i));
+            _mm256_storeu_ps(op.add(i), _mm256_fmadd_ps(vs, v, o));
+            i += 8;
+        }
+        while i < n {
+            *op.add(i) += s * *xp.add(i);
+            i += 1;
+        }
+    }
+
+    /// `out[i] += s0·x0[i] + s1·x1[i] + s2·x2[i] + s3·x3[i]`, one pass.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn axpy4_impl(
+        out: &mut [f32],
+        s: [f32; 4],
+        x0: &[f32],
+        x1: &[f32],
+        x2: &[f32],
+        x3: &[f32],
+    ) {
+        let n = out.len();
+        let v0 = _mm256_set1_ps(s[0]);
+        let v1 = _mm256_set1_ps(s[1]);
+        let v2 = _mm256_set1_ps(s[2]);
+        let v3 = _mm256_set1_ps(s[3]);
+        let op = out.as_mut_ptr();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let mut o = _mm256_loadu_ps(op.add(i));
+            o = _mm256_fmadd_ps(v0, _mm256_loadu_ps(x0.as_ptr().add(i)), o);
+            o = _mm256_fmadd_ps(v1, _mm256_loadu_ps(x1.as_ptr().add(i)), o);
+            o = _mm256_fmadd_ps(v2, _mm256_loadu_ps(x2.as_ptr().add(i)), o);
+            o = _mm256_fmadd_ps(v3, _mm256_loadu_ps(x3.as_ptr().add(i)), o);
+            _mm256_storeu_ps(op.add(i), o);
+            i += 8;
+        }
+        while i < n {
+            let mut v = *op.add(i);
+            v = s[0].mul_add(x0[i], v);
+            v = s[1].mul_add(x1[i], v);
+            v = s[2].mul_add(x2[i], v);
+            v = s[3].mul_add(x3[i], v);
+            *op.add(i) = v;
+            i += 1;
+        }
+    }
+
+    /// Dot product of two equal-length slices (exposed for the
+    /// differential tests).
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        check();
+        debug_assert_eq!(a.len(), b.len());
+        unsafe { dot_impl(a, b) }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn dot_impl(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 32 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(ap.add(i + 8)),
+                _mm256_loadu_ps(bp.add(i + 8)),
+                acc1,
+            );
+            acc2 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(ap.add(i + 16)),
+                _mm256_loadu_ps(bp.add(i + 16)),
+                acc2,
+            );
+            acc3 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(ap.add(i + 24)),
+                _mm256_loadu_ps(bp.add(i + 24)),
+                acc3,
+            );
+            i += 32;
+        }
+        while i + 8 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+            i += 8;
+        }
+        let acc = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+        let mut sum = hsum256(acc);
+        while i < n {
+            sum += *ap.add(i) * *bp.add(i);
+            i += 1;
+        }
+        sum
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn hsum256(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s = _mm_add_ps(lo, hi);
+        let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0b01));
+        _mm_cvtss_f32(s)
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn hmax256(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s = _mm_max_ps(lo, hi);
+        let s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 0b01));
+        _mm_cvtss_f32(s)
+    }
+
+    /// See [`super::scalar::row_scan`].
+    pub fn row_scan(row: &[f32]) -> (f32, bool) {
+        check();
+        unsafe { row_scan_impl(row) }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn row_scan_impl(row: &[f32]) -> (f32, bool) {
+        let n = row.len();
+        let rp = row.as_ptr();
+        let mut i = 0usize;
+        let mut vmax = _mm256_set1_ps(f32::NEG_INFINITY);
+        let mut vnan = _mm256_setzero_ps();
+        while i + 8 <= n {
+            let v = _mm256_loadu_ps(rp.add(i));
+            vnan = _mm256_or_ps(vnan, _mm256_cmp_ps(v, v, _CMP_UNORD_Q));
+            vmax = _mm256_max_ps(vmax, v);
+            i += 8;
+        }
+        let mut has_nan = _mm256_movemask_ps(vnan) != 0;
+        // NaN lanes may have poisoned vmax (max_ps returns the second
+        // operand on unordered compares); callers never read `max` when
+        // `has_nan` is set, matching the scalar contract.
+        let mut max = hmax256(vmax);
+        if max.is_nan() {
+            max = f32::NEG_INFINITY;
+        }
+        while i < n {
+            let v = *rp.add(i);
+            if v.is_nan() {
+                has_nan = true;
+            } else if v > max {
+                max = v;
+            }
+            i += 1;
+        }
+        (max, has_nan)
+    }
+
+    /// Vectorized `exp` on 8 lanes: range-reduced polynomial (the classic
+    /// Cephes expf scheme). Relative error ≈ 1e-7 over the clamped range;
+    /// inputs below −88.38 saturate to a subnormal ≈ 0 (the scalar
+    /// oracle's `exp(−∞) = 0` differs by < 1e-37, far inside the
+    /// differential tolerance). Callers must not pass NaN.
+    // The Cephes constants below are written at full precision on
+    // purpose: ln2_hi must parse to exactly 0x3F318000 for the two-step
+    // range reduction to be exact.
+    #[allow(clippy::excessive_precision)]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn exp256(x: __m256) -> __m256 {
+        let exp_hi = _mm256_set1_ps(88.376_26);
+        let exp_lo = _mm256_set1_ps(-88.376_26);
+        let log2e = _mm256_set1_ps(std::f32::consts::LOG2_E);
+        // ln(2) split into a high and a low part for an exact reduction.
+        let ln2_hi = _mm256_set1_ps(0.693_359_375);
+        let ln2_lo = _mm256_set1_ps(-2.121_944_4e-4);
+        let p0 = _mm256_set1_ps(1.987_569_1e-4);
+        let p1 = _mm256_set1_ps(1.398_199_9e-3);
+        let p2 = _mm256_set1_ps(8.333_452e-3);
+        let p3 = _mm256_set1_ps(4.166_579_6e-2);
+        let p4 = _mm256_set1_ps(1.666_666_6e-1);
+        let p5 = _mm256_set1_ps(5.000_000_1e-1);
+        let one = _mm256_set1_ps(1.0);
+
+        let x = _mm256_min_ps(_mm256_max_ps(x, exp_lo), exp_hi);
+        // n = round(x / ln2); r = x − n·ln2 (two-step, exact).
+        let n = _mm256_round_ps(
+            _mm256_mul_ps(x, log2e),
+            _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC,
+        );
+        let r = _mm256_fnmadd_ps(n, ln2_hi, x);
+        let r = _mm256_fnmadd_ps(n, ln2_lo, r);
+        // exp(r) ≈ 1 + r + r²·P(r).
+        let r2 = _mm256_mul_ps(r, r);
+        let mut p = p0;
+        p = _mm256_fmadd_ps(p, r, p1);
+        p = _mm256_fmadd_ps(p, r, p2);
+        p = _mm256_fmadd_ps(p, r, p3);
+        p = _mm256_fmadd_ps(p, r, p4);
+        p = _mm256_fmadd_ps(p, r, p5);
+        let y = _mm256_add_ps(_mm256_fmadd_ps(p, r2, r), one);
+        // Scale by 2^n via the exponent field.
+        let e = _mm256_slli_epi32(
+            _mm256_add_epi32(_mm256_cvtps_epi32(n), _mm256_set1_epi32(0x7f)),
+            23,
+        );
+        _mm256_mul_ps(y, _mm256_castsi256_ps(e))
+    }
+
+    /// See [`super::scalar::exp_sub_sum`].
+    pub fn exp_sub_sum(row: &mut [f32], max: f32) -> f32 {
+        check();
+        unsafe { exp_sub_sum_impl(row, max) }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn exp_sub_sum_impl(row: &mut [f32], max: f32) -> f32 {
+        let n = row.len();
+        let rp = row.as_mut_ptr();
+        let vmax = _mm256_set1_ps(max);
+        let mut vsum = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let v = _mm256_loadu_ps(rp.add(i));
+            let e = exp256(_mm256_sub_ps(v, vmax));
+            _mm256_storeu_ps(rp.add(i), e);
+            vsum = _mm256_add_ps(vsum, e);
+            i += 8;
+        }
+        let mut sum = hsum256(vsum);
+        while i < n {
+            let e = (*rp.add(i) - max).exp();
+            *rp.add(i) = e;
+            sum += e;
+            i += 1;
+        }
+        sum
+    }
+
+    /// See [`super::scalar::sum_exp_sub`].
+    pub fn sum_exp_sub(row: &[f32], max: f32) -> f32 {
+        check();
+        unsafe { sum_exp_sub_impl(row, max) }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn sum_exp_sub_impl(row: &[f32], max: f32) -> f32 {
+        let n = row.len();
+        let rp = row.as_ptr();
+        let vmax = _mm256_set1_ps(max);
+        let mut vsum = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let v = _mm256_loadu_ps(rp.add(i));
+            vsum = _mm256_add_ps(vsum, exp256(_mm256_sub_ps(v, vmax)));
+            i += 8;
+        }
+        let mut sum = hsum256(vsum);
+        while i < n {
+            sum += (*rp.add(i) - max).exp();
+            i += 1;
+        }
+        sum
+    }
+
+    /// See [`super::scalar::scale_in_place`].
+    pub fn scale_in_place(row: &mut [f32], s: f32) {
+        check();
+        unsafe { scale_impl(row, s) }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn scale_impl(row: &mut [f32], s: f32) {
+        let n = row.len();
+        let rp = row.as_mut_ptr();
+        let vs = _mm256_set1_ps(s);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            _mm256_storeu_ps(rp.add(i), _mm256_mul_ps(_mm256_loadu_ps(rp.add(i)), vs));
+            i += 8;
+        }
+        while i < n {
+            *rp.add(i) *= s;
+            i += 1;
+        }
+    }
+
+    /// See [`super::scalar::sub_scalar`].
+    pub fn sub_scalar(row: &mut [f32], s: f32) {
+        check();
+        unsafe { sub_impl(row, s) }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn sub_impl(row: &mut [f32], s: f32) {
+        let n = row.len();
+        let rp = row.as_mut_ptr();
+        let vs = _mm256_set1_ps(s);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            _mm256_storeu_ps(rp.add(i), _mm256_sub_ps(_mm256_loadu_ps(rp.add(i)), vs));
+            i += 8;
+        }
+        while i < n {
+            *rp.add(i) -= s;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_is_stable_and_named() {
+        let l = level();
+        assert_eq!(l, level());
+        let name = level_name();
+        assert!(name == "scalar" || name == "avx2");
+    }
+
+    #[test]
+    fn scalar_mm_rows_propagates_non_finite() {
+        // 0 × ∞ must be NaN: the old sparsity skip hid this.
+        let a = [0.0f32, 1.0];
+        let b = [f32::INFINITY, 0.0, 1.0, 2.0]; // [2×2]
+        let mut out = [0.0f32; 2];
+        scalar::mm_rows(&mut out, &a, &b, 2, 2, 1);
+        assert!(out[0].is_nan(), "0·∞ + 1·1 must be NaN, got {}", out[0]);
+        assert_eq!(out[1], 2.0);
+    }
+
+    #[test]
+    fn scalar_row_scan_flags_nan_and_ignores_it_for_max() {
+        let (max, has_nan) = scalar::row_scan(&[1.0, f32::NAN, 3.0]);
+        assert!(has_nan);
+        assert_eq!(max, 3.0);
+        let (max, has_nan) = scalar::row_scan(&[f32::NEG_INFINITY; 4]);
+        assert!(!has_nan);
+        assert_eq!(max, f32::NEG_INFINITY);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_agrees_with_scalar_on_a_smoke_case() {
+        if !avx2::available() {
+            return;
+        }
+        let a: Vec<f32> = (0..3 * 7).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..7 * 5).map(|i| (i as f32).cos()).collect();
+        let mut s = vec![0.0f32; 3 * 5];
+        let mut v = vec![0.0f32; 3 * 5];
+        scalar::mm_rows(&mut s, &a, &b, 7, 5, 3);
+        avx2::mm_rows(&mut v, &a, &b, 7, 5, 3);
+        for (x, y) in s.iter().zip(&v) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+}

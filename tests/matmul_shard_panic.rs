@@ -1,0 +1,63 @@
+//! Chaos coverage for the matmul shard-recovery path: a worker panic in
+//! the thread pool must not kill the caller or corrupt the product — the
+//! dispatcher detects the lost shard, recomputes it inline, and records
+//! the event in `tensor.matmul.shard_panics`.
+//!
+//! This lives in its own integration-test binary because both the pool
+//! width and the fault hook are process-global: `POE_NUM_THREADS` must be
+//! set before the first parallel dispatch ever runs, and no other test
+//! may share the chaos schedule.
+
+use poe_chaos::{sites, ChaosPlan, Fault, FaultKind};
+use poe_tensor::{matmul, simd, Prng, Tensor};
+
+#[test]
+fn shard_panic_is_recovered_inline() {
+    // Force a multi-thread pool before any matmul touches the lazy
+    // thread-count; the host may have a single CPU.
+    std::env::set_var("POE_NUM_THREADS", "4");
+
+    let _guard = ChaosPlan::new(poe_chaos::seed_from_env())
+        .with(Fault::times(
+            sites::TENSOR_MATMUL_SHARD_PANIC,
+            FaultKind::Panic,
+            1,
+        ))
+        .install();
+
+    let mut rng = Prng::seed_from_u64(42);
+    // 128³ = 2,097,152 multiply-adds: above the parallel threshold, so the
+    // product is sharded across the worker pool.
+    let a = Tensor::randn([128, 128], 1.0, &mut rng);
+    let b = Tensor::randn([128, 128], 1.0, &mut rng);
+
+    let hits_before = poe_chaos::hits(sites::TENSOR_MATMUL_SHARD_PANIC);
+    let panics_before = poe_obs::global_counter!("tensor.matmul.shard_panics").get();
+
+    let got = matmul(&a, &b).unwrap();
+
+    assert!(
+        poe_chaos::hits(sites::TENSOR_MATMUL_SHARD_PANIC) > hits_before,
+        "the shard-panic fault never fired — the matmul was not sharded \
+         (threshold or thread-count regression?)"
+    );
+    assert!(
+        poe_obs::global_counter!("tensor.matmul.shard_panics").get() > panics_before,
+        "shard recovery was not recorded"
+    );
+
+    // The recovered product is bit-identical to the scalar oracle on the
+    // shard that died and within FMA tolerance elsewhere.
+    let mut expected = vec![0.0f32; 128 * 128];
+    simd::scalar::mm_rows(&mut expected, a.data(), b.data(), 128, 128, 128);
+    for (i, (&g, &e)) in got.data().iter().zip(&expected).enumerate() {
+        assert!(
+            (g - e).abs() <= 1e-3,
+            "element {i}: {g} vs {e} after shard recovery"
+        );
+    }
+
+    // Subsequent matmuls (no fault budget left) still work.
+    let again = matmul(&a, &b).unwrap();
+    assert!(again.max_abs_diff(&got) == 0.0);
+}

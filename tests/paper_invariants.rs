@@ -165,6 +165,55 @@ fn pool_storage_is_a_fraction_of_the_oracle() {
     assert!(exhaustive > volumes.total_bytes as f64 * 4.0);
 }
 
+/// Int8 expert quantization must not disturb the paper's serving story:
+/// storage shrinks by well over 2×, and the consolidated model's
+/// decisions are essentially unchanged (the accuracy delta is bounded by
+/// the argmax disagreement rate measured here).
+#[test]
+fn quantized_experts_preserve_decisions_and_shrink_storage() {
+    let w = world();
+    let combo = [0usize, 2, 3];
+    let (dense_model, _) = w.pre.pool.consolidate(&combo).unwrap();
+
+    let mut qpool = w.pre.pool.clone();
+    let report = qpool.quantize_experts();
+    // The toy world's heads are small enough that names/biases/per-row
+    // scale+min overhead dominate the file, capping the on-disk ratio well
+    // below the ~4× weight-payload shrink (which poe-models pins at
+    // realistic head sizes); still require a clear win here.
+    assert!(
+        report.ratio() > 1.4,
+        "expert bytes shrank only {:.2}x",
+        report.ratio()
+    );
+    let dense_expert_bytes: u64 = w.pre.pool.volumes().expert_bytes.values().sum();
+    let quant_expert_bytes: u64 = qpool.volumes().expert_bytes.values().sum();
+    assert!(
+        quant_expert_bytes < dense_expert_bytes,
+        "volumes: quantized {quant_expert_bytes} B vs dense {dense_expert_bytes} B"
+    );
+
+    let (quant_model, _) = qpool.consolidate(&combo).unwrap();
+    let x = &w.split.test.inputs;
+    let yd = dense_model.infer(x);
+    let yq = quant_model.infer(x);
+    let (rows, cols) = (yd.dims()[0], yd.dims()[1]);
+    let argmax = |t: &pool_of_experts::tensor::Tensor, r: usize| {
+        (0..cols)
+            .max_by(|&i, &j| t.at(&[r, i]).total_cmp(&t.at(&[r, j])))
+            .unwrap()
+    };
+    let agree = (0..rows)
+        .filter(|&r| argmax(&yd, r) == argmax(&yq, r))
+        .count();
+    let rate = agree as f64 / rows as f64;
+    assert!(
+        rate >= 0.98,
+        "quantized model disagrees with dense on {:.1}% of test rows",
+        100.0 * (1.0 - rate)
+    );
+}
+
 /// The oracle logits cached by the pipeline are exactly the oracle's
 /// inference outputs (the contract every baseline relies on).
 #[test]
