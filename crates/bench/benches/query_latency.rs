@@ -141,12 +141,76 @@ fn bench_store_io(c: &mut Criterion) {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Startup cost at catalog scale, eager vs lazy: `lazy` opens the v4
+/// segment store (manifest + library + index, O(1) in experts held
+/// back), `eager` additionally faults every expert into residency — the
+/// pre-segment startup cost. The gap is the point of the lazy store.
+fn bench_pool_startup(c: &mut Criterion) {
+    use poe_core::store::{load_standalone, save_standalone, PoolSpec};
+    use poe_models::{build_mlp_head_with_depth, build_wrn_mlp_with_depth};
+    let mut group = c.benchmark_group("pool_startup");
+    for num_tasks in [20usize, 200, 2000] {
+        // An untrained pool with tiny heads: store-machinery cost only.
+        let hierarchy = ClassHierarchy::contiguous(num_tasks * 2, num_tasks);
+        let spec = PoolSpec {
+            student_arch: WrnConfig::new(10, 1.0, 1.0, num_tasks * 2).with_unit(4),
+            expert_ks: 1.0,
+            library_groups: 3,
+            input_dim: 6,
+        };
+        let mut rng = Prng::seed_from_u64(9);
+        let student = build_wrn_mlp_with_depth(
+            &spec.student_arch,
+            spec.input_dim,
+            spec.library_groups,
+            &mut rng,
+        );
+        let mut pool = ExpertPool::new(hierarchy, student.into_parts().0);
+        for t in 0..num_tasks {
+            let classes = pool.hierarchy().primitive(t).classes.clone();
+            let arch = WrnConfig {
+                ks: spec.expert_ks,
+                num_classes: classes.len(),
+                ..spec.student_arch
+            };
+            let head = build_mlp_head_with_depth(
+                &format!("expert{t}"),
+                &arch,
+                spec.library_groups,
+                classes.len(),
+                &mut rng,
+            );
+            pool.insert_expert(Expert {
+                task_index: t,
+                classes,
+                head,
+            });
+        }
+        let dir = std::env::temp_dir().join(format!("poe_bench_startup_{num_tasks}"));
+        save_standalone(&pool, &spec, &dir).unwrap();
+        group.bench_with_input(BenchmarkId::new("lazy", num_tasks), &dir, |b, dir| {
+            b.iter(|| load_standalone(black_box(dir)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("eager", num_tasks), &dir, |b, dir| {
+            b.iter(|| {
+                let (pool, _) = load_standalone(black_box(dir)).unwrap();
+                for t in 0..num_tasks {
+                    black_box(pool.expert(t).unwrap());
+                }
+            })
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_consolidate,
     bench_service_query,
     bench_cache_hit_vs_cold,
     bench_library_width_scaling,
-    bench_store_io
+    bench_store_io,
+    bench_pool_startup
 );
 criterion_main!(benches);

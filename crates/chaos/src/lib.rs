@@ -64,6 +64,15 @@ pub mod sites {
     /// the dispatcher must recompute the lost shard inline instead of
     /// propagating the panic to the caller.
     pub const TENSOR_MATMUL_SHARD_PANIC: &str = "tensor.matmul.shard.panic";
+    /// I/O error while seeking/reading one expert payload out of a POEM
+    /// v4 segment file — the lazy-load path; the query against that
+    /// expert must fail typed, and the pool must keep serving everything
+    /// already resident.
+    pub const STORE_SEGMENT_READ_IO: &str = "store.segment.read.io";
+    /// Panic injected mid-swap: after the replacement expert was reloaded
+    /// from the store but before it is installed. The old version must
+    /// keep serving and no lock may be poisoned.
+    pub const POOL_SWAP_PANIC: &str = "pool.swap.panic";
 }
 
 /// Arms the fault hooks that live *below* this crate in the dependency

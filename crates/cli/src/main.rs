@@ -38,7 +38,9 @@ USAGE
       (~4x smaller on disk, dequantized at assemble time; see
       docs/OPERATIONS.md for the accuracy trade-off).
   poe info --pool DIR
-      Print the store's hierarchy, architectures, experts, and volumes.
+      Print the store's hierarchy, architectures, experts, and volumes,
+      with per-expert version and residency (resident vs on-disk in the
+      lazy segment store).
   poe query --pool DIR --tasks I,J,K [--eval-dataset SPEC --seed N]
       Consolidate a task-specific model (train-free) and report its size
       and assembly latency; optionally evaluate it on a regenerated test set.
@@ -50,10 +52,12 @@ USAGE
             [--max-conn-requests N] [--drain-deadline-ms N]
             [--max-batch N] [--batch-delay-us N]
             [--recorder-events N] [--recorder-dir DIR]
+            [--resident-experts N]
       TCP model-query server (line protocol: INFO / QUERY t,… /
-      PREDICT t,… : f1 f2 … / STATS / METRICS [json|openmetrics] /
-      TRACE on|off / DUMP / HEALTH / SHUTDOWN / QUIT — see
-      docs/PROTOCOL.md). Port 0 picks an ephemeral port. Up to N
+      PREDICT t,… : f1 f2 … / SWAP t / STATS /
+      METRICS [json|openmetrics] / TRACE on|off / DUMP / HEALTH /
+      SHUTDOWN / QUIT — see docs/PROTOCOL.md). Port 0 picks an
+      ephemeral port. Up to N
       connections are served concurrently (default 4) from a bounded
       accept queue (--queue-capacity, default 128); when the queue is
       full new connections are shed with `ERR busy`. Repeated task sets
@@ -74,7 +78,12 @@ USAGE
       flight recorder keeps the last --recorder-events structured events
       (default 4096) and dumps them as JSONL to --recorder-dir on
       SHUTDOWN, on a panic, and on the DUMP verb (read dumps with
-      `poe obs`). If the pool store fails to load (e.g. checksum
+      `poe obs`). With a v4 segment store (experts.poem) experts load
+      lazily on first query; --resident-experts caps how many stay in
+      memory (LRU eviction, 0 = unlimited), and SWAP t hot-swaps one
+      expert from a re-saved store without a restart (see
+      docs/OPERATIONS.md § Expert lifecycle). If the pool store fails
+      to load (e.g. checksum
       mismatch) the server starts degraded: HEALTH reports ready=0 with
       the load error and data verbs answer `ERR not ready`. Failure modes
       and the runbook live in docs/OPERATIONS.md.
@@ -249,13 +258,30 @@ fn cmd_info(a: &Args) -> Result<(), String> {
             String::new()
         }
     );
-    for p in h.primitives() {
-        let mark = if pool.has_expert(h.primitive_of_class(p.classes[0])) {
-            "✔"
+    println!(
+        "  resident: {} of {} experts in memory ({})",
+        pool.resident_experts(),
+        pool.num_experts(),
+        if pool.has_source() {
+            "lazy segment store, loads on first query"
         } else {
-            "✘"
+            "eager per-file store, all loaded at open"
+        }
+    );
+    for p in h.primitives() {
+        let task = h.primitive_of_class(p.classes[0]);
+        let (mark, state) = if !pool.has_expert(task) {
+            ("✘", String::new())
+        } else {
+            let version = pool.expert_version(task).unwrap_or(0);
+            let residency = if pool.is_resident(task) {
+                "resident"
+            } else {
+                "on-disk"
+            };
+            ("✔", format!("  v{version} {residency}"))
         };
-        println!("    [{mark}] {:<14} classes {:?}", p.name, p.classes);
+        println!("    [{mark}] {:<14} classes {:?}{state}", p.name, p.classes);
     }
     Ok(())
 }
@@ -360,6 +386,9 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
         .get_parsed("recorder-events", poe_obs::DEFAULT_RECORDER_EVENTS, "usize")
         .map_err(|e| e.to_string())?;
     let recorder_dir = a.get("recorder-dir").map(std::path::PathBuf::from);
+    let resident_experts = a
+        .get_parsed("resident-experts", 0usize, "usize")
+        .map_err(|e| e.to_string())?;
     // A `poe serve` process that panics outright (not a contained worker
     // panic) still leaves its black box behind: the hook dumps the global
     // flight recorder before the default panic message prints.
@@ -378,11 +407,15 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
     // carries the typed load error as a non-ready state, so an operator
     // probing the port sees *why* instead of a connection refusal.
     let (service, input_dim, pool_error) = match load_standalone(dir) {
-        Ok((pool, spec)) => {
+        Ok((mut pool, spec)) => {
+            pool.set_resident_budget(resident_experts);
             poe_obs::FlightRecorder::global().record_for(
                 0,
                 "store.load",
-                format!("dir={dir} experts={}", pool.num_experts()),
+                format!(
+                    "dir={dir} experts={} resident_budget={resident_experts}",
+                    pool.num_experts()
+                ),
             );
             (
                 std::sync::Arc::new(QueryService::builder(pool).build()),

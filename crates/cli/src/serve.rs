@@ -1074,8 +1074,8 @@ fn respond_action(
         .unwrap_or("")
         .to_ascii_uppercase();
     let counter_name = match verb.as_str() {
-        "INFO" | "QUERY" | "PREDICT" | "STATS" | "METRICS" | "TRACE" | "DUMP" | "HEALTH"
-        | "SHUTDOWN" | "QUIT" => format!("serve.requests.{}", verb.to_ascii_lowercase()),
+        "INFO" | "QUERY" | "PREDICT" | "SWAP" | "STATS" | "METRICS" | "TRACE" | "DUMP"
+        | "HEALTH" | "SHUTDOWN" | "QUIT" => format!("serve.requests.{}", verb.to_ascii_lowercase()),
         _ => "serve.requests.other".to_string(),
     };
     obs.registry.counter(&counter_name).inc();
@@ -1148,7 +1148,7 @@ fn respond_inner(
     // see *why* it is not ready.
     if let Some(s) = server {
         if let Some(detail) = &s.cfg.pool_error {
-            if matches!(verb.as_str(), "INFO" | "QUERY" | "PREDICT") {
+            if matches!(verb.as_str(), "INFO" | "QUERY" | "PREDICT" | "SWAP") {
                 return (WireError::NotReady(detail.clone()).line(), Action::Continue);
             }
         }
@@ -1242,6 +1242,19 @@ fn respond_inner(
                 ),
             },
         },
+        "SWAP" => {
+            if rest.is_empty() {
+                WireError::SwapSyntax.line()
+            } else {
+                match rest.parse::<usize>() {
+                    Err(_) => WireError::BadTaskId(rest.to_string()).line(),
+                    Ok(task) => match service.reload_expert(task) {
+                        Ok(version) => format!("OK swap task={task} version={version}"),
+                        Err(e) => WireError::from(e).line(),
+                    },
+                }
+            }
+        }
         "PREDICT" => match parse_predict(rest, input_dim) {
             Err(e) => e.line(),
             Ok((tasks, features)) => {
@@ -1538,6 +1551,22 @@ mod tests {
         assert!(respond("PREDICT 0 1.0 2.0", &svc, 4).starts_with("ERR PREDICT needs"));
         assert!(respond("PREDICT 0 : 1.0 nan 0.0 0.0", &svc, 4).starts_with("ERR bad feature"));
         assert!(respond("", &svc, 4).starts_with("ERR empty"));
+    }
+
+    #[test]
+    fn swap_verb_validates_and_reports_load_failures() {
+        let svc = toy_service();
+        assert_eq!(respond("SWAP", &svc, 4), "ERR SWAP needs a task id");
+        assert_eq!(respond("SWAP x", &svc, 4), "ERR bad task id `x`");
+        assert_eq!(respond("SWAP 9", &svc, 4), "ERR unknown primitive task 9");
+        // The toy pool is memory-only: a swap has no store to reload from,
+        // and the typed load error reaches the wire.
+        assert_eq!(
+            respond("SWAP 0", &svc, 4),
+            "ERR expert 0 failed to load: pool has no segment store attached"
+        );
+        // The failed swap left the pool serving.
+        assert!(respond("QUERY 0", &svc, 4).starts_with("OK outputs="));
     }
 
     #[test]
@@ -2295,6 +2324,10 @@ mod tests {
         );
         assert_eq!(
             ask(&mut w, &mut r, "INFO"),
+            "ERR not ready: corrupt model file: checksum mismatch"
+        );
+        assert_eq!(
+            ask(&mut w, &mut r, "SWAP 0"),
             "ERR not ready: corrupt model file: checksum mismatch"
         );
         // Observability verbs still answer so the operator can diagnose.

@@ -46,6 +46,8 @@ pub enum WireError {
         /// Features actually supplied.
         got: usize,
     },
+    /// `SWAP` without a task id argument.
+    SwapSyntax,
     /// `TRACE` with an argument other than `on`/`off`.
     TraceSyntax,
     /// `METRICS` with a format argument other than `json`/`openmetrics`.
@@ -122,6 +124,7 @@ impl fmt::Display for WireError {
             WireError::FeatureCount { expected, got } => {
                 write!(f, "expected {expected} features, got {got}")
             }
+            WireError::SwapSyntax => write!(f, "SWAP needs a task id"),
             WireError::TraceSyntax => write!(f, "TRACE needs `on` or `off`"),
             WireError::MetricsSyntax => write!(f, "METRICS accepts `json` or `openmetrics`"),
             WireError::DumpFailed(detail) => write!(f, "dump failed: {detail}"),
@@ -208,6 +211,19 @@ mod tests {
                 WireError::Query(QueryError::MissingExpert(5)),
                 "ERR no expert pooled for task 5",
                 "`ERR no expert pooled for task N`",
+            ),
+            (
+                WireError::Query(QueryError::ExpertLoad {
+                    task: 4,
+                    detail: "<detail>".into(),
+                }),
+                "ERR expert 4 failed to load: <detail>",
+                "`ERR expert N failed to load: <detail>`",
+            ),
+            (
+                WireError::SwapSyntax,
+                "ERR SWAP needs a task id",
+                "`ERR SWAP needs a task id`",
             ),
             (
                 WireError::PredictSyntax,

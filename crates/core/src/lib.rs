@@ -67,6 +67,9 @@ pub use confidence::{max_confidence_histogram, max_confidences, ConfidenceHistog
 pub use diagnostics::{diagnose_pool, ExpertDiagnostics, PoolDiagnostics};
 pub use library::{extract_library, extract_library_from_oracle, LibraryConfig, LibraryExtraction};
 pub use pipeline::{preprocess, PipelineConfig, Preprocessed};
-pub use pool::{ConsolidationStats, Expert, ExpertPool, QueryError, VolumeReport};
+pub use pool::{
+    ConsolidationStats, Expert, ExpertPool, ExpertSource, LoadedExpert, QueryError, SourceEntry,
+    VolumeReport,
+};
 pub use service::{LatencyHistogram, QueryResult, QueryService, ServiceStats};
-pub use store::{load_standalone, save_standalone, PoolSpec};
+pub use store::{load_standalone, save_standalone, PoolSpec, SegmentSource, SEGMENT_FILE};

@@ -6,6 +6,15 @@
 //! service phase answers a composite-task query by cloning the library and
 //! the required experts into a [`BranchedModel`] whose logits are
 //! concatenated — no training, just assembly.
+//!
+//! At 10k-expert scale the pool no longer holds every expert in memory.
+//! An attached [`ExpertSource`] (the POEM v4 segment store) provides the
+//! catalog; experts load lazily on first use, an LRU policy evicts cold
+//! ones down to a configurable resident budget, and every expert carries
+//! a version so a re-extracted replacement can be hot-swapped while
+//! serving. Residency is interior state (a mutex inside the pool), so
+//! [`ExpertPool::consolidate`] stays `&self` and the service layer's
+//! read-lock fast path is unchanged.
 
 use poe_data::ClassHierarchy;
 use poe_models::serialize::{
@@ -14,9 +23,10 @@ use poe_models::serialize::{
 };
 use poe_models::{Branch, BranchedModel, QuantizedModule};
 use poe_nn::layers::Sequential;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::Path;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// One pooled expert: the trained head for a primitive task.
@@ -30,6 +40,45 @@ pub struct Expert {
     pub head: Sequential,
 }
 
+/// An expert as delivered by an [`ExpertSource`]: the head, its optional
+/// int8 payload, and the version recorded in the store.
+pub struct LoadedExpert {
+    /// The expert head and class metadata.
+    pub expert: Expert,
+    /// Int8 payload when the store holds the expert quantized.
+    pub quantized: Option<QuantizedModule>,
+    /// Version recorded in the store's index for this expert.
+    pub version: u64,
+}
+
+/// One catalog row of an [`ExpertSource`]: an expert that exists in the
+/// backing store, whether or not it is currently resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceEntry {
+    /// Primitive-task index.
+    pub task: usize,
+    /// Stored expert version.
+    pub version: u64,
+    /// Serialized payload size in bytes (feeds [`VolumeReport`] for
+    /// non-resident experts).
+    pub bytes: u64,
+}
+
+/// A backing store that can enumerate and lazily load experts — the
+/// abstraction behind the POEM v4 segment store
+/// (`poe_core::store::load_standalone`). Implementations must be safe to
+/// call from multiple threads.
+pub trait ExpertSource: Send + Sync {
+    /// Every expert the store holds, ascending by task.
+    fn catalog(&self) -> Vec<SourceEntry>;
+    /// Loads one expert's payload from the store.
+    fn load(&self, task: usize) -> Result<LoadedExpert, SerializeError>;
+    /// Re-reads the store's index from disk before loading, so a segment
+    /// that was atomically replaced since open (a re-extraction) is
+    /// picked up — the hot-swap path.
+    fn reload(&self, task: usize) -> Result<LoadedExpert, SerializeError>;
+}
+
 /// Errors from pool queries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryError {
@@ -41,6 +90,14 @@ pub enum QueryError {
     DuplicateTask(usize),
     /// No expert has been extracted for this task yet.
     MissingExpert(usize),
+    /// The expert exists in the catalog but its payload failed to load
+    /// from the backing store (I/O error or per-payload corruption).
+    ExpertLoad {
+        /// The task whose expert failed to load.
+        task: usize,
+        /// Human-readable cause from the store layer.
+        detail: String,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -50,6 +107,9 @@ impl fmt::Display for QueryError {
             QueryError::UnknownTask(t) => write!(f, "unknown primitive task {t}"),
             QueryError::DuplicateTask(t) => write!(f, "primitive task {t} listed twice"),
             QueryError::MissingExpert(t) => write!(f, "no expert pooled for task {t}"),
+            QueryError::ExpertLoad { task, detail } => {
+                write!(f, "expert {task} failed to load: {detail}")
+            }
         }
     }
 }
@@ -78,7 +138,9 @@ pub struct ConsolidationStats {
 pub struct VolumeReport {
     /// Serialized size of the library component.
     pub library_bytes: u64,
-    /// Serialized size of each expert, keyed by task index.
+    /// Serialized size of each expert, keyed by task index. Resident
+    /// experts are measured exactly; non-resident ones report the stored
+    /// payload size from the segment index.
     pub expert_bytes: BTreeMap<usize, u64>,
     /// Library plus all experts.
     pub total_bytes: u64,
@@ -133,19 +195,70 @@ impl fmt::Display for QuantizationReport {
     }
 }
 
-/// The pool: hierarchy + library + experts.
-#[derive(Clone)]
+/// Interior residency state: which experts are in memory right now, what
+/// the catalog knows, and the policy knobs. Guarded by a mutex inside
+/// [`ExpertPool`] so lazy loads and evictions can happen behind `&self`.
+#[derive(Clone, Default)]
+struct Residency {
+    /// Resident expert heads.
+    experts: BTreeMap<usize, Expert>,
+    /// Int8 payloads for resident experts whose heads hold placeholder
+    /// weights; consolidation dequantizes from here at assemble time.
+    quantized: BTreeMap<usize, QuantizedModule>,
+    /// The catalog: every known expert (resident or not) and its current
+    /// version. Membership here is what `has_expert` answers.
+    versions: BTreeMap<usize, u64>,
+    /// Stored payload bytes per task, from the source index — the volume
+    /// accounting for non-resident experts.
+    stored_bytes: BTreeMap<usize, u64>,
+    /// Resident tasks, most-recently-used first.
+    lru: Vec<usize>,
+    /// Resident tasks the backing store cannot reproduce (installed via
+    /// `insert_expert` and never re-saved) — exempt from eviction.
+    pinned: BTreeSet<usize>,
+    /// Lazy-load backend; `None` for a fully in-memory pool.
+    source: Option<Arc<dyn ExpertSource>>,
+    /// Max resident experts (0 = unlimited). Enforced only when a source
+    /// exists — without one, eviction would lose weights.
+    budget: usize,
+}
+
+impl Residency {
+    /// Moves `task` to the front of the LRU order.
+    fn touch(&mut self, task: usize) {
+        if let Some(pos) = self.lru.iter().position(|&t| t == task) {
+            self.lru.remove(pos);
+        }
+        self.lru.insert(0, task);
+    }
+
+    fn resident_gauge(&self) {
+        poe_obs::global_gauge!("pool.lazy.resident").set(self.experts.len() as f64);
+    }
+}
+
+/// The pool: hierarchy + library + experts (resident or source-backed).
 pub struct ExpertPool {
     hierarchy: ClassHierarchy,
     library: Sequential,
-    experts: BTreeMap<usize, Expert>,
-    /// Int8 payloads for experts whose heads hold placeholder weights;
-    /// consolidation dequantizes from here at assemble time.
-    quantized: BTreeMap<usize, QuantizedModule>,
+    state: Mutex<Residency>,
     /// Architecture tag of the library (for display).
     pub library_arch: String,
     /// Architecture tag of the experts (for display).
     pub expert_arch: String,
+}
+
+impl Clone for ExpertPool {
+    fn clone(&self) -> Self {
+        let state = self.state.lock().unwrap().clone();
+        ExpertPool {
+            hierarchy: self.hierarchy.clone(),
+            library: self.library.clone(),
+            state: Mutex::new(state),
+            library_arch: self.library_arch.clone(),
+            expert_arch: self.expert_arch.clone(),
+        }
+    }
 }
 
 impl ExpertPool {
@@ -154,8 +267,7 @@ impl ExpertPool {
         ExpertPool {
             hierarchy,
             library,
-            experts: BTreeMap::new(),
-            quantized: BTreeMap::new(),
+            state: Mutex::new(Residency::default()),
             library_arch: String::new(),
             expert_arch: String::new(),
         }
@@ -171,11 +283,33 @@ impl ExpertPool {
         &self.library
     }
 
-    /// Inserts (or replaces) an expert.
+    fn state(&self) -> std::sync::MutexGuard<'_, Residency> {
+        self.state.lock().unwrap()
+    }
+
+    /// Inserts (or replaces) an expert, bumping its version. Returns the
+    /// new version (1 for a first install). The expert is pinned resident
+    /// until a store re-save makes it reproducible, so eviction can never
+    /// lose weights that exist only in memory.
     ///
     /// # Panics
     /// Panics if the expert's task/classes disagree with the hierarchy.
-    pub fn insert_expert(&mut self, expert: Expert) {
+    pub fn insert_expert(&mut self, expert: Expert) -> u64 {
+        self.validate_expert(&expert);
+        let task = expert.task_index;
+        let state = self.state.get_mut().unwrap();
+        // A freshly inserted head is dense: any stale int8 payload from a
+        // previously quantized expert for this task must not shadow it.
+        state.quantized.remove(&task);
+        state.experts.insert(task, expert);
+        state.pinned.insert(task);
+        state.touch(task);
+        let version = state.versions.get(&task).copied().unwrap_or(0) + 1;
+        state.versions.insert(task, version);
+        version
+    }
+
+    fn validate_expert(&self, expert: &Expert) {
         assert!(
             expert.task_index < self.hierarchy.num_primitives(),
             "task {} out of range",
@@ -187,32 +321,64 @@ impl ExpertPool {
             "expert class list disagrees with hierarchy for task {}",
             expert.task_index
         );
-        // A freshly inserted head is dense: any stale int8 payload from a
-        // previously quantized expert for this task must not shadow it.
-        self.quantized.remove(&expert.task_index);
-        self.experts.insert(expert.task_index, expert);
     }
 
-    /// True when the expert for `task_index` is stored quantized (its head
-    /// holds placeholder weights backed by an int8 payload).
+    /// Attaches a lazy-load backend. The source's catalog becomes the
+    /// pool's catalog: `has_expert`/`pooled_tasks` answer from it without
+    /// loading anything, and experts materialize on first use. Already
+    /// resident experts (if any) keep their state.
+    pub fn attach_source(&mut self, source: Arc<dyn ExpertSource>) {
+        let state = self.state.get_mut().unwrap();
+        for entry in source.catalog() {
+            state.versions.entry(entry.task).or_insert(entry.version);
+            state.stored_bytes.insert(entry.task, entry.bytes);
+        }
+        state.source = Some(source);
+    }
+
+    /// True when a lazy-load backend is attached.
+    pub fn has_source(&self) -> bool {
+        self.state().source.is_some()
+    }
+
+    /// Sets the resident-expert budget (0 = unlimited) and immediately
+    /// evicts down to it. Only enforced when a source is attached —
+    /// a purely in-memory pool never evicts.
+    pub fn set_resident_budget(&mut self, budget: usize) {
+        let state = self.state.get_mut().unwrap();
+        state.budget = budget;
+        Self::enforce_budget_locked(state, &[]);
+    }
+
+    /// The resident-expert budget (0 = unlimited).
+    pub fn resident_budget(&self) -> usize {
+        self.state().budget
+    }
+
+    /// True when the expert for `task_index` is resident and stored
+    /// quantized (its head holds placeholder weights backed by an int8
+    /// payload).
     pub fn is_quantized(&self, task_index: usize) -> bool {
-        self.quantized.contains_key(&task_index)
+        self.state().quantized.contains_key(&task_index)
     }
 
-    /// Quantizes every pooled expert head to int8 row-wise weights,
+    /// Quantizes every *resident* expert head to int8 row-wise weights,
     /// replacing the dense `f32` weight tensors with shared placeholders.
     /// Consolidation transparently dequantizes at assemble time; storage
     /// and serialization shrink roughly 4×. Idempotent: already-quantized
-    /// experts are left alone.
+    /// experts are left alone. (Preprocessing pools are fully resident;
+    /// for a segment-backed pool, quantization happens at store-write
+    /// time instead.)
     pub fn quantize_experts(&mut self) -> QuantizationReport {
+        let state = self.state.get_mut().unwrap();
         let mut report = QuantizationReport {
             experts: 0,
             dense_bytes: 0,
             quantized_bytes: 0,
             max_error_bound: 0.0,
         };
-        for (&t, e) in &mut self.experts {
-            if self.quantized.contains_key(&t) {
+        for (&t, e) in &mut state.experts {
+            if state.quantized.contains_key(&t) {
                 continue;
             }
             report.dense_bytes += module_byte_size(&e.head);
@@ -221,47 +387,233 @@ impl ExpertPool {
             report.quantized_bytes += module_byte_size_quantized(&e.head, &q);
             report.max_error_bound = report.max_error_bound.max(q.error_bound());
             report.experts += 1;
-            self.quantized.insert(t, q);
+            state.quantized.insert(t, q);
         }
         report
     }
 
-    /// Attaches an int8 payload for an already-inserted expert whose head
+    /// Attaches an int8 payload for an already-resident expert whose head
     /// holds placeholder weights — the load path of a quantized store.
     ///
     /// # Panics
-    /// Panics if no expert exists for `task_index`.
+    /// Panics if no resident expert exists for `task_index`.
     pub fn attach_quantized(&mut self, task_index: usize, q: QuantizedModule) {
+        let state = self.state.get_mut().unwrap();
         assert!(
-            self.experts.contains_key(&task_index),
+            state.experts.contains_key(&task_index),
             "no expert pooled for task {task_index}"
         );
-        self.quantized.insert(task_index, q);
+        state.quantized.insert(task_index, q);
     }
 
-    /// Number of pooled experts.
+    /// Number of pooled experts (resident or source-backed).
     pub fn num_experts(&self) -> usize {
-        self.experts.len()
+        self.state().versions.len()
     }
 
-    /// True when an expert exists for the task.
+    /// Number of experts currently resident in memory.
+    pub fn resident_experts(&self) -> usize {
+        self.state().experts.len()
+    }
+
+    /// True when an expert exists for the task (resident or not).
     pub fn has_expert(&self, task_index: usize) -> bool {
-        self.experts.contains_key(&task_index)
+        self.state().versions.contains_key(&task_index)
     }
 
-    /// Borrows an expert, if pooled.
-    pub fn expert(&self, task_index: usize) -> Option<&Expert> {
-        self.experts.get(&task_index)
+    /// True when the expert for the task is resident in memory right now.
+    pub fn is_resident(&self, task_index: usize) -> bool {
+        self.state().experts.contains_key(&task_index)
     }
 
-    /// Task indices with pooled experts, ascending.
+    /// The expert's current version (bumped on every install/swap), if it
+    /// is in the catalog.
+    pub fn expert_version(&self, task_index: usize) -> Option<u64> {
+        self.state().versions.get(&task_index).copied()
+    }
+
+    /// Returns a copy of an expert, lazily loading it from the source if
+    /// needed. The copy is cheap — tensors are copy-on-write — and stays
+    /// valid even if the pool later evicts or swaps the expert. Returns
+    /// `None` if the task is not in the catalog or its payload fails to
+    /// load.
+    pub fn expert(&self, task_index: usize) -> Option<Expert> {
+        let mut state = self.state();
+        if !state.experts.contains_key(&task_index) {
+            self.ensure_resident_locked(&mut state, task_index).ok()?;
+            Self::enforce_budget_locked(&mut state, &[task_index]);
+        } else {
+            state.touch(task_index);
+        }
+        state.experts.get(&task_index).cloned()
+    }
+
+    /// Like [`ExpertPool::expert`], but also returns the int8 payload and
+    /// version — what a store writer needs to re-serialize the expert.
+    pub fn loaded_expert(&self, task_index: usize) -> Option<LoadedExpert> {
+        let mut state = self.state();
+        if !state.experts.contains_key(&task_index) {
+            self.ensure_resident_locked(&mut state, task_index).ok()?;
+            Self::enforce_budget_locked(&mut state, &[task_index]);
+        }
+        let expert = state.experts.get(&task_index).cloned()?;
+        Some(LoadedExpert {
+            expert,
+            quantized: state.quantized.get(&task_index).cloned(),
+            version: state.versions.get(&task_index).copied().unwrap_or(1),
+        })
+    }
+
+    /// Task indices with pooled experts (resident or source-backed),
+    /// ascending.
     pub fn pooled_tasks(&self) -> Vec<usize> {
-        self.experts.keys().copied().collect()
+        self.state().versions.keys().copied().collect()
+    }
+
+    /// Loads `task` into residency from the attached source, recording
+    /// the `pool.lazy.loads` counter and an `expert.load` flight event.
+    fn ensure_resident_locked(&self, state: &mut Residency, task: usize) -> Result<(), QueryError> {
+        if state.experts.contains_key(&task) {
+            state.touch(task);
+            return Ok(());
+        }
+        let source = state.source.clone().ok_or_else(|| QueryError::ExpertLoad {
+            task,
+            detail: "expert not resident and no store attached".into(),
+        })?;
+        let loaded = source.load(task).map_err(|e| QueryError::ExpertLoad {
+            task,
+            detail: e.to_string(),
+        })?;
+        self.validate_expert(&loaded.expert);
+        state.experts.insert(task, loaded.expert);
+        match loaded.quantized {
+            Some(q) => {
+                state.quantized.insert(task, q);
+            }
+            None => {
+                state.quantized.remove(&task);
+            }
+        }
+        state.versions.insert(task, loaded.version);
+        state.touch(task);
+        poe_obs::global_counter!("pool.lazy.loads").inc();
+        state.resident_gauge();
+        poe_obs::FlightRecorder::global().record(
+            "expert.load",
+            format!("task={task} version={}", loaded.version),
+        );
+        Ok(())
+    }
+
+    /// Evicts least-recently-used residents down to the budget, skipping
+    /// `protect`ed (in-use) and pinned (memory-only) tasks. A no-op
+    /// without a source or with budget 0.
+    fn enforce_budget_locked(state: &mut Residency, protect: &[usize]) {
+        if state.source.is_none() || state.budget == 0 {
+            return;
+        }
+        while state.experts.len() > state.budget {
+            let victim = state
+                .lru
+                .iter()
+                .rev()
+                .copied()
+                .find(|t| !protect.contains(t) && !state.pinned.contains(t));
+            let Some(victim) = victim else {
+                break;
+            };
+            state.experts.remove(&victim);
+            state.quantized.remove(&victim);
+            state.lru.retain(|&t| t != victim);
+            poe_obs::global_counter!("pool.lazy.evictions").inc();
+            poe_obs::FlightRecorder::global().record("expert.evict", format!("task={victim}"));
+        }
+        state.resident_gauge();
+    }
+
+    /// Re-reads one expert from the attached source's *current on-disk
+    /// index* without mutating the pool — the first half of a hot swap.
+    /// Install the result with [`ExpertPool::install_loaded`] (the
+    /// service layer does both under its generation guard).
+    pub fn reload_from_source(&self, task: usize) -> Result<LoadedExpert, QueryError> {
+        if task >= self.hierarchy.num_primitives() {
+            return Err(QueryError::UnknownTask(task));
+        }
+        let source = self.state().source.clone();
+        let source = source.ok_or_else(|| QueryError::ExpertLoad {
+            task,
+            detail: "pool has no segment store attached".into(),
+        })?;
+        // The source I/O runs outside the residency lock: a slow disk
+        // must not block lazy loads for unrelated queries.
+        let loaded = source.reload(task).map_err(|e| QueryError::ExpertLoad {
+            task,
+            detail: e.to_string(),
+        })?;
+        self.validate_expert(&loaded.expert);
+        Ok(loaded)
+    }
+
+    /// Atomically installs a [`LoadedExpert`] (from
+    /// [`ExpertPool::reload_from_source`]) as the expert's new version.
+    /// Unlike [`ExpertPool::insert_expert`] this does not pin: the store
+    /// just proved it can reproduce the expert. Returns the installed
+    /// version.
+    ///
+    /// # Panics
+    /// Panics if the expert's task/classes disagree with the hierarchy.
+    pub fn install_loaded(&mut self, loaded: LoadedExpert) -> u64 {
+        self.validate_expert(&loaded.expert);
+        let task = loaded.expert.task_index;
+        let state = self.state.get_mut().unwrap();
+        state.experts.insert(task, loaded.expert);
+        match loaded.quantized {
+            Some(q) => {
+                state.quantized.insert(task, q);
+            }
+            None => {
+                state.quantized.remove(&task);
+            }
+        }
+        state.versions.insert(task, loaded.version);
+        state.pinned.remove(&task);
+        state.touch(task);
+        state.resident_gauge();
+        Self::enforce_budget_locked(state, &[task]);
+        loaded.version
     }
 
     /// **Train-free knowledge consolidation**: assembles the task-specific
     /// model for the composite task `query` (a set of primitive-task
-    /// indices) by logit concatenation.
+    /// indices) by logit concatenation. Experts named by the query that
+    /// are not resident load lazily from the attached source; afterwards,
+    /// cold residents beyond the budget are evicted LRU-first. Assembled
+    /// models hold their own copy-on-write references, so later eviction
+    /// or swapping never invalidates a model already handed out.
+    ///
+    /// ```
+    /// use poe_core::pool::{Expert, ExpertPool};
+    /// use poe_data::ClassHierarchy;
+    /// use poe_nn::layers::{Linear, Sequential};
+    /// use poe_tensor::{Prng, Tensor};
+    ///
+    /// let mut rng = Prng::seed_from_u64(1);
+    /// let hierarchy = ClassHierarchy::contiguous(4, 2); // 2 tasks × 2 classes
+    /// let library = Sequential::new().push(Linear::new("lib", 3, 5, &mut rng));
+    /// let mut pool = ExpertPool::new(hierarchy, library);
+    /// for t in 0..2 {
+    ///     let classes = pool.hierarchy().primitive(t).classes.clone();
+    ///     let head = Sequential::new()
+    ///         .push(Linear::new(&format!("e{t}"), 5, classes.len(), &mut rng));
+    ///     pool.insert_expert(Expert { task_index: t, classes, head });
+    /// }
+    /// let (model, stats) = pool.consolidate(&[1, 0]).unwrap();
+    /// assert_eq!(stats.num_experts, 2);
+    /// assert_eq!(model.class_layout(), vec![2, 3, 0, 1]);
+    /// let logits = model.infer(&Tensor::zeros([1, 3]));
+    /// assert_eq!(logits.dims(), &[1, 4]);
+    /// ```
     pub fn consolidate(
         &self,
         query: &[usize],
@@ -269,6 +621,7 @@ impl ExpertPool {
         if query.is_empty() {
             return Err(QueryError::EmptyQuery);
         }
+        let mut state = self.state();
         let mut seen = vec![false; self.hierarchy.num_primitives()];
         for &t in query {
             if t >= self.hierarchy.num_primitives() {
@@ -278,19 +631,22 @@ impl ExpertPool {
                 return Err(QueryError::DuplicateTask(t));
             }
             seen[t] = true;
-            if !self.experts.contains_key(&t) {
+            if !state.versions.contains_key(&t) {
                 return Err(QueryError::MissingExpert(t));
             }
         }
 
         let _span = poe_obs::span("pool.consolidate");
         let start = Instant::now();
+        for &t in query {
+            self.ensure_resident_locked(&mut state, t)?;
+        }
         let branches: Vec<Branch> = query
             .iter()
             .map(|t| {
-                let e = &self.experts[t];
+                let e = &state.experts[t];
                 let mut head = e.head.clone();
-                if let Some(q) = self.quantized.get(t) {
+                if let Some(q) = state.quantized.get(t) {
                     // Dequantize-on-assemble: the pooled head only holds
                     // placeholders; materialize dense weights into this
                     // clone (copy-on-write detaches it from the pool).
@@ -305,6 +661,10 @@ impl ExpertPool {
                 }
             })
             .collect();
+        // The branches above hold their own Arc'd tensors, so evicting
+        // now (or on any later query) cannot touch this model.
+        Self::enforce_budget_locked(&mut state, query);
+        drop(state);
         let arch = format!(
             "{} + [{}]ᵀ×{}",
             self.library_arch,
@@ -321,15 +681,21 @@ impl ExpertPool {
         Ok((model, stats))
     }
 
-    /// Byte-level storage accounting (Table 4).
+    /// Byte-level storage accounting (Table 4). Resident experts are
+    /// measured exactly; non-resident ones report the payload size from
+    /// the segment index.
     pub fn volumes(&self) -> VolumeReport {
+        let state = self.state();
         let library_bytes = module_byte_size(&self.library);
-        let expert_bytes: BTreeMap<usize, u64> = self
-            .experts
-            .iter()
-            .map(|(&t, e)| match self.quantized.get(&t) {
-                Some(q) => (t, module_byte_size_quantized(&e.head, q)),
-                None => (t, module_byte_size(&e.head)),
+        let expert_bytes: BTreeMap<usize, u64> = state
+            .versions
+            .keys()
+            .map(|&t| match state.experts.get(&t) {
+                Some(e) => match state.quantized.get(&t) {
+                    Some(q) => (t, module_byte_size_quantized(&e.head, q)),
+                    None => (t, module_byte_size(&e.head)),
+                },
+                None => (t, state.stored_bytes.get(&t).copied().unwrap_or(0)),
             })
             .collect();
         let total_bytes = library_bytes + expert_bytes.values().sum::<u64>();
@@ -340,15 +706,20 @@ impl ExpertPool {
         }
     }
 
-    /// Persists the pool to a directory: `library.poem` plus
-    /// `expert_<task>.poem` per expert. Returns total bytes written.
+    /// Persists the pool to a directory in the *legacy flat layout*:
+    /// `library.poem` plus `expert_<task>.poem` per resident expert.
+    /// Returns total bytes written. The standalone store
+    /// (`poe_core::store::save_standalone`) writes the v4 segment layout
+    /// instead; this path remains for fully-resident pools and format
+    /// back-compat.
     pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> Result<u64, SerializeError> {
+        let state = self.state();
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir).map_err(SerializeError::Io)?;
         let mut total = save_module(dir.join("library.poem"), &self.library)?;
-        for (t, e) in &self.experts {
+        for (t, e) in &state.experts {
             let path = dir.join(format!("expert_{t}.poem"));
-            total += match self.quantized.get(t) {
+            total += match state.quantized.get(t) {
                 Some(q) => save_module_quantized(path, &e.head, q)?,
                 None => save_module(path, &e.head)?,
             };
@@ -358,19 +729,20 @@ impl ExpertPool {
 
     /// Reloads parameter values from a directory written by
     /// [`ExpertPool::save_to_dir`] into this pool's identically-structured
-    /// components.
+    /// resident components.
     pub fn load_from_dir(&mut self, dir: impl AsRef<Path>) -> Result<(), SerializeError> {
         let dir = dir.as_ref();
         load_module(dir.join("library.poem"), &mut self.library)?;
+        let state = self.state.get_mut().unwrap();
         let mut quantized = BTreeMap::new();
-        for (t, e) in &mut self.experts {
+        for (t, e) in &mut state.experts {
             let path = dir.join(format!("expert_{t}.poem"));
             if let Some(q) = load_module_quantized(path, &mut e.head)? {
                 quantized.insert(*t, q);
             }
         }
         // Replace wholesale: dense files clear any stale int8 payloads.
-        self.quantized = quantized;
+        state.quantized = quantized;
         Ok(())
     }
 }
@@ -400,6 +772,70 @@ mod tests {
             });
         }
         pool
+    }
+
+    /// An in-memory source for exercising lazy load / eviction / swap
+    /// without touching disk.
+    struct MapSource {
+        experts: Mutex<BTreeMap<usize, (Expert, u64)>>,
+        fail: Mutex<BTreeSet<usize>>,
+    }
+
+    impl MapSource {
+        fn new(pool: &ExpertPool) -> Self {
+            let mut experts = BTreeMap::new();
+            for t in pool.pooled_tasks() {
+                let e = pool.expert(t).unwrap();
+                experts.insert(t, (e, 1));
+            }
+            MapSource {
+                experts: Mutex::new(experts),
+                fail: Mutex::new(BTreeSet::new()),
+            }
+        }
+    }
+
+    impl ExpertSource for MapSource {
+        fn catalog(&self) -> Vec<SourceEntry> {
+            self.experts
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&task, (_, version))| SourceEntry {
+                    task,
+                    version: *version,
+                    bytes: 64,
+                })
+                .collect()
+        }
+
+        fn load(&self, task: usize) -> Result<LoadedExpert, SerializeError> {
+            if self.fail.lock().unwrap().contains(&task) {
+                return Err(SerializeError::Io(std::io::Error::other("injected")));
+            }
+            let experts = self.experts.lock().unwrap();
+            let (expert, version) = experts
+                .get(&task)
+                .ok_or_else(|| SerializeError::Format(format!("task {task} not in source")))?;
+            Ok(LoadedExpert {
+                expert: expert.clone(),
+                quantized: None,
+                version: *version,
+            })
+        }
+
+        fn reload(&self, task: usize) -> Result<LoadedExpert, SerializeError> {
+            self.load(task)
+        }
+    }
+
+    fn lazy_pool(num_tasks: usize) -> (ExpertPool, Arc<MapSource>) {
+        let all: Vec<usize> = (0..num_tasks).collect();
+        let full = toy_pool(num_tasks, &all);
+        let source = Arc::new(MapSource::new(&full));
+        let mut pool = toy_pool(num_tasks, &[]);
+        pool.attach_source(source.clone());
+        (pool, source)
     }
 
     #[test]
@@ -584,5 +1020,141 @@ mod tests {
         let (m1, _) = pool.consolidate(&[1, 3, 5]).unwrap();
         let (m2, _) = pool.consolidate(&[1, 3, 5]).unwrap();
         assert!(m1.infer(&x).max_abs_diff(&m2.infer(&x)) == 0.0);
+    }
+
+    #[test]
+    fn versions_start_at_one_and_bump_on_reinstall() {
+        let mut pool = toy_pool(3, &[0, 1]);
+        assert_eq!(pool.expert_version(0), Some(1));
+        assert_eq!(pool.expert_version(2), None);
+        let classes = pool.hierarchy().primitive(0).classes.clone();
+        let mut rng = Prng::seed_from_u64(15);
+        let head = Sequential::new().push(Linear::new("e0b", 6, classes.len(), &mut rng));
+        let v = pool.insert_expert(Expert {
+            task_index: 0,
+            classes,
+            head,
+        });
+        assert_eq!(v, 2);
+        assert_eq!(pool.expert_version(0), Some(2));
+    }
+
+    #[test]
+    fn source_backed_pool_loads_lazily_and_answers_identically() {
+        let all = [0usize, 1, 2, 3];
+        let full = toy_pool(4, &all);
+        let (lazy, _) = lazy_pool(4);
+        assert_eq!(lazy.num_experts(), 4);
+        assert_eq!(lazy.resident_experts(), 0);
+        assert!(lazy.has_expert(3) && !lazy.is_resident(3));
+
+        let x = Tensor::randn([2, 4], 1.0, &mut Prng::seed_from_u64(16));
+        let (a, _) = full.consolidate(&[1, 3]).unwrap();
+        let (b, _) = lazy.consolidate(&[1, 3]).unwrap();
+        assert!(a.infer(&x).max_abs_diff(&b.infer(&x)) == 0.0);
+        assert_eq!(lazy.resident_experts(), 2);
+        assert!(lazy.is_resident(1) && lazy.is_resident(3));
+    }
+
+    #[test]
+    fn eviction_respects_budget_lru_and_pins() {
+        let (mut pool, _) = lazy_pool(6);
+        pool.set_resident_budget(2);
+        pool.consolidate(&[0, 1]).unwrap();
+        assert_eq!(pool.resident_experts(), 2);
+        // Loading 2 evicts the least-recently-used: 0 and 1 came from the
+        // same query, but 0 was touched first, so it is the LRU tail.
+        pool.consolidate(&[2]).unwrap();
+        assert_eq!(pool.resident_experts(), 2);
+        assert!(pool.is_resident(2) && pool.is_resident(1));
+        assert!(!pool.is_resident(0), "LRU tail should be evicted");
+
+        // A memory-only insert is pinned: eviction must skip it even
+        // when it is the coldest entry.
+        let classes = pool.hierarchy().primitive(5).classes.clone();
+        let mut rng = Prng::seed_from_u64(17);
+        let head = Sequential::new().push(Linear::new("e5b", 6, classes.len(), &mut rng));
+        pool.insert_expert(Expert {
+            task_index: 5,
+            classes,
+            head,
+        });
+        pool.consolidate(&[3]).unwrap();
+        pool.consolidate(&[4]).unwrap();
+        assert!(pool.is_resident(5), "pinned expert must survive eviction");
+
+        // A query larger than the budget still works; the budget is a
+        // target, not a hard ceiling mid-query.
+        pool.consolidate(&[0, 1, 2, 3]).unwrap();
+        assert!(pool.resident_experts() >= 4);
+    }
+
+    #[test]
+    fn evicted_expert_reloads_with_identical_logits() {
+        let (mut pool, _) = lazy_pool(4);
+        pool.set_resident_budget(1);
+        let x = Tensor::randn([2, 4], 1.0, &mut Prng::seed_from_u64(18));
+        let (first, _) = pool.consolidate(&[2]).unwrap();
+        let y_first = first.infer(&x);
+        // Force 2 out of residency, then query it again.
+        pool.consolidate(&[3]).unwrap();
+        assert!(!pool.is_resident(2));
+        let (again, _) = pool.consolidate(&[2]).unwrap();
+        assert!(again.infer(&x).max_abs_diff(&y_first) == 0.0);
+    }
+
+    #[test]
+    fn failed_lazy_load_is_a_typed_error_and_recoverable() {
+        let (pool, source) = lazy_pool(3);
+        source.fail.lock().unwrap().insert(1);
+        let err = pool.consolidate(&[0, 1]).unwrap_err();
+        match &err {
+            QueryError::ExpertLoad { task, detail } => {
+                assert_eq!(*task, 1);
+                assert!(detail.contains("injected"), "{detail}");
+            }
+            other => panic!("expected ExpertLoad, got {other:?}"),
+        }
+        assert!(err.to_string().contains("expert 1 failed to load"));
+        // The failure is transient: clearing it makes the query work.
+        source.fail.lock().unwrap().clear();
+        pool.consolidate(&[0, 1]).unwrap();
+    }
+
+    #[test]
+    fn reload_and_install_swap_an_expert_without_touching_models() {
+        let (mut pool, source) = lazy_pool(3);
+        let x = Tensor::randn([2, 4], 1.0, &mut Prng::seed_from_u64(19));
+        let (before, _) = pool.consolidate(&[0]).unwrap();
+        let y_before = before.infer(&x);
+
+        // Re-extract task 0 out of band: the source now serves different
+        // weights under a bumped version.
+        let mut rng = Prng::seed_from_u64(20);
+        let classes = pool.hierarchy().primitive(0).classes.clone();
+        let head = Sequential::new().push(Linear::new("e0", 6, classes.len(), &mut rng));
+        source.experts.lock().unwrap().insert(
+            0,
+            (
+                Expert {
+                    task_index: 0,
+                    classes,
+                    head,
+                },
+                2,
+            ),
+        );
+
+        let loaded = pool.reload_from_source(0).unwrap();
+        assert_eq!(loaded.version, 2);
+        let v = pool.install_loaded(loaded);
+        assert_eq!(v, 2);
+        assert_eq!(pool.expert_version(0), Some(2));
+
+        // The already-assembled model is untouched; a fresh consolidation
+        // sees the new weights.
+        assert!(before.infer(&x).max_abs_diff(&y_before) == 0.0);
+        let (after, _) = pool.consolidate(&[0]).unwrap();
+        assert!(after.infer(&x).max_abs_diff(&y_before) > 0.0);
     }
 }

@@ -501,12 +501,53 @@ impl QueryService {
         self.query(&tasks)
     }
 
-    /// Installs (or replaces) an expert while the service is live. Cached
-    /// consolidations are invalidated so subsequent hits cannot serve the
-    /// replaced weights.
-    pub fn install_expert(&self, expert: Expert) {
+    /// Installs (or replaces) an expert while the service is live,
+    /// bumping its version. Cached consolidations are invalidated so
+    /// subsequent hits cannot serve the replaced weights; in-flight
+    /// queries keep their already-assembled (copy-on-write) models.
+    /// Returns the expert's new version.
+    pub fn install_expert(&self, expert: Expert) -> u64 {
         let mut pool = self.pool.write().unwrap();
         self.generation.fetch_add(1, Ordering::AcqRel);
+        let evicted = self.invalidate_cache();
+        self.obs.flight.record(
+            "cache.invalidate",
+            format!("task={} evicted={evicted}", expert.task_index),
+        );
+        pool.insert_expert(expert)
+    }
+
+    /// Hot-swaps one expert from the pool's backing store: re-reads the
+    /// store's *current on-disk index* (picking up a segment that a
+    /// re-extraction atomically replaced), then installs the fresh
+    /// version under the generation guard. The store I/O happens before
+    /// any lock is taken, so queries keep flowing while the replacement
+    /// loads, and a failed reload leaves the old version serving. Returns
+    /// the installed version.
+    pub fn reload_expert(&self, task: usize) -> Result<u64, QueryError> {
+        // Phase 1 — no locks: pull the replacement out of the store.
+        let loaded = {
+            let pool = self.pool.read().unwrap();
+            pool.reload_from_source(task)
+        }?;
+        // A mid-swap crash (chaos-injected here) happens after the store
+        // read but before installation: no lock is held, so nothing is
+        // poisoned and the old version keeps serving.
+        poe_chaos::maybe_panic(poe_chaos::sites::POOL_SWAP_PANIC);
+        // Phase 2 — the write lock covers only the in-memory install.
+        let mut pool = self.pool.write().unwrap();
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        let evicted = self.invalidate_cache();
+        let version = pool.install_loaded(loaded);
+        self.obs.flight.record(
+            "expert.swap",
+            format!("task={task} version={version} evicted={evicted}"),
+        );
+        Ok(version)
+    }
+
+    /// Clears the consolidation cache, returning how many entries went.
+    fn invalidate_cache(&self) -> usize {
         let evicted = {
             let mut cache = self.cache.lock().unwrap();
             let n = cache.entries.len();
@@ -514,11 +555,7 @@ impl QueryService {
             n
         };
         self.metrics.cache_entries.set(0.0);
-        self.obs.flight.record(
-            "cache.invalidate",
-            format!("task={} evicted={evicted}", expert.task_index),
-        );
-        pool.insert_expert(expert);
+        evicted
     }
 
     /// Number of task sets currently cached.
@@ -640,11 +677,98 @@ mod tests {
         assert!(svc.query(&[1]).is_err());
         let mut rng = Prng::seed_from_u64(4);
         let classes = svc.with_pool(|p| p.hierarchy().primitive(1).classes.clone());
-        svc.install_expert(Expert {
+        let version = svc.install_expert(Expert {
             task_index: 1,
             classes,
             head: Sequential::new().push(Linear::new("late", 5, 3, &mut rng)),
         });
+        assert_eq!(version, 1);
+        assert!(svc.query(&[1]).is_ok());
+    }
+
+    /// In-memory [`ExpertSource`] whose single expert can be replaced
+    /// out of band, simulating a re-extraction + store re-save.
+    struct SwapSource {
+        expert: Mutex<(Expert, u64)>,
+    }
+
+    impl crate::pool::ExpertSource for SwapSource {
+        fn catalog(&self) -> Vec<crate::pool::SourceEntry> {
+            let (e, v) = &*self.expert.lock().unwrap();
+            vec![crate::pool::SourceEntry {
+                task: e.task_index,
+                version: *v,
+                bytes: 64,
+            }]
+        }
+
+        fn load(
+            &self,
+            task: usize,
+        ) -> Result<crate::pool::LoadedExpert, poe_models::serialize::SerializeError> {
+            let (e, v) = &*self.expert.lock().unwrap();
+            if task != e.task_index {
+                return Err(poe_models::serialize::SerializeError::Format(format!(
+                    "task {task} not in source"
+                )));
+            }
+            Ok(crate::pool::LoadedExpert {
+                expert: e.clone(),
+                quantized: None,
+                version: *v,
+            })
+        }
+
+        fn reload(
+            &self,
+            task: usize,
+        ) -> Result<crate::pool::LoadedExpert, poe_models::serialize::SerializeError> {
+            self.load(task)
+        }
+    }
+
+    #[test]
+    fn reload_expert_hot_swaps_and_invalidates_cache() {
+        let mut rng = Prng::seed_from_u64(21);
+        let mut pool = toy_pool(2, &[0, 1]);
+        let classes = pool.hierarchy().primitive(0).classes.clone();
+        let head = Sequential::new().push(Linear::new("e0", 5, classes.len(), &mut rng));
+        let source = Arc::new(SwapSource {
+            expert: Mutex::new((
+                Expert {
+                    task_index: 0,
+                    classes: classes.clone(),
+                    head: head.clone(),
+                },
+                2,
+            )),
+        });
+        pool.attach_source(source.clone());
+        let svc = QueryService::builder(pool).build();
+
+        let x = Tensor::randn([2, 4], 1.0, &mut Prng::seed_from_u64(22));
+        let before = svc.query(&[0]).unwrap();
+        let y_before = before.model.infer(&x);
+        assert_eq!(svc.cached_consolidations(), 1);
+
+        // A query mid-swap keeps its already-assembled model.
+        let version = svc.reload_expert(0).unwrap();
+        assert_eq!(version, 2);
+        assert_eq!(svc.with_pool(|p| p.expert_version(0)), Some(2));
+        assert_eq!(svc.cached_consolidations(), 0, "swap clears the cache");
+        assert!(before.model.infer(&x).max_abs_diff(&y_before) == 0.0);
+
+        // Fresh queries see the swapped weights.
+        let after = svc.query(&[0]).unwrap();
+        assert!(
+            after.model.infer(&x).max_abs_diff(&y_before) > 0.0,
+            "swap must change served weights"
+        );
+
+        // Swapping a task the store does not know is a typed error and
+        // leaves the pool serving the old weights.
+        let err = svc.reload_expert(1).unwrap_err();
+        assert!(matches!(err, QueryError::ExpertLoad { task: 1, .. }));
         assert!(svc.query(&[1]).is_ok());
     }
 

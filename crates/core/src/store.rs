@@ -11,20 +11,38 @@
 //! pool_dir/
 //!   manifest.poep      hierarchy + architecture + expert index
 //!   library.poem       library weights
-//!   expert_<t>.poem    one weight file per pooled expert
+//!   experts.poem       POEM v4 segment: every expert head, offset-indexed
+//!   expert_<t>.poem    legacy per-expert layout (still readable)
 //! ```
+//!
+//! [`save_standalone`] writes the segment layout; [`load_standalone`]
+//! opens it **lazily** — only the manifest, library, and segment *index*
+//! are read at startup (O(1) in the catalog size), and each expert's
+//! payload streams in on first use via the [`SegmentSource`] attached to
+//! the pool. Directories from before the segment format (one
+//! `expert_<t>.poem` per task) load eagerly exactly as they always did.
+//! Byte-level format details live in `docs/FORMATS.md`.
 
-use crate::pool::{Expert, ExpertPool};
+use crate::pool::{Expert, ExpertPool, ExpertSource, LoadedExpert, SourceEntry};
 use poe_data::{ClassHierarchy, PrimitiveTask};
-use poe_models::serialize::{atomic_write, load_module, load_module_quantized, SerializeError};
+use poe_models::serialize::{
+    atomic_write, deserialize_module_quantized, encode_segment, load_module, load_module_quantized,
+    read_segment_index, read_segment_payload, save_module, serialize_module,
+    serialize_module_quantized, SegmentEntry, SerializeError,
+};
 use poe_models::wire::{WireBuf, WireRead};
 use poe_models::{build_mlp_head_with_depth, build_wrn_mlp_with_depth, WrnConfig};
+use poe_nn::layers::Sequential;
 use poe_tensor::Prng;
-use std::path::Path;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 const MANIFEST_MAGIC: &[u8; 4] = b"POEP";
 const MANIFEST_VERSION: u32 = 1;
 const MANIFEST_FILE: &str = "manifest.poep";
+/// File name of the POEM v4 expert segment inside a store directory.
+pub const SEGMENT_FILE: &str = "experts.poem";
 
 /// Everything needed to rebuild a pool's module structure from scratch.
 #[derive(Debug, Clone, PartialEq)]
@@ -185,8 +203,119 @@ fn decode_manifest(mut buf: &[u8]) -> Result<Manifest, SerializeError> {
     })
 }
 
-/// Persists a pool **with its manifest**, so [`load_standalone`] can
-/// reopen it without any pre-built structure. Returns total bytes written.
+/// Rebuilds the module skeleton of one expert head exactly the way the
+/// preprocessing pipeline names and shapes it; the weights are then
+/// overwritten from the stored payload.
+fn build_head_skeleton(spec: &PoolSpec, hierarchy: &ClassHierarchy, task: usize) -> Sequential {
+    let classes = &hierarchy.primitive(task).classes;
+    let arch = WrnConfig {
+        ks: spec.expert_ks,
+        num_classes: classes.len(),
+        ..spec.student_arch
+    };
+    let mut rng = Prng::seed_from_u64(0); // weights are overwritten
+    build_mlp_head_with_depth(
+        &format!("expert{task}"),
+        &arch,
+        spec.library_groups,
+        classes.len(),
+        &mut rng,
+    )
+}
+
+/// Lazy expert backend over a POEM v4 segment file — the
+/// [`ExpertSource`] that [`load_standalone`] attaches to the pool.
+/// `load` seeks one payload out of the segment using the index read at
+/// open time; `reload` re-reads the on-disk index first, so a segment
+/// atomically replaced by a re-extraction is picked up (the hot-swap
+/// path).
+pub struct SegmentSource {
+    path: PathBuf,
+    spec: PoolSpec,
+    hierarchy: ClassHierarchy,
+    index: Mutex<BTreeMap<usize, SegmentEntry>>,
+}
+
+impl SegmentSource {
+    /// Opens a segment file, reading and validating only its index.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        spec: PoolSpec,
+        hierarchy: ClassHierarchy,
+    ) -> Result<Self, SerializeError> {
+        let path = path.into();
+        let index = Self::index_map(read_segment_index(&path)?);
+        Ok(SegmentSource {
+            path,
+            spec,
+            hierarchy,
+            index: Mutex::new(index),
+        })
+    }
+
+    fn index_map(entries: Vec<SegmentEntry>) -> BTreeMap<usize, SegmentEntry> {
+        entries.into_iter().map(|e| (e.task as usize, e)).collect()
+    }
+
+    fn load_entry(&self, entry: SegmentEntry) -> Result<LoadedExpert, SerializeError> {
+        let task = entry.task as usize;
+        let payload = read_segment_payload(&self.path, &entry)?;
+        let mut head = build_head_skeleton(&self.spec, &self.hierarchy, task);
+        let quantized = deserialize_module_quantized(&mut head, &payload)?;
+        Ok(LoadedExpert {
+            expert: Expert {
+                task_index: task,
+                classes: self.hierarchy.primitive(task).classes.clone(),
+                head,
+            },
+            quantized,
+            version: entry.version as u64,
+        })
+    }
+
+    fn entry(&self, task: usize) -> Result<SegmentEntry, SerializeError> {
+        self.index
+            .lock()
+            .unwrap()
+            .get(&task)
+            .copied()
+            .ok_or_else(|| SerializeError::Format(format!("task {task} not in segment index")))
+    }
+}
+
+impl ExpertSource for SegmentSource {
+    fn catalog(&self) -> Vec<SourceEntry> {
+        self.index
+            .lock()
+            .unwrap()
+            .values()
+            .map(|e| SourceEntry {
+                task: e.task as usize,
+                version: e.version as u64,
+                bytes: e.len as u64,
+            })
+            .collect()
+    }
+
+    fn load(&self, task: usize) -> Result<LoadedExpert, SerializeError> {
+        self.load_entry(self.entry(task)?)
+    }
+
+    fn reload(&self, task: usize) -> Result<LoadedExpert, SerializeError> {
+        let fresh = Self::index_map(read_segment_index(&self.path)?);
+        let entry = fresh.get(&task).copied();
+        *self.index.lock().unwrap() = fresh;
+        let entry = entry
+            .ok_or_else(|| SerializeError::Format(format!("task {task} not in segment index")))?;
+        self.load_entry(entry)
+    }
+}
+
+/// Persists a pool **with its manifest** in the segment layout
+/// (`manifest.poep` + `library.poem` + `experts.poem`), so
+/// [`load_standalone`] can reopen it lazily without any pre-built
+/// structure. Non-resident experts of a segment-backed pool are
+/// materialized on the fly while writing. Returns total bytes written.
 pub fn save_standalone(
     pool: &ExpertPool,
     spec: &PoolSpec,
@@ -198,12 +327,32 @@ pub fn save_standalone(
     // Atomic (temp + fsync + rename): a crash mid-save leaves the
     // previous manifest intact instead of a torn store.
     atomic_write(dir.join(MANIFEST_FILE), manifest.as_ref()).map_err(SerializeError::Io)?;
-    let weights = pool.save_to_dir(dir)?;
-    Ok(manifest.len() as u64 + weights)
+    let library_bytes = save_module(dir.join("library.poem"), pool.library())?;
+    let mut entries = Vec::new();
+    for t in pool.pooled_tasks() {
+        let loaded = pool.loaded_expert(t).ok_or_else(|| {
+            SerializeError::Format(format!("expert {t} could not be materialized for save"))
+        })?;
+        let payload = match &loaded.quantized {
+            Some(q) => serialize_module_quantized(&loaded.expert.head, q),
+            None => serialize_module(&loaded.expert.head),
+        };
+        entries.push((
+            t as u32,
+            loaded.version.min(u32::MAX as u64) as u32,
+            payload,
+        ));
+    }
+    let segment = encode_segment(&entries);
+    atomic_write(dir.join(SEGMENT_FILE), &segment).map_err(SerializeError::Io)?;
+    Ok(manifest.len() as u64 + library_bytes + segment.len() as u64)
 }
 
-/// Reopens a pool saved by [`save_standalone`]: rebuilds the hierarchy and
-/// module structure from the manifest, then loads every weight file.
+/// Reopens a pool saved by [`save_standalone`]: rebuilds the hierarchy
+/// and library from the manifest, then attaches a lazy [`SegmentSource`]
+/// over `experts.poem` — startup reads only the segment *index*, and
+/// experts stream in on first query. Directories without a segment (the
+/// pre-v4 per-file layout) load every `expert_<t>.poem` eagerly instead.
 pub fn load_standalone(dir: impl AsRef<Path>) -> Result<(ExpertPool, PoolSpec), SerializeError> {
     let dir = dir.as_ref();
     let bytes = std::fs::read(dir.join(MANIFEST_FILE)).map_err(SerializeError::Io)?;
@@ -225,20 +374,21 @@ pub fn load_standalone(dir: impl AsRef<Path>) -> Result<(ExpertPool, PoolSpec), 
     let mut pool = ExpertPool::new(m.hierarchy.clone(), library);
     pool.library_arch = m.library_arch;
     pool.expert_arch = m.expert_arch;
+
+    let segment_path = dir.join(SEGMENT_FILE);
+    if segment_path.is_file() {
+        // Segment layout: validate the index now (a corrupt index means a
+        // degraded start), defer every payload to first use. The segment
+        // index, not the manifest's expert list, is the catalog of record.
+        let source = SegmentSource::open(segment_path, m.spec.clone(), m.hierarchy.clone())?;
+        pool.attach_source(Arc::new(source));
+        return Ok((pool, m.spec));
+    }
+
+    // Legacy per-file layout: load everything eagerly, as before v4.
     for &t in &m.pooled {
         let classes = m.hierarchy.primitive(t).classes.clone();
-        let arch = WrnConfig {
-            ks: m.spec.expert_ks,
-            num_classes: classes.len(),
-            ..m.spec.student_arch
-        };
-        let mut head = build_mlp_head_with_depth(
-            &format!("expert{t}"),
-            &arch,
-            m.spec.library_groups,
-            classes.len(),
-            &mut rng,
-        );
+        let mut head = build_head_skeleton(&m.spec, &m.hierarchy, t);
         // Version-3 expert files keep their int8 payload (the head stays
         // on placeholder weights, dequantized at assemble time); dense
         // v1/v2 files load as before and return no payload.
@@ -259,6 +409,7 @@ pub fn load_standalone(dir: impl AsRef<Path>) -> Result<(ExpertPool, PoolSpec), 
 mod tests {
     use super::*;
     use crate::pipeline::{preprocess, PipelineConfig};
+    use crate::pool::QueryError;
     use poe_data::synth::{generate, GaussianHierarchyConfig};
     use poe_tensor::Tensor;
 
@@ -300,11 +451,15 @@ mod tests {
         assert_eq!(spec, spec2);
         assert_eq!(reopened.num_experts(), pool.num_experts());
         assert_eq!(reopened.hierarchy(), pool.hierarchy());
+        // The segment store opens lazily: nothing resident yet.
+        assert!(reopened.has_source());
+        assert_eq!(reopened.resident_experts(), 0);
 
         let x = Tensor::randn([4, 6], 1.0, &mut Prng::seed_from_u64(3));
         let (a, _) = pool.consolidate(&[0, 2]).unwrap();
         let (b, _) = reopened.consolidate(&[0, 2]).unwrap();
         assert!(a.infer(&x).max_abs_diff(&b.infer(&x)) < 1e-6);
+        assert_eq!(reopened.resident_experts(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -319,6 +474,8 @@ mod tests {
 
         let (reopened, _) = load_standalone(&dir).unwrap();
         for t in reopened.pooled_tasks() {
+            // Force residency, then the int8 payload must be attached.
+            reopened.expert(t).unwrap();
             assert!(reopened.is_quantized(t), "task {t} lost its payload");
         }
         // Identical int8 payloads ⇒ bit-identical assembled models.
@@ -352,8 +509,110 @@ mod tests {
         let dir = std::env::temp_dir().join("poe_standalone_missing");
         std::fs::remove_dir_all(&dir).ok();
         save_standalone(&pool, &spec, &dir).unwrap();
-        std::fs::remove_file(dir.join("expert_1.poem")).unwrap();
+        // A truncated segment index is detected at open time — the store
+        // refuses to start rather than trusting bogus offsets.
+        let seg = dir.join(SEGMENT_FILE);
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..20]).unwrap();
+        assert!(matches!(
+            load_standalone(&dir),
+            Err(SerializeError::Corrupt(_))
+        ));
+        // With the segment gone entirely, the reader falls back to the
+        // legacy per-file layout — whose files were never written here.
+        std::fs::remove_file(&seg).unwrap();
         assert!(matches!(load_standalone(&dir), Err(SerializeError::Io(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_per_file_layout_still_loads() {
+        let (pool, spec, _) = built_pool();
+        let dir = std::env::temp_dir().join("poe_standalone_legacy");
+        std::fs::remove_dir_all(&dir).ok();
+        // Write the pre-v4 layout by hand: manifest + flat weight files.
+        std::fs::create_dir_all(&dir).unwrap();
+        atomic_write(
+            dir.join(MANIFEST_FILE),
+            encode_manifest(&pool, &spec).as_ref(),
+        )
+        .unwrap();
+        pool.save_to_dir(&dir).unwrap();
+
+        let (reopened, _) = load_standalone(&dir).unwrap();
+        assert!(!reopened.has_source(), "legacy layout loads eagerly");
+        assert_eq!(reopened.resident_experts(), pool.num_experts());
+        let x = Tensor::randn([4, 6], 1.0, &mut Prng::seed_from_u64(7));
+        let (a, _) = pool.consolidate(&[0, 1]).unwrap();
+        let (b, _) = reopened.consolidate(&[0, 1]).unwrap();
+        assert!(a.infer(&x).max_abs_diff(&b.infer(&x)) < 1e-6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn per_payload_corruption_fails_only_that_expert() {
+        let (pool, spec, _) = built_pool();
+        let dir = std::env::temp_dir().join("poe_standalone_payload_corrupt");
+        std::fs::remove_dir_all(&dir).ok();
+        save_standalone(&pool, &spec, &dir).unwrap();
+        // Flip a byte inside the *last* payload: the index stays valid.
+        let seg = dir.join(SEGMENT_FILE);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let index = read_segment_index(&seg).unwrap();
+        let last = index.last().unwrap();
+        let mid = last.offset as usize + last.len as usize / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let (reopened, _) = load_standalone(&dir).unwrap();
+        let bad_task = last.task as usize;
+        // Healthy experts keep serving.
+        let ok_query: Vec<usize> = reopened
+            .pooled_tasks()
+            .into_iter()
+            .filter(|&t| t != bad_task)
+            .collect();
+        reopened.consolidate(&ok_query).unwrap();
+        // The corrupted one fails typed, at query time.
+        let err = reopened.consolidate(&[bad_task]).unwrap_err();
+        assert!(
+            matches!(err, QueryError::ExpertLoad { task, .. } if task == bad_task),
+            "{err:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resaved_segment_hot_swaps_through_reload() {
+        let (pool, spec, _) = built_pool();
+        let dir = std::env::temp_dir().join("poe_standalone_swap");
+        std::fs::remove_dir_all(&dir).ok();
+        save_standalone(&pool, &spec, &dir).unwrap();
+        let (reader, _) = load_standalone(&dir).unwrap();
+        let x = Tensor::randn([4, 6], 1.0, &mut Prng::seed_from_u64(9));
+        let (before, _) = reader.consolidate(&[1]).unwrap();
+        assert_eq!(reader.expert_version(1), Some(1));
+
+        // A "re-extraction" elsewhere: reinstall expert 1 with perturbed
+        // weights (version bumps to 2) and atomically re-save the store.
+        let (mut writer, _) = load_standalone(&dir).unwrap();
+        let mut expert = writer.expert(1).unwrap();
+        use poe_nn::Module;
+        expert.head.visit_params(&mut |p| {
+            p.value.map_in_place(|v| v + 0.25);
+        });
+        let v = writer.insert_expert(expert);
+        assert_eq!(v, 2);
+        save_standalone(&writer, &spec, &dir).unwrap();
+
+        // The open reader picks up the new version via reload.
+        let loaded = reader.reload_from_source(1).unwrap();
+        assert_eq!(loaded.version, 2);
+        let mut reader = reader;
+        reader.install_loaded(loaded);
+        assert_eq!(reader.expert_version(1), Some(2));
+        let (after, _) = reader.consolidate(&[1]).unwrap();
+        assert!(after.infer(&x).max_abs_diff(&before.infer(&x)) > 0.0);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -39,6 +39,27 @@
 //! (any reader gets dense weights back, within the quantization error
 //! bound), while [`load_module_quantized`] keeps the int8 payload as a
 //! [`QuantizedModule`] for dequantize-on-assemble serving.
+//!
+//! Version 4 is the *segment* format: many expert payloads in one file
+//! behind an offset index, so a single expert loads with one seek instead
+//! of the whole catalog loading at startup:
+//!
+//! ```text
+//! magic     b"POEM"
+//! version   u32 = 4
+//! count     u32                         number of index entries
+//! repeat count times (ascending task order, 20 bytes each):
+//!   task u32, version u32, offset u64, len u32
+//! index_crc u32                         IEEE CRC32 of all preceding bytes
+//! payloads                              count complete v1/v2/v3 streams,
+//!                                       back to back, at their offsets
+//! ```
+//!
+//! The index checksum covers only the header+index prefix, so
+//! [`read_segment_index`] validates it without touching payload bytes;
+//! each payload is a self-checking v2/v3 stream, so per-expert corruption
+//! is detected at load time without failing the rest of the segment. The
+//! byte-level spec (with a worked hexdump) lives in `docs/FORMATS.md`.
 
 use crate::quant::QuantizedModule;
 use crate::wire::{WireBuf, WireRead};
@@ -48,13 +69,17 @@ use poe_tensor::Tensor;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
-use std::io::Write;
+use std::io::{Seek, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"POEM";
 const VERSION: u32 = 2;
 /// Format version that introduces per-tensor dtypes (int8 payloads).
 const VERSION_QUANT: u32 = 3;
+/// Format version of the offset-indexed multi-expert segment file.
+const VERSION_SEGMENT: u32 = 4;
+/// Bytes per v4 index entry: task u32 + version u32 + offset u64 + len u32.
+const SEGMENT_ENTRY_BYTES: u64 = 20;
 const FOOTER_MAGIC: &[u8; 4] = b"POEC";
 /// Bytes of the v2 integrity footer: footer magic + CRC32.
 const FOOTER_BYTES: u64 = 8;
@@ -504,12 +529,212 @@ pub fn load_module_quantized(
         return Err(SerializeError::Io(e));
     }
     let data = fs::read(path)?;
+    deserialize_module_quantized(module, &data)
+}
+
+/// In-memory counterpart of [`load_module_quantized`]: parses an already
+/// read byte stream, preserving any int8 payload as a
+/// [`QuantizedModule`]. This is the entry point the segment store uses
+/// after [`read_segment_payload`] has pulled one expert's bytes out of a
+/// v4 file.
+pub fn deserialize_module_quantized(
+    module: &mut dyn Module,
+    data: &[u8],
+) -> Result<Option<QuantizedModule>, SerializeError> {
     let mut entries = Vec::new();
-    let version = deserialize_impl(module, &data, Some(&mut entries))?;
+    let version = deserialize_impl(module, data, Some(&mut entries))?;
     if version >= VERSION_QUANT && !entries.is_empty() {
         Ok(Some(QuantizedModule::from_entries(entries)))
     } else {
         Ok(None)
+    }
+}
+
+/// One row of a POEM v4 segment index: where task `task`'s payload (a
+/// complete v1/v2/v3 stream, `len` bytes at absolute file offset
+/// `offset`) lives, and which expert `version` it carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// Primitive-task id the payload belongs to.
+    pub task: u32,
+    /// Expert version stored for that task (bumped on every reinstall).
+    pub version: u32,
+    /// Absolute byte offset of the payload from the start of the file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u32,
+}
+
+/// Exact byte size of a v4 segment's header + index + index checksum for
+/// `count` entries — also the offset at which the first payload starts.
+pub fn segment_header_bytes(count: usize) -> u64 {
+    4 + 4 + 4 + SEGMENT_ENTRY_BYTES * count as u64 + 4
+}
+
+/// Encodes a POEM v4 segment from `(task, version, payload)` triples.
+/// Payloads must be complete v1/v2/v3 streams (each keeps its own
+/// integrity footer) and entries must arrive in strictly ascending task
+/// order — [`decode_segment_index`] rejects anything else.
+///
+/// # Panics
+/// Panics if tasks are not strictly ascending.
+pub fn encode_segment(entries: &[(u32, u32, Vec<u8>)]) -> Vec<u8> {
+    for pair in entries.windows(2) {
+        assert!(
+            pair[0].0 < pair[1].0,
+            "segment entries must be in strictly ascending task order"
+        );
+    }
+    let header = segment_header_bytes(entries.len());
+    let total: u64 = header + entries.iter().map(|(_, _, p)| p.len() as u64).sum::<u64>();
+    let mut buf = WireBuf::with_capacity(total as usize);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION_SEGMENT);
+    buf.put_u32_le(entries.len() as u32);
+    let mut offset = header;
+    for (task, version, payload) in entries {
+        buf.put_u32_le(*task);
+        buf.put_u32_le(*version);
+        buf.put_slice(&offset.to_le_bytes());
+        buf.put_u32_le(payload.len() as u32);
+        offset += payload.len() as u64;
+    }
+    let mut bytes = buf.into_vec();
+    let crc = crc32(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    for (_, _, payload) in entries {
+        bytes.extend_from_slice(payload);
+    }
+    bytes
+}
+
+/// Decodes and validates a v4 segment index. Only the header + index
+/// prefix of the file is needed — `data` may be the whole segment or just
+/// its first [`segment_header_bytes`] bytes. The index CRC is verified
+/// before any offset is believed; payload integrity is checked separately
+/// when each payload's own v2/v3 stream is parsed.
+pub fn decode_segment_index(data: &[u8]) -> Result<Vec<SegmentEntry>, SerializeError> {
+    let mut buf = data;
+    if buf.remaining() < 12 {
+        return Err(SerializeError::Corrupt("truncated segment header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(SerializeError::Format("bad segment magic".into()));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION_SEGMENT {
+        return Err(SerializeError::Format(format!(
+            "not a segment file: version {version}, expected {VERSION_SEGMENT}"
+        )));
+    }
+    let count = buf.get_u32_le() as usize;
+    let header = segment_header_bytes(count) as usize;
+    if data.len() < header {
+        return Err(SerializeError::Corrupt(format!(
+            "truncated segment index: {} bytes, {header} needed for {count} entries",
+            data.len()
+        )));
+    }
+    let stored = u32::from_le_bytes(data[header - 4..header].try_into().unwrap());
+    let actual = crc32(&data[..header - 4]);
+    if stored != actual {
+        return Err(SerializeError::Corrupt(format!(
+            "segment index checksum mismatch: stored {stored:#010x}, content {actual:#010x}"
+        )));
+    }
+    let mut entries = Vec::with_capacity(count);
+    let mut last_task: Option<u32> = None;
+    let mut last_end = header as u64;
+    for _ in 0..count {
+        let task = buf.get_u32_le();
+        let version = buf.get_u32_le();
+        let mut off = [0u8; 8];
+        buf.copy_to_slice(&mut off);
+        let offset = u64::from_le_bytes(off);
+        let len = buf.get_u32_le();
+        if last_task.is_some_and(|t| task <= t) {
+            return Err(SerializeError::Corrupt(format!(
+                "segment index tasks not strictly ascending at task {task}"
+            )));
+        }
+        if offset < last_end {
+            return Err(SerializeError::Corrupt(format!(
+                "segment payload for task {task} overlaps the preceding bytes"
+            )));
+        }
+        last_task = Some(task);
+        last_end = offset + len as u64;
+        entries.push(SegmentEntry {
+            task,
+            version,
+            offset,
+            len,
+        });
+    }
+    Ok(entries)
+}
+
+/// Reads and validates the index of a v4 segment file, touching only the
+/// header + index bytes — the whole point of the format is that this is
+/// O(index), not O(catalog), so a 2000-expert pool opens in well under a
+/// millisecond of I/O.
+pub fn read_segment_index(path: impl AsRef<Path>) -> Result<Vec<SegmentEntry>, SerializeError> {
+    if let Some(e) = poe_chaos::fail_io(poe_chaos::sites::STORE_READ_IO) {
+        return Err(SerializeError::Io(e));
+    }
+    let mut file = fs::File::open(path)?;
+    let mut head = [0u8; 12];
+    read_exact_or_corrupt(&mut file, &mut head, "truncated segment header")?;
+    // Parse count from the fixed header without trusting it yet; the CRC
+    // check in decode_segment_index covers everything read here.
+    if &head[..4] != MAGIC {
+        return Err(SerializeError::Format("bad segment magic".into()));
+    }
+    let count = u32::from_le_bytes(head[8..12].try_into().unwrap()) as usize;
+    let rest = segment_header_bytes(count) as usize - 12;
+    let mut prefix = head.to_vec();
+    prefix.resize(12 + rest, 0);
+    read_exact_or_corrupt(&mut file, &mut prefix[12..], "truncated segment index")?;
+    decode_segment_index(&prefix)
+}
+
+/// Reads one expert's payload out of a v4 segment file by seek, without
+/// touching any other payload. The returned bytes are a complete v1/v2/v3
+/// stream whose own checksum is verified when it is parsed.
+pub fn read_segment_payload(
+    path: impl AsRef<Path>,
+    entry: &SegmentEntry,
+) -> Result<Vec<u8>, SerializeError> {
+    if let Some(e) = poe_chaos::fail_io(poe_chaos::sites::STORE_SEGMENT_READ_IO) {
+        return Err(SerializeError::Io(e));
+    }
+    let mut file = fs::File::open(path)?;
+    file.seek(std::io::SeekFrom::Start(entry.offset))?;
+    let mut payload = vec![0u8; entry.len as usize];
+    read_exact_or_corrupt(
+        &mut file,
+        &mut payload,
+        "segment payload extends past end of file",
+    )?;
+    Ok(payload)
+}
+
+/// `read_exact` that reports a short read as [`SerializeError::Corrupt`]
+/// (a truncated store file) instead of a generic i/o error.
+fn read_exact_or_corrupt(
+    file: &mut fs::File,
+    buf: &mut [u8],
+    what: &str,
+) -> Result<(), SerializeError> {
+    use std::io::Read;
+    match file.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            Err(SerializeError::Corrupt(what.into()))
+        }
+        Err(e) => Err(SerializeError::Io(e)),
     }
 }
 
@@ -732,6 +957,142 @@ mod tests {
         // Truncation too.
         let err = deserialize_into(&mut dst, &bytes[..bytes.len() - 9]).unwrap_err();
         assert!(matches!(err, SerializeError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn v4_segment_round_trips_v2_and_v3_payloads() {
+        let dense = net(30);
+        let quant = net(31);
+        let q = QuantizedModule::from_module(&quant);
+        let payloads = vec![
+            (0u32, 1u32, serialize_module(&dense)),
+            (4u32, 3u32, serialize_module_quantized(&quant, &q)),
+        ];
+        let seg = encode_segment(&payloads);
+        assert_eq!(
+            seg.len() as u64,
+            segment_header_bytes(2) + payloads.iter().map(|(_, _, p)| p.len() as u64).sum::<u64>()
+        );
+
+        let dir = std::env::temp_dir().join("poe_segment_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("experts.poem");
+        atomic_write(&path, &seg).unwrap();
+
+        let index = read_segment_index(&path).unwrap();
+        assert_eq!(index.len(), 2);
+        assert_eq!((index[0].task, index[0].version), (0, 1));
+        assert_eq!((index[1].task, index[1].version), (4, 3));
+        assert_eq!(index[0].offset, segment_header_bytes(2));
+
+        // Dense payload loads back bit-identical via the seek path.
+        let bytes = read_segment_payload(&path, &index[0]).unwrap();
+        let mut dst = net(32);
+        assert!(deserialize_module_quantized(&mut dst, &bytes)
+            .unwrap()
+            .is_none());
+        assert_eq!(snapshot_params(&dense), snapshot_params(&dst));
+
+        // Quantized payload keeps its int8 content through the segment.
+        let bytes = read_segment_payload(&path, &index[1]).unwrap();
+        let mut dst = net(33);
+        let loaded = deserialize_module_quantized(&mut dst, &bytes)
+            .unwrap()
+            .unwrap();
+        assert_eq!(loaded, q);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v4_rejects_corrupt_or_truncated_index() {
+        let m = net(34);
+        let seg = encode_segment(&[(7, 2, serialize_module(&m))]);
+
+        // Truncation anywhere inside the index region.
+        for cut in [3usize, 11, 20, segment_header_bytes(1) as usize - 1] {
+            let err = decode_segment_index(&seg[..cut]).unwrap_err();
+            assert!(
+                matches!(err, SerializeError::Corrupt(_)),
+                "cut={cut}: {err}"
+            );
+        }
+        // A bit flip in an offset is caught by the index CRC before the
+        // bogus offset can be dereferenced.
+        let mut evil = seg.clone();
+        evil[14] ^= 0x10;
+        let err = decode_segment_index(&evil).unwrap_err();
+        assert!(matches!(err, SerializeError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+        // Wrong magic / wrong version are Format errors (not a segment).
+        let mut wrong = seg.clone();
+        wrong[0] = b'X';
+        assert!(matches!(
+            decode_segment_index(&wrong).unwrap_err(),
+            SerializeError::Format(_)
+        ));
+        let single = serialize_module(&m);
+        assert!(matches!(
+            decode_segment_index(&single).unwrap_err(),
+            SerializeError::Format(_)
+        ));
+        // The pristine bytes still decode.
+        assert_eq!(decode_segment_index(&seg).unwrap().len(), 1);
+
+        // A file truncated mid-payload fails at payload read, not index.
+        let dir = std::env::temp_dir().join("poe_segment_trunc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("experts.poem");
+        atomic_write(&path, &seg[..seg.len() - 5]).unwrap();
+        let index = read_segment_index(&path).unwrap();
+        let err = read_segment_payload(&path, &index[0]).unwrap_err();
+        assert!(matches!(err, SerializeError::Corrupt(_)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The worked example in docs/FORMATS.md is the normative byte-level
+    /// spec of the v4 segment: the hexdump there must be exactly what
+    /// [`encode_segment`] writes and what [`decode_segment_index`] reads.
+    #[test]
+    fn v4_writer_and_reader_match_the_spec_hexdump() {
+        let doc = include_str!("../../../docs/FORMATS.md");
+        let marker = "<!-- v4-worked-example -->";
+        let start = doc.find(marker).expect("FORMATS.md worked-example marker");
+        let block = &doc[start + marker.len()..];
+        let block = &block[block.find("```text").expect("hexdump fence") + 7..];
+        let block = &block[..block.find("```").expect("hexdump fence end")];
+        let mut spec_bytes = Vec::new();
+        for line in block.lines() {
+            // hexdump -C style: offset, 16 hex byte columns, |ascii|.
+            let Some((_, rest)) = line.split_once("  ") else {
+                continue;
+            };
+            let hex = rest.split('|').next().unwrap_or("");
+            for tok in hex.split_whitespace() {
+                spec_bytes.push(u8::from_str_radix(tok, 16).expect("hex byte"));
+            }
+        }
+        assert!(!spec_bytes.is_empty(), "no bytes parsed from FORMATS.md");
+
+        // Reader: the spec bytes decode to the documented index.
+        let index = decode_segment_index(&spec_bytes).unwrap();
+        assert_eq!(
+            index,
+            vec![SegmentEntry {
+                task: 3,
+                version: 2,
+                offset: 36,
+                len: 41,
+            }]
+        );
+        // The embedded payload is a valid self-checking v2 stream holding
+        // one rank-1 tensor `b` = [1.0, 2.0].
+        let payload = &spec_bytes[index[0].offset as usize..][..index[0].len as usize];
+        let crc_stored = u32::from_le_bytes(payload[payload.len() - 4..].try_into().unwrap());
+        assert_eq!(crc_stored, crc32(&payload[..payload.len() - 8]));
+
+        // Writer: re-encoding the documented triple reproduces the spec
+        // bytes exactly.
+        assert_eq!(encode_segment(&[(3, 2, payload.to_vec())]), spec_bytes);
     }
 
     #[test]

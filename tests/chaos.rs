@@ -358,32 +358,8 @@ fn read_io_errors_are_typed() {
 fn corrupted_store_is_detected_and_served_degraded() {
     // Build and persist a tiny real pool through the full pipeline, so
     // the manifest's rebuild spec matches the weight files on disk.
-    let cfg = poe_data::synth::GaussianHierarchyConfig {
-        dim: 6,
-        ..poe_data::synth::GaussianHierarchyConfig::balanced(3, 2)
-    }
-    .with_samples(10, 4)
-    .with_seed(61);
-    let (split, h) = poe_data::synth::generate(&cfg);
-    let pipe = poe_core::pipeline::PipelineConfig {
-        seed: 8,
-        ..poe_core::pipeline::PipelineConfig::defaults(
-            WrnConfig::new(10, 1.0, 1.0, 6).with_unit(4),
-            WrnConfig::new(10, 1.0, 1.0, 6).with_unit(4),
-            2,
-        )
-    };
-    let pre = poe_core::pipeline::preprocess(&split.train, &h, &pipe, None);
-    let pool = pre.pool;
-    let spec = PoolSpec {
-        student_arch: pipe.student_arch,
-        expert_ks: pipe.expert_ks,
-        library_groups: pipe.library_groups,
-        input_dim: 6,
-    };
     let dir = std::env::temp_dir().join("poe_chaos_corrupt_store");
-    std::fs::remove_dir_all(&dir).ok();
-    save_standalone(&pool, &spec, &dir).unwrap();
+    persist_real_pool(&dir);
     load_standalone(&dir).expect("pristine store loads");
 
     // Flip one bit in the middle of a weight file.
@@ -418,6 +394,101 @@ fn corrupted_store_is_detected_and_served_degraded() {
     assert!(q.starts_with("ERR not ready:"), "{q}");
     server.handle().shutdown();
     server.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Builds a tiny real pool through the full pipeline and persists it to
+/// `dir` (v4 segment store), returning the spec for reloads.
+fn persist_real_pool(dir: &std::path::Path) -> PoolSpec {
+    let cfg = poe_data::synth::GaussianHierarchyConfig {
+        dim: 6,
+        ..poe_data::synth::GaussianHierarchyConfig::balanced(3, 2)
+    }
+    .with_samples(10, 4)
+    .with_seed(61);
+    let (split, h) = poe_data::synth::generate(&cfg);
+    let pipe = poe_core::pipeline::PipelineConfig {
+        seed: 8,
+        ..poe_core::pipeline::PipelineConfig::defaults(
+            WrnConfig::new(10, 1.0, 1.0, 6).with_unit(4),
+            WrnConfig::new(10, 1.0, 1.0, 6).with_unit(4),
+            2,
+        )
+    };
+    let pre = poe_core::pipeline::preprocess(&split.train, &h, &pipe, None);
+    let spec = PoolSpec {
+        student_arch: pipe.student_arch,
+        expert_ks: pipe.expert_ks,
+        library_groups: pipe.library_groups,
+        input_dim: 6,
+    };
+    std::fs::remove_dir_all(dir).ok();
+    save_standalone(&pre.pool, &spec, dir).unwrap();
+    spec
+}
+
+/// An injected I/O fault at the segment-seek site makes exactly the lazy
+/// load that hit it fail with a typed, recoverable error: already-resident
+/// experts keep serving, and once the fault is exhausted the same task
+/// loads fine — no restart, no poisoned pool.
+#[test]
+fn segment_read_fault_is_typed_and_recoverable() {
+    use poe_core::pool::QueryError;
+    let dir = std::env::temp_dir().join("poe_chaos_segment_read");
+    persist_real_pool(&dir);
+    let (pool, _) = load_standalone(&dir).unwrap();
+    assert!(pool.has_source(), "expected a lazy v4 segment store");
+    // Make task 0 resident before the fault is armed.
+    pool.consolidate(&[0]).unwrap();
+    assert!(pool.is_resident(0));
+
+    let _guard = ChaosPlan::new(poe_chaos::seed_from_env())
+        .with(Fault::times(sites::STORE_SEGMENT_READ_IO, FaultKind::Io, 1))
+        .install();
+    // The lazy load for task 1 hits the injected seek fault.
+    let err = pool.consolidate(&[1]).unwrap_err();
+    assert!(
+        matches!(err, QueryError::ExpertLoad { task: 1, .. }),
+        "{err}"
+    );
+    // The resident expert is untouched by the failed load…
+    pool.consolidate(&[0]).unwrap();
+    // …and the fault is not sticky: the next attempt loads task 1.
+    pool.consolidate(&[1]).unwrap();
+    assert!(pool.is_resident(1));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A panic injected mid-swap (after the store read, before the install)
+/// aborts only that swap: the pool keeps serving the old version and a
+/// retry without the fault completes the swap. The chaos site fires with
+/// no pool lock held, so nothing is poisoned.
+#[test]
+fn panic_mid_swap_leaves_pool_serving() {
+    let dir = std::env::temp_dir().join("poe_chaos_mid_swap");
+    persist_real_pool(&dir);
+    let (pool, _) = load_standalone(&dir).unwrap();
+    let svc = QueryService::builder(pool).build();
+    let before = svc.query(&[0, 1]).unwrap();
+    {
+        let _guard = ChaosPlan::new(poe_chaos::seed_from_env())
+            .with(Fault::times(sites::POOL_SWAP_PANIC, FaultKind::Panic, 1))
+            .install();
+        let swap = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| svc.reload_expert(0)));
+        assert!(swap.is_err(), "injected panic must surface");
+    }
+    // The aborted swap changed nothing: same versions, same weights.
+    let after = svc.query(&[0, 1]).unwrap();
+    assert_eq!(
+        before
+            .model
+            .infer(&poe_tensor::Tensor::zeros([1, 6]))
+            .data(),
+        after.model.infer(&poe_tensor::Tensor::zeros([1, 6])).data(),
+    );
+    // A retry without the fault completes.
+    svc.reload_expert(0).unwrap();
+    svc.query(&[0, 1]).unwrap();
     std::fs::remove_dir_all(&dir).ok();
 }
 
