@@ -1,0 +1,247 @@
+//! Scatter/gather overhead of the `poe route` front tier: a real router
+//! over real `poe serve` shards on loopback, measured end-to-end from a
+//! persistent client connection.
+//!
+//! Two questions, per ISSUE 8:
+//!
+//! * what does sharding cost when everything is healthy? — `PREDICT`
+//!   round-trips across 1/2/4 shards at growing fan-out widths (number
+//!   of tasks named per query, which fixes how many shards a scatter
+//!   touches);
+//! * what does hedging buy when one replica is slow? — the same query
+//!   against a shard whose primary replica answers through a delaying
+//!   proxy, with `--hedge-ms` off versus on.
+//!
+//! Numbers land in `BENCH_router.json` via `POE_BENCH_REPORT` (same
+//! format as the other serving benches).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use poe_cli::route::{RouteConfig, RouteServer};
+use poe_cli::serve::{ServeConfig, Server};
+use poe_core::pool::{Expert, ExpertPool};
+use poe_core::service::QueryService;
+use poe_data::ClassHierarchy;
+use poe_nn::layers::{Linear, Sequential};
+use poe_router::{Hedge, RouterConfig, ShardMap};
+use poe_tensor::Prng;
+use std::hint::black_box;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const INPUT_DIM: usize = 4;
+const TASKS: usize = 8;
+
+/// A shard owning `tasks` out of the full 8-task / 16-class hierarchy.
+/// Every shard consumes the rng identically, so a task's expert has the
+/// same weights wherever it is pooled and shard answers concatenate into
+/// exactly what one fat server would emit.
+fn shard_service(tasks: &[usize]) -> Arc<QueryService> {
+    let mut rng = Prng::seed_from_u64(1);
+    let hierarchy = ClassHierarchy::contiguous(16, TASKS);
+    let library = Sequential::new().push(Linear::new("lib", INPUT_DIM, 5, &mut rng));
+    let mut pool = ExpertPool::new(hierarchy, library);
+    for t in 0..TASKS {
+        let classes = pool.hierarchy().primitive(t).classes.clone();
+        let head =
+            Sequential::new().push(Linear::new(&format!("e{t}"), 5, classes.len(), &mut rng));
+        if tasks.contains(&t) {
+            pool.insert_expert(Expert {
+                task_index: t,
+                classes,
+                head,
+            });
+        }
+    }
+    Arc::new(QueryService::builder(pool).build())
+}
+
+fn start_shard(tasks: &[usize]) -> (Server, SocketAddr) {
+    let svc = shard_service(tasks);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let server = Server::start(listener, svc, INPUT_DIM, ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+fn start_route(map_spec: &str, router: RouterConfig) -> (RouteServer, SocketAddr) {
+    let map = ShardMap::parse(map_spec).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let cfg = RouteConfig {
+        router,
+        ..RouteConfig::default()
+    };
+    let server = RouteServer::start(listener, map, cfg).unwrap();
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+fn client(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+/// One write syscall per request — a split write (payload, then the
+/// newline) parks the tail behind Nagle + delayed ACK and adds ~40 ms
+/// to every measured round trip.
+fn ask(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &str) -> String {
+    let mut buf = Vec::with_capacity(req.len() + 1);
+    buf.extend_from_slice(req.as_bytes());
+    buf.push(b'\n');
+    writer.write_all(&buf).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    line.trim_end().to_string()
+}
+
+fn predict_line(width: usize) -> String {
+    let tasks: Vec<String> = (0..width).map(|t| t.to_string()).collect();
+    let features: Vec<String> = (0..INPUT_DIM).map(|i| format!("0.{}", i + 1)).collect();
+    format!("PREDICT {} : {}", tasks.join(","), features.join(" "))
+}
+
+/// A TCP relay that forwards whole lines to a real shard and delays every
+/// response by `delay` — a persistently slow replica, without reaching
+/// for fault injection (chaos stalls are per-site, not per-backend).
+fn slow_proxy(upstream: SocketAddr, delay: Duration) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(down) = conn else { return };
+            thread::spawn(move || {
+                let Ok(up) = TcpStream::connect(upstream) else {
+                    return;
+                };
+                let _ = down.set_nodelay(true);
+                let _ = up.set_nodelay(true);
+                let mut down_r = BufReader::new(down.try_clone().unwrap());
+                let mut up_r = BufReader::new(up.try_clone().unwrap());
+                let mut down_w = down;
+                let mut up_w = up;
+                loop {
+                    let mut req = String::new();
+                    match down_r.read_line(&mut req) {
+                        Ok(0) | Err(_) => return,
+                        Ok(_) => {}
+                    }
+                    if up_w.write_all(req.as_bytes()).is_err() {
+                        return;
+                    }
+                    let mut resp = String::new();
+                    match up_r.read_line(&mut resp) {
+                        Ok(0) | Err(_) => return,
+                        Ok(_) => {}
+                    }
+                    thread::sleep(delay);
+                    if down_w.write_all(resp.as_bytes()).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
+/// Healthy-path scatter cost: `PREDICT` round-trips through the router
+/// for 1/2/4 shards, at fan-out widths touching 1..=all of them.
+fn bench_scatter_healthy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_scatter");
+    for shards in [1usize, 2, 4] {
+        let per = TASKS / shards;
+        let backends: Vec<(Server, SocketAddr)> = (0..shards)
+            .map(|s| start_shard(&(s * per..(s + 1) * per).collect::<Vec<_>>()))
+            .collect();
+        let spec = backends
+            .iter()
+            .enumerate()
+            .map(|(s, (_, addr))| format!("{}-{}={addr}", s * per, (s + 1) * per - 1))
+            .collect::<Vec<_>>()
+            .join(";");
+        let (route, addr) = start_route(&spec, RouterConfig::default());
+        let (mut w, mut r) = client(addr);
+        for width in [1usize, 2, 4, 8] {
+            let line = predict_line(width);
+            // Warm the router's pooled backend connections and the
+            // shards' consolidation caches before timing.
+            let warm = ask(&mut w, &mut r, &line);
+            assert!(warm.starts_with("OK class="), "warmup failed: {warm}");
+            group.bench_with_input(
+                BenchmarkId::new(format!("shards={shards}"), format!("width={width}")),
+                &width,
+                |b, _| {
+                    b.iter(|| {
+                        let resp = ask(&mut w, &mut r, black_box(&line));
+                        debug_assert!(resp.starts_with("OK class="));
+                        black_box(resp)
+                    })
+                },
+            );
+        }
+        drop((w, r));
+        route.handle().shutdown();
+        route.join().unwrap();
+        for (shard, _) in backends {
+            shard.handle().shutdown();
+            shard.join().unwrap();
+        }
+    }
+    group.finish();
+}
+
+/// Hedging payoff: one shard, two replicas, the primary behind a 25 ms
+/// delay proxy. Hedge off pays the proxy's delay on every call; hedge on
+/// races the fast replica after 3 ms and wins.
+fn bench_one_slow_shard_hedged(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_scatter_slow_replica");
+    let delay = Duration::from_millis(25);
+    let hedges = [
+        ("hedge_off", Hedge::Off),
+        ("hedge_3ms", Hedge::After(Duration::from_millis(3))),
+    ];
+    for (name, hedge) in hedges {
+        let (shard, shard_addr) = start_shard(&(0..TASKS).collect::<Vec<_>>());
+        let slow = slow_proxy(shard_addr, delay);
+        // Slow proxy listed first: replica ranking is a stable sort, so
+        // with both replicas healthy it stays the primary.
+        let spec = format!("0-{}={slow}|{shard_addr}", TASKS - 1);
+        let router = RouterConfig {
+            hedge,
+            ..RouterConfig::default()
+        };
+        let (route, addr) = start_route(&spec, router);
+        let (mut w, mut r) = client(addr);
+        let line = predict_line(4);
+        let warm = ask(&mut w, &mut r, &line);
+        assert!(warm.starts_with("OK class="), "warmup failed: {warm}");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let resp = ask(&mut w, &mut r, black_box(&line));
+                debug_assert!(resp.starts_with("OK class="));
+                black_box(resp)
+            })
+        });
+        if name == "hedge_3ms" {
+            let fired = route.router().metrics().hedges.get();
+            println!("router_scatter_slow_replica: hedges fired={fired}");
+            assert!(fired > 0, "hedge never fired against the slow primary");
+        }
+        drop((w, r));
+        route.handle().shutdown();
+        route.join().unwrap();
+        shard.handle().shutdown();
+        shard.join().unwrap();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scatter_healthy, bench_one_slow_shard_hedged);
+criterion_main!(benches);

@@ -73,6 +73,20 @@ pub mod sites {
     /// from the store but before it is installed. The old version must
     /// keep serving and no lock may be poisoned.
     pub const POOL_SWAP_PANIC: &str = "pool.swap.panic";
+    /// I/O error while the router's shard client establishes a TCP
+    /// connection to a backend — the connect-refused/flaky-NIC case.
+    pub const ROUTER_CONNECT_IO: &str = "router.connect.io";
+    /// Stall injected before the router reads a backend's response line —
+    /// a slow replica; hedged reads exist to beat this.
+    pub const ROUTER_READ_STALL: &str = "router.read.stall";
+    /// Network partition between router and one backend, modelled as an
+    /// I/O error at connect time that persists until the rule's hit cap
+    /// runs out — the scenario that must trip the circuit breaker.
+    pub const ROUTER_SHARD_PARTITION: &str = "router.shard.partition";
+    /// Panic injected inside one per-shard scatter worker. The gather
+    /// side must contain it and degrade to a partial response instead of
+    /// failing the whole query.
+    pub const ROUTER_SCATTER_PANIC: &str = "router.scatter.panic";
 }
 
 /// Arms the fault hooks that live *below* this crate in the dependency
@@ -174,8 +188,9 @@ impl ChaosPlan {
     /// each `site=prob[@param][xN]`. The fault kind is implied by the
     /// site's suffix (`.io` → [`FaultKind::Io`], `.partial` →
     /// `Partial(param)` (default 0.5), `.stall` → `StallMs(param)`
-    /// (default 100), `.panic` → [`FaultKind::Panic`]); `xN` caps the rule
-    /// at N firings.
+    /// (default 100), `.panic` → [`FaultKind::Panic`], `.partition` →
+    /// [`FaultKind::Io`] — a partition is an I/O error that the router
+    /// sees at connect time); `xN` caps the rule at N firings.
     ///
     /// ```
     /// let p = poe_chaos::ChaosPlan::parse(7, "store.write.partial=1.0@0.25;serve.worker.panic=0.5x2").unwrap();
@@ -206,7 +221,7 @@ impl ChaosPlan {
                 .trim()
                 .parse()
                 .map_err(|_| format!("bad probability in chaos rule `{rule}`"))?;
-            let kind = if site.ends_with(".io") {
+            let kind = if site.ends_with(".io") || site.ends_with(".partition") {
                 FaultKind::Io
             } else if site.ends_with(".partial") {
                 let f = match param {
@@ -230,7 +245,7 @@ impl ChaosPlan {
                 FaultKind::Panic
             } else {
                 return Err(format!(
-                    "chaos site `{site}` has no kind suffix (.io/.partial/.stall/.panic)"
+                    "chaos site `{site}` has no kind suffix (.io/.partial/.stall/.panic/.partition)"
                 ));
             };
             plan.faults.push(Fault {
@@ -526,15 +541,21 @@ mod tests {
     fn spec_parsing_round_trips() {
         let p = ChaosPlan::parse(
             42,
-            "store.write.io=1.0; serve.read.stall=0.5@250 ;serve.worker.panic=1.0x3",
+            "store.write.io=1.0; serve.read.stall=0.5@250 ;serve.worker.panic=1.0x3;router.shard.partition=1.0x8",
         )
         .unwrap();
-        assert_eq!(p.faults.len(), 3);
+        assert_eq!(p.faults.len(), 4);
         assert_eq!(p.faults[0].kind, FaultKind::Io);
         assert_eq!(p.faults[1].kind, FaultKind::StallMs(250));
         assert_eq!(p.faults[1].prob, 0.5);
         assert_eq!(p.faults[2].kind, FaultKind::Panic);
         assert_eq!(p.faults[2].max_hits, Some(3));
+        assert_eq!(
+            p.faults[3].kind,
+            FaultKind::Io,
+            "a partition is an io fault"
+        );
+        assert_eq!(p.faults[3].max_hits, Some(8));
         assert!(ChaosPlan::parse(0, "noequals").is_err());
         assert!(ChaosPlan::parse(0, "site.unknown=1.0").is_err());
         assert!(ChaosPlan::parse(0, "store.write.io=notafloat").is_err());

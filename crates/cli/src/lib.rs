@@ -11,5 +11,6 @@
 
 pub mod args;
 pub mod obs;
+pub mod route;
 pub mod serve;
 pub mod wire;

@@ -87,6 +87,33 @@ USAGE
       mismatch) the server starts degraded: HEALTH reports ready=0 with
       the load error and data verbs answer `ERR not ready`. Failure modes
       and the runbook live in docs/OPERATIONS.md.
+  poe route --shards SPEC [--port P] [--call-timeout-ms N] [--request-budget-ms N]
+            [--retries N] [--backoff-base-ms N] [--backoff-cap-ms N]
+            [--breaker-failures N] [--breaker-cooldown-ms N]
+            [--hedge-ms N|auto|off] [--health-ttl-ms N] [--seed N]
+            [--idle-timeout-ms N] [--drain-deadline-ms N] [--max-requests N]
+            [--recorder-dir DIR]
+      Sharded scatter/gather front tier over a fleet of `poe serve`
+      backends. SPEC maps task-id ranges to replicated shard addresses,
+      e.g. `0-9=10.0.0.1:7878|10.0.0.2:7878;10-19=10.0.0.3:7878`
+      (ranges must cover each task exactly once; `|` separates replicas).
+      Speaks the serve line protocol (INFO | QUERY | PREDICT | LOGITS |
+      HEALTH | METRICS | DUMP | SHUTDOWN | QUIT); QUERY/PREDICT scatter
+      across shards and concatenate logit slices at the edge, so a
+      sharded pool answers like a single server. Per-call deadlines
+      (--call-timeout-ms, default 1000) nest in a per-request budget
+      (--request-budget-ms, default 3000); failures retry up to
+      --retries times (default 3) with exponential backoff plus
+      decorrelated jitter (--backoff-base-ms/--backoff-cap-ms, defaults
+      20/500), honoring `retry_after_ms` hints. Each replica sits behind
+      a circuit breaker (--breaker-failures consecutive transport
+      failures open it, default 5; --breaker-cooldown-ms before the
+      half-open probe, default 2000). --hedge-ms races a second replica
+      after a fixed delay (`auto` derives it from the observed p99 shard
+      latency; default off). When a shard stays down past its budget,
+      PREDICT degrades to `OK partial` over the surviving slices. --seed
+      pins the backoff jitter for reproducible runs. See
+      docs/PROTOCOL.md § The router tier and the OPERATIONS.md runbook.
   poe obs dump --file PATH [--kind K] [--request N]
   poe obs tail --file PATH [--last N]
   poe obs check --file PATH
@@ -513,6 +540,116 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_route(a: &Args) -> Result<(), String> {
+    let spec = a.require("shards").map_err(|e| e.to_string())?;
+    let map = poe_router::ShardMap::parse(spec)?;
+    let port = a
+        .get_parsed("port", 7879u16, "port number")
+        .map_err(|e| e.to_string())?;
+    let call_timeout_ms = a
+        .get_parsed("call-timeout-ms", 1_000u64, "u64")
+        .map_err(|e| e.to_string())?;
+    let budget_ms = a
+        .get_parsed("request-budget-ms", 3_000u64, "u64")
+        .map_err(|e| e.to_string())?;
+    let retries = a
+        .get_parsed("retries", 3u32, "u32")
+        .map_err(|e| e.to_string())?;
+    if retries == 0 {
+        return Err("--retries must be ≥ 1 (it counts total attempts)".into());
+    }
+    let backoff_base_ms = a
+        .get_parsed("backoff-base-ms", 20u64, "u64")
+        .map_err(|e| e.to_string())?;
+    let backoff_cap_ms = a
+        .get_parsed("backoff-cap-ms", 500u64, "u64")
+        .map_err(|e| e.to_string())?;
+    let breaker_failures = a
+        .get_parsed("breaker-failures", 5u32, "u32")
+        .map_err(|e| e.to_string())?;
+    let breaker_cooldown_ms = a
+        .get_parsed("breaker-cooldown-ms", 2_000u64, "u64")
+        .map_err(|e| e.to_string())?;
+    let health_ttl_ms = a
+        .get_parsed("health-ttl-ms", 1_000u64, "u64")
+        .map_err(|e| e.to_string())?;
+    let seed = a
+        .get_parsed("seed", 0u64, "u64")
+        .map_err(|e| e.to_string())?;
+    let idle_timeout_ms = a
+        .get_parsed("idle-timeout-ms", 30_000u64, "u64")
+        .map_err(|e| e.to_string())?;
+    let drain_deadline_ms = a
+        .get_parsed("drain-deadline-ms", 5_000u64, "u64")
+        .map_err(|e| e.to_string())?;
+    let max_requests = a
+        .get_parsed("max-requests", u64::MAX, "u64")
+        .map_err(|e| e.to_string())?;
+    let recorder_dir = a.get("recorder-dir").map(std::path::PathBuf::from);
+    let hedge = match a.get("hedge-ms") {
+        None => poe_router::Hedge::Off,
+        Some(v) if v.eq_ignore_ascii_case("off") => poe_router::Hedge::Off,
+        Some(v) if v.eq_ignore_ascii_case("auto") => poe_router::Hedge::Auto {
+            floor: std::time::Duration::from_millis(2),
+            cap: std::time::Duration::from_millis(call_timeout_ms / 2),
+        },
+        Some(v) => match v.parse::<u64>() {
+            Ok(0) => poe_router::Hedge::Off,
+            Ok(ms) => poe_router::Hedge::After(std::time::Duration::from_millis(ms)),
+            Err(_) => {
+                return Err(format!(
+                    "--hedge-ms `{v}` is not a number, `auto`, or `off`"
+                ))
+            }
+        },
+    };
+    let router_cfg = poe_router::RouterConfig {
+        call_timeout: std::time::Duration::from_millis(call_timeout_ms),
+        budget: std::time::Duration::from_millis(budget_ms),
+        retry: poe_router::RetryPolicy {
+            max_attempts: retries,
+            base: std::time::Duration::from_millis(backoff_base_ms),
+            cap: std::time::Duration::from_millis(backoff_cap_ms),
+        },
+        breaker_threshold: breaker_failures,
+        breaker_cooldown: std::time::Duration::from_millis(breaker_cooldown_ms),
+        hedge,
+        health_ttl: std::time::Duration::from_millis(health_ttl_ms),
+        seed,
+    };
+    let cfg = poe_cli::route::RouteConfig {
+        router: router_cfg,
+        max_requests,
+        idle_timeout: (idle_timeout_ms > 0)
+            .then(|| std::time::Duration::from_millis(idle_timeout_ms)),
+        drain_deadline: std::time::Duration::from_millis(drain_deadline_ms),
+        recorder_dir,
+        ..poe_cli::route::RouteConfig::default()
+    };
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port)).map_err(|e| e.to_string())?;
+    println!(
+        "routing {} shards on {} (hedge={:?}, retries={retries}, budget={budget_ms}ms) — \
+         protocol: INFO | QUERY t,… | PREDICT t,… : f1 f2 … | LOGITS t,… : f1 f2 … | \
+         HEALTH | METRICS | DUMP | SHUTDOWN | QUIT (docs/PROTOCOL.md)",
+        map.num_shards(),
+        listener.local_addr().map_err(|e| e.to_string())?,
+        cfg.router.hedge,
+    );
+    let server =
+        poe_cli::route::RouteServer::start(listener, map, cfg).map_err(|e| e.to_string())?;
+    let report = server.join().map_err(|e| e.to_string())?;
+    println!(
+        "routed {} requests, shutting down{}",
+        report.handled,
+        if report.drain_timed_out {
+            " (drain deadline hit; stragglers force-closed)"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
 fn run(tokens: Vec<String>) -> Result<(), String> {
     // `poe obs <action> …` nests a second command word, so it is routed
     // before the flat `Args` grammar sees the tokens.
@@ -533,6 +670,7 @@ fn run(tokens: Vec<String>) -> Result<(), String> {
         "query" => cmd_query(&args),
         "diagnose" => cmd_diagnose(&args),
         "serve" => cmd_serve(&args),
+        "route" => cmd_route(&args),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
             Ok(())

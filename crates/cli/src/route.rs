@@ -1,0 +1,631 @@
+//! `poe route` — the sharded scatter/gather front tier.
+//!
+//! Speaks the same line protocol as `poe serve` (see docs/PROTOCOL.md
+//! § The router tier), but answers by scattering sub-requests across a
+//! static [`ShardMap`] of `poe serve` backends and merging the logit
+//! slices at the edge. All the robustness machinery — retries, hedging,
+//! circuit breakers, partial degradation — lives in `poe-router`
+//! ([`Router`]); this module is the TCP shell around it: bounded line
+//! reads, idle timeouts, graceful drain, and the verb → response-line
+//! rendering.
+//!
+//! A router connection is handled by its own thread (the tier is
+//! I/O-bound fan-out, not CPU work, so a worker pool buys nothing), and
+//! `SHUTDOWN` drains in-flight scatters before the backend connections
+//! are closed — a client mid-`PREDICT` gets its answer, then the
+//! sockets go away.
+
+use crate::serve::{jittered_retry_after_ms, parse_tasks, BoundedLineReader, ReadLine};
+use crate::wire::WireError;
+use poe_router::{join, GatherError, Router, RouterConfig, ShardMap};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Front-tier tuning knobs. The scatter/gather engine has its own
+/// [`RouterConfig`] nested inside.
+#[derive(Debug, Clone)]
+pub struct RouteConfig {
+    /// Engine knobs: deadlines, retries, breakers, hedging.
+    pub router: RouterConfig,
+    /// Shut down after this many requests (`u64::MAX` = run forever).
+    pub max_requests: u64,
+    /// Request-line byte cap (same hardening as `poe serve`).
+    pub max_line_bytes: usize,
+    /// Close a connection with no complete request line within this
+    /// window (`None` = never).
+    pub idle_timeout: Option<Duration>,
+    /// How long `SHUTDOWN` waits for in-flight requests before
+    /// force-closing stragglers.
+    pub drain_deadline: Duration,
+    /// Base for the jittered `retry_after_ms` hint in drain refusals.
+    pub retry_after_ms: u64,
+    /// Dump the flight recorder here on shutdown (and for `DUMP`).
+    pub recorder_dir: Option<PathBuf>,
+}
+
+impl Default for RouteConfig {
+    fn default() -> Self {
+        RouteConfig {
+            router: RouterConfig::default(),
+            max_requests: u64::MAX,
+            max_line_bytes: 8192,
+            idle_timeout: Some(Duration::from_millis(30_000)),
+            drain_deadline: Duration::from_millis(5_000),
+            retry_after_ms: 100,
+            recorder_dir: None,
+        }
+    }
+}
+
+/// What `join` reports after a clean exit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteReport {
+    /// Requests answered over the server's lifetime.
+    pub handled: u64,
+    /// Whether the drain deadline was hit (stragglers force-closed).
+    pub drain_timed_out: bool,
+}
+
+struct RouteShared {
+    router: Router,
+    cfg: RouteConfig,
+    addr: SocketAddr,
+    draining: AtomicBool,
+    handled: AtomicU64,
+    /// Requests currently between read and response-written (the drain
+    /// waits for this to hit zero before closing backends).
+    inflight: AtomicUsize,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+    conns_alive: AtomicUsize,
+    accept_error: Mutex<Option<std::io::Error>>,
+}
+
+impl RouteShared {
+    fn lock_conns(&self) -> std::sync::MutexGuard<'_, HashMap<u64, TcpStream>> {
+        self.conns.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn trigger_shutdown(&self) {
+        if self.draining.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.router
+            .obs()
+            .flight
+            .record("router.drain.begin", String::new());
+        // Wake the acceptor out of its blocking accept().
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn force_close_conns(&self) {
+        for stream in self.lock_conns().values() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// A running router front tier: acceptor + one thread per connection.
+pub struct RouteServer {
+    shared: Arc<RouteShared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+/// A cloneable remote control for a [`RouteServer`].
+#[derive(Clone)]
+pub struct RouteHandle {
+    shared: Arc<RouteShared>,
+}
+
+impl RouteHandle {
+    /// Requests a graceful shutdown (idempotent, returns immediately;
+    /// the drain happens in [`RouteServer::join`]).
+    pub fn shutdown(&self) {
+        self.shared.trigger_shutdown();
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+
+    /// Requests answered so far.
+    pub fn handled(&self) -> u64 {
+        self.shared.handled.load(Ordering::Acquire)
+    }
+}
+
+impl RouteServer {
+    /// Binds the front tier to `listener` and starts accepting.
+    pub fn start(
+        listener: TcpListener,
+        map: ShardMap,
+        cfg: RouteConfig,
+    ) -> std::io::Result<RouteServer> {
+        let addr = listener.local_addr()?;
+        let obs = poe_obs::Observability::new();
+        let router = Router::new(map, cfg.router, obs);
+        router.obs().flight.record(
+            "router.start",
+            format!("addr={addr} shards={}", router.map().num_shards()),
+        );
+        let shared = Arc::new(RouteShared {
+            router,
+            cfg,
+            addr,
+            draining: AtomicBool::new(false),
+            handled: AtomicU64::new(0),
+            inflight: AtomicUsize::new(0),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            conns_alive: AtomicUsize::new(0),
+            accept_error: Mutex::new(None),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("poe-route-acceptor".into())
+                .spawn(move || acceptor_loop(listener, shared))
+                .expect("spawn route acceptor")
+        };
+        Ok(RouteServer {
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// A cloneable control handle (usable from other threads).
+    pub fn handle(&self) -> RouteHandle {
+        RouteHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The engine, for tests that inspect breaker or metric state.
+    pub fn router(&self) -> &Router {
+        &self.shared.router
+    }
+
+    /// Blocks until the request budget is spent or a shutdown is
+    /// requested, then drains: in-flight requests finish (within the
+    /// drain deadline), backend connections close, client connections
+    /// close, threads join.
+    pub fn join(mut self) -> std::io::Result<RouteReport> {
+        while !self.shared.draining.load(Ordering::Acquire)
+            && self.shared.handled.load(Ordering::Acquire) < self.shared.cfg.max_requests
+            && self
+                .shared
+                .accept_error
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .is_none()
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.shared.trigger_shutdown();
+
+        // Drain order matters: first let in-flight scatters finish (a
+        // client mid-PREDICT gets its answer), only then close the
+        // backend sockets, and last force the client connections shut.
+        let deadline = Instant::now() + self.shared.cfg.drain_deadline;
+        let mut drain_timed_out = false;
+        while self.shared.inflight.load(Ordering::Acquire) > 0 {
+            if Instant::now() >= deadline {
+                drain_timed_out = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.shared.router.close_backends();
+        self.shared.force_close_conns();
+        while self.shared.conns_alive.load(Ordering::Acquire) > 0 {
+            if Instant::now() >= deadline + Duration::from_millis(500) {
+                break; // belt and braces; threads die with their sockets
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        let flight = &self.shared.router.obs().flight;
+        flight.record(
+            "router.shutdown",
+            format!("handled={}", self.shared.handled.load(Ordering::Acquire)),
+        );
+        if let Some(dir) = &self.shared.cfg.recorder_dir {
+            match flight.dump_to_dir(dir) {
+                Ok(path) => eprintln!("flight recorder dumped to {}", path.display()),
+                Err(e) => eprintln!("flight recorder dump failed: {e}"),
+            }
+        }
+        if let Some(e) = self
+            .shared
+            .accept_error
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
+            return Err(e);
+        }
+        Ok(RouteReport {
+            handled: self.shared.handled.load(Ordering::Acquire),
+            drain_timed_out,
+        })
+    }
+}
+
+fn acceptor_loop(listener: TcpListener, shared: Arc<RouteShared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.draining.load(Ordering::Acquire) {
+                    break; // the shutdown wake-up (or a late client)
+                }
+                shared.conns_alive.fetch_add(1, Ordering::AcqRel);
+                let shared = Arc::clone(&shared);
+                let _ = std::thread::Builder::new()
+                    .name("poe-route-conn".into())
+                    .spawn(move || {
+                        handle_conn(stream, &shared);
+                        shared.conns_alive.fetch_sub(1, Ordering::AcqRel);
+                    });
+            }
+            Err(e) => {
+                *shared
+                    .accept_error
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner) = Some(e);
+                break;
+            }
+        }
+    }
+}
+
+/// One `write` syscall for payload + newline — a split write leaves the
+/// trailing byte queued behind Nagle until the peer's delayed ACK.
+fn send_line(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(line.len() + 1);
+    buf.extend_from_slice(line.as_bytes());
+    buf.push(b'\n');
+    writer.write_all(&buf)
+}
+
+fn handle_conn(stream: TcpStream, shared: &Arc<RouteShared>) {
+    let cfg = &shared.cfg;
+    let _ = stream.set_nodelay(true);
+    if let Some(t) = cfg.idle_timeout {
+        let _ = stream.set_read_timeout(Some(t));
+        let _ = stream.set_write_timeout(Some(t));
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let conn_id = shared.next_conn.fetch_add(1, Ordering::AcqRel);
+    if let Ok(registered) = stream.try_clone() {
+        shared.lock_conns().insert(conn_id, registered);
+    }
+    let mut reader = BoundedLineReader::new(stream, cfg.max_line_bytes);
+    loop {
+        if shared.draining.load(Ordering::Acquire) {
+            let refusal = WireError::ShuttingDown {
+                retry_after_ms: jittered_retry_after_ms(cfg.retry_after_ms),
+            };
+            let _ = send_line(&mut writer, &refusal.line());
+            break;
+        }
+        let line = match reader.read_line() {
+            ReadLine::Line(l) => l,
+            ReadLine::TooLong => {
+                let oversize = WireError::LineTooLong {
+                    max_bytes: cfg.max_line_bytes,
+                };
+                let _ = send_line(&mut writer, &oversize.line());
+                break;
+            }
+            ReadLine::TimedOut => {
+                let _ = send_line(&mut writer, &WireError::IdleTimeout.line());
+                break;
+            }
+            ReadLine::Closed => break,
+        };
+        shared.inflight.fetch_add(1, Ordering::AcqRel);
+        let rid = poe_obs::next_request_id();
+        let flight = Arc::clone(&shared.router.obs().flight);
+        flight.record_for(rid, "request.start", format!("line={line}"));
+        let action = respond_route(shared, &line, rid);
+        let write_ok = send_line(&mut writer, action.line()).is_ok();
+        flight.record_for(
+            rid,
+            "request.end",
+            format!("outcome={}", action.line().split(' ').next().unwrap_or("?")),
+        );
+        shared.inflight.fetch_sub(1, Ordering::AcqRel);
+        let handled = shared.handled.fetch_add(1, Ordering::AcqRel) + 1;
+        if handled >= shared.cfg.max_requests {
+            shared.trigger_shutdown();
+        }
+        match action {
+            Action::Reply(_) if write_ok => {}
+            Action::Reply(_) => break,
+            Action::Close(_) => break,
+            Action::Shutdown(_) => {
+                shared.trigger_shutdown();
+                break;
+            }
+        }
+    }
+    shared.lock_conns().remove(&conn_id);
+}
+
+/// One request's rendered outcome.
+enum Action {
+    /// Answer and keep the connection open.
+    Reply(String),
+    /// Answer and close this connection (`QUIT`).
+    Close(String),
+    /// Answer, then begin the drain (`SHUTDOWN`).
+    Shutdown(String),
+}
+
+impl Action {
+    fn line(&self) -> &str {
+        match self {
+            Action::Reply(l) | Action::Close(l) | Action::Shutdown(l) => l,
+        }
+    }
+}
+
+/// Renders one request line against the engine. Split out of the
+/// connection loop so unit tests can drive verbs without sockets.
+fn respond_route(shared: &RouteShared, line: &str, rid: u64) -> Action {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Action::Reply(WireError::EmptyRequest.line());
+    }
+    let (verb_raw, rest) = match trimmed.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (trimmed, ""),
+    };
+    let verb = verb_raw.to_ascii_uppercase();
+    let router = &shared.router;
+    let reply = match verb.as_str() {
+        "INFO" => match router.info(rid) {
+            Ok((tasks, experts, classes)) => {
+                format!("OK tasks={tasks} experts={experts} classes={classes}")
+            }
+            Err(e) => gather_err_line(e),
+        },
+        "QUERY" => match parse_tasks(rest) {
+            Err(e) => e.line(),
+            Ok(tasks) => match router.query(&tasks, rid) {
+                Ok(q) => format!(
+                    "OK outputs={} params={} assembly_ms={:.3} cached={} classes={} tasks={}",
+                    q.outputs,
+                    q.params,
+                    q.assembly_ms,
+                    u8::from(q.cached),
+                    join(&q.classes),
+                    join(&q.tasks)
+                ),
+                Err(e) => gather_err_line(e),
+            },
+        },
+        "PREDICT" => match split_features(rest, WireError::PredictSyntax) {
+            Err(e) => e.line(),
+            Ok((tasks, features)) => match router.predict(&tasks, features, rid) {
+                Ok(p) if p.missing.is_empty() => format!(
+                    "OK class={} task={} confidence={:.4}",
+                    p.class, p.task, p.confidence
+                ),
+                Ok(p) => format!(
+                    "OK partial shards={}/{} missing={} class={} task={} confidence={:.4}",
+                    p.shards_ok,
+                    p.shards_total,
+                    join(&p.missing),
+                    p.class,
+                    p.task,
+                    p.confidence
+                ),
+                Err(e) => gather_err_line(e),
+            },
+        },
+        "LOGITS" => match split_features(rest, WireError::LogitsSyntax) {
+            Err(e) => e.line(),
+            Ok((tasks, features)) => match router.logits(&tasks, features, rid) {
+                Ok(l) => format!(
+                    "OK logits={} classes={} tasks={}",
+                    l.logits
+                        .iter()
+                        .map(|v| format!("{v:.6}"))
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    join(&l.classes),
+                    join(&l.tasks)
+                ),
+                Err(e) => gather_err_line(e),
+            },
+        },
+        "HEALTH" => health_line(shared),
+        "METRICS" => format!("OK {}", router.obs().registry.snapshot().to_json()),
+        "DUMP" => {
+            let flight = &router.obs().flight;
+            let dir = shared
+                .cfg
+                .recorder_dir
+                .clone()
+                .unwrap_or_else(std::env::temp_dir);
+            match flight.dump_to_dir(&dir) {
+                Ok(path) => format!(
+                    "OK dump path={} events={} dropped={}",
+                    path.display(),
+                    flight.len(),
+                    flight.dropped()
+                ),
+                Err(e) => WireError::DumpFailed(e.to_string()).line(),
+            }
+        }
+        "SHUTDOWN" => return Action::Shutdown("OK shutting down".into()),
+        "QUIT" => return Action::Close("OK bye".into()),
+        _ => WireError::UnknownVerb(verb_raw.to_string()).line(),
+    };
+    Action::Reply(reply)
+}
+
+/// Splits `tasks : features` for `PREDICT`/`LOGITS`; the features stay a
+/// raw string — the shards validate them (the router has no input dim).
+fn split_features(rest: &str, on_missing: WireError) -> Result<(Vec<usize>, &str), WireError> {
+    let (lhs, rhs) = rest.split_once(':').ok_or(on_missing)?;
+    Ok((parse_tasks(lhs.trim())?, rhs.trim()))
+}
+
+fn gather_err_line(e: GatherError) -> String {
+    match e {
+        GatherError::NoShardForTask(t) => WireError::NoShardForTask(t).line(),
+        GatherError::ShardUnavailable(f) => WireError::ShardUnavailable {
+            shard: f.shard,
+            detail: f.detail,
+        }
+        .line(),
+        GatherError::Protocol { shard, line } => WireError::ShardUnavailable {
+            shard,
+            detail: format!("unparseable response `{line}`"),
+        }
+        .line(),
+        GatherError::Forwarded(line) => line,
+    }
+}
+
+/// The router-flavored `HEALTH` line: same leading `live=`/`ready=`
+/// fields as a shard (probes parse the prefix identically), then
+/// `role=router` and the aggregate shard view.
+fn health_line(shared: &RouteShared) -> String {
+    let (up, total) = shared.router.shards_up();
+    let draining = shared.draining.load(Ordering::Acquire);
+    let ready = up == total && total > 0 && !draining;
+    format!(
+        "OK live=1 ready={} role=router shards={total} shards_up={up}/{total} draining={} inflight={}",
+        u8::from(ready),
+        u8::from(draining),
+        shared.inflight.load(Ordering::Acquire)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_shared(spec: &str) -> RouteShared {
+        let map = ShardMap::parse(spec).unwrap();
+        let cfg = RouteConfig {
+            router: RouterConfig {
+                // Nothing listens on the test addresses: keep the
+                // budget tiny so unavailability is decided fast.
+                call_timeout: Duration::from_millis(50),
+                budget: Duration::from_millis(100),
+                retry: poe_router::RetryPolicy {
+                    max_attempts: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        RouteShared {
+            router: Router::new(map, cfg.router, poe_obs::Observability::new()),
+            cfg,
+            addr: "127.0.0.1:0".parse().unwrap(),
+            draining: AtomicBool::new(false),
+            handled: AtomicU64::new(0),
+            inflight: AtomicUsize::new(0),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            conns_alive: AtomicUsize::new(0),
+            accept_error: Mutex::new(None),
+        }
+    }
+
+    #[test]
+    fn syntax_errors_render_without_backends() {
+        let s = test_shared("0-9=127.0.0.1:9");
+        assert_eq!(respond_route(&s, "", 1).line(), "ERR empty request");
+        assert!(respond_route(&s, "FROB 1", 1)
+            .line()
+            .starts_with("ERR unknown verb"));
+        assert_eq!(
+            respond_route(&s, "PREDICT 1 2 3", 1).line(),
+            WireError::PredictSyntax.line()
+        );
+        assert_eq!(
+            respond_route(&s, "LOGITS 1", 1).line(),
+            WireError::LogitsSyntax.line()
+        );
+        assert_eq!(
+            respond_route(&s, "QUERY 99", 1).line(),
+            "ERR no shard for task 99"
+        );
+        assert!(matches!(respond_route(&s, "QUIT", 1), Action::Close(_)));
+        assert!(matches!(
+            respond_route(&s, "SHUTDOWN", 1),
+            Action::Shutdown(_)
+        ));
+    }
+
+    #[test]
+    fn dead_shard_renders_the_documented_err_row() {
+        let s = test_shared("0-9=127.0.0.1:9");
+        let line = respond_route(&s, "QUERY 1,2", 7).line().to_string();
+        assert!(line.starts_with("ERR shard 0 unavailable: "), "{line}");
+    }
+
+    #[test]
+    fn health_reports_router_role_and_aggregate() {
+        let s = test_shared("0-4=127.0.0.1:9;5-9=127.0.0.1:9");
+        let line = health_line(&s);
+        assert!(
+            line.starts_with("OK live=1 ready=0 role=router shards=2"),
+            "{line}"
+        );
+        assert!(line.contains("shards_up=0/2"), "{line}");
+        assert!(line.contains("draining=0"), "{line}");
+        s.draining.store(true, Ordering::Release);
+        assert!(health_line(&s).contains("draining=1"));
+    }
+
+    #[test]
+    fn partial_rendering_matches_the_protocol_doc() {
+        // Render the partial row from a hand-built GatheredPredict so the
+        // format stays pinned even without live shards.
+        let p = poe_router::GatheredPredict {
+            class: 3,
+            task: 1,
+            confidence: 0.875,
+            shards_ok: 1,
+            shards_total: 2,
+            missing: vec![4, 5],
+        };
+        let line = format!(
+            "OK partial shards={}/{} missing={} class={} task={} confidence={:.4}",
+            p.shards_ok,
+            p.shards_total,
+            join(&p.missing),
+            p.class,
+            p.task,
+            p.confidence
+        );
+        assert_eq!(
+            line,
+            "OK partial shards=1/2 missing=4,5 class=3 task=1 confidence=0.8750"
+        );
+    }
+}

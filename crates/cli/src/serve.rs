@@ -122,7 +122,9 @@ pub struct ServeConfig {
     /// Accepted connections queued ahead of the workers; beyond this the
     /// acceptor sheds (`ERR busy`) instead of queueing (min 1).
     pub queue_capacity: usize,
-    /// The `retry_after_ms` hint sent with `ERR busy` / shutdown sheds.
+    /// Base for the `retry_after_ms` hint sent with `ERR busy` /
+    /// shutdown sheds; each response jitters it into `[base/2, 3*base/2]`
+    /// so shed clients don't retry in lockstep.
     pub retry_after_ms: u64,
     /// How long [`Server::join`] waits for in-flight connections to drain
     /// after shutdown starts before force-closing them.
@@ -848,15 +850,16 @@ fn acceptor_loop(listener: TcpListener, conn_tx: SyncSender<TcpStream>, shared: 
 /// a fast refusal the client can retry, instead of an unbounded queue.
 fn shed(mut stream: TcpStream, shared: &ServerShared) {
     shared.metrics.shed.inc();
-    shared.service.obs().flight.record_for(
-        0,
-        "shed",
-        format!("retry_after_ms={}", shared.cfg.retry_after_ms),
-    );
+    // The hint is jittered per response: a fixed constant would march
+    // every shed client back in lockstep and re-stampede the queue.
+    let retry_after_ms = jittered_retry_after_ms(shared.cfg.retry_after_ms);
+    shared
+        .service
+        .obs()
+        .flight
+        .record_for(0, "shed", format!("retry_after_ms={retry_after_ms}"));
     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
-    let busy = WireError::Busy {
-        retry_after_ms: shared.cfg.retry_after_ms,
-    };
+    let busy = WireError::Busy { retry_after_ms };
     let _ = writeln!(stream, "{}", busy.line());
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
@@ -897,7 +900,7 @@ fn worker_loop(conn_rx: Arc<Mutex<Receiver<TcpStream>>>, shared: Arc<ServerShare
 }
 
 /// Outcome of one bounded line read.
-enum ReadLine {
+pub(crate) enum ReadLine {
     Line(String),
     TooLong,
     TimedOut,
@@ -907,14 +910,14 @@ enum ReadLine {
 /// A request-line reader with a hard byte cap: a client streaming an
 /// endless line (or trickling bytes with no newline) gets `TooLong` /
 /// `TimedOut` instead of growing an unbounded buffer.
-struct BoundedLineReader {
+pub(crate) struct BoundedLineReader {
     stream: TcpStream,
     buf: Vec<u8>,
     max: usize,
 }
 
 impl BoundedLineReader {
-    fn new(stream: TcpStream, max: usize) -> Self {
+    pub(crate) fn new(stream: TcpStream, max: usize) -> Self {
         BoundedLineReader {
             stream,
             buf: Vec::new(),
@@ -922,7 +925,7 @@ impl BoundedLineReader {
         }
     }
 
-    fn read_line(&mut self) -> ReadLine {
+    pub(crate) fn read_line(&mut self) -> ReadLine {
         loop {
             if let Some(i) = self.buf.iter().position(|&b| b == b'\n') {
                 if i > self.max {
@@ -957,16 +960,23 @@ impl BoundedLineReader {
     }
 }
 
-/// Writes one response line (the chaos write-fault site).
+/// Writes one response line (the chaos write-fault site). One `write`
+/// syscall for payload + newline: a split write leaves the trailing
+/// byte queued behind Nagle until the peer's delayed ACK, which turns a
+/// microsecond response into a ~40 ms one.
 fn send_line(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
     if let Some(e) = poe_chaos::fail_io(poe_chaos::sites::SERVE_WRITE_IO) {
         return Err(e);
     }
-    writeln!(writer, "{line}")
+    let mut buf = Vec::with_capacity(line.len() + 1);
+    buf.extend_from_slice(line.as_bytes());
+    buf.push(b'\n');
+    writer.write_all(&buf)
 }
 
 fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
     let cfg = &shared.cfg;
+    let _ = stream.set_nodelay(true);
     if let Some(t) = cfg.idle_timeout {
         let _ = stream.set_read_timeout(Some(t));
         let _ = stream.set_write_timeout(Some(t));
@@ -982,7 +992,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
             // The drain covers the request in flight; subsequent ones on
             // a kept-alive connection are refused with a retry hint.
             let refusal = WireError::ShuttingDown {
-                retry_after_ms: cfg.retry_after_ms,
+                retry_after_ms: jittered_retry_after_ms(cfg.retry_after_ms),
             };
             let _ = send_line(&mut writer, &refusal.line());
             break;
@@ -1068,19 +1078,38 @@ fn respond_action(
     let request_id = poe_obs::next_request_id();
     let start = Instant::now();
     let trimmed = line.trim();
+    // A router-originated request carries an `@<id>` correlation prefix
+    // (the router's request id); stripping it here and echoing it as
+    // `origin=` in the start event joins one request's flight events
+    // across the router and shard processes. A malformed prefix is left
+    // in place and falls through to the unknown-verb error.
+    let (origin, trimmed) = match trimmed
+        .strip_prefix('@')
+        .and_then(|rest| rest.split_once(char::is_whitespace))
+        .and_then(|(id, tail)| id.parse::<u64>().ok().map(|id| (id, tail.trim())))
+    {
+        Some((id, tail)) => (Some(id), tail),
+        None => (None, trimmed),
+    };
     let verb = trimmed
         .split_whitespace()
         .next()
         .unwrap_or("")
         .to_ascii_uppercase();
     let counter_name = match verb.as_str() {
-        "INFO" | "QUERY" | "PREDICT" | "SWAP" | "STATS" | "METRICS" | "TRACE" | "DUMP"
-        | "HEALTH" | "SHUTDOWN" | "QUIT" => format!("serve.requests.{}", verb.to_ascii_lowercase()),
+        "INFO" | "QUERY" | "PREDICT" | "LOGITS" | "SWAP" | "STATS" | "METRICS" | "TRACE"
+        | "DUMP" | "HEALTH" | "SHUTDOWN" | "QUIT" => {
+            format!("serve.requests.{}", verb.to_ascii_lowercase())
+        }
         _ => "serve.requests.other".to_string(),
     };
     obs.registry.counter(&counter_name).inc();
+    let start_detail = match origin {
+        Some(o) => format!("verb={verb} origin={o}"),
+        None => format!("verb={verb}"),
+    };
     obs.flight
-        .record_for(request_id, "request.start", format!("verb={verb}"));
+        .record_for(request_id, "request.start", start_detail);
     let response = poe_obs::with_request(&obs.trace, request_id, || {
         let _span = poe_obs::span("serve.request");
         // The sentinel records `request.panic` with this request's id if
@@ -1148,7 +1177,10 @@ fn respond_inner(
     // see *why* it is not ready.
     if let Some(s) = server {
         if let Some(detail) = &s.cfg.pool_error {
-            if matches!(verb.as_str(), "INFO" | "QUERY" | "PREDICT" | "SWAP") {
+            if matches!(
+                verb.as_str(),
+                "INFO" | "QUERY" | "PREDICT" | "LOGITS" | "SWAP"
+            ) {
                 return (WireError::NotReady(detail.clone()).line(), Action::Continue);
             }
         }
@@ -1233,13 +1265,35 @@ fn respond_inner(
             Ok(tasks) => match service.query(&tasks) {
                 Err(e) => WireError::from(e).line(),
                 Ok(r) => format!(
-                    "OK outputs={} params={} assembly_ms={:.3} cached={} classes={}",
+                    "OK outputs={} params={} assembly_ms={:.3} cached={} classes={} tasks={}",
                     r.class_layout.len(),
                     r.stats.params,
                     r.stats.assembly_secs * 1e3,
                     u8::from(r.stats.cache_hit),
                     join_usize(&r.class_layout),
+                    join_usize(&column_tasks(&r.model)),
                 ),
+            },
+        },
+        // The router's scatter verb: raw logit slices for the requested
+        // tasks, with per-column class and task provenance, so the merge
+        // (concat + one softmax) can happen at the edge. Runs unbatched —
+        // the router is the only intended caller and already batches by
+        // fanning out.
+        "LOGITS" => match parse_logits(rest, input_dim) {
+            Err(e) => e.line(),
+            Ok((tasks, features)) => match service.query(&tasks) {
+                Err(e) => WireError::from(e).line(),
+                Ok(r) => {
+                    let x = Tensor::from_vec(features, [1, input_dim]);
+                    let logits = r.model.infer(&x);
+                    format!(
+                        "OK logits={} classes={} tasks={}",
+                        join_f32(logits.row(0)),
+                        join_usize(&r.class_layout),
+                        join_usize(&column_tasks(&r.model)),
+                    )
+                }
             },
         },
         "SWAP" => {
@@ -1287,9 +1341,29 @@ fn respond_inner(
     (text, Action::Continue)
 }
 
+/// Owning task per output column, in logit order — the provenance the
+/// router needs to stitch shard slices back into request order.
+fn column_tasks(model: &poe_models::BranchedModel) -> Vec<usize> {
+    model
+        .branches()
+        .flat_map(|b| std::iter::repeat_n(b.task_index, b.classes.len()))
+        .collect()
+}
+
+/// Parses `LOGITS` arguments (same shape as `PREDICT`, own syntax error).
+fn parse_logits(rest: &str, input_dim: usize) -> Result<(Vec<usize>, Vec<f32>), WireError> {
+    match parse_predict(rest, input_dim) {
+        Err(WireError::PredictSyntax) => Err(WireError::LogitsSyntax),
+        other => other,
+    }
+}
+
 /// Parses `PREDICT` arguments: `tasks : features`, with the feature count
 /// checked against the pool's input dimension.
-fn parse_predict(rest: &str, input_dim: usize) -> Result<(Vec<usize>, Vec<f32>), WireError> {
+pub(crate) fn parse_predict(
+    rest: &str,
+    input_dim: usize,
+) -> Result<(Vec<usize>, Vec<f32>), WireError> {
     let Some((task_part, feat_part)) = rest.split_once(':') else {
         return Err(WireError::PredictSyntax);
     };
@@ -1339,7 +1413,8 @@ fn health_line(service: &QueryService, server: Option<&ServerShared>) -> String 
         // Library/test use without a running server: trivially ready.
         return format!(
             "OK live=1 ready=1 pool=ok workers=0/0 inflight=0 shed_rate=0.000 draining=0 \
-             batch_queues=0 batch_depth=0 recorder_dropped={recorder_dropped} simd={simd}"
+             batch_queues=0 batch_depth=0 recorder_dropped={recorder_dropped} simd={simd} \
+             role=shard"
         );
     };
     let pool_ok = s.cfg.pool_error.is_none();
@@ -1352,10 +1427,13 @@ fn health_line(service: &QueryService, server: Option<&ServerShared>) -> String 
         .batcher
         .as_deref()
         .map_or((0, 0), BatchScheduler::queue_stats);
+    // `role=` rides at the tail (new fields append, never reorder — see
+    // PROTOCOL.md): a `poe serve` process is always the shard role; the
+    // router renders its own HEALTH with `role=router`.
     let mut line = format!(
         "OK live=1 ready={} pool={} workers={}/{} inflight={} shed_rate={:.3} draining={} \
          batch_queues={batch_queues} batch_depth={batch_depth} \
-         recorder_dropped={recorder_dropped} simd={simd}",
+         recorder_dropped={recorder_dropped} simd={simd} role=shard",
         u8::from(ready),
         if pool_ok { "ok" } else { "error" },
         alive,
@@ -1429,7 +1507,7 @@ pub fn metrics_openmetrics(service: &QueryService) -> String {
     snap.to_openmetrics()
 }
 
-fn parse_tasks(s: &str) -> Result<Vec<usize>, WireError> {
+pub(crate) fn parse_tasks(s: &str) -> Result<Vec<usize>, WireError> {
     if s.is_empty() {
         return Err(WireError::NoTasks);
     }
@@ -1465,6 +1543,39 @@ fn join_u64(v: &[u64]) -> String {
         .map(|x| x.to_string())
         .collect::<Vec<_>>()
         .join(",")
+}
+
+/// Comma-joined logits. Six significant decimals keeps the line compact
+/// while leaving softmax ordering at the router numerically intact.
+fn join_f32(v: &[f32]) -> String {
+    v.iter()
+        .map(|x| format!("{x:.6}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Jitters a retry hint into `[base/2, 3*base/2]` so a cohort of shed
+/// clients doesn't re-arrive in one synchronized wave. The range is
+/// pinned by `jittered_retry_hint_stays_in_range`.
+pub(crate) fn jittered_retry_after_ms(base: u64) -> u64 {
+    use std::sync::OnceLock;
+    static RNG: OnceLock<Mutex<poe_tensor::Prng>> = OnceLock::new();
+    if base == 0 {
+        return 0;
+    }
+    let mut rng = RNG
+        .get_or_init(|| {
+            let seed = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+                .unwrap_or(0x5EED);
+            Mutex::new(poe_tensor::Prng::seed_from_u64(
+                seed ^ std::process::id() as u64,
+            ))
+        })
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    base / 2 + rng.next_u64() % (base + 1)
 }
 
 #[cfg(test)]
@@ -1538,6 +1649,98 @@ mod tests {
         let p = respond("PREDICT 0,2 : 0.5 -0.5 1.0 0.0", &svc, 4);
         assert!(p.starts_with("OK class="), "{p}");
         assert_eq!(respond("QUIT", &svc, 4), "OK bye");
+    }
+
+    /// `QUERY` responses carry per-column task provenance (`tasks=`) so a
+    /// router can stitch shard slices back into request order.
+    #[test]
+    fn query_reports_per_column_task_provenance() {
+        let svc = toy_service();
+        let q = respond("QUERY 0,2", &svc, 4);
+        assert!(q.contains("classes=0,1,4,5"), "{q}");
+        assert!(q.contains("tasks=0,0,2,2"), "{q}");
+        let q = respond("QUERY 2,0", &svc, 4);
+        assert!(q.contains("tasks=2,2,0,0"), "{q}");
+    }
+
+    /// `LOGITS` returns the raw slice whose softmax-argmax equals the
+    /// `PREDICT` answer — the invariant the router's edge merge rests on.
+    #[test]
+    fn logits_verb_agrees_with_predict() {
+        let svc = toy_service();
+        let l = respond("LOGITS 0,2 : 0.5 -0.5 1.0 0.0", &svc, 4);
+        assert!(l.starts_with("OK logits="), "{l}");
+        let field = |key: &str| {
+            l.split_whitespace()
+                .find_map(|tok| tok.strip_prefix(key))
+                .unwrap()
+                .to_string()
+        };
+        let logits: Vec<f32> = field("logits=")
+            .split(',')
+            .map(|v| v.parse().unwrap())
+            .collect();
+        let classes: Vec<usize> = field("classes=")
+            .split(',')
+            .map(|v| v.parse().unwrap())
+            .collect();
+        let tasks: Vec<usize> = field("tasks=")
+            .split(',')
+            .map(|v| v.parse().unwrap())
+            .collect();
+        assert_eq!(classes, vec![0, 1, 4, 5]);
+        assert_eq!(tasks, vec![0, 0, 2, 2]);
+        assert_eq!(logits.len(), 4);
+        let best = logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        let p = respond("PREDICT 0,2 : 0.5 -0.5 1.0 0.0", &svc, 4);
+        assert!(
+            p.contains(&format!("class={}", classes[best])),
+            "PREDICT {p} disagrees with LOGITS argmax class {}",
+            classes[best]
+        );
+        // Same validation rows as PREDICT, plus its own syntax row.
+        assert!(respond("LOGITS 0 1.0", &svc, 4).starts_with("ERR LOGITS needs"));
+        assert!(respond("LOGITS 0 : 1.0", &svc, 4).starts_with("ERR expected 4 features"));
+    }
+
+    /// An `@<id>` correlation prefix is stripped before verb dispatch and
+    /// echoed as `origin=` in the request's flight-recorder start event.
+    #[test]
+    fn origin_prefix_is_stripped_and_recorded() {
+        let svc = toy_service();
+        let with = respond("@4242 QUERY 0,2", &svc, 4);
+        // Same answer as an unprefixed request (modulo timing/cache
+        // fields, which legitimately differ between the two calls).
+        assert!(with.contains("classes=0,1,4,5"), "{with}");
+        assert!(with.contains("tasks=0,0,2,2"), "{with}");
+        let start = svc
+            .obs()
+            .flight
+            .snapshot()
+            .into_iter()
+            .rev()
+            .filter(|e| e.kind == "request.start")
+            .find(|e| e.detail.contains("origin="))
+            .expect("a request.start event with origin=");
+        assert_eq!(start.detail, "verb=QUERY origin=4242");
+        // A malformed prefix is not stripped: it reads as an unknown verb.
+        assert!(respond("@nope QUERY 0", &svc, 4).starts_with("ERR unknown verb"));
+    }
+
+    /// Pins the shed-hint jitter range `[base/2, 3*base/2]` and that the
+    /// hint actually varies — a fixed constant re-stampedes the server.
+    #[test]
+    fn jittered_retry_hint_stays_in_range() {
+        let draws: Vec<u64> = (0..200).map(|_| jittered_retry_after_ms(100)).collect();
+        assert!(draws.iter().all(|&d| (50..=150).contains(&d)), "{draws:?}");
+        let distinct: std::collections::HashSet<_> = draws.iter().collect();
+        assert!(distinct.len() >= 3, "hint is not jittered: {draws:?}");
+        assert_eq!(jittered_retry_after_ms(0), 0);
     }
 
     #[test]
@@ -2008,7 +2211,18 @@ mod tests {
         let (_c_w, mut c_r) = client(addr);
         let mut line = String::new();
         c_r.read_line(&mut line).unwrap();
-        assert_eq!(line.trim_end(), "ERR busy retry_after_ms=100");
+        // The hint is jittered around the configured base of 100 ms
+        // (range pinned by `jittered_retry_hint_stays_in_range`).
+        let hint: u64 = line
+            .trim_end()
+            .strip_prefix("ERR busy retry_after_ms=")
+            .expect(&line)
+            .parse()
+            .unwrap();
+        assert!(
+            (50..=150).contains(&hint),
+            "hint {hint} outside jitter range"
+        );
         line.clear();
         assert_eq!(c_r.read_line(&mut line).unwrap(), 0);
         assert_eq!(svc.obs().registry.counter("serve.shed").get(), 1);

@@ -37,6 +37,8 @@ pub enum WireError {
     Query(QueryError),
     /// `PREDICT` without the `:` separator.
     PredictSyntax,
+    /// `LOGITS` without the `:` separator.
+    LogitsSyntax,
     /// Feature token that is not a finite float.
     BadFeature(String),
     /// Feature count ≠ the pool's input dimension.
@@ -80,6 +82,17 @@ pub enum WireError {
     /// The micro-batch this request was parked in was lost to an internal
     /// failure; the request was *not* answered and may be retried.
     BatchAborted,
+    /// Router only: a required shard (or, for `PREDICT`, every shard)
+    /// failed past the retry budget. Non-closing — the client may retry
+    /// on the same connection once the shard recovers.
+    ShardUnavailable {
+        /// Shard index in the router's map.
+        shard: usize,
+        /// Last failure observed against that shard's replicas.
+        detail: String,
+    },
+    /// Router only: a requested task id falls outside every shard range.
+    NoShardForTask(usize),
 }
 
 impl WireError {
@@ -120,6 +133,7 @@ impl fmt::Display for WireError {
             WireError::TooManyTasks { max } => write!(f, "too many tasks (max {max})"),
             WireError::Query(e) => write!(f, "{e}"),
             WireError::PredictSyntax => write!(f, "PREDICT needs `tasks : features`"),
+            WireError::LogitsSyntax => write!(f, "LOGITS needs `tasks : features`"),
             WireError::BadFeature(tok) => write!(f, "bad feature value `{tok}`"),
             WireError::FeatureCount { expected, got } => {
                 write!(f, "expected {expected} features, got {got}")
@@ -142,6 +156,10 @@ impl fmt::Display for WireError {
                 write!(f, "shutting down retry_after_ms={retry_after_ms}")
             }
             WireError::BatchAborted => write!(f, "batch aborted"),
+            WireError::ShardUnavailable { shard, detail } => {
+                write!(f, "shard {shard} unavailable: {detail}")
+            }
+            WireError::NoShardForTask(t) => write!(f, "no shard for task {t}"),
         }
     }
 }
@@ -231,6 +249,11 @@ mod tests {
                 "`ERR PREDICT needs `tasks : features``",
             ),
             (
+                WireError::LogitsSyntax,
+                "ERR LOGITS needs `tasks : features`",
+                "`ERR LOGITS needs `tasks : features``",
+            ),
+            (
                 WireError::BadFeature("X".into()),
                 "ERR bad feature value `X`",
                 "`ERR bad feature value `X``",
@@ -302,6 +325,19 @@ mod tests {
                 "ERR batch aborted",
                 "`ERR batch aborted`",
             ),
+            (
+                WireError::ShardUnavailable {
+                    shard: 2,
+                    detail: "<detail>".into(),
+                },
+                "ERR shard 2 unavailable: <detail>",
+                "`ERR shard N unavailable: <detail>`",
+            ),
+            (
+                WireError::NoShardForTask(7),
+                "ERR no shard for task 7",
+                "`ERR no shard for task N`",
+            ),
         ]
     }
 
@@ -331,6 +367,28 @@ mod tests {
         assert_eq!(closing.len(), 6, "{closing:?}");
         assert!(!WireError::EmptyRequest.closes_connection());
         assert!(!WireError::Query(QueryError::EmptyQuery).closes_connection());
+    }
+
+    /// The router-facing rows keep the connection open: a degraded
+    /// answer must not cost the client its session, so both
+    /// `ERR shard N unavailable` and the `OK partial` success row (which
+    /// is documented next to it) leave the connection usable.
+    #[test]
+    fn router_rows_do_not_close_the_connection() {
+        assert!(!WireError::ShardUnavailable {
+            shard: 0,
+            detail: "x".into()
+        }
+        .closes_connection());
+        assert!(!WireError::NoShardForTask(0).closes_connection());
+        assert!(!WireError::LogitsSyntax.closes_connection());
+        // `OK partial` is a success row, not a WireError; pin that the
+        // doc documents it alongside the shard-unavailable row.
+        let doc = protocol_doc();
+        assert!(
+            doc.contains("OK partial shards="),
+            "docs/PROTOCOL.md must document the `OK partial` response row"
+        );
     }
 
     #[test]

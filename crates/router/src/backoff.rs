@@ -1,0 +1,115 @@
+//! Retry pacing: exponential backoff with decorrelated jitter.
+//!
+//! The failure mode this guards against is the retry stampede: a shard
+//! sheds load, every router client sleeps the same fixed interval, and
+//! the whole cohort re-arrives in one synchronized wave. Decorrelated
+//! jitter (`sleep = uniform(base, prev * 3)`, capped) spreads the wave,
+//! and the `retry_after_ms` hint from an `ERR busy` response acts as a
+//! *floor* — the server knows its own drain horizon better than we do.
+
+use poe_tensor::Prng;
+use std::time::Duration;
+
+/// Per-logical-call retry budget and pacing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per shard call, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// First backoff interval, and the lower bound of every draw.
+    pub base: Duration,
+    /// Upper bound on any single backoff interval (hints may exceed it).
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(20),
+            cap: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Mutable backoff state for one logical call's retry sequence.
+#[derive(Debug)]
+pub struct Backoff {
+    policy: RetryPolicy,
+    prev: Duration,
+}
+
+impl Backoff {
+    /// Fresh state; the first delay draws from `[base, 3*base]`.
+    pub fn new(policy: RetryPolicy) -> Self {
+        Backoff {
+            policy,
+            prev: policy.base,
+        }
+    }
+
+    /// Draws the next sleep interval. `hint` is the server's
+    /// `retry_after_ms` (if it sent one) and floors the result — we never
+    /// re-knock earlier than the server asked, even past `cap`.
+    pub fn next_delay(&mut self, rng: &mut Prng, hint: Option<Duration>) -> Duration {
+        let lo = self.policy.base.as_secs_f64();
+        let hi = (self.prev.as_secs_f64() * 3.0).max(lo);
+        let frac = f64::from(rng.uniform());
+        let drawn = Duration::from_secs_f64(lo + (hi - lo) * frac).min(self.policy.cap);
+        self.prev = drawn;
+        match hint {
+            Some(h) => drawn.max(h),
+            None => drawn,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(200),
+        }
+    }
+
+    #[test]
+    fn delays_stay_within_base_and_cap() {
+        let mut rng = Prng::seed_from_u64(1);
+        let mut b = Backoff::new(policy());
+        for _ in 0..64 {
+            let d = b.next_delay(&mut rng, None);
+            assert!(d >= Duration::from_millis(10), "{d:?} below base");
+            assert!(d <= Duration::from_millis(200), "{d:?} above cap");
+        }
+    }
+
+    #[test]
+    fn jitter_decorrelates_and_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<Duration> {
+            let mut rng = Prng::seed_from_u64(seed);
+            let mut b = Backoff::new(policy());
+            (0..16).map(|_| b.next_delay(&mut rng, None)).collect()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed, same schedule");
+        assert_ne!(a, run(8), "different seed should differ");
+        let distinct: std::collections::BTreeSet<_> = a.iter().collect();
+        assert!(
+            distinct.len() > 4,
+            "delays must actually be jittered: {a:?}"
+        );
+    }
+
+    #[test]
+    fn busy_hint_floors_the_delay_even_past_the_cap() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut b = Backoff::new(policy());
+        let hint = Duration::from_millis(750); // beyond cap
+        assert_eq!(b.next_delay(&mut rng, Some(hint)), hint);
+        // Without a hint we fall back under the cap again.
+        assert!(b.next_delay(&mut rng, None) <= Duration::from_millis(200));
+    }
+}

@@ -1,0 +1,212 @@
+//! Per-backend circuit breaker: closed → open on consecutive transport
+//! failures → half-open single probe → closed on success.
+//!
+//! The breaker only counts *transport* failures (connect refused, i/o
+//! error, deadline exceeded). Application-level pushback — `ERR busy`,
+//! `ERR not ready` — means the backend is alive and talking; tripping on
+//! it would amplify load shedding into an outage.
+//!
+//! Every method takes an explicit `now` so state transitions are testable
+//! without sleeping; the `*_at` variants are the real API and the
+//! argument-free wrappers just pass `Instant::now()`.
+
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all calls admitted.
+    Closed,
+    /// Tripped: calls fail fast until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe call is in flight.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    probing: bool,
+}
+
+/// See module docs.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that opens after `threshold` consecutive
+    /// transport failures and re-probes after `cooldown`.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+                probing: false,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Current state (transition to half-open happens in `allow_at`, so
+    /// an expired open breaker still reads `Open` here until probed).
+    pub fn state(&self) -> BreakerState {
+        self.lock().state
+    }
+
+    /// Non-mutating preview of `allow_at` — used for replica *ranking*,
+    /// where consuming the single half-open probe slot would wedge the
+    /// breaker if the ranked replica is then not chosen.
+    pub fn would_allow_at(&self, now: Instant) -> bool {
+        let g = self.lock();
+        match g.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => g
+                .opened_at
+                .is_some_and(|t| now.duration_since(t) >= self.cooldown),
+            BreakerState::HalfOpen => !g.probing,
+        }
+    }
+
+    /// Admission check for a call that is actually about to be made. An
+    /// open breaker past its cooldown transitions to half-open and admits
+    /// this call as the single probe.
+    pub fn allow_at(&self, now: Instant) -> bool {
+        let mut g = self.lock();
+        match g.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                let expired = g
+                    .opened_at
+                    .is_some_and(|t| now.duration_since(t) >= self.cooldown);
+                if expired {
+                    g.state = BreakerState::HalfOpen;
+                    g.probing = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if g.probing {
+                    false
+                } else {
+                    g.probing = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// `allow_at(Instant::now())`.
+    pub fn allow(&self) -> bool {
+        self.allow_at(Instant::now())
+    }
+
+    /// A call completed cleanly: close the breaker and reset counters.
+    pub fn on_success(&self) {
+        let mut g = self.lock();
+        g.state = BreakerState::Closed;
+        g.consecutive_failures = 0;
+        g.opened_at = None;
+        g.probing = false;
+    }
+
+    /// A transport failure at `now`. Returns `true` iff this failure
+    /// transitioned the breaker to `Open` (a half-open probe failing
+    /// re-opens and also returns `true`) — callers count open events.
+    pub fn on_failure_at(&self, now: Instant) -> bool {
+        let mut g = self.lock();
+        match g.state {
+            BreakerState::Closed => {
+                g.consecutive_failures += 1;
+                if g.consecutive_failures >= self.threshold {
+                    g.state = BreakerState::Open;
+                    g.opened_at = Some(now);
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                g.state = BreakerState::Open;
+                g.opened_at = Some(now);
+                g.probing = false;
+                true
+            }
+            BreakerState::Open => false,
+        }
+    }
+
+    /// `on_failure_at(Instant::now())`.
+    pub fn on_failure(&self) -> bool {
+        self.on_failure_at(Instant::now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let b = CircuitBreaker::new(3, Duration::from_millis(100));
+        let t0 = Instant::now();
+        assert!(!b.on_failure_at(t0));
+        assert!(!b.on_failure_at(t0));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.on_failure_at(t0), "third failure trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow_at(t0 + Duration::from_millis(50)), "fails fast");
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let b = CircuitBreaker::new(2, Duration::from_millis(100));
+        let t0 = Instant::now();
+        assert!(!b.on_failure_at(t0));
+        b.on_success();
+        assert!(!b.on_failure_at(t0), "count restarted after success");
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe_then_closes_on_success() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(100));
+        let t0 = Instant::now();
+        assert!(b.on_failure_at(t0));
+        let after = t0 + Duration::from_millis(150);
+        assert!(b.would_allow_at(after), "preview does not consume the slot");
+        assert!(b.allow_at(after), "cooldown elapsed: probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow_at(after), "only one probe at a time");
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow_at(after));
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(100));
+        let t0 = Instant::now();
+        assert!(b.on_failure_at(t0));
+        let after = t0 + Duration::from_millis(150);
+        assert!(b.allow_at(after));
+        assert!(b.on_failure_at(after), "probe failure counts as an open");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow_at(after + Duration::from_millis(50)));
+        assert!(b.allow_at(after + Duration::from_millis(150)), "re-probes");
+    }
+}

@@ -1,0 +1,342 @@
+//! One backend replica: a pooled line-protocol connection, a circuit
+//! breaker, and a cached health verdict.
+//!
+//! The protocol is strictly one request line → one response line, so a
+//! connection that has fully read its response is clean and can be
+//! returned to the (single-slot) pool. Chaos sites cover the two places
+//! the network bites: connection establishment ([`ROUTER_CONNECT_IO`],
+//! [`ROUTER_SHARD_PARTITION`]) and the response read ([`ROUTER_READ_STALL`]).
+//!
+//! [`ROUTER_CONNECT_IO`]: poe_chaos::sites::ROUTER_CONNECT_IO
+//! [`ROUTER_SHARD_PARTITION`]: poe_chaos::sites::ROUTER_SHARD_PARTITION
+//! [`ROUTER_READ_STALL`]: poe_chaos::sites::ROUTER_READ_STALL
+
+use crate::breaker::CircuitBreaker;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Why one request/response exchange against a backend failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallError {
+    /// Could not establish (or re-establish) the TCP connection.
+    Connect(String),
+    /// The connection died mid-exchange.
+    Io(String),
+    /// The deadline expired before a response line arrived.
+    Timeout,
+    /// The backend shed us (`ERR busy` / `ERR shutting down`); carries
+    /// the server's requested re-knock floor.
+    Busy {
+        /// Parsed `retry_after_ms` hint, if the server sent one.
+        retry_after: Option<Duration>,
+    },
+    /// The backend answered `ERR not ready` — alive but degraded; try a
+    /// replica.
+    NotReady,
+}
+
+impl CallError {
+    /// Whether this failure should count against the circuit breaker.
+    /// Application-level pushback (busy / not ready) must not — the
+    /// backend is alive, and tripping on shed amplifies overload.
+    pub fn is_transport(&self) -> bool {
+        matches!(
+            self,
+            CallError::Connect(_) | CallError::Io(_) | CallError::Timeout
+        )
+    }
+
+    /// The server's retry floor, if it sent one.
+    pub fn retry_hint(&self) -> Option<Duration> {
+        match self {
+            CallError::Busy { retry_after } => *retry_after,
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallError::Connect(e) => write!(f, "connect: {e}"),
+            CallError::Io(e) => write!(f, "i/o: {e}"),
+            CallError::Timeout => write!(f, "deadline exceeded"),
+            CallError::Busy { .. } => write!(f, "backend busy"),
+            CallError::NotReady => write!(f, "backend not ready"),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct HealthCache {
+    checked: Option<Instant>,
+    ready: bool,
+}
+
+/// See module docs.
+#[derive(Debug)]
+pub struct Backend {
+    /// `host:port` of the `poe serve` replica.
+    pub addr: String,
+    /// Transport-failure circuit breaker for this replica.
+    pub breaker: CircuitBreaker,
+    conn: Mutex<Option<BufReader<TcpStream>>>,
+    health: Mutex<HealthCache>,
+}
+
+impl Backend {
+    /// A backend with a fresh (closed-state) breaker.
+    pub fn new(
+        addr: impl Into<String>,
+        breaker_threshold: u32,
+        breaker_cooldown: Duration,
+    ) -> Self {
+        Backend {
+            addr: addr.into(),
+            breaker: CircuitBreaker::new(breaker_threshold, breaker_cooldown),
+            conn: Mutex::new(None),
+            health: Mutex::new(HealthCache::default()),
+        }
+    }
+
+    fn lock_conn(&self) -> MutexGuard<'_, Option<BufReader<TcpStream>>> {
+        self.conn.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_health(&self) -> MutexGuard<'_, HealthCache> {
+        self.health.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn connect(&self, deadline: Instant) -> Result<BufReader<TcpStream>, CallError> {
+        if let Some(e) = poe_chaos::fail_io(poe_chaos::sites::ROUTER_CONNECT_IO) {
+            return Err(CallError::Connect(e.to_string()));
+        }
+        if let Some(e) = poe_chaos::fail_io(poe_chaos::sites::ROUTER_SHARD_PARTITION) {
+            return Err(CallError::Connect(format!("partitioned: {e}")));
+        }
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .ok_or(CallError::Timeout)?;
+        let sockaddr = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| CallError::Connect(e.to_string()))?
+            .next()
+            .ok_or_else(|| CallError::Connect(format!("{} resolves to nothing", self.addr)))?;
+        let stream = TcpStream::connect_timeout(&sockaddr, remaining)
+            .map_err(|e| CallError::Connect(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        Ok(BufReader::new(stream))
+    }
+
+    /// One request line → one response line, bounded by `deadline`.
+    /// Reuses the pooled connection when present; a stale pooled
+    /// connection (closed by the shard's idle timeout) is detected and
+    /// retried once on a fresh one. Shed responses (`ERR busy`,
+    /// `ERR shutting down`) and `ERR not ready` come back as typed
+    /// errors; every other line — `OK …` or an application `ERR` — is
+    /// returned verbatim for the caller to interpret.
+    pub fn call(&self, line: &str, deadline: Instant) -> Result<String, CallError> {
+        let pooled = self.lock_conn().take();
+        let was_pooled = pooled.is_some();
+        let conn = match pooled {
+            Some(c) => c,
+            None => self.connect(deadline)?,
+        };
+        match self.exchange(conn, line, deadline) {
+            Ok(resp) => self.classify(resp),
+            // A dead pooled connection is expected churn (idle timeout,
+            // max-requests limit); one fresh retry is part of the same
+            // attempt, not a new one.
+            Err(CallError::Io(_)) if was_pooled => {
+                let fresh = self.connect(deadline)?;
+                let resp = self.exchange(fresh, line, deadline)?;
+                self.classify(resp)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn exchange(
+        &self,
+        mut conn: BufReader<TcpStream>,
+        line: &str,
+        deadline: Instant,
+    ) -> Result<String, CallError> {
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .ok_or(CallError::Timeout)?;
+        let stream = conn.get_ref();
+        let _ = stream.set_write_timeout(Some(remaining));
+        stream
+            .try_clone()
+            .map_err(|e| CallError::Io(e.to_string()))?
+            .write_all(format!("{line}\n").as_bytes())
+            .map_err(|e| CallError::Io(e.to_string()))?;
+        poe_chaos::stall(poe_chaos::sites::ROUTER_READ_STALL);
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .ok_or(CallError::Timeout)?;
+        let _ = conn.get_ref().set_read_timeout(Some(remaining));
+        let mut resp = String::new();
+        match conn.read_line(&mut resp) {
+            Ok(0) => Err(CallError::Io("connection closed by backend".to_string())),
+            Ok(_) => {
+                // Exchange complete: the connection is clean, pool it.
+                *self.lock_conn() = Some(conn);
+                Ok(resp.trim_end().to_string())
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Err(CallError::Timeout)
+            }
+            Err(e) => Err(CallError::Io(e.to_string())),
+        }
+    }
+
+    fn classify(&self, resp: String) -> Result<String, CallError> {
+        if resp.starts_with("ERR busy") || resp.starts_with("ERR shutting down") {
+            return Err(CallError::Busy {
+                retry_after: parse_retry_after(&resp),
+            });
+        }
+        if resp.starts_with("ERR not ready") {
+            return Err(CallError::NotReady);
+        }
+        Ok(resp)
+    }
+
+    /// Cached health verdict, or `None` if never probed / stale past
+    /// `ttl`. Ranking uses only this cache — it must never block on the
+    /// network.
+    pub fn cached_ready(&self, ttl: Duration) -> Option<bool> {
+        let g = self.lock_health();
+        match g.checked {
+            Some(t) if t.elapsed() <= ttl => Some(g.ready),
+            _ => None,
+        }
+    }
+
+    /// Records an observed health verdict (piggybacked off call results
+    /// or an explicit probe).
+    pub fn note_health(&self, ready: bool) {
+        let mut g = self.lock_health();
+        g.checked = Some(Instant::now());
+        g.ready = ready;
+    }
+
+    /// Cache-respecting `HEALTH` probe: returns the cached verdict when
+    /// fresh, otherwise asks the backend (bounded by `probe_timeout`) and
+    /// caches the answer.
+    pub fn probe_ready(&self, ttl: Duration, probe_timeout: Duration) -> bool {
+        if let Some(ready) = self.cached_ready(ttl) {
+            return ready;
+        }
+        let ready = match self.call("HEALTH", Instant::now() + probe_timeout) {
+            Ok(resp) => resp.starts_with("OK live=1 ready=1"),
+            Err(_) => false,
+        };
+        self.note_health(ready);
+        ready
+    }
+
+    /// Drops the pooled connection, shutting it down. Called when the
+    /// router drains.
+    pub fn close(&self) {
+        if let Some(conn) = self.lock_conn().take() {
+            let _ = conn.get_ref().shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+fn parse_retry_after(resp: &str) -> Option<Duration> {
+    let ms: u64 = resp
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("retry_after_ms="))?
+        .parse()
+        .ok()?;
+    Some(Duration::from_millis(ms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn oneshot_server(responses: Vec<&'static str>) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            for resp in responses {
+                let (stream, _) = listener.accept().unwrap();
+                let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+                let mut line = String::new();
+                while reader.read_line(&mut line).is_ok_and(|n| n > 0) {
+                    let mut s = &stream;
+                    s.write_all(format!("{resp}\n").as_bytes()).unwrap();
+                    line.clear();
+                }
+            }
+        });
+        addr
+    }
+
+    fn deadline() -> Instant {
+        Instant::now() + Duration::from_secs(2)
+    }
+
+    #[test]
+    fn call_round_trips_and_pools_the_connection() {
+        let addr = oneshot_server(vec!["OK tasks=1 experts=1 classes=2"]);
+        let b = Backend::new(addr, 3, Duration::from_millis(100));
+        let r1 = b.call("INFO", deadline()).unwrap();
+        assert_eq!(r1, "OK tasks=1 experts=1 classes=2");
+        // Second call rides the pooled connection (the listener accepts
+        // exactly one connection per response batch above).
+        let r2 = b.call("INFO", deadline()).unwrap();
+        assert_eq!(r2, r1);
+    }
+
+    #[test]
+    fn busy_and_not_ready_are_typed_with_hint() {
+        let addr = oneshot_server(vec!["ERR busy retry_after_ms=120"]);
+        let b = Backend::new(addr, 3, Duration::from_millis(100));
+        let err = b.call("INFO", deadline()).unwrap_err();
+        assert_eq!(err.retry_hint(), Some(Duration::from_millis(120)));
+        assert!(!err.is_transport(), "shed must not trip the breaker");
+
+        let addr2 = oneshot_server(vec!["ERR not ready: pool load failed"]);
+        let b2 = Backend::new(addr2, 3, Duration::from_millis(100));
+        assert_eq!(
+            b2.call("INFO", deadline()).unwrap_err(),
+            CallError::NotReady
+        );
+    }
+
+    #[test]
+    fn connect_refused_is_a_transport_error() {
+        // Bind then drop: the port is (very likely) unbound afterwards.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let b = Backend::new(addr, 3, Duration::from_millis(100));
+        let err = b.call("INFO", deadline()).unwrap_err();
+        assert!(err.is_transport(), "{err}");
+    }
+
+    #[test]
+    fn health_cache_honours_ttl() {
+        let addr = oneshot_server(vec!["OK live=1 ready=1 pool=ok"]);
+        let b = Backend::new(addr, 3, Duration::from_millis(100));
+        assert_eq!(b.cached_ready(Duration::from_secs(1)), None);
+        assert!(b.probe_ready(Duration::from_secs(1), Duration::from_secs(1)));
+        assert_eq!(b.cached_ready(Duration::from_secs(60)), Some(true));
+        assert_eq!(b.cached_ready(Duration::ZERO), None, "stale past ttl");
+    }
+}

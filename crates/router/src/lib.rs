@@ -1,0 +1,48 @@
+//! # poe-router
+//!
+//! The sharded scatter/gather tier for Pool of Experts serving. A
+//! router owns a static [`ShardMap`] (task-id ranges → replicated
+//! `poe serve` backends), speaks the same line protocol as a single
+//! server, and answers composite queries by scattering per-shard
+//! sub-requests and concatenating the logit slices at the edge — the
+//! paper's merge operator distributes for free.
+//!
+//! Robustness is the point of this crate, not an afterthought:
+//!
+//! * every remote call has a **deadline** ([`RouterConfig::call_timeout`])
+//!   inside a per-shard **budget** ([`RouterConfig::budget`]);
+//! * failures retry with **exponential backoff + decorrelated jitter**
+//!   ([`Backoff`]), honoring `retry_after_ms` hints from shed responses;
+//! * each replica sits behind a **circuit breaker** ([`CircuitBreaker`]:
+//!   closed → open on consecutive transport failures → half-open probe);
+//! * replica choice ranks by breaker admission and **cached `HEALTH`
+//!   probes** ([`Backend::probe_ready`]), with within-attempt failover;
+//! * optionally, reads are **hedged** to a second replica after a
+//!   p99-derived delay ([`Hedge::Auto`]);
+//! * when a shard stays down past its budget, `PREDICT` **degrades
+//!   partially** — the surviving logit slices still answer, flagged
+//!   `OK partial` (see `docs/PROTOCOL.md`).
+//!
+//! The crate is std-only and protocol-level: it knows response *lines*,
+//! not model internals. The TCP front tier that serves clients lives in
+//! `poe-cli` (`poe route`); fault injection sites live in `poe-chaos`
+//! (`router.connect.io`, `router.read.stall`, `router.shard.partition`,
+//! `router.scatter.panic`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod breaker;
+pub mod client;
+pub mod engine;
+pub mod shardmap;
+
+pub use backoff::{Backoff, RetryPolicy};
+pub use breaker::{BreakerState, CircuitBreaker};
+pub use client::{Backend, CallError};
+pub use engine::{
+    join, softmax_argmax, GatherError, GatheredLogits, GatheredPredict, GatheredQuery, Hedge,
+    Router, RouterConfig, RouterMetrics, ShardFailure, ShardHandle, ShardQueryPart,
+};
+pub use shardmap::{Shard, ShardMap};

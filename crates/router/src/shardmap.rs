@@ -1,0 +1,162 @@
+//! Static shard map: inclusive task-id ranges → replica address lists.
+//!
+//! The map is the router's only piece of cluster topology. It is parsed
+//! once at startup from a spec string (`--shards` on the CLI) and never
+//! changes at runtime — rebalancing is a restart, which keeps the data
+//! plane free of coordination. Spec grammar:
+//!
+//! ```text
+//! spec  := shard (';' shard)*
+//! shard := range '=' addr ('|' addr)*
+//! range := lo '-' hi | task            # inclusive; single task allowed
+//! ```
+//!
+//! e.g. `0-9=10.0.0.1:7070|10.0.0.2:7070;10-19=10.0.0.3:7070` maps tasks
+//! 0..=9 to a two-replica shard and 10..=19 to a single backend.
+
+/// One shard: a contiguous inclusive task range plus its replica set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard {
+    /// First task id owned by this shard (inclusive).
+    pub lo: usize,
+    /// Last task id owned by this shard (inclusive).
+    pub hi: usize,
+    /// Backend addresses (`host:port`) serving identical copies of the
+    /// shard's expert subset. Order is the preference order at equal
+    /// health/breaker score.
+    pub replicas: Vec<String>,
+}
+
+/// The full routing table. Immutable after [`ShardMap::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: Vec<Shard>,
+}
+
+impl ShardMap {
+    /// Parses a spec string (see module docs for the grammar). Rejects
+    /// empty maps, empty replica sets, inverted ranges, and overlapping
+    /// ranges — a task must have exactly one home shard.
+    pub fn parse(spec: &str) -> Result<ShardMap, String> {
+        let mut shards = Vec::new();
+        for part in spec.split(';').filter(|p| !p.trim().is_empty()) {
+            let (range, addrs) = part
+                .split_once('=')
+                .ok_or_else(|| format!("shard `{part}` is missing `=addr`"))?;
+            let range = range.trim();
+            let (lo, hi) = match range.split_once('-') {
+                Some((a, b)) => (
+                    a.trim()
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad range start in shard `{part}`"))?,
+                    b.trim()
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad range end in shard `{part}`"))?,
+                ),
+                None => {
+                    let t = range
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad task id in shard `{part}`"))?;
+                    (t, t)
+                }
+            };
+            if hi < lo {
+                return Err(format!("inverted range {lo}-{hi} in shard `{part}`"));
+            }
+            let replicas: Vec<String> = addrs
+                .split('|')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect();
+            if replicas.is_empty() {
+                return Err(format!("shard `{part}` has no replica addresses"));
+            }
+            shards.push(Shard { lo, hi, replicas });
+        }
+        if shards.is_empty() {
+            return Err("shard map is empty".to_string());
+        }
+        for i in 0..shards.len() {
+            for j in (i + 1)..shards.len() {
+                let (a, b) = (&shards[i], &shards[j]);
+                if a.lo <= b.hi && b.lo <= a.hi {
+                    return Err(format!(
+                        "shard ranges {}-{} and {}-{} overlap",
+                        a.lo, a.hi, b.lo, b.hi
+                    ));
+                }
+            }
+        }
+        Ok(ShardMap { shards })
+    }
+
+    /// Number of shards in the map.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard table, in spec order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Which shard owns `task`, or `None` if no range covers it.
+    pub fn shard_of(&self, task: usize) -> Option<usize> {
+        self.shards
+            .iter()
+            .position(|s| s.lo <= task && task <= s.hi)
+    }
+
+    /// Splits a request's task list into per-shard groups, shard index
+    /// ascending, preserving request order *within* each group. Errors
+    /// with the first task no shard owns — the router turns that into a
+    /// typed client error rather than a silent drop.
+    pub fn split(&self, tasks: &[usize]) -> Result<Vec<(usize, Vec<usize>)>, usize> {
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for &task in tasks {
+            let shard = self.shard_of(task).ok_or(task)?;
+            match groups.iter_mut().find(|(s, _)| *s == shard) {
+                Some((_, g)) => g.push(task),
+                None => groups.push((shard, vec![task])),
+            }
+        }
+        groups.sort_by_key(|(s, _)| *s);
+        Ok(groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ranges_singletons_and_replicas() {
+        let m = ShardMap::parse("0-2=a:1|b:1; 3=c:1 ;4-9=d:1").unwrap();
+        assert_eq!(m.num_shards(), 3);
+        assert_eq!(m.shards()[0].replicas, vec!["a:1", "b:1"]);
+        assert_eq!((m.shards()[1].lo, m.shards()[1].hi), (3, 3));
+        assert_eq!(m.shard_of(0), Some(0));
+        assert_eq!(m.shard_of(3), Some(1));
+        assert_eq!(m.shard_of(9), Some(2));
+        assert_eq!(m.shard_of(10), None);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(ShardMap::parse("").is_err());
+        assert!(ShardMap::parse("0-2").is_err());
+        assert!(ShardMap::parse("2-0=a:1").is_err());
+        assert!(ShardMap::parse("x-2=a:1").is_err());
+        assert!(ShardMap::parse("0-2=").is_err());
+        assert!(ShardMap::parse("0-5=a:1;3-9=b:1").is_err(), "overlap");
+        assert!(ShardMap::parse("0-2=a:1;2=b:1").is_err(), "overlap point");
+    }
+
+    #[test]
+    fn split_groups_by_shard_preserving_request_order() {
+        let m = ShardMap::parse("0-4=a:1;5-9=b:1").unwrap();
+        let groups = m.split(&[7, 1, 0, 9]).unwrap();
+        assert_eq!(groups, vec![(0, vec![1, 0]), (1, vec![7, 9])]);
+        assert_eq!(m.split(&[1, 42]).unwrap_err(), 42);
+    }
+}
