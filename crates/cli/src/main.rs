@@ -589,10 +589,12 @@ fn cmd_route(a: &Args) -> Result<(), String> {
     let hedge = match a.get("hedge-ms") {
         None => poe_router::Hedge::Off,
         Some(v) if v.eq_ignore_ascii_case("off") => poe_router::Hedge::Off,
-        Some(v) if v.eq_ignore_ascii_case("auto") => poe_router::Hedge::Auto {
-            floor: std::time::Duration::from_millis(2),
-            cap: std::time::Duration::from_millis(call_timeout_ms / 2),
-        },
+        Some(v) if v.eq_ignore_ascii_case("auto") => {
+            let floor = std::time::Duration::from_millis(2);
+            // Tiny --call-timeout-ms would put the cap under the floor.
+            let cap = std::time::Duration::from_millis(call_timeout_ms / 2).max(floor);
+            poe_router::Hedge::Auto { floor, cap }
+        }
         Some(v) => match v.parse::<u64>() {
             Ok(0) => poe_router::Hedge::Off,
             Ok(ms) => poe_router::Hedge::After(std::time::Duration::from_millis(ms)),

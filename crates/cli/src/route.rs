@@ -340,6 +340,18 @@ fn handle_conn(stream: TcpStream, shared: &Arc<RouteShared>) {
             ReadLine::Closed => break,
         };
         shared.inflight.fetch_add(1, Ordering::AcqRel);
+        // Re-check after the increment is visible: a request being read
+        // when the drain triggered can pass the loop-top check while
+        // join() observes inflight==0 and starts closing backends; it
+        // must refuse here rather than scatter against dying sockets.
+        if shared.draining.load(Ordering::Acquire) {
+            shared.inflight.fetch_sub(1, Ordering::AcqRel);
+            let refusal = WireError::ShuttingDown {
+                retry_after_ms: jittered_retry_after_ms(cfg.retry_after_ms),
+            };
+            let _ = send_line(&mut writer, &refusal.line());
+            break;
+        }
         let rid = poe_obs::next_request_id();
         let flight = Arc::clone(&shared.router.obs().flight);
         flight.record_for(rid, "request.start", format!("line={line}"));

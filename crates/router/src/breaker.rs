@@ -115,7 +115,9 @@ impl CircuitBreaker {
         self.allow_at(Instant::now())
     }
 
-    /// A call completed cleanly: close the breaker and reset counters.
+    /// The backend proved alive — a clean response *or* application-level
+    /// pushback (`ERR busy` / `ERR not ready`): close the breaker, reset
+    /// counters, and release any half-open probe slot.
     pub fn on_success(&self) {
         let mut g = self.lock();
         g.state = BreakerState::Closed;

@@ -20,6 +20,11 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+/// Ceiling on cold-cache `HEALTH` probes during [`Router::shards_up`]
+/// aggregation; data calls still get the full
+/// [`RouterConfig::call_timeout`].
+pub const HEALTH_PROBE_TIMEOUT: Duration = Duration::from_millis(250);
+
 /// Hedged-read policy: when to race a second replica.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Hedge {
@@ -282,19 +287,32 @@ impl Router {
 
     /// Per-shard health: `(up, total)` where a shard is up iff any
     /// replica's breaker admits calls and a (cached) `HEALTH` probe says
-    /// `ready=1`.
+    /// `ready=1`. Shards probe concurrently under a timeout capped at
+    /// [`HEALTH_PROBE_TIMEOUT`] — serial `call_timeout`-bounded probes
+    /// would make a `HEALTH` request block for seconds exactly when
+    /// shards are down, flapping external health checkers.
     pub fn shards_up(&self) -> (usize, usize) {
         let now = Instant::now();
-        let up = self
-            .shards
-            .iter()
-            .filter(|s| {
-                s.backends.iter().any(|b| {
-                    b.breaker.would_allow_at(now)
-                        && b.probe_ready(self.cfg.health_ttl, self.cfg.call_timeout)
+        let probe_timeout = self.cfg.call_timeout.min(HEALTH_PROBE_TIMEOUT);
+        let up = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| {
+                    s.spawn(move || {
+                        shard.backends.iter().any(|b| {
+                            b.breaker.would_allow_at(now)
+                                && b.probe_ready(self.cfg.health_ttl, probe_timeout)
+                        })
+                    })
                 })
-            })
-            .count();
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or(false))
+                .filter(|&shard_up| shard_up)
+                .count()
+        });
         (up, self.shards.len())
     }
 
@@ -303,6 +321,9 @@ impl Router {
             Hedge::Off => None,
             Hedge::After(d) => Some(d),
             Hedge::Auto { floor, cap } => {
+                // A misconfigured cap below the floor degrades to the
+                // floor; `clamp` panics on min > max.
+                let cap = cap.max(floor);
                 let p99 = self
                     .metrics
                     .shard_latency
@@ -372,7 +393,18 @@ impl Router {
                         );
                     }
                 }
-                Err(_) => {} // shed / not-ready: alive, no breaker penalty
+                Err(e) => {
+                    // Shed / not-ready: the backend is alive and talking,
+                    // which is all the breaker guards — close it. This
+                    // also releases a half-open probe slot; leaving
+                    // `probing` set here would quarantine the replica
+                    // forever (no later call could reach the backend to
+                    // clear it).
+                    backend.breaker.on_success();
+                    if matches!(e, CallError::NotReady) {
+                        backend.note_health(false);
+                    }
+                }
             }
             let _ = tx.send(res);
         });
@@ -959,6 +991,70 @@ mod tests {
             r.metrics.shard_latency.record(0.0001);
         }
         assert_eq!(r.hedge_delay(), Some(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn hedge_auto_with_cap_below_floor_degrades_to_floor() {
+        // `--hedge-ms auto` with a tiny call timeout used to build
+        // cap < floor and panic inside Duration::clamp.
+        let map = ShardMap::parse("0-9=127.0.0.1:1").unwrap();
+        let cfg = RouterConfig {
+            hedge: Hedge::Auto {
+                floor: Duration::from_millis(5),
+                cap: Duration::from_millis(1),
+            },
+            ..RouterConfig::default()
+        };
+        let r = Router::new(map, cfg, Observability::new());
+        assert_eq!(r.hedge_delay(), Some(Duration::from_millis(5)));
+        r.metrics.shard_latency.record(10.0);
+        assert_eq!(r.hedge_delay(), Some(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn half_open_probe_on_pushback_releases_the_slot() {
+        // A backend that answers the half-open probe with application
+        // pushback (`ERR not ready`) is alive: the probe slot must be
+        // released (breaker closed), not left consumed forever —
+        // otherwise the replica is quarantined until router restart.
+        use std::io::{BufRead, BufReader, Write};
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            while let Ok((stream, _)) = listener.accept() {
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut line = String::new();
+                while reader.read_line(&mut line).is_ok_and(|n| n > 0) {
+                    let mut s = &stream;
+                    let _ = s.write_all(b"ERR not ready: pool load failed\n");
+                    line.clear();
+                }
+            }
+        });
+        let map = ShardMap::parse(&format!("0-9={addr}")).unwrap();
+        let cfg = RouterConfig {
+            breaker_threshold: 1,
+            breaker_cooldown: Duration::from_millis(10),
+            retry: RetryPolicy {
+                max_attempts: 1,
+                ..RetryPolicy::default()
+            },
+            ..RouterConfig::default()
+        };
+        let r = Router::new(map, cfg, Observability::new());
+        let b = &r.shards()[0].backends[0];
+        b.breaker.on_failure(); // threshold 1: open
+        assert_eq!(b.breaker.state(), crate::breaker::BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(20)); // cooldown elapses
+        let err = r.call_shard(0, "INFO", 0).unwrap_err();
+        assert!(err.detail.contains("not ready"), "{}", err.detail);
+        // The probe consumed the half-open slot and got pushback; the
+        // breaker must be closed again and admit the next call.
+        assert_eq!(b.breaker.state(), crate::breaker::BreakerState::Closed);
+        assert!(b.breaker.allow(), "replica must not be quarantined");
+        // Not-ready pushback also lands in the health cache so ranking
+        // deprioritizes the replica without quarantining it.
+        assert_eq!(b.cached_ready(Duration::from_secs(5)), Some(false));
     }
 
     #[test]
