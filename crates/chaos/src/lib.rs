@@ -87,6 +87,19 @@ pub mod sites {
     /// side must contain it and degrade to a partial response instead of
     /// failing the whole query.
     pub const ROUTER_SCATTER_PANIC: &str = "router.scatter.panic";
+    /// I/O error injected into the epoll loop's `epoll_wait` — the loop
+    /// must count it and keep ticking, never exit.
+    pub const NET_EPOLL_WAIT_IO: &str = "net.epoll.wait.io";
+    /// I/O error injected into the epoll loop's `accept` burst — the
+    /// listener must survive transient accept failures (EMFILE et al.).
+    pub const NET_EPOLL_ACCEPT_IO: &str = "net.epoll.accept.io";
+    /// I/O error injected into the epoll loop's non-blocking connection
+    /// write path — the connection is closed, the loop keeps serving.
+    pub const NET_EPOLL_WRITE_IO: &str = "net.epoll.write.io";
+    /// Stall injected at the top of an epoll loop tick — models a slow
+    /// event-loop thread (GC-pause analog); connections must survive and
+    /// drain deadlines must still be honoured.
+    pub const NET_EPOLL_TICK_STALL: &str = "net.epoll.tick.stall";
 }
 
 /// Arms the fault hooks that live *below* this crate in the dependency

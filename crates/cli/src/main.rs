@@ -52,7 +52,7 @@ USAGE
             [--max-conn-requests N] [--drain-deadline-ms N]
             [--max-batch N] [--batch-delay-us N]
             [--recorder-events N] [--recorder-dir DIR]
-            [--resident-experts N]
+            [--resident-experts N] [--net threads|epoll]
       TCP model-query server (line protocol: INFO / QUERY t,… /
       PREDICT t,… : f1 f2 … / SWAP t / STATS /
       METRICS [json|openmetrics] / TRACE on|off / DUMP / HEALTH /
@@ -86,13 +86,17 @@ USAGE
       to load (e.g. checksum
       mismatch) the server starts degraded: HEALTH reports ready=0 with
       the load error and data verbs answer `ERR not ready`. Failure modes
-      and the runbook live in docs/OPERATIONS.md.
+      and the runbook live in docs/OPERATIONS.md. --net selects the
+      connection backend: `threads` (default; one thread per
+      connection, portable) or `epoll` (single readiness event loop
+      over raw epoll, Linux only; scales to tens of thousands of idle
+      connections). POE_NET=threads|epoll sets the default.
   poe route --shards SPEC [--port P] [--call-timeout-ms N] [--request-budget-ms N]
             [--retries N] [--backoff-base-ms N] [--backoff-cap-ms N]
             [--breaker-failures N] [--breaker-cooldown-ms N]
             [--hedge-ms N|auto|off] [--health-ttl-ms N] [--seed N]
             [--idle-timeout-ms N] [--drain-deadline-ms N] [--max-requests N]
-            [--recorder-dir DIR]
+            [--recorder-dir DIR] [--net threads|epoll]
       Sharded scatter/gather front tier over a fleet of `poe serve`
       backends. SPEC maps task-id ranges to replicated shard addresses,
       e.g. `0-9=10.0.0.1:7878|10.0.0.2:7878;10-19=10.0.0.3:7878`
@@ -112,7 +116,8 @@ USAGE
       after a fixed delay (`auto` derives it from the observed p99 shard
       latency; default off). When a shard stays down past its budget,
       PREDICT degrades to `OK partial` over the surviving slices. --seed
-      pins the backoff jitter for reproducible runs. See
+      pins the backoff jitter for reproducible runs. --net selects the
+      connection backend (`threads`/`epoll`, as for `poe serve`). See
       docs/PROTOCOL.md § The router tier and the OPERATIONS.md runbook.
   poe obs dump --file PATH [--kind K] [--request N]
   poe obs tail --file PATH [--last N]
@@ -360,6 +365,16 @@ fn cmd_diagnose(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a `--net threads|epoll` value (absent = `POE_NET` env, then
+/// `threads`). Shared by `poe serve` and `poe route`.
+fn parse_net_flag(a: &Args) -> Result<serve::NetBackend, String> {
+    match a.get("net") {
+        None => Ok(serve::NetBackend::from_env()),
+        Some(v) => serve::NetBackend::parse(v)
+            .ok_or_else(|| format!("--net `{v}` is not `threads` or `epoll`")),
+    }
+}
+
 /// Parses a `--trace on|off` value (absent = `false`).
 fn parse_trace_flag(a: &Args) -> Result<bool, String> {
     match a.get("trace") {
@@ -384,6 +399,7 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
     if workers == 0 {
         return Err("--workers must be ≥ 1".into());
     }
+    let net = parse_net_flag(a)?;
     let trace_on = parse_trace_flag(a)?;
     let slow_ms = a
         .get_parsed("slow-query-ms", 0u64, "u64")
@@ -495,35 +511,36 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
     }
     let listener = std::net::TcpListener::bind(("127.0.0.1", port)).map_err(|e| e.to_string())?;
     println!(
-        "serving pool {dir} on {} (input dim {input_dim}, {workers} workers, trace={}, \
+        "serving pool {dir} on {} (input dim {input_dim}, {workers} workers, net={}, trace={}, \
          slow-query-ms={slow_ms}, idle-timeout-ms={idle_timeout_ms}, \
          queue-capacity={queue_capacity}) — protocol: INFO | QUERY t,… | \
          PREDICT t,… : f1 f2 … | STATS | METRICS | TRACE on|off | HEALTH | \
          SHUTDOWN | QUIT (docs/PROTOCOL.md)",
         listener.local_addr().map_err(|e| e.to_string())?,
+        net.name(),
         if trace_on { "on" } else { "off" },
     );
-    let cfg = serve::ServeConfig {
-        workers,
-        max_requests,
-        idle_timeout: (idle_timeout_ms > 0)
-            .then(|| std::time::Duration::from_millis(idle_timeout_ms)),
-        max_conn_requests: if max_conn_requests == 0 {
+    let server = serve::ServeConfig::builder()
+        .workers(workers)
+        .max_requests(max_requests)
+        .idle_timeout(
+            (idle_timeout_ms > 0).then(|| std::time::Duration::from_millis(idle_timeout_ms)),
+        )
+        .max_conn_requests(if max_conn_requests == 0 {
             u64::MAX
         } else {
             max_conn_requests
-        },
-        queue_capacity: queue_capacity.max(1),
-        drain_deadline: std::time::Duration::from_millis(drain_deadline_ms),
-        pool_error,
-        metrics_on_shutdown: true,
-        max_batch,
-        batch_delay: std::time::Duration::from_micros(batch_delay_us),
-        recorder_events,
-        recorder_dir,
-        ..serve::ServeConfig::default()
-    };
-    let server = serve::Server::start(listener, std::sync::Arc::clone(&service), input_dim, cfg)
+        })
+        .queue_capacity(queue_capacity)
+        .drain_deadline(std::time::Duration::from_millis(drain_deadline_ms))
+        .pool_error(pool_error)
+        .metrics_on_shutdown(true)
+        .max_batch(max_batch)
+        .batch_delay(std::time::Duration::from_micros(batch_delay_us))
+        .recorder_events(recorder_events)
+        .recorder_dir(recorder_dir)
+        .net(net)
+        .start(listener, std::sync::Arc::clone(&service), input_dim)
         .map_err(|e| e.to_string())?;
     let report = server.join().map_err(|e| e.to_string())?;
     // Flush the span sink so the trace file is complete on clean exit.
@@ -586,6 +603,7 @@ fn cmd_route(a: &Args) -> Result<(), String> {
         .get_parsed("max-requests", u64::MAX, "u64")
         .map_err(|e| e.to_string())?;
     let recorder_dir = a.get("recorder-dir").map(std::path::PathBuf::from);
+    let net = parse_net_flag(a)?;
     let hedge = match a.get("hedge-ms") {
         None => poe_router::Hedge::Off,
         Some(v) if v.eq_ignore_ascii_case("off") => poe_router::Hedge::Off,
@@ -619,22 +637,24 @@ fn cmd_route(a: &Args) -> Result<(), String> {
         health_ttl: std::time::Duration::from_millis(health_ttl_ms),
         seed,
     };
-    let cfg = poe_cli::route::RouteConfig {
-        router: router_cfg,
-        max_requests,
-        idle_timeout: (idle_timeout_ms > 0)
-            .then(|| std::time::Duration::from_millis(idle_timeout_ms)),
-        drain_deadline: std::time::Duration::from_millis(drain_deadline_ms),
-        recorder_dir,
-        ..poe_cli::route::RouteConfig::default()
-    };
+    let cfg = poe_cli::route::RouteConfig::builder()
+        .router(router_cfg)
+        .max_requests(max_requests)
+        .idle_timeout(
+            (idle_timeout_ms > 0).then(|| std::time::Duration::from_millis(idle_timeout_ms)),
+        )
+        .drain_deadline(std::time::Duration::from_millis(drain_deadline_ms))
+        .recorder_dir(recorder_dir)
+        .net(net)
+        .build();
     let listener = std::net::TcpListener::bind(("127.0.0.1", port)).map_err(|e| e.to_string())?;
     println!(
-        "routing {} shards on {} (hedge={:?}, retries={retries}, budget={budget_ms}ms) — \
+        "routing {} shards on {} (net={}, hedge={:?}, retries={retries}, budget={budget_ms}ms) — \
          protocol: INFO | QUERY t,… | PREDICT t,… : f1 f2 … | LOGITS t,… : f1 f2 … | \
          HEALTH | METRICS | DUMP | SHUTDOWN | QUIT (docs/PROTOCOL.md)",
         map.num_shards(),
         listener.local_addr().map_err(|e| e.to_string())?,
+        net.name(),
         cfg.router.hedge,
     );
     let server =

@@ -15,15 +15,19 @@
 //! are closed — a client mid-`PREDICT` gets its answer, then the
 //! sockets go away.
 
-use crate::serve::{jittered_retry_after_ms, parse_tasks, BoundedLineReader, ReadLine};
-use crate::wire::WireError;
+use crate::serve::{jittered_retry_after_ms, NetBackend};
+use crate::wire::{self, MetricsFormat, Request, WireError};
+use poe_net::{
+    send_line, After, ConnToken, EventLoop, LineReader, LoopConfig, NetEvent, NetService,
+    ReadOutcome, Refusal,
+};
 use poe_router::{join, GatherError, Router, RouterConfig, ShardMap};
 use std::collections::HashMap;
-use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Front-tier tuning knobs. The scatter/gather engine has its own
@@ -46,6 +50,15 @@ pub struct RouteConfig {
     pub retry_after_ms: u64,
     /// Dump the flight recorder here on shutdown (and for `DUMP`).
     pub recorder_dir: Option<PathBuf>,
+    /// Transport backend (`--net threads|epoll`); the default honors
+    /// `POE_NET`, same as `poe serve`.
+    pub net: NetBackend,
+    /// Dispatch worker threads for the epoll backend (the threads
+    /// backend is one thread per connection and ignores this).
+    pub workers: usize,
+    /// Concurrent-connection cap for the epoll backend; excess
+    /// connections are shed with `ERR busy`.
+    pub max_conns: usize,
 }
 
 impl Default for RouteConfig {
@@ -58,7 +71,102 @@ impl Default for RouteConfig {
             drain_deadline: Duration::from_millis(5_000),
             retry_after_ms: 100,
             recorder_dir: None,
+            net: NetBackend::from_env(),
+            workers: 8,
+            max_conns: crate::serve::DEFAULT_MAX_CONNS,
         }
+    }
+}
+
+impl RouteConfig {
+    /// Starts a fluent build from the defaults:
+    /// `RouteConfig::builder().router(engine_cfg).build()`.
+    pub fn builder() -> RouteConfigBuilder {
+        RouteConfigBuilder {
+            cfg: RouteConfig::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`RouteConfig`], mirroring
+/// [`ServeConfig::builder`](crate::serve::ServeConfig::builder): every
+/// knob is a named setter, unset knobs keep their [`Default`] values,
+/// and [`RouteConfigBuilder::start`] builds and starts the front tier
+/// in one call.
+#[derive(Debug, Clone)]
+pub struct RouteConfigBuilder {
+    cfg: RouteConfig,
+}
+
+impl RouteConfigBuilder {
+    /// Engine knobs: deadlines, retries, breakers, hedging.
+    pub fn router(mut self, r: RouterConfig) -> Self {
+        self.cfg.router = r;
+        self
+    }
+
+    /// Shut down after this many requests (`u64::MAX` = run forever).
+    pub fn max_requests(mut self, n: u64) -> Self {
+        self.cfg.max_requests = n;
+        self
+    }
+
+    /// Request-line byte cap.
+    pub fn max_line_bytes(mut self, n: usize) -> Self {
+        self.cfg.max_line_bytes = n;
+        self
+    }
+
+    /// Idle-connection deadline; `None` disables it.
+    pub fn idle_timeout(mut self, t: Option<Duration>) -> Self {
+        self.cfg.idle_timeout = t;
+        self
+    }
+
+    /// How long `SHUTDOWN` waits for in-flight requests.
+    pub fn drain_deadline(mut self, t: Duration) -> Self {
+        self.cfg.drain_deadline = t;
+        self
+    }
+
+    /// Base for the jittered `retry_after_ms` hint in drain refusals.
+    pub fn retry_after_ms(mut self, ms: u64) -> Self {
+        self.cfg.retry_after_ms = ms;
+        self
+    }
+
+    /// Dump the flight recorder here on shutdown (and for `DUMP`).
+    pub fn recorder_dir(mut self, dir: Option<PathBuf>) -> Self {
+        self.cfg.recorder_dir = dir;
+        self
+    }
+
+    /// Transport backend (`threads` or `epoll`).
+    pub fn net(mut self, net: NetBackend) -> Self {
+        self.cfg.net = net;
+        self
+    }
+
+    /// Dispatch worker threads for the epoll backend (clamped to ≥ 1).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.cfg.workers = n.max(1);
+        self
+    }
+
+    /// Concurrent-connection cap for the epoll backend.
+    pub fn max_conns(mut self, n: usize) -> Self {
+        self.cfg.max_conns = n;
+        self
+    }
+
+    /// The finished configuration.
+    pub fn build(self) -> RouteConfig {
+        self.cfg
+    }
+
+    /// Builds the config and starts the router front tier in one call.
+    pub fn start(self, listener: TcpListener, map: ShardMap) -> std::io::Result<RouteServer> {
+        RouteServer::start(listener, map, self.build())
     }
 }
 
@@ -84,6 +192,9 @@ struct RouteShared {
     next_conn: AtomicU64,
     conns_alive: AtomicUsize,
     accept_error: Mutex<Option<std::io::Error>>,
+    /// Set once when the epoll backend starts; shutdown and force-close
+    /// route through the event loop instead of the conns map.
+    net_handle: OnceLock<poe_net::LoopHandle>,
 }
 
 impl RouteShared {
@@ -99,21 +210,34 @@ impl RouteShared {
             .obs()
             .flight
             .record("router.drain.begin", String::new());
-        // Wake the acceptor out of its blocking accept().
-        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.net_handle.get() {
+            h.shutdown();
+        } else {
+            // Wake the acceptor out of its blocking accept().
+            let _ = TcpStream::connect(self.addr);
+        }
     }
 
     fn force_close_conns(&self) {
+        if let Some(h) = self.net_handle.get() {
+            h.force_close();
+            return;
+        }
         for stream in self.lock_conns().values() {
             let _ = stream.shutdown(std::net::Shutdown::Both);
         }
     }
 }
 
-/// A running router front tier: acceptor + one thread per connection.
+/// A running router front tier: either an acceptor plus one thread per
+/// connection (threads backend), or a `poe-net` event loop feeding a
+/// dispatch pool (epoll backend).
 pub struct RouteServer {
     shared: Arc<RouteShared>,
     acceptor: Option<std::thread::JoinHandle<()>>,
+    event_loop: Option<EventLoop>,
+    dispatchers: Vec<std::thread::JoinHandle<()>>,
+    net_svc: Option<Arc<RouteNetService>>,
 }
 
 /// A cloneable remote control for a [`RouteServer`].
@@ -149,10 +273,20 @@ impl RouteServer {
     ) -> std::io::Result<RouteServer> {
         let addr = listener.local_addr()?;
         let obs = poe_obs::Observability::new();
+        let net = if cfg.net == NetBackend::Epoll && poe_net::epoll_supported() {
+            NetBackend::Epoll
+        } else {
+            NetBackend::Threads
+        };
+        let workers_n = cfg.workers.max(1);
         let router = Router::new(map, cfg.router, obs);
         router.obs().flight.record(
             "router.start",
-            format!("addr={addr} shards={}", router.map().num_shards()),
+            format!(
+                "addr={addr} shards={} net={}",
+                router.map().num_shards(),
+                net.name()
+            ),
         );
         let shared = Arc::new(RouteShared {
             router,
@@ -165,7 +299,11 @@ impl RouteServer {
             next_conn: AtomicU64::new(0),
             conns_alive: AtomicUsize::new(0),
             accept_error: Mutex::new(None),
+            net_handle: OnceLock::new(),
         });
+        if net == NetBackend::Epoll {
+            return RouteServer::start_epoll(listener, shared, workers_n);
+        }
         let acceptor = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -176,6 +314,62 @@ impl RouteServer {
         Ok(RouteServer {
             shared,
             acceptor: Some(acceptor),
+            event_loop: None,
+            dispatchers: Vec::new(),
+            net_svc: None,
+        })
+    }
+
+    /// The epoll variant: the event loop owns every client socket; the
+    /// dispatch pool runs the scatter/gather engine.
+    fn start_epoll(
+        listener: TcpListener,
+        shared: Arc<RouteShared>,
+        workers_n: usize,
+    ) -> std::io::Result<RouteServer> {
+        let obs = shared.router.obs();
+        let loop_cfg = LoopConfig {
+            max_line_bytes: shared.cfg.max_line_bytes,
+            idle_timeout: shared.cfg.idle_timeout,
+            max_conns: shared.cfg.max_conns.max(1),
+            max_conn_requests: u64::MAX,
+            drain_deadline: shared.cfg.drain_deadline,
+            metrics: Some(poe_net::NetMetrics::register(&obs.registry)),
+            flight: Some(Arc::clone(&obs.flight)),
+        };
+        let (tx, rx) = channel::<(ConnToken, String)>();
+        let svc = Arc::new(RouteNetService {
+            shared: Arc::clone(&shared),
+            tx: Mutex::new(Some(tx)),
+            completions: OnceLock::new(),
+        });
+        let event_loop = EventLoop::start(listener, svc.clone(), loop_cfg)?;
+        let handle = event_loop.handle();
+        svc.completions
+            .set(handle.completions())
+            .expect("completions set once");
+        shared
+            .net_handle
+            .set(handle)
+            .expect("one event loop per route server");
+        let rx = Arc::new(Mutex::new(rx));
+        let mut dispatchers = Vec::with_capacity(workers_n);
+        for i in 0..workers_n {
+            let rx = Arc::clone(&rx);
+            let svc = Arc::clone(&svc);
+            dispatchers.push(
+                std::thread::Builder::new()
+                    .name(format!("poe-route-dispatch-{i}"))
+                    .spawn(move || route_dispatch_worker(rx, svc))
+                    .expect("spawn route dispatch worker"),
+            );
+        }
+        Ok(RouteServer {
+            shared,
+            acceptor: None,
+            event_loop: Some(event_loop),
+            dispatchers,
+            net_svc: Some(svc),
         })
     }
 
@@ -214,25 +408,51 @@ impl RouteServer {
         }
         self.shared.trigger_shutdown();
 
-        // Drain order matters: first let in-flight scatters finish (a
-        // client mid-PREDICT gets its answer), only then close the
-        // backend sockets, and last force the client connections shut.
-        let deadline = Instant::now() + self.shared.cfg.drain_deadline;
         let mut drain_timed_out = false;
-        while self.shared.inflight.load(Ordering::Acquire) > 0 {
-            if Instant::now() >= deadline {
-                drain_timed_out = true;
-                break;
+        if let Some(event_loop) = self.event_loop.take() {
+            // Epoll: the loop's own drain lets in-flight scatters finish
+            // (a client mid-PREDICT gets its answer) and force-closes
+            // stragglers at its deadline; only after it exits do the
+            // backend sockets close and the dispatch pool stop.
+            let report = event_loop.join();
+            drain_timed_out = report.drain_timed_out;
+            if let Some(msg) = report.accept_error {
+                let mut slot = self
+                    .shared
+                    .accept_error
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                if slot.is_none() {
+                    *slot = Some(std::io::Error::other(msg));
+                }
             }
-            std::thread::sleep(Duration::from_millis(2));
-        }
-        self.shared.router.close_backends();
-        self.shared.force_close_conns();
-        while self.shared.conns_alive.load(Ordering::Acquire) > 0 {
-            if Instant::now() >= deadline + Duration::from_millis(500) {
-                break; // belt and braces; threads die with their sockets
+            self.shared.router.close_backends();
+            if let Some(svc) = self.net_svc.take() {
+                svc.close();
             }
-            std::thread::sleep(Duration::from_millis(2));
+            for d in self.dispatchers.drain(..) {
+                let _ = d.join();
+            }
+        } else {
+            // Threads drain order matters: first let in-flight scatters
+            // finish, only then close the backend sockets, and last
+            // force the client connections shut.
+            let deadline = Instant::now() + self.shared.cfg.drain_deadline;
+            while self.shared.inflight.load(Ordering::Acquire) > 0 {
+                if Instant::now() >= deadline {
+                    drain_timed_out = true;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            self.shared.router.close_backends();
+            self.shared.force_close_conns();
+            while self.shared.conns_alive.load(Ordering::Acquire) > 0 {
+                if Instant::now() >= deadline + Duration::from_millis(500) {
+                    break; // belt and braces; threads die with their sockets
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
         }
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
@@ -291,15 +511,6 @@ fn acceptor_loop(listener: TcpListener, shared: Arc<RouteShared>) {
     }
 }
 
-/// One `write` syscall for payload + newline — a split write leaves the
-/// trailing byte queued behind Nagle until the peer's delayed ACK.
-fn send_line(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
-    let mut buf = Vec::with_capacity(line.len() + 1);
-    buf.extend_from_slice(line.as_bytes());
-    buf.push(b'\n');
-    writer.write_all(&buf)
-}
-
 fn handle_conn(stream: TcpStream, shared: &Arc<RouteShared>) {
     let cfg = &shared.cfg;
     let _ = stream.set_nodelay(true);
@@ -315,7 +526,7 @@ fn handle_conn(stream: TcpStream, shared: &Arc<RouteShared>) {
     if let Ok(registered) = stream.try_clone() {
         shared.lock_conns().insert(conn_id, registered);
     }
-    let mut reader = BoundedLineReader::new(stream, cfg.max_line_bytes);
+    let mut reader = LineReader::new(stream, cfg.max_line_bytes);
     loop {
         if shared.draining.load(Ordering::Acquire) {
             let refusal = WireError::ShuttingDown {
@@ -325,19 +536,19 @@ fn handle_conn(stream: TcpStream, shared: &Arc<RouteShared>) {
             break;
         }
         let line = match reader.read_line() {
-            ReadLine::Line(l) => l,
-            ReadLine::TooLong => {
+            ReadOutcome::Line(l) => l,
+            ReadOutcome::TooLong => {
                 let oversize = WireError::LineTooLong {
                     max_bytes: cfg.max_line_bytes,
                 };
                 let _ = send_line(&mut writer, &oversize.line());
                 break;
             }
-            ReadLine::TimedOut => {
+            ReadOutcome::TimedOut => {
                 let _ = send_line(&mut writer, &WireError::IdleTimeout.line());
                 break;
             }
-            ReadLine::Closed => break,
+            ReadOutcome::Closed => break,
         };
         shared.inflight.fetch_add(1, Ordering::AcqRel);
         // Re-check after the increment is visible: a request being read
@@ -380,6 +591,122 @@ fn handle_conn(stream: TcpStream, shared: &Arc<RouteShared>) {
     shared.lock_conns().remove(&conn_id);
 }
 
+/// The router front tier seen from the `poe-net` event loop.
+struct RouteNetService {
+    shared: Arc<RouteShared>,
+    /// Dispatch queue into the worker pool; dropped to stop the workers.
+    tx: Mutex<Option<Sender<(ConnToken, String)>>>,
+    completions: OnceLock<poe_net::Completions>,
+}
+
+impl RouteNetService {
+    fn close(&self) {
+        self.tx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+    }
+
+    fn completions(&self) -> &poe_net::Completions {
+        self.completions.get().expect("loop started")
+    }
+}
+
+impl NetService for RouteNetService {
+    fn dispatch(&self, conn: ConnToken, line: String) {
+        let sent = match &*self.tx.lock().unwrap_or_else(PoisonError::into_inner) {
+            Some(tx) => tx.send((conn, line)).is_ok(),
+            None => false,
+        };
+        if !sent {
+            self.completions()
+                .complete(conn, String::new(), After::Abort);
+        }
+    }
+
+    fn refusal_line(&self, refusal: Refusal) -> String {
+        let cfg = &self.shared.cfg;
+        match refusal {
+            Refusal::Busy => WireError::Busy {
+                retry_after_ms: jittered_retry_after_ms(cfg.retry_after_ms),
+            }
+            .line(),
+            Refusal::LineTooLong => WireError::LineTooLong {
+                max_bytes: cfg.max_line_bytes,
+            }
+            .line(),
+            Refusal::IdleTimeout => WireError::IdleTimeout.line(),
+            Refusal::ConnRequestLimit => WireError::ConnRequestLimit.line(),
+            Refusal::ShuttingDown => WireError::ShuttingDown {
+                retry_after_ms: jittered_retry_after_ms(cfg.retry_after_ms),
+            }
+            .line(),
+        }
+    }
+
+    fn on_event(&self, event: NetEvent) {
+        if event == NetEvent::AcceptFailed {
+            // The listener died: drain, and let `join` surface the loop
+            // report's accept error.
+            self.shared.trigger_shutdown();
+        }
+    }
+
+    fn on_response_written(&self, _conn: ConnToken) {
+        let shared = &self.shared;
+        let handled = shared.handled.fetch_add(1, Ordering::AcqRel) + 1;
+        if handled >= shared.cfg.max_requests {
+            shared.trigger_shutdown();
+        }
+    }
+}
+
+/// One dispatch worker of the epoll route backend: runs the identical
+/// per-request pipeline as `handle_conn` (flight events, scatter/gather,
+/// drain re-check), scoped to a request instead of a connection.
+fn route_dispatch_worker(rx: Arc<Mutex<Receiver<(ConnToken, String)>>>, svc: Arc<RouteNetService>) {
+    let shared = &svc.shared;
+    loop {
+        let (conn, line) = {
+            let rx = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            match rx.recv() {
+                Ok(x) => x,
+                Err(_) => break, // queue closed: server is done
+            }
+        };
+        shared.inflight.fetch_add(1, Ordering::AcqRel);
+        // A line dispatched just before the drain triggered must refuse
+        // rather than scatter against closing backend sockets — the
+        // same re-check the threads backend does after its increment.
+        let (reply, after) = if shared.draining.load(Ordering::Acquire) {
+            let refusal = WireError::ShuttingDown {
+                retry_after_ms: jittered_retry_after_ms(shared.cfg.retry_after_ms),
+            };
+            (refusal.line(), After::Close)
+        } else {
+            let rid = poe_obs::next_request_id();
+            let flight = Arc::clone(&shared.router.obs().flight);
+            flight.record_for(rid, "request.start", format!("line={line}"));
+            let action = respond_route(shared, &line, rid);
+            flight.record_for(
+                rid,
+                "request.end",
+                format!("outcome={}", action.line().split(' ').next().unwrap_or("?")),
+            );
+            match action {
+                Action::Reply(l) => (l, After::Reply),
+                Action::Close(l) => (l, After::Close),
+                Action::Shutdown(l) => (l, After::Shutdown),
+            }
+        };
+        shared.inflight.fetch_sub(1, Ordering::AcqRel);
+        if after == After::Shutdown {
+            shared.trigger_shutdown();
+        }
+        svc.completions().complete(conn, reply, after);
+    }
+}
+
 /// One request's rendered outcome.
 enum Action {
     /// Answer and keep the connection open.
@@ -398,79 +725,93 @@ impl Action {
     }
 }
 
+/// The subset of wire verbs the router front tier answers. Anything
+/// outside this list — shard-local verbs like `STATS`/`TRACE`/`SWAP` —
+/// stays `ERR unknown verb` here even though `parse_request` accepts it,
+/// so a client can tell the tiers apart.
+const ROUTER_VERBS: [&str; 9] = [
+    "INFO", "QUERY", "PREDICT", "LOGITS", "HEALTH", "METRICS", "DUMP", "SHUTDOWN", "QUIT",
+];
+
 /// Renders one request line against the engine. Split out of the
 /// connection loop so unit tests can drive verbs without sockets.
 fn respond_route(shared: &RouteShared, line: &str, rid: u64) -> Action {
-    let trimmed = line.trim();
-    if trimmed.is_empty() {
-        return Action::Reply(WireError::EmptyRequest.line());
+    // The router pre-filters on the raw verb token: shard-only verbs must
+    // render `unknown verb` with the client's original casing, exactly as
+    // an unrecognized token would.
+    let verb_raw = wire::split_verb(line).0;
+    if !verb_raw.is_empty() && !ROUTER_VERBS.contains(&verb_raw.to_ascii_uppercase().as_str()) {
+        return Action::Reply(WireError::UnknownVerb(verb_raw.to_string()).line());
     }
-    let (verb_raw, rest) = match trimmed.split_once(char::is_whitespace) {
-        Some((v, r)) => (v, r.trim()),
-        None => (trimmed, ""),
+    let request = match wire::parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return Action::Reply(e.line()),
     };
-    let verb = verb_raw.to_ascii_uppercase();
     let router = &shared.router;
-    let reply = match verb.as_str() {
-        "INFO" => match router.info(rid) {
+    let reply = match request {
+        Request::Info => match router.info(rid) {
             Ok((tasks, experts, classes)) => {
                 format!("OK tasks={tasks} experts={experts} classes={classes}")
             }
             Err(e) => gather_err_line(e),
         },
-        "QUERY" => match parse_tasks(rest) {
-            Err(e) => e.line(),
-            Ok(tasks) => match router.query(&tasks, rid) {
-                Ok(q) => format!(
-                    "OK outputs={} params={} assembly_ms={:.3} cached={} classes={} tasks={}",
-                    q.outputs,
-                    q.params,
-                    q.assembly_ms,
-                    u8::from(q.cached),
-                    join(&q.classes),
-                    join(&q.tasks)
-                ),
-                Err(e) => gather_err_line(e),
-            },
+        Request::Query { tasks } => match router.query(&tasks, rid) {
+            Ok(q) => format!(
+                "OK outputs={} params={} assembly_ms={:.3} cached={} classes={} tasks={}",
+                q.outputs,
+                q.params,
+                q.assembly_ms,
+                u8::from(q.cached),
+                join(&q.classes),
+                join(&q.tasks)
+            ),
+            Err(e) => gather_err_line(e),
         },
-        "PREDICT" => match split_features(rest, WireError::PredictSyntax) {
-            Err(e) => e.line(),
-            Ok((tasks, features)) => match router.predict(&tasks, features, rid) {
-                Ok(p) if p.missing.is_empty() => format!(
-                    "OK class={} task={} confidence={:.4}",
-                    p.class, p.task, p.confidence
-                ),
-                Ok(p) => format!(
-                    "OK partial shards={}/{} missing={} class={} task={} confidence={:.4}",
-                    p.shards_ok,
-                    p.shards_total,
-                    join(&p.missing),
-                    p.class,
-                    p.task,
-                    p.confidence
-                ),
-                Err(e) => gather_err_line(e),
-            },
+        // Features stay the raw trimmed string — the shards validate them
+        // (the router has no input dim).
+        Request::Predict { tasks, features } => match router.predict(&tasks, &features, rid) {
+            Ok(p) if p.missing.is_empty() => format!(
+                "OK class={} task={} confidence={:.4}",
+                p.class, p.task, p.confidence
+            ),
+            Ok(p) => format!(
+                "OK partial shards={}/{} missing={} class={} task={} confidence={:.4}",
+                p.shards_ok,
+                p.shards_total,
+                join(&p.missing),
+                p.class,
+                p.task,
+                p.confidence
+            ),
+            Err(e) => gather_err_line(e),
         },
-        "LOGITS" => match split_features(rest, WireError::LogitsSyntax) {
-            Err(e) => e.line(),
-            Ok((tasks, features)) => match router.logits(&tasks, features, rid) {
-                Ok(l) => format!(
-                    "OK logits={} classes={} tasks={}",
-                    l.logits
-                        .iter()
-                        .map(|v| format!("{v:.6}"))
-                        .collect::<Vec<_>>()
-                        .join(","),
-                    join(&l.classes),
-                    join(&l.tasks)
-                ),
-                Err(e) => gather_err_line(e),
-            },
+        Request::Logits { tasks, features } => match router.logits(&tasks, &features, rid) {
+            Ok(l) => format!(
+                "OK logits={} classes={} tasks={}",
+                l.logits
+                    .iter()
+                    .map(|v| format!("{v:.6}"))
+                    .collect::<Vec<_>>()
+                    .join(","),
+                join(&l.classes),
+                join(&l.tasks)
+            ),
+            Err(e) => gather_err_line(e),
         },
-        "HEALTH" => health_line(shared),
-        "METRICS" => format!("OK {}", router.obs().registry.snapshot().to_json()),
-        "DUMP" => {
+        Request::Health => health_line(shared),
+        Request::Metrics {
+            format: MetricsFormat::Json,
+        } => format!("OK {}", router.obs().registry.snapshot().to_json()),
+        Request::Metrics {
+            format: MetricsFormat::OpenMetrics,
+        } => {
+            // Same framing as the shard tier: a line count, then the
+            // exposition text ending in `# EOF`.
+            let text = router.obs().registry.snapshot().to_openmetrics();
+            let body = text.trim_end_matches('\n');
+            format!("OK openmetrics lines={}\n{body}", body.lines().count())
+        }
+        Request::Dump => {
             let flight = &router.obs().flight;
             let dir = shared
                 .cfg
@@ -487,18 +828,15 @@ fn respond_route(shared: &RouteShared, line: &str, rid: u64) -> Action {
                 Err(e) => WireError::DumpFailed(e.to_string()).line(),
             }
         }
-        "SHUTDOWN" => return Action::Shutdown("OK shutting down".into()),
-        "QUIT" => return Action::Close("OK bye".into()),
-        _ => WireError::UnknownVerb(verb_raw.to_string()).line(),
+        Request::Shutdown => return Action::Shutdown("OK shutting down".into()),
+        Request::Quit => return Action::Close("OK bye".into()),
+        // Filtered above; unreachable by construction, but render the
+        // documented error rather than panic if the filter drifts.
+        Request::Stats | Request::Trace { .. } | Request::Swap { .. } => {
+            WireError::UnknownVerb(verb_raw.to_string()).line()
+        }
     };
     Action::Reply(reply)
-}
-
-/// Splits `tasks : features` for `PREDICT`/`LOGITS`; the features stay a
-/// raw string — the shards validate them (the router has no input dim).
-fn split_features(rest: &str, on_missing: WireError) -> Result<(Vec<usize>, &str), WireError> {
-    let (lhs, rhs) = rest.split_once(':').ok_or(on_missing)?;
-    Ok((parse_tasks(lhs.trim())?, rhs.trim()))
 }
 
 fn gather_err_line(e: GatherError) -> String {
@@ -564,6 +902,7 @@ mod tests {
             next_conn: AtomicU64::new(0),
             conns_alive: AtomicUsize::new(0),
             accept_error: Mutex::new(None),
+            net_handle: OnceLock::new(),
         }
     }
 

@@ -73,19 +73,21 @@
 //! a `poe serve` panic, and on demand via the `DUMP` verb, so the last few
 //! thousand events before a crash are always reconstructable.
 
-use crate::wire::WireError;
+mod epoll;
+
+use crate::wire::{self, MetricsFormat, Request, WireError};
 use poe_core::pool::QueryError;
 use poe_core::service::QueryService;
 use poe_models::Prediction;
 use poe_tensor::Tensor;
 use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Default number of connection-handling worker threads.
@@ -94,11 +96,63 @@ pub const DEFAULT_WORKERS: usize = 4;
 /// Default cap on one request line, in bytes.
 pub const DEFAULT_MAX_LINE_BYTES: usize = 8 * 1024;
 
-/// Hard cap on the number of task ids in one `QUERY`/`PREDICT`.
-pub const MAX_QUERY_TASKS: usize = 4096;
+// The task-list cap and parser moved into the typed wire layer; both are
+// re-exported here because they are serving-facing surface older callers
+// (tests, the router front tier) reached through this module.
+pub use crate::wire::{parse_tasks, MAX_QUERY_TASKS};
 
 /// Default cap on samples coalesced into one batched `PREDICT` inference.
 pub const DEFAULT_MAX_BATCH: usize = 32;
+
+/// Default concurrent-connection cap for the epoll backend.
+pub const DEFAULT_MAX_CONNS: usize = 16 * 1024;
+
+/// Which transport backend serves connections.
+///
+/// Both speak the identical wire protocol (the conformance suite replays
+/// one transcript against each and asserts byte-identical responses);
+/// they differ only in how connections are multiplexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetBackend {
+    /// Thread-per-connection over a bounded accept queue and worker
+    /// pool. Portable everywhere; concurrency is capped by the pool, so
+    /// it is also the differential-test oracle for the epoll backend.
+    #[default]
+    Threads,
+    /// One `poe-net` readiness event loop owning every socket, with the
+    /// same worker pool reduced to a dispatch stage. Scales to tens of
+    /// thousands of idle connections; Linux (x86-64 / aarch64) only —
+    /// elsewhere it falls back to [`NetBackend::Threads`] at startup.
+    Epoll,
+}
+
+impl NetBackend {
+    /// Parses a `--net` flag value.
+    pub fn parse(s: &str) -> Option<NetBackend> {
+        match s {
+            "threads" => Some(NetBackend::Threads),
+            "epoll" => Some(NetBackend::Epoll),
+            _ => None,
+        }
+    }
+
+    /// The default backend, overridable with `POE_NET=threads|epoll`
+    /// (how CI runs the whole suite against the epoll loop).
+    pub fn from_env() -> NetBackend {
+        match std::env::var("POE_NET") {
+            Ok(v) => NetBackend::parse(&v).unwrap_or_default(),
+            Err(_) => NetBackend::Threads,
+        }
+    }
+
+    /// The flag spelling (`threads` / `epoll`).
+    pub fn name(self) -> &'static str {
+        match self {
+            NetBackend::Threads => "threads",
+            NetBackend::Epoll => "epoll",
+        }
+    }
+}
 
 /// Default micro-batch window in microseconds: how long the first request
 /// of a batch waits for company before a timeout flush.
@@ -154,6 +208,14 @@ pub struct ServeConfig {
     /// final dump there as the server drains; `DUMP` writes there too
     /// (falling back to the OS temp dir when unset).
     pub recorder_dir: Option<PathBuf>,
+    /// Transport backend (`--net threads|epoll`). The default honors the
+    /// `POE_NET` environment variable so the whole test suite can be
+    /// replayed against either backend without touching call sites.
+    pub net: NetBackend,
+    /// Concurrent-connection cap for the epoll backend; connections past
+    /// it are shed with `ERR busy` (the threads backend's equivalent
+    /// knob is `queue_capacity` + `workers`).
+    pub max_conns: usize,
 }
 
 impl Default for ServeConfig {
@@ -174,7 +236,153 @@ impl Default for ServeConfig {
             batch_delay: Duration::from_micros(DEFAULT_BATCH_DELAY_US),
             recorder_events: poe_obs::DEFAULT_RECORDER_EVENTS,
             recorder_dir: None,
+            net: NetBackend::from_env(),
+            max_conns: DEFAULT_MAX_CONNS,
         }
+    }
+}
+
+impl ServeConfig {
+    /// Starts a fluent build from the defaults:
+    /// `ServeConfig::builder().workers(8).max_requests(100).build()`.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: ServeConfig::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`ServeConfig`] — the embedding surface for
+/// starting a server programmatically. Replaces the old positional
+/// `serve(listener, svc, input_dim, max_requests, workers, …)`
+/// entrypoints, which grew an argument per release; every knob is a
+/// named setter here and unset knobs keep their [`Default`] values.
+/// Out-of-range values are clamped to the nearest legal one (`workers`
+/// and `queue_capacity` to ≥ 1) instead of erroring.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Connection-handling worker threads (clamped to ≥ 1).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.cfg.workers = n.max(1);
+        self
+    }
+
+    /// Stop after this many requests (`u64::MAX` = run forever).
+    pub fn max_requests(mut self, n: u64) -> Self {
+        self.cfg.max_requests = n;
+        self
+    }
+
+    /// Per-connection read/write deadline; `None` disables it.
+    pub fn idle_timeout(mut self, t: Option<Duration>) -> Self {
+        self.cfg.idle_timeout = t;
+        self
+    }
+
+    /// Reject request lines longer than this many bytes.
+    pub fn max_line_bytes(mut self, n: usize) -> Self {
+        self.cfg.max_line_bytes = n;
+        self
+    }
+
+    /// Close a connection after this many requests (`u64::MAX` = no cap).
+    pub fn max_conn_requests(mut self, n: u64) -> Self {
+        self.cfg.max_conn_requests = n;
+        self
+    }
+
+    /// Accept-queue depth before the acceptor sheds (clamped to ≥ 1).
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.cfg.queue_capacity = n.max(1);
+        self
+    }
+
+    /// Base for the jittered `retry_after_ms` hint in shed responses.
+    pub fn retry_after_ms(mut self, ms: u64) -> Self {
+        self.cfg.retry_after_ms = ms;
+        self
+    }
+
+    /// How long [`Server::join`] waits for in-flight connections before
+    /// force-closing them.
+    pub fn drain_deadline(mut self, t: Duration) -> Self {
+        self.cfg.drain_deadline = t;
+        self
+    }
+
+    /// `HEALTH` reports `ready=0` past this lifetime shed-rate fraction.
+    pub fn shed_rate_threshold(mut self, f: f64) -> Self {
+        self.cfg.shed_rate_threshold = f;
+        self
+    }
+
+    /// Marks the pool as failed-to-load: the server runs degraded.
+    pub fn pool_error(mut self, e: Option<String>) -> Self {
+        self.cfg.pool_error = e;
+        self
+    }
+
+    /// Print a final `METRICS <json>` line to stderr on shutdown.
+    pub fn metrics_on_shutdown(mut self, on: bool) -> Self {
+        self.cfg.metrics_on_shutdown = on;
+        self
+    }
+
+    /// Micro-batch flush size (≤ 1 disables cross-connection batching).
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.cfg.max_batch = n;
+        self
+    }
+
+    /// Micro-batch flush delay after the first queued request.
+    pub fn batch_delay(mut self, t: Duration) -> Self {
+        self.cfg.batch_delay = t;
+        self
+    }
+
+    /// Flight-recorder ring capacity (events retained).
+    pub fn recorder_events(mut self, n: usize) -> Self {
+        self.cfg.recorder_events = n;
+        self
+    }
+
+    /// Where flight-recorder dumps land (`SHUTDOWN` and `DUMP`).
+    pub fn recorder_dir(mut self, dir: Option<PathBuf>) -> Self {
+        self.cfg.recorder_dir = dir;
+        self
+    }
+
+    /// Transport backend (`threads` or `epoll`).
+    pub fn net(mut self, net: NetBackend) -> Self {
+        self.cfg.net = net;
+        self
+    }
+
+    /// Concurrent-connection cap for the epoll backend.
+    pub fn max_conns(mut self, n: usize) -> Self {
+        self.cfg.max_conns = n;
+        self
+    }
+
+    /// The finished configuration.
+    pub fn build(self) -> ServeConfig {
+        self.cfg
+    }
+
+    /// Builds and starts the server in one call — the fluent replacement
+    /// for the old `serve(listener, svc, …)` wrapper:
+    /// `ServeConfig::builder().max_requests(3).start(listener, svc, 4)?`.
+    pub fn start(
+        self,
+        listener: TcpListener,
+        service: Arc<QueryService>,
+        input_dim: usize,
+    ) -> std::io::Result<Server> {
+        Server::start(listener, service, input_dim, self.build())
     }
 }
 
@@ -528,12 +736,17 @@ struct ServerShared {
     cvar: Condvar,
     draining: AtomicBool,
     workers_alive: AtomicUsize,
-    /// In-flight connections, so shutdown can force-close stragglers.
+    /// In-flight connections, so shutdown can force-close stragglers
+    /// (threads backend only; the epoll loop owns its own sockets).
     conns: Mutex<HashMap<u64, TcpStream>>,
     next_conn: AtomicU64,
     metrics: ServeMetrics,
     /// The micro-batch scheduler; `None` when `cfg.max_batch ≤ 1`.
     batcher: Option<Arc<BatchScheduler>>,
+    /// Set once when the epoll backend starts: `HEALTH`'s `inflight`,
+    /// shutdown, and force-close route through the event loop instead of
+    /// the `conns` map.
+    net_handle: OnceLock<poe_net::LoopHandle>,
 }
 
 impl ServerShared {
@@ -562,15 +775,33 @@ impl ServerShared {
         if let Some(b) = &self.batcher {
             b.drain();
         }
-        // Wake the acceptor out of its blocking accept() so it can see
-        // the flag and drop the queue sender.
-        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.net_handle.get() {
+            // Epoll backend: the loop refuses idle connections, finishes
+            // in-flight ones, and force-closes at its drain deadline.
+            h.shutdown();
+        } else {
+            // Wake the acceptor out of its blocking accept() so it can
+            // see the flag and drop the queue sender.
+            let _ = TcpStream::connect(self.addr);
+        }
         self.cvar.notify_all();
     }
 
     fn force_close_conns(&self) {
+        if let Some(h) = self.net_handle.get() {
+            h.force_close();
+            return;
+        }
         for stream in self.lock_conns().values() {
             let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Connections currently registered, whichever backend owns them.
+    fn inflight(&self) -> usize {
+        match self.net_handle.get() {
+            Some(h) => h.connections(),
+            None => self.lock_conns().len(),
         }
     }
 
@@ -590,13 +821,15 @@ impl ServerShared {
 /// [`Server::start`] returns immediately; [`Server::join`] blocks until
 /// the request budget is spent, the listener dies, or a shutdown is
 /// requested (the `SHUTDOWN` verb or [`ServerHandle::shutdown`]), then
-/// drains and joins every thread. The convenience wrappers
-/// [`serve`]/[`serve_with_workers`] do both in one call.
+/// drains and joins every thread. [`ServeConfigBuilder::start`] builds a
+/// config and starts the server in one fluent call.
 pub struct Server {
     shared: Arc<ServerShared>,
     workers: Vec<std::thread::JoinHandle<()>>,
     acceptor: Option<std::thread::JoinHandle<()>>,
     batcher: Option<std::thread::JoinHandle<()>>,
+    /// The running event loop when the epoll backend is active.
+    event_loop: Option<epoll::EpollParts>,
 }
 
 /// A cloneable remote control for a [`Server`] (shutdown, progress).
@@ -637,12 +870,21 @@ impl Server {
         let metrics = ServeMetrics::register(&service);
         let flight = &service.obs().flight;
         flight.set_capacity(cfg.recorder_events);
+        // The epoll loop only exists on Linux x86-64/aarch64; elsewhere
+        // (or when the loop cannot start) fall back to threads so `--net
+        // epoll` degrades instead of failing.
+        let mut net = cfg.net;
+        if net == NetBackend::Epoll && !poe_net::epoll_supported() {
+            flight.record_for(0, "server.net.fallback", "reason=unsupported".to_string());
+            net = NetBackend::Threads;
+        }
         flight.record_for(
             0,
             "server.start",
             format!(
-                "addr={addr} workers={workers_n} max_batch={}",
-                cfg.max_batch
+                "addr={addr} workers={workers_n} max_batch={} net={}",
+                cfg.max_batch,
+                net.name()
             ),
         );
         let batch_scheduler = (cfg.max_batch > 1)
@@ -663,6 +905,7 @@ impl Server {
             next_conn: AtomicU64::new(0),
             metrics,
             batcher: batch_scheduler,
+            net_handle: OnceLock::new(),
         });
         let batcher_thread = shared.batcher.as_ref().map(|b| {
             let b = Arc::clone(b);
@@ -671,6 +914,26 @@ impl Server {
                 .spawn(move || batcher_loop(b))
                 .expect("spawn serve batcher")
         });
+
+        if net == NetBackend::Epoll {
+            match epoll::start(listener, Arc::clone(&shared), workers_n) {
+                Ok((parts, workers)) => {
+                    return Ok(Server {
+                        shared,
+                        workers,
+                        acceptor: None,
+                        batcher: batcher_thread,
+                        event_loop: Some(parts),
+                    });
+                }
+                Err(e) => {
+                    // Startup failed (epoll_create, eventfd, …): the
+                    // listener was consumed, so this is fatal rather
+                    // than a silent downgrade mid-flight.
+                    return Err(e);
+                }
+            }
+        }
 
         let (conn_tx, conn_rx) = sync_channel::<TcpStream>(shared.cfg.queue_capacity.max(1));
         let conn_rx = Arc::new(Mutex::new(conn_rx));
@@ -697,6 +960,7 @@ impl Server {
             workers,
             acceptor: Some(acceptor),
             batcher: batcher_thread,
+            event_loop: None,
         })
     }
 
@@ -714,7 +978,16 @@ impl Server {
 
     /// Connections currently being served (not queued ones).
     pub fn active_connections(&self) -> usize {
-        self.shared.lock_conns().len()
+        self.shared.inflight()
+    }
+
+    /// The transport backend actually serving (after any fallback).
+    pub fn net_backend(&self) -> NetBackend {
+        if self.event_loop.is_some() {
+            NetBackend::Epoll
+        } else {
+            NetBackend::Threads
+        }
     }
 
     /// Blocks until the server finishes (budget spent, listener error, or
@@ -736,20 +1009,38 @@ impl Server {
         }
         self.shared.trigger_shutdown();
 
-        // Drain: workers exit once the acceptor drops the queue sender
-        // and their current connection ends. Past the deadline, yank the
-        // remaining connections shut so blocked reads/writes error out.
-        let deadline = Instant::now() + self.shared.cfg.drain_deadline;
         let mut drain_timed_out = false;
-        while self.shared.workers_alive.load(Ordering::Acquire) > 0 {
-            if Instant::now() >= deadline {
-                if !drain_timed_out {
-                    drain_timed_out = true;
-                    self.shared.metrics.drain_timeouts.inc();
-                }
-                self.shared.force_close_conns();
+        if let Some(parts) = self.event_loop.take() {
+            // Epoll: the loop thread runs the drain itself — refuse idle
+            // connections, finish in-flight ones, force-close stragglers
+            // at its deadline — then exits and reports.
+            let report = parts.join(&self.shared);
+            drain_timed_out = report.drain_timed_out;
+            if drain_timed_out {
+                self.shared.metrics.drain_timeouts.inc();
             }
-            std::thread::sleep(Duration::from_millis(2));
+            if let Some(msg) = report.accept_error {
+                let mut st = self.shared.lock_state();
+                if st.accept_error.is_none() {
+                    st.accept_error = Some(std::io::Error::other(msg));
+                }
+            }
+        } else {
+            // Threads: workers exit once the acceptor drops the queue
+            // sender and their current connection ends. Past the
+            // deadline, yank the remaining connections shut so blocked
+            // reads/writes error out.
+            let deadline = Instant::now() + self.shared.cfg.drain_deadline;
+            while self.shared.workers_alive.load(Ordering::Acquire) > 0 {
+                if Instant::now() >= deadline {
+                    if !drain_timed_out {
+                        drain_timed_out = true;
+                        self.shared.metrics.drain_timeouts.inc();
+                    }
+                    self.shared.force_close_conns();
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -790,37 +1081,6 @@ impl Server {
             drain_timed_out,
         })
     }
-}
-
-/// Serves requests until `max_requests` lines have been processed
-/// (`u64::MAX` = run forever), with [`DEFAULT_WORKERS`] concurrent
-/// connection handlers. Returns the number of requests handled.
-pub fn serve(
-    listener: TcpListener,
-    service: Arc<QueryService>,
-    input_dim: usize,
-    max_requests: u64,
-) -> std::io::Result<u64> {
-    serve_with_workers(listener, service, input_dim, max_requests, DEFAULT_WORKERS)
-}
-
-/// [`serve`] with an explicit worker-pool size. Connections are accepted
-/// into a bounded queue; up to `workers` of them are served concurrently.
-pub fn serve_with_workers(
-    listener: TcpListener,
-    service: Arc<QueryService>,
-    input_dim: usize,
-    max_requests: u64,
-    workers: usize,
-) -> std::io::Result<u64> {
-    let cfg = ServeConfig {
-        workers,
-        max_requests,
-        ..ServeConfig::default()
-    };
-    Ok(Server::start(listener, service, input_dim, cfg)?
-        .join()?
-        .handled)
 }
 
 fn acceptor_loop(listener: TcpListener, conn_tx: SyncSender<TcpStream>, shared: Arc<ServerShared>) {
@@ -899,79 +1159,14 @@ fn worker_loop(conn_rx: Arc<Mutex<Receiver<TcpStream>>>, shared: Arc<ServerShare
     shared.cvar.notify_all();
 }
 
-/// Outcome of one bounded line read.
-pub(crate) enum ReadLine {
-    Line(String),
-    TooLong,
-    TimedOut,
-    Closed,
-}
-
-/// A request-line reader with a hard byte cap: a client streaming an
-/// endless line (or trickling bytes with no newline) gets `TooLong` /
-/// `TimedOut` instead of growing an unbounded buffer.
-pub(crate) struct BoundedLineReader {
-    stream: TcpStream,
-    buf: Vec<u8>,
-    max: usize,
-}
-
-impl BoundedLineReader {
-    pub(crate) fn new(stream: TcpStream, max: usize) -> Self {
-        BoundedLineReader {
-            stream,
-            buf: Vec::new(),
-            max,
-        }
-    }
-
-    pub(crate) fn read_line(&mut self) -> ReadLine {
-        loop {
-            if let Some(i) = self.buf.iter().position(|&b| b == b'\n') {
-                if i > self.max {
-                    return ReadLine::TooLong;
-                }
-                let mut line: Vec<u8> = self.buf.drain(..=i).collect();
-                line.pop(); // the newline
-                if line.last() == Some(&b'\r') {
-                    line.pop();
-                }
-                return ReadLine::Line(String::from_utf8_lossy(&line).into_owned());
-            }
-            if self.buf.len() > self.max {
-                return ReadLine::TooLong;
-            }
-            poe_chaos::stall(poe_chaos::sites::SERVE_READ_STALL);
-            let mut chunk = [0u8; 1024];
-            match self.stream.read(&mut chunk) {
-                Ok(0) => return ReadLine::Closed,
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    return ReadLine::TimedOut
-                }
-                Err(_) => return ReadLine::Closed,
-            }
-        }
-    }
-}
-
-/// Writes one response line (the chaos write-fault site). One `write`
-/// syscall for payload + newline: a split write leaves the trailing
-/// byte queued behind Nagle until the peer's delayed ACK, which turns a
-/// microsecond response into a ~40 ms one.
+/// Writes one response line through the shared [`poe_net::send_line`]
+/// single-syscall framing helper, behind this server's chaos write-fault
+/// site.
 fn send_line(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
     if let Some(e) = poe_chaos::fail_io(poe_chaos::sites::SERVE_WRITE_IO) {
         return Err(e);
     }
-    let mut buf = Vec::with_capacity(line.len() + 1);
-    buf.extend_from_slice(line.as_bytes());
-    buf.push(b'\n');
-    writer.write_all(&buf)
+    poe_net::send_line(writer, line)
 }
 
 fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
@@ -985,7 +1180,8 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = BoundedLineReader::new(stream, cfg.max_line_bytes);
+    let mut reader = poe_net::LineReader::new(stream, cfg.max_line_bytes)
+        .with_stall_site(poe_chaos::sites::SERVE_READ_STALL);
     let mut conn_requests = 0u64;
     loop {
         if shared.draining.load(Ordering::Acquire) {
@@ -998,8 +1194,8 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
             break;
         }
         let line = match reader.read_line() {
-            ReadLine::Line(l) => l,
-            ReadLine::TooLong => {
+            poe_net::ReadOutcome::Line(l) => l,
+            poe_net::ReadOutcome::TooLong => {
                 shared.metrics.oversize.inc();
                 let oversize = WireError::LineTooLong {
                     max_bytes: cfg.max_line_bytes,
@@ -1007,12 +1203,12 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
                 let _ = send_line(&mut writer, &oversize.line());
                 break;
             }
-            ReadLine::TimedOut => {
+            poe_net::ReadOutcome::TimedOut => {
                 shared.metrics.timeouts.inc();
                 let _ = send_line(&mut writer, &WireError::IdleTimeout.line());
                 break;
             }
-            ReadLine::Closed => break,
+            poe_net::ReadOutcome::Closed => break,
         };
         let (response, action) =
             respond_action(&line, &shared.service, shared.input_dim, Some(shared));
@@ -1091,17 +1287,12 @@ fn respond_action(
         Some((id, tail)) => (Some(id), tail),
         None => (None, trimmed),
     };
-    let verb = trimmed
-        .split_whitespace()
-        .next()
-        .unwrap_or("")
-        .to_ascii_uppercase();
-    let counter_name = match verb.as_str() {
-        "INFO" | "QUERY" | "PREDICT" | "LOGITS" | "SWAP" | "STATS" | "METRICS" | "TRACE"
-        | "DUMP" | "HEALTH" | "SHUTDOWN" | "QUIT" => {
-            format!("serve.requests.{}", verb.to_ascii_lowercase())
-        }
-        _ => "serve.requests.other".to_string(),
+    let verb = wire::split_verb(trimmed).0.to_ascii_uppercase();
+    // Per-verb counters count attempts, so the name comes from the raw
+    // verb token — a QUERY with a bad task list still counts as a QUERY.
+    let counter_name = match wire::verb_slug(trimmed) {
+        Some(slug) => format!("serve.requests.{slug}"),
+        None => "serve.requests.other".to_string(),
     };
     obs.registry.counter(&counter_name).inc();
     let start_detail = match origin {
@@ -1168,17 +1359,15 @@ fn respond_inner(
     input_dim: usize,
     server: Option<&ServerShared>,
 ) -> (String, Action) {
-    let mut parts = line.splitn(2, ' ');
-    let verb = parts.next().unwrap_or("").to_ascii_uppercase();
-    let rest = parts.next().unwrap_or("").trim();
-
     // A degraded server (pool failed to load) refuses data verbs but
     // keeps answering lifecycle/observability ones, so an operator can
-    // see *why* it is not ready.
+    // see *why* it is not ready. The check runs on the raw verb token,
+    // before argument parsing — a degraded server reports its load error
+    // even for a malformed QUERY.
     if let Some(s) = server {
         if let Some(detail) = &s.cfg.pool_error {
             if matches!(
-                verb.as_str(),
+                wire::split_verb(line).0.to_ascii_uppercase().as_str(),
                 "INFO" | "QUERY" | "PREDICT" | "LOGITS" | "SWAP"
             ) {
                 return (WireError::NotReady(detail.clone()).line(), Action::Continue);
@@ -1186,8 +1375,12 @@ fn respond_inner(
         }
     }
 
-    let text = match verb.as_str() {
-        "INFO" => service.with_pool(|p| {
+    let request = match wire::parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return (e.line(), Action::Continue),
+    };
+    let text = match request {
+        Request::Info => service.with_pool(|p| {
             format!(
                 "OK tasks={} experts={} classes={}",
                 p.hierarchy().num_primitives(),
@@ -1195,13 +1388,13 @@ fn respond_inner(
                 p.hierarchy().num_classes()
             )
         }),
-        "QUIT" => return ("OK bye".into(), Action::Close),
-        "HEALTH" => health_line(service, server),
-        "SHUTDOWN" => match server {
+        Request::Quit => return ("OK bye".into(), Action::Close),
+        Request::Health => health_line(service, server),
+        Request::Shutdown => match server {
             Some(_) => return ("OK shutting down".into(), Action::Shutdown),
             None => WireError::ShutdownNoServer.line(),
         },
-        "STATS" => {
+        Request::Stats => {
             let s = service.stats();
             // An idle service has no latency distribution; `n/a` keeps the
             // field present without faking a 0 ms percentile.
@@ -1222,19 +1415,20 @@ fn respond_inner(
                 ms(s.assembly_p99_secs()),
             )
         }
-        "METRICS" => match rest.to_ascii_lowercase().as_str() {
-            "" | "json" => format!("OK {}", metrics_json(service)),
-            "openmetrics" => {
-                // The protocol's one multi-line response: a framing line
-                // with the payload's line count, then the exposition text
-                // whose `# EOF` terminator doubles as the end marker.
-                let text = metrics_openmetrics(service);
-                let body = text.trim_end_matches('\n');
-                format!("OK openmetrics lines={}\n{body}", body.lines().count())
-            }
-            _ => WireError::MetricsSyntax.line(),
-        },
-        "DUMP" => {
+        Request::Metrics {
+            format: MetricsFormat::Json,
+        } => format!("OK {}", metrics_json(service)),
+        Request::Metrics {
+            format: MetricsFormat::OpenMetrics,
+        } => {
+            // The protocol's one multi-line response: a framing line
+            // with the payload's line count, then the exposition text
+            // whose `# EOF` terminator doubles as the end marker.
+            let text = metrics_openmetrics(service);
+            let body = text.trim_end_matches('\n');
+            format!("OK openmetrics lines={}\n{body}", body.lines().count())
+        }
+        Request::Dump => {
             let flight = &service.obs().flight;
             let dir = server
                 .and_then(|s| s.cfg.recorder_dir.clone())
@@ -1249,40 +1443,35 @@ fn respond_inner(
                 Err(e) => WireError::DumpFailed(e.to_string()).line(),
             }
         }
-        "TRACE" => match rest.to_ascii_lowercase().as_str() {
-            "on" => {
-                service.obs().trace.set_enabled(true);
-                "OK trace=on".into()
+        Request::Trace { enabled } => {
+            service.obs().trace.set_enabled(enabled);
+            if enabled {
+                "OK trace=on"
+            } else {
+                "OK trace=off"
             }
-            "off" => {
-                service.obs().trace.set_enabled(false);
-                "OK trace=off".into()
-            }
-            _ => WireError::TraceSyntax.line(),
-        },
-        "QUERY" => match parse_tasks(rest) {
-            Err(e) => e.line(),
-            Ok(tasks) => match service.query(&tasks) {
-                Err(e) => WireError::from(e).line(),
-                Ok(r) => format!(
-                    "OK outputs={} params={} assembly_ms={:.3} cached={} classes={} tasks={}",
-                    r.class_layout.len(),
-                    r.stats.params,
-                    r.stats.assembly_secs * 1e3,
-                    u8::from(r.stats.cache_hit),
-                    join_usize(&r.class_layout),
-                    join_usize(&column_tasks(&r.model)),
-                ),
-            },
+            .into()
+        }
+        Request::Query { tasks } => match service.query(&tasks) {
+            Err(e) => WireError::from(e).line(),
+            Ok(r) => format!(
+                "OK outputs={} params={} assembly_ms={:.3} cached={} classes={} tasks={}",
+                r.class_layout.len(),
+                r.stats.params,
+                r.stats.assembly_secs * 1e3,
+                u8::from(r.stats.cache_hit),
+                join_usize(&r.class_layout),
+                join_usize(&column_tasks(&r.model)),
+            ),
         },
         // The router's scatter verb: raw logit slices for the requested
         // tasks, with per-column class and task provenance, so the merge
         // (concat + one softmax) can happen at the edge. Runs unbatched —
         // the router is the only intended caller and already batches by
         // fanning out.
-        "LOGITS" => match parse_logits(rest, input_dim) {
+        Request::Logits { tasks, features } => match wire::parse_features(&features, input_dim) {
             Err(e) => e.line(),
-            Ok((tasks, features)) => match service.query(&tasks) {
+            Ok(features) => match service.query(&tasks) {
                 Err(e) => WireError::from(e).line(),
                 Ok(r) => {
                     let x = Tensor::from_vec(features, [1, input_dim]);
@@ -1296,47 +1485,38 @@ fn respond_inner(
                 }
             },
         },
-        "SWAP" => {
-            if rest.is_empty() {
-                WireError::SwapSyntax.line()
-            } else {
-                match rest.parse::<usize>() {
-                    Err(_) => WireError::BadTaskId(rest.to_string()).line(),
-                    Ok(task) => match service.reload_expert(task) {
-                        Ok(version) => format!("OK swap task={task} version={version}"),
-                        Err(e) => WireError::from(e).line(),
-                    },
-                }
-            }
-        }
-        "PREDICT" => match parse_predict(rest, input_dim) {
-            Err(e) => e.line(),
-            Ok((tasks, features)) => {
-                // Under a running server, park in the micro-batch queue
-                // for this task set; standalone (or with batching off),
-                // run immediately as a batch of one.
-                let result = match server.and_then(|s| s.batcher.as_deref()) {
-                    Some(b) => b.submit(tasks, features),
-                    None => direct_predict(service, &tasks, features, input_dim),
-                };
-                match result {
-                    Ok(p) => format!(
-                        "OK class={} task={} confidence={:.4}",
-                        p.class, p.task_index, p.confidence
-                    ),
-                    Err(e) => {
-                        let action = if e.closes_connection() {
-                            Action::Close
-                        } else {
-                            Action::Continue
-                        };
-                        return (e.line(), action);
+        Request::Swap { task } => match service.reload_expert(task) {
+            Ok(version) => format!("OK swap task={task} version={version}"),
+            Err(e) => WireError::from(e).line(),
+        },
+        Request::Predict { tasks, features } => {
+            match wire::parse_features(&features, input_dim) {
+                Err(e) => e.line(),
+                Ok(features) => {
+                    // Under a running server, park in the micro-batch queue
+                    // for this task set; standalone (or with batching off),
+                    // run immediately as a batch of one.
+                    let result = match server.and_then(|s| s.batcher.as_deref()) {
+                        Some(b) => b.submit(tasks, features),
+                        None => direct_predict(service, &tasks, features, input_dim),
+                    };
+                    match result {
+                        Ok(p) => format!(
+                            "OK class={} task={} confidence={:.4}",
+                            p.class, p.task_index, p.confidence
+                        ),
+                        Err(e) => {
+                            let action = if e.closes_connection() {
+                                Action::Close
+                            } else {
+                                Action::Continue
+                            };
+                            return (e.line(), action);
+                        }
                     }
                 }
             }
-        },
-        "" => WireError::EmptyRequest.line(),
-        other => WireError::UnknownVerb(other.to_string()).line(),
+        }
     };
     (text, Action::Continue)
 }
@@ -1348,40 +1528,6 @@ fn column_tasks(model: &poe_models::BranchedModel) -> Vec<usize> {
         .branches()
         .flat_map(|b| std::iter::repeat_n(b.task_index, b.classes.len()))
         .collect()
-}
-
-/// Parses `LOGITS` arguments (same shape as `PREDICT`, own syntax error).
-fn parse_logits(rest: &str, input_dim: usize) -> Result<(Vec<usize>, Vec<f32>), WireError> {
-    match parse_predict(rest, input_dim) {
-        Err(WireError::PredictSyntax) => Err(WireError::LogitsSyntax),
-        other => other,
-    }
-}
-
-/// Parses `PREDICT` arguments: `tasks : features`, with the feature count
-/// checked against the pool's input dimension.
-pub(crate) fn parse_predict(
-    rest: &str,
-    input_dim: usize,
-) -> Result<(Vec<usize>, Vec<f32>), WireError> {
-    let Some((task_part, feat_part)) = rest.split_once(':') else {
-        return Err(WireError::PredictSyntax);
-    };
-    let tasks = parse_tasks(task_part.trim())?;
-    let mut features = Vec::new();
-    for tok in feat_part.split_whitespace() {
-        match tok.parse::<f32>() {
-            Ok(v) if v.is_finite() => features.push(v),
-            _ => return Err(WireError::BadFeature(tok.to_string())),
-        }
-    }
-    if features.len() != input_dim {
-        return Err(WireError::FeatureCount {
-            expected: input_dim,
-            got: features.len(),
-        });
-    }
-    Ok((tasks, features))
 }
 
 /// The unbatched `PREDICT` path (library `respond` without a server, or
@@ -1438,7 +1584,7 @@ fn health_line(service: &QueryService, server: Option<&ServerShared>) -> String 
         if pool_ok { "ok" } else { "error" },
         alive,
         total,
-        s.lock_conns().len(),
+        s.inflight(),
         rate,
         u8::from(draining),
     );
@@ -1505,30 +1651,6 @@ pub fn metrics_openmetrics(service: &QueryService) -> String {
         obs.trace.events_dropped(),
     );
     snap.to_openmetrics()
-}
-
-pub(crate) fn parse_tasks(s: &str) -> Result<Vec<usize>, WireError> {
-    if s.is_empty() {
-        return Err(WireError::NoTasks);
-    }
-    let mut tasks: Vec<usize> = Vec::new();
-    let mut seen = std::collections::HashSet::new();
-    for p in s.split(',') {
-        if tasks.len() == MAX_QUERY_TASKS {
-            return Err(WireError::TooManyTasks {
-                max: MAX_QUERY_TASKS,
-            });
-        }
-        let id: usize = p
-            .trim()
-            .parse()
-            .map_err(|_| WireError::BadTaskId(p.to_string()))?;
-        if !seen.insert(id) {
-            return Err(WireError::DuplicateTask(id));
-        }
-        tasks.push(id);
-    }
-    Ok(tasks)
 }
 
 fn join_usize(v: &[usize]) -> String {
@@ -1796,7 +1918,15 @@ mod tests {
         let svc = toy_service();
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let server = std::thread::spawn(move || serve(listener, svc, 4, 3).unwrap());
+        let server = std::thread::spawn(move || {
+            ServeConfig::builder()
+                .max_requests(3)
+                .start(listener, svc, 4)
+                .unwrap()
+                .join()
+                .unwrap()
+                .handled
+        });
 
         let (mut writer, mut reader) = client(addr);
         assert_eq!(
@@ -2118,8 +2248,16 @@ mod tests {
         let svc = toy_service();
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let server =
-            std::thread::spawn(move || serve_with_workers(listener, svc, 4, 3, 4).unwrap());
+        let server = std::thread::spawn(move || {
+            ServeConfig::builder()
+                .workers(4)
+                .max_requests(3)
+                .start(listener, svc, 4)
+                .unwrap()
+                .join()
+                .unwrap()
+                .handled
+        });
 
         // Client A: connects first, sends nothing yet.
         let (mut a_writer, mut a_reader) = client(addr);
@@ -2140,16 +2278,23 @@ mod tests {
         assert_eq!(server.join().unwrap(), 3);
     }
 
-    /// Regression test for the worker-thread leak: `serve_with_workers`
-    /// used to detach its worker and acceptor threads, leaving them
-    /// parked on the channel after returning. Now they are all joined
-    /// and the listener is closed, so a late connect is refused.
+    /// Regression test for the worker-thread leak: the server used to
+    /// detach its worker and acceptor threads, leaving them parked on
+    /// the channel after returning. Now they are all joined and the
+    /// listener is closed, so a late connect is refused.
     #[test]
     fn server_threads_are_joined_when_budget_is_spent() {
         let svc = toy_service();
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let server = std::thread::spawn(move || serve_with_workers(listener, svc, 4, 1, 2));
+        let server = std::thread::spawn(move || {
+            ServeConfig::builder()
+                .workers(2)
+                .max_requests(1)
+                .start(listener, svc, 4)?
+                .join()
+                .map(|r| r.handled)
+        });
         let (mut w, mut r) = client(addr);
         assert!(ask(&mut w, &mut r, "INFO").starts_with("OK"));
         assert_eq!(server.join().unwrap().unwrap(), 1);
@@ -2195,7 +2340,11 @@ mod tests {
 
     #[test]
     fn full_accept_queue_sheds_with_busy() {
+        // Threads-specific: the accept queue only exists on the threads
+        // backend (epoll sheds at `max_conns` instead, pinned by the
+        // poe-net suite and the conformance tests).
         let (server, svc, addr) = start(ServeConfig {
+            net: NetBackend::Threads,
             workers: 1,
             queue_capacity: 1,
             drain_deadline: Duration::from_millis(200),
@@ -2316,7 +2465,12 @@ mod tests {
     /// joined, and the listener is released.
     #[test]
     fn shutdown_verb_drains_within_deadline() {
+        // Threads-specific: only a thread blocked in read() needs the
+        // force-close hammer. The epoll loop refuses idle connections
+        // outright at drain start, so its drain never times out here
+        // (covered by `epoll_drain_refuses_idle_connections`).
         let (server, svc, addr) = start(ServeConfig {
+            net: NetBackend::Threads,
             workers: 2,
             idle_timeout: None, // the idle client would block forever
             drain_deadline: Duration::from_millis(300),
@@ -2343,6 +2497,82 @@ mod tests {
         let _ = idle_r.read_line(&mut line);
         // Listener released: a new connect is refused.
         assert!(TcpStream::connect(addr).is_err());
+    }
+
+    /// The epoll drain: idle connections are refused with `ERR shutting
+    /// down` at drain start, in-flight ones finish, and the drain
+    /// completes without the force-close hammer (contrast with the
+    /// threads-only `shutdown_verb_drains_within_deadline`).
+    #[test]
+    fn epoll_drain_refuses_idle_connections() {
+        if !poe_net::epoll_supported() {
+            return;
+        }
+        let (server, _svc, addr) = start(ServeConfig {
+            net: NetBackend::Epoll,
+            idle_timeout: None,
+            ..ServeConfig::default()
+        });
+        assert_eq!(server.net_backend(), NetBackend::Epoll);
+        let (_idle_w, mut idle_r) = client(addr);
+        wait_until("idle client registered", || {
+            server.active_connections() == 1
+        });
+        let (mut w, mut r) = client(addr);
+        assert_eq!(ask(&mut w, &mut r, "SHUTDOWN"), "OK shutting down");
+        // SHUTDOWN's own connection closes after the response, exactly
+        // like the threads backend.
+        let mut line = String::new();
+        assert_eq!(r.read_line(&mut line).unwrap(), 0);
+        // The idle connection is refused with a retry hint, then closed.
+        line.clear();
+        idle_r.read_line(&mut line).unwrap();
+        assert!(
+            line.trim_end()
+                .starts_with("ERR shutting down retry_after_ms="),
+            "{line}"
+        );
+        line.clear();
+        assert_eq!(idle_r.read_line(&mut line).unwrap(), 0);
+        let report = server.join().unwrap();
+        assert!(!report.drain_timed_out, "epoll drain needs no force-close");
+        assert_eq!(report.handled, 1);
+    }
+
+    /// The epoll connection cap shows up on the wire as the same
+    /// jittered `ERR busy` shed the threads accept queue renders.
+    #[test]
+    fn epoll_sheds_past_the_connection_cap() {
+        if !poe_net::epoll_supported() {
+            return;
+        }
+        let (server, svc, addr) = start(ServeConfig {
+            net: NetBackend::Epoll,
+            max_conns: 2,
+            ..ServeConfig::default()
+        });
+        let (mut w1, mut r1) = client(addr);
+        assert!(ask(&mut w1, &mut r1, "INFO").starts_with("OK"));
+        let (mut w2, mut r2) = client(addr);
+        assert!(ask(&mut w2, &mut r2, "INFO").starts_with("OK"));
+        let (_w3, mut r3) = client(addr);
+        let mut line = String::new();
+        r3.read_line(&mut line).unwrap();
+        let hint: u64 = line
+            .trim_end()
+            .strip_prefix("ERR busy retry_after_ms=")
+            .expect(&line)
+            .parse()
+            .unwrap();
+        assert!(
+            (50..=150).contains(&hint),
+            "hint {hint} outside jitter range"
+        );
+        line.clear();
+        assert_eq!(r3.read_line(&mut line).unwrap(), 0);
+        assert_eq!(svc.obs().registry.counter("serve.shed").get(), 1);
+        server.handle().shutdown();
+        server.join().unwrap();
     }
 
     /// Parses the payload of an `OK class=… task=… confidence=…` line.

@@ -1,15 +1,27 @@
-//! Typed wire-protocol errors for `poe serve`.
+//! The typed wire protocol: requests in, errors out.
 //!
-//! Every `ERR` line the server can emit is a [`WireError`] variant; the
-//! single [`std::fmt::Display`] impl below is the one place the reason
-//! strings are rendered, and each rendered form corresponds to exactly one
-//! row of the error tables in `docs/PROTOCOL.md`. The
-//! `every_variant_matches_a_protocol_row` test pins that correspondence:
-//! adding a variant without documenting it (or editing a string without
-//! updating the doc) fails the build's test gate.
+//! Both directions of the line protocol live here as types. Inbound,
+//! every request line parses to exactly one [`Request`] variant through
+//! the single [`parse_request`] entry point — `poe serve` and `poe route`
+//! share it, so the two tiers cannot drift on grammar. Outbound, every
+//! `ERR` line the server can emit is a [`WireError`] variant; the single
+//! [`std::fmt::Display`] impl below is the one place the reason strings
+//! are rendered, and each rendered form corresponds to exactly one row of
+//! the error tables in `docs/PROTOCOL.md`.
+//!
+//! Tests pin both correspondences against the doc, in both directions:
+//! `every_variant_matches_a_protocol_row` for errors, and
+//! `request_verbs_match_the_protocol_grammar` /
+//! `every_documented_verb_parses` for the request grammar — adding a
+//! variant without documenting it (or editing a string or the grammar
+//! without updating the doc) fails the build's test gate.
 
 use poe_core::pool::QueryError;
 use std::fmt;
+
+/// Hard cap on the number of task ids in one `QUERY`/`PREDICT`/`LOGITS`
+/// (the "≤ 4096, no duplicates" rule of the request grammar).
+pub const MAX_QUERY_TASKS: usize = 4096;
 
 /// One protocol-level failure, rendered on the wire as `ERR <reason>`.
 ///
@@ -30,7 +42,7 @@ pub enum WireError {
     DuplicateTask(usize),
     /// Task list longer than the protocol cap.
     TooManyTasks {
-        /// The cap ([`crate::serve::MAX_QUERY_TASKS`]).
+        /// The cap ([`MAX_QUERY_TASKS`]).
         max: usize,
     },
     /// Consolidation refused the task set (service layer).
@@ -165,6 +177,273 @@ impl fmt::Display for WireError {
 }
 
 impl std::error::Error for WireError {}
+
+/// Output format of the `METRICS` verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// One JSON object on one line (the default; bare `METRICS`).
+    Json,
+    /// OpenMetrics/Prometheus text exposition — the protocol's only
+    /// multi-line response, behind an `OK openmetrics lines=<n>` frame.
+    OpenMetrics,
+}
+
+/// One parsed request line — the typed form of the grammar in
+/// `docs/PROTOCOL.md` § Request grammar.
+///
+/// [`parse_request`] is the only constructor that matters: both `poe
+/// serve` and `poe route` parse through it, so a verb's argument grammar
+/// is defined exactly once. Task lists are validated at parse time
+/// (`MAX_QUERY_TASKS` cap, duplicate rejection); feature vectors stay a
+/// raw string — the router forwards them verbatim (it has no input
+/// dimension), and a shard validates them against its pool via
+/// [`parse_features`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `INFO` — pool shape.
+    Info,
+    /// `QUERY t1,t2,…` — realtime model consolidation.
+    Query {
+        /// Primitive-task indices, request order, validated.
+        tasks: Vec<usize>,
+    },
+    /// `PREDICT t1,t2,… : f1 f2 …` — consolidate and classify one row.
+    Predict {
+        /// Primitive-task indices, request order, validated.
+        tasks: Vec<usize>,
+        /// The raw feature text after the `:` separator (trimmed).
+        features: String,
+    },
+    /// `LOGITS t1,t2,… : f1 f2 …` — `PREDICT`'s raw sibling.
+    Logits {
+        /// Primitive-task indices, request order, validated.
+        tasks: Vec<usize>,
+        /// The raw feature text after the `:` separator (trimmed).
+        features: String,
+    },
+    /// `SWAP t` — hot-swap one expert from the segment store.
+    Swap {
+        /// The primitive-task index to reload.
+        task: usize,
+    },
+    /// `STATS` — human-readable service counters.
+    Stats,
+    /// `METRICS [json|openmetrics]` — full observability snapshot.
+    Metrics {
+        /// Requested output format.
+        format: MetricsFormat,
+    },
+    /// `TRACE on|off` — toggle span collection.
+    Trace {
+        /// `true` for `on`, `false` for `off`.
+        enabled: bool,
+    },
+    /// `DUMP` — write the flight-recorder ring to disk.
+    Dump,
+    /// `HEALTH` — liveness/readiness probe.
+    Health,
+    /// `SHUTDOWN` — begin a graceful drain.
+    Shutdown,
+    /// `QUIT` — close this connection.
+    Quit,
+}
+
+impl Request {
+    /// Every verb of the protocol, exactly as written in the
+    /// `docs/PROTOCOL.md` grammar. Pinned against the doc by
+    /// `request_verbs_match_the_protocol_grammar`.
+    pub const VERBS: [&'static str; 12] = [
+        "INFO", "QUERY", "PREDICT", "LOGITS", "SWAP", "STATS", "METRICS", "TRACE", "HEALTH",
+        "DUMP", "SHUTDOWN", "QUIT",
+    ];
+
+    /// The canonical (uppercase) verb of this request.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Info => "INFO",
+            Request::Query { .. } => "QUERY",
+            Request::Predict { .. } => "PREDICT",
+            Request::Logits { .. } => "LOGITS",
+            Request::Swap { .. } => "SWAP",
+            Request::Stats => "STATS",
+            Request::Metrics { .. } => "METRICS",
+            Request::Trace { .. } => "TRACE",
+            Request::Dump => "DUMP",
+            Request::Health => "HEALTH",
+            Request::Shutdown => "SHUTDOWN",
+            Request::Quit => "QUIT",
+        }
+    }
+
+    /// Whether this verb touches the pool — the set a degraded server
+    /// (pool failed to load) refuses with `ERR not ready` while the
+    /// observability/lifecycle verbs keep answering.
+    pub fn is_data_verb(&self) -> bool {
+        matches!(
+            self,
+            Request::Info
+                | Request::Query { .. }
+                | Request::Predict { .. }
+                | Request::Logits { .. }
+                | Request::Swap { .. }
+        )
+    }
+}
+
+/// Splits a request line into its verb token and (trimmed) argument
+/// remainder. The line itself is trimmed first; a blank line yields an
+/// empty verb. This is the one tokenization rule of the protocol:
+/// everything after the first whitespace belongs to the verb's arguments.
+pub fn split_verb(line: &str) -> (&str, &str) {
+    let trimmed = line.trim();
+    match trimmed.split_once(char::is_whitespace) {
+        Some((verb, rest)) => (verb, rest.trim()),
+        None => (trimmed, ""),
+    }
+}
+
+/// The lowercase metrics slug for the line's verb (`"query"`,
+/// `"predict"`, …), or `None` when the first token is not a known verb.
+/// Used for per-verb request counters (`serve.requests.<slug>`), which
+/// count attempts — a line that later fails argument parsing still counts
+/// under its verb, so the counter names are derived from the raw token,
+/// not from a successfully parsed [`Request`].
+pub fn verb_slug(line: &str) -> Option<&'static str> {
+    match split_verb(line).0.to_ascii_uppercase().as_str() {
+        "INFO" => Some("info"),
+        "QUERY" => Some("query"),
+        "PREDICT" => Some("predict"),
+        "LOGITS" => Some("logits"),
+        "SWAP" => Some("swap"),
+        "STATS" => Some("stats"),
+        "METRICS" => Some("metrics"),
+        "TRACE" => Some("trace"),
+        "HEALTH" => Some("health"),
+        "DUMP" => Some("dump"),
+        "SHUTDOWN" => Some("shutdown"),
+        "QUIT" => Some("quit"),
+        _ => None,
+    }
+}
+
+/// Parses one request line into its typed [`Request`] form.
+///
+/// Verbs match case-insensitively. Argument errors render exactly the
+/// documented rows: task-list errors surface before feature errors
+/// (`PREDICT 0,0 : x` is `ERR duplicate task 0`, not a feature error),
+/// and a missing `:` separator is the verb's own syntax row. An unknown
+/// verb echoes the client's token verbatim (original case).
+pub fn parse_request(line: &str) -> Result<Request, WireError> {
+    let (verb_raw, rest) = split_verb(line);
+    if verb_raw.is_empty() {
+        return Err(WireError::EmptyRequest);
+    }
+    match verb_raw.to_ascii_uppercase().as_str() {
+        "INFO" => Ok(Request::Info),
+        "QUERY" => Ok(Request::Query {
+            tasks: parse_tasks(rest)?,
+        }),
+        "PREDICT" => {
+            let (tasks, features) = split_task_features(rest, WireError::PredictSyntax)?;
+            Ok(Request::Predict { tasks, features })
+        }
+        "LOGITS" => {
+            let (tasks, features) = split_task_features(rest, WireError::LogitsSyntax)?;
+            Ok(Request::Logits { tasks, features })
+        }
+        "SWAP" => {
+            if rest.is_empty() {
+                return Err(WireError::SwapSyntax);
+            }
+            match rest.parse::<usize>() {
+                Ok(task) => Ok(Request::Swap { task }),
+                Err(_) => Err(WireError::BadTaskId(rest.to_string())),
+            }
+        }
+        "STATS" => Ok(Request::Stats),
+        "METRICS" => match rest.to_ascii_lowercase().as_str() {
+            "" | "json" => Ok(Request::Metrics {
+                format: MetricsFormat::Json,
+            }),
+            "openmetrics" => Ok(Request::Metrics {
+                format: MetricsFormat::OpenMetrics,
+            }),
+            _ => Err(WireError::MetricsSyntax),
+        },
+        "TRACE" => match rest.to_ascii_lowercase().as_str() {
+            "on" => Ok(Request::Trace { enabled: true }),
+            "off" => Ok(Request::Trace { enabled: false }),
+            _ => Err(WireError::TraceSyntax),
+        },
+        "DUMP" => Ok(Request::Dump),
+        "HEALTH" => Ok(Request::Health),
+        "SHUTDOWN" => Ok(Request::Shutdown),
+        "QUIT" => Ok(Request::Quit),
+        _ => Err(WireError::UnknownVerb(verb_raw.to_string())),
+    }
+}
+
+/// Splits `tasks : features` for `PREDICT`/`LOGITS`: the task list is
+/// validated here; the features stay a raw (trimmed) string so the router
+/// can forward them without knowing the input dimension.
+fn split_task_features(
+    rest: &str,
+    on_missing: WireError,
+) -> Result<(Vec<usize>, String), WireError> {
+    let Some((task_part, feat_part)) = rest.split_once(':') else {
+        return Err(on_missing);
+    };
+    Ok((parse_tasks(task_part.trim())?, feat_part.trim().to_string()))
+}
+
+/// Parses a comma-separated task list: non-empty, every token a
+/// non-negative integer, no duplicates, at most [`MAX_QUERY_TASKS`] ids
+/// (the cap is checked before each parse so an over-long list of garbage
+/// is still refused as too many tasks, not as a bad id past the cap).
+pub fn parse_tasks(s: &str) -> Result<Vec<usize>, WireError> {
+    if s.is_empty() {
+        return Err(WireError::NoTasks);
+    }
+    let mut tasks: Vec<usize> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for p in s.split(',') {
+        if tasks.len() == MAX_QUERY_TASKS {
+            return Err(WireError::TooManyTasks {
+                max: MAX_QUERY_TASKS,
+            });
+        }
+        let id: usize = p
+            .trim()
+            .parse()
+            .map_err(|_| WireError::BadTaskId(p.to_string()))?;
+        if !seen.insert(id) {
+            return Err(WireError::DuplicateTask(id));
+        }
+        tasks.push(id);
+    }
+    Ok(tasks)
+}
+
+/// Parses the feature text of a `PREDICT`/`LOGITS` against the pool's
+/// input dimension: whitespace-separated finite floats, exactly
+/// `input_dim` of them. The shard-side half of the feature grammar — the
+/// router never calls this (it forwards the raw text).
+pub fn parse_features(features: &str, input_dim: usize) -> Result<Vec<f32>, WireError> {
+    let mut parsed = Vec::new();
+    for tok in features.split_whitespace() {
+        match tok.parse::<f32>() {
+            Ok(v) if v.is_finite() => parsed.push(v),
+            _ => return Err(WireError::BadFeature(tok.to_string())),
+        }
+    }
+    if parsed.len() != input_dim {
+        return Err(WireError::FeatureCount {
+            expected: input_dim,
+            got: parsed.len(),
+        });
+    }
+    Ok(parsed)
+}
 
 #[cfg(test)]
 mod tests {
@@ -396,5 +675,171 @@ mod tests {
         let w: WireError = QueryError::MissingExpert(7).into();
         assert_eq!(w, WireError::Query(QueryError::MissingExpert(7)));
         assert_eq!(w.line(), "ERR no expert pooled for task 7");
+    }
+
+    /// One minimal valid request line per [`Request`] variant shape.
+    fn request_samples() -> Vec<(&'static str, Request)> {
+        vec![
+            ("INFO", Request::Info),
+            ("QUERY 1,3", Request::Query { tasks: vec![1, 3] }),
+            (
+                "PREDICT 1,3 : 0.25 -1.0",
+                Request::Predict {
+                    tasks: vec![1, 3],
+                    features: "0.25 -1.0".into(),
+                },
+            ),
+            (
+                "LOGITS 0 : 1 2",
+                Request::Logits {
+                    tasks: vec![0],
+                    features: "1 2".into(),
+                },
+            ),
+            ("SWAP 2", Request::Swap { task: 2 }),
+            ("STATS", Request::Stats),
+            (
+                "METRICS",
+                Request::Metrics {
+                    format: MetricsFormat::Json,
+                },
+            ),
+            (
+                "METRICS openmetrics",
+                Request::Metrics {
+                    format: MetricsFormat::OpenMetrics,
+                },
+            ),
+            ("TRACE on", Request::Trace { enabled: true }),
+            ("TRACE off", Request::Trace { enabled: false }),
+            ("DUMP", Request::Dump),
+            ("HEALTH", Request::Health),
+            ("SHUTDOWN", Request::Shutdown),
+            ("QUIT", Request::Quit),
+        ]
+    }
+
+    /// The verbs named in the `docs/PROTOCOL.md` request-grammar rule
+    /// (`verb = "INFO" | …`): every `"UPPERCASE"` token quoted in the
+    /// grammar section.
+    fn documented_verbs() -> std::collections::BTreeSet<String> {
+        let doc = protocol_doc();
+        let grammar = doc
+            .split("## Request grammar")
+            .nth(1)
+            .expect("a Request grammar section")
+            .split("## Verbs")
+            .next()
+            .unwrap();
+        let mut verbs = std::collections::BTreeSet::new();
+        for chunk in grammar.split('"').skip(1).step_by(2) {
+            if !chunk.is_empty() && chunk.chars().all(|c| c.is_ascii_uppercase()) {
+                verbs.insert(chunk.to_string());
+            }
+        }
+        verbs
+    }
+
+    /// Both directions of the verb↔doc pin: every [`Request`] verb is in
+    /// the documented grammar (and has a `### \`VERB\`` section), and
+    /// every verb the grammar documents is a [`Request`] verb — the enum
+    /// and the doc cannot drift apart silently.
+    #[test]
+    fn request_verbs_match_the_protocol_grammar() {
+        let documented = documented_verbs();
+        let implemented: std::collections::BTreeSet<String> =
+            Request::VERBS.iter().map(|v| v.to_string()).collect();
+        assert_eq!(documented, implemented);
+        let doc = protocol_doc();
+        for verb in Request::VERBS {
+            assert!(
+                doc.contains(&format!("### `{verb}")),
+                "docs/PROTOCOL.md is missing a verb section for {verb}"
+            );
+        }
+    }
+
+    /// Every documented verb parses (case-insensitively) to the variant
+    /// that reports the same verb name back.
+    #[test]
+    fn every_documented_verb_parses() {
+        for (line, want) in request_samples() {
+            let got = parse_request(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(got, want, "{line}");
+            assert!(Request::VERBS.contains(&got.verb()));
+            // Case-insensitive: the lowercase form parses identically.
+            assert_eq!(parse_request(&line.to_lowercase()), Ok(want), "{line}");
+        }
+        // All twelve verbs are covered by the samples above.
+        let covered: std::collections::BTreeSet<&str> = request_samples()
+            .iter()
+            .map(|(line, _)| split_verb(line).0)
+            .collect();
+        assert_eq!(covered.len(), Request::VERBS.len());
+    }
+
+    /// Argument errors surface in the documented order and shape.
+    #[test]
+    fn parse_request_renders_the_documented_errors() {
+        let err = |line: &str| parse_request(line).unwrap_err();
+        assert_eq!(err(""), WireError::EmptyRequest);
+        assert_eq!(err("   "), WireError::EmptyRequest);
+        assert_eq!(err("FROB 1"), WireError::UnknownVerb("FROB".into()));
+        // Unknown verbs echo the client's token verbatim, original case.
+        assert_eq!(err("frob 1"), WireError::UnknownVerb("frob".into()));
+        assert_eq!(err("QUERY"), WireError::NoTasks);
+        assert_eq!(err("QUERY 0,x"), WireError::BadTaskId("x".into()));
+        assert_eq!(err("QUERY 0,1,0"), WireError::DuplicateTask(0));
+        assert_eq!(err("PREDICT 0 1.0"), WireError::PredictSyntax);
+        assert_eq!(err("LOGITS 0 1.0"), WireError::LogitsSyntax);
+        // Task errors surface before any feature handling.
+        assert_eq!(err("PREDICT 0,0 : x"), WireError::DuplicateTask(0));
+        assert_eq!(err("SWAP"), WireError::SwapSyntax);
+        assert_eq!(err("SWAP x"), WireError::BadTaskId("x".into()));
+        assert_eq!(err("TRACE maybe"), WireError::TraceSyntax);
+        assert_eq!(err("METRICS prometheus"), WireError::MetricsSyntax);
+    }
+
+    #[test]
+    fn features_are_validated_shard_side() {
+        assert_eq!(parse_features("1 2 3", 3), Ok(vec![1.0, 2.0, 3.0]));
+        assert_eq!(
+            parse_features("1 nan 3", 3),
+            Err(WireError::BadFeature("nan".into()))
+        );
+        assert_eq!(
+            parse_features("1 2", 3),
+            Err(WireError::FeatureCount {
+                expected: 3,
+                got: 2
+            })
+        );
+        // Feature-token errors win over the count mismatch.
+        assert_eq!(
+            parse_features("x", 3),
+            Err(WireError::BadFeature("x".into()))
+        );
+    }
+
+    #[test]
+    fn verb_slug_names_known_verbs_only() {
+        assert_eq!(verb_slug("QUERY 1,2"), Some("query"));
+        assert_eq!(verb_slug("query 1,2"), Some("query"));
+        assert_eq!(verb_slug("  METRICS openmetrics"), Some("metrics"));
+        assert_eq!(verb_slug("FROB"), None);
+        assert_eq!(verb_slug(""), None);
+        for verb in Request::VERBS {
+            assert_eq!(verb_slug(verb).unwrap(), verb.to_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn data_verbs_are_the_degraded_refusal_set() {
+        let data: Vec<&str> = request_samples()
+            .iter()
+            .filter(|(_, r)| r.is_data_verb())
+            .map(|(l, _)| split_verb(l).0)
+            .collect();
+        assert_eq!(data, ["INFO", "QUERY", "PREDICT", "LOGITS", "SWAP"]);
     }
 }

@@ -12,11 +12,16 @@
 //! [`ROUTER_READ_STALL`]: poe_chaos::sites::ROUTER_READ_STALL
 
 use crate::breaker::CircuitBreaker;
+use poe_net::{send_line, LineReader, ReadOutcome};
 use std::fmt;
-use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Hard cap on one backend response line. This is a memory bound against
+/// a babbling backend, not a protocol limit — responses (logit vectors)
+/// are much larger than the 8 KiB request cap, so give them headroom.
+const MAX_RESPONSE_BYTES: usize = 1 << 20;
 
 /// Why one request/response exchange against a backend failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,7 +88,7 @@ pub struct Backend {
     pub addr: String,
     /// Transport-failure circuit breaker for this replica.
     pub breaker: CircuitBreaker,
-    conn: Mutex<Option<BufReader<TcpStream>>>,
+    conn: Mutex<Option<LineReader<TcpStream>>>,
     health: Mutex<HealthCache>,
 }
 
@@ -102,7 +107,7 @@ impl Backend {
         }
     }
 
-    fn lock_conn(&self) -> MutexGuard<'_, Option<BufReader<TcpStream>>> {
+    fn lock_conn(&self) -> MutexGuard<'_, Option<LineReader<TcpStream>>> {
         self.conn.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -110,7 +115,7 @@ impl Backend {
         self.health.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    fn connect(&self, deadline: Instant) -> Result<BufReader<TcpStream>, CallError> {
+    fn connect(&self, deadline: Instant) -> Result<LineReader<TcpStream>, CallError> {
         if let Some(e) = poe_chaos::fail_io(poe_chaos::sites::ROUTER_CONNECT_IO) {
             return Err(CallError::Connect(e.to_string()));
         }
@@ -129,7 +134,35 @@ impl Backend {
         let stream = TcpStream::connect_timeout(&sockaddr, remaining)
             .map_err(|e| CallError::Connect(e.to_string()))?;
         let _ = stream.set_nodelay(true);
-        Ok(BufReader::new(stream))
+        Ok(LineReader::new(stream, MAX_RESPONSE_BYTES))
+    }
+
+    /// Whether a pooled connection is unsafe to reuse. The protocol is
+    /// strictly request→response, so a clean pooled connection has
+    /// nothing readable between exchanges. Anything already buffered or
+    /// waiting in the socket is an unsolicited line — typically the
+    /// shard's `ERR idle timeout` refusal before close — and reusing the
+    /// connection would return that stale line as the answer to the next
+    /// request. `peek` also catches a plain EOF (`Ok(0)`) early, saving
+    /// the write-then-retry dance on a half-closed socket.
+    fn is_stale(conn: &LineReader<TcpStream>) -> bool {
+        if conn.pending() > 0 {
+            return true;
+        }
+        let stream = conn.get_ref();
+        if stream.set_nonblocking(true).is_err() {
+            return true;
+        }
+        let mut byte = [0u8; 1];
+        let stale = match stream.peek(&mut byte) {
+            Ok(_) => true, // buffered unsolicited line, or EOF
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
+            Err(_) => true,
+        };
+        if stream.set_nonblocking(false).is_err() {
+            return true;
+        }
+        stale
     }
 
     /// One request line → one response line, bounded by `deadline`.
@@ -140,7 +173,7 @@ impl Backend {
     /// errors; every other line — `OK …` or an application `ERR` — is
     /// returned verbatim for the caller to interpret.
     pub fn call(&self, line: &str, deadline: Instant) -> Result<String, CallError> {
-        let pooled = self.lock_conn().take();
+        let pooled = self.lock_conn().take().filter(|c| !Self::is_stale(c));
         let was_pooled = pooled.is_some();
         let conn = match pooled {
             Some(c) => c,
@@ -162,40 +195,31 @@ impl Backend {
 
     fn exchange(
         &self,
-        mut conn: BufReader<TcpStream>,
+        mut conn: LineReader<TcpStream>,
         line: &str,
         deadline: Instant,
     ) -> Result<String, CallError> {
         let remaining = deadline
             .checked_duration_since(Instant::now())
             .ok_or(CallError::Timeout)?;
-        let stream = conn.get_ref();
-        let _ = stream.set_write_timeout(Some(remaining));
-        stream
-            .try_clone()
-            .map_err(|e| CallError::Io(e.to_string()))?
-            .write_all(format!("{line}\n").as_bytes())
-            .map_err(|e| CallError::Io(e.to_string()))?;
+        let _ = conn.get_ref().set_write_timeout(Some(remaining));
+        send_line(conn.get_mut(), line).map_err(|e| CallError::Io(e.to_string()))?;
         poe_chaos::stall(poe_chaos::sites::ROUTER_READ_STALL);
         let remaining = deadline
             .checked_duration_since(Instant::now())
             .ok_or(CallError::Timeout)?;
         let _ = conn.get_ref().set_read_timeout(Some(remaining));
-        let mut resp = String::new();
-        match conn.read_line(&mut resp) {
-            Ok(0) => Err(CallError::Io("connection closed by backend".to_string())),
-            Ok(_) => {
+        match conn.read_line() {
+            ReadOutcome::Line(resp) => {
                 // Exchange complete: the connection is clean, pool it.
                 *self.lock_conn() = Some(conn);
-                Ok(resp.trim_end().to_string())
+                Ok(resp)
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                Err(CallError::Timeout)
-            }
-            Err(e) => Err(CallError::Io(e.to_string())),
+            ReadOutcome::TooLong => Err(CallError::Io(format!(
+                "response line exceeded {MAX_RESPONSE_BYTES} bytes"
+            ))),
+            ReadOutcome::TimedOut => Err(CallError::Timeout),
+            ReadOutcome::Closed => Err(CallError::Io("connection closed by backend".to_string())),
         }
     }
 
@@ -266,6 +290,7 @@ fn parse_retry_after(resp: &str) -> Option<Duration> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{BufRead, Write};
     use std::net::TcpListener;
 
     fn oneshot_server(responses: Vec<&'static str>) -> String {
@@ -328,6 +353,38 @@ mod tests {
         let b = Backend::new(addr, 3, Duration::from_millis(100));
         let err = b.call("INFO", deadline()).unwrap_err();
         assert!(err.is_transport(), "{err}");
+    }
+
+    #[test]
+    fn stale_pooled_connection_is_dropped_not_replayed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            // First connection: answer one request, then emulate the
+            // shard's idle timeout — an unsolicited refusal line
+            // followed by close. Without staleness detection the pooled
+            // connection replays that line as the next call's response.
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let mut s = &stream;
+            s.write_all(b"OK first\n").unwrap();
+            s.write_all(b"ERR idle timeout\n").unwrap();
+            drop(stream);
+            // Second connection: the fresh replacement answers for real.
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            (&stream).write_all(b"OK second\n").unwrap();
+        });
+        let b = Backend::new(addr, 3, Duration::from_millis(100));
+        assert_eq!(b.call("INFO", deadline()).unwrap(), "OK first");
+        // Let the refusal land in the pooled socket's receive buffer
+        // before the next call inspects the connection.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(b.call("INFO", deadline()).unwrap(), "OK second");
     }
 
     #[test]

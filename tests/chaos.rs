@@ -8,7 +8,7 @@
 //! a fixed default for local runs — see `poe_chaos::seed_from_env`.
 
 use poe_chaos::{sites, ChaosPlan, Fault, FaultKind};
-use poe_cli::serve::{respond, ServeConfig, Server};
+use poe_cli::serve::{respond, NetBackend, ServeConfig, Server};
 use poe_core::pool::{Expert, ExpertPool};
 use poe_core::service::QueryService;
 use poe_core::store::{load_standalone, save_standalone, PoolSpec};
@@ -91,8 +91,12 @@ fn server_answers_under_stalled_reads() {
         })
         .install();
     let before = poe_chaos::hits(sites::SERVE_READ_STALL);
+    // Pinned to threads: `SERVE_READ_STALL` sits in the blocking
+    // per-connection reader, which the epoll loop never runs (its read
+    // path has its own sites — see the wire-conformance drain test).
     let (server, _svc, addr) = start(ServeConfig {
         workers: 2,
+        net: NetBackend::Threads,
         ..ServeConfig::default()
     });
     let (mut a_w, mut a_r) = client(addr);
@@ -149,8 +153,12 @@ fn failed_response_writes_are_counted_not_handled() {
     let _guard = ChaosPlan::new(poe_chaos::seed_from_env())
         .with(Fault::times(sites::SERVE_WRITE_IO, FaultKind::Io, 1))
         .install();
+    // Pinned to threads: `SERVE_WRITE_IO` wraps the blocking-writer
+    // `send_line`; the epoll loop's write path has its own fault site
+    // (`NET_EPOLL_WRITE_IO`, exercised by the wire-conformance drain).
     let (server, svc, addr) = start(ServeConfig {
         workers: 1,
+        net: NetBackend::Threads,
         ..ServeConfig::default()
     });
     let handle = server.handle();
@@ -187,10 +195,14 @@ fn shutdown_drains_within_deadline_under_chaos() {
             max_hits: Some(16),
         })
         .install();
+    // Pinned to threads: the stall site is the blocking reader's, and
+    // `drain_timed_out` here relies on an idle client pinning a worker —
+    // the epoll drain force-closes idle connections without timing out.
     let (server, _svc, addr) = start(ServeConfig {
         workers: 2,
         idle_timeout: None,
         drain_deadline: Duration::from_millis(400),
+        net: NetBackend::Threads,
         ..ServeConfig::default()
     });
     let (_idle_w, _idle_r) = client(addr); // pins a worker, never speaks

@@ -1,0 +1,474 @@
+//! Wire-conformance suite: the `threads` and `epoll` backends must be
+//! indistinguishable on the wire.
+//!
+//! One shared transcript — every verb, every error family, every
+//! connection-closing rejection — is replayed against a server on each
+//! backend and the responses are compared byte-for-byte, modulo the
+//! fields that legitimately vary run to run (latencies, jittered retry
+//! hints, dump paths, metrics payloads — see [`VARIABLE_KEYS`]). A
+//! subset replays against the `poe route` front tier the same way. The
+//! point is that `--net` is an operational knob, not a protocol fork:
+//! any divergence a client could observe is a bug one of these tests
+//! pins.
+//!
+//! The file also carries the epoll drain chaos scenario: `SHUTDOWN`
+//! with 1k connections in flight, plus injected write faults and tick
+//! stalls (seeded via `POE_CHAOS_SEED`, pinned in CI), must refuse
+//! every idle connection with a retry hint and join without hitting the
+//! drain deadline.
+
+use poe_chaos::{sites, ChaosPlan, Fault, FaultKind};
+use poe_cli::route::{RouteConfig, RouteServer};
+use poe_cli::serve::{NetBackend, ServeConfig, Server};
+use poe_core::pool::{Expert, ExpertPool};
+use poe_core::service::QueryService;
+use poe_data::ClassHierarchy;
+use poe_nn::layers::{Linear, Sequential};
+use poe_router::ShardMap;
+use poe_tensor::Prng;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn toy_service() -> Arc<QueryService> {
+    let mut rng = Prng::seed_from_u64(1);
+    let hierarchy = ClassHierarchy::contiguous(6, 3);
+    let library = Sequential::new().push(Linear::new("lib", 4, 5, &mut rng));
+    let mut pool = ExpertPool::new(hierarchy, library);
+    for t in 0..3 {
+        let classes = pool.hierarchy().primitive(t).classes.clone();
+        let head =
+            Sequential::new().push(Linear::new(&format!("e{t}"), 5, classes.len(), &mut rng));
+        pool.insert_expert(Expert {
+            task_index: t,
+            classes,
+            head,
+        });
+    }
+    Arc::new(QueryService::builder(pool).build())
+}
+
+fn start_server(cfg: ServeConfig) -> (Server, SocketAddr) {
+    let svc = toy_service();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let server = Server::start(listener, svc, 4, cfg).unwrap();
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+/// Response fields that legitimately differ between two correct runs:
+/// latency measurements, jittered retry hints, filesystem paths, and
+/// recorder occupancy. Everything else must match byte-for-byte.
+const VARIABLE_KEYS: &[&str] = &[
+    "assembly_ms",
+    "retry_after_ms",
+    "mean_ms",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "path",
+    "events",
+    "dropped",
+    "recorder_dropped",
+];
+
+/// Canonicalizes one response for cross-backend comparison. Metrics
+/// payloads collapse to a marker (each backend registers its own
+/// instrument set — `net.*` only exists under epoll — so the payloads
+/// differ by design); everything else keeps its shape with variable
+/// fields masked.
+fn normalize(resp: &str) -> String {
+    if resp.starts_with("OK {") {
+        return "OK <metrics-json>".into();
+    }
+    if resp.starts_with("OK openmetrics lines=") {
+        return "OK openmetrics <body>".into();
+    }
+    resp.split(' ')
+        .map(|tok| match tok.split_once('=') {
+            Some((k, _)) if VARIABLE_KEYS.contains(&k) => format!("{k}=<var>"),
+            _ => tok.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Reads one logical response: one line, plus the announced body for
+/// multi-line `METRICS openmetrics` responses. `None` on EOF.
+fn read_response(reader: &mut BufReader<TcpStream>) -> Option<String> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) | Err(_) => return None,
+        Ok(_) => {}
+    }
+    let mut resp = line.trim_end().to_string();
+    if let Some(rest) = resp.strip_prefix("OK openmetrics lines=") {
+        let n: usize = rest.trim().parse().unwrap_or(0);
+        for _ in 0..n {
+            let mut body = String::new();
+            if matches!(reader.read_line(&mut body), Ok(0) | Err(_)) {
+                break;
+            }
+            resp.push('\n');
+            resp.push_str(body.trim_end());
+        }
+    }
+    Some(resp)
+}
+
+/// Replays one session (one connection, the scripted lines in order) and
+/// returns the normalized responses. After the script, keeps reading
+/// until EOF (appending any unsolicited lines, e.g. an idle-timeout
+/// rejection) and records the close as `<eof>`; a connection still open
+/// after the probe window records `<open>`.
+fn run_session(addr: SocketAddr, lines: &[&str]) -> Vec<String> {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut out = Vec::new();
+    for line in lines {
+        if writeln!(writer, "{line}").is_err() {
+            out.push("<write-failed>".into());
+            break;
+        }
+        match read_response(&mut reader) {
+            Some(resp) => out.push(normalize(&resp)),
+            None => {
+                out.push("<eof>".into());
+                return out;
+            }
+        }
+    }
+    // Probe: drain whatever the server still sends, then observe the
+    // close. Sessions are scripted to end in a closing verb or
+    // rejection, so this terminates quickly.
+    reader
+        .get_ref()
+        .set_read_timeout(Some(Duration::from_secs(3)))
+        .unwrap();
+    loop {
+        match read_response(&mut reader) {
+            Some(resp) => out.push(normalize(&resp)),
+            None => {
+                out.push("<eof>".into());
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// The shared transcript: one entry per session (connection). Every
+/// serve verb and every non-closing error family appears; each session
+/// ends in a close so the `<eof>` markers are part of the comparison.
+const SESSIONS: &[&[&str]] = &[
+    // Happy path through every data and lifecycle verb.
+    &[
+        "INFO",
+        "QUERY 1",
+        "QUERY 1", // cache hit: `cached=` flips, and both backends must agree
+        "QUERY 0,2",
+        "PREDICT 1 : 1 2 3 4",
+        "LOGITS 1 : 1 2 3 4",
+        "STATS",
+        "HEALTH",
+        "TRACE on",
+        "TRACE off",
+        "DUMP",
+        "QUIT",
+    ],
+    // Parse/validation errors: all answer one line and keep the
+    // connection open (proved by the next request getting answered).
+    &[
+        "QUERY",
+        "QUERY x",
+        "QUERY 9",
+        "QUERY 1,1",
+        "PREDICT 1",
+        "PREDICT 1 : 1 2",
+        "LOGITS 1 : nope",
+        "SWAP 1",
+        "SWAP",
+        "METRICS yaml",
+        "FROB",
+        "frob lower case echoes raw",
+        "",
+        "QUIT",
+    ],
+    // Metrics family.
+    &["METRICS", "METRICS json", "METRICS openmetrics", "QUIT"],
+];
+
+/// Replays the full transcript against a fresh server on `net` and
+/// returns the labeled, normalized response log, ending with the
+/// `SHUTDOWN` session and the server's drain outcome.
+fn serve_transcript(net: NetBackend) -> Vec<String> {
+    let (server, addr) = start_server(ServeConfig {
+        net,
+        idle_timeout: Some(Duration::from_secs(10)),
+        ..ServeConfig::default()
+    });
+    let mut log = Vec::new();
+    for (i, session) in SESSIONS.iter().enumerate() {
+        for resp in run_session(addr, session) {
+            log.push(format!("s{i}: {resp}"));
+        }
+    }
+    for resp in run_session(addr, &["SHUTDOWN"]) {
+        log.push(format!("shutdown: {resp}"));
+    }
+    let report = server.join().unwrap();
+    log.push(format!("drain_timed_out: {}", report.drain_timed_out));
+    log
+}
+
+/// Transcript against a server with the connection-limit knobs turned
+/// down: request-per-connection cap, line-length cap, idle timeout —
+/// the whole closing-rejection family.
+fn limits_transcript(net: NetBackend) -> Vec<String> {
+    let (server, addr) = start_server(ServeConfig {
+        net,
+        max_conn_requests: 2,
+        max_line_bytes: 64,
+        idle_timeout: Some(Duration::from_millis(300)),
+        ..ServeConfig::default()
+    });
+    let mut log = Vec::new();
+    // The second request exhausts the per-connection cap; the probe
+    // phase reads the unsolicited rejection line and the close.
+    for resp in run_session(addr, &["INFO", "INFO"]) {
+        log.push(format!("cap: {resp}"));
+    }
+    // A 200-digit task list blows the 64-byte line cap.
+    let big = format!("QUERY {}", "9".repeat(200));
+    for resp in run_session(addr, &[&big]) {
+        log.push(format!("oversize: {resp}"));
+    }
+    // Silence past the idle deadline: the probe phase reads the
+    // rejection line and then the close.
+    for resp in run_session(addr, &[]) {
+        log.push(format!("idle: {resp}"));
+    }
+    for resp in run_session(addr, &["SHUTDOWN"]) {
+        log.push(format!("shutdown: {resp}"));
+    }
+    server.join().unwrap();
+    log
+}
+
+#[test]
+fn serve_backends_are_wire_identical() {
+    if !poe_net::epoll_supported() {
+        return;
+    }
+    let threads = serve_transcript(NetBackend::Threads);
+    let epoll = serve_transcript(NetBackend::Epoll);
+    assert_eq!(threads, epoll);
+    // Guard against the normalizer masking real output: pin a few lines
+    // of the transcript literally.
+    assert!(
+        threads.contains(&"s0: OK tasks=3 experts=3 classes=6".to_string()),
+        "{threads:#?}"
+    );
+    assert!(
+        threads.contains(&"shutdown: OK shutting down".to_string()),
+        "{threads:#?}"
+    );
+    assert!(threads.contains(&"s1: ERR unknown verb `FROB`".to_string()));
+    assert!(threads.iter().filter(|l| l.ends_with("<eof>")).count() >= 4);
+}
+
+#[test]
+fn serve_backends_close_identically_at_the_limits() {
+    if !poe_net::epoll_supported() {
+        return;
+    }
+    let threads = limits_transcript(NetBackend::Threads);
+    let epoll = limits_transcript(NetBackend::Epoll);
+    assert_eq!(threads, epoll);
+    assert!(
+        threads.contains(&"cap: ERR connection request limit reached".to_string()),
+        "{threads:#?}"
+    );
+    assert!(
+        threads.contains(&"oversize: ERR line too long (max 64 bytes)".to_string()),
+        "{threads:#?}"
+    );
+    assert!(
+        threads.contains(&"idle: ERR idle timeout".to_string()),
+        "{threads:#?}"
+    );
+}
+
+/// The router subset of the transcript: every router verb plus the
+/// verbs the router must refuse (`STATS`/`TRACE`/`SWAP` are
+/// shard-only).
+const ROUTE_SESSIONS: &[&[&str]] = &[
+    &[
+        "INFO",
+        "QUERY 1",
+        "QUERY 0,2",
+        "PREDICT 1 : 1 2 3 4",
+        "LOGITS 2 : 1 2 3 4",
+        "HEALTH",
+        "METRICS",
+        "METRICS openmetrics",
+        "DUMP",
+        "QUIT",
+    ],
+    &[
+        "QUERY", "QUERY 9", "STATS", "TRACE on", "SWAP 1", "FROB", "QUIT",
+    ],
+];
+
+/// Replays the router transcript against a fresh router AND a fresh
+/// pair of shard fixtures — shard-side state (the consolidation cache)
+/// must not leak between the two compared runs.
+fn route_transcript(net: NetBackend) -> Vec<String> {
+    let (shard_a, addr_a) = start_server(ServeConfig {
+        net: NetBackend::Threads,
+        ..ServeConfig::default()
+    });
+    let (shard_b, addr_b) = start_server(ServeConfig {
+        net: NetBackend::Threads,
+        ..ServeConfig::default()
+    });
+    let map = ShardMap::parse(&format!("0-1={addr_a};2={addr_b}")).unwrap();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let server = RouteServer::start(
+        listener,
+        map,
+        RouteConfig {
+            net,
+            idle_timeout: Some(Duration::from_secs(10)),
+            ..RouteConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let mut log = Vec::new();
+    for (i, session) in ROUTE_SESSIONS.iter().enumerate() {
+        for resp in run_session(addr, session) {
+            log.push(format!("r{i}: {resp}"));
+        }
+    }
+    for resp in run_session(addr, &["SHUTDOWN"]) {
+        log.push(format!("shutdown: {resp}"));
+    }
+    server.join().unwrap();
+    shard_a.handle().shutdown();
+    shard_b.handle().shutdown();
+    shard_a.join().unwrap();
+    shard_b.join().unwrap();
+    log
+}
+
+#[test]
+fn route_backends_are_wire_identical() {
+    if !poe_net::epoll_supported() {
+        return;
+    }
+    let threads = route_transcript(NetBackend::Threads);
+    let epoll = route_transcript(NetBackend::Epoll);
+    assert_eq!(threads, epoll);
+    assert!(
+        threads.contains(&"r1: ERR unknown verb `STATS`".to_string()),
+        "{threads:#?}"
+    );
+    assert!(threads.contains(&"shutdown: OK shutting down".to_string()));
+}
+
+/// `SHUTDOWN` with 1k connections open against the epoll backend, under
+/// injected refusal-write faults and event-loop tick stalls: every
+/// connection must still be either refused with a retry hint or closed,
+/// and the drain must finish inside the deadline. Chaos draws from
+/// `POE_CHAOS_SEED` (pinned in CI), like every other chaos scenario.
+#[test]
+fn shutdown_drains_1k_inflight_epoll_connections() {
+    if !poe_net::epoll_supported() {
+        return;
+    }
+    const N: usize = 1000;
+    let _ = poe_net::sys::raise_nofile_limit(4 * N as u64);
+    let (server, addr) = start_server(ServeConfig {
+        net: NetBackend::Epoll,
+        idle_timeout: None,
+        drain_deadline: Duration::from_secs(10),
+        ..ServeConfig::default()
+    });
+
+    let mut conns: Vec<TcpStream> = (0..N)
+        .map(|_| {
+            let s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            s
+        })
+        .collect();
+    // Exercise a slice of them so the loop has served real traffic (and
+    // every connection is registered, not just queued in the backlog).
+    for s in conns.iter_mut().step_by(10) {
+        writeln!(s, "INFO").unwrap();
+        let mut line = String::new();
+        BufReader::new(s.try_clone().unwrap())
+            .read_line(&mut line)
+            .unwrap();
+        assert!(line.starts_with("OK tasks="), "{line:?}");
+    }
+
+    // Faults go live only now: the warmup above must be clean, the
+    // drain below must survive failing refusal writes and stalled
+    // ticks.
+    let _guard = ChaosPlan::new(poe_chaos::seed_from_env())
+        .with(Fault::times(sites::NET_EPOLL_WRITE_IO, FaultKind::Io, 5))
+        .with(Fault {
+            site: sites::NET_EPOLL_TICK_STALL.into(),
+            kind: FaultKind::StallMs(10),
+            prob: 0.01,
+            max_hits: Some(5),
+        })
+        .install();
+
+    let shutdown_conn = TcpStream::connect(addr).unwrap();
+    shutdown_conn
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut w = shutdown_conn.try_clone().unwrap();
+    writeln!(w, "SHUTDOWN").unwrap();
+    let mut line = String::new();
+    // The acknowledgment write itself may eat an injected fault; EOF is
+    // then the legitimate outcome.
+    let _ = BufReader::new(shutdown_conn).read_line(&mut line);
+    assert!(
+        line.is_empty() || line.starts_with("OK shutting down"),
+        "{line:?}"
+    );
+
+    let report = server.join().unwrap();
+    assert!(!report.drain_timed_out, "drain hit the deadline");
+
+    let (mut refused, mut closed) = (0usize, 0usize);
+    for s in conns {
+        let mut reader = BufReader::new(s);
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => closed += 1,
+            Ok(_) => {
+                assert!(
+                    line.starts_with("ERR shutting down retry_after_ms="),
+                    "{line:?}"
+                );
+                refused += 1;
+                line.clear();
+                assert_eq!(reader.read_line(&mut line).unwrap(), 0, "not closed");
+            }
+        }
+    }
+    assert_eq!(refused + closed, N);
+    // At most the 5 injected write faults (and the ack above) may have
+    // robbed a connection of its refusal line.
+    assert!(refused >= N - 5, "only {refused} refusals of {N}");
+}

@@ -88,16 +88,27 @@ pub fn results() -> Vec<BenchResult> {
 /// ```
 pub fn write_report(path: &str) -> std::io::Result<()> {
     let results = results();
-    let mut out = String::new();
-    out.push_str(&format!(
-        "{{\n  \"report\": \"poe-bench\",\n  \"version\": 1,\n  \"warmup_ms\": {},\n  \"measure_ms\": {},\n  \"benches\": [\n",
-        warmup_budget().as_millis(),
-        measure_budget().as_millis()
-    ));
-    for (i, r) in results.iter().enumerate() {
-        let sep = if i + 1 == results.len() { "" } else { "," };
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"iters\": {}, \"mean_ns\": {:.1}, \"samples_per_sec\": {:.1}, \"p50_ns\": {:.1}, \"p95_ns\": {:.1}, \"p99_ns\": {:.1}}}{sep}\n",
+    // Merge with any report already at `path`: each `[[bench]]` target is
+    // its own process, so a run that produced only some of the rows must
+    // not clobber rows written by sibling targets sharing the file. Rows
+    // are keyed by name — re-run rows replace in place (keeping their
+    // position), new rows append. The parse leans on this writer's own
+    // stable one-row-per-line format; a hand-edited file that still has
+    // one `{"name": "..."}` object per line also survives.
+    let mut rows: Vec<(String, String)> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        for line in existing.lines() {
+            let t = line.trim();
+            if let Some(rest) = t.strip_prefix("{\"name\": \"") {
+                if let Some(name) = rest.split('"').next() {
+                    rows.push((name.to_string(), t.trim_end_matches(',').to_string()));
+                }
+            }
+        }
+    }
+    for r in &results {
+        let rendered = format!(
+            "{{\"name\": \"{}\", \"iters\": {}, \"mean_ns\": {:.1}, \"samples_per_sec\": {:.1}, \"p50_ns\": {:.1}, \"p95_ns\": {:.1}, \"p99_ns\": {:.1}}}",
             r.name.replace('\\', "\\\\").replace('"', "\\\""),
             r.iters,
             r.mean_ns,
@@ -105,7 +116,21 @@ pub fn write_report(path: &str) -> std::io::Result<()> {
             r.p50_ns,
             r.p95_ns,
             r.p99_ns
-        ));
+        );
+        match rows.iter_mut().find(|(n, _)| *n == r.name) {
+            Some(slot) => slot.1 = rendered,
+            None => rows.push((r.name.clone(), rendered)),
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"report\": \"poe-bench\",\n  \"version\": 1,\n  \"warmup_ms\": {},\n  \"measure_ms\": {},\n  \"benches\": [\n",
+        warmup_budget().as_millis(),
+        measure_budget().as_millis()
+    ));
+    for (i, (_, rendered)) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!("    {rendered}{sep}\n"));
     }
     out.push_str("  ]\n}\n");
     std::fs::write(path, out)
@@ -378,6 +403,30 @@ mod tests {
             assert!(text.contains(&format!("\"{field}\": ")), "{field}: {text}");
         }
         assert!(text.trim_end().ends_with('}'), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn report_merges_by_name_with_existing_file() {
+        let path = std::env::temp_dir().join("poe_bench_report_merge_test.json");
+        let stale_row = "{\"name\": \"merge_case\", \"iters\": 1, \"mean_ns\": 1.0, \"samples_per_sec\": 1.0, \"p50_ns\": 1.0, \"p95_ns\": 1.0, \"p99_ns\": 1.0}";
+        let kept_row = "{\"name\": \"kept/row\", \"iters\": 7, \"mean_ns\": 2.0, \"samples_per_sec\": 2.0, \"p50_ns\": 2.0, \"p95_ns\": 2.0, \"p99_ns\": 2.0}";
+        std::fs::write(
+            &path,
+            format!(
+                "{{\n  \"report\": \"poe-bench\",\n  \"version\": 1,\n  \"warmup_ms\": 50,\n  \"measure_ms\": 300,\n  \"benches\": [\n    {stale_row},\n    {kept_row}\n  ]\n}}\n"
+            ),
+        )
+        .unwrap();
+        let mut c = Criterion::default();
+        c.bench_function("merge_case", |b| b.iter(|| black_box(1)));
+        write_report(path.to_str().unwrap()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // The row from the sibling target survives untouched; the re-run
+        // row is replaced in place, not duplicated.
+        assert!(text.contains(kept_row), "{text}");
+        assert_eq!(text.matches("\"merge_case\"").count(), 1, "{text}");
+        assert!(!text.contains(stale_row), "stale row not replaced: {text}");
         std::fs::remove_file(&path).ok();
     }
 }
