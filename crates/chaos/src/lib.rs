@@ -100,6 +100,11 @@ pub mod sites {
     /// event-loop thread (GC-pause analog); connections must survive and
     /// drain deadlines must still be honoured.
     pub const NET_EPOLL_TICK_STALL: &str = "net.epoll.tick.stall";
+    /// I/O error injected into the load generator's client-side socket
+    /// write — a flaky client must surface as that tenant's error count
+    /// in the loadgen report, never as a panic or as skew in other
+    /// tenants' percentiles.
+    pub const LOADGEN_CLIENT_IO: &str = "loadgen.client.io";
 }
 
 /// Arms the fault hooks that live *below* this crate in the dependency

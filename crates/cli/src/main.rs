@@ -119,13 +119,40 @@ USAGE
       pins the backoff jitter for reproducible runs. --net selects the
       connection backend (`threads`/`epoll`, as for `poe serve`). See
       docs/PROTOCOL.md § The router tier and the OPERATIONS.md runbook.
-  poe obs dump --file PATH [--kind K] [--request N]
-  poe obs tail --file PATH [--last N]
-  poe obs check --file PATH
-      Flight-recorder and exposition tooling: `dump` pretty-prints a
-      recorder JSONL file (filter by event kind or request id), `tail`
-      shows the last N events (default 20), `check` validates an
-      OpenMetrics exposition file line by line (exit 1 on violation).
+  poe loadgen --addr HOST:PORT [--duration-ms N] [--seed N] [--tenants SPEC]
+              [--catalog N] [--zipf S] [--requests-per-conn N]
+              [--report PATH] [--p99-ms MS] [--max-error-rate R]
+      Closed-loop multi-tenant load generator against a running
+      `poe serve` (or `poe route`). SPEC is `profile=connections`
+      `;`-separated over the profiles steady | bursty | fanout |
+      slowreader (default `steady=2;bursty=2;fanout=2;slowreader=1`).
+      Task-set popularity is Zipf(--zipf, default 1.1) over a --catalog
+      of task sets (default 32); the whole request schedule is expanded
+      deterministically from --seed before the run, so the same seed
+      replays the same requests. Runs --duration-ms (default 2000) of
+      wall clock, then prints per-tenant p50/p95/p99, throughput,
+      error/shed/partial counts, and an SLO verdict (--p99-ms /
+      --max-error-rate override every tenant's targets). --report writes
+      the rows as BENCH_loadgen.json-style poe-bench v2 JSON for
+      `poe obs diff`. Exits nonzero when any tenant misses its SLO.
+  poe obs dump --file PATH|DIR [--kind K] [--request N]
+  poe obs tail --file PATH|DIR [--last N]
+  poe obs check --file PATH|DIR
+  poe obs diff BASELINE.json CANDIDATE.json [--rel R] [--abs-ns N]
+              [--count-floor C]
+      Flight-recorder, exposition, and bench-report tooling: `dump`
+      pretty-prints a recorder JSONL file (filter by event kind or
+      request id), `tail` shows the last N events (default 20), `check`
+      validates an OpenMetrics exposition file line by line (exit 1 on
+      violation). When --file names a directory (e.g. a server's
+      --recorder-dir), dump/tail pick the newest poe-flight-*.jsonl in
+      it and check picks the newest file. `diff` compares two poe-bench
+      reports row by row with per-metric thresholds — latency (*_ns)
+      regressions must exceed --rel (default 0.25) AND --abs-ns (default
+      50000); throughput is lower-is-worse; error/shed/partial counts may
+      grow by at most --count-floor (default 0); a passing slo_pass must
+      not turn failing — and exits nonzero on any regression (the CI
+      perf gate).
   poe help
       This text.
 
@@ -672,6 +699,102 @@ fn cmd_route(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_loadgen(a: &Args) -> Result<(), String> {
+    let addr = a.require("addr").map_err(|e| e.to_string())?.to_string();
+    let duration_ms = a
+        .get_parsed("duration-ms", 2_000u64, "u64")
+        .map_err(|e| e.to_string())?;
+    let seed = a
+        .get_parsed("seed", 42u64, "u64")
+        .map_err(|e| e.to_string())?;
+    let catalog_size = a
+        .get_parsed("catalog", 32usize, "usize")
+        .map_err(|e| e.to_string())?;
+    let zipf_s = a
+        .get_parsed("zipf", 1.1f64, "f64")
+        .map_err(|e| e.to_string())?;
+    let requests_per_conn = a
+        .get_parsed("requests-per-conn", 256usize, "usize")
+        .map_err(|e| e.to_string())?;
+    let spec = a
+        .get("tenants")
+        .unwrap_or("steady=2;bursty=2;fanout=2;slowreader=1");
+    let mut tenants = poe_loadgen::parse_tenants(spec)?;
+    if let Some(p99) = a.get("p99-ms") {
+        let p99: f64 = p99
+            .parse()
+            .map_err(|_| format!("--p99-ms wants a number, got `{p99}`"))?;
+        for t in &mut tenants {
+            t.slo.p99_ms = p99;
+        }
+    }
+    if let Some(rate) = a.get("max-error-rate") {
+        let rate: f64 = rate
+            .parse()
+            .map_err(|_| format!("--max-error-rate wants a number, got `{rate}`"))?;
+        for t in &mut tenants {
+            t.slo.max_error_rate = rate;
+        }
+    }
+
+    let (num_tasks, input_dim) =
+        poe_loadgen::probe(&addr).map_err(|e| format!("probe {addr}: {e}"))?;
+    let plan_cfg = poe_loadgen::PlanConfig {
+        seed,
+        tenants,
+        num_tasks,
+        catalog_size,
+        zipf_s,
+        requests_per_conn,
+    };
+    let plan = poe_loadgen::Plan::build(&plan_cfg);
+    eprintln!(
+        "loadgen: {} conns over {} tenants against {addr} (tasks={num_tasks}, dim={input_dim}, \
+         seed={seed}, zipf={zipf_s}, catalog={catalog_size}, {duration_ms}ms) …",
+        plan.conns.len(),
+        plan.tenants.len(),
+    );
+    let run_cfg = poe_loadgen::RunConfig {
+        addr,
+        duration: std::time::Duration::from_millis(duration_ms),
+    };
+    let report = poe_loadgen::run(&run_cfg, &plan, input_dim);
+
+    println!(
+        "{:<12} {:>8} {:>8} {:>6} {:>6} {:>8} {:>9} {:>9} {:>9} {:>10}  SLO",
+        "tenant", "attempts", "ok", "err", "shed", "partial", "p50 ms", "p95 ms", "p99 ms", "req/s"
+    );
+    let mut failed: Vec<String> = Vec::new();
+    for row in report.tenants.iter().chain(std::iter::once(&report.total)) {
+        println!(
+            "{:<12} {:>8} {:>8} {:>6} {:>6} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>10.1}  {}",
+            row.tenant,
+            row.attempts,
+            row.ok,
+            row.errors,
+            row.shed,
+            row.partial,
+            row.p50_ns / 1e6,
+            row.p95_ns / 1e6,
+            row.p99_ns / 1e6,
+            row.samples_per_sec,
+            if row.slo_pass { "pass" } else { "FAIL" }
+        );
+        if !row.slo_pass && row.tenant != "total" {
+            failed.push(row.tenant.clone());
+        }
+    }
+    if let Some(path) = a.get("report") {
+        poe_loadgen::write_report(path, &report).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("loadgen: wrote report to {path}");
+    }
+    if failed.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("SLO failed for tenants: {}", failed.join(", ")))
+    }
+}
+
 fn run(tokens: Vec<String>) -> Result<(), String> {
     // `poe obs <action> …` nests a second command word, so it is routed
     // before the flat `Args` grammar sees the tokens.
@@ -693,6 +816,7 @@ fn run(tokens: Vec<String>) -> Result<(), String> {
         "diagnose" => cmd_diagnose(&args),
         "serve" => cmd_serve(&args),
         "route" => cmd_route(&args),
+        "loadgen" => cmd_loadgen(&args),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
             Ok(())

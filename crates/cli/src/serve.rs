@@ -1315,6 +1315,12 @@ fn respond_action(
         respond_inner(trimmed, service, input_dim, server)
     });
     let elapsed = start.elapsed();
+    // End-to-end request latency as a histogram; `METRICS openmetrics`
+    // annotates its buckets with request-id exemplars sourced from the
+    // matching `request.end` flight events.
+    obs.registry
+        .histogram("serve.request_secs")
+        .record(elapsed.as_secs_f64());
     obs.flight.record_for(
         request_id,
         "request.end",
@@ -1650,7 +1656,46 @@ pub fn metrics_openmetrics(service: &QueryService) -> String {
         "obs.trace.events_dropped".into(),
         obs.trace.events_dropped(),
     );
-    snap.to_openmetrics()
+    snap.to_openmetrics_with_exemplars(&request_exemplars(&obs.flight))
+}
+
+/// Builds `serve.request_secs` bucket exemplars from the flight
+/// recorder's retained `request.end` events, so each annotated bucket
+/// line names a real request id that `poe obs dump --request N` can
+/// expand into the full event trail. The newest event per bucket wins;
+/// events without a parseable `ms=` token (or with the reserved id 0)
+/// are skipped.
+fn request_exemplars(flight: &poe_obs::FlightRecorder) -> poe_obs::openmetrics::ExemplarMap {
+    let epoch = flight.epoch_unix_secs();
+    let mut per_bucket: std::collections::BTreeMap<usize, poe_obs::openmetrics::Exemplar> =
+        std::collections::BTreeMap::new();
+    for e in flight.snapshot() {
+        if e.kind != "request.end" || e.request_id == 0 {
+            continue;
+        }
+        let Some(ms) = e
+            .detail
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix("ms="))
+            .and_then(|v| v.parse::<f64>().ok())
+        else {
+            continue;
+        };
+        let secs = ms / 1e3;
+        per_bucket.insert(
+            poe_obs::bucket_of_secs(secs),
+            poe_obs::openmetrics::Exemplar {
+                labels: vec![("request_id".to_string(), e.request_id.to_string())],
+                value: secs,
+                timestamp: Some(epoch + e.at_secs),
+            },
+        );
+    }
+    let mut map = poe_obs::openmetrics::ExemplarMap::new();
+    if !per_bucket.is_empty() {
+        map.insert("serve.request_secs".to_string(), per_bucket);
+    }
+    map
 }
 
 fn join_usize(v: &[usize]) -> String {
@@ -2038,6 +2083,41 @@ mod tests {
         assert_eq!(
             respond("METRICS prometheus", &svc, 4),
             "ERR METRICS accepts `json` or `openmetrics`"
+        );
+    }
+
+    #[test]
+    fn openmetrics_exemplars_join_the_flight_recorder() {
+        let svc = toy_service();
+        respond("QUERY 0", &svc, 4);
+        respond("PREDICT 0 : 1 2 3 4", &svc, 4);
+        let m = respond("METRICS openmetrics", &svc, 4);
+        let (_frame, body) = m.split_once('\n').expect("multi-line response");
+        poe_obs::openmetrics::check(&format!("{body}\n"))
+            .expect("exemplar-annotated exposition passes the self check");
+        // The request-latency histogram must carry at least one
+        // request-id exemplar on a bucket line.
+        let ex_line = body
+            .lines()
+            .find(|l| {
+                l.starts_with("poe_serve_request_secs_bucket{") && l.contains(" # {request_id=\"")
+            })
+            .expect("an exemplar-annotated request_secs bucket line");
+        let id: u64 = ex_line
+            .split("request_id=\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .and_then(|id| id.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable exemplar id in {ex_line}"));
+        assert_ne!(id, 0, "{ex_line}");
+        // The id joins the flight recorder: `poe obs dump --request N`
+        // can expand the exemplified request into its full event trail.
+        let events = svc.obs().flight.snapshot();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == "request.end" && e.request_id == id),
+            "exemplar id {id} has no request.end flight event"
         );
     }
 

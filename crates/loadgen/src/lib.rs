@@ -1,0 +1,44 @@
+//! # poe-loadgen
+//!
+//! A closed-loop, multi-tenant workload generator for `poe serve` (and
+//! `poe route` — they speak the same wire protocol). The paper's pitch
+//! is *realtime* querying of specialized knowledge; this crate turns that
+//! claim into a measurable, regressable artifact:
+//!
+//! * **Deterministic plans** — [`Plan::build`] expands a seed plus tenant
+//!   specs into the full per-connection request schedule *before* any
+//!   socket is opened: Zipf-distributed task-*set* popularity over a
+//!   fixed catalog, per-profile think/burst/read delays, a pinned verb
+//!   mix. Two builds from the same seed are identical, so a report is
+//!   reproducible end to end.
+//! * **Tenant profiles** — [`Profile`]: `steady` (fixed think time),
+//!   `bursty` (bursts separated by idle gaps), `fanout` (wide task sets,
+//!   the consolidation-heavy shape), `slowreader` (delays reading its
+//!   responses, the low-bandwidth-client shape).
+//! * **Honest accounting** — [`run`] drives a real server over TCP,
+//!   classifying every response: `OK`, `OK partial` (router
+//!   degradation), `ERR busy`/`ERR shutting down` (shed), other `ERR`s
+//!   and socket failures (errors). Client-side chaos faults
+//!   ([`poe_chaos::sites::LOADGEN_CLIENT_IO`]) land in the faulting
+//!   tenant's error count and nowhere else.
+//! * **SLO verdicts** — each tenant carries an [`Slo`] (p99 bound +
+//!   error-rate bound); the report rows carry a 0/1 `slo_pass` field
+//!   that `poe obs diff` gates on.
+//!
+//! Reports render in the `poe-bench` v2 schema ([`render_report`]) so the
+//! same `poe obs diff` thresholds cover microbenches and load tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod plan;
+mod report;
+mod run;
+mod zipf;
+
+pub use plan::{
+    parse_tenants, tenant_spec, ConnPlan, Plan, PlanConfig, Profile, Request, Slo, TenantSpec, Verb,
+};
+pub use report::{render_report, write_report};
+pub use run::{probe, run, RunConfig, RunReport, TenantReport};
+pub use zipf::Zipf;

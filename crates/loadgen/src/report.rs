@@ -1,0 +1,107 @@
+//! Rendering a [`RunReport`] in the `poe-bench` v2 schema.
+//!
+//! Loadgen rows reuse the microbench report format (one row object per
+//! line, per-row `warmup_ms`/`measure_ms`) and extend it with the
+//! tenant-level fields `poe obs diff` gates on: `errors`, `shed`,
+//! `partial`, and the 0/1 `slo_pass` verdict. `warmup_ms` is 0 (the run
+//! has no warmup phase) and `measure_ms` is the run duration, so a diff
+//! against a baseline taken at a different duration refuses the
+//! comparison instead of producing nonsense percentiles.
+
+use crate::run::{RunReport, TenantReport};
+
+fn render_row(row: &TenantReport, duration_ms: u64) -> String {
+    format!(
+        "{{\"name\": \"loadgen/{}\", \"iters\": {}, \"mean_ns\": {:.1}, \"samples_per_sec\": {:.1}, \"p50_ns\": {:.1}, \"p95_ns\": {:.1}, \"p99_ns\": {:.1}, \"errors\": {}, \"shed\": {}, \"partial\": {}, \"slo_pass\": {}, \"warmup_ms\": 0, \"measure_ms\": {}}}",
+        row.tenant,
+        row.attempts,
+        row.mean_ns,
+        row.samples_per_sec,
+        row.p50_ns,
+        row.p95_ns,
+        row.p99_ns,
+        row.errors,
+        row.shed,
+        row.partial,
+        u8::from(row.slo_pass),
+        duration_ms,
+    )
+}
+
+/// Renders the full report document (`poe-bench` schema v2, one row per
+/// tenant plus a `loadgen/total` aggregate row).
+pub fn render_report(run: &RunReport) -> String {
+    let mut rows: Vec<String> = run
+        .tenants
+        .iter()
+        .map(|t| render_row(t, run.duration_ms))
+        .collect();
+    rows.push(render_row(&run.total, run.duration_ms));
+    let mut out =
+        String::from("{\n  \"report\": \"poe-bench\",\n  \"version\": 2,\n  \"benches\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!("    {row}{sep}\n"));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes [`render_report`] to `path`.
+pub fn write_report(path: &str, run: &RunReport) -> std::io::Result<()> {
+    std::fs::write(path, render_report(run))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Slo;
+
+    fn toy_run() -> RunReport {
+        let row = |tenant: &str| TenantReport {
+            tenant: tenant.to_string(),
+            attempts: 100,
+            ok: 97,
+            errors: 1,
+            shed: 2,
+            partial: 0,
+            mean_ns: 120_000.0,
+            p50_ns: 100_000.0,
+            p95_ns: 200_000.0,
+            p99_ns: 300_000.0,
+            samples_per_sec: 48.5,
+            slo: Slo::default(),
+            slo_pass: true,
+        };
+        RunReport {
+            seed: 42,
+            duration_ms: 2000,
+            tenants: vec![row("steady"), row("fanout")],
+            total: row("total"),
+        }
+    }
+
+    #[test]
+    fn report_parses_with_the_obs_diff_parser() {
+        let text = render_report(&toy_run());
+        let parsed = poe_obs::report::BenchReport::parse(&text).expect(&text);
+        assert_eq!(parsed.version, 2);
+        assert_eq!(parsed.rows.len(), 3);
+        let steady = parsed.row("loadgen/steady").expect("steady row");
+        assert_eq!(steady.field("errors"), Some(1.0));
+        assert_eq!(steady.field("shed"), Some(2.0));
+        assert_eq!(steady.field("slo_pass"), Some(1.0));
+        assert_eq!(steady.field("measure_ms"), Some(2000.0));
+        assert_eq!(steady.field("warmup_ms"), Some(0.0));
+        assert_eq!(steady.field("p99_ns"), Some(300_000.0));
+        assert!(parsed.row("loadgen/total").is_some());
+    }
+
+    #[test]
+    fn self_diff_on_a_rendered_report_passes() {
+        let text = render_report(&toy_run());
+        let r = poe_obs::report::BenchReport::parse(&text).unwrap();
+        let d = poe_obs::report::diff(&r, &r, &poe_obs::report::DiffOptions::default());
+        assert!(d.passed(), "{}", d.render());
+    }
+}

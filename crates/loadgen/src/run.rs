@@ -1,0 +1,406 @@
+//! Closed-loop plan execution against a live server.
+//!
+//! One thread per planned connection cycles its schedule until the run
+//! deadline, classifying every response and timing every round trip.
+//! Failures are survivable by design: a refused connect, a mid-run socket
+//! error, or an injected chaos fault ([`poe_chaos::sites::LOADGEN_CLIENT_IO`])
+//! counts against the owning tenant and triggers a reconnect — the
+//! generator itself never panics, and other tenants' connections are
+//! untouched.
+
+use crate::plan::{Plan, Request, Slo, Verb};
+use poe_tensor::Prng;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Run-time knobs that do not affect the schedule (so they live outside
+/// [`crate::PlanConfig`]).
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Wall-clock run duration.
+    pub duration: Duration,
+}
+
+/// One tenant's (or the run total's) aggregated results.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant name (`total` for the whole-run row).
+    pub tenant: String,
+    /// Requests attempted (including failed sends).
+    pub attempts: u64,
+    /// `OK` responses (excluding partials).
+    pub ok: u64,
+    /// Socket failures, injected client faults, and non-shed `ERR`s.
+    pub errors: u64,
+    /// `ERR busy` / `ERR shutting down` responses.
+    pub shed: u64,
+    /// `OK partial` responses (router degraded mode).
+    pub partial: u64,
+    /// Mean round-trip latency over successful responses, nanoseconds.
+    pub mean_ns: f64,
+    /// Median latency, nanoseconds.
+    pub p50_ns: f64,
+    /// 95th-percentile latency, nanoseconds.
+    pub p95_ns: f64,
+    /// 99th-percentile latency, nanoseconds.
+    pub p99_ns: f64,
+    /// Successful responses per wall-clock second.
+    pub samples_per_sec: f64,
+    /// The SLO the tenant was held to.
+    pub slo: Slo,
+    /// Whether p99 and error rate met the SLO.
+    pub slo_pass: bool,
+}
+
+/// A finished run: per-tenant rows plus the aggregate.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The plan seed (stamped into the report for reproduction).
+    pub seed: u64,
+    /// Wall-clock duration the run measured, milliseconds.
+    pub duration_ms: u64,
+    /// Per-tenant rows, in tenant-spec order.
+    pub tenants: Vec<TenantReport>,
+    /// The whole-run aggregate row.
+    pub total: TenantReport,
+}
+
+/// Per-connection raw tallies, merged per tenant after the join.
+#[derive(Debug, Default)]
+struct Tally {
+    attempts: u64,
+    ok: u64,
+    errors: u64,
+    shed: u64,
+    partial: u64,
+    latencies_ns: Vec<u64>,
+}
+
+impl Tally {
+    fn absorb(&mut self, other: Tally) {
+        self.attempts += other.attempts;
+        self.ok += other.ok;
+        self.errors += other.errors;
+        self.shed += other.shed;
+        self.partial += other.partial;
+        self.latencies_ns.extend(other.latencies_ns);
+    }
+}
+
+/// Probes a server for its pool shape: connects, reads `tasks=` from
+/// `INFO`, and derives the input dimension from `PREDICT`'s
+/// feature-count error (`ERR expected <d> features, got 0`) — the
+/// protocol has no dedicated dimension field, but its validation order
+/// (dimension before task ids) makes the error a reliable probe.
+pub fn probe(addr: &str) -> std::io::Result<(usize, usize)> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut stream = stream;
+    let ask = |stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str| {
+        stream.write_all(line.as_bytes())?;
+        let mut resp = String::new();
+        reader.read_line(&mut resp)?;
+        Ok::<String, std::io::Error>(resp)
+    };
+    let info = ask(&mut stream, &mut reader, "INFO\n")?;
+    let tasks = info
+        .split_whitespace()
+        .find_map(|t| t.strip_prefix("tasks=")?.parse::<usize>().ok())
+        .ok_or_else(|| std::io::Error::other(format!("unexpected INFO response: {info:?}")))?;
+    let dim_err = ask(&mut stream, &mut reader, "PREDICT 0 :\n")?;
+    let input_dim = dim_err
+        .strip_prefix("ERR expected ")
+        .and_then(|r| r.split_whitespace().next())
+        .and_then(|n| n.parse::<usize>().ok())
+        .ok_or_else(|| {
+            std::io::Error::other(format!("cannot derive input dim from: {dim_err:?}"))
+        })?;
+    let _ = stream.write_all(b"QUIT\n");
+    Ok((tasks, input_dim))
+}
+
+/// Renders one request line per the wire grammar.
+fn request_line(req: &Request, input_dim: usize) -> String {
+    let tasks = req
+        .tasks
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    match req.verb {
+        Verb::Query => format!("QUERY {tasks}\n"),
+        Verb::Predict => {
+            let mut rng = Prng::seed_from_u64(req.feature_seed);
+            let feats = (0..input_dim)
+                .map(|_| format!("{:.3}", rng.uniform_in(-1.0, 1.0)))
+                .collect::<Vec<_>>()
+                .join(" ");
+            format!("PREDICT {tasks} : {feats}\n")
+        }
+    }
+}
+
+/// One connection's closed loop: cycle the schedule until `deadline`.
+fn drive_connection(
+    addr: &str,
+    conn: &crate::ConnPlan,
+    input_dim: usize,
+    deadline: Instant,
+) -> Tally {
+    let mut tally = Tally::default();
+    let mut link: Option<(TcpStream, BufReader<TcpStream>)> = None;
+    'run: loop {
+        for req in conn.requests.iter().cycle() {
+            let now = Instant::now();
+            if now >= deadline {
+                break 'run;
+            }
+            if req.pre_delay_ms > 0 {
+                let think = Duration::from_millis(req.pre_delay_ms).min(deadline - now);
+                std::thread::sleep(think);
+                if Instant::now() >= deadline {
+                    break 'run;
+                }
+            }
+            // (Re)connect lazily; a refused connect is a tenant error,
+            // retried after a short pause so a briefly-absent server
+            // doesn't spin the loop.
+            if link.is_none() {
+                match TcpStream::connect(addr) {
+                    Ok(s) => match s.try_clone() {
+                        Ok(c) => link = Some((s, BufReader::new(c))),
+                        Err(_) => {
+                            tally.attempts += 1;
+                            tally.errors += 1;
+                            continue;
+                        }
+                    },
+                    Err(_) => {
+                        tally.attempts += 1;
+                        tally.errors += 1;
+                        std::thread::sleep(
+                            Duration::from_millis(10)
+                                .min(deadline.saturating_duration_since(Instant::now())),
+                        );
+                        continue;
+                    }
+                }
+            }
+            let (stream, reader) = link.as_mut().expect("connected above");
+            tally.attempts += 1;
+            let line = request_line(req, input_dim);
+            let start = Instant::now();
+            // Chaos seam: a client-side write fault. Counted against this
+            // tenant, connection dropped — exactly what a real client
+            // socket error does.
+            let write_result = match poe_chaos::fail_io(poe_chaos::sites::LOADGEN_CLIENT_IO) {
+                Some(e) => Err(e),
+                None => stream.write_all(line.as_bytes()),
+            };
+            if write_result.is_err() {
+                tally.errors += 1;
+                link = None;
+                continue;
+            }
+            if req.read_delay_ms > 0 {
+                std::thread::sleep(Duration::from_millis(req.read_delay_ms));
+            }
+            let mut resp = String::new();
+            match reader.read_line(&mut resp) {
+                Ok(0) | Err(_) => {
+                    tally.errors += 1;
+                    link = None;
+                    continue;
+                }
+                Ok(_) => {}
+            }
+            let elapsed_ns = start.elapsed().as_nanos() as u64;
+            if resp.starts_with("OK partial") {
+                tally.partial += 1;
+                tally.latencies_ns.push(elapsed_ns);
+            } else if resp.starts_with("OK") {
+                tally.ok += 1;
+                tally.latencies_ns.push(elapsed_ns);
+            } else if resp.starts_with("ERR busy") || resp.starts_with("ERR shutting down") {
+                tally.shed += 1;
+            } else {
+                tally.errors += 1;
+            }
+        }
+    }
+    if let Some((mut stream, _)) = link {
+        let _ = stream.write_all(b"QUIT\n");
+    }
+    tally
+}
+
+/// Exact nearest-rank percentile over a sorted slice.
+fn percentile_ns(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1] as f64
+}
+
+fn tenant_report(tenant: &str, slo: Slo, mut tally: Tally, duration: Duration) -> TenantReport {
+    tally.latencies_ns.sort_unstable();
+    let samples = tally.latencies_ns.len() as u64;
+    let mean_ns = if samples > 0 {
+        tally.latencies_ns.iter().sum::<u64>() as f64 / samples as f64
+    } else {
+        0.0
+    };
+    let p99_ns = percentile_ns(&tally.latencies_ns, 0.99);
+    let error_rate = if tally.attempts > 0 {
+        tally.errors as f64 / tally.attempts as f64
+    } else {
+        0.0
+    };
+    // A tenant that got no successful samples at all cannot pass.
+    let slo_pass = samples > 0 && p99_ns / 1e6 <= slo.p99_ms && error_rate <= slo.max_error_rate;
+    TenantReport {
+        tenant: tenant.to_string(),
+        attempts: tally.attempts,
+        ok: tally.ok,
+        errors: tally.errors,
+        shed: tally.shed,
+        partial: tally.partial,
+        mean_ns,
+        p50_ns: percentile_ns(&tally.latencies_ns, 0.50),
+        p95_ns: percentile_ns(&tally.latencies_ns, 0.95),
+        p99_ns,
+        samples_per_sec: samples as f64 / duration.as_secs_f64().max(1e-9),
+        slo,
+        slo_pass,
+    }
+}
+
+/// Executes `plan` against `cfg.addr` for `cfg.duration`, one thread per
+/// planned connection, and aggregates per-tenant rows plus a total.
+pub fn run(cfg: &RunConfig, plan: &Plan, input_dim: usize) -> RunReport {
+    let deadline = Instant::now() + cfg.duration;
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = plan
+            .conns
+            .iter()
+            .map(|conn| {
+                let addr = cfg.addr.clone();
+                scope.spawn(move || drive_connection(&addr, conn, input_dim, deadline))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen worker"))
+            .collect()
+    });
+    let mut per_tenant: BTreeMap<&str, Tally> = BTreeMap::new();
+    let mut total = Tally::default();
+    for (conn, tally) in plan.conns.iter().zip(tallies) {
+        total.attempts += tally.attempts;
+        total.ok += tally.ok;
+        total.errors += tally.errors;
+        total.shed += tally.shed;
+        total.partial += tally.partial;
+        total.latencies_ns.extend(&tally.latencies_ns);
+        per_tenant
+            .entry(conn.tenant.as_str())
+            .or_default()
+            .absorb(tally);
+    }
+    let tenants = plan
+        .tenants
+        .iter()
+        .map(|spec| {
+            let tally = per_tenant.remove(spec.name.as_str()).unwrap_or_default();
+            tenant_report(&spec.name, spec.slo, tally, cfg.duration)
+        })
+        .collect::<Vec<_>>();
+    // The total row is held to the *loosest* per-tenant SLO so it stays
+    // informative without double-failing a single tenant's miss.
+    let total_slo = Slo {
+        p99_ms: plan
+            .tenants
+            .iter()
+            .map(|t| t.slo.p99_ms)
+            .fold(f64::NEG_INFINITY, f64::max),
+        max_error_rate: plan
+            .tenants
+            .iter()
+            .map(|t| t.slo.max_error_rate)
+            .fold(f64::NEG_INFINITY, f64::max),
+    };
+    let total = tenant_report("total", total_slo, total, cfg.duration);
+    RunReport {
+        seed: plan.seed,
+        duration_ms: cfg.duration.as_millis() as u64,
+        tenants,
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_follow_the_wire_grammar() {
+        let q = Request {
+            tasks: vec![3, 1],
+            verb: Verb::Query,
+            pre_delay_ms: 0,
+            read_delay_ms: 0,
+            feature_seed: 1,
+        };
+        assert_eq!(request_line(&q, 4), "QUERY 3,1\n");
+        let p = Request {
+            verb: Verb::Predict,
+            ..q
+        };
+        let line = request_line(&p, 4);
+        assert!(line.starts_with("PREDICT 3,1 : "), "{line}");
+        assert_eq!(line.trim_end().split(' ').count(), 7, "{line}");
+        // Features are pinned by the seed.
+        assert_eq!(line, request_line(&p, 4));
+    }
+
+    #[test]
+    fn percentiles_and_empty_tallies_are_sane() {
+        assert_eq!(percentile_ns(&[], 0.99), 0.0);
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&sorted, 0.50), 50.0);
+        assert_eq!(percentile_ns(&sorted, 0.99), 99.0);
+        let empty = tenant_report(
+            "t",
+            Slo::default(),
+            Tally::default(),
+            Duration::from_secs(1),
+        );
+        assert_eq!(empty.attempts, 0);
+        assert!(!empty.slo_pass, "no samples cannot pass an SLO");
+    }
+
+    #[test]
+    fn slo_verdicts_gate_on_p99_and_error_rate() {
+        let mk = |lat_ms: u64, errors: u64| Tally {
+            attempts: 100 + errors,
+            ok: 100,
+            errors,
+            shed: 0,
+            partial: 0,
+            latencies_ns: vec![lat_ms * 1_000_000; 100],
+        };
+        let slo = Slo {
+            p99_ms: 50.0,
+            max_error_rate: 0.01,
+        };
+        let d = Duration::from_secs(1);
+        assert!(tenant_report("t", slo, mk(10, 0), d).slo_pass);
+        assert!(!tenant_report("t", slo, mk(100, 0), d).slo_pass, "p99 miss");
+        assert!(!tenant_report("t", slo, mk(10, 50), d).slo_pass, "errors");
+    }
+}

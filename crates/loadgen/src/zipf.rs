@@ -1,0 +1,111 @@
+//! Zipf-distributed rank sampling.
+//!
+//! Task-set popularity in real serving is heavy-tailed: a few hot task
+//! combinations dominate (and hit the consolidation cache), a long tail
+//! of cold ones forces fresh assemblies. [`Zipf`] models that: rank `r`
+//! (0-based) has weight `(r + 1)^-s`, sampled by inverse-CDF binary
+//! search, deterministic under the caller's [`Prng`].
+
+use poe_tensor::Prng;
+
+/// A precomputed Zipf distribution over ranks `0..n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    /// Cumulative weights, normalized to end at 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution: `n` ranks, exponent `s` (`s = 0` is
+    /// uniform; larger `s` concentrates mass on low ranks).
+    ///
+    /// # Panics
+    /// When `n` is 0.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf over an empty rank set");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += ((r + 1) as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false — `new` rejects an empty rank set. (Present because
+    /// clippy expects `is_empty` beside `len`.)
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `0..len()`.
+    pub fn sample(&self, rng: &mut Prng) -> usize {
+        let u = rng.uniform() as f64;
+        // First rank whose cumulative weight covers the draw.
+        match self.cdf.partition_point(|&c| c < u) {
+            i if i < self.cdf.len() => i,
+            _ => self.cdf.len() - 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_ranks_dominate_under_positive_s() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = Prng::seed_from_u64(7);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10], "{:?}", &counts[..12]);
+        assert!(counts[0] > 1000, "rank 0 should take >10% at s=1");
+        // The tail is still reachable.
+        assert!(counts[50..].iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn s_zero_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = Prng::seed_from_u64(11);
+        let mut counts = [0u64; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (r, &c) in counts.iter().enumerate() {
+            assert!((700..1300).contains(&c), "rank {r}: {c}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let z = Zipf::new(64, 1.2);
+        let draw = |seed| {
+            let mut rng = Prng::seed_from_u64(seed);
+            (0..100).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+
+    #[test]
+    fn single_rank_always_samples_zero() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = Prng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+}

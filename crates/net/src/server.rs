@@ -19,11 +19,11 @@
 //! ```
 //!
 //! * `Idle`/`Reading` — registered for read interest; bytes accumulate in
-//!   a capped [`LineBuffer`](crate::framing::LineBuffer).
+//!   a capped [`LineBuffer`].
 //! * `Dispatched` — a complete line has been handed to the service; read
 //!   interest is dropped so a pipelining client is backpressured by TCP
 //!   instead of by unbounded buffering, and responses stay in order.
-//! * `Writing` — the response (queued by a [`Completion`]) is being
+//! * `Writing` — the response (queued by a `Completion`) is being
 //!   flushed; partial writes arm write interest instead of blocking.
 //! * `Draining` — a terminal refusal line (`ERR busy…`, `ERR line too
 //!   long`, `ERR idle timeout`, `ERR connection request limit`, `ERR
@@ -31,7 +31,7 @@
 //!
 //! The loop never blocks on a socket: the only blocking call is
 //! `epoll_wait`, and cross-thread work (worker completions, shutdown)
-//! arrives via an `eventfd` [`Waker`](crate::poller::Waker).
+//! arrives via an `eventfd` [`Waker`].
 
 use crate::framing::{LineBuffer, LineOverflow};
 use crate::poller::{Interest, PollEvent, Poller, Waker};

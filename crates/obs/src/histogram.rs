@@ -31,6 +31,15 @@ fn bucket_of(secs: f64) -> usize {
     bucket_of_n((secs.max(0.0) * 1e9) as u64)
 }
 
+/// The bucket index a latency of `secs` lands in — the public form of the
+/// internal bucketing, so exporters can attach per-bucket annotations
+/// (OpenMetrics exemplars) to the same bucket a measurement was counted
+/// in.
+#[inline]
+pub fn bucket_of_secs(secs: f64) -> usize {
+    bucket_of(secs)
+}
+
 /// Upper bound (seconds) of bucket `bucket` — `2^bucket` nanoseconds.
 /// Exporters use this to emit explicit bucket boundaries (the OpenMetrics
 /// `le` label); for count-valued histograms the bound is the raw count

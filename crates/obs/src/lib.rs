@@ -48,10 +48,13 @@ pub mod json;
 pub mod openmetrics;
 mod recorder;
 mod registry;
+pub mod report;
 mod slowlog;
 mod trace;
 
-pub use histogram::{bucket_upper_secs, AtomicHistogram, LatencyHistogram, NUM_BUCKETS};
+pub use histogram::{
+    bucket_of_secs, bucket_upper_secs, AtomicHistogram, LatencyHistogram, NUM_BUCKETS,
+};
 pub use recorder::{FlightEvent, FlightRecorder, DEFAULT_RECORDER_EVENTS};
 pub use registry::{Counter, Gauge, MetricsSnapshot, Registry};
 pub use slowlog::{SlowEntry, SlowLog, DEFAULT_SLOW_LOG_CAPACITY};

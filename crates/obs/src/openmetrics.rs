@@ -11,19 +11,71 @@
 //! (batch sizes, queue depths), so their `le` bounds and `_sum` are raw
 //! counts; everything else is seconds.
 //!
+//! [`MetricsSnapshot::to_openmetrics_with_exemplars`] additionally
+//! annotates histogram bucket lines with [`Exemplar`]s —
+//! `… # {request_id="…"} <value> <timestamp>` — so a bad percentile on a
+//! dashboard links straight to a traceable request id in the flight
+//! recorder.
+//!
 //! [`check`] validates text in that format line by line — name charset,
 //! metadata-before-samples, bucket monotonicity (both in `le` and in
-//! cumulative count), `_count` = `+Inf` bucket, `_sum` present, a single
-//! trailing `# EOF`. The `poe obs check` subcommand and the exposition
-//! tests share it, so the emitter can never drift from the checker
-//! silently.
+//! cumulative count), `_count` = `+Inf` bucket, `_sum` present, label
+//! escaping, exemplar syntax and placement, a single trailing `# EOF`.
+//! The `poe obs check` subcommand and the exposition tests share it, so
+//! the emitter can never drift from the checker silently.
 //!
 //! [OpenMetrics text format]: https://github.com/OpenObservability/OpenMetrics
 
-use crate::histogram::{bucket_upper_secs, LatencyHistogram};
+use crate::histogram::{bucket_upper_secs, LatencyHistogram, NUM_BUCKETS};
 use crate::registry::MetricsSnapshot;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// One OpenMetrics exemplar: a label set (conventionally carrying a
+/// `request_id`), the observed value, and an optional Unix timestamp in
+/// fractional seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplar {
+    /// Exemplar labels, rendered in order (`request_id="42"`).
+    pub labels: Vec<(String, String)>,
+    /// The exemplified observation, in the histogram's native unit.
+    pub value: f64,
+    /// Unix timestamp of the observation (fractional seconds).
+    pub timestamp: Option<f64>,
+}
+
+/// Exemplars keyed by *instrument* name (the dotted registry name, not
+/// the exposition family), then by histogram bucket index. The top bucket
+/// (`NUM_BUCKETS - 1`, open-ended) renders on the `+Inf` line.
+pub type ExemplarMap = BTreeMap<String, BTreeMap<usize, Exemplar>>;
+
+/// Escapes a label value per the OpenMetrics text rules
+/// (`\` → `\\`, `"` → `\"`, newline → `\n`).
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_exemplar(ex: &Exemplar) -> String {
+    let labels: Vec<String> = ex
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    let mut out = format!(" # {{{}}} {}", labels.join(","), ex.value);
+    if let Some(ts) = ex.timestamp {
+        let _ = write!(out, " {ts:.3}");
+    }
+    out
+}
 
 /// Maps a dotted instrument name to an exposition family name:
 /// `service.assembly_secs` → `poe_service_assembly_secs`.
@@ -40,22 +92,50 @@ pub fn family_name(name: &str) -> String {
     out
 }
 
-fn push_histogram(out: &mut String, family: &str, h: &LatencyHistogram, size_valued: bool) {
+fn push_histogram(
+    out: &mut String,
+    family: &str,
+    h: &LatencyHistogram,
+    size_valued: bool,
+    exemplars: Option<&BTreeMap<usize, Exemplar>>,
+) {
     let _ = writeln!(out, "# TYPE {family} histogram");
+    let exemplar_at = |b: usize| -> String {
+        exemplars
+            .and_then(|m| m.get(&b))
+            .map(render_exemplar)
+            .unwrap_or_default()
+    };
     let mut cumulative = 0u64;
     for (b, &n) in h.buckets().iter().enumerate() {
         cumulative += n;
+        // The top bucket is open-ended: its exemplar may exceed the
+        // nominal 2^b bound, so it rides on the `+Inf` line instead.
+        let ex = if b + 1 < NUM_BUCKETS {
+            exemplar_at(b)
+        } else {
+            String::new()
+        };
         if size_valued {
-            let _ = writeln!(out, "{family}_bucket{{le=\"{}\"}} {cumulative}", 1u64 << b);
+            let _ = writeln!(
+                out,
+                "{family}_bucket{{le=\"{}\"}} {cumulative}{ex}",
+                1u64 << b
+            );
         } else {
             let _ = writeln!(
                 out,
-                "{family}_bucket{{le=\"{}\"}} {cumulative}",
+                "{family}_bucket{{le=\"{}\"}} {cumulative}{ex}",
                 bucket_upper_secs(b)
             );
         }
     }
-    let _ = writeln!(out, "{family}_bucket{{le=\"+Inf\"}} {}", h.count());
+    let _ = writeln!(
+        out,
+        "{family}_bucket{{le=\"+Inf\"}} {}{}",
+        h.count(),
+        exemplar_at(NUM_BUCKETS - 1)
+    );
     if size_valued {
         let _ = writeln!(out, "{family}_sum {}", h.sum_n());
     } else {
@@ -68,6 +148,15 @@ impl MetricsSnapshot {
     /// Renders the snapshot as OpenMetrics text (ends with `# EOF` and a
     /// trailing newline). Guaranteed to pass [`check`].
     pub fn to_openmetrics(&self) -> String {
+        self.to_openmetrics_with_exemplars(&ExemplarMap::new())
+    }
+
+    /// Renders the snapshot as OpenMetrics text with [`Exemplar`]
+    /// annotations on the named histograms' bucket lines. Keys of
+    /// `exemplars` are dotted instrument names; inner keys are bucket
+    /// indices (see [`crate::bucket_of_secs`]). Guaranteed to pass
+    /// [`check`] as long as each exemplar's value lands in its bucket.
+    pub fn to_openmetrics_with_exemplars(&self, exemplars: &ExemplarMap) -> String {
         let mut out = String::new();
         for (name, v) in &self.counters {
             let family = family_name(name);
@@ -80,7 +169,13 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "{family} {v}");
         }
         for (name, h) in &self.histograms {
-            push_histogram(&mut out, &family_name(name), h, name.ends_with(".size"));
+            push_histogram(
+                &mut out,
+                &family_name(name),
+                h,
+                name.ends_with(".size"),
+                exemplars.get(name),
+            );
         }
         out.push_str("# EOF\n");
         out
@@ -113,6 +208,156 @@ struct HistogramState {
     inf_bucket: Option<f64>,
     sum: Option<f64>,
     count: Option<f64>,
+}
+
+/// Parses an OpenMetrics label body (the text between `{` and `}`) into
+/// `(name, value)` pairs, honoring `\\`, `\"`, and `\n` escapes.
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, &'static str> {
+    let mut out = Vec::new();
+    let mut chars = body.chars().peekable();
+    while chars.peek().is_some() {
+        let mut name = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            name.push(c);
+            chars.next();
+        }
+        if chars.next() != Some('=') {
+            return Err("label without `=`");
+        }
+        if !valid_name(&name) {
+            return Err("invalid label name");
+        }
+        if chars.next() != Some('"') {
+            return Err("label value must be quoted");
+        }
+        let mut value = String::new();
+        let mut closed = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    _ => return Err("bad escape in label value"),
+                },
+                c => value.push(c),
+            }
+        }
+        if !closed {
+            return Err("unterminated label value");
+        }
+        out.push((name, value));
+        match chars.next() {
+            None => break,
+            Some(',') => continue,
+            Some(_) => return Err("expected `,` between labels"),
+        }
+    }
+    Ok(out)
+}
+
+/// Splits a label block: `s` starts just past `{`; returns
+/// `(body, rest-after-closing-brace)`, honoring quotes and escapes so a
+/// `}` inside a label value does not terminate the block.
+fn split_label_block(s: &str) -> Result<(&str, &str), &'static str> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            '}' if !in_quotes => return Ok((&s[..i], &s[i + 1..])),
+            _ => {}
+        }
+    }
+    Err("unterminated label set")
+}
+
+fn parse_number(tok: &str) -> Option<f64> {
+    match tok {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        t => t.parse().ok(),
+    }
+}
+
+struct ParsedExemplar {
+    value: f64,
+}
+
+struct ParsedSample<'a> {
+    name: &'a str,
+    labels: Vec<(String, String)>,
+    value: f64,
+    exemplar: Option<ParsedExemplar>,
+}
+
+/// Parses `name[{labels}] value [# {exemplar-labels} value [timestamp]]`.
+fn parse_sample(line: &str) -> Result<ParsedSample<'_>, &'static str> {
+    let (name, rest) = match line.find(['{', ' ']) {
+        Some(i) => (&line[..i], &line[i..]),
+        None => return Err("sample line without a value"),
+    };
+    let (labels, rest) = if let Some(r) = rest.strip_prefix('{') {
+        let (body, after) = split_label_block(r)?;
+        (parse_labels(body)?, after)
+    } else {
+        (Vec::new(), rest)
+    };
+    let rest = rest.strip_prefix(' ').ok_or("missing space before value")?;
+    let (value_part, exemplar_part) = match rest.split_once(" # ") {
+        Some((v, e)) => (v, Some(e)),
+        None => (rest, None),
+    };
+    let mut toks = value_part.split(' ').filter(|t| !t.is_empty());
+    let value = parse_number(toks.next().ok_or("sample line without a value")?)
+        .ok_or("unparseable sample value")?;
+    if let Some(ts) = toks.next() {
+        // An optional sample timestamp (we never emit one, but accept it).
+        parse_number(ts).ok_or("unparseable sample timestamp")?;
+    }
+    if toks.next().is_some() {
+        return Err("trailing tokens after sample value");
+    }
+    let exemplar = match exemplar_part {
+        None => None,
+        Some(e) => Some(parse_exemplar(e)?),
+    };
+    Ok(ParsedSample {
+        name,
+        labels,
+        value,
+        exemplar,
+    })
+}
+
+fn parse_exemplar(s: &str) -> Result<ParsedExemplar, &'static str> {
+    let r = s
+        .strip_prefix('{')
+        .ok_or("exemplar must start with a label set")?;
+    let (body, after) = split_label_block(r)?;
+    parse_labels(body)?;
+    let mut toks = after.split(' ').filter(|t| !t.is_empty());
+    let value = parse_number(toks.next().ok_or("exemplar without a value")?)
+        .ok_or("unparseable exemplar value")?;
+    if let Some(ts) = toks.next() {
+        parse_number(ts).ok_or("unparseable exemplar timestamp")?;
+    }
+    if toks.next().is_some() {
+        return Err("trailing tokens after exemplar");
+    }
+    Ok(ParsedExemplar { value })
 }
 
 /// Validates OpenMetrics text line by line. Returns a summary on success,
@@ -160,28 +405,17 @@ pub fn check(text: &str) -> Result<CheckSummary, String> {
             }
             continue;
         }
-        // Sample line: name[{labels}] value
-        let (name_labels, value) = match line.rsplit_once(' ') {
-            Some(pair) => pair,
-            None => return fail(lineno, line, "sample line without a value"),
+        // Sample line: name[{labels}] value [# {exemplar} value [ts]]
+        let sample = match parse_sample(line) {
+            Ok(s) => s,
+            Err(why) => return fail(lineno, line, why),
         };
-        let value: f64 = match value.parse() {
-            Ok(v) => v,
-            Err(_) => {
-                if value == "+Inf" {
-                    f64::INFINITY
-                } else {
-                    return fail(lineno, line, "unparseable sample value");
-                }
-            }
-        };
-        let (name, labels) = match name_labels.split_once('{') {
-            Some((n, rest)) => match rest.strip_suffix('}') {
-                Some(labels) => (n, Some(labels)),
-                None => return fail(lineno, line, "unterminated label set"),
-            },
-            None => (name_labels, None),
-        };
+        let ParsedSample {
+            name,
+            labels,
+            value,
+            exemplar,
+        } = sample;
         if !valid_name(name) {
             return fail(lineno, line, "invalid sample name");
         }
@@ -213,22 +447,26 @@ pub fn check(text: &str) -> Result<CheckSummary, String> {
         if families[&family] == "counter" && value < 0.0 {
             return fail(lineno, line, "negative counter");
         }
+        // Exemplars are only legal on counter `_total` and histogram
+        // `_bucket` samples, and a bucket exemplar's value must fit under
+        // the bucket's `le` bound.
+        if exemplar.is_some() && !(name.ends_with("_total") || name.ends_with("_bucket")) {
+            return fail(lineno, line, "exemplar on a non-bucket, non-counter sample");
+        }
         if name.ends_with("_bucket") {
-            let labels = match labels {
-                Some(l) => l,
-                None => return fail(lineno, line, "histogram bucket without le label"),
-            };
-            let le = match labels
-                .strip_prefix("le=\"")
-                .and_then(|l| l.strip_suffix('"'))
-            {
-                Some("+Inf") => f64::INFINITY,
-                Some(v) => match v.parse::<f64>() {
-                    Ok(v) => v,
-                    Err(_) => return fail(lineno, line, "unparseable le bound"),
+            let le = match labels.iter().find(|(k, _)| k == "le") {
+                Some((_, v)) => match parse_number(v) {
+                    Some(le) => le,
+                    None => return fail(lineno, line, "unparseable le bound"),
                 },
                 None => return fail(lineno, line, "histogram bucket without le label"),
             };
+            if let Some(ex) = &exemplar {
+                // Tiny epsilon slack: bounds render through f64 formatting.
+                if le.is_finite() && ex.value > le * (1.0 + 1e-9) + 1e-12 {
+                    return fail(lineno, line, "exemplar value exceeds bucket le bound");
+                }
+            }
             let st = hist_states.entry(family.clone()).or_default();
             if let Some(prev) = st.last_le {
                 if le <= prev {
@@ -432,6 +670,202 @@ mod tests {
             let text = format!("{head}{body}");
             let err = check(&text).unwrap_err();
             assert!(err.contains(expect), "case `{body:?}` gave `{err}`");
+        }
+    }
+
+    #[test]
+    fn exemplar_annotated_exposition_passes_check() {
+        let r = Registry::new();
+        let h = r.histogram("serve.request_secs");
+        h.record(3e-3);
+        h.record(250e-6);
+        let mut exemplars = ExemplarMap::new();
+        let mut per_bucket = BTreeMap::new();
+        per_bucket.insert(
+            crate::bucket_of_secs(3e-3),
+            Exemplar {
+                labels: vec![("request_id".into(), "42".into())],
+                value: 3e-3,
+                timestamp: Some(1_700_000_000.25),
+            },
+        );
+        exemplars.insert("serve.request_secs".into(), per_bucket);
+        let text = r.snapshot().to_openmetrics_with_exemplars(&exemplars);
+        assert!(
+            text.contains("# {request_id=\"42\"} 0.003 1700000000.250"),
+            "{text}"
+        );
+        check(&text).unwrap();
+    }
+
+    #[test]
+    fn top_bucket_exemplar_rides_the_inf_line() {
+        let r = Registry::new();
+        // ~4.3 s: beyond the nominal top-bucket bound of ~2.1 s.
+        r.histogram("slow_secs").record(4.3);
+        let mut exemplars = ExemplarMap::new();
+        let mut per_bucket = BTreeMap::new();
+        per_bucket.insert(
+            NUM_BUCKETS - 1,
+            Exemplar {
+                labels: vec![("request_id".into(), "7".into())],
+                value: 4.3,
+                timestamp: None,
+            },
+        );
+        exemplars.insert("slow_secs".into(), per_bucket);
+        let text = r.snapshot().to_openmetrics_with_exemplars(&exemplars);
+        let inf_line = text
+            .lines()
+            .find(|l| l.contains("le=\"+Inf\""))
+            .expect("+Inf line");
+        assert!(inf_line.contains("# {request_id=\"7\"} 4.3"), "{inf_line}");
+        check(&text).unwrap();
+    }
+
+    #[test]
+    fn check_rejects_bad_exemplars() {
+        let head = "# TYPE poe_h histogram\n";
+        let tail = "poe_h_bucket{le=\"+Inf\"} 1\npoe_h_sum 1\npoe_h_count 1\n# EOF\n";
+        let cases: &[(&str, &str)] = &[
+            // Exemplar value above the bucket's le bound.
+            (
+                "poe_h_bucket{le=\"0.5\"} 1 # {request_id=\"1\"} 0.9\n",
+                "exceeds bucket le bound",
+            ),
+            // Exemplar without a label set.
+            (
+                "poe_h_bucket{le=\"0.5\"} 1 # 0.1\n",
+                "exemplar must start with a label set",
+            ),
+            // Exemplar with labels but no value.
+            (
+                "poe_h_bucket{le=\"0.5\"} 1 # {request_id=\"1\"}\n",
+                "exemplar without a value",
+            ),
+            // Trailing garbage after the exemplar timestamp.
+            (
+                "poe_h_bucket{le=\"0.5\"} 1 # {request_id=\"1\"} 0.1 1.0 extra\n",
+                "trailing tokens after exemplar",
+            ),
+            // Unterminated exemplar label value.
+            (
+                "poe_h_bucket{le=\"0.5\"} 1 # {request_id=\"1} 0.1\n",
+                "unterminated",
+            ),
+        ];
+        for (bucket_line, expect) in cases {
+            let text = format!("{head}{bucket_line}{tail}");
+            let err = check(&text).unwrap_err();
+            assert!(err.contains(expect), "case `{bucket_line:?}` gave `{err}`");
+        }
+        // Exemplars are rejected on gauges and histogram _sum/_count.
+        let gauge = "# TYPE poe_g gauge\npoe_g 1 # {request_id=\"1\"} 1\n# EOF\n";
+        let err = check(gauge).unwrap_err();
+        assert!(err.contains("non-bucket, non-counter"), "{err}");
+        let sum = format!("{head}poe_h_bucket{{le=\"+Inf\"}} 1\npoe_h_sum 1 # {{r=\"1\"}} 1\npoe_h_count 1\n# EOF\n");
+        let err = check(&sum).unwrap_err();
+        assert!(err.contains("non-bucket, non-counter"), "{err}");
+        // ...but accepted on counter _total lines.
+        let counter = "# TYPE poe_c counter\npoe_c_total 3 # {request_id=\"9\"} 1\n# EOF\n";
+        check(counter).unwrap();
+    }
+
+    #[test]
+    fn check_honors_escaped_label_values() {
+        // A `}` and an escaped quote inside a label value must not end the
+        // label block early.
+        let text = "# TYPE poe_h histogram\n\
+                    poe_h_bucket{le=\"+Inf\"} 1 # {path=\"a\\\\b\\\"}{\\n\"} 0.5\n\
+                    poe_h_sum 1\npoe_h_count 1\n# EOF\n";
+        check(text).unwrap();
+        // An unknown escape is rejected.
+        let bad = "# TYPE poe_h histogram\n\
+                   poe_h_bucket{le=\"+Inf\"} 1 # {path=\"a\\qb\"} 0.5\n\
+                   poe_h_sum 1\npoe_h_count 1\n# EOF\n";
+        let err = check(bad).unwrap_err();
+        assert!(err.contains("bad escape"), "{err}");
+    }
+
+    #[test]
+    fn escape_and_parse_label_values_round_trip() {
+        for v in ["plain", "a\\b", "quote\"inside", "line\nbreak", "}{,=\""] {
+            let body = format!("k=\"{}\"", escape_label_value(v));
+            let parsed = parse_labels(&body).expect(v);
+            assert_eq!(parsed, vec![("k".to_string(), v.to_string())]);
+        }
+    }
+
+    /// Seeded splitmix64 — poe-obs has no deps, so the fuzz test brings
+    /// its own tiny PRNG.
+    struct SplitMix(u64);
+    impl SplitMix {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    #[test]
+    fn fuzzed_registries_always_pass_check() {
+        let mut rng = SplitMix(0xC0FFEE);
+        for round in 0..50 {
+            let r = Registry::new();
+            let mut exemplars = ExemplarMap::new();
+            for i in 0..rng.below(8) {
+                match rng.below(3) {
+                    0 => r.counter(&format!("fuzz.c{i}")).add(rng.below(1000)),
+                    1 => r
+                        .gauge(&format!("fuzz.g{i}"))
+                        .set(rng.below(1000) as f64 - 500.0),
+                    _ => {
+                        let suffix = if rng.below(2) == 0 { "_secs" } else { ".size" };
+                        let name = format!("fuzz.h{i}{suffix}");
+                        let h = r.histogram(&name);
+                        let mut per_bucket = BTreeMap::new();
+                        for _ in 0..rng.below(20) {
+                            let secs = rng.below(1_000_000_000) as f64 * 1e-9;
+                            if suffix == ".size" {
+                                h.record_n((secs * 1e9) as u64);
+                            } else {
+                                h.record(secs);
+                            }
+                            // Size-valued histograms render raw-count
+                            // bounds, so only exemplify the seconds ones.
+                            if suffix == "_secs" && rng.below(3) == 0 {
+                                per_bucket.insert(
+                                    crate::bucket_of_secs(secs),
+                                    Exemplar {
+                                        labels: vec![(
+                                            "request_id".into(),
+                                            format!("{}", rng.below(1 << 32)),
+                                        )],
+                                        value: secs,
+                                        timestamp: if rng.below(2) == 0 {
+                                            Some(1.7e9 + rng.below(1000) as f64)
+                                        } else {
+                                            None
+                                        },
+                                    },
+                                );
+                            }
+                        }
+                        if !per_bucket.is_empty() {
+                            exemplars.insert(name, per_bucket);
+                        }
+                    }
+                }
+            }
+            let text = r.snapshot().to_openmetrics_with_exemplars(&exemplars);
+            if let Err(e) = check(&text) {
+                panic!("round {round}: {e}\n---\n{text}");
+            }
         }
     }
 

@@ -232,6 +232,16 @@ impl FlightRecorder {
         });
     }
 
+    /// The recorder's epoch as fractional Unix seconds: add an event's
+    /// `at_secs` to this to place it on the wall clock (how OpenMetrics
+    /// exemplar timestamps are derived from flight events).
+    pub fn epoch_unix_secs(&self) -> f64 {
+        let now_unix = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0.0, |d| d.as_secs_f64());
+        now_unix - self.epoch.elapsed().as_secs_f64()
+    }
+
     /// Total events ever recorded.
     pub fn recorded(&self) -> u64 {
         self.recorded.load(Ordering::Relaxed)

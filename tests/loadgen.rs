@@ -1,0 +1,172 @@
+//! End-to-end loadgen suite: drives the closed-loop multi-tenant
+//! generator against a real [`poe_cli::serve::Server`] over TCP and
+//! checks the per-tenant SLO report, the `poe obs diff`-compatible
+//! report rendering, schedule determinism, and the client-side chaos
+//! seam ([`poe_chaos::sites::LOADGEN_CLIENT_IO`]).
+
+use poe_chaos::{sites, ChaosPlan, Fault, FaultKind};
+use poe_cli::serve::{ServeConfig, Server};
+use poe_core::pool::{Expert, ExpertPool};
+use poe_core::service::QueryService;
+use poe_data::ClassHierarchy;
+use poe_nn::layers::{Linear, Sequential};
+use poe_tensor::Prng;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn toy_service() -> Arc<QueryService> {
+    let mut rng = Prng::seed_from_u64(1);
+    let hierarchy = ClassHierarchy::contiguous(6, 3);
+    let library = Sequential::new().push(Linear::new("lib", 4, 5, &mut rng));
+    let mut pool = ExpertPool::new(hierarchy, library);
+    for t in 0..3 {
+        let classes = pool.hierarchy().primitive(t).classes.clone();
+        let head =
+            Sequential::new().push(Linear::new(&format!("e{t}"), 5, classes.len(), &mut rng));
+        pool.insert_expert(Expert {
+            task_index: t,
+            classes,
+            head,
+        });
+    }
+    Arc::new(QueryService::builder(pool).build())
+}
+
+fn start_server() -> (Server, SocketAddr) {
+    let svc = toy_service();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let server = Server::start(listener, svc, 4, ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+fn plan_config(seed: u64, num_tasks: usize) -> poe_loadgen::PlanConfig {
+    poe_loadgen::PlanConfig {
+        seed,
+        tenants: poe_loadgen::parse_tenants("steady=1;bursty=1;fanout=1;slowreader=1").unwrap(),
+        num_tasks,
+        catalog_size: 8,
+        zipf_s: 1.1,
+        requests_per_conn: 64,
+    }
+}
+
+/// The acceptance-criterion pin: two same-seed plans expand to the exact
+/// same request schedule (tasks, verbs, delays, and feature seeds), and
+/// a different seed does not.
+#[test]
+fn same_seed_replays_the_same_schedule() {
+    let a = poe_loadgen::Plan::build(&plan_config(42, 6));
+    let b = poe_loadgen::Plan::build(&plan_config(42, 6));
+    assert_eq!(a, b, "same seed must replay the same schedule");
+    let c = poe_loadgen::Plan::build(&plan_config(43, 6));
+    assert_ne!(a, c, "a different seed must reshuffle the schedule");
+}
+
+/// A short real-TCP run against a live server: every tenant profile gets
+/// traffic, the report parses through the `poe obs diff` parser, and a
+/// self-diff is clean.
+#[test]
+fn loadgen_drives_a_real_server_per_tenant() {
+    // Serialize with the chaos suite (shared process-global fault state).
+    let _guard = ChaosPlan::new(poe_chaos::seed_from_env()).install();
+    let (server, addr) = start_server();
+    let addr = addr.to_string();
+
+    let (num_tasks, input_dim) = poe_loadgen::probe(&addr).expect("probe");
+    assert_eq!(num_tasks, 3, "three experts in the toy pool");
+    assert_eq!(input_dim, 4);
+
+    let plan = poe_loadgen::Plan::build(&plan_config(42, num_tasks));
+    let cfg = poe_loadgen::RunConfig {
+        addr,
+        duration: Duration::from_millis(500),
+    };
+    let report = poe_loadgen::run(&cfg, &plan, input_dim);
+
+    assert_eq!(report.seed, 42);
+    assert_eq!(report.tenants.len(), 4, "one row per tenant profile");
+    for row in &report.tenants {
+        assert!(row.attempts > 0, "tenant {} sent nothing", row.tenant);
+        assert!(row.ok > 0, "tenant {} got no OK responses", row.tenant);
+        assert_eq!(row.errors, 0, "tenant {} saw errors", row.tenant);
+        assert!(row.p99_ns > 0.0, "tenant {} has no latency", row.tenant);
+    }
+    assert_eq!(
+        report.total.attempts,
+        report.tenants.iter().map(|t| t.attempts).sum::<u64>(),
+        "total row must aggregate the tenants"
+    );
+
+    // The rendered report round-trips through the diff parser and is
+    // identical to itself under the gate's thresholds.
+    let text = poe_loadgen::render_report(&report);
+    let parsed = poe_obs::report::BenchReport::parse(&text).expect(&text);
+    assert_eq!(parsed.version, 2);
+    assert!(parsed.row("loadgen/steady").is_some(), "{text}");
+    assert!(parsed.row("loadgen/total").is_some(), "{text}");
+    let d = poe_obs::report::diff(&parsed, &parsed, &poe_obs::report::DiffOptions::default());
+    assert!(d.passed(), "self-diff must pass:\n{}", d.render());
+
+    server.handle().shutdown();
+    server.join().unwrap();
+}
+
+/// Injected client-side write faults land in the owning tenants' error
+/// counts: the generator keeps running, reconnects, and the fault total
+/// matches the chaos hit counter — nothing panics and untouched
+/// responses still succeed.
+#[test]
+fn chaos_client_faults_count_as_tenant_errors() {
+    let _guard = ChaosPlan::new(poe_chaos::seed_from_env())
+        .with(Fault {
+            site: sites::LOADGEN_CLIENT_IO.into(),
+            kind: FaultKind::Io,
+            prob: 1.0,
+            max_hits: Some(6),
+        })
+        .install();
+    let before = poe_chaos::hits(sites::LOADGEN_CLIENT_IO);
+    let (server, addr) = start_server();
+    let addr = addr.to_string();
+
+    let (num_tasks, input_dim) = poe_loadgen::probe(&addr).expect("probe");
+    let plan = poe_loadgen::Plan::build(&plan_config(7, num_tasks));
+    let cfg = poe_loadgen::RunConfig {
+        addr,
+        duration: Duration::from_millis(500),
+    };
+    let report = poe_loadgen::run(&cfg, &plan, input_dim);
+    let hits = poe_chaos::hits(sites::LOADGEN_CLIENT_IO) - before;
+
+    assert_eq!(hits, 6, "the fault budget must be consumed");
+    assert_eq!(
+        report.total.errors, hits,
+        "every injected fault lands in exactly one tenant's error count"
+    );
+    assert!(
+        report.total.ok > 0,
+        "traffic must keep flowing once the fault budget is spent"
+    );
+    for row in &report.tenants {
+        // No tenant's accounting is skewed by another's faults: per-row
+        // errors sum to the injected total and successful requests never
+        // migrate into error counts.
+        assert!(row.errors <= hits, "tenant {} over-counts", row.tenant);
+        assert_eq!(
+            row.attempts,
+            row.ok + row.errors + row.shed + row.partial,
+            "tenant {} books every attempt exactly once",
+            row.tenant
+        );
+    }
+    assert_eq!(
+        report.tenants.iter().map(|t| t.errors).sum::<u64>(),
+        hits,
+        "per-tenant errors must sum to the injected faults"
+    );
+
+    server.handle().shutdown();
+    server.join().unwrap();
+}

@@ -78,13 +78,15 @@ pub fn results() -> Vec<BenchResult> {
 
 /// Writes the accumulated results as a JSON report to `path`.
 ///
-/// Schema (one object, stable field order):
+/// Schema v2 (one object, stable field order, settings per row so rows
+/// produced by runs with different budgets stay distinguishable):
 ///
 /// ```json
-/// {"report":"poe-bench","version":1,"warmup_ms":50,"measure_ms":300,
+/// {"report":"poe-bench","version":2,
 ///  "benches":[{"name":"grp/case","iters":1200,"mean_ns":245833.0,
 ///              "samples_per_sec":4067.8,"p50_ns":240100.0,
-///              "p95_ns":310500.0,"p99_ns":402700.0}]}
+///              "p95_ns":310500.0,"p99_ns":402700.0,
+///              "warmup_ms":50,"measure_ms":300}]}
 /// ```
 pub fn write_report(path: &str) -> std::io::Result<()> {
     let results = results();
@@ -94,28 +96,50 @@ pub fn write_report(path: &str) -> std::io::Result<()> {
     // are keyed by name — re-run rows replace in place (keeping their
     // position), new rows append. The parse leans on this writer's own
     // stable one-row-per-line format; a hand-edited file that still has
-    // one `{"name": "..."}` object per line also survives.
+    // one `{"name": "..."}` object per line also survives. Legacy v1 rows
+    // (no per-row settings) are upgraded in place using the old header's
+    // global `warmup_ms`/`measure_ms`.
+    let mut legacy_warmup: u64 = DEFAULT_WARMUP_MS;
+    let mut legacy_measure: u64 = DEFAULT_MEASURE_MS;
     let mut rows: Vec<(String, String)> = Vec::new();
     if let Ok(existing) = std::fs::read_to_string(path) {
         for line in existing.lines() {
             let t = line.trim();
-            if let Some(rest) = t.strip_prefix("{\"name\": \"") {
+            if let Some(rest) = t.strip_prefix("\"warmup_ms\":") {
+                // v1 header line: remember the file-global setting.
+                if let Ok(v) = rest.trim().trim_end_matches(',').parse() {
+                    legacy_warmup = v;
+                }
+            } else if let Some(rest) = t.strip_prefix("\"measure_ms\":") {
+                if let Ok(v) = rest.trim().trim_end_matches(',').parse() {
+                    legacy_measure = v;
+                }
+            } else if let Some(rest) = t.strip_prefix("{\"name\": \"") {
                 if let Some(name) = rest.split('"').next() {
-                    rows.push((name.to_string(), t.trim_end_matches(',').to_string()));
+                    let mut row = t.trim_end_matches(',').to_string();
+                    if !row.contains("\"warmup_ms\"") {
+                        row.truncate(row.trim_end_matches('}').len());
+                        row.push_str(&format!(
+                            ", \"warmup_ms\": {legacy_warmup}, \"measure_ms\": {legacy_measure}}}"
+                        ));
+                    }
+                    rows.push((name.to_string(), row));
                 }
             }
         }
     }
     for r in &results {
         let rendered = format!(
-            "{{\"name\": \"{}\", \"iters\": {}, \"mean_ns\": {:.1}, \"samples_per_sec\": {:.1}, \"p50_ns\": {:.1}, \"p95_ns\": {:.1}, \"p99_ns\": {:.1}}}",
+            "{{\"name\": \"{}\", \"iters\": {}, \"mean_ns\": {:.1}, \"samples_per_sec\": {:.1}, \"p50_ns\": {:.1}, \"p95_ns\": {:.1}, \"p99_ns\": {:.1}, \"warmup_ms\": {}, \"measure_ms\": {}}}",
             r.name.replace('\\', "\\\\").replace('"', "\\\""),
             r.iters,
             r.mean_ns,
             r.samples_per_sec,
             r.p50_ns,
             r.p95_ns,
-            r.p99_ns
+            r.p99_ns,
+            warmup_budget().as_millis(),
+            measure_budget().as_millis()
         );
         match rows.iter_mut().find(|(n, _)| *n == r.name) {
             Some(slot) => slot.1 = rendered,
@@ -123,11 +147,7 @@ pub fn write_report(path: &str) -> std::io::Result<()> {
         }
     }
     let mut out = String::new();
-    out.push_str(&format!(
-        "{{\n  \"report\": \"poe-bench\",\n  \"version\": 1,\n  \"warmup_ms\": {},\n  \"measure_ms\": {},\n  \"benches\": [\n",
-        warmup_budget().as_millis(),
-        measure_budget().as_millis()
-    ));
+    out.push_str("{\n  \"report\": \"poe-bench\",\n  \"version\": 2,\n  \"benches\": [\n");
     for (i, (_, rendered)) in rows.iter().enumerate() {
         let sep = if i + 1 == rows.len() { "" } else { "," };
         out.push_str(&format!("    {rendered}{sep}\n"));
@@ -390,7 +410,7 @@ mod tests {
         write_report(path.to_str().unwrap()).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("{\n  \"report\": \"poe-bench\""), "{text}");
-        assert!(text.contains("\"version\": 1"), "{text}");
+        assert!(text.contains("\"version\": 2"), "{text}");
         assert!(text.contains("\"name\": \"report_case\""), "{text}");
         for field in [
             "iters",
@@ -399,6 +419,8 @@ mod tests {
             "p50_ns",
             "p95_ns",
             "p99_ns",
+            "warmup_ms",
+            "measure_ms",
         ] {
             assert!(text.contains(&format!("\"{field}\": ")), "{field}: {text}");
         }
@@ -407,14 +429,15 @@ mod tests {
     }
 
     #[test]
-    fn report_merges_by_name_with_existing_file() {
+    fn report_merges_by_name_and_upgrades_v1_rows() {
         let path = std::env::temp_dir().join("poe_bench_report_merge_test.json");
+        // A legacy v1 file: settings in the header, none on the rows.
         let stale_row = "{\"name\": \"merge_case\", \"iters\": 1, \"mean_ns\": 1.0, \"samples_per_sec\": 1.0, \"p50_ns\": 1.0, \"p95_ns\": 1.0, \"p99_ns\": 1.0}";
         let kept_row = "{\"name\": \"kept/row\", \"iters\": 7, \"mean_ns\": 2.0, \"samples_per_sec\": 2.0, \"p50_ns\": 2.0, \"p95_ns\": 2.0, \"p99_ns\": 2.0}";
         std::fs::write(
             &path,
             format!(
-                "{{\n  \"report\": \"poe-bench\",\n  \"version\": 1,\n  \"warmup_ms\": 50,\n  \"measure_ms\": 300,\n  \"benches\": [\n    {stale_row},\n    {kept_row}\n  ]\n}}\n"
+                "{{\n  \"report\": \"poe-bench\",\n  \"version\": 1,\n  \"warmup_ms\": 40,\n  \"measure_ms\": 200,\n  \"benches\": [\n    {stale_row},\n    {kept_row}\n  ]\n}}\n"
             ),
         )
         .unwrap();
@@ -422,11 +445,21 @@ mod tests {
         c.bench_function("merge_case", |b| b.iter(|| black_box(1)));
         write_report(path.to_str().unwrap()).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
-        // The row from the sibling target survives untouched; the re-run
-        // row is replaced in place, not duplicated.
-        assert!(text.contains(kept_row), "{text}");
+        // The sibling target's row survives, upgraded in place with the
+        // old header's global settings; the re-run row is replaced, not
+        // duplicated; the header is v2 with no global settings.
+        let upgraded_kept = kept_row.replace(
+            "\"p99_ns\": 2.0}",
+            "\"p99_ns\": 2.0, \"warmup_ms\": 40, \"measure_ms\": 200}",
+        );
+        assert!(text.contains(&upgraded_kept), "{text}");
         assert_eq!(text.matches("\"merge_case\"").count(), 1, "{text}");
         assert!(!text.contains(stale_row), "stale row not replaced: {text}");
+        assert!(text.contains("\"version\": 2"), "{text}");
+        assert!(
+            !text.contains("\n  \"warmup_ms\""),
+            "global setting survived: {text}"
+        );
         std::fs::remove_file(&path).ok();
     }
 }
